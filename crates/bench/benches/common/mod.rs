@@ -1,0 +1,29 @@
+#![allow(dead_code)] // each bench uses a subset of these helpers
+
+//! Shared setup for the criterion benches: small fixed workloads so that
+//! `cargo bench` finishes quickly while tracking every figure's code path.
+
+use criterion::Criterion;
+use mris_bench::TracePool;
+use mris_types::Instance;
+
+/// Number of jobs per benchmark instance (small on purpose; the figure
+/// binaries run the full-scale experiments).
+pub const BENCH_JOBS: usize = 1_000;
+/// Machines used by the scheduling benches.
+pub const BENCH_MACHINES: usize = 5;
+
+/// One downsampled Azure-like instance of [`BENCH_JOBS`] jobs.
+pub fn bench_instance() -> Instance {
+    let pool = TracePool::new(BENCH_JOBS * 4, 0xBE7C);
+    pool.instances_for(BENCH_JOBS, 1).remove(0)
+}
+
+/// Criterion tuned for quick runs: the workloads are deterministic, so a
+/// short measurement window suffices.
+pub fn quick_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}

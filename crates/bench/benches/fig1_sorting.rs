@@ -1,0 +1,31 @@
+//! Figure 1 bench: MRIS runtime under each PQ sorting heuristic.
+
+mod common;
+
+use common::{bench_instance, quick_criterion, BENCH_MACHINES};
+use criterion::{criterion_main, BenchmarkId};
+use mris_bench::mris_with_heuristic;
+use mris_schedulers::{Scheduler, SortHeuristic};
+use std::hint::black_box;
+
+fn bench(c: &mut criterion::Criterion) {
+    let instance = bench_instance();
+    let mut group = c.benchmark_group("fig1_sorting");
+    for heuristic in SortHeuristic::ALL {
+        let mris = mris_with_heuristic(heuristic);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(heuristic),
+            &instance,
+            |b, inst| b.iter(|| black_box(mris.schedule(black_box(inst), BENCH_MACHINES))),
+        );
+    }
+    group.finish();
+}
+
+fn benches() {
+    let mut c = quick_criterion();
+    bench(&mut c);
+    c.final_summary();
+}
+
+criterion_main!(benches);

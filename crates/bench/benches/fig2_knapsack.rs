@@ -1,0 +1,49 @@
+//! Figure 2 bench: MRIS runtime with CADP vs the greedy knapsack, plus the
+//! raw solver cost on a P1-sized item set.
+
+mod common;
+
+use common::{bench_instance, quick_criterion, BENCH_MACHINES};
+use criterion::criterion_main;
+use mris_bench::mris_greedy;
+use mris_core::Mris;
+use mris_knapsack::{Cadp, GreedyConstraint, Item, KnapsackSolver};
+use mris_schedulers::Scheduler;
+use std::hint::black_box;
+
+fn bench(c: &mut criterion::Criterion) {
+    let instance = bench_instance();
+    let mut group = c.benchmark_group("fig2_knapsack");
+    let cadp_mris = Mris::default();
+    group.bench_function("mris_cadp", |b| {
+        b.iter(|| black_box(cadp_mris.schedule(black_box(&instance), BENCH_MACHINES)))
+    });
+    let greedy_mris = mris_greedy();
+    group.bench_function("mris_greedy", |b| {
+        b.iter(|| black_box(greedy_mris.schedule(black_box(&instance), BENCH_MACHINES)))
+    });
+
+    // Raw P1 solves on the instance's own volumes, at a capacity forcing a
+    // real (non-fast-path) solve.
+    let items: Vec<Item> = instance
+        .jobs()
+        .iter()
+        .map(|j| Item::new(j.weight, j.volume()))
+        .collect();
+    let capacity = items.iter().map(|i| i.size).sum::<f64>() / 4.0;
+    group.bench_function("p1_cadp_solve", |b| {
+        b.iter(|| black_box(Cadp::default().solve(black_box(&items), capacity)))
+    });
+    group.bench_function("p1_greedy_solve", |b| {
+        b.iter(|| black_box(GreedyConstraint.solve(black_box(&items), capacity)))
+    });
+    group.finish();
+}
+
+fn benches() {
+    let mut c = quick_criterion();
+    bench(&mut c);
+    c.final_summary();
+}
+
+criterion_main!(benches);

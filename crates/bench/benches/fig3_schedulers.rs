@@ -1,0 +1,30 @@
+//! Figure 3 bench: runtime of every compared scheduler on the Azure-like
+//! workload.
+
+mod common;
+
+use common::{bench_instance, quick_criterion, BENCH_MACHINES};
+use criterion::{criterion_main, BenchmarkId};
+use mris_bench::comparison_algorithms;
+use std::hint::black_box;
+
+fn bench(c: &mut criterion::Criterion) {
+    let instance = bench_instance();
+    let mut group = c.benchmark_group("fig3_schedulers");
+    for algo in comparison_algorithms() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(algo.name()),
+            &instance,
+            |b, inst| b.iter(|| black_box(algo.schedule(black_box(inst), BENCH_MACHINES))),
+        );
+    }
+    group.finish();
+}
+
+fn benches() {
+    let mut c = quick_criterion();
+    bench(&mut c);
+    c.final_summary();
+}
+
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Figure 4 bench: scheduler runtime as the machine count scales.
+
+mod common;
+
+use common::{bench_instance, quick_criterion};
+use criterion::{criterion_main, BenchmarkId};
+use mris_core::Mris;
+use mris_schedulers::{Pq, Scheduler, SortHeuristic};
+use std::hint::black_box;
+
+fn bench(c: &mut criterion::Criterion) {
+    let instance = bench_instance();
+    let mut group = c.benchmark_group("fig4_machines");
+    for machines in [2usize, 5, 10, 20] {
+        let mris = Mris::default();
+        group.bench_with_input(
+            BenchmarkId::new("mris", machines),
+            &machines,
+            |b, &m| b.iter(|| black_box(mris.schedule(black_box(&instance), m))),
+        );
+        let pq = Pq::new(SortHeuristic::Wsvf);
+        group.bench_with_input(BenchmarkId::new("pq_wsvf", machines), &machines, |b, &m| {
+            b.iter(|| black_box(pq.schedule(black_box(&instance), m)))
+        });
+    }
+    group.finish();
+}
+
+fn benches() {
+    let mut c = quick_criterion();
+    bench(&mut c);
+    c.final_summary();
+}
+
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Figure 5 bench: schedule + queuing-delay-CDF pipeline cost.
+
+mod common;
+
+use common::{bench_instance, quick_criterion, BENCH_MACHINES};
+use criterion::criterion_main;
+use mris_core::Mris;
+use mris_metrics::Cdf;
+use mris_schedulers::Scheduler;
+use std::hint::black_box;
+
+fn bench(c: &mut criterion::Criterion) {
+    let instance = bench_instance();
+    let mut group = c.benchmark_group("fig5_delay");
+    let schedule = Mris::default().schedule(&instance, BENCH_MACHINES);
+    group.bench_function("delay_cdf", |b| {
+        b.iter(|| {
+            let cdf = Cdf::new(black_box(&schedule).queuing_delays(&instance));
+            black_box((cdf.fraction_zero(), cdf.quantile(0.5), cdf.quantile(0.99)))
+        })
+    });
+    group.bench_function("schedule_plus_cdf", |b| {
+        b.iter(|| {
+            let s = Mris::default().schedule(black_box(&instance), BENCH_MACHINES);
+            black_box(Cdf::new(s.queuing_delays(&instance)).quantile(0.9))
+        })
+    });
+    group.finish();
+}
+
+fn benches() {
+    let mut c = quick_criterion();
+    bench(&mut c);
+    c.final_summary();
+}
+
+criterion_main!(benches);

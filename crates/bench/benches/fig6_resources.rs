@@ -1,0 +1,36 @@
+//! Figure 6 bench: scheduler runtime as the resource dimension scales
+//! (synthetic augmentation).
+
+mod common;
+
+use common::{bench_instance, quick_criterion, BENCH_MACHINES};
+use criterion::{criterion_main, BenchmarkId};
+use mris_core::Mris;
+use mris_schedulers::{Scheduler, Tetris};
+use mris_trace::augment_resources;
+use std::hint::black_box;
+
+fn bench(c: &mut criterion::Criterion) {
+    let base = bench_instance();
+    let mut group = c.benchmark_group("fig6_resources");
+    for r in [4usize, 12, 20] {
+        let instance = augment_resources(&base, r, 99);
+        let mris = Mris::default();
+        group.bench_with_input(BenchmarkId::new("mris", r), &instance, |b, inst| {
+            b.iter(|| black_box(mris.schedule(black_box(inst), BENCH_MACHINES)))
+        });
+        let tetris = Tetris::default();
+        group.bench_with_input(BenchmarkId::new("tetris", r), &instance, |b, inst| {
+            b.iter(|| black_box(tetris.schedule(black_box(inst), BENCH_MACHINES)))
+        });
+    }
+    group.finish();
+}
+
+fn benches() {
+    let mut c = quick_criterion();
+    bench(&mut c);
+    c.final_summary();
+}
+
+criterion_main!(benches);

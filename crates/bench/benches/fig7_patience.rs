@@ -1,0 +1,42 @@
+//! Figure 7 bench: the patience scenario end to end, including the
+//! utilization rendering.
+
+mod common;
+
+use common::quick_criterion;
+use criterion::{criterion_main, BenchmarkId};
+use mris_bench::comparison_algorithms;
+use mris_metrics::{render_utilization, utilization_profile};
+use mris_trace::{patience_instance, PatienceConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut criterion::Criterion) {
+    let instance = patience_instance(&PatienceConfig {
+        num_small: 500,
+        ..Default::default()
+    });
+    let mut group = c.benchmark_group("fig7_patience");
+    for algo in comparison_algorithms() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(algo.name()),
+            &instance,
+            |b, inst| b.iter(|| black_box(algo.schedule(black_box(inst), 1))),
+        );
+    }
+    let schedule = comparison_algorithms()[0].schedule(&instance, 1);
+    group.bench_function("utilization_render", |b| {
+        b.iter(|| {
+            let profile = utilization_profile(&instance, &schedule, 0, 0, 40.0, 72);
+            black_box(render_utilization(black_box(&profile)))
+        })
+    });
+    group.finish();
+}
+
+fn benches() {
+    let mut c = quick_criterion();
+    bench(&mut c);
+    c.final_summary();
+}
+
+criterion_main!(benches);

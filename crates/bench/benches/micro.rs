@@ -1,0 +1,106 @@
+//! Micro-benchmarks of the substrates: knapsack solvers, machine timelines,
+//! and the event-driven engine.
+
+mod common;
+
+use common::{bench_instance, quick_criterion};
+use criterion::{criterion_main, BenchmarkId};
+use mris_knapsack::{brute_force, Cadp, ExactDp, GreedyConstraint, GreedyHalf, Item, KnapsackSolver};
+use mris_sim::{ClusterTimelines, MachineTimeline};
+use mris_types::amount_from_fraction;
+use std::hint::black_box;
+
+fn knapsack_items(n: usize) -> Vec<Item> {
+    // Deterministic pseudo-random items.
+    let mut state = 0x1234_5678_9ABC_DEF0u64;
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let w = ((state >> 33) % 1000) as f64 / 10.0;
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let s = ((state >> 33) % 1000) as f64 / 100.0;
+            Item::new(w, s)
+        })
+        .collect()
+}
+
+fn bench_knapsack(c: &mut criterion::Criterion) {
+    let mut group = c.benchmark_group("knapsack");
+    for n in [100usize, 500, 2000] {
+        let items = knapsack_items(n);
+        let capacity = items.iter().map(|i| i.size).sum::<f64>() / 4.0;
+        group.bench_with_input(BenchmarkId::new("cadp", n), &items, |b, items| {
+            b.iter(|| black_box(Cadp::default().solve(black_box(items), capacity)))
+        });
+        group.bench_with_input(BenchmarkId::new("greedy_constraint", n), &items, |b, items| {
+            b.iter(|| black_box(GreedyConstraint.solve(black_box(items), capacity)))
+        });
+        group.bench_with_input(BenchmarkId::new("greedy_half", n), &items, |b, items| {
+            b.iter(|| black_box(GreedyHalf.solve(black_box(items), capacity)))
+        });
+    }
+    let small = knapsack_items(18);
+    let cap = small.iter().map(|i| i.size).sum::<f64>() / 3.0;
+    group.bench_function("exact_dp_18", |b| {
+        b.iter(|| black_box(ExactDp::default().solve(black_box(&small), cap)))
+    });
+    group.bench_function("brute_force_18", |b| {
+        b.iter(|| black_box(brute_force(black_box(&small), cap)))
+    });
+    group.finish();
+}
+
+fn bench_timeline(c: &mut criterion::Criterion) {
+    let mut group = c.benchmark_group("timeline");
+    group.bench_function("commit_1000", |b| {
+        b.iter(|| {
+            let mut tl = MachineTimeline::new(4);
+            let d = vec![amount_from_fraction(0.3); 4];
+            for i in 0..1000 {
+                let start = (i % 97) as f64;
+                tl.commit(start, 1.5, &d);
+            }
+            black_box(tl.num_segments())
+        })
+    });
+    // Earliest-fit queries against a fragmented timeline.
+    let mut tl = ClusterTimelines::new(4, 4);
+    let d = vec![amount_from_fraction(0.4); 4];
+    for i in 0..500 {
+        tl.commit(i % 4, (i % 211) as f64, 2.0, &d);
+    }
+    let probe = vec![amount_from_fraction(0.7); 4];
+    group.bench_function("earliest_fit_fragmented", |b| {
+        b.iter(|| black_box(tl.earliest_fit(black_box(0.0), 3.0, &probe)))
+    });
+    group.finish();
+}
+
+fn bench_engine(c: &mut criterion::Criterion) {
+    use mris_schedulers::{Pq, Scheduler, SortHeuristic};
+    let instance = bench_instance();
+    let mut group = c.benchmark_group("engine");
+    group.bench_function("pq_event_loop_1000_jobs", |b| {
+        let pq = Pq::new(SortHeuristic::Wsjf);
+        b.iter(|| black_box(pq.schedule(black_box(&instance), 5)))
+    });
+    group.bench_function("validate_schedule", |b| {
+        let s = Pq::new(SortHeuristic::Wsjf).schedule(&instance, 5);
+        b.iter(|| black_box(s.validate(black_box(&instance))).unwrap())
+    });
+    group.finish();
+}
+
+fn benches() {
+    let mut c = quick_criterion();
+    bench_knapsack(&mut c);
+    bench_timeline(&mut c);
+    bench_engine(&mut c);
+    c.final_summary();
+}
+
+criterion_main!(benches);

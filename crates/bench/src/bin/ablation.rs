@@ -1,0 +1,137 @@
+//! Ablation study of MRIS's design choices (beyond the paper's figures):
+//!
+//! * **backfilling** on/off (Section 5.3 motivates it; the Theorem 6.8
+//!   analysis assumes the off-worst-case) — how much does it actually buy?
+//! * **interval base `alpha`** — 2 is the smallest base satisfying
+//!   `gamma_{k+1} - gamma_k >= gamma_k`; larger bases commit less often but
+//!   with bigger batches.
+//! * **CADP `epsilon`** — trades knapsack precision (and the `8R(1+eps)`
+//!   ratio) against `O(n^2/eps)` runtime.
+//! * **queue heuristics including the DRF-inspired extensions**
+//!   (SDDF/WSDDF) absent from the paper.
+//!
+//! `cargo run --release -p mris-bench --bin ablation [--n jobs]
+//!  [--machines m] [--samples k] [--csv]`
+
+use mris_bench::{awct_summaries, default_trace, Args, Scale};
+use mris_core::{Mris, MrisConfig};
+use mris_metrics::Table;
+use mris_schedulers::{Scheduler, SortHeuristic};
+
+fn run_variants(
+    title: &str,
+    variants: Vec<(String, MrisConfig)>,
+    instances: &[mris_types::Instance],
+    machines: usize,
+    scale: &Scale,
+) {
+    let algorithms: Vec<Box<dyn Scheduler>> = variants
+        .iter()
+        .map(|(_, cfg)| Box::new(Mris::with_config(*cfg)) as Box<dyn Scheduler>)
+        .collect();
+    let rows = awct_summaries(&algorithms, instances, machines);
+    let mut table = Table::new(vec!["variant", "AWCT (mean ± 95% CI)", "vs default"]);
+    let baseline = rows
+        .iter()
+        .zip(&variants)
+        .find(|(_, (label, _))| label == "default")
+        .map(|(r, _)| r.1.mean)
+        .unwrap_or(rows[0].1.mean);
+    for ((label, _), (_, summary)) in variants.iter().zip(&rows) {
+        table.push_row(vec![
+            label.clone(),
+            format!("{:.1} ± {:.1}", summary.mean, summary.ci95_half_width()),
+            format!("{:+.1}%", (summary.mean / baseline - 1.0) * 100.0),
+        ]);
+    }
+    println!("\n### {title}\n");
+    scale.print_table(&table);
+}
+
+fn main() {
+    let args = Args::parse();
+    let mut scale = Scale::from_args(&args);
+    // Ablations are MRIS-only and run many variants; default to a mid-size
+    // point unless overridden.
+    if !args.has("paper") && scale.n_fixed == 16_000 && !args.has("n") {
+        scale.n_fixed = args.get("n", 8_000);
+    }
+    eprintln!(
+        "ablation: N = {}, M = {}, {} samples",
+        scale.n_fixed, scale.machines, scale.samples
+    );
+    let pool = default_trace(&scale);
+    let instances = pool.instances_for(scale.n_fixed, scale.samples);
+    let default = MrisConfig::default();
+
+    run_variants(
+        "Backfilling (Section 5.3)",
+        vec![
+            ("default".into(), default),
+            (
+                "no-backfill (analysis worst case)".into(),
+                MrisConfig {
+                    backfill: false,
+                    ..default
+                },
+            ),
+        ],
+        &instances,
+        scale.machines,
+        &scale,
+    );
+
+    run_variants(
+        "Interval base alpha (Theorem 6.8 requires alpha >= 2)",
+        [2.0, 3.0, 4.0, 8.0]
+            .iter()
+            .map(|&alpha| {
+                let label = if alpha == 2.0 {
+                    "default".to_string()
+                } else {
+                    format!("alpha = {alpha}")
+                };
+                (label, MrisConfig { alpha, ..default })
+            })
+            .collect(),
+        &instances,
+        scale.machines,
+        &scale,
+    );
+
+    run_variants(
+        "CADP epsilon (ratio 8R(1+eps), runtime O(n^2/eps))",
+        [0.1, 0.25, 0.5, 0.75, 0.9]
+            .iter()
+            .map(|&epsilon| {
+                let label = if epsilon == 0.5 {
+                    "default".to_string()
+                } else {
+                    format!("eps = {epsilon}")
+                };
+                (label, MrisConfig { epsilon, ..default })
+            })
+            .collect(),
+        &instances,
+        scale.machines,
+        &scale,
+    );
+
+    run_variants(
+        "Queue heuristic (incl. DRF-inspired SDDF/WSDDF extensions)",
+        SortHeuristic::ALL_EXTENDED
+            .iter()
+            .map(|&heuristic| {
+                let label = if heuristic == SortHeuristic::Wsjf {
+                    "default".to_string()
+                } else {
+                    heuristic.to_string()
+                };
+                (label, MrisConfig { heuristic, ..default })
+            })
+            .collect(),
+        &instances,
+        scale.machines,
+        &scale,
+    );
+}

@@ -1,0 +1,61 @@
+//! Fairness extension experiment (Section 7.5.2 reads Figure 5 as a
+//! fairness story: PQ-class schedulers treat jobs unfairly, as Lemma 4.1
+//! exemplifies).
+//!
+//! Reports Jain's fairness index over per-job slowdowns, plus max and mean
+//! slowdown, for every scheduler on the Azure-like trace.
+//!
+//! `cargo run --release -p mris-bench --bin fairness [--n jobs] [--machines m]`
+
+use mris_bench::{comparison_algorithms, default_trace, Args, Scale};
+use mris_metrics::{fairness_report, Summary, Table};
+
+fn main() {
+    let args = Args::parse();
+    let mut scale = Scale::from_args(&args);
+    if !args.has("n") && !args.has("paper") {
+        scale.n_fixed = 8_000;
+    }
+    eprintln!(
+        "fairness: N = {}, M = {}, {} samples",
+        scale.n_fixed,
+        scale.machines,
+        scale.samples.min(5)
+    );
+    let pool = default_trace(&scale);
+    let instances = pool.instances_for(scale.n_fixed, scale.samples.min(5));
+    let algorithms = comparison_algorithms();
+
+    let mut table = Table::new(vec![
+        "algorithm",
+        "Jain(slowdown)",
+        "max slowdown",
+        "mean slowdown",
+    ]);
+    for algo in &algorithms {
+        let mut jains = Vec::new();
+        let mut maxes = Vec::new();
+        let mut means = Vec::new();
+        for instance in &instances {
+            let schedule = algo.schedule(instance, scale.machines);
+            let report = fairness_report(instance, &schedule);
+            jains.push(report.jains_slowdown);
+            maxes.push(report.max_slowdown);
+            means.push(report.mean_slowdown);
+        }
+        table.push_row(vec![
+            algo.name(),
+            format!("{:.3}", Summary::of(&jains).mean),
+            format!("{:.0}", Summary::of(&maxes).mean),
+            format!("{:.0}", Summary::of(&means).mean),
+        ]);
+        eprintln!("  {}: done", algo.name());
+    }
+
+    println!(
+        "\nFairness of per-job slowdowns (N = {}, M = {}; Jain's index: 1.0 =\n\
+         perfectly even, 1/N = one job absorbs all the slowdown):\n",
+        scale.n_fixed, scale.machines
+    );
+    scale.print_table(&table);
+}

@@ -1,0 +1,58 @@
+//! Figure 1: AWCT of MRIS under different PQ sorting heuristics.
+//!
+//! Expected shape (paper): ERF is clearly worst (ignores size and time),
+//! (W)SDF intermediate (packs but ignores time), (W)SJF and (W)SVF best;
+//! weighted and unweighted variants nearly coincide because the trace's
+//! priority range is small.
+//!
+//! `cargo run --release -p mris-bench --bin fig1 [--paper] [--samples k] ...`
+
+use mris_bench::{awct_summaries, default_trace, mris_with_heuristic, Args, Scale};
+use mris_metrics::Table;
+use mris_schedulers::{Scheduler, SortHeuristic};
+
+fn main() {
+    let scale = Scale::from_args(&Args::parse());
+    eprintln!(
+        "fig1: N sweep {:?}, M = {}, {} samples",
+        scale.n_sweep, scale.machines, scale.samples
+    );
+    let pool = default_trace(&scale);
+
+    let heuristics = [
+        SortHeuristic::Erf,
+        SortHeuristic::Wsdf,
+        SortHeuristic::Sdf,
+        SortHeuristic::Wsjf,
+        SortHeuristic::Sjf,
+        SortHeuristic::Wsvf,
+        SortHeuristic::Svf,
+    ];
+    let algorithms: Vec<Box<dyn Scheduler>> = heuristics
+        .iter()
+        .map(|&h| Box::new(mris_with_heuristic(h)) as Box<dyn Scheduler>)
+        .collect();
+
+    let mut headers = vec!["N".to_string()];
+    headers.extend(heuristics.iter().map(|h| format!("MRIS-{h}")));
+    let mut table = Table::new(headers);
+
+    for &n in &scale.n_sweep {
+        let instances = pool.instances_for(n, scale.samples);
+        let t0 = std::time::Instant::now();
+        let rows = awct_summaries(&algorithms, &instances, scale.machines);
+        let mut cells = vec![n.to_string()];
+        cells.extend(
+            rows.iter()
+                .map(|(_, s)| format!("{:.1} ± {:.1}", s.mean, s.ci95_half_width())),
+        );
+        table.push_row(cells);
+        eprintln!("  N = {n}: done in {:.1?}", t0.elapsed());
+    }
+
+    println!(
+        "\nFigure 1 — AWCT of MRIS under different sorting heuristics (M = {}):\n",
+        scale.machines
+    );
+    scale.print_table(&table);
+}

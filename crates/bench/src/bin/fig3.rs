@@ -1,0 +1,44 @@
+//! Figure 3: effect of job arrival rate on AWCT.
+//!
+//! Sweeps the number of jobs arriving over the fixed release window and
+//! compares MRIS against PQ-WSJF, PQ-WSVF, Tetris, BF-EXEC, and CA-PQ.
+//! Expected shape (paper): at low load MRIS is outperformed by the
+//! event-driven packers; as arrivals grow the cluster saturates and MRIS
+//! wins; the event-driven baselines converge toward the CA-PQ batch
+//! reference.
+//!
+//! `cargo run --release -p mris-bench --bin fig3 [--paper] [--samples k]
+//!  [--machines m] [--sweep a,b,c] [--csv]`
+
+use mris_bench::{awct_summaries, comparison_algorithms, default_trace, Args, Scale};
+use mris_metrics::Table;
+
+fn main() {
+    let scale = Scale::from_args(&Args::parse());
+    eprintln!(
+        "fig3: N sweep {:?}, M = {}, {} samples (base trace {} jobs)",
+        scale.n_sweep, scale.machines, scale.samples, scale.base_jobs
+    );
+    let pool = default_trace(&scale);
+    let algorithms = comparison_algorithms();
+
+    let mut headers = vec!["N".to_string()];
+    headers.extend(algorithms.iter().map(|a| a.name()));
+    let mut table = Table::new(headers);
+
+    for &n in &scale.n_sweep {
+        let instances = pool.instances_for(n, scale.samples);
+        let t0 = std::time::Instant::now();
+        let rows = awct_summaries(&algorithms, &instances, scale.machines);
+        let mut cells = vec![n.to_string()];
+        cells.extend(
+            rows.iter()
+                .map(|(_, s)| format!("{:.1} ± {:.1}", s.mean, s.ci95_half_width())),
+        );
+        table.push_row(cells);
+        eprintln!("  N = {n}: done in {:.1?}", t0.elapsed());
+    }
+
+    println!("\nFigure 3 — AWCT vs number of jobs (M = {}):\n", scale.machines);
+    scale.print_table(&table);
+}

@@ -1,0 +1,51 @@
+//! Figure 4: effect of the number of machines on AWCT at fixed N.
+//!
+//! Expected shape (paper): with few machines (heavy contention) MRIS wins by
+//! up to ~2x over Tetris; with many machines contention vanishes and plain
+//! PQ-WSVF suffices, slightly beating MRIS whose interval construction then
+//! under-utilizes the cluster.
+//!
+//! `cargo run --release -p mris-bench --bin fig4 [--paper] [--n jobs]
+//!  [--machines-sweep a,b,c] [--samples k] [--csv]`
+
+use mris_bench::{awct_summaries, comparison_algorithms, default_trace, Args, Scale};
+use mris_metrics::Table;
+
+fn main() {
+    let args = Args::parse();
+    let scale = Scale::from_args(&args);
+    let default_sweep: &[usize] = if args.has("paper") {
+        &[5, 10, 20, 40, 80]
+    } else {
+        &[2, 3, 5, 10, 20, 40]
+    };
+    let machine_sweep = args.get_list("machines-sweep", default_sweep);
+    eprintln!(
+        "fig4: M sweep {:?}, N = {}, {} samples",
+        machine_sweep, scale.n_fixed, scale.samples
+    );
+    let pool = default_trace(&scale);
+    let instances = pool.instances_for(scale.n_fixed, scale.samples);
+    let algorithms = comparison_algorithms();
+
+    let mut headers = vec!["M".to_string()];
+    headers.extend(algorithms.iter().map(|a| a.name()));
+    let mut table = Table::new(headers);
+    for &m in &machine_sweep {
+        let t0 = std::time::Instant::now();
+        let rows = awct_summaries(&algorithms, &instances, m);
+        let mut cells = vec![m.to_string()];
+        cells.extend(
+            rows.iter()
+                .map(|(_, s)| format!("{:.1} ± {:.1}", s.mean, s.ci95_half_width())),
+        );
+        table.push_row(cells);
+        eprintln!("  M = {m}: done in {:.1?}", t0.elapsed());
+    }
+
+    println!(
+        "\nFigure 4 — AWCT vs number of machines (N = {}):\n",
+        scale.n_fixed
+    );
+    scale.print_table(&table);
+}

@@ -1,0 +1,67 @@
+//! Figure 7: schedules on the synthetic "exercising patience" input.
+//!
+//! One machine; a full-demand blocker of 14 time units arrives at t = 0,
+//! then ~2500 small randomized jobs arrive shortly after. The event-driven
+//! schedulers commit to the blocker and delay every small job by 14 units;
+//! MRIS schedules the small jobs first. Renders each schedule's CPU
+//! utilization over time and reports the AWCT ratio (paper: nearly 3x).
+//!
+//! `cargo run --release -p mris-bench --bin fig7 [--small n] [--csv]`
+
+use mris_bench::Args;
+use mris_core::Mris;
+use mris_metrics::{render_utilization, utilization_profile, Table};
+use mris_schedulers::{BfExec, Pq, Scheduler, SortHeuristic, Tetris};
+use mris_trace::{patience_instance, PatienceConfig};
+
+fn main() {
+    let args = Args::parse();
+    let num_small = args.get("small", 2_500usize);
+    let instance = patience_instance(&PatienceConfig {
+        num_small,
+        ..Default::default()
+    });
+    eprintln!(
+        "fig7: patience scenario with {} jobs on one machine",
+        instance.len()
+    );
+
+    let algorithms: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(Mris::default()),
+        Box::new(Pq::new(SortHeuristic::Wsjf)),
+        Box::new(Tetris::default()),
+        Box::new(BfExec),
+    ];
+
+    let mut results = Vec::new();
+    for algo in &algorithms {
+        let schedule = algo.schedule(&instance, 1);
+        schedule.validate(&instance).expect("feasible schedule");
+        results.push((algo.name(), schedule));
+    }
+
+    let horizon = results
+        .iter()
+        .map(|(_, s)| s.makespan(&instance))
+        .fold(0.0_f64, f64::max)
+        .ceil();
+
+    println!("\nFigure 7 — CPU utilization over [0, {horizon}):\n");
+    for (name, schedule) in &results {
+        let profile = utilization_profile(&instance, schedule, 0, 0, horizon, 72);
+        println!("{name:>12} |{}|", render_utilization(&profile));
+    }
+
+    let mut table = Table::new(vec!["algorithm", "AWCT", "vs MRIS", "blocker start"]);
+    let mris_awct = results[0].1.awct(&instance);
+    for (name, schedule) in &results {
+        table.push_row(vec![
+            name.clone(),
+            format!("{:.3}", schedule.awct(&instance)),
+            format!("{:.2}x", schedule.awct(&instance) / mris_awct),
+            format!("{:.2}", schedule.get(mris_types::JobId(0)).unwrap().start),
+        ]);
+    }
+    println!();
+    print!("{}", table.to_markdown());
+}

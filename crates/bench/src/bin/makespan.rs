@@ -1,0 +1,63 @@
+//! Makespan experiment (Remark 4 / Lemma 6.9): MRIS simultaneously
+//! optimizes makespan, staying within `8R(1+eps)` of the optimum.
+//!
+//! Sweeps N and reports each scheduler's makespan alongside the Lemma 6.2
+//! lower bound `max(V/(R*M), max_j r_j + p_j)`; the `MRIS/LB` column is a
+//! conservative upper bound on MRIS's true makespan ratio.
+//!
+//! `cargo run --release -p mris-bench --bin makespan [--paper] [--samples k] ...`
+
+use mris_bench::{comparison_algorithms, default_trace, Args, Scale};
+use mris_metrics::{makespan_lower_bound, Summary, Table};
+
+fn main() {
+    let scale = Scale::from_args(&Args::parse());
+    eprintln!(
+        "makespan: N sweep {:?}, M = {}, {} samples",
+        scale.n_sweep, scale.machines, scale.samples
+    );
+    let pool = default_trace(&scale);
+    let algorithms = comparison_algorithms();
+
+    let mut headers = vec!["N".to_string(), "LB".to_string()];
+    headers.extend(algorithms.iter().map(|a| a.name()));
+    headers.push("MRIS/LB".to_string());
+    let mut table = Table::new(headers);
+
+    for &n in &scale.n_sweep {
+        let instances = pool.instances_for(n, scale.samples);
+        let lb = Summary::of(
+            &instances
+                .iter()
+                .map(|i| makespan_lower_bound(i, scale.machines))
+                .collect::<Vec<_>>(),
+        );
+        let mut cells = vec![n.to_string(), format!("{:.0}", lb.mean)];
+        let mut mris_mean = 0.0;
+        for (idx, algo) in algorithms.iter().enumerate() {
+            let makespans: Vec<f64> = instances
+                .iter()
+                .map(|inst| algo.schedule(inst, scale.machines).makespan(inst))
+                .collect();
+            let s = Summary::of(&makespans);
+            if idx == 0 {
+                mris_mean = s.mean;
+            }
+            cells.push(format!("{:.0} ± {:.0}", s.mean, s.ci95_half_width()));
+        }
+        cells.push(format!("{:.2}", mris_mean / lb.mean));
+        table.push_row(cells);
+        eprintln!("  N = {n}: done");
+    }
+
+    println!(
+        "\nMakespan (Lemma 6.9) — makespan vs number of jobs (M = {}):\n",
+        scale.machines
+    );
+    scale.print_table(&table);
+    println!(
+        "\nLB = max(V/(R*M), max_j r_j + p_j) (Lemma 6.2). MRIS's proven\n\
+         makespan ceiling is 8R(1+eps) = {:.0}x.",
+        mris_core::MrisConfig::default().competitive_ratio(4)
+    );
+}

@@ -1,0 +1,54 @@
+//! Empirical competitive-ratio estimates: each scheduler's AWCT divided by
+//! a provable lower bound on the optimum (`mris_metrics::awct_lower_bound`).
+//! Because `LB <= OPT`, each reported number *upper-bounds* the true ratio —
+//! observe how far below the proven `8R(1+eps)` ceiling MRIS operates on
+//! realistic traces.
+//!
+//! `cargo run --release -p mris-bench --bin ratios [--paper] [--samples k] ...`
+
+use mris_bench::{comparison_algorithms, default_trace, Args, Scale};
+use mris_core::MrisConfig;
+use mris_metrics::{awct_lower_bound, Summary, Table};
+
+fn main() {
+    let scale = Scale::from_args(&Args::parse());
+    eprintln!(
+        "ratios: N sweep {:?}, M = {}, {} samples",
+        scale.n_sweep, scale.machines, scale.samples
+    );
+    let pool = default_trace(&scale);
+    let algorithms = comparison_algorithms();
+
+    let mut headers = vec!["N".to_string()];
+    headers.extend(algorithms.iter().map(|a| format!("{}/LB", a.name())));
+    let mut table = Table::new(headers);
+
+    for &n in &scale.n_sweep {
+        let instances = pool.instances_for(n, scale.samples);
+        let mut cells = vec![n.to_string()];
+        for algo in &algorithms {
+            let ratios: Vec<f64> = instances
+                .iter()
+                .map(|inst| {
+                    let awct = algo.schedule(inst, scale.machines).awct(inst);
+                    awct / awct_lower_bound(inst, scale.machines)
+                })
+                .collect();
+            let s = Summary::of(&ratios);
+            cells.push(format!("{:.2} ± {:.2}", s.mean, s.ci95_half_width()));
+        }
+        table.push_row(cells);
+        eprintln!("  N = {n}: done");
+    }
+
+    println!(
+        "\nEmpirical AWCT ratio vs provable lower bound (M = {}; values\n\
+         upper-bound the true competitive ratio):\n",
+        scale.machines
+    );
+    scale.print_table(&table);
+    println!(
+        "\nMRIS's proven worst-case ceiling at R = 4: 8R(1+eps) = {:.0}.",
+        MrisConfig::default().competitive_ratio(4)
+    );
+}

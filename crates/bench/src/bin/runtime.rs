@@ -1,0 +1,66 @@
+//! Runtime scaling experiment (Section 5.3's complexity claims).
+//!
+//! Measures wall-clock scheduling time vs N for MRIS-CADP (`O(N^3 / eps)`
+//! worst case), MRIS-GREEDY (`O(N^2 log N)`), and PQ (`O(N^2)`), and
+//! reports the empirical growth exponent between consecutive sweep points
+//! (`log(t2/t1) / log(n2/n1)`). On trace workloads, MRIS's knapsack rarely
+//! hits its worst case — the observed exponents sit well below the bounds.
+//!
+//! `cargo run --release -p mris-bench --bin runtime [--sweep a,b,c]
+//!  [--machines m] [--csv]`
+
+use mris_bench::{default_trace, mris_greedy, Args, Scale};
+use mris_core::Mris;
+use mris_metrics::Table;
+use mris_schedulers::{Pq, Scheduler, SortHeuristic};
+use std::time::Instant;
+
+fn main() {
+    let args = Args::parse();
+    let scale = Scale::from_args(&args);
+    let sweep = args.get_list("sweep", &[1_000, 2_000, 4_000, 8_000, 16_000]);
+    eprintln!("runtime: N sweep {:?}, M = {}", sweep, scale.machines);
+    let pool = default_trace(&scale);
+
+    let algorithms: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(Mris::default()),
+        Box::new(mris_greedy()),
+        Box::new(Pq::new(SortHeuristic::Wsjf)),
+    ];
+
+    let mut headers = vec!["N".to_string()];
+    for algo in &algorithms {
+        headers.push(format!("{} [ms]", algo.name()));
+        headers.push("exp".to_string());
+    }
+    let mut table = Table::new(headers);
+    let mut previous: Vec<Option<(usize, f64)>> = vec![None; algorithms.len()];
+
+    for &n in &sweep {
+        let instance = pool.instances_for(n, 1).remove(0);
+        let mut cells = vec![n.to_string()];
+        for (i, algo) in algorithms.iter().enumerate() {
+            let t0 = Instant::now();
+            let schedule = algo.schedule(&instance, scale.machines);
+            let elapsed = t0.elapsed().as_secs_f64() * 1e3;
+            assert!(schedule.is_complete());
+            let exponent = previous[i]
+                .map(|(pn, pt)| (elapsed / pt).ln() / (n as f64 / pn as f64).ln())
+                .map(|e| format!("{e:.2}"))
+                .unwrap_or_else(|| "-".to_string());
+            previous[i] = Some((n, elapsed));
+            cells.push(format!("{elapsed:.1}"));
+            cells.push(exponent);
+        }
+        table.push_row(cells);
+        eprintln!("  N = {n}: done");
+    }
+
+    println!(
+        "\nRuntime scaling (M = {}; `exp` = empirical growth exponent between\n\
+         consecutive N; Section 5.3 worst-case bounds: MRIS-CADP O(N^3/eps),\n\
+         MRIS-GREEDY O(N^2 log N), PQ O(N^2)):\n",
+        scale.machines
+    );
+    scale.print_table(&table);
+}

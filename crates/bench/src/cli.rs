@@ -1,0 +1,91 @@
+//! Minimal command-line flag parsing for the figure binaries (keeps the
+//! workspace free of an argument-parsing dependency).
+
+use std::collections::HashMap;
+
+/// Parsed `--key value` flags and bare `--switch`es.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Args {
+    /// Parses the process arguments. `--key value` pairs become values;
+    /// `--key` followed by another flag (or nothing) becomes a switch.
+    pub fn parse() -> Self {
+        Self::from_args_iter(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit iterator (testable).
+    pub fn from_args_iter<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut out = Args::default();
+        let mut iter = args.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            let Some(key) = arg.strip_prefix("--") else {
+                panic!("unexpected positional argument: {arg} (flags are --key value)");
+            };
+            match iter.peek() {
+                Some(next) if !next.starts_with("--") => {
+                    let value = iter.next().unwrap();
+                    out.values.insert(key.to_string(), value);
+                }
+                _ => out.switches.push(key.to_string()),
+            }
+        }
+        out
+    }
+
+    /// The value of `--key`, parsed, or `default`.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T
+    where
+        T::Err: std::fmt::Debug,
+    {
+        self.values
+            .get(key)
+            .map(|v| v.parse().unwrap_or_else(|e| panic!("--{key}: {e:?}")))
+            .unwrap_or(default)
+    }
+
+    /// Whether the bare switch `--key` was given.
+    pub fn has(&self, key: &str) -> bool {
+        self.switches.iter().any(|s| s == key)
+    }
+
+    /// Comma-separated list value of `--key`, or `default`.
+    pub fn get_list(&self, key: &str, default: &[usize]) -> Vec<usize> {
+        match self.values.get(key) {
+            Some(v) => v
+                .split(',')
+                .map(|x| x.trim().parse().unwrap_or_else(|e| panic!("--{key}: {e:?}")))
+                .collect(),
+            None => default.to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Args {
+        Args::from_args_iter(s.iter().map(|x| x.to_string()))
+    }
+
+    #[test]
+    fn parses_values_and_switches() {
+        let a = args(&["--samples", "5", "--paper", "--machines", "20"]);
+        assert_eq!(a.get("samples", 10usize), 5);
+        assert_eq!(a.get("machines", 5usize), 20);
+        assert_eq!(a.get("factor", 64usize), 64);
+        assert!(a.has("paper"));
+        assert!(!a.has("csv"));
+    }
+
+    #[test]
+    fn parses_lists() {
+        let a = args(&["--sweep", "100, 200,300"]);
+        assert_eq!(a.get_list("sweep", &[1]), vec![100, 200, 300]);
+        assert_eq!(a.get_list("other", &[7, 8]), vec![7, 8]);
+    }
+}

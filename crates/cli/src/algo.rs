@@ -1,0 +1,93 @@
+//! Algorithm registry: name → scheduler.
+
+use mris_core::{KnapsackChoice, Mris, MrisConfig};
+use mris_schedulers::{BfExec, CaPq, Pq, Scheduler, SortHeuristic, Tetris};
+
+/// Names accepted by [`algorithm_by_name`], with a short description each.
+pub fn known_algorithms() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("mris", "MRIS with CADP knapsack and WSJF order (the paper's default)"),
+        ("mris-greedy", "MRIS with the Remark 1 constraint greedy (16R-competitive)"),
+        ("mris-<heuristic>", "MRIS with another queue order, e.g. mris-wsvf"),
+        ("pq-<heuristic>", "Priority-Queue, e.g. pq-wsjf, pq-svf, pq-erf"),
+        ("tetris", "non-preemptive Tetris adaptation"),
+        ("bf-exec", "BF-EXEC (best fit on arrival, SJF backfill on departure)"),
+        ("ca-pq", "Collect-All PQ (waits for the last release, then WSJF)"),
+    ]
+}
+
+/// Resolves an algorithm name (case-insensitive). Heuristic suffixes accept
+/// every [`SortHeuristic`] label, e.g. `pq-wsvf` or `mris-sjf`.
+pub fn algorithm_by_name(name: &str) -> Result<Box<dyn Scheduler>, String> {
+    let lower = name.to_ascii_lowercase();
+    match lower.as_str() {
+        "mris" => return Ok(Box::new(Mris::default())),
+        "mris-greedy" => {
+            return Ok(Box::new(Mris::with_config(MrisConfig {
+                knapsack: KnapsackChoice::Greedy,
+                ..Default::default()
+            })))
+        }
+        "tetris" => return Ok(Box::new(Tetris::default())),
+        "bf-exec" | "bfexec" => return Ok(Box::new(BfExec)),
+        "ca-pq" | "capq" => return Ok(Box::new(CaPq::default())),
+        _ => {}
+    }
+    if let Some(suffix) = lower.strip_prefix("pq-") {
+        let heuristic: SortHeuristic = suffix.parse()?;
+        return Ok(Box::new(Pq::new(heuristic)));
+    }
+    if let Some(suffix) = lower.strip_prefix("mris-") {
+        let heuristic: SortHeuristic = suffix.parse()?;
+        return Ok(Box::new(Mris::with_config(MrisConfig {
+            heuristic,
+            ..Default::default()
+        })));
+    }
+    Err(format!(
+        "unknown algorithm '{name}'; known: {}",
+        known_algorithms()
+            .iter()
+            .map(|(n, _)| *n)
+            .collect::<Vec<_>>()
+            .join(", ")
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolves_all_documented_names() {
+        for name in ["mris", "mris-greedy", "tetris", "bf-exec", "ca-pq"] {
+            assert!(algorithm_by_name(name).is_ok(), "{name}");
+        }
+        assert_eq!(algorithm_by_name("pq-wsjf").unwrap().name(), "PQ-WSJF");
+        assert_eq!(algorithm_by_name("PQ-SVF").unwrap().name(), "PQ-SVF");
+        assert_eq!(algorithm_by_name("mris-erf").unwrap().name(), "MRIS-ERF");
+    }
+
+    #[test]
+    fn rejects_unknown_names() {
+        assert!(algorithm_by_name("sjf-first").is_err());
+        assert!(algorithm_by_name("pq-nope").is_err());
+    }
+
+    #[test]
+    fn every_heuristic_suffix_resolves() {
+        use mris_schedulers::SortHeuristic;
+        for h in SortHeuristic::ALL_EXTENDED {
+            let pq = algorithm_by_name(&format!("pq-{}", h.label())).unwrap();
+            assert_eq!(pq.name(), format!("PQ-{h}"));
+            let mris = algorithm_by_name(&format!("mris-{}", h.label())).unwrap();
+            assert_eq!(mris.name(), format!("MRIS-{h}"));
+        }
+    }
+
+    #[test]
+    fn error_lists_known_algorithms() {
+        let err = algorithm_by_name("whatever").err().expect("must fail");
+        assert!(err.contains("mris") && err.contains("tetris"), "{err}");
+    }
+}

@@ -1,0 +1,377 @@
+//! Subcommand implementations.
+
+use std::path::PathBuf;
+
+use mris_metrics::{awct_lower_bound, Cdf, Table};
+use mris_trace::{instance_to_csv, parse_instance_csv, AzureTrace, AzureTraceConfig};
+use mris_types::Instance;
+
+use crate::algo::{algorithm_by_name, known_algorithms};
+use crate::schedule_io::{parse_schedule_csv, schedule_to_csv};
+
+/// A CLI failure: message for the user, non-zero exit.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<String> for CliError {
+    fn from(s: String) -> Self {
+        CliError(s)
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError(format!("i/o error: {e}"))
+    }
+}
+
+fn usage() -> String {
+    let mut s = String::from(
+        "mris — online non-preemptive multi-resource scheduling (ICPP'24 reproduction)\n\n\
+         USAGE:\n\
+         \x20 mris generate --jobs N [--seed S] [--out trace.csv]\n\
+         \x20 mris schedule --trace trace.csv --algo NAME --machines M [--out schedule.csv]\n\
+         \x20 mris compare --trace trace.csv --machines M [--algos a,b,c]\n\
+         \x20 mris validate --trace trace.csv --schedule schedule.csv --machines M\n\n\
+         ALGORITHMS:\n",
+    );
+    for (name, desc) in known_algorithms() {
+        s.push_str(&format!("  {name:<16} {desc}\n"));
+    }
+    s
+}
+
+struct Flags {
+    pairs: Vec<(String, String)>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Flags, CliError> {
+        let mut pairs = Vec::new();
+        let mut iter = args.iter();
+        while let Some(arg) = iter.next() {
+            let key = arg
+                .strip_prefix("--")
+                .ok_or_else(|| CliError(format!("expected a --flag, found '{arg}'\n\n{}", usage())))?;
+            let value = iter
+                .next()
+                .ok_or_else(|| CliError(format!("--{key} requires a value")))?;
+            pairs.push((key.to_string(), value.clone()));
+        }
+        Ok(Flags { pairs })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn require(&self, key: &str) -> Result<&str, CliError> {
+        self.get(key)
+            .ok_or_else(|| CliError(format!("missing required flag --{key}")))
+    }
+
+    fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.get(key) {
+            Some(v) => v
+                .parse()
+                .map_err(|e| CliError(format!("--{key}: {e}"))),
+            None => Ok(default),
+        }
+    }
+}
+
+fn load_instance(path: &str) -> Result<Instance, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
+    parse_instance_csv(&text).map_err(|e| CliError(format!("{path}: {e}")))
+}
+
+/// Entry point: dispatches `args` (without the program name) and returns the
+/// text to print on success.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let Some((command, rest)) = args.split_first() else {
+        return Err(CliError(usage()));
+    };
+    match command.as_str() {
+        "generate" => generate(&Flags::parse(rest)?),
+        "schedule" => schedule(&Flags::parse(rest)?),
+        "compare" => compare(&Flags::parse(rest)?),
+        "validate" => validate(&Flags::parse(rest)?),
+        "help" | "--help" | "-h" => Ok(usage()),
+        other => Err(CliError(format!("unknown command '{other}'\n\n{}", usage()))),
+    }
+}
+
+fn generate(flags: &Flags) -> Result<String, CliError> {
+    let jobs: usize = flags.get_parsed("jobs", 10_000)?;
+    let seed: u64 = flags.get_parsed("seed", 0xA207_2024)?;
+    let factor: usize = flags.get_parsed("factor", 1)?;
+    let offset: usize = flags.get_parsed("offset", 0)?;
+    let trace = AzureTrace::generate(&AzureTraceConfig {
+        num_jobs: jobs * factor,
+        seed,
+        ..Default::default()
+    });
+    let instance = trace.sample_instance(factor, offset.min(factor.saturating_sub(1)));
+    let csv = instance_to_csv(&instance);
+    match flags.get("out") {
+        Some(path) => {
+            std::fs::write(PathBuf::from(path), &csv)?;
+            Ok(format!(
+                "wrote {} jobs x {} resources to {path}\n",
+                instance.len(),
+                instance.num_resources()
+            ))
+        }
+        None => Ok(csv),
+    }
+}
+
+fn schedule(flags: &Flags) -> Result<String, CliError> {
+    let instance = load_instance(flags.require("trace")?)?;
+    let machines: usize = flags.get_parsed("machines", 20)?;
+    let algo = algorithm_by_name(flags.require("algo")?)?;
+    let schedule = algo.schedule(&instance, machines);
+    schedule
+        .validate(&instance)
+        .map_err(|e| CliError(format!("internal error: produced invalid schedule: {e}")))?;
+    let mut report = format!(
+        "# algorithm: {}\n# machines: {machines}\n# AWCT: {:.6}\n# makespan: {:.6}\n",
+        algo.name(),
+        schedule.awct(&instance),
+        schedule.makespan(&instance)
+    );
+    let csv = schedule_to_csv(&schedule);
+    match flags.get("out") {
+        Some(path) => {
+            std::fs::write(PathBuf::from(path), format!("{report}{csv}"))?;
+            Ok(format!(
+                "scheduled {} jobs with {}; AWCT = {:.3}; wrote {path}\n",
+                instance.len(),
+                algo.name(),
+                schedule.awct(&instance)
+            ))
+        }
+        None => {
+            report.push_str(&csv);
+            Ok(report)
+        }
+    }
+}
+
+fn compare(flags: &Flags) -> Result<String, CliError> {
+    let instance = load_instance(flags.require("trace")?)?;
+    let machines: usize = flags.get_parsed("machines", 20)?;
+    let names = flags
+        .get("algos")
+        .unwrap_or("mris,pq-wsjf,tetris,bf-exec,ca-pq");
+    let lb = awct_lower_bound(&instance, machines);
+    let mut table = Table::new(vec![
+        "algorithm",
+        "AWCT",
+        "AWCT/LB",
+        "makespan",
+        "median delay",
+        "zero-delay",
+    ]);
+    for name in names.split(',') {
+        let algo = algorithm_by_name(name.trim())?;
+        let schedule = algo.schedule(&instance, machines);
+        schedule
+            .validate(&instance)
+            .map_err(|e| CliError(format!("{}: invalid schedule: {e}", algo.name())))?;
+        let cdf = Cdf::new(schedule.queuing_delays(&instance));
+        table.push_row(vec![
+            algo.name(),
+            format!("{:.1}", schedule.awct(&instance)),
+            format!("{:.2}", schedule.awct(&instance) / lb),
+            format!("{:.1}", schedule.makespan(&instance)),
+            format!("{:.1}", cdf.quantile(0.5)),
+            format!("{:.0}%", cdf.fraction_zero() * 100.0),
+        ]);
+    }
+    Ok(format!(
+        "{} jobs, {} resources, {machines} machines (AWCT/LB upper-bounds the true ratio)\n\n{}",
+        instance.len(),
+        instance.num_resources(),
+        table.to_markdown()
+    ))
+}
+
+fn validate(flags: &Flags) -> Result<String, CliError> {
+    let instance = load_instance(flags.require("trace")?)?;
+    let machines: usize = flags.get_parsed("machines", 20)?;
+    let path = flags.require("schedule")?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
+    let schedule = parse_schedule_csv(&text, instance.len(), machines)
+        .map_err(|e| CliError(format!("{path}: {e}")))?;
+    match schedule.validate(&instance) {
+        Ok(()) => Ok(format!(
+            "OK: feasible schedule\nAWCT     = {:.6}\nmakespan = {:.6}\nmean delay = {:.6}\n",
+            schedule.awct(&instance),
+            schedule.makespan(&instance),
+            schedule.queuing_delays(&instance).iter().sum::<f64>() / instance.len().max(1) as f64,
+        )),
+        Err(e) => Err(CliError(format!("INFEASIBLE: {e}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("mris_cli_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn s(args: &[&str]) -> Vec<String> {
+        args.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn generate_schedule_validate_pipeline() {
+        let trace_path = tmp("pipeline_trace.csv");
+        let sched_path = tmp("pipeline_schedule.csv");
+        let out = run(&s(&[
+            "generate",
+            "--jobs",
+            "300",
+            "--out",
+            trace_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("300 jobs"));
+
+        let out = run(&s(&[
+            "schedule",
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--algo",
+            "mris",
+            "--machines",
+            "4",
+            "--out",
+            sched_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("MRIS-WSJF"), "{out}");
+
+        let out = run(&s(&[
+            "validate",
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--schedule",
+            sched_path.to_str().unwrap(),
+            "--machines",
+            "4",
+        ]))
+        .unwrap();
+        assert!(out.starts_with("OK"), "{out}");
+    }
+
+    #[test]
+    fn compare_prints_table() {
+        let trace_path = tmp("compare_trace.csv");
+        run(&s(&[
+            "generate",
+            "--jobs",
+            "200",
+            "--out",
+            trace_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let out = run(&s(&[
+            "compare",
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--machines",
+            "3",
+            "--algos",
+            "mris,pq-wsjf",
+        ]))
+        .unwrap();
+        assert!(out.contains("MRIS-WSJF") && out.contains("PQ-WSJF"), "{out}");
+        assert!(out.contains("AWCT/LB"));
+    }
+
+    #[test]
+    fn helpful_errors() {
+        assert!(run(&s(&["bogus"])).is_err());
+        assert!(run(&[]).is_err());
+        let err = run(&s(&["schedule", "--algo", "mris"])).unwrap_err();
+        assert!(err.0.contains("--trace"), "{err}");
+        let err = run(&s(&["schedule", "--trace", "/nonexistent", "--algo", "mris"]))
+            .unwrap_err();
+        assert!(err.0.contains("cannot read"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_tampered_schedule() {
+        let trace_path = tmp("tamper_trace.csv");
+        let sched_path = tmp("tamper_schedule.csv");
+        run(&s(&[
+            "generate",
+            "--jobs",
+            "50",
+            "--out",
+            trace_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&s(&[
+            "schedule",
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--algo",
+            "pq-wsjf",
+            "--machines",
+            "2",
+            "--out",
+            sched_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        // Move every start to zero: releases are violated.
+        let text = std::fs::read_to_string(&sched_path).unwrap();
+        let tampered: String = text
+            .lines()
+            .map(|l| {
+                if l.starts_with('#') || l.starts_with("job") {
+                    l.to_string()
+                } else {
+                    let mut parts: Vec<&str> = l.split(',').collect();
+                    parts[2] = "0";
+                    parts.join(",")
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        std::fs::write(&sched_path, tampered).unwrap();
+        let err = run(&s(&[
+            "validate",
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--schedule",
+            sched_path.to_str().unwrap(),
+            "--machines",
+            "2",
+        ]))
+        .unwrap_err();
+        assert!(err.0.contains("INFEASIBLE"), "{err}");
+    }
+}

@@ -1,0 +1,24 @@
+//! Library backing the `mris` command-line tool.
+//!
+//! Subcommands:
+//!
+//! * `mris generate` — write an Azure-like synthetic trace to CSV.
+//! * `mris schedule` — schedule a CSV trace with any algorithm in the
+//!   library and write the resulting assignments to CSV.
+//! * `mris compare` — run several algorithms on a trace and print an
+//!   AWCT/makespan/delay comparison table.
+//! * `mris validate` — check a schedule CSV against its trace for
+//!   feasibility and report its objective values.
+//!
+//! The logic lives here (testable); `main.rs` is a thin wrapper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod algo;
+mod commands;
+mod schedule_io;
+
+pub use algo::{algorithm_by_name, known_algorithms};
+pub use commands::{run, CliError};
+pub use schedule_io::{parse_schedule_csv, schedule_to_csv};

@@ -1,0 +1,12 @@
+//! `mris` — the command-line front end. See `mris help`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match mris_cli::run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! CSV serialization of schedules (`job,machine,start` rows).
+
+use mris_types::{JobId, Schedule};
+
+/// Serializes a schedule as `job,machine,start` CSV with a header.
+pub fn schedule_to_csv(schedule: &Schedule) -> String {
+    let mut out = String::from("job,machine,start\n");
+    for a in schedule.assignments() {
+        out.push_str(&format!("{},{},{}\n", a.job.0, a.machine, a.start));
+    }
+    out
+}
+
+/// Parses a schedule CSV produced by [`schedule_to_csv`] (header optional).
+/// `num_jobs` and `num_machines` size the schedule; missing jobs stay
+/// unassigned (validation will flag them).
+pub fn parse_schedule_csv(
+    text: &str,
+    num_jobs: usize,
+    num_machines: usize,
+) -> Result<Schedule, String> {
+    let mut schedule = Schedule::new(num_jobs, num_machines);
+    let mut seen_data = false;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        if !seen_data && fields[0].parse::<u32>().is_err() {
+            continue; // header (possibly after leading comment lines)
+        }
+        seen_data = true;
+        if fields.len() != 3 {
+            return Err(format!("line {}: expected 3 fields", lineno + 1));
+        }
+        let job: u32 = fields[0]
+            .parse()
+            .map_err(|e| format!("line {}: job: {e}", lineno + 1))?;
+        let machine: usize = fields[1]
+            .parse()
+            .map_err(|e| format!("line {}: machine: {e}", lineno + 1))?;
+        let start: f64 = fields[2]
+            .parse()
+            .map_err(|e| format!("line {}: start: {e}", lineno + 1))?;
+        schedule
+            .assign(JobId(job), machine, start)
+            .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+    }
+    Ok(schedule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut s = Schedule::new(3, 2);
+        s.assign(JobId(0), 1, 2.5).unwrap();
+        s.assign(JobId(1), 0, 0.0).unwrap();
+        s.assign(JobId(2), 1, 7.25).unwrap();
+        let csv = schedule_to_csv(&s);
+        let back = parse_schedule_csv(&csv, 3, 2).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn rejects_double_assignment_and_bad_fields() {
+        assert!(parse_schedule_csv("0,0,1.0\n0,1,2.0\n", 2, 2).is_err());
+        assert!(parse_schedule_csv("0,0\n", 1, 1).is_err());
+        assert!(parse_schedule_csv("0,zero,1\n", 1, 1).is_err());
+    }
+
+    #[test]
+    fn header_and_comments_skipped() {
+        let s = parse_schedule_csv("job,machine,start\n# c\n0,0,1.0\n", 1, 1).unwrap();
+        assert_eq!(s.get(JobId(0)).unwrap().start, 1.0);
+    }
+}

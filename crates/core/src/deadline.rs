@@ -1,0 +1,209 @@
+//! Deadline-constrained weight maximization (the paper's second
+//! future-work direction, Section 8: "A scheduler that jointly maximizes
+//! the total weight given a deadline can also be considered").
+//!
+//! Given a batch of released jobs and a deadline `D`, select a subset of
+//! maximum weight that is **guaranteed** to complete within `D`, and
+//! schedule it. The guarantee composes the paper's own machinery:
+//!
+//! * only jobs with `p_j <= D/2` are eligible (Lemma 6.3's `2 p_max` term);
+//! * the knapsack volume budget is `zeta = M * D / (2 * (1 + eps))`, so the
+//!   CADP selection's volume is at most `M * D / 2` (Lemma 6.1);
+//! * Priority-Queue placement then finishes by
+//!   `max(2 p_max, 2 V / M) <= D` (Lemma 6.3).
+//!
+//! The selection's weight is at least the optimal knapsack weight at the
+//! reduced budget `zeta`. Since any set completable by `D` has volume at
+//! most `R * M * D` (Lemma 6.2), the scheme is a *bi-criteria*
+//! approximation: it matches or beats every adversary restricted to
+//! `2R(1 + eps)` times less volume. An exact weight guarantee against the
+//! unrestricted deadline-optimum would require solving the NP-hard
+//! scheduling problem itself.
+
+use mris_knapsack::{Cadp, Item, KnapsackSolver};
+use mris_sim::ClusterTimelines;
+use mris_types::{Instance, JobId, Schedule, Time};
+
+use crate::backfill::place_batch;
+
+/// Outcome of [`max_weight_by_deadline`].
+#[derive(Debug, Clone)]
+pub struct DeadlineSelection {
+    /// The selected jobs, in instance order.
+    pub selected: Vec<JobId>,
+    /// Their total weight.
+    pub weight: f64,
+    /// A schedule of exactly the selected jobs (other jobs unassigned),
+    /// with every completion at or before the deadline.
+    pub schedule: Schedule,
+    /// The latest completion among selected jobs (0 if none).
+    pub makespan: Time,
+}
+
+/// Selects a maximum-weight deadline-feasible subset of `batch` (released
+/// jobs, scheduled from time 0) and schedules it on `machines` empty
+/// machines so that every selected job completes by `deadline`.
+///
+/// `epsilon` is the CADP constraint-approximation parameter in `(0, 1)`.
+/// Panics if `deadline <= 0` or `epsilon` is out of range.
+pub fn max_weight_by_deadline(
+    instance: &Instance,
+    machines: usize,
+    batch: &[JobId],
+    deadline: Time,
+    epsilon: f64,
+) -> DeadlineSelection {
+    assert!(deadline > 0.0 && deadline.is_finite());
+    assert!(machines > 0);
+    // Eligibility: the 2*p_max term of Lemma 6.3 must stay within D.
+    let eligible: Vec<JobId> = batch
+        .iter()
+        .copied()
+        .filter(|&j| instance.job(j).proc_time <= deadline / 2.0)
+        .collect();
+
+    // Volume budget such that CADP's (1 + eps) overshoot still satisfies
+    // 2 V / M <= D.
+    let zeta = machines as f64 * deadline / (2.0 * (1.0 + epsilon));
+    let items: Vec<Item> = eligible
+        .iter()
+        .map(|&j| {
+            let job = instance.job(j);
+            Item::new(job.weight, job.volume())
+        })
+        .collect();
+    let solution = Cadp::new(epsilon).solve(&items, zeta);
+    let mut selected: Vec<JobId> = solution.selected.iter().map(|&i| eligible[i]).collect();
+    selected.sort_unstable();
+
+    // Place with the PQ makespan subroutine (shortest-job order, though any
+    // order satisfies the Lemma 6.3 bound).
+    let mut order = selected.clone();
+    order.sort_by(|&a, &b| {
+        instance
+            .job(a)
+            .proc_time
+            .total_cmp(&instance.job(b).proc_time)
+            .then(a.cmp(&b))
+    });
+    let mut timelines = ClusterTimelines::new(machines, instance.num_resources());
+    let placements = place_batch(&mut timelines, instance, &order, 0.0);
+
+    let mut schedule = Schedule::new(instance.len(), machines);
+    let mut makespan: Time = 0.0;
+    for &(j, m, start) in &placements {
+        schedule.assign(j, m, start).expect("each job placed once");
+        makespan = makespan.max(start + instance.job(j).proc_time);
+    }
+    debug_assert!(
+        makespan <= deadline + 1e-9,
+        "Lemma 6.3 guarantee violated: {makespan} > {deadline}"
+    );
+    DeadlineSelection {
+        weight: solution.weight,
+        selected,
+        schedule,
+        makespan,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mris_types::Job;
+
+    fn inst(jobs: Vec<Job>, r: usize) -> Instance {
+        Instance::from_unnumbered(jobs, r).unwrap()
+    }
+
+    fn ids(instance: &Instance) -> Vec<JobId> {
+        instance.jobs().iter().map(|j| j.id).collect()
+    }
+
+    #[test]
+    fn completes_selection_within_deadline() {
+        let jobs: Vec<Job> = (0..20)
+            .map(|i| {
+                Job::from_fractions(
+                    JobId(0),
+                    0.0,
+                    1.0 + (i % 4) as f64,
+                    1.0 + (i % 3) as f64,
+                    &[0.2 + 0.05 * (i % 5) as f64, 0.3],
+                )
+            })
+            .collect();
+        let instance = inst(jobs, 2);
+        for deadline in [2.0, 5.0, 10.0, 50.0] {
+            let sel = max_weight_by_deadline(&instance, 2, &ids(&instance), deadline, 0.5);
+            assert!(
+                sel.makespan <= deadline + 1e-9,
+                "deadline {deadline}: makespan {}",
+                sel.makespan
+            );
+            // Every selected job is actually assigned; others are not.
+            for job in instance.jobs() {
+                assert_eq!(
+                    sel.schedule.get(job.id).is_some(),
+                    sel.selected.contains(&job.id)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn weight_is_monotone_in_deadline() {
+        let jobs: Vec<Job> = (0..15)
+            .map(|i| {
+                Job::from_fractions(JobId(0), 0.0, 1.0 + (i % 3) as f64, 1.0, &[0.25, 0.25])
+            })
+            .collect();
+        let instance = inst(jobs, 2);
+        let mut last = -1.0;
+        for deadline in [2.0, 4.0, 8.0, 16.0, 64.0] {
+            let sel = max_weight_by_deadline(&instance, 1, &ids(&instance), deadline, 0.5);
+            assert!(
+                sel.weight >= last - 1e-9,
+                "weight dropped at deadline {deadline}"
+            );
+            last = sel.weight;
+        }
+        // A generous deadline takes everything.
+        assert!((last - instance.total_weight()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn long_jobs_are_never_selected() {
+        let jobs = vec![
+            Job::from_fractions(JobId(0), 0.0, 10.0, 100.0, &[0.1]),
+            Job::from_fractions(JobId(0), 0.0, 1.0, 1.0, &[0.1]),
+        ];
+        let instance = inst(jobs, 1);
+        let sel = max_weight_by_deadline(&instance, 1, &ids(&instance), 4.0, 0.5);
+        // The heavy job has p > D/2: ineligible despite its weight.
+        assert_eq!(sel.selected, vec![JobId(1)]);
+    }
+
+    #[test]
+    fn schedule_is_feasible_when_selection_is_total() {
+        let jobs: Vec<Job> = (0..8)
+            .map(|_| Job::from_fractions(JobId(0), 0.0, 1.0, 1.0, &[0.4]))
+            .collect();
+        let instance = inst(jobs, 1);
+        let sel = max_weight_by_deadline(&instance, 2, &ids(&instance), 100.0, 0.5);
+        assert_eq!(sel.selected.len(), 8);
+        sel.schedule.validate(&instance).unwrap();
+    }
+
+    #[test]
+    fn empty_batch_and_tight_deadline() {
+        let jobs = vec![Job::from_fractions(JobId(0), 0.0, 5.0, 1.0, &[0.5])];
+        let instance = inst(jobs, 1);
+        let sel = max_weight_by_deadline(&instance, 1, &[], 10.0, 0.5);
+        assert!(sel.selected.is_empty());
+        // Deadline too tight for the only job (p > D/2).
+        let sel = max_weight_by_deadline(&instance, 1, &ids(&instance), 6.0, 0.5);
+        assert!(sel.selected.is_empty());
+        assert_eq!(sel.makespan, 0.0);
+    }
+}

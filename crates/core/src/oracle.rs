@@ -1,0 +1,127 @@
+//! Small-instance oracle: the best *list schedule* over all job
+//! permutations.
+//!
+//! Computing the true offline optimum is NP-hard (Section 1 of the paper),
+//! but for tiny instances an exhaustive search over priority orders — each
+//! placed with earliest-fit list scheduling — yields a feasible schedule
+//! whose objective tightly **upper-bounds** OPT. The theory tests use it to
+//! sharpen the Theorem 6.8 ceiling check: `AWCT(MRIS) <= 8R(1+eps) * OPT
+//! <= 8R(1+eps) * best_list_schedule(...)`.
+//!
+//! Note the oracle is *not* OPT itself: optimal schedules may idle
+//! deliberately in ways no list order expresses. It is a strictly tighter
+//! stand-in than any single heuristic's schedule.
+
+use mris_sim::ClusterTimelines;
+use mris_types::{Instance, JobId, Schedule, Time};
+
+/// Returns the minimum-AWCT list schedule over **all permutations** of the
+/// instance's jobs (each permutation placed greedily: every job at its
+/// earliest feasible start `>= r_j`, in order, on the earliest machine).
+///
+/// Complexity `O(N! * N * M * segments)` — panics for `N > 9`.
+pub fn best_list_schedule(instance: &Instance, machines: usize) -> Schedule {
+    assert!(
+        instance.len() <= 9,
+        "best_list_schedule is exhaustive; use <= 9 jobs"
+    );
+    let mut order: Vec<JobId> = instance.jobs().iter().map(|j| j.id).collect();
+    let mut best: Option<(f64, Schedule)> = None;
+    permute(&mut order, 0, &mut |perm| {
+        let schedule = list_schedule(instance, machines, perm);
+        let awct = schedule.awct(instance);
+        if best.as_ref().is_none_or(|(b, _)| awct < *b) {
+            best = Some((awct, schedule));
+        }
+    });
+    best.expect("non-empty instance").1
+}
+
+/// Places jobs in the given order, each at its earliest feasible start at or
+/// after its release (list scheduling with backfilling).
+pub fn list_schedule(instance: &Instance, machines: usize, order: &[JobId]) -> Schedule {
+    let mut timelines = ClusterTimelines::new(machines, instance.num_resources());
+    let mut schedule = Schedule::new(instance.len(), machines);
+    for &id in order {
+        let job = instance.job(id);
+        let (m, start): (usize, Time) = timelines.place_earliest(job, job.release);
+        schedule.assign(id, m, start).expect("each job placed once");
+    }
+    schedule
+}
+
+/// Heap's algorithm, calling `visit` for each permutation of `items`.
+fn permute<T, F: FnMut(&[T])>(items: &mut [T], k: usize, visit: &mut F) {
+    let n = items.len();
+    if k == n {
+        visit(items);
+        return;
+    }
+    for i in k..n {
+        items.swap(k, i);
+        permute(items, k + 1, visit);
+        items.swap(k, i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mris_types::Job;
+
+    fn inst(jobs: Vec<Job>, r: usize) -> Instance {
+        Instance::from_unnumbered(jobs, r).unwrap()
+    }
+
+    #[test]
+    fn oracle_skips_the_lemma_4_1_blocker() {
+        // 1 machine: blocker (p=5, d=1) at t=0; 4 small jobs at t=0.1. The
+        // best list order runs the small jobs first.
+        let mut jobs = vec![Job::from_fractions(JobId(0), 0.0, 5.0, 1.0, &[1.0])];
+        for _ in 0..4 {
+            jobs.push(Job::from_fractions(JobId(0), 0.1, 1.0, 1.0, &[0.25]));
+        }
+        let instance = inst(jobs, 1);
+        let best = best_list_schedule(&instance, 1);
+        best.validate(&instance).unwrap();
+        // Small jobs at 0.1, blocker at 1.1: AWCT = (6.1 + 4 * 1.1) / 5.
+        assert!((best.awct(&instance) - (6.1 + 4.0 * 1.1) / 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn oracle_beats_every_single_heuristic() {
+        use mris_schedulers::{Pq, Scheduler, SortHeuristic};
+        let jobs = vec![
+            Job::from_fractions(JobId(0), 0.0, 3.0, 1.0, &[0.9, 0.1]),
+            Job::from_fractions(JobId(0), 0.5, 1.0, 4.0, &[0.3, 0.8]),
+            Job::from_fractions(JobId(0), 1.0, 2.0, 2.0, &[0.5, 0.5]),
+            Job::from_fractions(JobId(0), 1.5, 1.0, 1.0, &[0.2, 0.9]),
+        ];
+        let instance = inst(jobs, 2);
+        let best = best_list_schedule(&instance, 1).awct(&instance);
+        for h in SortHeuristic::ALL {
+            let s = Pq::new(h).schedule(&instance, 1);
+            assert!(best <= s.awct(&instance) + 1e-9, "{h}");
+        }
+    }
+
+    #[test]
+    fn single_job_is_trivial() {
+        let instance = inst(
+            vec![Job::from_fractions(JobId(0), 2.0, 1.0, 1.0, &[0.5])],
+            1,
+        );
+        let best = best_list_schedule(&instance, 3);
+        assert_eq!(best.get(JobId(0)).unwrap().start, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exhaustive")]
+    fn rejects_large_instances() {
+        let jobs = (0..10)
+            .map(|_| Job::from_fractions(JobId(0), 0.0, 1.0, 1.0, &[0.1]))
+            .collect();
+        let instance = inst(jobs, 1);
+        let _ = best_list_schedule(&instance, 1);
+    }
+}

@@ -1,0 +1,185 @@
+//! Greedy knapsack solvers (Remark 1 of the paper).
+//!
+//! Both sort items by non-increasing density `w_j / v_j` and take the prefix
+//! that fits. They differ in how they treat the first item `k` that does not
+//! fit:
+//!
+//! * [`GreedyHalf`] outputs the better of `{1..k-1}` and `{k}` — the classic
+//!   1/2-approximation that *respects* the capacity.
+//! * [`GreedyConstraint`] outputs `{1..k-1} ∪ {k}` — at least the optimal
+//!   weight (it dominates the fractional relaxation) using at most twice the
+//!   capacity. This is the `O(n log n)` subroutine behind `MRIS-GREEDY`.
+
+use crate::{assert_valid_items, Item, KnapsackSolver, Solution};
+
+/// Indices sorted by non-increasing density `weight / size`; zero-size items
+/// (infinite density) first, zero-weight items excluded entirely.
+fn density_order(items: &[Item]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..items.len())
+        .filter(|&i| items[i].weight > 0.0)
+        .collect();
+    order.sort_by(|&a, &b| {
+        let da = density(items[a]);
+        let db = density(items[b]);
+        db.total_cmp(&da).then(a.cmp(&b))
+    });
+    order
+}
+
+fn density(item: Item) -> f64 {
+    if item.size == 0.0 {
+        f64::INFINITY
+    } else {
+        item.weight / item.size
+    }
+}
+
+/// The greedy prefix: items taken while they fit, plus (separately) the first
+/// item that failed to fit, restricted to items that individually fit.
+fn greedy_prefix(items: &[Item], capacity: f64) -> (Vec<usize>, Option<usize>) {
+    let mut taken = Vec::new();
+    let mut used = 0.0;
+    for i in density_order(items) {
+        if items[i].size > capacity {
+            // Items larger than the whole knapsack cannot be part of any
+            // optimal (capacity-respecting) solution; skipping them keeps the
+            // constraint variant within 2 * capacity.
+            continue;
+        }
+        if used + items[i].size <= capacity {
+            used += items[i].size;
+            taken.push(i);
+        } else {
+            return (taken, Some(i));
+        }
+    }
+    (taken, None)
+}
+
+/// Classic density greedy: better of the fitting prefix or the single
+/// overflowing item. Respects the capacity; guarantees at least half the
+/// optimal weight.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GreedyHalf;
+
+impl KnapsackSolver for GreedyHalf {
+    fn name(&self) -> &'static str {
+        "greedy-half"
+    }
+
+    fn solve(&self, items: &[Item], capacity: f64) -> Solution {
+        assert_valid_items(items);
+        if capacity < 0.0 {
+            return Solution::empty();
+        }
+        let (prefix, overflow) = greedy_prefix(items, capacity);
+        let prefix_sol = Solution::from_selected(items, prefix);
+        match overflow {
+            Some(k) if items[k].weight > prefix_sol.weight => {
+                Solution::from_selected(items, vec![k])
+            }
+            _ => prefix_sol,
+        }
+    }
+
+    fn capacity_blowup(&self) -> f64 {
+        1.0
+    }
+}
+
+/// Constraint-approximate greedy (Remark 1): fitting prefix *plus* the first
+/// overflowing item. Weight at least the optimum at `capacity`; size at most
+/// `2 * capacity`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GreedyConstraint;
+
+impl KnapsackSolver for GreedyConstraint {
+    fn name(&self) -> &'static str {
+        "greedy-constraint"
+    }
+
+    fn solve(&self, items: &[Item], capacity: f64) -> Solution {
+        assert_valid_items(items);
+        if capacity < 0.0 {
+            return Solution::empty();
+        }
+        let (mut prefix, overflow) = greedy_prefix(items, capacity);
+        if let Some(k) = overflow {
+            prefix.push(k);
+        }
+        Solution::from_selected(items, prefix)
+    }
+
+    fn capacity_blowup(&self) -> f64 {
+        2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp::ExactDp;
+
+    fn items_from(pairs: &[(f64, f64)]) -> Vec<Item> {
+        pairs.iter().map(|&(w, s)| Item::new(w, s)).collect()
+    }
+
+    #[test]
+    fn constraint_greedy_reaches_optimum_within_double_capacity() {
+        let items = items_from(&[(60.0, 5.0), (50.0, 4.0), (40.0, 6.0), (10.0, 3.0)]);
+        let sol = GreedyConstraint.solve(&items, 10.0);
+        let exact = ExactDp { resolution: 64.0 }.solve(&items, 10.0);
+        assert!(sol.weight >= exact.weight - 1e-9);
+        assert!(sol.size <= 20.0 + 1e-9);
+    }
+
+    #[test]
+    fn half_greedy_respects_capacity() {
+        let items = items_from(&[(60.0, 5.0), (50.0, 4.0), (40.0, 6.0), (10.0, 3.0)]);
+        let sol = GreedyHalf.solve(&items, 10.0);
+        assert!(sol.size <= 10.0 + 1e-9);
+        let exact = ExactDp { resolution: 64.0 }.solve(&items, 10.0);
+        assert!(sol.weight >= exact.weight / 2.0 - 1e-9);
+    }
+
+    #[test]
+    fn half_greedy_prefers_big_single_item() {
+        // Prefix takes the dense small item (w 2, s 1); the big item (w 100,
+        // s 10) overflows but is worth more alone.
+        let items = items_from(&[(2.0, 1.0), (100.0, 10.0)]);
+        let sol = GreedyHalf.solve(&items, 10.0);
+        assert_eq!(sol.selected, vec![1]);
+    }
+
+    #[test]
+    fn zero_size_items_always_taken() {
+        let items = items_from(&[(1.0, 0.0), (5.0, 2.0)]);
+        for solver in [&GreedyHalf as &dyn KnapsackSolver, &GreedyConstraint] {
+            let sol = solver.solve(&items, 1.0);
+            assert!(sol.selected.contains(&0), "{}", solver.name());
+        }
+    }
+
+    #[test]
+    fn items_larger_than_capacity_are_skipped() {
+        let items = items_from(&[(100.0, 5.0), (1.0, 1.0)]);
+        let sol = GreedyConstraint.solve(&items, 2.0);
+        // The oversized item can't appear; only the small one.
+        assert_eq!(sol.selected, vec![1]);
+        assert!(sol.size <= 4.0);
+    }
+
+    #[test]
+    fn zero_weight_items_never_taken() {
+        let items = items_from(&[(0.0, 0.0), (1.0, 1.0)]);
+        let sol = GreedyConstraint.solve(&items, 10.0);
+        assert_eq!(sol.selected, vec![1]);
+    }
+
+    #[test]
+    fn empty_and_negative_capacity() {
+        assert_eq!(GreedyHalf.solve(&[], 1.0), Solution::empty());
+        let items = items_from(&[(1.0, 1.0)]);
+        assert_eq!(GreedyConstraint.solve(&items, -1.0), Solution::empty());
+    }
+}

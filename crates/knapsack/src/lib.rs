@@ -1,0 +1,137 @@
+//! Knapsack subroutines for MRIS (Sections 5.1 and 6.1 of the paper).
+//!
+//! MRIS selects, in every iteration `k`, a maximum-weight subset of pending
+//! jobs whose total *volume* fits a knapsack capacity `zeta_k = R*M*gamma_k`
+//! (problem **P1**). Because MRIS must match the optimal scheduler's weight
+//! exactly (not a fraction of it), it uses **constraint approximation**: the
+//! solver may exceed the capacity by a bounded factor but must reach at least
+//! the optimal weight at the *original* capacity.
+//!
+//! Three solvers are provided:
+//!
+//! * [`Cadp`] — Constraint-Approximate Dynamic Programming (Lemma 6.1):
+//!   optimal weight, size at most `(1 + eps) * capacity`, fully polynomial
+//!   `O(n^2 / eps)` time.
+//! * [`GreedyConstraint`] — the Remark 1 greedy: optimal weight, size at most
+//!   `2 * capacity`, `O(n log n)` time. Used by `MRIS-GREEDY` in Figure 2.
+//! * [`GreedyHalf`] — the classic capacity-respecting greedy, a
+//!   1/2-approximation to the weight. Not usable inside MRIS's analysis (it
+//!   can fall short of the optimal weight) but included as a baseline.
+//!
+//! [`ExactDp`] solves the integer-size knapsack exactly (pseudo-polynomial)
+//! and backs both [`Cadp`] and the test oracles. Solution reconstruction uses
+//! a Hirschberg-style divide-and-conquer, so memory stays `O(capacity)` while
+//! time at most doubles versus the value-only recurrence.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod brute;
+mod cadp;
+mod dp;
+mod greedy;
+
+pub use brute::brute_force;
+pub use cadp::Cadp;
+pub use dp::{max_weight_integer, solve_integer, ExactDp};
+pub use greedy::{GreedyConstraint, GreedyHalf};
+
+/// A knapsack item: MRIS maps job `j` to `weight = w_j`, `size = v_j`
+/// (volume). Weights and sizes must be finite and non-negative.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Item {
+    /// The profit of selecting this item.
+    pub weight: f64,
+    /// The capacity the item consumes.
+    pub size: f64,
+}
+
+impl Item {
+    /// Convenience constructor.
+    pub fn new(weight: f64, size: f64) -> Self {
+        Item { weight, size }
+    }
+}
+
+/// The outcome of a knapsack solve: which items were picked and their totals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// Indices into the input item slice, strictly increasing.
+    pub selected: Vec<usize>,
+    /// Sum of selected weights.
+    pub weight: f64,
+    /// Sum of selected sizes.
+    pub size: f64,
+}
+
+impl Solution {
+    fn from_selected(items: &[Item], mut selected: Vec<usize>) -> Self {
+        selected.sort_unstable();
+        selected.dedup();
+        let weight = selected.iter().map(|&i| items[i].weight).sum();
+        let size = selected.iter().map(|&i| items[i].size).sum();
+        Solution {
+            selected,
+            weight,
+            size,
+        }
+    }
+
+    /// An empty selection.
+    pub fn empty() -> Self {
+        Solution {
+            selected: Vec::new(),
+            weight: 0.0,
+            size: 0.0,
+        }
+    }
+}
+
+/// A 0/1-knapsack solver over real-valued sizes.
+///
+/// Implementations document their guarantee as a relation between the
+/// returned solution and the optimum at `capacity`: exact solvers respect the
+/// capacity; *constraint-approximate* solvers ([`Cadp`], [`GreedyConstraint`])
+/// guarantee `solution.weight >= OPT(capacity)` while allowing
+/// `solution.size` up to their documented blow-up factor times `capacity`.
+pub trait KnapsackSolver {
+    /// A short human-readable solver name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Selects a subset of `items` for the given `capacity`.
+    fn solve(&self, items: &[Item], capacity: f64) -> Solution;
+
+    /// The factor `c` such that the returned size is guaranteed at most
+    /// `c * capacity` (1.0 for exact solvers, `1 + eps` for CADP, 2.0 for the
+    /// constraint greedy).
+    fn capacity_blowup(&self) -> f64;
+}
+
+pub(crate) fn assert_valid_items(items: &[Item]) {
+    for (i, item) in items.iter().enumerate() {
+        assert!(
+            item.weight.is_finite() && item.weight >= 0.0,
+            "item {i} has invalid weight {}",
+            item.weight
+        );
+        assert!(
+            item.size.is_finite() && item.size >= 0.0,
+            "item {i} has invalid size {}",
+            item.size
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solution_from_selected_sorts_and_sums() {
+        let items = [Item::new(1.0, 2.0), Item::new(3.0, 4.0), Item::new(5.0, 6.0)];
+        let s = Solution::from_selected(&items, vec![2, 0, 2]);
+        assert_eq!(s.selected, vec![0, 2]);
+        assert!((s.weight - 6.0).abs() < 1e-12);
+        assert!((s.size - 8.0).abs() < 1e-12);
+    }
+}

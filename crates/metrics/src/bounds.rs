@@ -1,0 +1,149 @@
+//! Lower bounds on the optimal objective values.
+//!
+//! The paper's competitive analysis compares against an optimal offline
+//! scheduler, which is NP-hard to compute. These bounds make empirical
+//! ratio reporting possible: since `LB <= OPT`, the observable quantity
+//! `ALG / LB` **upper-bounds** the true ratio `ALG / OPT` — a conservative
+//! (pessimistic) estimate. If `ALG / LB` is small, the algorithm's true
+//! ratio is at least as small.
+
+use mris_types::{Instance, Time};
+
+/// A valid lower bound on the optimal **makespan** on `machines` machines:
+/// `max(V_I / (R*M), max_j (r_j + p_j))` (Lemma 6.2 plus the trivial
+/// per-job bound).
+pub fn makespan_lower_bound(instance: &Instance, machines: usize) -> Time {
+    instance.makespan_lower_bound(machines)
+}
+
+/// A valid lower bound on the optimal **total weighted completion time**
+/// `sum_j w_j C*_j`, combining two relaxations:
+///
+/// 1. **Release bound**: `C*_j >= r_j + p_j` for every job, giving
+///    `sum_j w_j (r_j + p_j)`.
+/// 2. **Volume-congestion bound**: in any feasible schedule, the `k` jobs
+///    that complete earliest have together at least the sum of the `k`
+///    smallest volumes, and all of that volume is processed at aggregate
+///    rate at most `R*M`; hence the `k`-th completion is at least
+///    `V_k / (R*M)` where `V_k` is the sum of the `k` smallest volumes.
+///    Pairing the largest weights with the earliest completion slots
+///    (rearrangement inequality) yields the schedule-independent bound
+///    `sum_k w^{desc}_k * V_k / (R*M)`.
+///
+/// The result is the larger of the two.
+pub fn total_weighted_completion_lower_bound(instance: &Instance, machines: usize) -> f64 {
+    if instance.is_empty() {
+        return 0.0;
+    }
+    let release_bound: f64 = instance
+        .jobs()
+        .iter()
+        .map(|j| j.weight * (j.release + j.proc_time))
+        .sum();
+
+    let rm = (instance.num_resources() * machines) as f64;
+    let mut volumes: Vec<f64> = instance.jobs().iter().map(|j| j.volume()).collect();
+    volumes.sort_by(f64::total_cmp);
+    let mut weights: Vec<f64> = instance.jobs().iter().map(|j| j.weight).collect();
+    weights.sort_by(|a, b| b.total_cmp(a));
+    let mut prefix = 0.0;
+    let volume_bound: f64 = volumes
+        .iter()
+        .zip(&weights)
+        .map(|(&v, &w)| {
+            prefix += v;
+            w * prefix / rm
+        })
+        .sum();
+
+    release_bound.max(volume_bound)
+}
+
+/// A valid lower bound on the optimal **AWCT**
+/// (`total_weighted_completion_lower_bound / N`).
+pub fn awct_lower_bound(instance: &Instance, machines: usize) -> f64 {
+    if instance.is_empty() {
+        return 0.0;
+    }
+    total_weighted_completion_lower_bound(instance, machines) / instance.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mris_types::{Job, JobId};
+
+    fn inst(jobs: Vec<Job>, r: usize) -> Instance {
+        Instance::from_unnumbered(jobs, r).unwrap()
+    }
+
+    #[test]
+    fn release_bound_binds_spread_jobs() {
+        // Two light jobs far apart in release: the release bound dominates.
+        let instance = inst(
+            vec![
+                Job::from_fractions(JobId(0), 0.0, 1.0, 1.0, &[0.1]),
+                Job::from_fractions(JobId(0), 100.0, 1.0, 1.0, &[0.1]),
+            ],
+            1,
+        );
+        let lb = awct_lower_bound(&instance, 1);
+        assert!((lb - (1.0 + 101.0) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn volume_bound_binds_congested_instances() {
+        // Many simultaneous full-demand unit jobs on one machine, R = 1:
+        // the volume term forces completions at 1, 2, 3, ...
+        let n = 10;
+        let jobs: Vec<Job> = (0..n)
+            .map(|_| Job::from_fractions(JobId(0), 0.0, 1.0, 1.0, &[1.0]))
+            .collect();
+        let instance = inst(jobs, 1);
+        let lb = total_weighted_completion_lower_bound(&instance, 1);
+        // Exact optimum is 1 + 2 + ... + 10 = 55; the bound matches it.
+        assert!((lb - 55.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bound_is_valid_against_real_schedules() {
+        use mris_types::Schedule;
+        // A feasible serial schedule; its objective must dominate the bound.
+        let jobs: Vec<Job> = (0..5)
+            .map(|i| Job::from_fractions(JobId(0), i as f64, 2.0, 1.0 + i as f64, &[0.8]))
+            .collect();
+        let instance = inst(jobs, 1);
+        let mut s = Schedule::new(5, 1);
+        let mut t = 0.0_f64;
+        for j in instance.jobs() {
+            let start = t.max(j.release);
+            s.assign(j.id, 0, start).unwrap();
+            t = start + j.proc_time;
+        }
+        s.validate(&instance).unwrap();
+        assert!(
+            s.total_weighted_completion(&instance)
+                >= total_weighted_completion_lower_bound(&instance, 1) - 1e-9
+        );
+    }
+
+    #[test]
+    fn empty_instance_bounds_are_zero() {
+        let instance = Instance::new(vec![], 2).unwrap();
+        assert_eq!(awct_lower_bound(&instance, 3), 0.0);
+        assert_eq!(total_weighted_completion_lower_bound(&instance, 3), 0.0);
+    }
+
+    #[test]
+    fn more_machines_weaken_the_volume_bound() {
+        let jobs: Vec<Job> = (0..8)
+            .map(|_| Job::from_fractions(JobId(0), 0.0, 1.0, 1.0, &[1.0]))
+            .collect();
+        let instance = inst(jobs, 1);
+        let lb1 = awct_lower_bound(&instance, 1);
+        let lb4 = awct_lower_bound(&instance, 4);
+        assert!(lb4 <= lb1);
+        // But never below the release bound.
+        assert!(lb4 >= 1.0);
+    }
+}

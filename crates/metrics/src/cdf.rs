@@ -1,0 +1,121 @@
+//! Empirical cumulative distribution functions (Figure 5).
+
+/// An empirical CDF over a sample of values (e.g. per-job queuing delays).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds the CDF of `values` (NaNs are rejected).
+    pub fn new(mut values: Vec<f64>) -> Self {
+        assert!(
+            values.iter().all(|v| !v.is_nan()),
+            "CDF values must not be NaN"
+        );
+        values.sort_by(f64::total_cmp);
+        Cdf { sorted: values }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the CDF has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `P[X <= x]`.
+    pub fn fraction_at_most(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        self.sorted.partition_point(|&v| v <= x) as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile for `q` in `[0, 1]` (nearest-rank). Panics when
+    /// empty or `q` outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile requires q in [0, 1]");
+        assert!(!self.sorted.is_empty(), "quantile of empty CDF");
+        let rank = ((q * self.sorted.len() as f64).ceil() as usize).clamp(1, self.sorted.len());
+        self.sorted[rank - 1]
+    }
+
+    /// `(value, cumulative fraction)` pairs at `k` evenly spaced quantiles,
+    /// suitable for plotting the CDF curve. Always includes the endpoints.
+    pub fn curve(&self, k: usize) -> Vec<(f64, f64)> {
+        assert!(k >= 2 && !self.sorted.is_empty());
+        (0..k)
+            .map(|i| {
+                let q = i as f64 / (k - 1) as f64;
+                let idx = ((q * (self.sorted.len() - 1) as f64).round()) as usize;
+                (self.sorted[idx], (idx + 1) as f64 / self.sorted.len() as f64)
+            })
+            .collect()
+    }
+
+    /// Fraction of samples equal to the minimum (used to report "share of
+    /// jobs with zero queuing delay").
+    pub fn fraction_zero(&self) -> f64 {
+        self.fraction_at_most(0.0)
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> Option<f64> {
+        self.sorted.last().copied()
+    }
+
+    /// Sample mean.
+    pub fn mean(&self) -> Option<f64> {
+        if self.sorted.is_empty() {
+            None
+        } else {
+            Some(self.sorted.iter().sum::<f64>() / self.sorted.len() as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_and_quantiles() {
+        let cdf = Cdf::new(vec![3.0, 1.0, 2.0, 0.0]);
+        assert_eq!(cdf.fraction_at_most(-1.0), 0.0);
+        assert_eq!(cdf.fraction_at_most(0.0), 0.25);
+        assert_eq!(cdf.fraction_at_most(1.5), 0.5);
+        assert_eq!(cdf.fraction_at_most(100.0), 1.0);
+        assert_eq!(cdf.quantile(0.5), 1.0);
+        assert_eq!(cdf.quantile(1.0), 3.0);
+        assert_eq!(cdf.quantile(0.0), 0.0);
+    }
+
+    #[test]
+    fn zero_fraction() {
+        let cdf = Cdf::new(vec![0.0, 0.0, 5.0, 1.0]);
+        assert_eq!(cdf.fraction_zero(), 0.5);
+    }
+
+    #[test]
+    fn curve_spans_range() {
+        let cdf = Cdf::new((0..100).map(f64::from).collect());
+        let curve = cdf.curve(11);
+        assert_eq!(curve.len(), 11);
+        assert_eq!(curve[0].0, 0.0);
+        assert_eq!(curve[10].0, 99.0);
+        assert!((curve[10].1 - 1.0).abs() < 1e-12);
+        assert!(curve.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn mean_and_max() {
+        let cdf = Cdf::new(vec![1.0, 2.0, 3.0]);
+        assert_eq!(cdf.mean(), Some(2.0));
+        assert_eq!(cdf.max(), Some(3.0));
+        assert_eq!(Cdf::new(vec![]).mean(), None);
+    }
+}

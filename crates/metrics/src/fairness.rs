@@ -1,0 +1,144 @@
+//! Fairness and slowdown metrics.
+//!
+//! Section 7.5.2 of the paper reads the queuing-delay CDF as a fairness
+//! story: PQ-class schedulers start most jobs instantly but "there are
+//! instances in which jobs are not treated fairly, as exemplified by
+//! Lemma 4.1". These metrics quantify that.
+
+use mris_types::{Instance, Schedule};
+
+/// Jain's fairness index of a non-negative sample:
+/// `(sum x)^2 / (n * sum x^2)` — 1.0 when all values are equal, `1/n` when
+/// one value dominates. Returns 1.0 for empty or all-zero samples (nothing
+/// to be unfair about).
+pub fn jains_index(values: &[f64]) -> f64 {
+    assert!(
+        values.iter().all(|&v| v >= 0.0 && v.is_finite()),
+        "Jain's index requires finite non-negative values"
+    );
+    let sum: f64 = values.iter().sum();
+    if values.is_empty() || sum == 0.0 {
+        return 1.0;
+    }
+    let sum_sq: f64 = values.iter().map(|v| v * v).sum();
+    (sum * sum) / (values.len() as f64 * sum_sq)
+}
+
+/// Per-job slowdown `(C_j - r_j) / p_j` (flow over processing time), in
+/// job-id order. 1.0 means the job ran immediately with no waiting.
+pub fn slowdowns(instance: &Instance, schedule: &Schedule) -> Vec<f64> {
+    schedule
+        .assignments()
+        .map(|a| {
+            let job = instance.job(a.job);
+            (a.start + job.proc_time - job.release) / job.proc_time
+        })
+        .collect()
+}
+
+/// Fairness report for one schedule: Jain's index over slowdowns, plus the
+/// max and mean slowdown.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FairnessReport {
+    /// Jain's index over per-job slowdowns (1.0 = perfectly even).
+    pub jains_slowdown: f64,
+    /// Largest slowdown any job suffered.
+    pub max_slowdown: f64,
+    /// Mean slowdown.
+    pub mean_slowdown: f64,
+}
+
+/// Computes the [`FairnessReport`] of a (complete) schedule.
+pub fn fairness_report(instance: &Instance, schedule: &Schedule) -> FairnessReport {
+    let s = slowdowns(instance, schedule);
+    let mean = if s.is_empty() {
+        1.0
+    } else {
+        s.iter().sum::<f64>() / s.len() as f64
+    };
+    FairnessReport {
+        jains_slowdown: jains_index(&s),
+        max_slowdown: s.iter().copied().fold(1.0, f64::max),
+        mean_slowdown: mean,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mris_types::{Job, JobId};
+
+    #[test]
+    fn jains_bounds() {
+        assert_eq!(jains_index(&[]), 1.0);
+        assert_eq!(jains_index(&[0.0, 0.0]), 1.0);
+        assert!((jains_index(&[3.0, 3.0, 3.0]) - 1.0).abs() < 1e-12);
+        // One dominant value among n: index -> 1/n.
+        let idx = jains_index(&[100.0, 0.0, 0.0, 0.0]);
+        assert!((idx - 0.25).abs() < 1e-12);
+        // Monotone: more even is fairer.
+        assert!(jains_index(&[2.0, 2.0, 4.0]) > jains_index(&[1.0, 1.0, 6.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn jains_rejects_negative() {
+        let _ = jains_index(&[-1.0]);
+    }
+
+    #[test]
+    fn slowdown_and_report() {
+        let instance = Instance::from_unnumbered(
+            vec![
+                Job::from_fractions(JobId(0), 0.0, 2.0, 1.0, &[1.0]),
+                Job::from_fractions(JobId(0), 0.0, 1.0, 1.0, &[1.0]),
+            ],
+            1,
+        )
+        .unwrap();
+        let mut s = Schedule::new(2, 1);
+        s.assign(JobId(0), 0, 0.0).unwrap();
+        s.assign(JobId(1), 0, 2.0).unwrap();
+        // Slowdowns: job 0 = 2/2 = 1; job 1 = (3 - 0)/1 = 3.
+        assert_eq!(slowdowns(&instance, &s), vec![1.0, 3.0]);
+        let report = fairness_report(&instance, &s);
+        assert_eq!(report.max_slowdown, 3.0);
+        assert!((report.mean_slowdown - 2.0).abs() < 1e-12);
+        assert!(report.jains_slowdown < 1.0);
+    }
+
+    #[test]
+    fn patient_schedule_is_fairer_on_lemma_4_1() {
+        // PQ-shaped schedule (blocker first) vs patient schedule (blocker
+        // last) on a Lemma 4.1-style instance: patience is fairer in
+        // slowdown terms.
+        let n = 6;
+        let mut jobs = vec![Job::from_fractions(JobId(0), 0.0, n as f64, 1.0, &[1.0])];
+        for _ in 1..n {
+            jobs.push(Job::from_fractions(
+                JobId(0),
+                0.1,
+                1.0,
+                1.0,
+                &[1.0 / (n - 1) as f64],
+            ));
+        }
+        let instance = Instance::from_unnumbered(jobs, 1).unwrap();
+
+        let mut pq_like = Schedule::new(n, 1);
+        pq_like.assign(JobId(0), 0, 0.0).unwrap();
+        for i in 1..n {
+            pq_like.assign(JobId(i as u32), 0, n as f64).unwrap();
+        }
+        let mut patient = Schedule::new(n, 1);
+        for i in 1..n {
+            patient.assign(JobId(i as u32), 0, 0.1).unwrap();
+        }
+        patient.assign(JobId(0), 0, 1.1).unwrap();
+
+        let unfair = fairness_report(&instance, &pq_like);
+        let fair = fairness_report(&instance, &patient);
+        assert!(fair.jains_slowdown > unfair.jains_slowdown);
+        assert!(fair.max_slowdown < unfair.max_slowdown);
+    }
+}

@@ -1,0 +1,100 @@
+//! Textual Gantt-style schedule rendering.
+//!
+//! Complements [`crate::utilization_profile`]: instead of aggregate
+//! utilization, renders *which* jobs occupy each machine over time — useful
+//! for inspecting small schedules in examples and docs.
+
+use mris_types::{Instance, Schedule};
+
+/// One lane of a Gantt chart: the jobs of one machine in start order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GanttLane {
+    /// The machine index.
+    pub machine: usize,
+    /// `(job index, start, end)` sorted by start time (ties by job id).
+    pub entries: Vec<(u32, f64, f64)>,
+}
+
+/// Extracts Gantt lanes (one per machine) from a schedule.
+pub fn gantt_lanes(instance: &Instance, schedule: &Schedule) -> Vec<GanttLane> {
+    let mut lanes: Vec<GanttLane> = (0..schedule.num_machines())
+        .map(|machine| GanttLane {
+            machine,
+            entries: Vec::new(),
+        })
+        .collect();
+    for a in schedule.assignments() {
+        let job = instance.job(a.job);
+        lanes[a.machine]
+            .entries
+            .push((a.job.0, a.start, a.start + job.proc_time));
+    }
+    for lane in &mut lanes {
+        lane.entries
+            .sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+    }
+    lanes
+}
+
+/// Renders a compact textual Gantt chart: one line per machine listing jobs
+/// as `jID[start..end)`. Intended for small schedules (tens of jobs).
+pub fn render_gantt(instance: &Instance, schedule: &Schedule) -> String {
+    let mut out = String::new();
+    for lane in gantt_lanes(instance, schedule) {
+        out.push_str(&format!("machine {}:", lane.machine));
+        for (job, start, end) in &lane.entries {
+            out.push_str(&format!(" j{job}[{start:.1}..{end:.1})"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mris_types::{Job, JobId};
+
+    fn setup() -> (Instance, Schedule) {
+        let instance = Instance::new(
+            vec![
+                Job::from_fractions(JobId(0), 0.0, 2.0, 1.0, &[0.5]),
+                Job::from_fractions(JobId(1), 0.0, 1.0, 1.0, &[0.5]),
+                Job::from_fractions(JobId(2), 0.0, 3.0, 1.0, &[1.0]),
+            ],
+            1,
+        )
+        .unwrap();
+        let mut s = Schedule::new(3, 2);
+        s.assign(JobId(0), 0, 1.0).unwrap();
+        s.assign(JobId(1), 0, 0.0).unwrap();
+        s.assign(JobId(2), 1, 0.0).unwrap();
+        (instance, s)
+    }
+
+    #[test]
+    fn lanes_sorted_by_start() {
+        let (instance, s) = setup();
+        let lanes = gantt_lanes(&instance, &s);
+        assert_eq!(lanes.len(), 2);
+        assert_eq!(lanes[0].entries, vec![(1, 0.0, 1.0), (0, 1.0, 3.0)]);
+        assert_eq!(lanes[1].entries, vec![(2, 0.0, 3.0)]);
+    }
+
+    #[test]
+    fn render_contains_all_jobs() {
+        let (instance, s) = setup();
+        let art = render_gantt(&instance, &s);
+        assert!(art.contains("machine 0: j1[0.0..1.0) j0[1.0..3.0)"), "{art}");
+        assert!(art.contains("machine 1: j2[0.0..3.0)"), "{art}");
+    }
+
+    #[test]
+    fn partial_schedules_render_assigned_jobs_only() {
+        let (instance, _) = setup();
+        let mut s = Schedule::new(3, 1);
+        s.assign(JobId(1), 0, 0.0).unwrap();
+        let lanes = gantt_lanes(&instance, &s);
+        assert_eq!(lanes[0].entries.len(), 1);
+    }
+}

@@ -1,0 +1,117 @@
+//! Resource-utilization-over-time profiles and ASCII rendering (Figure 7).
+
+use mris_types::{fraction, Instance, Schedule};
+
+/// Samples the utilization of resource `resource` on machine `machine` into
+/// `buckets` equal time buckets over `[0, horizon)`. Each bucket reports the
+/// *time-averaged* fraction of capacity in use.
+pub fn utilization_profile(
+    instance: &Instance,
+    schedule: &Schedule,
+    machine: usize,
+    resource: usize,
+    horizon: f64,
+    buckets: usize,
+) -> Vec<f64> {
+    assert!(buckets > 0 && horizon > 0.0);
+    let width = horizon / buckets as f64;
+    let mut acc = vec![0.0f64; buckets];
+    for a in schedule.assignments() {
+        if a.machine != machine {
+            continue;
+        }
+        let job = instance.job(a.job);
+        let demand = fraction(job.demands[resource]);
+        if demand == 0.0 {
+            continue;
+        }
+        let start = a.start.max(0.0);
+        let end = (a.start + job.proc_time).min(horizon);
+        if end <= start {
+            continue;
+        }
+        let first = (start / width).floor() as usize;
+        let last = ((end / width).ceil() as usize).min(buckets);
+        for (b, slot) in acc.iter_mut().enumerate().take(last).skip(first) {
+            let b_start = b as f64 * width;
+            let b_end = b_start + width;
+            let overlap = (end.min(b_end) - start.max(b_start)).max(0.0);
+            *slot += demand * overlap / width;
+        }
+    }
+    acc
+}
+
+/// Renders a utilization profile as a one-line ASCII bar chart: each
+/// character is one bucket, with nine intensity levels from `' '` (idle)
+/// to `'█'` (full).
+pub fn render_utilization(profile: &[f64]) -> String {
+    const LEVELS: [char; 9] = [' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    profile
+        .iter()
+        .map(|&u| {
+            let idx = ((u.clamp(0.0, 1.0)) * (LEVELS.len() - 1) as f64).round() as usize;
+            LEVELS[idx]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mris_types::{Job, JobId};
+
+    #[test]
+    fn profile_averages_within_buckets() {
+        let instance = Instance::new(
+            vec![Job::from_fractions(JobId(0), 0.0, 5.0, 1.0, &[0.5])],
+            1,
+        )
+        .unwrap();
+        let mut s = Schedule::new(1, 1);
+        s.assign(JobId(0), 0, 0.0).unwrap();
+        let p = utilization_profile(&instance, &s, 0, 0, 10.0, 10);
+        assert_eq!(p.len(), 10);
+        for (b, &u) in p.iter().enumerate() {
+            let expected = if b < 5 { 0.5 } else { 0.0 };
+            assert!((u - expected).abs() < 1e-9, "bucket {b}: {u}");
+        }
+    }
+
+    #[test]
+    fn partial_bucket_overlap() {
+        let instance = Instance::new(
+            vec![Job::from_fractions(JobId(0), 0.0, 1.0, 1.0, &[1.0])],
+            1,
+        )
+        .unwrap();
+        let mut s = Schedule::new(1, 1);
+        s.assign(JobId(0), 0, 0.5).unwrap();
+        // Buckets of width 1 over [0, 2): bucket 0 half-covered, bucket 1 half.
+        let p = utilization_profile(&instance, &s, 0, 0, 2.0, 2);
+        assert!((p[0] - 0.5).abs() < 1e-9);
+        assert!((p[1] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn other_machines_ignored() {
+        let instance = Instance::new(
+            vec![Job::from_fractions(JobId(0), 0.0, 2.0, 1.0, &[1.0])],
+            1,
+        )
+        .unwrap();
+        let mut s = Schedule::new(1, 2);
+        s.assign(JobId(0), 1, 0.0).unwrap();
+        let p = utilization_profile(&instance, &s, 0, 0, 2.0, 2);
+        assert_eq!(p, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn render_maps_levels() {
+        let art = render_utilization(&[0.0, 0.5, 1.0]);
+        let chars: Vec<char> = art.chars().collect();
+        assert_eq!(chars[0], ' ');
+        assert_eq!(chars[1], '▄');
+        assert_eq!(chars[2], '█');
+    }
+}

@@ -1,0 +1,119 @@
+//! Mean / 95% confidence interval summaries over repeated samples.
+
+/// Summary statistics of a set of repeated measurements (one per sampled job
+/// set, following Section 7.1's protocol of 10 downsampled sets per point).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (Bessel-corrected; 0 for `n < 2`).
+    pub std_dev: f64,
+    /// Lower edge of the 95% confidence interval of the mean.
+    pub ci95_low: f64,
+    /// Upper edge of the 95% confidence interval of the mean.
+    pub ci95_high: f64,
+}
+
+/// Two-sided 97.5% Student-t critical values for `df = 1..=30`; beyond 30
+/// the normal approximation (1.96) is used.
+const T_TABLE: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
+];
+
+fn t_critical(df: usize) -> f64 {
+    if df == 0 {
+        f64::INFINITY
+    } else if df <= T_TABLE.len() {
+        T_TABLE[df - 1]
+    } else {
+        1.96
+    }
+}
+
+impl Summary {
+    /// Summarizes `samples`. Panics on an empty slice.
+    pub fn of(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "cannot summarize zero samples");
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        if n == 1 {
+            return Summary {
+                n,
+                mean,
+                std_dev: 0.0,
+                ci95_low: mean,
+                ci95_high: mean,
+            };
+        }
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64;
+        let std_dev = var.sqrt();
+        let half = t_critical(n - 1) * std_dev / (n as f64).sqrt();
+        Summary {
+            n,
+            mean,
+            std_dev,
+            ci95_low: mean - half,
+            ci95_high: mean + half,
+        }
+    }
+
+    /// Half-width of the 95% confidence interval.
+    pub fn ci95_half_width(&self) -> f64 {
+        (self.ci95_high - self.ci95_low) / 2.0
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.4} ± {:.4}", self.mean, self.ci95_half_width())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_sample_degenerates() {
+        let s = Summary::of(&[3.5]);
+        assert_eq!(s.mean, 3.5);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.ci95_low, 3.5);
+        assert_eq!(s.ci95_high, 3.5);
+    }
+
+    #[test]
+    fn known_values() {
+        // Samples 1..=10: mean 5.5, sd ~3.0277, t(9) = 2.262.
+        let v: Vec<f64> = (1..=10).map(f64::from).collect();
+        let s = Summary::of(&v);
+        assert!((s.mean - 5.5).abs() < 1e-9);
+        assert!((s.std_dev - 3.02765).abs() < 1e-4);
+        let half = 2.262 * s.std_dev / 10f64.sqrt();
+        assert!((s.ci95_half_width() - half).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interval_contains_mean() {
+        let s = Summary::of(&[2.0, 4.0, 6.0]);
+        assert!(s.ci95_low <= s.mean && s.mean <= s.ci95_high);
+    }
+
+    #[test]
+    fn large_n_uses_normal_critical() {
+        let v: Vec<f64> = (0..100).map(|i| (i % 7) as f64).collect();
+        let s = Summary::of(&v);
+        let half = 1.96 * s.std_dev / 10.0;
+        assert!((s.ci95_half_width() - half).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero samples")]
+    fn rejects_empty() {
+        let _ = Summary::of(&[]);
+    }
+}

@@ -1,0 +1,174 @@
+//! Queue-sorting heuristics (Section 7.3).
+
+use mris_types::Job;
+
+/// The sorting heuristics the paper evaluates for ordering pending jobs, all
+/// sorted by **non-decreasing** key. Weighted variants divide by the weight
+/// so that heavier jobs come earlier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SortHeuristic {
+    /// Smallest-Volume-First: `v_j = p_j * u_j`.
+    Svf,
+    /// Weighted Smallest-Volume-First: `v_j / w_j`.
+    Wsvf,
+    /// Shortest-Job-First: `p_j`.
+    Sjf,
+    /// Weighted Shortest-Job-First: `p_j / w_j`. The paper's default inside
+    /// MRIS (Section 7.3).
+    Wsjf,
+    /// Smallest-Demand-First: `u_j`.
+    Sdf,
+    /// Weighted Smallest-Demand-First: `u_j / w_j`.
+    Wsdf,
+    /// Earliest-Release-First: `r_j`.
+    Erf,
+    /// Smallest-Dominant-demand-First: `max_l d_{jl}` — a DRF-inspired
+    /// extension beyond the paper's heuristic set (Dominant Resource
+    /// Fairness orders allocations by the dominant share).
+    Sddf,
+    /// Weighted Smallest-Dominant-demand-First: `max_l d_{jl} / w_j`
+    /// (extension).
+    Wsddf,
+}
+
+impl SortHeuristic {
+    /// The paper's Figure 1 heuristics, in reporting order.
+    pub const ALL: [SortHeuristic; 7] = [
+        SortHeuristic::Svf,
+        SortHeuristic::Wsvf,
+        SortHeuristic::Sjf,
+        SortHeuristic::Wsjf,
+        SortHeuristic::Sdf,
+        SortHeuristic::Wsdf,
+        SortHeuristic::Erf,
+    ];
+
+    /// All heuristics including the DRF-inspired extensions.
+    pub const ALL_EXTENDED: [SortHeuristic; 9] = [
+        SortHeuristic::Svf,
+        SortHeuristic::Wsvf,
+        SortHeuristic::Sjf,
+        SortHeuristic::Wsjf,
+        SortHeuristic::Sdf,
+        SortHeuristic::Wsdf,
+        SortHeuristic::Erf,
+        SortHeuristic::Sddf,
+        SortHeuristic::Wsddf,
+    ];
+
+    /// The sort key for a job: jobs are scheduled in non-decreasing key
+    /// order. Weighted variants of a zero-weight job fall back to the
+    /// unweighted key scaled to infinity (a zero-weight job is never urgent).
+    pub fn key(self, job: &Job) -> f64 {
+        let weighted = |raw: f64| {
+            if job.weight > 0.0 {
+                raw / job.weight
+            } else {
+                f64::INFINITY
+            }
+        };
+        match self {
+            SortHeuristic::Svf => job.volume(),
+            SortHeuristic::Wsvf => weighted(job.volume()),
+            SortHeuristic::Sjf => job.proc_time,
+            SortHeuristic::Wsjf => weighted(job.proc_time),
+            SortHeuristic::Sdf => job.total_demand_frac(),
+            SortHeuristic::Wsdf => weighted(job.total_demand_frac()),
+            SortHeuristic::Erf => job.release,
+            SortHeuristic::Sddf => dominant_demand(job),
+            SortHeuristic::Wsddf => weighted(dominant_demand(job)),
+        }
+    }
+
+    /// Short uppercase label, as used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            SortHeuristic::Svf => "SVF",
+            SortHeuristic::Wsvf => "WSVF",
+            SortHeuristic::Sjf => "SJF",
+            SortHeuristic::Wsjf => "WSJF",
+            SortHeuristic::Sdf => "SDF",
+            SortHeuristic::Wsdf => "WSDF",
+            SortHeuristic::Erf => "ERF",
+            SortHeuristic::Sddf => "SDDF",
+            SortHeuristic::Wsddf => "WSDDF",
+        }
+    }
+}
+
+/// The job's dominant demand `max_l d_{jl}` as a capacity fraction.
+fn dominant_demand(job: &Job) -> f64 {
+    mris_types::fraction(job.demands.iter().copied().max().unwrap_or(0))
+}
+
+impl std::fmt::Display for SortHeuristic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for SortHeuristic {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_uppercase().as_str() {
+            "SVF" => Ok(SortHeuristic::Svf),
+            "WSVF" => Ok(SortHeuristic::Wsvf),
+            "SJF" => Ok(SortHeuristic::Sjf),
+            "WSJF" => Ok(SortHeuristic::Wsjf),
+            "SDF" => Ok(SortHeuristic::Sdf),
+            "WSDF" => Ok(SortHeuristic::Wsdf),
+            "ERF" => Ok(SortHeuristic::Erf),
+            "SDDF" => Ok(SortHeuristic::Sddf),
+            "WSDDF" => Ok(SortHeuristic::Wsddf),
+            other => Err(format!("unknown sort heuristic: {other}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mris_types::JobId;
+
+    fn job(p: f64, w: f64, demands: &[f64], r: f64) -> Job {
+        Job::from_fractions(JobId(0), r, p, w, demands)
+    }
+
+    #[test]
+    fn keys_match_definitions() {
+        let j = job(4.0, 2.0, &[0.5, 0.25], 7.0);
+        assert!((SortHeuristic::Svf.key(&j) - 3.0).abs() < 1e-9);
+        assert!((SortHeuristic::Wsvf.key(&j) - 1.5).abs() < 1e-9);
+        assert!((SortHeuristic::Sjf.key(&j) - 4.0).abs() < 1e-9);
+        assert!((SortHeuristic::Wsjf.key(&j) - 2.0).abs() < 1e-9);
+        assert!((SortHeuristic::Sdf.key(&j) - 0.75).abs() < 1e-9);
+        assert!((SortHeuristic::Wsdf.key(&j) - 0.375).abs() < 1e-9);
+        assert!((SortHeuristic::Erf.key(&j) - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_weight_is_least_urgent() {
+        let j = job(4.0, 0.0, &[0.5], 0.0);
+        assert_eq!(SortHeuristic::Wsjf.key(&j), f64::INFINITY);
+        assert_eq!(SortHeuristic::Wsvf.key(&j), f64::INFINITY);
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for h in SortHeuristic::ALL_EXTENDED {
+            let parsed: SortHeuristic = h.label().parse().unwrap();
+            assert_eq!(parsed, h);
+        }
+        assert!("bogus".parse::<SortHeuristic>().is_err());
+    }
+
+    #[test]
+    fn dominant_demand_keys() {
+        let j = job(4.0, 2.0, &[0.5, 0.25], 7.0);
+        assert!((SortHeuristic::Sddf.key(&j) - 0.5).abs() < 1e-9);
+        assert!((SortHeuristic::Wsddf.key(&j) - 0.25).abs() < 1e-9);
+        let zero = job(1.0, 1.0, &[0.0, 0.0], 0.0);
+        assert_eq!(SortHeuristic::Sddf.key(&zero), 0.0);
+    }
+}

@@ -1,0 +1,69 @@
+//! Baseline online schedulers from the paper.
+//!
+//! * The **Priority-Queue (PQ) family** (Section 4): on every event, scan the
+//!   pending queue in a heuristic order and start every job that fits. Seven
+//!   sorting heuristics from Section 7.3 are provided ([`SortHeuristic`]).
+//!   Lemma 4.1 shows this whole class is `Omega(N)`-competitive, which the
+//!   `mris-trace` adversarial generator demonstrates experimentally.
+//! * **Tetris** (Grandl et al., SIGCOMM '14), adapted to the non-preemptive
+//!   setting as in Section 7.2: machines pick pending jobs by an alignment
+//!   (packing) score combined with a smallest-volume-first term.
+//! * **BF-EXEC** (NoroozOliaee et al.): best-fit machine selection on
+//!   arrival, shortest-job-first backfill of the freed machine on departure.
+//! * **CA-PQ**: the "collect all" extreme — waits (with oracle knowledge of
+//!   the last release time) until every job has arrived, then runs offline
+//!   PQ. Serves as the worst-case patience reference in Section 7.
+//!
+//! All of them implement the crate's [`Scheduler`] trait, as does MRIS in
+//! `mris-core`, so experiments can treat algorithms uniformly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bfexec;
+mod capq;
+mod heuristic;
+mod pq;
+mod tetris;
+
+pub use bfexec::{BfExec, BfExecPolicy};
+pub use capq::CaPq;
+pub use heuristic::SortHeuristic;
+pub use pq::{NaivePqPolicy, Pq, PqPolicy};
+pub use tetris::{Tetris, TetrisPolicy};
+
+use mris_types::{Instance, Schedule};
+
+/// A complete scheduling algorithm: consumes an instance and produces a full
+/// schedule on `num_machines` identical machines.
+///
+/// Online algorithms implement this by running themselves through the
+/// event-driven engine; the trait exists so experiments and benches can
+/// compare algorithms uniformly.
+pub trait Scheduler {
+    /// Human-readable algorithm name (appears in experiment reports).
+    fn name(&self) -> String;
+
+    /// Produces a complete schedule of `instance` on `num_machines` machines.
+    fn schedule(&self, instance: &Instance, num_machines: usize) -> Schedule;
+}
+
+impl<S: Scheduler + ?Sized> Scheduler for &S {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn schedule(&self, instance: &Instance, num_machines: usize) -> Schedule {
+        (**self).schedule(instance, num_machines)
+    }
+}
+
+impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn schedule(&self, instance: &Instance, num_machines: usize) -> Schedule {
+        (**self).schedule(instance, num_machines)
+    }
+}

@@ -1,0 +1,166 @@
+//! Cross-cutting tests of the baseline schedulers on structured and random
+//! instances.
+
+use mris_schedulers::{BfExec, CaPq, Pq, Scheduler, SortHeuristic, Tetris};
+use mris_types::{Instance, Job, JobId};
+use proptest::prelude::*;
+
+fn all_baselines() -> Vec<Box<dyn Scheduler>> {
+    let mut v: Vec<Box<dyn Scheduler>> = SortHeuristic::ALL_EXTENDED
+        .iter()
+        .map(|&h| Box::new(Pq::new(h)) as Box<dyn Scheduler>)
+        .collect();
+    v.push(Box::new(Tetris::default()));
+    v.push(Box::new(Tetris::new(0.0))); // pure alignment
+    v.push(Box::new(BfExec));
+    v.push(Box::new(CaPq::default()));
+    v
+}
+
+fn inst(jobs: Vec<Job>, r: usize) -> Instance {
+    Instance::from_unnumbered(jobs, r).unwrap()
+}
+
+#[test]
+fn zero_demand_jobs_start_at_release() {
+    // A zero-demand job always fits; every work-conserving baseline should
+    // start it the moment it arrives (CA-PQ deliberately doesn't).
+    let jobs = vec![
+        Job::from_fractions(JobId(0), 0.0, 5.0, 1.0, &[1.0]),
+        Job::from_fractions(JobId(0), 1.0, 2.0, 1.0, &[0.0]),
+    ];
+    let instance = inst(jobs, 1);
+    for algo in all_baselines() {
+        let s = algo.schedule(&instance, 1);
+        s.validate(&instance).unwrap();
+        if !algo.name().starts_with("CA-PQ") {
+            assert_eq!(
+                s.get(JobId(1)).unwrap().start,
+                1.0,
+                "{} should start the free job at release",
+                algo.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn uncontended_jobs_start_at_release_for_all_event_driven_schedulers() {
+    // Plenty of capacity: every event-driven baseline is work-conserving.
+    let jobs: Vec<Job> = (0..10)
+        .map(|i| Job::from_fractions(JobId(0), i as f64, 2.0, 1.0, &[0.05, 0.05]))
+        .collect();
+    let instance = inst(jobs, 2);
+    for algo in all_baselines() {
+        if algo.name().starts_with("CA-PQ") {
+            continue;
+        }
+        let s = algo.schedule(&instance, 2);
+        s.validate(&instance).unwrap();
+        for job in instance.jobs() {
+            assert_eq!(
+                s.get(job.id).unwrap().start,
+                job.release,
+                "{}: job {} delayed without contention",
+                algo.name(),
+                job.id
+            );
+        }
+    }
+}
+
+#[test]
+fn identical_jobs_scheduled_in_id_order_by_pq() {
+    // Deterministic tie-breaking: equal keys resolve by job id.
+    let jobs: Vec<Job> = (0..6)
+        .map(|_| Job::from_fractions(JobId(0), 0.0, 1.0, 1.0, &[0.9]))
+        .collect();
+    let instance = inst(jobs, 1);
+    let s = Pq::new(SortHeuristic::Wsjf).schedule(&instance, 1);
+    s.validate(&instance).unwrap();
+    let mut starts: Vec<(u32, f64)> = s.assignments().map(|a| (a.job.0, a.start)).collect();
+    starts.sort_by_key(|&(id, _)| id);
+    for w in starts.windows(2) {
+        assert!(w[0].1 <= w[1].1, "id order broken: {starts:?}");
+    }
+}
+
+#[test]
+fn far_future_release_is_respected() {
+    let jobs = vec![Job::from_fractions(JobId(0), 1e6, 1.0, 1.0, &[0.5])];
+    let instance = inst(jobs, 1);
+    for algo in all_baselines() {
+        let s = algo.schedule(&instance, 2);
+        assert_eq!(s.get(JobId(0)).unwrap().start, 1e6, "{}", algo.name());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every baseline produces feasible, complete schedules on random
+    /// instances with extreme demand mixes (including full-demand jobs and
+    /// zero-demand jobs).
+    #[test]
+    fn baselines_feasible_on_extreme_mixes(
+        rows in prop::collection::vec(
+            (0.0f64..8.0, 0.5f64..4.0,
+             prop::collection::vec(prop::sample::select(
+                 vec![0.0, 0.01, 0.33, 0.5, 0.99, 1.0]), 2..=2)),
+            1..20,
+        ),
+        machines in 1usize..4,
+    ) {
+        let jobs: Vec<Job> = rows
+            .iter()
+            .map(|(r, p, d)| Job::from_fractions(JobId(0), *r, *p, 1.0, d))
+            .collect();
+        let instance = inst(jobs, 2);
+        for algo in all_baselines() {
+            let s = algo.schedule(&instance, machines);
+            prop_assert!(s.validate(&instance).is_ok(), "{}", algo.name());
+        }
+    }
+
+    /// Tetris with eps = 0 (pure alignment) and large eps (pure SVF) bracket
+    /// the default, and all remain feasible.
+    #[test]
+    fn tetris_eps_spectrum(
+        rows in prop::collection::vec(
+            (0.0f64..5.0, 1.0f64..3.0, 0.05f64..0.8),
+            2..15,
+        ),
+    ) {
+        let jobs: Vec<Job> = rows
+            .iter()
+            .map(|(r, p, d)| Job::from_fractions(JobId(0), *r, *p, 1.0, &[*d, *d]))
+            .collect();
+        let instance = inst(jobs, 2);
+        for eps in [0.0, 0.5, 1.0, 10.0] {
+            let s = Tetris::new(eps).schedule(&instance, 2);
+            prop_assert!(s.validate(&instance).is_ok(), "eps = {eps}");
+        }
+    }
+
+    /// CA-PQ never starts anything before the last release, and every other
+    /// baseline starts at least one job earlier whenever releases are
+    /// spread and capacity is free.
+    #[test]
+    fn capq_gates_on_last_release(
+        rows in prop::collection::vec(
+            (0.0f64..10.0, 0.5f64..2.0, 0.05f64..0.3),
+            3..12,
+        ),
+    ) {
+        let jobs: Vec<Job> = rows
+            .iter()
+            .map(|(r, p, d)| Job::from_fractions(JobId(0), *r, *p, 1.0, &[*d]))
+            .collect();
+        let instance = inst(jobs, 1);
+        let gate = instance.stats().max_release;
+        let s = CaPq::default().schedule(&instance, 1);
+        for a in s.assignments() {
+            prop_assert!(a.start >= gate - 1e-9);
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Instantaneous cluster state for online event-driven simulation.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use mris_types::{Amount, Instance, Job, JobId, Time, CAPACITY};
+
+use crate::OrdTime;
+
+/// The instantaneous state of `M` machines: per-machine available capacity
+/// (exact fixed-point) and the set of running jobs with their completion
+/// times. Used by online schedulers that start jobs at the current instant.
+#[derive(Debug, Clone)]
+pub struct ClusterState {
+    num_machines: usize,
+    num_resources: usize,
+    /// Flattened `M x R` available capacity.
+    avail: Vec<Amount>,
+    /// Min-heap of running jobs by completion time.
+    running: BinaryHeap<Reverse<(OrdTime, u32, JobId)>>,
+}
+
+impl ClusterState {
+    /// An idle cluster of `num_machines` machines with `num_resources`
+    /// resources each at full capacity.
+    pub fn new(num_machines: usize, num_resources: usize) -> Self {
+        assert!(num_machines > 0 && num_resources > 0);
+        ClusterState {
+            num_machines,
+            num_resources,
+            avail: vec![CAPACITY; num_machines * num_resources],
+            running: BinaryHeap::new(),
+        }
+    }
+
+    /// Number of machines `M`.
+    #[inline]
+    pub fn num_machines(&self) -> usize {
+        self.num_machines
+    }
+
+    /// Number of resources `R`.
+    #[inline]
+    pub fn num_resources(&self) -> usize {
+        self.num_resources
+    }
+
+    /// Remaining capacity vector of machine `m`.
+    #[inline]
+    pub fn avail(&self, m: usize) -> &[Amount] {
+        &self.avail[m * self.num_resources..(m + 1) * self.num_resources]
+    }
+
+    /// Whether `demands` fits on machine `m` right now.
+    #[inline]
+    pub fn fits(&self, m: usize, demands: &[Amount]) -> bool {
+        self.avail(m).iter().zip(demands).all(|(&a, &d)| d <= a)
+    }
+
+    /// The first machine (lowest index) where `demands` fits now, if any.
+    pub fn first_fit(&self, demands: &[Amount]) -> Option<usize> {
+        (0..self.num_machines).find(|&m| self.fits(m, demands))
+    }
+
+    /// Number of currently running jobs.
+    #[inline]
+    pub fn num_running(&self) -> usize {
+        self.running.len()
+    }
+
+    /// Completion time of the next job to finish, if any is running.
+    pub fn next_completion(&self) -> Option<Time> {
+        self.running.peek().map(|Reverse((t, _, _))| t.0)
+    }
+
+    /// Starts `job` on machine `m` at time `now`: capacity is consumed and a
+    /// completion event is enqueued. Panics if the job does not fit.
+    pub fn start(&mut self, m: usize, job: &Job, now: Time) {
+        assert!(self.fits(m, &job.demands), "job {} does not fit", job.id);
+        for (a, &d) in self.avail[m * self.num_resources..(m + 1) * self.num_resources]
+            .iter_mut()
+            .zip(job.demands.iter())
+        {
+            *a -= d;
+        }
+        self.running
+            .push(Reverse((OrdTime(now + job.proc_time), m as u32, job.id)));
+    }
+
+    /// Pops every job completing at or before `now`, restores its capacity,
+    /// and appends the machines that freed capacity to `freed` (deduplicated
+    /// by the caller if needed).
+    pub fn complete_due(&mut self, now: Time, instance: &Instance, freed: &mut Vec<usize>) {
+        while let Some(Reverse((t, m, job))) = self.running.peek().copied() {
+            if t.0 > now {
+                break;
+            }
+            self.running.pop();
+            let m = m as usize;
+            let demands = &instance.job(job).demands;
+            for (a, &d) in self.avail[m * self.num_resources..(m + 1) * self.num_resources]
+                .iter_mut()
+                .zip(demands.iter())
+            {
+                *a += d;
+                debug_assert!(*a <= CAPACITY);
+            }
+            freed.push(m);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(id: u32, p: f64, demand: f64) -> Job {
+        Job::from_fractions(JobId(id), 0.0, p, 1.0, &[demand])
+    }
+
+    fn instance(jobs: Vec<Job>) -> Instance {
+        Instance::new(jobs, 1).unwrap()
+    }
+
+    #[test]
+    fn start_and_complete_roundtrip() {
+        let inst = instance(vec![job(0, 2.0, 0.6), job(1, 3.0, 0.6)]);
+        let mut cs = ClusterState::new(1, 1);
+        cs.start(0, inst.job(JobId(0)), 0.0);
+        assert!(!cs.fits(0, &inst.job(JobId(1)).demands));
+        assert_eq!(cs.next_completion(), Some(2.0));
+        let mut freed = Vec::new();
+        cs.complete_due(2.0, &inst, &mut freed);
+        assert_eq!(freed, vec![0]);
+        assert!(cs.fits(0, &inst.job(JobId(1)).demands));
+        assert_eq!(cs.num_running(), 0);
+    }
+
+    #[test]
+    fn complete_due_only_pops_due_jobs() {
+        let inst = instance(vec![job(0, 2.0, 0.3), job(1, 5.0, 0.3)]);
+        let mut cs = ClusterState::new(1, 1);
+        cs.start(0, inst.job(JobId(0)), 0.0);
+        cs.start(0, inst.job(JobId(1)), 0.0);
+        let mut freed = Vec::new();
+        cs.complete_due(3.0, &inst, &mut freed);
+        assert_eq!(freed, vec![0]);
+        assert_eq!(cs.next_completion(), Some(5.0));
+    }
+
+    #[test]
+    fn first_fit_scans_machines_in_order() {
+        let inst = instance(vec![job(0, 2.0, 1.0)]);
+        let mut cs = ClusterState::new(3, 1);
+        cs.start(0, inst.job(JobId(0)), 0.0);
+        assert_eq!(cs.first_fit(&inst.job(JobId(0)).demands), Some(1));
+    }
+
+    #[test]
+    fn first_fit_none_when_cluster_full() {
+        let inst = instance(vec![job(0, 5.0, 1.0), job(1, 5.0, 1.0), job(2, 1.0, 0.5)]);
+        let mut cs = ClusterState::new(2, 1);
+        cs.start(0, inst.job(JobId(0)), 0.0);
+        cs.start(1, inst.job(JobId(1)), 0.0);
+        assert_eq!(cs.first_fit(&inst.job(JobId(2)).demands), None);
+        assert_eq!(cs.num_running(), 2);
+    }
+
+    #[test]
+    fn simultaneous_completions_free_multiple_machines() {
+        let inst = instance(vec![job(0, 2.0, 0.8), job(1, 2.0, 0.8)]);
+        let mut cs = ClusterState::new(2, 1);
+        cs.start(0, inst.job(JobId(0)), 0.0);
+        cs.start(1, inst.job(JobId(1)), 0.0);
+        let mut freed = Vec::new();
+        cs.complete_due(2.0, &inst, &mut freed);
+        freed.sort_unstable();
+        assert_eq!(freed, vec![0, 1]);
+        assert_eq!(cs.next_completion(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn start_rejects_oversubscription() {
+        let inst = instance(vec![job(0, 2.0, 0.7), job(1, 2.0, 0.7)]);
+        let mut cs = ClusterState::new(1, 1);
+        cs.start(0, inst.job(JobId(0)), 0.0);
+        cs.start(0, inst.job(JobId(1)), 0.0);
+    }
+}

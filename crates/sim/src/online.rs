@@ -1,0 +1,325 @@
+//! Event-driven online simulation driver.
+//!
+//! Reproduces the execution model of Section 4: the simulated wall clock
+//! jumps between *events* (job arrivals and completions); at every event the
+//! policy inspects the pending jobs and the instantaneous cluster state and
+//! may start any feasible subset immediately.
+
+use mris_types::{Instance, JobId, Schedule, Time};
+
+use crate::ClusterState;
+
+/// The placement interface handed to an [`OnlinePolicy`] at each event.
+///
+/// Placements take effect immediately (`S_j = now`): capacity is consumed at
+/// once, so feasibility checks for subsequent placements within the same
+/// event see earlier placements.
+pub struct Dispatcher<'a> {
+    cluster: &'a mut ClusterState,
+    schedule: &'a mut Schedule,
+    instance: &'a Instance,
+    now: Time,
+}
+
+impl<'a> Dispatcher<'a> {
+    /// The current simulated time.
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The instance being scheduled. Returned at the dispatcher's own
+    /// lifetime so callers can hold it across [`Dispatcher::place`] calls.
+    #[inline]
+    pub fn instance(&self) -> &'a Instance {
+        self.instance
+    }
+
+    /// Read access to the instantaneous cluster state.
+    #[inline]
+    pub fn cluster(&self) -> &ClusterState {
+        self.cluster
+    }
+
+    /// Starts `job` on `machine` right now. Panics if the job does not fit,
+    /// has not been released, or was already placed — all policy bugs.
+    pub fn place(&mut self, machine: usize, job: JobId) {
+        let j = self.instance.job(job);
+        assert!(
+            j.release <= self.now,
+            "policy placed {job} before its release"
+        );
+        self.cluster.start(machine, j, self.now);
+        self.schedule
+            .assign(job, machine, self.now)
+            .expect("policy placed a job twice");
+    }
+}
+
+/// An online scheduling policy driven by [`run_online`].
+///
+/// The policy owns its pending-job bookkeeping: the driver announces
+/// arrivals, and at every event (arrival and/or completion) asks the policy
+/// to dispatch. Jobs the policy places must be removed from its own pending
+/// structures.
+pub trait OnlinePolicy {
+    /// Called when jobs arrive (release time reached), before `dispatch` at
+    /// the same event. `arrived` is ordered by release, ties by id.
+    fn on_arrivals(&mut self, now: Time, arrived: &[JobId], instance: &Instance);
+
+    /// Called at every event after completions and arrivals are applied.
+    /// `freed_machines` lists machines on which a job just completed
+    /// (sorted, deduplicated; empty for pure-arrival events).
+    fn dispatch(&mut self, dispatcher: &mut Dispatcher<'_>, freed_machines: &[usize]);
+}
+
+/// A snapshot of the simulation taken after each event was processed,
+/// delivered to the observer of [`run_online_observed`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EventSnapshot {
+    /// Event time.
+    pub time: Time,
+    /// Jobs currently running across the cluster.
+    pub running: usize,
+    /// Jobs placed so far (cumulative).
+    pub placed: usize,
+    /// Jobs released so far (cumulative).
+    pub released: usize,
+}
+
+/// Runs `policy` over `instance` on `num_machines` machines and returns the
+/// complete schedule.
+///
+/// # Panics
+///
+/// Panics if the policy strands jobs (leaves them unplaced after the last
+/// event) or violates placement rules — see [`Dispatcher::place`]. Any
+/// work-conserving policy places every job: when the cluster drains, all
+/// pending jobs fit an idle machine.
+pub fn run_online<P: OnlinePolicy + ?Sized>(
+    instance: &Instance,
+    num_machines: usize,
+    policy: &mut P,
+) -> Schedule {
+    run_online_observed(instance, num_machines, policy, |_| {})
+}
+
+/// Like [`run_online`], additionally invoking `observer` with an
+/// [`EventSnapshot`] after every processed event — for queue-dynamics
+/// experiments and diagnostics.
+pub fn run_online_observed<P: OnlinePolicy + ?Sized>(
+    instance: &Instance,
+    num_machines: usize,
+    policy: &mut P,
+    mut observer: impl FnMut(&EventSnapshot),
+) -> Schedule {
+    let mut schedule = Schedule::new(instance.len(), num_machines);
+    if instance.is_empty() {
+        return schedule;
+    }
+    let mut cluster = ClusterState::new(num_machines, instance.num_resources());
+
+    let mut arrivals: Vec<JobId> = instance.jobs().iter().map(|j| j.id).collect();
+    arrivals.sort_by(|&a, &b| {
+        instance
+            .job(a)
+            .release
+            .total_cmp(&instance.job(b).release)
+            .then(a.cmp(&b))
+    });
+
+    let mut next_arrival = 0usize;
+    let mut freed: Vec<usize> = Vec::new();
+    let mut placed_total = 0usize;
+    loop {
+        let arr_t = arrivals
+            .get(next_arrival)
+            .map(|&j| instance.job(j).release);
+        let comp_t = cluster.next_completion();
+        let now = match (arr_t, comp_t) {
+            (Some(a), Some(c)) => a.min(c),
+            (Some(a), None) => a,
+            (None, Some(c)) => c,
+            (None, None) => break,
+        };
+
+        freed.clear();
+        cluster.complete_due(now, instance, &mut freed);
+        freed.sort_unstable();
+        freed.dedup();
+
+        let first = next_arrival;
+        while next_arrival < arrivals.len()
+            && instance.job(arrivals[next_arrival]).release <= now
+        {
+            next_arrival += 1;
+        }
+        if next_arrival > first {
+            policy.on_arrivals(now, &arrivals[first..next_arrival], instance);
+        }
+
+        let running_before_dispatch = cluster.num_running();
+        let mut dispatcher = Dispatcher {
+            cluster: &mut cluster,
+            schedule: &mut schedule,
+            instance,
+            now,
+        };
+        policy.dispatch(&mut dispatcher, &freed);
+        placed_total += cluster.num_running() - running_before_dispatch;
+        observer(&EventSnapshot {
+            time: now,
+            running: cluster.num_running(),
+            placed: placed_total,
+            released: next_arrival,
+        });
+    }
+
+    assert!(
+        schedule.is_complete(),
+        "online policy stranded jobs: no events remain but the schedule is incomplete"
+    );
+    schedule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mris_types::Job;
+
+    /// A trivial FIFO policy: place pending jobs in arrival order on the
+    /// first machine that fits.
+    struct Fifo {
+        pending: Vec<JobId>,
+    }
+
+    impl OnlinePolicy for Fifo {
+        fn on_arrivals(&mut self, _now: Time, arrived: &[JobId], _inst: &Instance) {
+            self.pending.extend_from_slice(arrived);
+        }
+
+        fn dispatch(&mut self, d: &mut Dispatcher<'_>, _freed: &[usize]) {
+            self.pending.retain(|&job| {
+                let demands = &d.instance().job(job).demands;
+                if let Some(m) = d.cluster().first_fit(demands) {
+                    d.place(m, job);
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+    }
+
+    fn inst(jobs: Vec<Job>, r: usize) -> Instance {
+        Instance::new(jobs, r).unwrap()
+    }
+
+    #[test]
+    fn fifo_serializes_conflicting_jobs() {
+        let instance = inst(
+            vec![
+                Job::from_fractions(JobId(0), 0.0, 2.0, 1.0, &[0.8]),
+                Job::from_fractions(JobId(1), 0.0, 3.0, 1.0, &[0.8]),
+                Job::from_fractions(JobId(2), 1.0, 1.0, 1.0, &[0.1]),
+            ],
+            1,
+        );
+        let mut policy = Fifo { pending: vec![] };
+        let s = run_online(&instance, 1, &mut policy);
+        s.validate(&instance).unwrap();
+        assert_eq!(s.get(JobId(0)).unwrap().start, 0.0);
+        assert_eq!(s.get(JobId(1)).unwrap().start, 2.0);
+        // Job 2 fits alongside job 0 at its arrival.
+        assert_eq!(s.get(JobId(2)).unwrap().start, 1.0);
+    }
+
+    #[test]
+    fn multiple_machines_used_in_order() {
+        let instance = inst(
+            vec![
+                Job::from_fractions(JobId(0), 0.0, 5.0, 1.0, &[1.0]),
+                Job::from_fractions(JobId(1), 0.0, 5.0, 1.0, &[1.0]),
+            ],
+            1,
+        );
+        let s = run_online(&instance, 2, &mut Fifo { pending: vec![] });
+        s.validate(&instance).unwrap();
+        assert_eq!(s.get(JobId(0)).unwrap().machine, 0);
+        assert_eq!(s.get(JobId(1)).unwrap().machine, 1);
+        assert_eq!(s.makespan(&instance), 5.0);
+    }
+
+    #[test]
+    fn observer_sees_monotone_progress() {
+        let instance = inst(
+            (0..8)
+                .map(|i| Job::from_fractions(JobId(i), (i % 3) as f64, 2.0, 1.0, &[0.6]))
+                .collect(),
+            1,
+        );
+        let mut snapshots = Vec::new();
+        let s = run_online_observed(
+            &instance,
+            2,
+            &mut Fifo { pending: vec![] },
+            |snap| snapshots.push(*snap),
+        );
+        s.validate(&instance).unwrap();
+        assert!(!snapshots.is_empty());
+        for w in snapshots.windows(2) {
+            assert!(w[0].time <= w[1].time);
+            assert!(w[0].placed <= w[1].placed);
+            assert!(w[0].released <= w[1].released);
+        }
+        let last = snapshots.last().unwrap();
+        assert_eq!(last.placed, instance.len());
+        assert_eq!(last.released, instance.len());
+        assert_eq!(last.running, 0);
+    }
+
+    #[test]
+    fn empty_instance_yields_empty_schedule() {
+        let instance = inst(vec![], 1);
+        let s = run_online(&instance, 3, &mut Fifo { pending: vec![] });
+        assert!(s.is_complete());
+        assert_eq!(s.num_jobs(), 0);
+    }
+
+    #[test]
+    fn arrivals_delivered_in_release_order() {
+        struct Recorder {
+            seen: Vec<(Time, JobId)>,
+            fifo: Fifo,
+        }
+        impl OnlinePolicy for Recorder {
+            fn on_arrivals(&mut self, now: Time, arrived: &[JobId], inst: &Instance) {
+                for &j in arrived {
+                    self.seen.push((now, j));
+                }
+                self.fifo.on_arrivals(now, arrived, inst);
+            }
+            fn dispatch(&mut self, d: &mut Dispatcher<'_>, freed: &[usize]) {
+                self.fifo.dispatch(d, freed);
+            }
+        }
+        let instance = inst(
+            vec![
+                Job::from_fractions(JobId(0), 2.0, 1.0, 1.0, &[0.1]),
+                Job::from_fractions(JobId(1), 0.0, 1.0, 1.0, &[0.1]),
+                Job::from_fractions(JobId(2), 2.0, 1.0, 1.0, &[0.1]),
+            ],
+            1,
+        );
+        let mut rec = Recorder {
+            seen: vec![],
+            fifo: Fifo { pending: vec![] },
+        };
+        let s = run_online(&instance, 1, &mut rec);
+        s.validate(&instance).unwrap();
+        assert_eq!(
+            rec.seen,
+            vec![(0.0, JobId(1)), (2.0, JobId(0)), (2.0, JobId(2))]
+        );
+    }
+}

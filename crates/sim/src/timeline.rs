@@ -1,0 +1,353 @@
+//! Committed-schedule machine timelines with earliest-fit queries.
+//!
+//! A [`MachineTimeline`] is a step function from time to per-resource usage,
+//! stored as sorted breakpoints. MRIS commits schedule fragments ahead of
+//! wall-clock time and backfills jobs at "the earliest feasible instant
+//! `>= t`", which requires querying usage over an entire candidate window
+//! `[s, s + p)` — something the instantaneous [`ClusterState`] cannot answer.
+//!
+//! [`ClusterState`]: crate::ClusterState
+
+use mris_types::{Amount, Job, Time, CAPACITY};
+
+/// Per-machine resource usage over time as a step function.
+///
+/// Invariants:
+/// * breakpoints are strictly increasing, starting at `0.0`;
+/// * segment `i` spans `[times[i], times[i+1])` (the last segment extends to
+///   infinity) with constant usage `usage[i*R .. (i+1)*R]`;
+/// * every committed occupation is finite, so the last segment's usage is
+///   always all-zero — which guarantees [`MachineTimeline::earliest_fit`]
+///   terminates for any demand within machine capacity.
+#[derive(Debug, Clone)]
+pub struct MachineTimeline {
+    num_resources: usize,
+    times: Vec<Time>,
+    usage: Vec<Amount>,
+}
+
+impl MachineTimeline {
+    /// An empty timeline for a machine with `num_resources` resources.
+    pub fn new(num_resources: usize) -> Self {
+        assert!(num_resources > 0);
+        MachineTimeline {
+            num_resources,
+            times: vec![0.0],
+            usage: vec![0; num_resources],
+        }
+    }
+
+    /// Number of resources `R`.
+    #[inline]
+    pub fn num_resources(&self) -> usize {
+        self.num_resources
+    }
+
+    /// Number of segments in the step function (for diagnostics).
+    #[inline]
+    pub fn num_segments(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Index of the segment containing `t` (requires `t >= 0`).
+    fn segment_index(&self, t: Time) -> usize {
+        debug_assert!(t >= 0.0);
+        // Last index i with times[i] <= t.
+        self.times.partition_point(|&bp| bp <= t) - 1
+    }
+
+    /// Usage vector in effect at instant `t`.
+    pub fn usage_at(&self, t: Time) -> &[Amount] {
+        let i = self.segment_index(t);
+        &self.usage[i * self.num_resources..(i + 1) * self.num_resources]
+    }
+
+    fn segment_usage(&self, i: usize) -> &[Amount] {
+        &self.usage[i * self.num_resources..(i + 1) * self.num_resources]
+    }
+
+    /// Ensures `t` is a breakpoint, splitting its containing segment if
+    /// needed; returns the index of the segment that starts at `t`.
+    fn ensure_breakpoint(&mut self, t: Time) -> usize {
+        let i = self.segment_index(t);
+        if self.times[i] == t {
+            return i;
+        }
+        self.times.insert(i + 1, t);
+        let r = self.num_resources;
+        let seg: Vec<Amount> = self.segment_usage(i).to_vec();
+        // Insert a copy of segment i's usage for the new segment i+1.
+        let at = (i + 1) * r;
+        self.usage.splice(at..at, seg);
+        i + 1
+    }
+
+    /// Whether a job with `demands` fits throughout `[start, start + dur)`.
+    pub fn is_feasible(&self, start: Time, dur: Time, demands: &[Amount]) -> bool {
+        debug_assert_eq!(demands.len(), self.num_resources);
+        debug_assert!(dur > 0.0 && start >= 0.0);
+        let end = start + dur;
+        let mut i = self.segment_index(start);
+        while i < self.times.len() && self.times[i] < end {
+            let seg = self.segment_usage(i);
+            if seg
+                .iter()
+                .zip(demands)
+                .any(|(&u, &d)| u + d > CAPACITY)
+            {
+                return false;
+            }
+            i += 1;
+        }
+        true
+    }
+
+    /// The earliest instant `s >= from` such that the job fits throughout
+    /// `[s, s + dur)`. Always exists for demands within machine capacity
+    /// because the timeline's tail is empty. Runs in `O(segments)`.
+    pub fn earliest_fit(&self, from: Time, dur: Time, demands: &[Amount]) -> Time {
+        debug_assert_eq!(demands.len(), self.num_resources);
+        assert!(dur > 0.0, "job duration must be positive");
+        assert!(
+            demands.iter().all(|&d| d <= CAPACITY),
+            "demand exceeds machine capacity; job can never fit"
+        );
+        let mut cand = from.max(0.0);
+        'outer: loop {
+            let end = cand + dur;
+            let mut i = self.segment_index(cand);
+            while i < self.times.len() && self.times[i] < end {
+                let seg = self.segment_usage(i);
+                if seg
+                    .iter()
+                    .zip(demands)
+                    .any(|(&u, &d)| u + d > CAPACITY)
+                {
+                    // Any start overlapping this segment is infeasible; jump
+                    // past it. The last segment is all-zero so a violating
+                    // segment always has a successor.
+                    cand = self.times[i + 1];
+                    continue 'outer;
+                }
+                i += 1;
+            }
+            return cand;
+        }
+    }
+
+    /// Adds `demands` to the usage over `[start, start + dur)`.
+    ///
+    /// Panics (debug) if the result would exceed capacity — callers must
+    /// check feasibility first (e.g. via [`MachineTimeline::earliest_fit`]).
+    pub fn commit(&mut self, start: Time, dur: Time, demands: &[Amount]) {
+        debug_assert_eq!(demands.len(), self.num_resources);
+        assert!(start >= 0.0 && dur > 0.0 && (start + dur).is_finite());
+        let i0 = self.ensure_breakpoint(start);
+        let i1 = self.ensure_breakpoint(start + dur);
+        let r = self.num_resources;
+        for i in i0..i1 {
+            for (u, &d) in self.usage[i * r..(i + 1) * r].iter_mut().zip(demands) {
+                *u += d;
+                debug_assert!(*u <= CAPACITY, "timeline commit exceeds capacity");
+            }
+        }
+    }
+
+    /// Drops breakpoints earlier than `horizon` whose removal does not change
+    /// the step function at or after `horizon`. Bounds memory in long
+    /// simulations where the past is no longer queried. After compaction,
+    /// queries before `horizon` are invalid.
+    pub fn compact_before(&mut self, horizon: Time) {
+        let keep_from = self.segment_index(horizon.max(0.0));
+        if keep_from == 0 {
+            return;
+        }
+        self.times.drain(..keep_from);
+        self.usage.drain(..keep_from * self.num_resources);
+        // Re-anchor the first breakpoint at zero so `segment_index` stays
+        // valid for any t >= 0 (usage before `horizon` is now approximate,
+        // which is fine: callers promise not to query it).
+        self.times[0] = 0.0;
+    }
+}
+
+/// Timelines for a cluster of `M` identical machines.
+#[derive(Debug, Clone)]
+pub struct ClusterTimelines {
+    machines: Vec<MachineTimeline>,
+}
+
+impl ClusterTimelines {
+    /// Empty timelines for `num_machines` machines with `num_resources`
+    /// resources each.
+    pub fn new(num_machines: usize, num_resources: usize) -> Self {
+        assert!(num_machines > 0);
+        ClusterTimelines {
+            machines: vec![MachineTimeline::new(num_resources); num_machines],
+        }
+    }
+
+    /// Number of machines `M`.
+    #[inline]
+    pub fn num_machines(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// Access a single machine's timeline.
+    #[inline]
+    pub fn machine(&self, m: usize) -> &MachineTimeline {
+        &self.machines[m]
+    }
+
+    /// Earliest `(machine, start)` with `start >= from` at which the job
+    /// fits for `dur`; ties on start break toward the lower machine index.
+    pub fn earliest_fit(&self, from: Time, dur: Time, demands: &[Amount]) -> (usize, Time) {
+        let mut best = (0usize, f64::INFINITY);
+        for (m, tl) in self.machines.iter().enumerate() {
+            let s = tl.earliest_fit(from, dur, demands);
+            if s < best.1 {
+                best = (m, s);
+            }
+        }
+        debug_assert!(best.1.is_finite());
+        best
+    }
+
+    /// Commits a job occupation on a machine.
+    pub fn commit(&mut self, machine: usize, start: Time, dur: Time, demands: &[Amount]) {
+        self.machines[machine].commit(start, dur, demands);
+    }
+
+    /// Finds the earliest fit for `job` at or after `from`, commits it, and
+    /// returns the placement.
+    pub fn place_earliest(&mut self, job: &Job, from: Time) -> (usize, Time) {
+        let (m, s) = self.earliest_fit(from, job.proc_time, &job.demands);
+        self.commit(m, s, job.proc_time, &job.demands);
+        (m, s)
+    }
+
+    /// The latest committed breakpoint across machines — an upper bound on
+    /// the makespan of everything committed so far.
+    pub fn horizon(&self) -> Time {
+        self.machines
+            .iter()
+            .map(|tl| *tl.times.last().unwrap())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mris_types::amount_from_fraction as amt;
+
+    fn d(fracs: &[f64]) -> Vec<Amount> {
+        fracs.iter().copied().map(amt).collect()
+    }
+
+    #[test]
+    fn empty_timeline_fits_anywhere() {
+        let tl = MachineTimeline::new(2);
+        assert_eq!(tl.earliest_fit(0.0, 5.0, &d(&[1.0, 1.0])), 0.0);
+        assert_eq!(tl.earliest_fit(3.5, 5.0, &d(&[1.0, 1.0])), 3.5);
+        assert!(tl.is_feasible(0.0, 100.0, &d(&[1.0, 1.0])));
+    }
+
+    #[test]
+    fn commit_blocks_overlapping_full_demand() {
+        let mut tl = MachineTimeline::new(1);
+        tl.commit(2.0, 3.0, &d(&[0.6]));
+        // A 0.5-demand job cannot overlap [2, 5).
+        assert_eq!(tl.earliest_fit(0.0, 3.0, &d(&[0.5])), 5.0);
+        // But a 2-long job fits before, exactly in [0, 2).
+        assert_eq!(tl.earliest_fit(0.0, 2.0, &d(&[0.5])), 0.0);
+        // And a 0.4-demand job can share the interval.
+        assert_eq!(tl.earliest_fit(0.0, 10.0, &d(&[0.4])), 0.0);
+    }
+
+    #[test]
+    fn earliest_fit_finds_gap_between_commitments() {
+        let mut tl = MachineTimeline::new(1);
+        tl.commit(0.0, 2.0, &d(&[0.9]));
+        tl.commit(5.0, 2.0, &d(&[0.9]));
+        // Gap [2, 5) holds a 3-long job but not a 4-long one.
+        assert_eq!(tl.earliest_fit(0.0, 3.0, &d(&[0.5])), 2.0);
+        assert_eq!(tl.earliest_fit(0.0, 4.0, &d(&[0.5])), 7.0);
+    }
+
+    #[test]
+    fn usage_accumulates_and_splits_segments() {
+        let mut tl = MachineTimeline::new(2);
+        tl.commit(1.0, 4.0, &d(&[0.3, 0.1]));
+        tl.commit(2.0, 1.0, &d(&[0.2, 0.0]));
+        assert_eq!(tl.usage_at(0.5), &d(&[0.0, 0.0])[..]);
+        assert_eq!(tl.usage_at(1.5), &d(&[0.3, 0.1])[..]);
+        assert_eq!(tl.usage_at(2.5), &d(&[0.5, 0.1])[..]);
+        assert_eq!(tl.usage_at(3.5), &d(&[0.3, 0.1])[..]);
+        assert_eq!(tl.usage_at(10.0), &d(&[0.0, 0.0])[..]);
+    }
+
+    #[test]
+    fn exact_capacity_packing_is_feasible() {
+        let mut tl = MachineTimeline::new(1);
+        tl.commit(0.0, 5.0, &d(&[0.5]));
+        assert!(tl.is_feasible(0.0, 5.0, &d(&[0.5])));
+        assert!(!tl.is_feasible(0.0, 5.0, &[amt(0.5) + 1]));
+        // Earliest fit for the over-half job is when the first one ends.
+        assert_eq!(tl.earliest_fit(0.0, 1.0, &[amt(0.5) + 1]), 5.0);
+    }
+
+    #[test]
+    fn cluster_picks_earliest_machine_with_tie_break() {
+        let mut cl = ClusterTimelines::new(2, 1);
+        cl.commit(0, 0.0, 4.0, &d(&[1.0]));
+        // Machine 1 is empty: job goes there at time 0.
+        assert_eq!(cl.earliest_fit(0.0, 2.0, &d(&[0.7])), (1, 0.0));
+        cl.commit(1, 0.0, 2.0, &d(&[1.0]));
+        // Now machine 1 frees at 2, machine 0 at 4.
+        assert_eq!(cl.earliest_fit(0.0, 1.0, &d(&[0.7])), (1, 2.0));
+        // Tie at time 4+ (both empty): lower machine index wins.
+        assert_eq!(cl.earliest_fit(4.0, 1.0, &d(&[1.0])), (0, 4.0));
+    }
+
+    #[test]
+    fn place_earliest_commits() {
+        use mris_types::{Job, JobId};
+        let mut cl = ClusterTimelines::new(1, 1);
+        let j = Job::from_fractions(JobId(0), 0.0, 3.0, 1.0, &[0.8]);
+        let (m0, s0) = cl.place_earliest(&j, 0.0);
+        let (m1, s1) = cl.place_earliest(&j, 0.0);
+        assert_eq!((m0, s0), (0, 0.0));
+        assert_eq!((m1, s1), (0, 3.0));
+        assert_eq!(cl.horizon(), 6.0);
+    }
+
+    #[test]
+    fn backfill_before_later_commitment() {
+        // A later commitment far in the future leaves the near past open.
+        let mut tl = MachineTimeline::new(1);
+        tl.commit(100.0, 10.0, &d(&[1.0]));
+        assert_eq!(tl.earliest_fit(3.0, 5.0, &d(&[1.0])), 3.0);
+        // A job longer than the gap has to wait until after the block.
+        assert_eq!(tl.earliest_fit(3.0, 98.0, &d(&[1.0])), 110.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "demand exceeds machine capacity")]
+    fn earliest_fit_rejects_impossible_demand() {
+        let tl = MachineTimeline::new(1);
+        let _ = tl.earliest_fit(0.0, 1.0, &[CAPACITY + 1]);
+    }
+
+    #[test]
+    fn compact_preserves_future() {
+        let mut tl = MachineTimeline::new(1);
+        tl.commit(0.0, 1.0, &d(&[0.5]));
+        tl.commit(2.0, 3.0, &d(&[0.5]));
+        tl.commit(10.0, 1.0, &d(&[1.0]));
+        let before = tl.earliest_fit(10.0, 2.0, &d(&[0.6]));
+        tl.compact_before(9.0);
+        assert_eq!(tl.earliest_fit(10.0, 2.0, &d(&[0.6])), before);
+        assert!(tl.num_segments() <= 4);
+    }
+}

@@ -1,0 +1,105 @@
+//! Synthetic resource scaling (Section 7.5.3, Figure 6).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use mris_types::{Instance, Job};
+
+/// Extends every job of `instance` to `target_resources` resource types
+/// following the paper's recipe: for each new resource and each job `j`,
+/// sample a job `j'` uniformly from the dataset and set `j`'s demand for the
+/// new resource to `j'`'s **CPU demand** (resource 0).
+///
+/// Panics if `target_resources` is smaller than the instance's current `R`.
+pub fn augment_resources(instance: &Instance, target_resources: usize, seed: u64) -> Instance {
+    let r = instance.num_resources();
+    assert!(
+        target_resources >= r,
+        "cannot shrink resources: {target_resources} < {r}"
+    );
+    if target_resources == r || instance.is_empty() {
+        return instance.clone();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = instance.len();
+    let jobs: Vec<Job> = instance
+        .jobs()
+        .iter()
+        .map(|job| {
+            let mut demands = Vec::with_capacity(target_resources);
+            demands.extend_from_slice(&job.demands);
+            for _ in r..target_resources {
+                let donor = rng.gen_range(0..n);
+                demands.push(instance.jobs()[donor].demands[0]);
+            }
+            Job {
+                demands: demands.into_boxed_slice(),
+                ..job.clone()
+            }
+        })
+        .collect();
+    Instance::new(jobs, target_resources).expect("augmented jobs remain valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mris_types::JobId;
+
+    fn base() -> Instance {
+        Instance::new(
+            vec![
+                Job::from_fractions(JobId(0), 0.0, 1.0, 1.0, &[0.25, 0.5]),
+                Job::from_fractions(JobId(1), 1.0, 2.0, 1.0, &[0.75, 0.1]),
+            ],
+            2,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn preserves_existing_demands_and_metadata() {
+        let inst = base();
+        let aug = augment_resources(&inst, 5, 9);
+        assert_eq!(aug.num_resources(), 5);
+        for (a, b) in aug.jobs().iter().zip(inst.jobs()) {
+            assert_eq!(&a.demands[..2], &b.demands[..]);
+            assert_eq!(a.proc_time, b.proc_time);
+            assert_eq!(a.release, b.release);
+            assert_eq!(a.weight, b.weight);
+        }
+    }
+
+    #[test]
+    fn new_demands_are_resampled_cpu_values() {
+        let inst = base();
+        let aug = augment_resources(&inst, 4, 11);
+        let cpu_values: Vec<u64> = inst.jobs().iter().map(|j| j.demands[0]).collect();
+        for job in aug.jobs() {
+            for &d in &job.demands[2..] {
+                assert!(cpu_values.contains(&d), "demand {d} not a CPU demand");
+            }
+        }
+    }
+
+    #[test]
+    fn identity_when_target_equals_r() {
+        let inst = base();
+        assert_eq!(augment_resources(&inst, 2, 5), inst);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let inst = base();
+        assert_eq!(
+            augment_resources(&inst, 6, 1),
+            augment_resources(&inst, 6, 1)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot shrink")]
+    fn rejects_shrinking() {
+        let _ = augment_resources(&base(), 1, 0);
+    }
+}

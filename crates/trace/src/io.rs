@@ -1,0 +1,249 @@
+//! CSV import/export of problem instances.
+//!
+//! The synthetic generator ([`crate::AzureTrace`]) covers the paper's
+//! experiments, but downstream users with access to the real Azure packing
+//! trace (or any other workload) can bring their own data through this
+//! module. The schema is one job per line:
+//!
+//! ```text
+//! release,proc_time,weight,d0,d1,...,d{R-1}
+//! ```
+//!
+//! with an optional header line (detected and skipped when the first field
+//! is not numeric), demands as capacity fractions in `[0, 1]`, and `R`
+//! inferred from the first row. Comments start with `#`.
+
+use std::io::{BufRead, BufWriter, Read, Write};
+use std::path::Path;
+
+use mris_types::{fraction, Instance, Job, JobId};
+
+/// Errors raised while parsing an instance CSV.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line: `(1-based line number, message)`.
+    Parse(usize, String),
+    /// Parsed jobs failed [`Instance`] validation.
+    Invalid(mris_types::InstanceError),
+    /// The file contains no job rows.
+    Empty,
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "i/o error: {e}"),
+            CsvError::Parse(line, msg) => write!(f, "line {line}: {msg}"),
+            CsvError::Invalid(e) => write!(f, "invalid instance: {e}"),
+            CsvError::Empty => write!(f, "no job rows found"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CsvError::Io(e) => Some(e),
+            CsvError::Invalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Parses an instance from CSV text (see module docs for the schema).
+pub fn parse_instance_csv(text: &str) -> Result<Instance, CsvError> {
+    let mut jobs: Vec<Job> = Vec::new();
+    let mut num_resources = 0usize;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        // Header detection: skip a first row whose leading field is not a
+        // number.
+        if jobs.is_empty() && fields[0].parse::<f64>().is_err() {
+            continue;
+        }
+        if fields.len() < 4 {
+            return Err(CsvError::Parse(
+                lineno + 1,
+                format!("expected at least 4 fields, found {}", fields.len()),
+            ));
+        }
+        let parse = |i: usize| -> Result<f64, CsvError> {
+            fields[i]
+                .parse::<f64>()
+                .map_err(|e| CsvError::Parse(lineno + 1, format!("field {}: {e}", i + 1)))
+        };
+        let release = parse(0)?;
+        let proc_time = parse(1)?;
+        let weight = parse(2)?;
+        let demands: Vec<f64> = (3..fields.len())
+            .map(parse)
+            .collect::<Result<_, _>>()?;
+        if num_resources == 0 {
+            num_resources = demands.len();
+        } else if demands.len() != num_resources {
+            return Err(CsvError::Parse(
+                lineno + 1,
+                format!(
+                    "inconsistent resource count: {} (expected {num_resources})",
+                    demands.len()
+                ),
+            ));
+        }
+        jobs.push(Job::from_fractions(
+            JobId(0),
+            release,
+            proc_time,
+            weight,
+            &demands,
+        ));
+    }
+    if jobs.is_empty() {
+        return Err(CsvError::Empty);
+    }
+    Instance::from_unnumbered(jobs, num_resources).map_err(CsvError::Invalid)
+}
+
+/// Reads an instance from a CSV file.
+pub fn read_instance_csv(path: &Path) -> Result<Instance, CsvError> {
+    let file = std::fs::File::open(path)?;
+    let mut text = String::new();
+    std::io::BufReader::new(file).read_to_string(&mut text)?;
+    parse_instance_csv(&text)
+}
+
+/// Serializes an instance to the CSV schema (with a header line).
+pub fn instance_to_csv(instance: &Instance) -> String {
+    let mut out = String::from("release,proc_time,weight");
+    for l in 0..instance.num_resources() {
+        out.push_str(&format!(",d{l}"));
+    }
+    out.push('\n');
+    for job in instance.jobs() {
+        out.push_str(&format!(
+            "{},{},{}",
+            job.release, job.proc_time, job.weight
+        ));
+        for &d in job.demands.iter() {
+            out.push_str(&format!(",{}", fraction(d)));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes an instance to a CSV file.
+pub fn write_instance_csv(instance: &Instance, path: &Path) -> Result<(), CsvError> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    w.write_all(instance_to_csv(instance).as_bytes())?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Convenience: reads any `BufRead` as instance CSV.
+pub fn read_instance<R: BufRead>(mut reader: R) -> Result<Instance, CsvError> {
+    let mut text = String::new();
+    reader.read_to_string(&mut text)?;
+    parse_instance_csv(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+release,proc_time,weight,d0,d1
+# a comment
+0.0,2.0,1.0,0.5,0.25
+1.5,1.0,3.0,1.0,0.0
+";
+
+    #[test]
+    fn parse_roundtrip() {
+        let inst = parse_instance_csv(SAMPLE).unwrap();
+        assert_eq!(inst.len(), 2);
+        assert_eq!(inst.num_resources(), 2);
+        assert_eq!(inst.jobs()[1].weight, 3.0);
+        let csv = instance_to_csv(&inst);
+        let back = parse_instance_csv(&csv).unwrap();
+        assert_eq!(back, inst);
+    }
+
+    #[test]
+    fn headerless_files_parse() {
+        let inst = parse_instance_csv("0,1,1,0.5\n2,3,1,0.25\n").unwrap();
+        assert_eq!(inst.len(), 2);
+        assert_eq!(inst.num_resources(), 1);
+    }
+
+    #[test]
+    fn rejects_inconsistent_resources() {
+        let err = parse_instance_csv("0,1,1,0.5,0.5\n0,1,1,0.5\n").unwrap_err();
+        assert!(matches!(err, CsvError::Parse(2, _)), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_numbers_with_line_info() {
+        let err = parse_instance_csv("0,1,1,0.5\n0,abc,1,0.5\n").unwrap_err();
+        match err {
+            CsvError::Parse(2, msg) => assert!(msg.contains("field 2"), "{msg}"),
+            other => panic!("{other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_empty_and_invalid() {
+        assert!(matches!(
+            parse_instance_csv("# nothing\n").unwrap_err(),
+            CsvError::Empty
+        ));
+        // Negative processing time fails instance validation.
+        assert!(matches!(
+            parse_instance_csv("0,-1,1,0.5\n").unwrap_err(),
+            CsvError::Invalid(_)
+        ));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let inst = parse_instance_csv(SAMPLE).unwrap();
+        let dir = std::env::temp_dir().join("mris_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("instance.csv");
+        write_instance_csv(&inst, &path).unwrap();
+        let back = read_instance_csv(&path).unwrap();
+        assert_eq!(back, inst);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn generated_trace_roundtrips_through_csv() {
+        use crate::{AzureTrace, AzureTraceConfig};
+        let trace = AzureTrace::generate(&AzureTraceConfig {
+            num_jobs: 200,
+            ..Default::default()
+        });
+        let inst = trace.sample_instance(2, 0);
+        let back = parse_instance_csv(&instance_to_csv(&inst)).unwrap();
+        assert_eq!(back.len(), inst.len());
+        // Fixed-point demands roundtrip exactly; times may differ in the
+        // last ulp through decimal printing, so compare them loosely.
+        for (a, b) in back.jobs().iter().zip(inst.jobs()) {
+            assert_eq!(a.demands, b.demands);
+            assert!((a.release - b.release).abs() < 1e-9);
+            assert!((a.proc_time - b.proc_time).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Error types for instance construction.
+
+use crate::JobId;
+
+/// A problem instance failed validation (see [`Instance::new`](crate::Instance::new)).
+#[derive(Debug, Clone, PartialEq)]
+pub enum InstanceError {
+    /// A job's demand vector length does not match the instance's resource count.
+    DemandDimensionMismatch {
+        /// Offending job.
+        job: JobId,
+        /// Expected number of resources.
+        expected: usize,
+        /// Observed demand vector length.
+        found: usize,
+    },
+    /// A job's demand for some resource exceeds machine capacity; it could
+    /// never be scheduled.
+    DemandExceedsCapacity {
+        /// Offending job.
+        job: JobId,
+        /// Resource index with the oversized demand.
+        resource: usize,
+    },
+    /// A job's processing time is not strictly positive and finite.
+    InvalidProcTime {
+        /// Offending job.
+        job: JobId,
+        /// The invalid value.
+        value: f64,
+    },
+    /// A job's release time is negative or not finite.
+    InvalidRelease {
+        /// Offending job.
+        job: JobId,
+        /// The invalid value.
+        value: f64,
+    },
+    /// A job's weight is negative or not finite.
+    InvalidWeight {
+        /// Offending job.
+        job: JobId,
+        /// The invalid value.
+        value: f64,
+    },
+    /// A job's `id` field does not equal its index in the job list.
+    MisnumberedJob {
+        /// Index at which the job was found.
+        index: usize,
+        /// The id the job carried.
+        found: JobId,
+    },
+    /// The instance declares zero resource types; the model requires `R >= 1`.
+    NoResources,
+}
+
+impl std::fmt::Display for InstanceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InstanceError::DemandDimensionMismatch {
+                job,
+                expected,
+                found,
+            } => write!(
+                f,
+                "job {job} has {found} demand entries, instance has {expected} resources"
+            ),
+            InstanceError::DemandExceedsCapacity { job, resource } => write!(
+                f,
+                "job {job} demands more than machine capacity for resource {resource}"
+            ),
+            InstanceError::InvalidProcTime { job, value } => {
+                write!(f, "job {job} has non-positive processing time {value}")
+            }
+            InstanceError::InvalidRelease { job, value } => {
+                write!(f, "job {job} has invalid release time {value}")
+            }
+            InstanceError::InvalidWeight { job, value } => {
+                write!(f, "job {job} has invalid weight {value}")
+            }
+            InstanceError::MisnumberedJob { index, found } => {
+                write!(f, "job at index {index} carries id {found}")
+            }
+            InstanceError::NoResources => write!(f, "instance declares zero resource types"),
+        }
+    }
+}
+
+impl std::error::Error for InstanceError {}

@@ -1,0 +1,339 @@
+//! Problem instances: a validated job collection plus the resource dimension.
+
+use crate::error::InstanceError;
+use crate::job::{Job, JobId};
+use crate::resource::CAPACITY;
+use crate::Time;
+
+/// A problem instance `I`: `N` jobs over `R` resource types (Section 3).
+///
+/// Invariants, enforced at construction:
+/// * every job's demand vector has length `R >= 1` and each entry is at most
+///   [`CAPACITY`],
+/// * processing times are positive and finite, releases non-negative and
+///   finite, weights non-negative and finite,
+/// * `jobs[i].id == JobId(i)`.
+///
+/// The paper additionally normalizes `p_j >= 1` by dividing all times by the
+/// minimum processing time; [`Instance::normalize`] performs that step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instance {
+    jobs: Vec<Job>,
+    num_resources: usize,
+}
+
+impl Instance {
+    /// Validates and wraps a job collection.
+    pub fn new(jobs: Vec<Job>, num_resources: usize) -> Result<Self, InstanceError> {
+        if num_resources == 0 {
+            return Err(InstanceError::NoResources);
+        }
+        for (index, job) in jobs.iter().enumerate() {
+            if job.id.index() != index {
+                return Err(InstanceError::MisnumberedJob {
+                    index,
+                    found: job.id,
+                });
+            }
+            if job.demands.len() != num_resources {
+                return Err(InstanceError::DemandDimensionMismatch {
+                    job: job.id,
+                    expected: num_resources,
+                    found: job.demands.len(),
+                });
+            }
+            if let Some(resource) = job.demands.iter().position(|&d| d > CAPACITY) {
+                return Err(InstanceError::DemandExceedsCapacity {
+                    job: job.id,
+                    resource,
+                });
+            }
+            if !(job.proc_time.is_finite() && job.proc_time > 0.0) {
+                return Err(InstanceError::InvalidProcTime {
+                    job: job.id,
+                    value: job.proc_time,
+                });
+            }
+            if !(job.release.is_finite() && job.release >= 0.0) {
+                return Err(InstanceError::InvalidRelease {
+                    job: job.id,
+                    value: job.release,
+                });
+            }
+            if !(job.weight.is_finite() && job.weight >= 0.0) {
+                return Err(InstanceError::InvalidWeight {
+                    job: job.id,
+                    value: job.weight,
+                });
+            }
+        }
+        Ok(Instance {
+            jobs,
+            num_resources,
+        })
+    }
+
+    /// Convenience constructor renumbering job ids to match their index, for
+    /// generators that assemble jobs out of order.
+    pub fn from_unnumbered(mut jobs: Vec<Job>, num_resources: usize) -> Result<Self, InstanceError> {
+        for (index, job) in jobs.iter_mut().enumerate() {
+            job.id = JobId(index as u32);
+        }
+        Instance::new(jobs, num_resources)
+    }
+
+    /// The jobs, indexed by [`JobId`].
+    #[inline]
+    pub fn jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    /// Looks up a job by id.
+    #[inline]
+    pub fn job(&self, id: JobId) -> &Job {
+        &self.jobs[id.index()]
+    }
+
+    /// Number of jobs `N`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the instance has no jobs.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Number of resource types `R`.
+    #[inline]
+    pub fn num_resources(&self) -> usize {
+        self.num_resources
+    }
+
+    /// Total volume `V_I = sum_j v_j` (Section 5.1).
+    pub fn total_volume(&self) -> f64 {
+        self.jobs.iter().map(Job::volume).sum()
+    }
+
+    /// Total weight `sum_j w_j`.
+    pub fn total_weight(&self) -> f64 {
+        self.jobs.iter().map(|j| j.weight).sum()
+    }
+
+    /// Divides all times (releases and processing times) by the minimum
+    /// processing time, so the result satisfies the paper's `p_j >= 1`
+    /// convention. Returns the normalized instance and the scale factor
+    /// (the original minimum processing time); multiply normalized times by
+    /// the scale to recover original units. An empty instance is returned
+    /// unchanged with scale 1.
+    pub fn normalize(&self) -> (Instance, f64) {
+        let Some(min_p) = self
+            .jobs
+            .iter()
+            .map(|j| j.proc_time)
+            .min_by(|a, b| a.total_cmp(b))
+        else {
+            return (self.clone(), 1.0);
+        };
+        let jobs = self
+            .jobs
+            .iter()
+            .map(|j| Job {
+                release: j.release / min_p,
+                proc_time: j.proc_time / min_p,
+                ..j.clone()
+            })
+            .collect();
+        (
+            Instance {
+                jobs,
+                num_resources: self.num_resources,
+            },
+            min_p,
+        )
+    }
+
+    /// Summary statistics used for reporting and for sizing MRIS's interval
+    /// sequence.
+    pub fn stats(&self) -> InstanceStats {
+        let mut s = InstanceStats {
+            num_jobs: self.jobs.len(),
+            num_resources: self.num_resources,
+            min_proc: f64::INFINITY,
+            max_proc: 0.0,
+            max_release: 0.0,
+            total_volume: 0.0,
+            total_weight: 0.0,
+        };
+        for j in &self.jobs {
+            s.min_proc = s.min_proc.min(j.proc_time);
+            s.max_proc = s.max_proc.max(j.proc_time);
+            s.max_release = s.max_release.max(j.release);
+            s.total_volume += j.volume();
+            s.total_weight += j.weight;
+        }
+        if self.jobs.is_empty() {
+            s.min_proc = 0.0;
+        }
+        s
+    }
+
+    /// Lower bound on the optimal makespan of this instance from Lemma 6.2
+    /// combined with trivial bounds: `max(V_I/(R*M), max_j p_j, max_j r_j + p_j ... )`.
+    ///
+    /// Specifically returns `max( V_I / (R*M), max_j (r_j + p_j) )`, both of
+    /// which every feasible schedule on `machines` machines must meet.
+    pub fn makespan_lower_bound(&self, machines: usize) -> Time {
+        let volume_bound = self.total_volume() / (self.num_resources * machines) as f64;
+        let job_bound = self
+            .jobs
+            .iter()
+            .map(|j| j.release + j.proc_time)
+            .fold(0.0_f64, f64::max);
+        volume_bound.max(job_bound)
+    }
+}
+
+/// Aggregate statistics of an [`Instance`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InstanceStats {
+    /// Number of jobs `N`.
+    pub num_jobs: usize,
+    /// Number of resources `R`.
+    pub num_resources: usize,
+    /// Minimum processing time (0 for an empty instance).
+    pub min_proc: Time,
+    /// Maximum processing time.
+    pub max_proc: Time,
+    /// Latest release time.
+    pub max_release: Time,
+    /// Total volume `V_I`.
+    pub total_volume: f64,
+    /// Total weight.
+    pub total_weight: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_jobs() -> Vec<Job> {
+        vec![
+            Job::from_fractions(JobId(0), 0.0, 4.0, 1.0, &[0.5, 0.5]),
+            Job::from_fractions(JobId(1), 3.0, 2.0, 2.0, &[1.0, 0.0]),
+        ]
+    }
+
+    #[test]
+    fn construct_and_query() {
+        let inst = Instance::new(simple_jobs(), 2).unwrap();
+        assert_eq!(inst.len(), 2);
+        assert_eq!(inst.num_resources(), 2);
+        assert!((inst.total_volume() - (4.0 + 2.0)).abs() < 1e-9);
+        assert!((inst.total_weight() - 3.0).abs() < 1e-9);
+        assert_eq!(inst.job(JobId(1)).weight, 2.0);
+    }
+
+    #[test]
+    fn rejects_dimension_mismatch() {
+        let mut jobs = simple_jobs();
+        jobs[1].demands = Box::new([crate::CAPACITY]);
+        let err = Instance::new(jobs, 2).unwrap_err();
+        assert!(matches!(err, InstanceError::DemandDimensionMismatch { .. }));
+    }
+
+    #[test]
+    fn rejects_oversized_demand() {
+        let mut jobs = simple_jobs();
+        jobs[0].demands[1] = crate::CAPACITY + 1;
+        let err = Instance::new(jobs, 2).unwrap_err();
+        assert!(matches!(
+            err,
+            InstanceError::DemandExceedsCapacity { resource: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_scalars() {
+        for (mutate, pattern) in [
+            (
+                Box::new(|j: &mut Job| j.proc_time = 0.0) as Box<dyn Fn(&mut Job)>,
+                "proc",
+            ),
+            (Box::new(|j: &mut Job| j.release = -1.0), "release"),
+            (Box::new(|j: &mut Job| j.weight = f64::NAN), "weight"),
+        ] {
+            let mut jobs = simple_jobs();
+            mutate(&mut jobs[0]);
+            let err = Instance::new(jobs, 2).unwrap_err();
+            match pattern {
+                "proc" => assert!(matches!(err, InstanceError::InvalidProcTime { .. })),
+                "release" => assert!(matches!(err, InstanceError::InvalidRelease { .. })),
+                _ => assert!(matches!(err, InstanceError::InvalidWeight { .. })),
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_misnumbered_ids() {
+        let mut jobs = simple_jobs();
+        jobs[0].id = JobId(5);
+        assert!(matches!(
+            Instance::new(jobs, 2).unwrap_err(),
+            InstanceError::MisnumberedJob { index: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn from_unnumbered_renumbers() {
+        let mut jobs = simple_jobs();
+        jobs[0].id = JobId(9);
+        jobs[1].id = JobId(9);
+        let inst = Instance::from_unnumbered(jobs, 2).unwrap();
+        assert_eq!(inst.jobs()[0].id, JobId(0));
+        assert_eq!(inst.jobs()[1].id, JobId(1));
+    }
+
+    #[test]
+    fn normalize_scales_times() {
+        let inst = Instance::new(simple_jobs(), 2).unwrap();
+        let (norm, scale) = inst.normalize();
+        assert_eq!(scale, 2.0);
+        assert_eq!(norm.jobs()[0].proc_time, 2.0);
+        assert_eq!(norm.jobs()[1].proc_time, 1.0);
+        assert_eq!(norm.jobs()[1].release, 1.5);
+        // Demands and weights untouched.
+        assert_eq!(norm.jobs()[0].demands, inst.jobs()[0].demands);
+        let stats = norm.stats();
+        assert_eq!(stats.min_proc, 1.0);
+    }
+
+    #[test]
+    fn normalize_empty_is_identity() {
+        let inst = Instance::new(vec![], 3).unwrap();
+        let (norm, scale) = inst.normalize();
+        assert_eq!(scale, 1.0);
+        assert!(norm.is_empty());
+    }
+
+    #[test]
+    fn makespan_lower_bound_combines_volume_and_job_bounds() {
+        let inst = Instance::new(simple_jobs(), 2).unwrap();
+        // V = 6, R = 2, M = 1 -> volume bound 3; job bound max(4, 5) = 5.
+        assert!((inst.makespan_lower_bound(1) - 5.0).abs() < 1e-9);
+        // With a huge volume job dominating:
+        let jobs = vec![Job::from_fractions(JobId(0), 0.0, 10.0, 1.0, &[1.0, 1.0])];
+        let inst = Instance::new(jobs, 2).unwrap();
+        assert!((inst.makespan_lower_bound(1) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_resources_rejected() {
+        assert_eq!(
+            Instance::new(vec![], 0).unwrap_err(),
+            InstanceError::NoResources
+        );
+    }
+}

@@ -1,0 +1,93 @@
+//! Fixed-point resource amounts.
+//!
+//! Machine capacity for every resource is normalized to one in the paper
+//! (`U_l = 1`). We represent one unit of capacity as [`CAPACITY`] fixed-point
+//! ticks so that demand sums are exact integers: a machine is feasible at an
+//! instant iff the `u64` sum of active demands is `<= CAPACITY` per resource.
+
+/// A fixed-point quantity of one resource. `CAPACITY` ticks equal the full
+/// (normalized) capacity of a machine for that resource.
+pub type Amount = u64;
+
+/// Fixed-point ticks corresponding to a machine's full capacity (1.0) for a
+/// single resource.
+///
+/// One tick is therefore a demand of `1e-6`, fine enough to represent any
+/// demand fraction a real trace reports, while `u64` sums of up to ~1.8e13
+/// simultaneous full-capacity jobs can never overflow.
+pub const CAPACITY: Amount = 1_000_000;
+
+/// A job's demand vector: one [`Amount`] per resource type, each `<= CAPACITY`.
+pub type DemandVec = Box<[Amount]>;
+
+/// Converts a fractional demand in `[0, 1]` to fixed-point ticks (rounded to
+/// nearest). Values outside `[0, 1]` are clamped; NaN maps to zero.
+///
+/// ```
+/// use mris_types::{amount_from_fraction, CAPACITY};
+/// assert_eq!(amount_from_fraction(1.0), CAPACITY);
+/// assert_eq!(amount_from_fraction(0.25), CAPACITY / 4);
+/// assert_eq!(amount_from_fraction(-3.0), 0);
+/// ```
+pub fn amount_from_fraction(f: f64) -> Amount {
+    if f.is_nan() {
+        return 0;
+    }
+    let clamped = f.clamp(0.0, 1.0);
+    (clamped * CAPACITY as f64).round() as Amount
+}
+
+/// Converts fixed-point ticks back to a fraction of machine capacity.
+///
+/// ```
+/// use mris_types::{fraction, CAPACITY};
+/// assert_eq!(fraction(CAPACITY / 2), 0.5);
+/// ```
+pub fn fraction(a: Amount) -> f64 {
+    a as f64 / CAPACITY as f64
+}
+
+/// Adds `demand` into `usage` element-wise, saturating at `u64::MAX`.
+///
+/// Panics in debug builds if the slices have different lengths.
+pub fn saturating_add_demands(usage: &mut [Amount], demand: &[Amount]) {
+    debug_assert_eq!(usage.len(), demand.len());
+    for (u, d) in usage.iter_mut().zip(demand) {
+        *u = u.saturating_add(*d);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fraction_roundtrip_on_grid() {
+        for pct in 0..=100 {
+            let f = pct as f64 / 100.0;
+            let a = amount_from_fraction(f);
+            assert!((fraction(a) - f).abs() < 1e-9, "pct={pct}");
+        }
+    }
+
+    #[test]
+    fn clamps_out_of_range() {
+        assert_eq!(amount_from_fraction(2.0), CAPACITY);
+        assert_eq!(amount_from_fraction(-0.5), 0);
+        assert_eq!(amount_from_fraction(f64::NAN), 0);
+    }
+
+    #[test]
+    fn add_demands_accumulates() {
+        let mut usage = vec![0, 10, CAPACITY];
+        saturating_add_demands(&mut usage, &[5, 5, 5]);
+        assert_eq!(usage, vec![5, 15, CAPACITY + 5]);
+    }
+
+    #[test]
+    fn add_demands_saturates() {
+        let mut usage = vec![u64::MAX - 1];
+        saturating_add_demands(&mut usage, &[10]);
+        assert_eq!(usage, vec![u64::MAX]);
+    }
+}

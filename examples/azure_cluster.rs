@@ -1,0 +1,82 @@
+//! Trace-driven comparison on the Azure-like synthetic workload: generates
+//! a base trace, downsamples it the way Section 7.1 of the paper does, runs
+//! every scheduler, and prints an AWCT/makespan/delay comparison table.
+//!
+//! Run with: `cargo run --release --example azure_cluster [num_jobs] [machines]`
+
+use mris::metrics::{fairness_report, Cdf, Summary, Table};
+use mris::prelude::*;
+use mris::trace::{AzureTrace, AzureTraceConfig};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let num_jobs: usize = args
+        .next()
+        .map(|s| s.parse().expect("num_jobs must be an integer"))
+        .unwrap_or(2_000);
+    let machines: usize = args
+        .next()
+        .map(|s| s.parse().expect("machines must be an integer"))
+        .unwrap_or(5);
+    let factor = 16;
+    let samples = 5;
+
+    println!("generating Azure-like base trace ({} jobs)...", num_jobs * factor);
+    let trace = AzureTrace::generate(&AzureTraceConfig {
+        num_jobs: num_jobs * factor,
+        ..Default::default()
+    });
+    let instances = trace.sample_instances(factor, samples, 1);
+
+    let algorithms: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(Mris::default()),
+        Box::new(Pq::new(SortHeuristic::Wsjf)),
+        Box::new(Pq::new(SortHeuristic::Wsvf)),
+        Box::new(Tetris::default()),
+        Box::new(BfExec),
+        Box::new(CaPq::default()),
+    ];
+
+    let mut table = Table::new(vec![
+        "algorithm",
+        "AWCT (mean ± 95% CI)",
+        "makespan",
+        "median delay",
+        "zero-delay share",
+        "Jain(slowdown)",
+    ]);
+    for algo in &algorithms {
+        let mut awcts = Vec::new();
+        let mut makespans = Vec::new();
+        let mut delays = Vec::new();
+        let mut jains = Vec::new();
+        for instance in &instances {
+            let schedule = algo.schedule(instance, machines);
+            schedule.validate(instance).expect("feasible schedule");
+            awcts.push(schedule.awct(instance));
+            makespans.push(schedule.makespan(instance));
+            delays.extend(schedule.queuing_delays(instance));
+            jains.push(fairness_report(instance, &schedule).jains_slowdown);
+        }
+        let awct = Summary::of(&awcts);
+        let mk = Summary::of(&makespans);
+        let cdf = Cdf::new(delays);
+        table.push_row(vec![
+            algo.name(),
+            format!("{awct}"),
+            format!("{:.1}", mk.mean),
+            format!("{:.1}", cdf.quantile(0.5)),
+            format!("{:.0}%", cdf.fraction_zero() * 100.0),
+            format!("{:.3}", Summary::of(&jains).mean),
+        ]);
+    }
+
+    println!(
+        "\n{} jobs per sampled set, {} machines, {} sampled sets (f = {})\n",
+        instances[0].len(),
+        machines,
+        samples,
+        factor
+    );
+    println!("{}", table.to_markdown());
+}

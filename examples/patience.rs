@@ -1,0 +1,67 @@
+//! The "exercising patience" scenario of Figure 7: a full-machine blocker
+//! arrives at t=0, then thousands of small jobs arrive moments later. The
+//! event-driven schedulers all commit to the blocker; MRIS waits and runs
+//! the small jobs first. Renders each schedule's CPU utilization over time
+//! as an ASCII strip.
+//!
+//! Run with: `cargo run --release --example patience [num_small]`
+
+use mris::metrics::{render_utilization, utilization_profile};
+use mris::prelude::*;
+use mris::trace::{patience_instance, PatienceConfig};
+
+fn main() {
+    let num_small: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("num_small must be an integer"))
+        .unwrap_or(500);
+
+    let instance = patience_instance(&PatienceConfig {
+        num_small,
+        ..Default::default()
+    });
+    println!(
+        "{} jobs on one machine: blocker (p = 14, full demand) at t = 0,\n\
+         {} small jobs arriving in (0, 0.5)\n",
+        instance.len(),
+        num_small
+    );
+
+    let algorithms: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(Mris::default()),
+        Box::new(Pq::new(SortHeuristic::Wsjf)),
+        Box::new(Tetris::default()),
+        Box::new(BfExec),
+    ];
+
+    let mut results = Vec::new();
+    for algo in &algorithms {
+        let schedule = algo.schedule(&instance, 1);
+        schedule.validate(&instance).expect("feasible schedule");
+        results.push((algo.name(), schedule));
+    }
+
+    let horizon = results
+        .iter()
+        .map(|(_, s)| s.makespan(&instance))
+        .fold(0.0_f64, f64::max)
+        .ceil();
+    println!("CPU utilization over [0, {horizon}) (one cell per {:.2} time units):\n", horizon / 64.0);
+    for (name, schedule) in &results {
+        let profile = utilization_profile(&instance, schedule, 0, 0, horizon, 64);
+        println!(
+            "{:>12}  |{}|  AWCT = {:.3}",
+            name,
+            render_utilization(&profile),
+            schedule.awct(&instance)
+        );
+    }
+
+    let mris_awct = results[0].1.awct(&instance);
+    let pq_awct = results[1].1.awct(&instance);
+    println!(
+        "\nMRIS schedules the small jobs before committing to the blocker:\n\
+         its AWCT is {:.1}x lower than PQ's.",
+        pq_awct / mris_awct
+    );
+}

@@ -1,0 +1,57 @@
+//! Bring-your-own-workload: export a generated trace to CSV, reload it, and
+//! schedule it. Users with the real Azure packing trace (or any other
+//! workload) can convert it to the same schema — one job per line:
+//! `release,proc_time,weight,d0,d1,...` with demands in `[0, 1]`.
+//!
+//! Run with: `cargo run --release --example trace_io`
+
+use mris::prelude::*;
+use mris::trace::{instance_to_csv, parse_instance_csv, AzureTrace, AzureTraceConfig};
+
+fn main() {
+    // 1. Generate a small Azure-like instance and export it.
+    let trace = AzureTrace::generate(&AzureTraceConfig {
+        num_jobs: 4_000,
+        ..Default::default()
+    });
+    let instance = trace.sample_instance(8, 0);
+    let csv = instance_to_csv(&instance);
+    let path = std::env::temp_dir().join("mris_example_trace.csv");
+    std::fs::write(&path, &csv).expect("write trace CSV");
+    println!(
+        "exported {} jobs x {} resources to {}",
+        instance.len(),
+        instance.num_resources(),
+        path.display()
+    );
+    println!("schema preview:");
+    for line in csv.lines().take(4) {
+        println!("  {line}");
+    }
+
+    // 2. Reload and normalize, as for any external workload.
+    let text = std::fs::read_to_string(&path).expect("read trace CSV");
+    let loaded = parse_instance_csv(&text).expect("parse trace CSV");
+    let (normalized, scale) = loaded.normalize();
+    println!(
+        "\nreloaded {} jobs; normalized by min processing time ({scale:.3} time units)",
+        normalized.len()
+    );
+
+    // 3. Schedule the reloaded instance.
+    let machines = 5;
+    for algo in [
+        Box::new(Mris::default()) as Box<dyn Scheduler>,
+        Box::new(Pq::new(SortHeuristic::Wsjf)),
+    ] {
+        let schedule = algo.schedule(&normalized, machines);
+        schedule.validate(&normalized).expect("feasible schedule");
+        println!(
+            "{:>10}: AWCT = {:>10.1}  makespan = {:>9.1}",
+            algo.name(),
+            schedule.awct(&normalized),
+            schedule.makespan(&normalized)
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}

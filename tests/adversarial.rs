@@ -1,0 +1,86 @@
+//! Integration tests on the paper's synthetic adversarial inputs.
+
+use mris::prelude::*;
+use mris::trace::{lemma41_instance, lemma41_reference_awct, patience_instance, PatienceConfig};
+
+/// Lemma 4.1: the PQ class's competitive ratio grows linearly in N, while
+/// MRIS stays below its proven ceiling.
+#[test]
+fn lemma_4_1_pq_ratio_grows_linearly() {
+    let release_eps = 0.1;
+    let mut previous_ratio = 0.0;
+    for n in [16usize, 64, 256] {
+        let instance = lemma41_instance(n, 2, release_eps);
+        let reference = lemma41_reference_awct(n, release_eps);
+
+        for pq in [
+            Box::new(Pq::new(SortHeuristic::Wsjf)) as Box<dyn Scheduler>,
+            Box::new(Tetris::default()),
+            Box::new(BfExec),
+        ] {
+            let ratio = pq.schedule(&instance, 1).awct(&instance) / reference;
+            // The proof gives ratio ~ Np/(N + p) / something; with p = N the
+            // ratio is ~ N/2. Check linear growth with slack.
+            assert!(
+                ratio > n as f64 / 3.0,
+                "{}: ratio {ratio} at n = {n} not Omega(N)",
+                pq.name()
+            );
+        }
+
+        let mris = Mris::default();
+        let mris_ratio = mris.schedule(&instance, 1).awct(&instance) / reference;
+        let ceiling = mris.config.competitive_ratio(2);
+        assert!(
+            mris_ratio <= ceiling,
+            "MRIS ratio {mris_ratio} exceeds ceiling {ceiling} at n = {n}"
+        );
+        // And the PQ ratio strictly grows across the sweep.
+        let pq_ratio =
+            Pq::new(SortHeuristic::Wsjf).schedule(&instance, 1).awct(&instance) / reference;
+        assert!(pq_ratio > previous_ratio);
+        previous_ratio = pq_ratio;
+    }
+}
+
+/// Figure 7: on the patience scenario MRIS achieves roughly a third of the
+/// event-driven schedulers' AWCT, which all start the blocker at t = 0.
+#[test]
+fn figure_7_patience_gap() {
+    let instance = patience_instance(&PatienceConfig {
+        num_small: 800,
+        ..Default::default()
+    });
+    let mris = Mris::default().schedule(&instance, 1);
+    mris.validate(&instance).unwrap();
+    let mris_awct = mris.awct(&instance);
+
+    for algo in [
+        Box::new(Pq::new(SortHeuristic::Wsjf)) as Box<dyn Scheduler>,
+        Box::new(Tetris::default()),
+        Box::new(BfExec),
+    ] {
+        let schedule = algo.schedule(&instance, 1);
+        schedule.validate(&instance).unwrap();
+        // Premature commitment: the blocker starts immediately...
+        assert_eq!(
+            schedule.get(JobId(0)).unwrap().start,
+            0.0,
+            "{}",
+            algo.name()
+        );
+        // ...and AWCT is ~3x MRIS's (allow >= 2.5x for sampling noise).
+        let ratio = schedule.awct(&instance) / mris_awct;
+        assert!(
+            ratio > 2.5,
+            "{}: expected ~3x MRIS, got {ratio:.2}x",
+            algo.name()
+        );
+    }
+
+    // MRIS runs every small job before the blocker.
+    let blocker_start = mris.get(JobId(0)).unwrap().start;
+    for job in &instance.jobs()[1..] {
+        assert!(mris.get(job.id).unwrap().start < blocker_start);
+    }
+}

@@ -1,0 +1,164 @@
+//! End-to-end integration tests: trace generation → scheduling → metrics,
+//! across every algorithm in the library.
+
+use mris::prelude::*;
+use mris::trace::{AzureTrace, AzureTraceConfig};
+
+fn algorithms() -> Vec<Box<dyn Scheduler>> {
+    vec![
+        Box::new(Mris::default()),
+        Box::new(Mris::with_config(MrisConfig {
+            knapsack: KnapsackChoice::Greedy,
+            ..Default::default()
+        })),
+        Box::new(Pq::new(SortHeuristic::Wsjf)),
+        Box::new(Pq::new(SortHeuristic::Svf)),
+        Box::new(Pq::new(SortHeuristic::Erf)),
+        Box::new(Tetris::default()),
+        Box::new(BfExec),
+        Box::new(CaPq::default()),
+    ]
+}
+
+fn azure_instance(n: usize, seed: u64) -> Instance {
+    let trace = AzureTrace::generate(&AzureTraceConfig {
+        num_jobs: n * 4,
+        seed,
+        ..Default::default()
+    });
+    trace.sample_instance(4, 1)
+}
+
+#[test]
+fn every_algorithm_produces_feasible_online_schedules() {
+    let instance = azure_instance(400, 11);
+    for algo in algorithms() {
+        let schedule = algo.schedule(&instance, 4);
+        schedule
+            .validate(&instance)
+            .unwrap_or_else(|e| panic!("{}: {e}", algo.name()));
+        assert!(schedule.is_complete(), "{}", algo.name());
+        // validate() already checks S_j >= r_j; also check the objective is
+        // finite and positive.
+        let awct = schedule.awct(&instance);
+        assert!(awct.is_finite() && awct > 0.0, "{}: awct {awct}", algo.name());
+    }
+}
+
+#[test]
+fn schedulers_are_deterministic() {
+    let instance = azure_instance(300, 5);
+    for algo in algorithms() {
+        let a = algo.schedule(&instance, 3);
+        let b = algo.schedule(&instance, 3);
+        assert_eq!(a, b, "{} is not deterministic", algo.name());
+    }
+}
+
+#[test]
+fn makespans_respect_lemma_6_2_lower_bound() {
+    // Lemma 6.2: every feasible schedule's makespan is at least V/(R*M)
+    // (and trivially at least max r_j + p_j over scheduled jobs).
+    let instance = azure_instance(300, 7);
+    for machines in [1usize, 3, 8] {
+        let lb = instance.makespan_lower_bound(machines);
+        for algo in algorithms() {
+            let schedule = algo.schedule(&instance, machines);
+            let makespan = schedule.makespan(&instance);
+            assert!(
+                makespan >= lb - 1e-6,
+                "{} on {machines} machines: makespan {makespan} < lower bound {lb}",
+                algo.name()
+            );
+        }
+    }
+}
+
+/// Theorem 6.8 / Lemma 6.9 (necessary condition): MRIS's AWCT and makespan
+/// are within the proven factor of *any* feasible schedule's value, since
+/// every feasible schedule upper-bounds OPT.
+#[test]
+fn mris_within_competitive_ceiling_of_best_known() {
+    let instance = azure_instance(250, 13);
+    let machines = 3;
+    let mris = Mris::default();
+    let ceiling = mris.config.competitive_ratio(instance.num_resources());
+
+    let mris_schedule = mris.schedule(&instance, machines);
+    let mris_awct = mris_schedule.awct(&instance);
+    let mris_makespan = mris_schedule.makespan(&instance);
+
+    let mut best_awct = f64::INFINITY;
+    let mut best_makespan = f64::INFINITY;
+    for algo in algorithms() {
+        let s = algo.schedule(&instance, machines);
+        best_awct = best_awct.min(s.awct(&instance));
+        best_makespan = best_makespan.min(s.makespan(&instance));
+    }
+    assert!(
+        mris_awct <= ceiling * best_awct + 1e-6,
+        "AWCT {mris_awct} exceeds {ceiling} x best {best_awct}"
+    );
+    assert!(
+        mris_makespan <= ceiling * best_makespan + 1e-6,
+        "makespan {mris_makespan} exceeds {ceiling} x best {best_makespan}"
+    );
+}
+
+#[test]
+fn queuing_delays_are_nonnegative_and_capq_waits_longest() {
+    let instance = azure_instance(300, 3);
+    let machines = 4;
+    let mut means = Vec::new();
+    for algo in algorithms() {
+        let schedule = algo.schedule(&instance, machines);
+        let delays = schedule.queuing_delays(&instance);
+        assert!(delays.iter().all(|&d| d >= -1e-9), "{}", algo.name());
+        means.push((
+            algo.name(),
+            delays.iter().sum::<f64>() / delays.len() as f64,
+        ));
+    }
+    // CA-PQ's mean queuing delay dominates the event-driven schedulers'
+    // (it waits for the last arrival).
+    let capq = means.iter().find(|(n, _)| n.starts_with("CA-PQ")).unwrap().1;
+    let pq = means.iter().find(|(n, _)| n == "PQ-WSJF").unwrap().1;
+    assert!(capq > pq, "CA-PQ {capq} should exceed PQ {pq}");
+}
+
+#[test]
+fn mris_is_fairer_than_pq_under_load() {
+    // Section 7.5.2's fairness reading, quantified: on a loaded instance
+    // MRIS spreads slowdowns more evenly than the event-driven baselines.
+    use mris::metrics::fairness_report;
+    let instance = azure_instance(500, 23);
+    let machines = 2;
+    let mris = fairness_report(&instance, &Mris::default().schedule(&instance, machines));
+    let pq = fairness_report(
+        &instance,
+        &Pq::new(SortHeuristic::Wsjf).schedule(&instance, machines),
+    );
+    assert!(
+        mris.jains_slowdown > pq.jains_slowdown,
+        "MRIS Jain {} vs PQ Jain {}",
+        mris.jains_slowdown,
+        pq.jains_slowdown
+    );
+    assert!(mris.max_slowdown < pq.max_slowdown);
+}
+
+#[test]
+fn more_machines_never_hurt_much() {
+    // Sanity: going from 2 to 8 machines should improve (or at least not
+    // drastically worsen) every algorithm's AWCT on a loaded instance.
+    let instance = azure_instance(400, 17);
+    for algo in algorithms() {
+        let few = algo.schedule(&instance, 2).awct(&instance);
+        let many = algo.schedule(&instance, 8).awct(&instance);
+        assert!(
+            many <= few * 1.05 + 1e-9,
+            "{}: awct {many} on 8 machines vs {few} on 2",
+            algo.name()
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! Property test of Lemma 6.7, the exchange inequality used in the
+//! Theorem 6.8 proof: if two non-negative sequences have equal totals and
+//! the first majorizes the second on every prefix, then weighting by any
+//! non-decreasing non-negative sequence favors the second.
+
+use proptest::prelude::*;
+
+/// Direct statement of Lemma 6.7.
+fn lemma_6_7_holds(x: &[f64], y: &[f64], z: &[f64]) -> bool {
+    let lhs: f64 = z.iter().zip(x).map(|(a, b)| a * b).sum();
+    let rhs: f64 = z.iter().zip(y).map(|(a, b)| a * b).sum();
+    lhs <= rhs + 1e-6
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn exchange_inequality(
+        raw in prop::collection::vec((0.0f64..10.0, 0.0f64..10.0), 1..12),
+        z_increments in prop::collection::vec(0.0f64..5.0, 12),
+    ) {
+        // Build y freely, then construct x satisfying the hypotheses:
+        // equal total and prefix-domination. We do that by moving mass of y
+        // earlier: x_k gets y's mass weighted toward the front.
+        let y: Vec<f64> = raw.iter().map(|p| p.0).collect();
+        let total: f64 = y.iter().sum();
+        let k = y.len();
+        // Front-loaded x: sort y's entries in decreasing order. Prefixes of
+        // a decreasing rearrangement dominate prefixes of any order of the
+        // same multiset.
+        let mut x = y.clone();
+        x.sort_by(|a, b| b.total_cmp(a));
+        // Sanity: hypotheses hold.
+        let mut px = 0.0;
+        let mut py = 0.0;
+        for i in 0..k {
+            px += x[i];
+            py += y[i];
+            prop_assert!(px >= py - 1e-9);
+        }
+        prop_assert!((px - total).abs() < 1e-9);
+
+        // Non-decreasing non-negative z from increments.
+        let mut z = Vec::with_capacity(k);
+        let mut acc = 0.0;
+        for i in 0..k {
+            acc += z_increments[i % z_increments.len()];
+            z.push(acc);
+        }
+
+        prop_assert!(lemma_6_7_holds(&x, &y, &z),
+            "lemma violated: x={x:?} y={y:?} z={z:?}");
+    }
+
+    /// The inequality can fail without the prefix-domination hypothesis —
+    /// guarding against the test above being vacuous.
+    #[test]
+    fn hypothesis_is_necessary(a in 0.1f64..5.0, b in 0.1f64..5.0) {
+        // x = [0, a+b], y = [a+b, 0] violates prefix domination for x;
+        // with z = [0, 1], sum z*x = a+b > 0 = sum z*y.
+        let x = [0.0, a + b];
+        let y = [a + b, 0.0];
+        let z = [0.0, 1.0];
+        prop_assert!(!lemma_6_7_holds(&x, &y, &z));
+    }
+}

@@ -1,0 +1,106 @@
+//! Remark 3: with unit processing times, a bin-packing subroutine (shelf
+//! FFD) packs batches tighter than the PQ makespan subroutine's worst case.
+
+use mris::core::{batch_makespan_bound, place_batch, place_batch_ffd};
+use mris::prelude::*;
+use mris::sim::ClusterTimelines;
+use mris::trace::unit_job_batch;
+
+fn batch_of(instance: &Instance) -> Vec<JobId> {
+    instance.jobs().iter().map(|j| j.id).collect()
+}
+
+fn makespan_of(instance: &Instance, placements: &[(JobId, usize, f64)]) -> f64 {
+    placements
+        .iter()
+        .map(|&(j, _, s)| s + instance.job(j).proc_time)
+        .fold(0.0_f64, f64::max)
+}
+
+fn as_schedule(instance: &Instance, placements: &[(JobId, usize, f64)], machines: usize) -> Schedule {
+    let mut s = Schedule::new(instance.len(), machines);
+    for &(j, m, start) in placements {
+        s.assign(j, m, start).unwrap();
+    }
+    s
+}
+
+#[test]
+fn ffd_placements_are_feasible_and_within_pq_bound() {
+    for seed in 0..5 {
+        let instance = unit_job_batch(120, 2, (0.1, 0.7), seed);
+        let batch = batch_of(&instance);
+        for machines in [1usize, 3] {
+            let mut tl = ClusterTimelines::new(machines, 2);
+            let placements = place_batch_ffd(&mut tl, &instance, &batch, 0.0);
+            as_schedule(&instance, &placements, machines)
+                .validate(&instance)
+                .unwrap();
+            // FFD also satisfies the Lemma 6.3-style bound on these inputs.
+            let bound = batch_makespan_bound(&instance, &batch, machines);
+            assert!(makespan_of(&instance, &placements) <= bound + 1e-9);
+        }
+    }
+}
+
+#[test]
+fn ffd_never_loses_badly_and_usually_wins_on_unit_batches() {
+    let mut ffd_wins = 0usize;
+    let trials = 10;
+    for seed in 0..trials {
+        let instance = unit_job_batch(200, 3, (0.15, 0.55), seed as u64);
+        let batch = batch_of(&instance);
+
+        let mut tl_pq = ClusterTimelines::new(2, 3);
+        // PQ subroutine in SVF order (volume order; demands here since p=1).
+        let mut ordered = batch.clone();
+        ordered.sort_by(|&a, &b| {
+            instance
+                .job(a)
+                .total_demand()
+                .cmp(&instance.job(b).total_demand())
+                .then(a.cmp(&b))
+        });
+        let pq = place_batch(&mut tl_pq, &instance, &ordered, 0.0);
+
+        let mut tl_ffd = ClusterTimelines::new(2, 3);
+        let ffd = place_batch_ffd(&mut tl_ffd, &instance, &batch, 0.0);
+
+        let pq_makespan = makespan_of(&instance, &pq);
+        let ffd_makespan = makespan_of(&instance, &ffd);
+        // FFD's shelves can't be catastrophically worse on unit jobs...
+        assert!(
+            ffd_makespan <= 2.0 * pq_makespan + 1.0,
+            "seed {seed}: ffd {ffd_makespan} vs pq {pq_makespan}"
+        );
+        if ffd_makespan <= pq_makespan + 1e-9 {
+            ffd_wins += 1;
+        }
+    }
+    // ...and ties or wins on a solid majority of unit-batch instances.
+    assert!(
+        ffd_wins * 2 >= trials,
+        "FFD won only {ffd_wins}/{trials} unit-batch trials"
+    );
+}
+
+#[test]
+fn ffd_on_mixed_durations_is_correct_but_wasteful() {
+    // FFD remains *correct* with unequal durations (shelves stretch to the
+    // longest member) — document that the PQ subroutine is better there.
+    let jobs = vec![
+        Job::from_fractions(JobId(0), 0.0, 8.0, 1.0, &[0.5]),
+        Job::from_fractions(JobId(1), 0.0, 1.0, 1.0, &[0.5]),
+        Job::from_fractions(JobId(2), 0.0, 1.0, 1.0, &[0.5]),
+    ];
+    let instance = Instance::from_unnumbered(jobs, 1).unwrap();
+    let batch = batch_of(&instance);
+
+    let mut tl = ClusterTimelines::new(1, 1);
+    let ffd = place_batch_ffd(&mut tl, &instance, &batch, 0.0);
+    as_schedule(&instance, &ffd, 1).validate(&instance).unwrap();
+
+    let mut tl2 = ClusterTimelines::new(1, 1);
+    let pq = place_batch(&mut tl2, &instance, &batch, 0.0);
+    assert!(makespan_of(&instance, &pq) <= makespan_of(&instance, &ffd) + 1e-9);
+}
