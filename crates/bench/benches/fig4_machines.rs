@@ -13,11 +13,9 @@ fn bench(c: &mut criterion::Criterion) {
     let mut group = c.benchmark_group("fig4_machines");
     for machines in [2usize, 5, 10, 20] {
         let mris = Mris::default();
-        group.bench_with_input(
-            BenchmarkId::new("mris", machines),
-            &machines,
-            |b, &m| b.iter(|| black_box(mris.schedule(black_box(&instance), m))),
-        );
+        group.bench_with_input(BenchmarkId::new("mris", machines), &machines, |b, &m| {
+            b.iter(|| black_box(mris.schedule(black_box(&instance), m)))
+        });
         let pq = Pq::new(SortHeuristic::Wsvf);
         group.bench_with_input(BenchmarkId::new("pq_wsvf", machines), &machines, |b, &m| {
             b.iter(|| black_box(pq.schedule(black_box(&instance), m)))

@@ -5,7 +5,9 @@ mod common;
 
 use common::{bench_instance, quick_criterion};
 use criterion::{criterion_main, BenchmarkId};
-use mris_knapsack::{brute_force, Cadp, ExactDp, GreedyConstraint, GreedyHalf, Item, KnapsackSolver};
+use mris_knapsack::{
+    brute_force, Cadp, ExactDp, GreedyConstraint, GreedyHalf, Item, KnapsackSolver,
+};
 use mris_sim::{ClusterTimelines, MachineTimeline};
 use mris_types::amount_from_fraction;
 use std::hint::black_box;
@@ -36,9 +38,11 @@ fn bench_knapsack(c: &mut criterion::Criterion) {
         group.bench_with_input(BenchmarkId::new("cadp", n), &items, |b, items| {
             b.iter(|| black_box(Cadp::default().solve(black_box(items), capacity)))
         });
-        group.bench_with_input(BenchmarkId::new("greedy_constraint", n), &items, |b, items| {
-            b.iter(|| black_box(GreedyConstraint.solve(black_box(items), capacity)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("greedy_constraint", n),
+            &items,
+            |b, items| b.iter(|| black_box(GreedyConstraint.solve(black_box(items), capacity))),
+        );
         group.bench_with_input(BenchmarkId::new("greedy_half", n), &items, |b, items| {
             b.iter(|| black_box(GreedyHalf.solve(black_box(items), capacity)))
         });

@@ -127,7 +127,13 @@ fn main() {
                 } else {
                     heuristic.to_string()
                 };
-                (label, MrisConfig { heuristic, ..default })
+                (
+                    label,
+                    MrisConfig {
+                        heuristic,
+                        ..default
+                    },
+                )
             })
             .collect(),
         &instances,

@@ -50,17 +50,20 @@ fn main() {
 
     let mut snaps = Vec::new();
     let mut pq = PqPolicy::new(SortHeuristic::Wsjf);
-    let s = run_online_observed(&instance, scale.machines, &mut pq, |e| snaps.push(*e));
+    let s = run_online_observed(&instance, scale.machines, &mut pq, |e| snaps.push(*e))
+        .expect("PQ is work-conserving");
     record("PQ-WSJF".into(), snaps, s.makespan(&instance));
 
     let mut snaps = Vec::new();
     let mut tetris = TetrisPolicy::new(1.0);
-    let s = run_online_observed(&instance, scale.machines, &mut tetris, |e| snaps.push(*e));
+    let s = run_online_observed(&instance, scale.machines, &mut tetris, |e| snaps.push(*e))
+        .expect("Tetris is work-conserving");
     record("TETRIS".into(), snaps, s.makespan(&instance));
 
     let mut snaps = Vec::new();
     let mut bf = mris_schedulers::BfExecPolicy::new();
-    let s = run_online_observed(&instance, scale.machines, &mut bf, |e| snaps.push(*e));
+    let s = run_online_observed(&instance, scale.machines, &mut bf, |e| snaps.push(*e))
+        .expect("BF-EXEC is work-conserving");
     record("BF-EXEC".into(), snaps, s.makespan(&instance));
 
     // MRIS is not event-driven; derive its running-count series from the
@@ -95,7 +98,10 @@ fn main() {
 }
 
 /// Reconstructs running-count snapshots from a completed schedule.
-fn schedule_to_snapshots(instance: &Instance, schedule: &mris_types::Schedule) -> Vec<EventSnapshot> {
+fn schedule_to_snapshots(
+    instance: &Instance,
+    schedule: &mris_types::Schedule,
+) -> Vec<EventSnapshot> {
     let mut events: Vec<(f64, i64)> = Vec::new();
     for a in schedule.assignments() {
         let p = instance.job(a.job).proc_time;

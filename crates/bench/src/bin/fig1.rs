@@ -7,7 +7,8 @@
 //!
 //! `cargo run --release -p mris-bench --bin fig1 [--paper] [--samples k] ...`
 
-use mris_bench::{awct_summaries, default_trace, mris_with_heuristic, Args, Scale};
+use mris_bench::{awct_summaries, default_trace, Args, Scale};
+use mris_core::registry::algorithms_by_names;
 use mris_metrics::Table;
 use mris_schedulers::{Scheduler, SortHeuristic};
 
@@ -28,13 +29,12 @@ fn main() {
         SortHeuristic::Wsvf,
         SortHeuristic::Svf,
     ];
-    let algorithms: Vec<Box<dyn Scheduler>> = heuristics
-        .iter()
-        .map(|&h| Box::new(mris_with_heuristic(h)) as Box<dyn Scheduler>)
-        .collect();
+    let algorithms: Vec<Box<dyn Scheduler>> =
+        algorithms_by_names(heuristics.iter().map(|h| format!("mris-{}", h.label())))
+            .expect("every heuristic label is registered");
 
     let mut headers = vec!["N".to_string()];
-    headers.extend(heuristics.iter().map(|h| format!("MRIS-{h}")));
+    headers.extend(algorithms.iter().map(|a| a.name()));
     let mut table = Table::new(headers);
 
     for &n in &scale.n_sweep {

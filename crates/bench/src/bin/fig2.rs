@@ -9,8 +9,8 @@
 //!
 //! `cargo run --release -p mris-bench --bin fig2 [--paper] [--samples k] ...`
 
-use mris_bench::{awct_summaries, default_trace, mris_greedy, Args, Scale};
-use mris_core::{KnapsackChoice, Mris, MrisConfig};
+use mris_bench::{awct_summaries, default_trace, Args, Scale};
+use mris_core::registry::algorithms_by_names;
 use mris_metrics::Table;
 use mris_schedulers::Scheduler;
 
@@ -21,14 +21,9 @@ fn main() {
         scale.n_sweep, scale.machines, scale.samples
     );
     let pool = default_trace(&scale);
-    let algorithms: Vec<Box<dyn Scheduler>> = vec![
-        Box::new(Mris::default()),
-        Box::new(mris_greedy()),
-        Box::new(Mris::with_config(MrisConfig {
-            knapsack: KnapsackChoice::GreedyHalf,
-            ..Default::default()
-        })),
-    ];
+    let algorithms: Vec<Box<dyn Scheduler>> =
+        algorithms_by_names(["mris", "mris-greedy", "mris-greedy-half"])
+            .expect("knapsack variants are registered");
 
     let mut table = Table::new(vec![
         "N".to_string(),

@@ -39,6 +39,9 @@ fn main() {
         eprintln!("  N = {n}: done in {:.1?}", t0.elapsed());
     }
 
-    println!("\nFigure 3 — AWCT vs number of jobs (M = {}):\n", scale.machines);
+    println!(
+        "\nFigure 3 — AWCT vs number of jobs (M = {}):\n",
+        scale.machines
+    );
     scale.print_table(&table);
 }

@@ -27,10 +27,7 @@ fn run_load(scale: &Scale, pool: &mris_bench::TracePool, n: usize) {
             delays.extend(schedule.queuing_delays(instance));
         }
         let cdf = Cdf::new(delays);
-        let mut cells = vec![
-            algo.name(),
-            format!("{:.1}%", cdf.fraction_zero() * 100.0),
-        ];
+        let mut cells = vec![algo.name(), format!("{:.1}%", cdf.fraction_zero() * 100.0)];
         cells.extend(quantiles.iter().map(|&q| format!("{:.0}", cdf.quantile(q))));
         table.push_row(cells);
         eprintln!("  {}: done", algo.name());

@@ -60,7 +60,11 @@ fn main() {
     scale.print_table(&table);
 
     if !first_row.is_empty() && r_sweep.len() >= 2 {
-        println!("\nDegradation from R = {} to R = {}:", r_sweep[0], r_sweep[r_sweep.len() - 1]);
+        println!(
+            "\nDegradation from R = {} to R = {}:",
+            r_sweep[0],
+            r_sweep[r_sweep.len() - 1]
+        );
         for (algo, (lo, hi)) in algorithms.iter().zip(first_row.iter().zip(&last_row)) {
             println!("  {:>12}: {:+.0}%", algo.name(), (hi / lo - 1.0) * 100.0);
         }

@@ -9,10 +9,10 @@
 //! `cargo run --release -p mris-bench --bin runtime [--sweep a,b,c]
 //!  [--machines m] [--csv]`
 
-use mris_bench::{default_trace, mris_greedy, Args, Scale};
-use mris_core::Mris;
+use mris_bench::{default_trace, Args, Scale};
+use mris_core::registry::algorithms_by_names;
 use mris_metrics::Table;
-use mris_schedulers::{Pq, Scheduler, SortHeuristic};
+use mris_schedulers::Scheduler;
 use std::time::Instant;
 
 fn main() {
@@ -22,11 +22,9 @@ fn main() {
     eprintln!("runtime: N sweep {:?}, M = {}", sweep, scale.machines);
     let pool = default_trace(&scale);
 
-    let algorithms: Vec<Box<dyn Scheduler>> = vec![
-        Box::new(Mris::default()),
-        Box::new(mris_greedy()),
-        Box::new(Pq::new(SortHeuristic::Wsjf)),
-    ];
+    let algorithms: Vec<Box<dyn Scheduler>> =
+        algorithms_by_names(["mris", "mris-greedy", "pq-wsjf"])
+            .expect("runtime sweep algorithms are registered");
 
     let mut headers = vec!["N".to_string()];
     for algo in &algorithms {

@@ -57,7 +57,11 @@ impl Args {
         match self.values.get(key) {
             Some(v) => v
                 .split(',')
-                .map(|x| x.trim().parse().unwrap_or_else(|e| panic!("--{key}: {e:?}")))
+                .map(|x| {
+                    x.trim()
+                        .parse()
+                        .unwrap_or_else(|e| panic!("--{key}: {e:?}"))
+                })
                 .collect(),
             None => default.to_vec(),
         }

@@ -2,7 +2,7 @@
 
 use mris_core::{KnapsackChoice, Mris, MrisConfig};
 use mris_metrics::Summary;
-use mris_schedulers::{BfExec, CaPq, Pq, Scheduler, SortHeuristic, Tetris};
+use mris_schedulers::{Scheduler, SortHeuristic};
 use mris_trace::{AzureTrace, AzureTraceConfig};
 use mris_types::Instance;
 
@@ -136,16 +136,10 @@ pub fn awct_summaries(
 }
 
 /// The Figure 3/4 comparison set: MRIS, PQ-WSJF, PQ-WSVF, Tetris, BF-EXEC,
-/// CA-PQ.
+/// CA-PQ. Delegates to [`mris_core::registry`], the single source of truth
+/// for name → scheduler resolution.
 pub fn comparison_algorithms() -> Vec<Box<dyn Scheduler>> {
-    vec![
-        Box::new(Mris::default()),
-        Box::new(Pq::new(SortHeuristic::Wsjf)),
-        Box::new(Pq::new(SortHeuristic::Wsvf)),
-        Box::new(Tetris::default()),
-        Box::new(BfExec),
-        Box::new(CaPq::default()),
-    ]
+    mris_core::registry::comparison_algorithms()
 }
 
 /// MRIS with a given PQ sorting heuristic (Figure 1).
@@ -178,8 +172,7 @@ mod tests {
         let scale = Scale::from_args(&Args::from_args_iter(Vec::<String>::new()));
         assert_eq!(scale.machines, 5);
         assert_eq!(scale.n_fixed, 16_000);
-        let paper =
-            Scale::from_args(&Args::from_args_iter(["--paper".to_string()]));
+        let paper = Scale::from_args(&Args::from_args_iter(["--paper".to_string()]));
         assert_eq!(paper.machines, 20);
         assert_eq!(paper.n_fixed, 64_000);
         assert!(paper.base_jobs >= 64_000 * 10);

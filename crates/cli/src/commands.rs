@@ -6,8 +6,8 @@ use mris_metrics::{awct_lower_bound, Cdf, Table};
 use mris_trace::{instance_to_csv, parse_instance_csv, AzureTrace, AzureTraceConfig};
 use mris_types::Instance;
 
-use crate::algo::{algorithm_by_name, known_algorithms};
 use crate::schedule_io::{parse_schedule_csv, schedule_to_csv};
+use mris_core::registry::{algorithm_by_name, known_algorithms};
 
 /// A CLI failure: message for the user, non-zero exit.
 #[derive(Debug)]
@@ -58,9 +58,9 @@ impl Flags {
         let mut pairs = Vec::new();
         let mut iter = args.iter();
         while let Some(arg) = iter.next() {
-            let key = arg
-                .strip_prefix("--")
-                .ok_or_else(|| CliError(format!("expected a --flag, found '{arg}'\n\n{}", usage())))?;
+            let key = arg.strip_prefix("--").ok_or_else(|| {
+                CliError(format!("expected a --flag, found '{arg}'\n\n{}", usage()))
+            })?;
             let value = iter
                 .next()
                 .ok_or_else(|| CliError(format!("--{key} requires a value")))?;
@@ -86,17 +86,15 @@ impl Flags {
         T::Err: std::fmt::Display,
     {
         match self.get(key) {
-            Some(v) => v
-                .parse()
-                .map_err(|e| CliError(format!("--{key}: {e}"))),
+            Some(v) => v.parse().map_err(|e| CliError(format!("--{key}: {e}"))),
             None => Ok(default),
         }
     }
 }
 
 fn load_instance(path: &str) -> Result<Instance, CliError> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
     parse_instance_csv(&text).map_err(|e| CliError(format!("{path}: {e}")))
 }
 
@@ -112,7 +110,10 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "compare" => compare(&Flags::parse(rest)?),
         "validate" => validate(&Flags::parse(rest)?),
         "help" | "--help" | "-h" => Ok(usage()),
-        other => Err(CliError(format!("unknown command '{other}'\n\n{}", usage()))),
+        other => Err(CliError(format!(
+            "unknown command '{other}'\n\n{}",
+            usage()
+        ))),
     }
 }
 
@@ -216,8 +217,8 @@ fn validate(flags: &Flags) -> Result<String, CliError> {
     let instance = load_instance(flags.require("trace")?)?;
     let machines: usize = flags.get_parsed("machines", 20)?;
     let path = flags.require("schedule")?;
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
     let schedule = parse_schedule_csv(&text, instance.len(), machines)
         .map_err(|e| CliError(format!("{path}: {e}")))?;
     match schedule.validate(&instance) {
@@ -307,7 +308,10 @@ mod tests {
             "mris,pq-wsjf",
         ]))
         .unwrap();
-        assert!(out.contains("MRIS-WSJF") && out.contains("PQ-WSJF"), "{out}");
+        assert!(
+            out.contains("MRIS-WSJF") && out.contains("PQ-WSJF"),
+            "{out}"
+        );
         assert!(out.contains("AWCT/LB"));
     }
 
@@ -317,8 +321,14 @@ mod tests {
         assert!(run(&[]).is_err());
         let err = run(&s(&["schedule", "--algo", "mris"])).unwrap_err();
         assert!(err.0.contains("--trace"), "{err}");
-        let err = run(&s(&["schedule", "--trace", "/nonexistent", "--algo", "mris"]))
-            .unwrap_err();
+        let err = run(&s(&[
+            "schedule",
+            "--trace",
+            "/nonexistent",
+            "--algo",
+            "mris",
+        ]))
+        .unwrap_err();
         assert!(err.0.contains("cannot read"), "{err}");
     }
 

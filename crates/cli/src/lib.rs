@@ -15,10 +15,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod algo;
 mod commands;
 mod schedule_io;
 
-pub use algo::{algorithm_by_name, known_algorithms};
 pub use commands::{run, CliError};
+pub use mris_core::registry::{algorithm_by_name, known_algorithms};
 pub use schedule_io::{parse_schedule_csv, schedule_to_csv};

@@ -151,9 +151,7 @@ impl Mris {
                     let placements = place_batch(&mut timelines, instance, &batch, floor);
                     let mut batch_end = 0.0_f64;
                     for &(j, m, s) in &placements {
-                        schedule
-                            .assign(j, m, s)
-                            .expect("MRIS placed a job twice");
+                        schedule.assign(j, m, s).expect("MRIS placed a job twice");
                         batch_end = batch_end.max(s + instance.job(j).proc_time);
                     }
                     let batch_set: std::collections::HashSet<JobId> =
@@ -189,8 +187,12 @@ impl Scheduler for Mris {
         }
     }
 
-    fn schedule(&self, instance: &Instance, num_machines: usize) -> Schedule {
-        self.schedule_with_log(instance, num_machines).0
+    fn try_schedule(
+        &self,
+        instance: &Instance,
+        num_machines: usize,
+    ) -> Result<Schedule, mris_types::SchedulingError> {
+        Ok(self.schedule_with_log(instance, num_machines).0)
     }
 }
 

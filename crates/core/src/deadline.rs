@@ -154,9 +154,7 @@ mod tests {
     #[test]
     fn weight_is_monotone_in_deadline() {
         let jobs: Vec<Job> = (0..15)
-            .map(|i| {
-                Job::from_fractions(JobId(0), 0.0, 1.0 + (i % 3) as f64, 1.0, &[0.25, 0.25])
-            })
+            .map(|i| Job::from_fractions(JobId(0), 0.0, 1.0 + (i % 3) as f64, 1.0, &[0.25, 0.25]))
             .collect();
         let instance = inst(jobs, 2);
         let mut last = -1.0;

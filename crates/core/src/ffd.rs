@@ -103,9 +103,7 @@ pub fn place_batch_ffd(
         next_start[m] = start + shelf.span;
     }
     // Return in batch order for parity with `place_batch`.
-    placements.sort_by_key(|&(id, _, _)| {
-        batch.iter().position(|&b| b == id).unwrap_or(usize::MAX)
-    });
+    placements.sort_by_key(|&(id, _, _)| batch.iter().position(|&b| b == id).unwrap_or(usize::MAX));
     placements
 }
 

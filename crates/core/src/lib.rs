@@ -30,6 +30,7 @@ mod config;
 mod deadline;
 mod ffd;
 mod oracle;
+pub mod registry;
 
 pub use algorithm::{IterationStats, Mris};
 pub use backfill::{batch_makespan_bound, place_batch};
@@ -37,3 +38,6 @@ pub use config::{KnapsackChoice, MrisConfig};
 pub use deadline::{max_weight_by_deadline, DeadlineSelection};
 pub use ffd::place_batch_ffd;
 pub use oracle::{best_list_schedule, list_schedule};
+pub use registry::{
+    algorithm_by_name, algorithms_by_names, comparison_algorithms, known_algorithms,
+};

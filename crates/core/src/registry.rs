@@ -1,18 +1,44 @@
-//! Algorithm registry: name → scheduler.
+//! Algorithm registry: the one place that maps names to schedulers.
+//!
+//! Every front end — the `mris` CLI, the figure binaries, and the bench
+//! harness — resolves algorithms through this module, so adding an
+//! algorithm (or renaming one) is a one-place change.
 
-use mris_core::{KnapsackChoice, Mris, MrisConfig};
+use crate::{KnapsackChoice, Mris, MrisConfig};
 use mris_schedulers::{BfExec, CaPq, Pq, Scheduler, SortHeuristic, Tetris};
 
 /// Names accepted by [`algorithm_by_name`], with a short description each.
 pub fn known_algorithms() -> Vec<(&'static str, &'static str)> {
     vec![
-        ("mris", "MRIS with CADP knapsack and WSJF order (the paper's default)"),
-        ("mris-greedy", "MRIS with the Remark 1 constraint greedy (16R-competitive)"),
-        ("mris-<heuristic>", "MRIS with another queue order, e.g. mris-wsvf"),
-        ("pq-<heuristic>", "Priority-Queue, e.g. pq-wsjf, pq-svf, pq-erf"),
+        (
+            "mris",
+            "MRIS with CADP knapsack and WSJF order (the paper's default)",
+        ),
+        (
+            "mris-greedy",
+            "MRIS with the Remark 1 constraint greedy (16R-competitive)",
+        ),
+        (
+            "mris-greedy-half",
+            "MRIS with the capacity-respecting half-budget greedy",
+        ),
+        (
+            "mris-<heuristic>",
+            "MRIS with another queue order, e.g. mris-wsvf",
+        ),
+        (
+            "pq-<heuristic>",
+            "Priority-Queue, e.g. pq-wsjf, pq-svf, pq-erf",
+        ),
         ("tetris", "non-preemptive Tetris adaptation"),
-        ("bf-exec", "BF-EXEC (best fit on arrival, SJF backfill on departure)"),
-        ("ca-pq", "Collect-All PQ (waits for the last release, then WSJF)"),
+        (
+            "bf-exec",
+            "BF-EXEC (best fit on arrival, SJF backfill on departure)",
+        ),
+        (
+            "ca-pq",
+            "Collect-All PQ (waits for the last release, then WSJF)",
+        ),
     ]
 }
 
@@ -25,6 +51,12 @@ pub fn algorithm_by_name(name: &str) -> Result<Box<dyn Scheduler>, String> {
         "mris-greedy" => {
             return Ok(Box::new(Mris::with_config(MrisConfig {
                 knapsack: KnapsackChoice::Greedy,
+                ..Default::default()
+            })))
+        }
+        "mris-greedy-half" => {
+            return Ok(Box::new(Mris::with_config(MrisConfig {
+                knapsack: KnapsackChoice::GreedyHalf,
                 ..Default::default()
             })))
         }
@@ -54,13 +86,39 @@ pub fn algorithm_by_name(name: &str) -> Result<Box<dyn Scheduler>, String> {
     ))
 }
 
+/// Resolves a list of names in order; fails on the first unknown name.
+pub fn algorithms_by_names<I, S>(names: I) -> Result<Vec<Box<dyn Scheduler>>, String>
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    names
+        .into_iter()
+        .map(|n| algorithm_by_name(n.as_ref()))
+        .collect()
+}
+
+/// The standard comparison set (Figures 3/4): MRIS, PQ-WSJF, PQ-WSVF,
+/// Tetris, BF-EXEC, CA-PQ.
+pub fn comparison_algorithms() -> Vec<Box<dyn Scheduler>> {
+    algorithms_by_names(["mris", "pq-wsjf", "pq-wsvf", "tetris", "bf-exec", "ca-pq"])
+        .expect("built-in comparison names resolve")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn resolves_all_documented_names() {
-        for name in ["mris", "mris-greedy", "tetris", "bf-exec", "ca-pq"] {
+        for name in [
+            "mris",
+            "mris-greedy",
+            "mris-greedy-half",
+            "tetris",
+            "bf-exec",
+            "ca-pq",
+        ] {
             assert!(algorithm_by_name(name).is_ok(), "{name}");
         }
         assert_eq!(algorithm_by_name("pq-wsjf").unwrap().name(), "PQ-WSJF");
@@ -89,5 +147,29 @@ mod tests {
     fn error_lists_known_algorithms() {
         let err = algorithm_by_name("whatever").err().expect("must fail");
         assert!(err.contains("mris") && err.contains("tetris"), "{err}");
+    }
+
+    #[test]
+    fn batch_resolution_is_ordered_and_fails_fast() {
+        let algos = algorithms_by_names(["mris", "tetris"]).unwrap();
+        assert_eq!(algos[0].name(), "MRIS-WSJF");
+        assert_eq!(algos[1].name(), "TETRIS");
+        assert!(algorithms_by_names(["mris", "nope"]).is_err());
+    }
+
+    #[test]
+    fn comparison_set_matches_figures_3_and_4() {
+        let names: Vec<String> = comparison_algorithms().iter().map(|a| a.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "MRIS-WSJF",
+                "PQ-WSJF",
+                "PQ-WSVF",
+                "TETRIS",
+                "BF-EXEC",
+                "CA-PQ-WSJF"
+            ]
+        );
     }
 }

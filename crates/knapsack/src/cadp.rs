@@ -68,7 +68,10 @@ impl KnapsackSolver for Cadp {
         }
         let k = self.epsilon * capacity / n as f64;
         let scaled_cap = (capacity / k).floor() as u64; // = floor(n / eps)
-        let sizes: Vec<u64> = items.iter().map(|it| (it.size / k).floor() as u64).collect();
+        let sizes: Vec<u64> = items
+            .iter()
+            .map(|it| (it.size / k).floor() as u64)
+            .collect();
         let weights: Vec<f64> = items.iter().map(|it| it.weight).collect();
         let selected = solve_integer(&sizes, &weights, scaled_cap);
         Solution::from_selected(items, selected)

@@ -193,7 +193,9 @@ mod tests {
         // and respecting the capacity.
         let mut state = 0x243F6A88u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state >> 33
         };
         for trial in 0..30 {

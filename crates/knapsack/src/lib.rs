@@ -128,7 +128,11 @@ mod tests {
 
     #[test]
     fn solution_from_selected_sorts_and_sums() {
-        let items = [Item::new(1.0, 2.0), Item::new(3.0, 4.0), Item::new(5.0, 6.0)];
+        let items = [
+            Item::new(1.0, 2.0),
+            Item::new(3.0, 4.0),
+            Item::new(5.0, 6.0),
+        ];
         let s = Solution::from_selected(&items, vec![2, 0, 2]);
         assert_eq!(s.selected, vec![0, 2]);
         assert!((s.weight - 6.0).abs() < 1e-12);

@@ -2,102 +2,159 @@
 //! (Lemma 6.1 and Remark 1) against a brute-force oracle.
 
 use mris_knapsack::{brute_force, Cadp, GreedyConstraint, GreedyHalf, Item, KnapsackSolver};
-use proptest::prelude::*;
+use mris_rng::prop::{check, Config};
+use mris_rng::{prop_assert, Rng};
 
-fn arb_items() -> impl Strategy<Value = Vec<Item>> {
-    prop::collection::vec(
-        (0.0f64..100.0, 0.0f64..10.0).prop_map(|(w, s)| Item::new(w, s)),
-        0..12,
-    )
+fn gen_items(rng: &mut Rng) -> Vec<Item> {
+    let n = rng.gen_range(0..12usize);
+    (0..n)
+        .map(|_| Item::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..10.0)))
+        .collect()
 }
 
-fn arb_capacity() -> impl Strategy<Value = f64> {
-    0.0f64..30.0
+fn gen_capacity(rng: &mut Rng) -> f64 {
+    rng.gen_range(0.0..30.0)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+/// Lemma 6.1: CADP reaches at least the optimal weight at the original
+/// capacity and uses at most (1 + eps) times the capacity.
+#[test]
+fn cadp_constraint_approximation() {
+    check(
+        "cadp constraint approximation",
+        &Config::with_cases(256),
+        |rng| (gen_items(rng), gen_capacity(rng), rng.gen_range(0.05..0.95)),
+        |(items, cap, eps)| {
+            let opt = brute_force(items, *cap);
+            let sol = Cadp::new(*eps).solve(items, *cap);
+            prop_assert!(
+                sol.weight >= opt.weight - 1e-6,
+                "CADP weight {} below optimum {}",
+                sol.weight,
+                opt.weight
+            );
+            prop_assert!(
+                sol.size <= (1.0 + eps) * cap + 1e-6,
+                "CADP size {} exceeds (1+{eps}) * {cap}",
+                sol.size
+            );
+            Ok(())
+        },
+    );
+}
 
-    /// Lemma 6.1: CADP reaches at least the optimal weight at the original
-    /// capacity and uses at most (1 + eps) times the capacity.
-    #[test]
-    fn cadp_constraint_approximation(items in arb_items(), cap in arb_capacity(),
-                                     eps in 0.05f64..0.95) {
-        let opt = brute_force(&items, cap);
-        let sol = Cadp::new(eps).solve(&items, cap);
-        prop_assert!(sol.weight >= opt.weight - 1e-6,
-            "CADP weight {} below optimum {}", sol.weight, opt.weight);
-        prop_assert!(sol.size <= (1.0 + eps) * cap + 1e-6,
-            "CADP size {} exceeds (1+{eps}) * {cap}", sol.size);
-    }
+/// Remark 1: the constraint greedy reaches the optimal weight within
+/// twice the capacity.
+#[test]
+fn greedy_constraint_approximation() {
+    check(
+        "greedy constraint approximation",
+        &Config::with_cases(256),
+        |rng| (gen_items(rng), gen_capacity(rng)),
+        |(items, cap)| {
+            let opt = brute_force(items, *cap);
+            let sol = GreedyConstraint.solve(items, *cap);
+            prop_assert!(sol.weight >= opt.weight - 1e-6);
+            prop_assert!(sol.size <= 2.0 * cap + 1e-6);
+            Ok(())
+        },
+    );
+}
 
-    /// Remark 1: the constraint greedy reaches the optimal weight within
-    /// twice the capacity.
-    #[test]
-    fn greedy_constraint_approximation(items in arb_items(), cap in arb_capacity()) {
-        let opt = brute_force(&items, cap);
-        let sol = GreedyConstraint.solve(&items, cap);
-        prop_assert!(sol.weight >= opt.weight - 1e-6);
-        prop_assert!(sol.size <= 2.0 * cap + 1e-6);
-    }
+/// The classic greedy is a capacity-respecting 1/2-approximation.
+#[test]
+fn greedy_half_approximation() {
+    check(
+        "greedy half approximation",
+        &Config::with_cases(256),
+        |rng| (gen_items(rng), gen_capacity(rng)),
+        |(items, cap)| {
+            let opt = brute_force(items, *cap);
+            let sol = GreedyHalf.solve(items, *cap);
+            prop_assert!(sol.size <= cap + 1e-6);
+            prop_assert!(sol.weight >= opt.weight / 2.0 - 1e-6);
+            Ok(())
+        },
+    );
+}
 
-    /// The classic greedy is a capacity-respecting 1/2-approximation.
-    #[test]
-    fn greedy_half_approximation(items in arb_items(), cap in arb_capacity()) {
-        let opt = brute_force(&items, cap);
-        let sol = GreedyHalf.solve(&items, cap);
-        prop_assert!(sol.size <= cap + 1e-6);
-        prop_assert!(sol.weight >= opt.weight / 2.0 - 1e-6);
-    }
+/// The integer DP with divide-and-conquer reconstruction is exact.
+#[test]
+fn integer_dp_matches_brute_force() {
+    check(
+        "integer dp matches brute force",
+        &Config::with_cases(256),
+        |rng| {
+            let n = rng.gen_range(0..12usize);
+            let pairs: Vec<(u64, f64)> = (0..n)
+                .map(|_| (rng.gen_range(0..20u64), rng.gen_range(0.0..50.0)))
+                .collect();
+            (pairs, rng.gen_range(0..60u64))
+        },
+        |(pairs, cap)| {
+            let sizes: Vec<u64> = pairs.iter().map(|p| p.0).collect();
+            let items: Vec<Item> = pairs.iter().map(|&(s, w)| Item::new(w, s as f64)).collect();
+            let sel = mris_knapsack::ExactDp { resolution: 1.0 }.solve(&items, *cap as f64);
+            let opt = brute_force(&items, *cap as f64);
+            prop_assert!(
+                (sel.weight - opt.weight).abs() < 1e-6,
+                "dp weight {} vs brute {}",
+                sel.weight,
+                opt.weight
+            );
+            let total: u64 = sel.selected.iter().map(|&i| sizes[i]).sum();
+            prop_assert!(total <= *cap);
+            Ok(())
+        },
+    );
+}
 
-    /// The integer DP with divide-and-conquer reconstruction is exact.
-    #[test]
-    fn integer_dp_matches_brute_force(
-        pairs in prop::collection::vec((0u64..20, 0.0f64..50.0), 0..12),
-        cap in 0u64..60,
-    ) {
-        let sizes: Vec<u64> = pairs.iter().map(|p| p.0).collect();
-        
-        let items: Vec<Item> = pairs.iter().map(|&(s, w)| Item::new(w, s as f64)).collect();
-        let sel = mris_knapsack::ExactDp { resolution: 1.0 }.solve(&items, cap as f64);
-        let opt = brute_force(&items, cap as f64);
-        prop_assert!((sel.weight - opt.weight).abs() < 1e-6,
-            "dp weight {} vs brute {}", sel.weight, opt.weight);
-        let total: u64 = sel.selected.iter().map(|&i| sizes[i]).sum();
-        prop_assert!(total <= cap);
-    }
+/// CADP's solution weight is monotone in epsilon at fixed capacity:
+/// more slack can never produce a worse weight than the exact optimum
+/// (they all dominate it), and every epsilon respects its own blow-up.
+#[test]
+fn cadp_epsilon_spectrum() {
+    check(
+        "cadp epsilon spectrum",
+        &Config::with_cases(256),
+        |rng| (gen_items(rng), gen_capacity(rng)),
+        |(items, cap)| {
+            let opt = brute_force(items, *cap);
+            for eps in [0.1, 0.3, 0.6, 0.9] {
+                let sol = Cadp::new(eps).solve(items, *cap);
+                prop_assert!(sol.weight >= opt.weight - 1e-6, "eps {eps}");
+                prop_assert!(sol.size <= (1.0 + eps) * cap + 1e-6, "eps {eps}");
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// CADP's solution weight is monotone in epsilon at fixed capacity:
-    /// more slack can never produce a worse weight than the exact optimum
-    /// (they all dominate it), and every epsilon respects its own blow-up.
-    #[test]
-    fn cadp_epsilon_spectrum(items in arb_items(), cap in arb_capacity()) {
-        let opt = brute_force(&items, cap);
-        for eps in [0.1, 0.3, 0.6, 0.9] {
-            let sol = Cadp::new(eps).solve(&items, cap);
-            prop_assert!(sol.weight >= opt.weight - 1e-6, "eps {eps}");
-            prop_assert!(sol.size <= (1.0 + eps) * cap + 1e-6, "eps {eps}");
-        }
-    }
-
-    /// All solvers return strictly increasing, in-range index sets and
-    /// consistent weight/size sums.
-    #[test]
-    fn solutions_are_well_formed(items in arb_items(), cap in arb_capacity()) {
-        for solver in [
-            &Cadp::default() as &dyn KnapsackSolver,
-            &GreedyConstraint,
-            &GreedyHalf,
-        ] {
-            let sol = solver.solve(&items, cap);
-            prop_assert!(sol.selected.windows(2).all(|w| w[0] < w[1]));
-            prop_assert!(sol.selected.iter().all(|&i| i < items.len()));
-            let w: f64 = sol.selected.iter().map(|&i| items[i].weight).sum();
-            let s: f64 = sol.selected.iter().map(|&i| items[i].size).sum();
-            prop_assert!((w - sol.weight).abs() < 1e-9);
-            prop_assert!((s - sol.size).abs() < 1e-9);
-        }
-    }
+/// All solvers return strictly increasing, in-range index sets and
+/// consistent weight/size sums.
+#[test]
+fn solutions_are_well_formed() {
+    check(
+        "solutions are well formed",
+        &Config::with_cases(256),
+        |rng| (gen_items(rng), gen_capacity(rng)),
+        |(items, cap)| {
+            for solver in [
+                &Cadp::default() as &dyn KnapsackSolver,
+                &GreedyConstraint,
+                &GreedyHalf,
+            ] {
+                let sol = solver.solve(items, *cap);
+                prop_assert!(sol.selected.windows(2).all(|w| w[0] < w[1]));
+                prop_assert!(sol.selected.iter().all(|&i| i < items.len()));
+                let w: f64 = sol.selected.iter().map(|&i| items[i].weight).sum();
+                let s: f64 = sol.selected.iter().map(|&i| items[i].size).sum();
+                prop_assert!((w - sol.weight).abs() < 1e-9);
+                prop_assert!((s - sol.size).abs() < 1e-9);
+            }
+            Ok(())
+        },
+    );
 }
 
 /// Hirschberg reconstruction stress: a large instance where the value-only

@@ -52,7 +52,10 @@ impl Cdf {
             .map(|i| {
                 let q = i as f64 / (k - 1) as f64;
                 let idx = ((q * (self.sorted.len() - 1) as f64).round()) as usize;
-                (self.sorted[idx], (idx + 1) as f64 / self.sorted.len() as f64)
+                (
+                    self.sorted[idx],
+                    (idx + 1) as f64 / self.sorted.len() as f64,
+                )
             })
             .collect()
     }

@@ -85,7 +85,10 @@ mod tests {
     fn render_contains_all_jobs() {
         let (instance, s) = setup();
         let art = render_gantt(&instance, &s);
-        assert!(art.contains("machine 0: j1[0.0..1.0) j0[1.0..3.0)"), "{art}");
+        assert!(
+            art.contains("machine 0: j1[0.0..1.0) j0[1.0..3.0)"),
+            "{art}"
+        );
         assert!(art.contains("machine 1: j2[0.0..3.0)"), "{art}");
     }
 

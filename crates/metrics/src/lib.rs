@@ -28,9 +28,7 @@ mod render;
 mod summary;
 mod table;
 
-pub use bounds::{
-    awct_lower_bound, makespan_lower_bound, total_weighted_completion_lower_bound,
-};
+pub use bounds::{awct_lower_bound, makespan_lower_bound, total_weighted_completion_lower_bound};
 pub use cdf::Cdf;
 pub use fairness::{fairness_report, jains_index, slowdowns, FairnessReport};
 pub use gantt::{gantt_lanes, render_gantt, GanttLane};

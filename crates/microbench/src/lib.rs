@@ -1,0 +1,398 @@
+//! An in-tree, dependency-free stand-in for the subset of the `criterion`
+//! API this workspace's benches use.
+//!
+//! The real `criterion` crate lives on crates.io, which the target build
+//! environment cannot reach. `mris-bench` therefore depends on this crate
+//! under the name `criterion` (a Cargo dependency rename), behind an
+//! off-by-default `criterion` feature — the bench sources keep their
+//! `use criterion::...` imports unchanged.
+//!
+//! Supported surface:
+//!
+//! * [`Criterion`]: `default()`, `sample_size`, `warm_up_time`,
+//!   `measurement_time`, `benchmark_group`, `bench_function`,
+//!   `final_summary`.
+//! * [`BenchmarkGroup`]: `bench_function`, `bench_with_input`, `finish`.
+//! * [`Bencher::iter`], [`BenchmarkId::new`],
+//!   [`BenchmarkId::from_parameter`], and [`criterion_main!`].
+//!
+//! Measurement model: each benchmark warms up for `warm_up_time`, sizes a
+//! batch so one sample lasts roughly `measurement_time / sample_size`,
+//! then records `sample_size` samples of mean-time-per-iteration and
+//! prints mean / median / min / max. This is deliberately simpler than
+//! criterion (no outlier analysis, no plots) but stable enough to compare
+//! runs of the deterministic workloads benched here.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level harness state; mirrors `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    results: Vec<BenchResult>,
+}
+
+struct BenchResult {
+    id: String,
+    mean: Duration,
+    median: Duration,
+    min: Duration,
+    max: Duration,
+    iters_per_sample: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warm_up_time: Duration::from_secs(1),
+            measurement_time: Duration::from_secs(3),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of samples per benchmark (builder style, like criterion).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Warm-up duration before sampling begins.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Total target measurement duration per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a stand-alone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into().render();
+        self.run_one(id, &mut f);
+        self
+    }
+
+    /// Prints the collected results table. Call once at the end of `main`.
+    pub fn final_summary(&mut self) {
+        if self.results.is_empty() {
+            return;
+        }
+        let width = self
+            .results
+            .iter()
+            .map(|r| r.id.len())
+            .max()
+            .unwrap_or(0)
+            .max(9);
+        println!(
+            "\n{:<width$}  {:>12} {:>12} {:>12} {:>12}  {:>8}",
+            "benchmark", "mean", "median", "min", "max", "iters"
+        );
+        for r in &self.results {
+            println!(
+                "{:<width$}  {:>12} {:>12} {:>12} {:>12}  {:>8}",
+                r.id,
+                fmt_duration(r.mean),
+                fmt_duration(r.median),
+                fmt_duration(r.min),
+                fmt_duration(r.max),
+                r.iters_per_sample,
+            );
+        }
+        self.results.clear();
+    }
+
+    fn run_one<F>(&mut self, id: String, f: &mut F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            mode: Mode::Warmup {
+                deadline: Instant::now() + self.warm_up_time,
+                iters_done: 0,
+                elapsed: Duration::ZERO,
+            },
+        };
+        f(&mut bencher);
+        let per_iter = match bencher.mode {
+            Mode::Warmup {
+                iters_done,
+                elapsed,
+                ..
+            } => {
+                if iters_done == 0 {
+                    eprintln!("{id}: benchmark closure never called iter(); skipping");
+                    return;
+                }
+                elapsed / iters_done as u32
+            }
+            _ => unreachable!("bencher left warm-up mode on its own"),
+        };
+
+        // Size a sample so sample_size samples fill measurement_time.
+        let per_sample = self.measurement_time / self.sample_size as u32;
+        let iters_per_sample = if per_iter.is_zero() {
+            1_000
+        } else {
+            (per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, u64::MAX as u128) as u64
+        };
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut bencher = Bencher {
+                mode: Mode::Measure {
+                    iters: iters_per_sample,
+                    elapsed: Duration::ZERO,
+                },
+            };
+            f(&mut bencher);
+            let elapsed = match bencher.mode {
+                Mode::Measure { elapsed, .. } => elapsed,
+                _ => unreachable!("bencher left measure mode on its own"),
+            };
+            samples.push(elapsed / iters_per_sample as u32);
+        }
+        samples.sort();
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        let result = BenchResult {
+            id: id.clone(),
+            mean,
+            median: samples[samples.len() / 2],
+            min: samples[0],
+            max: samples[samples.len() - 1],
+            iters_per_sample,
+        };
+        println!(
+            "{id:<40} time: [{} {} {}]",
+            fmt_duration(result.min),
+            fmt_duration(result.mean),
+            fmt_duration(result.max)
+        );
+        self.results.push(result);
+    }
+}
+
+/// A named collection of benchmarks sharing a prefix.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks a closure under `group_name/id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into().render());
+        self.criterion.run_one(id, &mut f);
+        self
+    }
+
+    /// Benchmarks a closure that receives a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = format!("{}/{}", self.name, id.render());
+        self.criterion
+            .run_one(id, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for criterion API compatibility).
+    pub fn finish(self) {}
+}
+
+enum Mode {
+    Warmup {
+        deadline: Instant,
+        iters_done: u64,
+        elapsed: Duration,
+    },
+    Measure {
+        iters: u64,
+        elapsed: Duration,
+    },
+}
+
+/// Timer handle passed to benchmark closures; mirrors `criterion::Bencher`.
+pub struct Bencher {
+    mode: Mode,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine` according to the current phase.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match &mut self.mode {
+            Mode::Warmup {
+                deadline,
+                iters_done,
+                elapsed,
+            } => loop {
+                let start = Instant::now();
+                std::hint::black_box(routine());
+                *elapsed += start.elapsed();
+                *iters_done += 1;
+                if Instant::now() >= *deadline {
+                    break;
+                }
+            },
+            Mode::Measure { iters, elapsed } => {
+                let start = Instant::now();
+                for _ in 0..*iters {
+                    std::hint::black_box(routine());
+                }
+                *elapsed = start.elapsed();
+            }
+        }
+    }
+}
+
+/// Identifier combining a function name and an optional parameter, mirrors
+/// `criterion::BenchmarkId`.
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// `function/parameter` identifier.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: Some(function.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// Identifier that is only a parameter (the group supplies the prefix).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn render(&self) -> String {
+        match (&self.function, &self.parameter) {
+            (Some(f), Some(p)) => format!("{f}/{p}"),
+            (Some(f), None) => f.clone(),
+            (None, Some(p)) => p.clone(),
+            (None, None) => String::from("bench"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            function: Some(name.to_string()),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId {
+            function: Some(name),
+            parameter: None,
+        }
+    }
+}
+
+/// Generates `fn main` that runs the given bench entry points; mirrors
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_a_result() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(15));
+        c.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        assert_eq!(c.results.len(), 1);
+        assert_eq!(c.results[0].id, "sum");
+        assert!(c.results[0].iters_per_sample >= 1);
+        c.final_summary();
+        assert!(c.results.is_empty());
+    }
+
+    #[test]
+    fn groups_prefix_ids() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(2))
+            .measurement_time(Duration::from_millis(6));
+        let mut g = c.benchmark_group("grp");
+        g.bench_function("f", |b| b.iter(|| 1 + 1));
+        g.bench_with_input(BenchmarkId::new("g", 7), &3u64, |b, &x| b.iter(|| x * 2));
+        g.finish();
+        let ids: Vec<&str> = c.results.iter().map(|r| r.id.as_str()).collect();
+        assert_eq!(ids, ["grp/f", "grp/g/7"]);
+    }
+
+    #[test]
+    fn benchmark_id_rendering() {
+        assert_eq!(BenchmarkId::new("f", 3).render(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("wsjf").render(), "wsjf");
+        assert_eq!(BenchmarkId::from(String::from("solo")).render(), "solo");
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(12)), "12.00 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(12)), "12.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00 s");
+    }
+}

@@ -1,0 +1,425 @@
+//! A small, dependency-free property-testing harness.
+//!
+//! Replaces the external `proptest` crate for this workspace's needs:
+//!
+//! * seeded, reproducible case generation (`cases` inputs drawn from a
+//!   deterministic per-case [`Rng`]),
+//! * failing-seed reporting (the panic message names the base seed and the
+//!   exact per-case seed, and how to rerun with `MRIS_PROP_SEED`),
+//! * simple halving shrink for `Vec` inputs (plus component-wise shrink for
+//!   tuples), so failures are reported on a small input.
+//!
+//! A property is a closure returning `Result<(), String>`; the
+//! [`prop_assert!`](crate::prop_assert), [`prop_assert_eq!`](crate::prop_assert_eq)
+//! and [`prop_assert_ne!`](crate::prop_assert_ne) macros produce the `Err`
+//! early-returns. Panics inside a property are caught and treated as
+//! failures too, so library invariant violations shrink like assertion
+//! failures.
+//!
+//! ```
+//! use mris_rng::prop::{check, Config};
+//! use mris_rng::prop_assert;
+//!
+//! check(
+//!     "reverse twice is identity",
+//!     &Config::default(),
+//!     |rng| {
+//!         let n = rng.gen_range(0..20usize);
+//!         (0..n).map(|_| rng.gen_range(0..100usize)).collect::<Vec<_>>()
+//!     },
+//!     |v| {
+//!         let mut w = v.clone();
+//!         w.reverse();
+//!         w.reverse();
+//!         prop_assert!(w == *v, "double reverse changed {v:?}");
+//!         Ok(())
+//!     },
+//! );
+//! ```
+
+use crate::{mix, Rng};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Environment variable overriding the base seed for every `check` call.
+pub const ENV_SEED: &str = "MRIS_PROP_SEED";
+/// Environment variable overriding the number of cases for every `check` call.
+pub const ENV_CASES: &str = "MRIS_PROP_CASES";
+
+/// Harness configuration for one [`check`] call.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of generated cases.
+    pub cases: u32,
+    /// Base seed; per-case seeds are derived from it.
+    pub seed: u64,
+    /// Upper bound on shrink candidate evaluations after a failure.
+    pub max_shrink_steps: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: 256,
+            seed: 0x4D52_4953_5052_4F50, // "MRISPROP"
+            max_shrink_steps: 1024,
+        }
+    }
+}
+
+impl Config {
+    /// Default configuration with the given case count.
+    pub fn with_cases(cases: u32) -> Self {
+        Config {
+            cases,
+            ..Config::default()
+        }
+    }
+
+    /// Applies `MRIS_PROP_SEED` / `MRIS_PROP_CASES` overrides.
+    fn resolved(&self) -> Config {
+        let mut cfg = self.clone();
+        if let Ok(s) = std::env::var(ENV_SEED) {
+            if let Ok(seed) = s.trim().parse::<u64>() {
+                cfg.seed = seed;
+            }
+        }
+        if let Ok(s) = std::env::var(ENV_CASES) {
+            if let Ok(cases) = s.trim().parse::<u32>() {
+                cfg.cases = cases;
+            }
+        }
+        cfg
+    }
+}
+
+/// Types the harness knows how to shrink after a failure.
+///
+/// The default implementation offers no candidates (scalars stop shrinking
+/// immediately); `Vec` shrinks by halving, tuples component-wise.
+pub trait Shrink: Sized + Clone {
+    /// Strictly "smaller" variants of `self` to try; may be empty.
+    fn shrink_candidates(&self) -> Vec<Self> {
+        Vec::new()
+    }
+}
+
+macro_rules! impl_shrink_scalar {
+    ($($t:ty),* $(,)?) => {
+        $(impl Shrink for $t {})*
+    };
+}
+impl_shrink_scalar!(
+    bool, char, u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, String
+);
+
+impl<T: Clone> Shrink for Vec<T> {
+    fn shrink_candidates(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        if self.len() >= 2 {
+            let mid = self.len() / 2;
+            out.push(self[..mid].to_vec());
+            out.push(self[mid..].to_vec());
+        }
+        // For short vectors also try dropping single elements, which finds
+        // minimal witnesses the coarse halving steps over.
+        if (1..=8).contains(&self.len()) {
+            for i in 0..self.len() {
+                let mut v = self.clone();
+                v.remove(i);
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
+macro_rules! impl_shrink_tuple {
+    ($(($($name:ident : $idx:tt),+))+) => {
+        $(
+            impl<$($name: Shrink),+> Shrink for ($($name,)+) {
+                fn shrink_candidates(&self) -> Vec<Self> {
+                    let mut out = Vec::new();
+                    $(
+                        for candidate in self.$idx.shrink_candidates() {
+                            let mut tuple = self.clone();
+                            tuple.$idx = candidate;
+                            out.push(tuple);
+                        }
+                    )+
+                    out
+                }
+            }
+        )+
+    };
+}
+impl_shrink_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+/// Outcome of running a property on one input, with panics folded in.
+fn run_property<T, P>(prop: &P, input: &T) -> Result<(), String>
+where
+    P: Fn(&T) -> Result<(), String>,
+{
+    match catch_unwind(AssertUnwindSafe(|| prop(input))) {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "property panicked".to_string()
+            };
+            Err(format!("panic: {msg}"))
+        }
+    }
+}
+
+/// Runs `prop` against `cfg.cases` inputs produced by `generate`.
+///
+/// On the first failure the input is shrunk (bounded by
+/// `cfg.max_shrink_steps` candidate evaluations) and the harness panics
+/// with the minimal input, the error, and the seeds needed to reproduce.
+pub fn check<T, G, P>(name: &str, cfg: &Config, generate: G, prop: P)
+where
+    T: std::fmt::Debug + Shrink,
+    G: Fn(&mut Rng) -> T,
+    P: Fn(&T) -> Result<(), String>,
+{
+    let cfg = cfg.resolved();
+    for case in 0..cfg.cases {
+        let case_seed = mix(cfg.seed, case as u64);
+        let mut rng = Rng::new(case_seed);
+        let input = generate(&mut rng);
+        if let Err(first_error) = run_property(&prop, &input) {
+            let (minimal, error, shrink_steps) =
+                shrink_failure(input, first_error, &prop, cfg.max_shrink_steps);
+            panic!(
+                "property '{name}' failed at case {case}/{cases} \
+                 (base seed {seed}, case seed {case_seed}); \
+                 rerun with {env}={seed}\n\
+                 minimal input (after {shrink_steps} shrink steps): {minimal:#?}\n\
+                 error: {error}",
+                cases = cfg.cases,
+                seed = cfg.seed,
+                env = ENV_SEED,
+            );
+        }
+    }
+}
+
+/// Greedily walks shrink candidates, keeping any that still fail.
+fn shrink_failure<T, P>(
+    mut current: T,
+    mut error: String,
+    prop: &P,
+    max_steps: u32,
+) -> (T, String, u32)
+where
+    T: Shrink,
+    P: Fn(&T) -> Result<(), String>,
+{
+    let mut steps = 0u32;
+    'outer: loop {
+        for candidate in current.shrink_candidates() {
+            if steps >= max_steps {
+                break 'outer;
+            }
+            steps += 1;
+            if let Err(e) = run_property(prop, &candidate) {
+                current = candidate;
+                error = e;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (current, error, steps)
+}
+
+/// Asserts a condition inside a property, early-returning `Err` on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} ({}:{})",
+                stringify!($cond),
+                file!(),
+                line!()
+            ));
+        }
+    };
+    ($cond:expr, $($arg:tt)+) => {
+        if !$cond {
+            return Err(format!($($arg)+));
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?} ({}:{})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($arg:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($arg)+),
+                l,
+                r
+            ));
+        }
+    }};
+}
+
+/// Asserts two expressions are unequal inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return Err(format!(
+                "assertion failed: {} != {}\n  both: {:?} ({}:{})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($arg:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return Err(format!("{}\n  both: {:?}", format!($($arg)+), l));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_completes() {
+        check(
+            "sum is commutative",
+            &Config::with_cases(64),
+            |rng| (rng.gen_range(0..1000usize), rng.gen_range(0..1000usize)),
+            |&(a, b)| {
+                crate::prop_assert_eq!(a + b, b + a);
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    fn failing_property_reports_and_shrinks() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            check(
+                "no element exceeds 50",
+                &Config::with_cases(256),
+                |rng| {
+                    let n = rng.gen_range(0..40usize);
+                    (0..n)
+                        .map(|_| rng.gen_range(0..100usize))
+                        .collect::<Vec<_>>()
+                },
+                |v| {
+                    crate::prop_assert!(v.iter().all(|&x| x <= 50), "found {v:?}");
+                    Ok(())
+                },
+            );
+        }));
+        let msg = match result {
+            Ok(()) => panic!("property should have failed"),
+            Err(payload) => *payload.downcast::<String>().expect("string panic payload"),
+        };
+        assert!(msg.contains("no element exceeds 50"), "message: {msg}");
+        assert!(msg.contains(ENV_SEED), "message lacks seed hint: {msg}");
+        // The halving + element-drop shrinker should isolate a single
+        // offending element.
+        let bracket = msg.find('[').expect("minimal input vec in message");
+        let close = msg[bracket..].find(']').unwrap() + bracket;
+        let body = &msg[bracket + 1..close];
+        let elems: Vec<&str> = body
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .collect();
+        assert_eq!(elems.len(), 1, "not fully shrunk: {msg}");
+    }
+
+    #[test]
+    fn panicking_property_is_caught_and_reported() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            check(
+                "index stays in bounds",
+                &Config::with_cases(64),
+                |rng| rng.gen_range(0..10usize),
+                |&i| {
+                    let v = [0u8; 5];
+                    let _ = v[i]; // panics for i >= 5
+                    Ok(())
+                },
+            );
+        }));
+        let msg = match result {
+            Ok(()) => panic!("property should have failed"),
+            Err(payload) => *payload.downcast::<String>().expect("string panic payload"),
+        };
+        assert!(msg.contains("panic:"), "message: {msg}");
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        use std::cell::RefCell;
+        let run = || {
+            let sink = RefCell::new(Vec::new());
+            check(
+                "collector",
+                &Config::with_cases(16),
+                |rng| rng.gen_range(0..1_000_000usize),
+                |&v| {
+                    sink.borrow_mut().push(v);
+                    Ok(())
+                },
+            );
+            sink.into_inner()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 16);
+    }
+
+    #[test]
+    fn tuple_shrink_is_component_wise() {
+        let input = (vec![1, 2, 3, 4], 7usize);
+        let candidates = input.shrink_candidates();
+        assert!(candidates.iter().any(|(v, s)| v.len() == 2 && *s == 7));
+        // Scalars offer no candidates of their own.
+        assert!(candidates.iter().all(|(_, s)| *s == 7));
+    }
+}

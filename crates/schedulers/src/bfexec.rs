@@ -13,7 +13,7 @@
 use std::collections::BTreeSet;
 
 use mris_sim::{run_online, Dispatcher, OnlinePolicy, OrdTime};
-use mris_types::{fraction, Amount, Instance, JobId, Schedule, Time};
+use mris_types::{fraction, Amount, Instance, JobId, Schedule, SchedulingError, Time};
 
 use crate::Scheduler;
 
@@ -51,7 +51,7 @@ impl OnlinePolicy for BfExecPolicy {
         self.fresh.extend_from_slice(arrived);
     }
 
-    fn dispatch(&mut self, d: &mut Dispatcher<'_>, freed: &[usize]) {
+    fn dispatch(&mut self, d: &mut Dispatcher<'_>, freed: &[usize]) -> Result<(), SchedulingError> {
         let instance = d.instance();
         // Departure rule first: backfill each freed machine in SJF order.
         for &m in freed {
@@ -62,7 +62,7 @@ impl OnlinePolicy for BfExecPolicy {
                     .find(|&&(_, j)| d.cluster().fits(m, &instance.job(j).demands))
                     .copied();
                 let Some(entry) = next else { break };
-                d.place(m, entry.1);
+                d.place(m, entry.1)?;
                 self.pending.remove(&entry);
             }
         }
@@ -77,12 +77,13 @@ impl OnlinePolicy for BfExecPolicy {
                     na.total_cmp(&nb).then(a.cmp(&b))
                 });
             match best {
-                Some(m) => d.place(m, j),
+                Some(m) => d.place(m, j)?,
                 None => {
                     self.pending.insert((OrdTime(job.proc_time), j));
                 }
             }
         }
+        Ok(())
     }
 }
 
@@ -95,7 +96,11 @@ impl Scheduler for BfExec {
         "BF-EXEC".to_string()
     }
 
-    fn schedule(&self, instance: &Instance, num_machines: usize) -> Schedule {
+    fn try_schedule(
+        &self,
+        instance: &Instance,
+        num_machines: usize,
+    ) -> Result<Schedule, SchedulingError> {
         run_online(instance, num_machines, &mut BfExecPolicy::new())
     }
 }
@@ -117,10 +122,7 @@ mod tests {
     fn arrival_picks_best_fit_machine() {
         // Machine 0 is loaded to 0.5 on both resources; machine 1 idle.
         // A small job best-fits the *loaded* machine (lower residual norm).
-        let jobs = vec![
-            j(0.0, 10.0, &[0.5, 0.5]),
-            j(1.0, 2.0, &[0.3, 0.3]),
-        ];
+        let jobs = vec![j(0.0, 10.0, &[0.5, 0.5]), j(1.0, 2.0, &[0.3, 0.3])];
         let instance = inst(jobs);
         let s = BfExec.schedule(&instance, 2);
         s.validate(&instance).unwrap();

@@ -10,7 +10,7 @@
 use std::collections::BTreeSet;
 
 use mris_sim::{run_online, Dispatcher, OnlinePolicy, OrdTime};
-use mris_types::{Instance, JobId, Schedule, Time};
+use mris_types::{Instance, JobId, Schedule, SchedulingError, Time};
 
 use crate::{Scheduler, SortHeuristic};
 
@@ -32,9 +32,9 @@ impl OnlinePolicy for CaPqPolicy {
         }
     }
 
-    fn dispatch(&mut self, d: &mut Dispatcher<'_>, freed: &[usize]) {
+    fn dispatch(&mut self, d: &mut Dispatcher<'_>, freed: &[usize]) -> Result<(), SchedulingError> {
         if d.now() < self.gate {
-            return;
+            return Ok(());
         }
         let instance = d.instance();
         let mut placed = Vec::new();
@@ -51,7 +51,7 @@ impl OnlinePolicy for CaPqPolicy {
                 d.cluster().first_fit(demands)
             };
             if let Some(m) = machine {
-                d.place(m, j);
+                d.place(m, j)?;
                 placed.push((key, j));
             }
         }
@@ -59,6 +59,7 @@ impl OnlinePolicy for CaPqPolicy {
         for entry in placed {
             self.pending.remove(&entry);
         }
+        Ok(())
     }
 }
 
@@ -89,7 +90,11 @@ impl Scheduler for CaPq {
         format!("CA-PQ-{}", self.heuristic)
     }
 
-    fn schedule(&self, instance: &Instance, num_machines: usize) -> Schedule {
+    fn try_schedule(
+        &self,
+        instance: &Instance,
+        num_machines: usize,
+    ) -> Result<Schedule, SchedulingError> {
         let gate = instance.stats().max_release;
         let mut policy = CaPqPolicy {
             heuristic: self.heuristic,
@@ -112,7 +117,11 @@ mod tests {
 
     #[test]
     fn nothing_starts_before_last_release() {
-        let jobs = vec![j(0.0, 1.0, &[0.1]), j(5.0, 1.0, &[0.1]), j(2.0, 1.0, &[0.1])];
+        let jobs = vec![
+            j(0.0, 1.0, &[0.1]),
+            j(5.0, 1.0, &[0.1]),
+            j(2.0, 1.0, &[0.1]),
+        ];
         let instance = Instance::from_unnumbered(jobs, 1).unwrap();
         let s = CaPq::default().schedule(&instance, 2);
         s.validate(&instance).unwrap();

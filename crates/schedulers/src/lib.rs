@@ -32,7 +32,7 @@ pub use heuristic::SortHeuristic;
 pub use pq::{NaivePqPolicy, Pq, PqPolicy};
 pub use tetris::{Tetris, TetrisPolicy};
 
-use mris_types::{Instance, Schedule};
+use mris_types::{Instance, Schedule, SchedulingError};
 
 /// A complete scheduling algorithm: consumes an instance and produces a full
 /// schedule on `num_machines` identical machines.
@@ -40,17 +40,48 @@ use mris_types::{Instance, Schedule};
 /// Online algorithms implement this by running themselves through the
 /// event-driven engine; the trait exists so experiments and benches can
 /// compare algorithms uniformly.
+///
+/// Implementors provide [`Scheduler::try_schedule`], the fallible entry
+/// point; callers that treat a scheduling failure as a bug (experiments,
+/// benches) use the provided [`Scheduler::schedule`], which panics with the
+/// algorithm's name on error.
 pub trait Scheduler {
     /// Human-readable algorithm name (appears in experiment reports).
     fn name(&self) -> String;
 
-    /// Produces a complete schedule of `instance` on `num_machines` machines.
-    fn schedule(&self, instance: &Instance, num_machines: usize) -> Schedule;
+    /// Produces a complete schedule of `instance` on `num_machines`
+    /// machines, surfacing policy bugs as typed errors.
+    fn try_schedule(
+        &self,
+        instance: &Instance,
+        num_machines: usize,
+    ) -> Result<Schedule, SchedulingError>;
+
+    /// Infallible convenience wrapper around [`Scheduler::try_schedule`].
+    ///
+    /// # Panics
+    ///
+    /// Panics (naming the algorithm) if the underlying policy fails; every
+    /// shipped algorithm is work-conserving and never does.
+    fn schedule(&self, instance: &Instance, num_machines: usize) -> Schedule {
+        match self.try_schedule(instance, num_machines) {
+            Ok(s) => s,
+            Err(e) => panic!("{} failed to schedule: {e}", self.name()),
+        }
+    }
 }
 
 impl<S: Scheduler + ?Sized> Scheduler for &S {
     fn name(&self) -> String {
         (**self).name()
+    }
+
+    fn try_schedule(
+        &self,
+        instance: &Instance,
+        num_machines: usize,
+    ) -> Result<Schedule, SchedulingError> {
+        (**self).try_schedule(instance, num_machines)
     }
 
     fn schedule(&self, instance: &Instance, num_machines: usize) -> Schedule {
@@ -61,6 +92,14 @@ impl<S: Scheduler + ?Sized> Scheduler for &S {
 impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
     fn name(&self) -> String {
         (**self).name()
+    }
+
+    fn try_schedule(
+        &self,
+        instance: &Instance,
+        num_machines: usize,
+    ) -> Result<Schedule, SchedulingError> {
+        (**self).try_schedule(instance, num_machines)
     }
 
     fn schedule(&self, instance: &Instance, num_machines: usize) -> Schedule {

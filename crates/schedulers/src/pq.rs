@@ -13,7 +13,7 @@
 use std::collections::BTreeSet;
 
 use mris_sim::{run_online, Dispatcher, OnlinePolicy, OrdTime};
-use mris_types::{Instance, JobId, Schedule, Time};
+use mris_types::{Instance, JobId, Schedule, SchedulingError, Time};
 
 use crate::{Scheduler, SortHeuristic};
 
@@ -47,7 +47,7 @@ impl OnlinePolicy for PqPolicy {
         self.fresh.extend_from_slice(arrived);
     }
 
-    fn dispatch(&mut self, d: &mut Dispatcher<'_>, freed: &[usize]) {
+    fn dispatch(&mut self, d: &mut Dispatcher<'_>, freed: &[usize]) -> Result<(), SchedulingError> {
         let instance = d.instance();
         for &j in &self.fresh {
             self.pending
@@ -56,7 +56,7 @@ impl OnlinePolicy for PqPolicy {
         let mut fresh: Vec<JobId> = std::mem::take(&mut self.fresh);
         fresh.sort_unstable();
         if freed.is_empty() && fresh.is_empty() {
-            return;
+            return Ok(());
         }
         let mut placed: Vec<(OrdTime, JobId)> = Vec::new();
         for &(key, j) in self.pending.iter() {
@@ -74,13 +74,14 @@ impl OnlinePolicy for PqPolicy {
                     .find(|&m| d.cluster().fits(m, demands))
             };
             if let Some(m) = machine {
-                d.place(m, j);
+                d.place(m, j)?;
                 placed.push((key, j));
             }
         }
         for entry in placed {
             self.pending.remove(&entry);
         }
+        Ok(())
     }
 }
 
@@ -104,7 +105,11 @@ impl Scheduler for Pq {
         format!("PQ-{}", self.heuristic)
     }
 
-    fn schedule(&self, instance: &Instance, num_machines: usize) -> Schedule {
+    fn try_schedule(
+        &self,
+        instance: &Instance,
+        num_machines: usize,
+    ) -> Result<Schedule, SchedulingError> {
         run_online(instance, num_machines, &mut PqPolicy::new(self.heuristic))
     }
 }
@@ -136,18 +141,23 @@ impl OnlinePolicy for NaivePqPolicy {
         }
     }
 
-    fn dispatch(&mut self, d: &mut Dispatcher<'_>, _freed: &[usize]) {
+    fn dispatch(
+        &mut self,
+        d: &mut Dispatcher<'_>,
+        _freed: &[usize],
+    ) -> Result<(), SchedulingError> {
         let instance = d.instance();
         let mut placed = Vec::new();
         for &(key, j) in self.pending.iter() {
             if let Some(m) = d.cluster().first_fit(&instance.job(j).demands) {
-                d.place(m, j);
+                d.place(m, j)?;
                 placed.push((key, j));
             }
         }
         for entry in placed {
             self.pending.remove(&entry);
         }
+        Ok(())
     }
 }
 
@@ -214,18 +224,16 @@ mod tests {
                         (next() % 20) as f64 * 0.5,
                         1.0 + (next() % 8) as f64,
                         1.0 + (next() % 3) as f64,
-                        &[
-                            (next() % 100) as f64 / 100.0,
-                            (next() % 100) as f64 / 100.0,
-                        ],
+                        &[(next() % 100) as f64 / 100.0, (next() % 100) as f64 / 100.0],
                     )
                 })
                 .collect();
             let instance = inst(jobs);
             for heuristic in SortHeuristic::ALL_EXTENDED {
                 let machines = 1 + (trial % 3);
-                let fast = run_online(&instance, machines, &mut PqPolicy::new(heuristic));
-                let slow = run_online(&instance, machines, &mut NaivePqPolicy::new(heuristic));
+                let fast = run_online(&instance, machines, &mut PqPolicy::new(heuristic)).unwrap();
+                let slow =
+                    run_online(&instance, machines, &mut NaivePqPolicy::new(heuristic)).unwrap();
                 assert_eq!(fast, slow, "trial {trial} heuristic {heuristic}");
                 fast.validate(&instance).unwrap();
             }

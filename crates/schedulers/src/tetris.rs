@@ -17,7 +17,7 @@
 //! DESIGN.md.
 
 use mris_sim::{run_online, Dispatcher, OnlinePolicy};
-use mris_types::{fraction, Amount, Instance, Job, JobId, Schedule, Time};
+use mris_types::{fraction, Amount, Instance, Job, JobId, Schedule, SchedulingError, Time};
 
 use crate::Scheduler;
 
@@ -75,7 +75,12 @@ impl TetrisPolicy {
 
     /// Greedily fills machine `m` from `candidates` (indices into
     /// `self.pending`), highest score first, until nothing fits.
-    fn fill_machine(&mut self, d: &mut Dispatcher<'_>, m: usize, fresh_only: bool) {
+    fn fill_machine(
+        &mut self,
+        d: &mut Dispatcher<'_>,
+        m: usize,
+        fresh_only: bool,
+    ) -> Result<(), SchedulingError> {
         let instance = d.instance();
         loop {
             let v_min = self.min_volume(instance);
@@ -97,8 +102,9 @@ impl TetrisPolicy {
             let Some((_, idx)) = best else { break };
             let j = self.pending.swap_remove(idx);
             self.fresh.retain(|&f| f != j);
-            d.place(m, j);
+            d.place(m, j)?;
         }
+        Ok(())
     }
 }
 
@@ -108,17 +114,17 @@ impl OnlinePolicy for TetrisPolicy {
         self.pending.extend_from_slice(arrived);
     }
 
-    fn dispatch(&mut self, d: &mut Dispatcher<'_>, freed: &[usize]) {
+    fn dispatch(&mut self, d: &mut Dispatcher<'_>, freed: &[usize]) -> Result<(), SchedulingError> {
         // Machines that freed capacity reconsider the whole queue.
         for &m in freed {
-            self.fill_machine(d, m, false);
+            self.fill_machine(d, m, false)?;
         }
         // Remaining machines gained no capacity since the previous event, so
         // only freshly arrived jobs can newly fit there.
         if !self.fresh.is_empty() {
             for m in 0..d.cluster().num_machines() {
                 if freed.binary_search(&m).is_err() {
-                    self.fill_machine(d, m, true);
+                    self.fill_machine(d, m, true)?;
                 }
                 if self.fresh.is_empty() {
                     break;
@@ -126,6 +132,7 @@ impl OnlinePolicy for TetrisPolicy {
             }
         }
         self.fresh.clear();
+        Ok(())
     }
 }
 
@@ -158,7 +165,11 @@ impl Scheduler for Tetris {
         "TETRIS".to_string()
     }
 
-    fn schedule(&self, instance: &Instance, num_machines: usize) -> Schedule {
+    fn try_schedule(
+        &self,
+        instance: &Instance,
+        num_machines: usize,
+    ) -> Result<Schedule, SchedulingError> {
         run_online(instance, num_machines, &mut TetrisPolicy::new(self.eps))
     }
 }
@@ -205,10 +216,7 @@ mod tests {
     fn volume_term_breaks_alignment_ties() {
         // Two jobs with identical demands but different durations; only one
         // fits at a time. The smaller volume wins.
-        let jobs = vec![
-            j(0.0, 8.0, &[0.6, 0.6]),
-            j(0.0, 2.0, &[0.6, 0.6]),
-        ];
+        let jobs = vec![j(0.0, 8.0, &[0.6, 0.6]), j(0.0, 2.0, &[0.6, 0.6])];
         let instance = inst(jobs);
         let s = Tetris::default().schedule(&instance, 1);
         s.validate(&instance).unwrap();

@@ -1,9 +1,10 @@
 //! Cross-cutting tests of the baseline schedulers on structured and random
 //! instances.
 
+use mris_rng::prop::{check, Config};
+use mris_rng::prop_assert;
 use mris_schedulers::{BfExec, CaPq, Pq, Scheduler, SortHeuristic, Tetris};
 use mris_types::{Instance, Job, JobId};
-use proptest::prelude::*;
 
 fn all_baselines() -> Vec<Box<dyn Scheduler>> {
     let mut v: Vec<Box<dyn Scheduler>> = SortHeuristic::ALL_EXTENDED
@@ -95,72 +96,118 @@ fn far_future_release_is_respected() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Every baseline produces feasible, complete schedules on random
+/// instances with extreme demand mixes (including full-demand jobs and
+/// zero-demand jobs).
+#[test]
+fn baselines_feasible_on_extreme_mixes() {
+    const LEVELS: [f64; 6] = [0.0, 0.01, 0.33, 0.5, 0.99, 1.0];
+    check(
+        "baselines feasible on extreme mixes",
+        &Config::with_cases(48),
+        |rng| {
+            let n = rng.gen_range(1..20usize);
+            let rows: Vec<(f64, f64, Vec<f64>)> = (0..n)
+                .map(|_| {
+                    (
+                        rng.gen_range(0.0..8.0),
+                        rng.gen_range(0.5..4.0),
+                        vec![*rng.choose(&LEVELS), *rng.choose(&LEVELS)],
+                    )
+                })
+                .collect();
+            (rows, rng.gen_range(1..4usize))
+        },
+        |(rows, machines)| {
+            if rows.is_empty() || rows.iter().any(|(_, _, d)| d.len() != 2) {
+                return Ok(());
+            }
+            let jobs: Vec<Job> = rows
+                .iter()
+                .map(|(r, p, d)| Job::from_fractions(JobId(0), *r, *p, 1.0, d))
+                .collect();
+            let instance = inst(jobs, 2);
+            for algo in all_baselines() {
+                let s = algo.schedule(&instance, *machines);
+                prop_assert!(s.validate(&instance).is_ok(), "{}", algo.name());
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Every baseline produces feasible, complete schedules on random
-    /// instances with extreme demand mixes (including full-demand jobs and
-    /// zero-demand jobs).
-    #[test]
-    fn baselines_feasible_on_extreme_mixes(
-        rows in prop::collection::vec(
-            (0.0f64..8.0, 0.5f64..4.0,
-             prop::collection::vec(prop::sample::select(
-                 vec![0.0, 0.01, 0.33, 0.5, 0.99, 1.0]), 2..=2)),
-            1..20,
-        ),
-        machines in 1usize..4,
-    ) {
-        let jobs: Vec<Job> = rows
-            .iter()
-            .map(|(r, p, d)| Job::from_fractions(JobId(0), *r, *p, 1.0, d))
-            .collect();
-        let instance = inst(jobs, 2);
-        for algo in all_baselines() {
-            let s = algo.schedule(&instance, machines);
-            prop_assert!(s.validate(&instance).is_ok(), "{}", algo.name());
-        }
-    }
+/// Tetris with eps = 0 (pure alignment) and large eps (pure SVF) bracket
+/// the default, and all remain feasible.
+#[test]
+fn tetris_eps_spectrum() {
+    check(
+        "tetris eps spectrum",
+        &Config::with_cases(48),
+        |rng| {
+            let n = rng.gen_range(2..15usize);
+            (0..n)
+                .map(|_| {
+                    (
+                        rng.gen_range(0.0..5.0),
+                        rng.gen_range(1.0..3.0),
+                        rng.gen_range(0.05..0.8),
+                    )
+                })
+                .collect::<Vec<(f64, f64, f64)>>()
+        },
+        |rows| {
+            if rows.is_empty() {
+                return Ok(());
+            }
+            let jobs: Vec<Job> = rows
+                .iter()
+                .map(|(r, p, d)| Job::from_fractions(JobId(0), *r, *p, 1.0, &[*d, *d]))
+                .collect();
+            let instance = inst(jobs, 2);
+            for eps in [0.0, 0.5, 1.0, 10.0] {
+                let s = Tetris::new(eps).schedule(&instance, 2);
+                prop_assert!(s.validate(&instance).is_ok(), "eps = {eps}");
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Tetris with eps = 0 (pure alignment) and large eps (pure SVF) bracket
-    /// the default, and all remain feasible.
-    #[test]
-    fn tetris_eps_spectrum(
-        rows in prop::collection::vec(
-            (0.0f64..5.0, 1.0f64..3.0, 0.05f64..0.8),
-            2..15,
-        ),
-    ) {
-        let jobs: Vec<Job> = rows
-            .iter()
-            .map(|(r, p, d)| Job::from_fractions(JobId(0), *r, *p, 1.0, &[*d, *d]))
-            .collect();
-        let instance = inst(jobs, 2);
-        for eps in [0.0, 0.5, 1.0, 10.0] {
-            let s = Tetris::new(eps).schedule(&instance, 2);
-            prop_assert!(s.validate(&instance).is_ok(), "eps = {eps}");
-        }
-    }
-
-    /// CA-PQ never starts anything before the last release, and every other
-    /// baseline starts at least one job earlier whenever releases are
-    /// spread and capacity is free.
-    #[test]
-    fn capq_gates_on_last_release(
-        rows in prop::collection::vec(
-            (0.0f64..10.0, 0.5f64..2.0, 0.05f64..0.3),
-            3..12,
-        ),
-    ) {
-        let jobs: Vec<Job> = rows
-            .iter()
-            .map(|(r, p, d)| Job::from_fractions(JobId(0), *r, *p, 1.0, &[*d]))
-            .collect();
-        let instance = inst(jobs, 1);
-        let gate = instance.stats().max_release;
-        let s = CaPq::default().schedule(&instance, 1);
-        for a in s.assignments() {
-            prop_assert!(a.start >= gate - 1e-9);
-        }
-    }
+/// CA-PQ never starts anything before the last release, and every other
+/// baseline starts at least one job earlier whenever releases are
+/// spread and capacity is free.
+#[test]
+fn capq_gates_on_last_release() {
+    check(
+        "capq gates on last release",
+        &Config::with_cases(48),
+        |rng| {
+            let n = rng.gen_range(3..12usize);
+            (0..n)
+                .map(|_| {
+                    (
+                        rng.gen_range(0.0..10.0),
+                        rng.gen_range(0.5..2.0),
+                        rng.gen_range(0.05..0.3),
+                    )
+                })
+                .collect::<Vec<(f64, f64, f64)>>()
+        },
+        |rows| {
+            if rows.is_empty() {
+                return Ok(());
+            }
+            let jobs: Vec<Job> = rows
+                .iter()
+                .map(|(r, p, d)| Job::from_fractions(JobId(0), *r, *p, 1.0, &[*d]))
+                .collect();
+            let instance = inst(jobs, 1);
+            let gate = instance.stats().max_release;
+            let s = CaPq::default().schedule(&instance, 1);
+            for a in s.assignments() {
+                prop_assert!(a.start >= gate - 1e-9);
+            }
+            Ok(())
+        },
+    );
 }

@@ -5,7 +5,7 @@
 //! policy inspects the pending jobs and the instantaneous cluster state and
 //! may start any feasible subset immediately.
 
-use mris_types::{Instance, JobId, Schedule, Time};
+use mris_types::{Instance, JobId, Schedule, SchedulingError, Time};
 
 use crate::ClusterState;
 
@@ -41,18 +41,29 @@ impl<'a> Dispatcher<'a> {
         self.cluster
     }
 
-    /// Starts `job` on `machine` right now. Panics if the job does not fit,
-    /// has not been released, or was already placed — all policy bugs.
-    pub fn place(&mut self, machine: usize, job: JobId) {
+    /// Starts `job` on `machine` right now.
+    ///
+    /// Returns a typed [`SchedulingError`] if the job has not been released,
+    /// does not fit on `machine`, or was already placed — all policy bugs,
+    /// surfaced as errors so the caller can attribute them instead of
+    /// aborting the process.
+    pub fn place(&mut self, machine: usize, job: JobId) -> Result<(), SchedulingError> {
         let j = self.instance.job(job);
-        assert!(
-            j.release <= self.now,
-            "policy placed {job} before its release"
-        );
-        self.cluster.start(machine, j, self.now);
+        if j.release > self.now {
+            return Err(SchedulingError::PlacedBeforeRelease {
+                job,
+                release: j.release,
+                now: self.now,
+            });
+        }
+        if !self.cluster.fits(machine, &j.demands) {
+            return Err(SchedulingError::DoesNotFit { job, machine });
+        }
         self.schedule
             .assign(job, machine, self.now)
-            .expect("policy placed a job twice");
+            .map_err(|_| SchedulingError::AlreadyPlaced { job })?;
+        self.cluster.start(machine, j, self.now);
+        Ok(())
     }
 }
 
@@ -70,7 +81,14 @@ pub trait OnlinePolicy {
     /// Called at every event after completions and arrivals are applied.
     /// `freed_machines` lists machines on which a job just completed
     /// (sorted, deduplicated; empty for pure-arrival events).
-    fn dispatch(&mut self, dispatcher: &mut Dispatcher<'_>, freed_machines: &[usize]);
+    ///
+    /// Placement failures from [`Dispatcher::place`] should be propagated
+    /// with `?`; the driver aborts the run and surfaces the error.
+    fn dispatch(
+        &mut self,
+        dispatcher: &mut Dispatcher<'_>,
+        freed_machines: &[usize],
+    ) -> Result<(), SchedulingError>;
 }
 
 /// A snapshot of the simulation taken after each event was processed,
@@ -90,17 +108,17 @@ pub struct EventSnapshot {
 /// Runs `policy` over `instance` on `num_machines` machines and returns the
 /// complete schedule.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the policy strands jobs (leaves them unplaced after the last
-/// event) or violates placement rules — see [`Dispatcher::place`]. Any
-/// work-conserving policy places every job: when the cluster drains, all
-/// pending jobs fit an idle machine.
+/// Returns a [`SchedulingError`] if the policy strands jobs (leaves them
+/// unplaced after the last event) or violates placement rules — see
+/// [`Dispatcher::place`]. Any work-conserving policy places every job: when
+/// the cluster drains, all pending jobs fit an idle machine.
 pub fn run_online<P: OnlinePolicy + ?Sized>(
     instance: &Instance,
     num_machines: usize,
     policy: &mut P,
-) -> Schedule {
+) -> Result<Schedule, SchedulingError> {
     run_online_observed(instance, num_machines, policy, |_| {})
 }
 
@@ -112,10 +130,10 @@ pub fn run_online_observed<P: OnlinePolicy + ?Sized>(
     num_machines: usize,
     policy: &mut P,
     mut observer: impl FnMut(&EventSnapshot),
-) -> Schedule {
+) -> Result<Schedule, SchedulingError> {
     let mut schedule = Schedule::new(instance.len(), num_machines);
     if instance.is_empty() {
-        return schedule;
+        return Ok(schedule);
     }
     let mut cluster = ClusterState::new(num_machines, instance.num_resources());
 
@@ -132,9 +150,7 @@ pub fn run_online_observed<P: OnlinePolicy + ?Sized>(
     let mut freed: Vec<usize> = Vec::new();
     let mut placed_total = 0usize;
     loop {
-        let arr_t = arrivals
-            .get(next_arrival)
-            .map(|&j| instance.job(j).release);
+        let arr_t = arrivals.get(next_arrival).map(|&j| instance.job(j).release);
         let comp_t = cluster.next_completion();
         let now = match (arr_t, comp_t) {
             (Some(a), Some(c)) => a.min(c),
@@ -149,9 +165,7 @@ pub fn run_online_observed<P: OnlinePolicy + ?Sized>(
         freed.dedup();
 
         let first = next_arrival;
-        while next_arrival < arrivals.len()
-            && instance.job(arrivals[next_arrival]).release <= now
-        {
+        while next_arrival < arrivals.len() && instance.job(arrivals[next_arrival]).release <= now {
             next_arrival += 1;
         }
         if next_arrival > first {
@@ -165,7 +179,7 @@ pub fn run_online_observed<P: OnlinePolicy + ?Sized>(
             instance,
             now,
         };
-        policy.dispatch(&mut dispatcher, &freed);
+        policy.dispatch(&mut dispatcher, &freed)?;
         placed_total += cluster.num_running() - running_before_dispatch;
         observer(&EventSnapshot {
             time: now,
@@ -175,11 +189,11 @@ pub fn run_online_observed<P: OnlinePolicy + ?Sized>(
         });
     }
 
-    assert!(
-        schedule.is_complete(),
-        "online policy stranded jobs: no events remain but the schedule is incomplete"
-    );
-    schedule
+    if !schedule.is_complete() {
+        let unplaced = instance.len() - schedule.assignments().count();
+        return Err(SchedulingError::StrandedJobs { unplaced });
+    }
+    Ok(schedule)
 }
 
 #[cfg(test)]
@@ -198,16 +212,22 @@ mod tests {
             self.pending.extend_from_slice(arrived);
         }
 
-        fn dispatch(&mut self, d: &mut Dispatcher<'_>, _freed: &[usize]) {
-            self.pending.retain(|&job| {
+        fn dispatch(
+            &mut self,
+            d: &mut Dispatcher<'_>,
+            _freed: &[usize],
+        ) -> Result<(), SchedulingError> {
+            let mut remaining = Vec::with_capacity(self.pending.len());
+            for &job in &self.pending {
                 let demands = &d.instance().job(job).demands;
                 if let Some(m) = d.cluster().first_fit(demands) {
-                    d.place(m, job);
-                    false
+                    d.place(m, job)?;
                 } else {
-                    true
+                    remaining.push(job);
                 }
-            });
+            }
+            self.pending = remaining;
+            Ok(())
         }
     }
 
@@ -226,7 +246,7 @@ mod tests {
             1,
         );
         let mut policy = Fifo { pending: vec![] };
-        let s = run_online(&instance, 1, &mut policy);
+        let s = run_online(&instance, 1, &mut policy).unwrap();
         s.validate(&instance).unwrap();
         assert_eq!(s.get(JobId(0)).unwrap().start, 0.0);
         assert_eq!(s.get(JobId(1)).unwrap().start, 2.0);
@@ -243,7 +263,7 @@ mod tests {
             ],
             1,
         );
-        let s = run_online(&instance, 2, &mut Fifo { pending: vec![] });
+        let s = run_online(&instance, 2, &mut Fifo { pending: vec![] }).unwrap();
         s.validate(&instance).unwrap();
         assert_eq!(s.get(JobId(0)).unwrap().machine, 0);
         assert_eq!(s.get(JobId(1)).unwrap().machine, 1);
@@ -259,12 +279,10 @@ mod tests {
             1,
         );
         let mut snapshots = Vec::new();
-        let s = run_online_observed(
-            &instance,
-            2,
-            &mut Fifo { pending: vec![] },
-            |snap| snapshots.push(*snap),
-        );
+        let s = run_online_observed(&instance, 2, &mut Fifo { pending: vec![] }, |snap| {
+            snapshots.push(*snap)
+        })
+        .unwrap();
         s.validate(&instance).unwrap();
         assert!(!snapshots.is_empty());
         for w in snapshots.windows(2) {
@@ -281,9 +299,117 @@ mod tests {
     #[test]
     fn empty_instance_yields_empty_schedule() {
         let instance = inst(vec![], 1);
-        let s = run_online(&instance, 3, &mut Fifo { pending: vec![] });
+        let s = run_online(&instance, 3, &mut Fifo { pending: vec![] }).unwrap();
         assert!(s.is_complete());
         assert_eq!(s.num_jobs(), 0);
+    }
+
+    #[test]
+    fn premature_placement_is_a_typed_error() {
+        struct Premature;
+        impl OnlinePolicy for Premature {
+            fn on_arrivals(&mut self, _now: Time, _arrived: &[JobId], _inst: &Instance) {}
+            fn dispatch(
+                &mut self,
+                d: &mut Dispatcher<'_>,
+                _freed: &[usize],
+            ) -> Result<(), SchedulingError> {
+                // Job 1 is released at t = 2 but the first event is at t = 0.
+                d.place(0, JobId(1))
+            }
+        }
+        let instance = inst(
+            vec![
+                Job::from_fractions(JobId(0), 0.0, 1.0, 1.0, &[0.1]),
+                Job::from_fractions(JobId(1), 2.0, 1.0, 1.0, &[0.1]),
+            ],
+            1,
+        );
+        let err = run_online(&instance, 1, &mut Premature).unwrap_err();
+        assert_eq!(
+            err,
+            SchedulingError::PlacedBeforeRelease {
+                job: JobId(1),
+                release: 2.0,
+                now: 0.0
+            }
+        );
+    }
+
+    #[test]
+    fn overfull_placement_is_a_typed_error() {
+        struct Cram;
+        impl OnlinePolicy for Cram {
+            fn on_arrivals(&mut self, _now: Time, _arrived: &[JobId], _inst: &Instance) {}
+            fn dispatch(
+                &mut self,
+                d: &mut Dispatcher<'_>,
+                _freed: &[usize],
+            ) -> Result<(), SchedulingError> {
+                d.place(0, JobId(0))?;
+                d.place(0, JobId(1)) // 0.7 + 0.7 > capacity
+            }
+        }
+        let instance = inst(
+            vec![
+                Job::from_fractions(JobId(0), 0.0, 1.0, 1.0, &[0.7]),
+                Job::from_fractions(JobId(1), 0.0, 1.0, 1.0, &[0.7]),
+            ],
+            1,
+        );
+        let err = run_online(&instance, 1, &mut Cram).unwrap_err();
+        assert_eq!(
+            err,
+            SchedulingError::DoesNotFit {
+                job: JobId(1),
+                machine: 0
+            }
+        );
+    }
+
+    #[test]
+    fn duplicate_placement_is_a_typed_error() {
+        struct Twice;
+        impl OnlinePolicy for Twice {
+            fn on_arrivals(&mut self, _now: Time, _arrived: &[JobId], _inst: &Instance) {}
+            fn dispatch(
+                &mut self,
+                d: &mut Dispatcher<'_>,
+                _freed: &[usize],
+            ) -> Result<(), SchedulingError> {
+                d.place(0, JobId(0))?;
+                d.place(1, JobId(0))
+            }
+        }
+        let instance = inst(
+            vec![Job::from_fractions(JobId(0), 0.0, 1.0, 1.0, &[0.1])],
+            1,
+        );
+        let err = run_online(&instance, 2, &mut Twice).unwrap_err();
+        assert_eq!(err, SchedulingError::AlreadyPlaced { job: JobId(0) });
+    }
+
+    #[test]
+    fn stranding_jobs_is_a_typed_error() {
+        struct Lazy;
+        impl OnlinePolicy for Lazy {
+            fn on_arrivals(&mut self, _now: Time, _arrived: &[JobId], _inst: &Instance) {}
+            fn dispatch(
+                &mut self,
+                _d: &mut Dispatcher<'_>,
+                _freed: &[usize],
+            ) -> Result<(), SchedulingError> {
+                Ok(())
+            }
+        }
+        let instance = inst(
+            (0..3)
+                .map(|i| Job::from_fractions(JobId(i), 0.0, 1.0, 1.0, &[0.1]))
+                .collect(),
+            1,
+        );
+        let err = run_online(&instance, 1, &mut Lazy).unwrap_err();
+        assert_eq!(err, SchedulingError::StrandedJobs { unplaced: 3 });
     }
 
     #[test]
@@ -299,8 +425,12 @@ mod tests {
                 }
                 self.fifo.on_arrivals(now, arrived, inst);
             }
-            fn dispatch(&mut self, d: &mut Dispatcher<'_>, freed: &[usize]) {
-                self.fifo.dispatch(d, freed);
+            fn dispatch(
+                &mut self,
+                d: &mut Dispatcher<'_>,
+                freed: &[usize],
+            ) -> Result<(), SchedulingError> {
+                self.fifo.dispatch(d, freed)
             }
         }
         let instance = inst(
@@ -315,7 +445,7 @@ mod tests {
             seen: vec![],
             fifo: Fifo { pending: vec![] },
         };
-        let s = run_online(&instance, 1, &mut rec);
+        let s = run_online(&instance, 1, &mut rec).unwrap();
         s.validate(&instance).unwrap();
         assert_eq!(
             rec.seen,

@@ -90,11 +90,7 @@ impl MachineTimeline {
         let mut i = self.segment_index(start);
         while i < self.times.len() && self.times[i] < end {
             let seg = self.segment_usage(i);
-            if seg
-                .iter()
-                .zip(demands)
-                .any(|(&u, &d)| u + d > CAPACITY)
-            {
+            if seg.iter().zip(demands).any(|(&u, &d)| u + d > CAPACITY) {
                 return false;
             }
             i += 1;
@@ -118,11 +114,7 @@ impl MachineTimeline {
             let mut i = self.segment_index(cand);
             while i < self.times.len() && self.times[i] < end {
                 let seg = self.segment_usage(i);
-                if seg
-                    .iter()
-                    .zip(demands)
-                    .any(|(&u, &d)| u + d > CAPACITY)
-                {
+                if seg.iter().zip(demands).any(|(&u, &d)| u + d > CAPACITY) {
                     // Any start overlapping this segment is infeasible; jump
                     // past it. The last segment is all-zero so a violating
                     // segment always has a successor.

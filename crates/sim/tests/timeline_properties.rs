@@ -4,9 +4,10 @@
 //! answers usage/feasibility queries by direct summation; the step-function
 //! timeline must agree with it everywhere.
 
+use mris_rng::prop::{check, Config};
+use mris_rng::{prop_assert, prop_assert_eq, Rng};
 use mris_sim::MachineTimeline;
 use mris_types::{Amount, CAPACITY};
-use proptest::prelude::*;
 
 /// Naive model: list of (start, duration, demands).
 struct Reference {
@@ -48,15 +49,17 @@ impl Reference {
 }
 
 /// A commit script: sequences of (start, duration, demand fractions).
-fn arb_commits(r: usize) -> impl Strategy<Value = Vec<(f64, f64, Vec<f64>)>> {
-    prop::collection::vec(
-        (
-            0.0f64..50.0,
-            0.1f64..10.0,
-            prop::collection::vec(0.0f64..0.3, r..=r),
-        ),
-        0..20,
-    )
+fn gen_commits(rng: &mut Rng, r: usize) -> Vec<(f64, f64, Vec<f64>)> {
+    let n = rng.gen_range(0..20usize);
+    (0..n)
+        .map(|_| {
+            (
+                rng.gen_range(0.0..50.0),
+                rng.gen_range(0.1..10.0),
+                (0..r).map(|_| rng.gen_range(0.0..0.3)).collect(),
+            )
+        })
+        .collect()
 }
 
 fn to_amounts(fracs: &[f64]) -> Vec<Amount> {
@@ -66,114 +69,176 @@ fn to_amounts(fracs: &[f64]) -> Vec<Amount> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Usage queries agree with the naive model at arbitrary probe points.
-    #[test]
-    fn usage_matches_reference(
-        commits in arb_commits(2),
-        probes in prop::collection::vec(0.0f64..80.0, 1..20),
-    ) {
-        let mut tl = MachineTimeline::new(2);
-        let mut reference = Reference { num_resources: 2, occupations: vec![] };
-        for (s, d, fr) in &commits {
-            let demands = to_amounts(fr);
-            // Keep the reference feasible: skip commits that would overflow
-            // (commit() requires feasibility by contract).
-            if tl.is_feasible(*s, *d, &demands) {
-                tl.commit(*s, *d, &demands);
-                reference.occupations.push((*s, *d, demands));
-            }
-        }
-        for &p in &probes {
-            prop_assert_eq!(tl.usage_at(p), &reference.usage_at(p)[..], "at {}", p);
+/// Replays a commit script into both models, keeping only feasible commits
+/// (`commit()` requires feasibility by contract). `None` for shrink
+/// candidates whose demand vectors lost the 2-resource invariant.
+fn replay(commits: &[(f64, f64, Vec<f64>)]) -> Option<(MachineTimeline, Reference)> {
+    if commits.iter().any(|(_, _, fr)| fr.len() != 2) {
+        return None;
+    }
+    let mut tl = MachineTimeline::new(2);
+    let mut reference = Reference {
+        num_resources: 2,
+        occupations: vec![],
+    };
+    for (s, d, fr) in commits {
+        let demands = to_amounts(fr);
+        if tl.is_feasible(*s, *d, &demands) {
+            tl.commit(*s, *d, &demands);
+            reference.occupations.push((*s, *d, demands));
         }
     }
+    Some((tl, reference))
+}
 
-    /// `is_feasible` agrees with the naive model for arbitrary windows.
-    #[test]
-    fn feasibility_matches_reference(
-        commits in arb_commits(2),
-        queries in prop::collection::vec(
-            (0.0f64..60.0, 0.1f64..15.0, prop::collection::vec(0.0f64..=1.0, 2..=2)),
-            1..16,
-        ),
-    ) {
-        let mut tl = MachineTimeline::new(2);
-        let mut reference = Reference { num_resources: 2, occupations: vec![] };
-        for (s, d, fr) in &commits {
-            let demands = to_amounts(fr);
-            if tl.is_feasible(*s, *d, &demands) {
-                tl.commit(*s, *d, &demands);
-                reference.occupations.push((*s, *d, demands));
+/// Usage queries agree with the naive model at arbitrary probe points.
+#[test]
+fn usage_matches_reference() {
+    check(
+        "usage matches reference",
+        &Config::with_cases(128),
+        |rng| {
+            let commits = gen_commits(rng, 2);
+            let n_probes = rng.gen_range(1..20usize);
+            let probes: Vec<f64> = (0..n_probes).map(|_| rng.gen_range(0.0..80.0)).collect();
+            (commits, probes)
+        },
+        |(commits, probes)| {
+            let Some((tl, reference)) = replay(commits) else {
+                return Ok(());
+            };
+            for &p in probes {
+                prop_assert_eq!(tl.usage_at(p), &reference.usage_at(p)[..], "at {}", p);
             }
-        }
-        for (s, d, fr) in &queries {
-            let demands = to_amounts(fr);
-            prop_assert_eq!(
-                tl.is_feasible(*s, *d, &demands),
-                reference.is_feasible(*s, *d, &demands),
-                "window [{}, {})", s, s + d
-            );
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// `earliest_fit` returns a feasible start, no earlier than requested,
-    /// and *minimal*: the window immediately before it is infeasible.
-    #[test]
-    fn earliest_fit_is_sound_and_minimal(
-        commits in arb_commits(2),
-        from in 0.0f64..40.0,
-        dur in 0.1f64..10.0,
-        probe_fr in prop::collection::vec(0.0f64..=1.0, 2..=2),
-    ) {
-        let mut tl = MachineTimeline::new(2);
-        for (s, d, fr) in &commits {
-            let demands = to_amounts(fr);
-            if tl.is_feasible(*s, *d, &demands) {
-                tl.commit(*s, *d, &demands);
+/// `is_feasible` agrees with the naive model for arbitrary windows.
+#[test]
+fn feasibility_matches_reference() {
+    check(
+        "feasibility matches reference",
+        &Config::with_cases(128),
+        |rng| {
+            let commits = gen_commits(rng, 2);
+            let n_queries = rng.gen_range(1..16usize);
+            let queries: Vec<(f64, f64, Vec<f64>)> = (0..n_queries)
+                .map(|_| {
+                    (
+                        rng.gen_range(0.0..60.0),
+                        rng.gen_range(0.1..15.0),
+                        vec![rng.gen_range(0.0..=1.0), rng.gen_range(0.0..=1.0)],
+                    )
+                })
+                .collect();
+            (commits, queries)
+        },
+        |(commits, queries)| {
+            let Some((tl, reference)) = replay(commits) else {
+                return Ok(());
+            };
+            for (s, d, fr) in queries {
+                if fr.len() != 2 {
+                    return Ok(());
+                }
+                let demands = to_amounts(fr);
+                prop_assert_eq!(
+                    tl.is_feasible(*s, *d, &demands),
+                    reference.is_feasible(*s, *d, &demands),
+                    "window [{}, {})",
+                    s,
+                    s + d
+                );
             }
-        }
-        let demands = to_amounts(&probe_fr);
-        let start = tl.earliest_fit(from, dur, &demands);
-        prop_assert!(start >= from);
-        prop_assert!(tl.is_feasible(start, dur, &demands));
-        // Minimality: any strictly earlier start (>= from) is infeasible.
-        // Usage is piecewise constant, so checking a few candidates earlier
-        // than `start` suffices: midpoints between `from` and `start`.
-        if start > from {
-            for frac in [0.0, 0.25, 0.5, 0.75, 0.999] {
-                let earlier = from + (start - from) * frac;
-                if earlier < start {
-                    prop_assert!(
-                        !tl.is_feasible(earlier, dur, &demands),
-                        "earlier start {} would fit before {}", earlier, start
-                    );
+            Ok(())
+        },
+    );
+}
+
+/// `earliest_fit` returns a feasible start, no earlier than requested,
+/// and *minimal*: the window immediately before it is infeasible.
+#[test]
+fn earliest_fit_is_sound_and_minimal() {
+    check(
+        "earliest fit is sound and minimal",
+        &Config::with_cases(128),
+        |rng| {
+            (
+                gen_commits(rng, 2),
+                rng.gen_range(0.0..40.0),
+                rng.gen_range(0.1..10.0),
+                vec![rng.gen_range(0.0..=1.0), rng.gen_range(0.0..=1.0)],
+            )
+        },
+        |(commits, from, dur, probe_fr)| {
+            if probe_fr.len() != 2 {
+                return Ok(());
+            }
+            let Some((tl, _)) = replay(commits) else {
+                return Ok(());
+            };
+            let demands = to_amounts(probe_fr);
+            let start = tl.earliest_fit(*from, *dur, &demands);
+            prop_assert!(start >= *from);
+            prop_assert!(tl.is_feasible(start, *dur, &demands));
+            // Minimality: any strictly earlier start (>= from) is infeasible.
+            // Usage is piecewise constant, so checking a few candidates
+            // earlier than `start` suffices: midpoints between `from` and
+            // `start`.
+            if start > *from {
+                for frac in [0.0, 0.25, 0.5, 0.75, 0.999] {
+                    let earlier = from + (start - from) * frac;
+                    if earlier < start {
+                        prop_assert!(
+                            !tl.is_feasible(earlier, *dur, &demands),
+                            "earlier start {} would fit before {}",
+                            earlier,
+                            start
+                        );
+                    }
                 }
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// Committing at the earliest fit never violates capacity (exercised by
-    /// the debug assertions inside commit) and horizons grow monotonically.
-    #[test]
-    fn place_sequences_stay_feasible(
-        jobs in prop::collection::vec(
-            (0.1f64..8.0, prop::collection::vec(0.0f64..=1.0, 2..=2)),
-            1..30,
-        ),
-    ) {
-        use mris_sim::ClusterTimelines;
-        let mut cl = ClusterTimelines::new(2, 2);
-        let mut horizon = 0.0f64;
-        for (dur, fr) in &jobs {
-            let demands = to_amounts(fr);
-            let (m, s) = cl.earliest_fit(0.0, *dur, &demands);
-            cl.commit(m, s, *dur, &demands);
-            let new_horizon = cl.horizon();
-            prop_assert!(new_horizon >= horizon);
-            horizon = new_horizon;
-        }
-    }
+/// Committing at the earliest fit never violates capacity (exercised by
+/// the debug assertions inside commit) and horizons grow monotonically.
+#[test]
+fn place_sequences_stay_feasible() {
+    check(
+        "place sequences stay feasible",
+        &Config::with_cases(128),
+        |rng| {
+            let n = rng.gen_range(1..30usize);
+            (0..n)
+                .map(|_| {
+                    (
+                        rng.gen_range(0.1..8.0),
+                        vec![rng.gen_range(0.0..=1.0), rng.gen_range(0.0..=1.0)],
+                    )
+                })
+                .collect::<Vec<(f64, Vec<f64>)>>()
+        },
+        |jobs| {
+            use mris_sim::ClusterTimelines;
+            if jobs.iter().any(|(_, fr)| fr.len() != 2) {
+                return Ok(());
+            }
+            let mut cl = ClusterTimelines::new(2, 2);
+            let mut horizon = 0.0f64;
+            for (dur, fr) in jobs {
+                let demands = to_amounts(fr);
+                let (m, s) = cl.earliest_fit(0.0, *dur, &demands);
+                cl.commit(m, s, *dur, &demands);
+                let new_horizon = cl.horizon();
+                prop_assert!(new_horizon >= horizon);
+                horizon = new_horizon;
+            }
+            Ok(())
+        },
+    );
 }

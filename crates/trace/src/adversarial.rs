@@ -1,9 +1,7 @@
 //! Synthetic adversarial instances from the paper: the Lemma 4.1 lower-bound
 //! family and the Figure 7 "exercising patience" scenario.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
+use mris_rng::Rng;
 use mris_types::{Instance, Job, JobId};
 
 /// The Lemma 4.1 adversarial family on one machine: job 0 is released at
@@ -72,7 +70,7 @@ impl Default for PatienceConfig {
 /// roughly a third of their AWCT.
 pub fn patience_instance(config: &PatienceConfig) -> Instance {
     assert!(config.num_small >= 1 && config.num_resources >= 1 && config.blocker_proc >= 1.0);
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Rng::new(config.seed);
     let full = vec![1.0; config.num_resources];
     let mut jobs = vec![Job::from_fractions(
         JobId(0),
@@ -109,12 +107,10 @@ pub fn unit_job_batch(
     assert!(n >= 1 && num_resources >= 1);
     let (lo, hi) = demand_range;
     assert!(0.0 <= lo && lo <= hi && hi <= 1.0);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::new(seed);
     let jobs = (0..n)
         .map(|_| {
-            let demands: Vec<f64> = (0..num_resources)
-                .map(|_| rng.gen_range(lo..=hi))
-                .collect();
+            let demands: Vec<f64> = (0..num_resources).map(|_| rng.gen_range(lo..=hi)).collect();
             Job::from_fractions(JobId(0), 0.0, 1.0, 1.0, &demands)
         })
         .collect();

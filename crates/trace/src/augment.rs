@@ -1,8 +1,6 @@
 //! Synthetic resource scaling (Section 7.5.3, Figure 6).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
+use mris_rng::Rng;
 use mris_types::{Instance, Job};
 
 /// Extends every job of `instance` to `target_resources` resource types
@@ -20,7 +18,7 @@ pub fn augment_resources(instance: &Instance, target_resources: usize, seed: u64
     if target_resources == r || instance.is_empty() {
         return instance.clone();
     }
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::new(seed);
     let n = instance.len();
     let jobs: Vec<Job> = instance
         .jobs()

@@ -1,12 +1,8 @@
 //! Synthetic Azure-like VM request trace (substitute for the Microsoft
 //! Azure packing trace; see DESIGN.md for the substitution rationale).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
+use mris_rng::Rng;
 use mris_types::{Instance, Job, JobId};
-
-use crate::rng_ext::{sample_lognormal, weighted_choice};
 
 /// Raw resource indices before the SSD/HDD merge.
 pub(crate) const CPU: usize = 0;
@@ -59,7 +55,7 @@ impl VmCatalog {
     /// Builds the catalog, sampling one machine-type scaling factor per VM
     /// type and resource (heterogeneity across the catalog) — 30 types in
     /// total (5 families x 6 sizes).
-    pub fn sample(rng: &mut StdRng) -> Self {
+    pub fn sample(rng: &mut Rng) -> Self {
         let mut types = Vec::new();
         for (family, cpu, mem, storage, net, uses_hdd) in FAMILIES {
             for (si, &size) in SIZES.iter().enumerate() {
@@ -174,20 +170,25 @@ pub struct AzureTrace {
 /// Duration mixture components: (probability, median seconds, log-sigma).
 /// Spans "a few seconds to 90 days" like the real trace.
 const DURATION_MIX: [(f64, f64, f64); 4] = [
-    (0.40, 300.0, 1.0),      // minutes-scale
-    (0.35, 7_200.0, 0.8),    // hours-scale
-    (0.18, 86_400.0, 0.7),   // day-scale
-    (0.07, 604_800.0, 0.9),  // weeks-scale
+    (0.40, 300.0, 1.0),     // minutes-scale
+    (0.35, 7_200.0, 0.8),   // hours-scale
+    (0.18, 86_400.0, 0.7),  // day-scale
+    (0.07, 604_800.0, 0.9), // weeks-scale
 ];
 
 impl AzureTrace {
     /// Generates the base trace: `num_jobs` requests with diurnal Poisson-
     /// like arrivals over the window, mixture-lognormal durations clamped to
     /// `[5 s, 90 days]`, catalog-sampled demands, and priority weights.
+    ///
+    /// Each generator section (catalog, burst centers, arrivals, durations,
+    /// VM choice, priorities) draws from its own seed-derived sub-stream, so
+    /// changing how many values one section consumes cannot shift any other
+    /// section's output.
     pub fn generate(config: &AzureTraceConfig) -> Self {
         assert!(config.window_days > 0.0 && config.priority_levels >= 1);
-        let mut rng = StdRng::seed_from_u64(config.seed);
-        let catalog = VmCatalog::sample(&mut rng);
+        let root = Rng::new(config.seed);
+        let catalog = VmCatalog::sample(&mut root.substream("catalog"));
         let window_seconds = config.window_days * SECONDS_PER_DAY;
         let popularity: Vec<f64> = catalog.types.iter().map(|t| t.popularity).collect();
         let mix_weights: Vec<f64> = DURATION_MIX.iter().map(|c| c.0).collect();
@@ -198,35 +199,42 @@ impl AzureTrace {
 
         // Pre-sample burst centers for the bursty pattern.
         let burst_centers: Vec<f64> = match config.arrivals {
-            ArrivalPattern::Bursty { spikes, .. } => (0..spikes)
-                .map(|_| rng.gen::<f64>() * window_seconds)
-                .collect(),
+            ArrivalPattern::Bursty { spikes, .. } => {
+                let mut burst_rng = root.substream("burst-centers");
+                (0..spikes)
+                    .map(|_| burst_rng.gen_f64() * window_seconds)
+                    .collect()
+            }
             _ => Vec::new(),
         };
 
+        let mut arrival_rng = root.substream("arrivals");
+        let mut duration_rng = root.substream("durations");
+        let mut vm_rng = root.substream("vm-types");
+        let mut prio_rng = root.substream("priorities");
         let mut jobs = Vec::with_capacity(config.num_jobs);
         for _ in 0..config.num_jobs {
             let release = match config.arrivals {
-                ArrivalPattern::Uniform => rng.gen::<f64>() * window_seconds,
+                ArrivalPattern::Uniform => arrival_rng.gen_f64() * window_seconds,
                 ArrivalPattern::Diurnal { amplitude } => {
-                    sample_diurnal_arrival(&mut rng, window_seconds, amplitude)
+                    sample_diurnal_arrival(&mut arrival_rng, window_seconds, amplitude)
                 }
                 ArrivalPattern::Bursty { spike_mass, .. } => {
-                    if !burst_centers.is_empty() && rng.gen::<f64>() < spike_mass {
-                        let center = burst_centers[rng.gen_range(0..burst_centers.len())];
+                    if !burst_centers.is_empty() && arrival_rng.gen_f64() < spike_mass {
+                        let center = *arrival_rng.choose(&burst_centers);
                         let width = window_seconds * 0.01;
-                        (center + (rng.gen::<f64>() - 0.5) * width)
-                            .clamp(0.0, window_seconds)
+                        (center + (arrival_rng.gen_f64() - 0.5) * width).clamp(0.0, window_seconds)
                     } else {
-                        sample_diurnal_arrival(&mut rng, window_seconds, 0.35)
+                        sample_diurnal_arrival(&mut arrival_rng, window_seconds, 0.35)
                     }
                 }
             };
-            let comp = DURATION_MIX[weighted_choice(&mut rng, &mix_weights)];
-            let duration =
-                sample_lognormal(&mut rng, comp.1.ln(), comp.2).clamp(MIN_DURATION, MAX_DURATION);
-            let vm = weighted_choice(&mut rng, &popularity) as u16;
-            let priority = weighted_choice(&mut rng, &prio_weights) as u8;
+            let comp = DURATION_MIX[duration_rng.weighted_choice(&mix_weights)];
+            let duration = duration_rng
+                .lognormal(comp.1.ln(), comp.2)
+                .clamp(MIN_DURATION, MAX_DURATION);
+            let vm = vm_rng.weighted_choice(&popularity) as u16;
+            let priority = prio_rng.weighted_choice(&prio_weights) as u8;
             jobs.push(BaseJob {
                 release,
                 duration,
@@ -297,7 +305,7 @@ impl AzureTrace {
     /// intervals. `count` must be at most `factor`.
     pub fn sample_instances(&self, factor: usize, count: usize, seed: u64) -> Vec<Instance> {
         assert!(count <= factor, "need count <= factor distinct offsets");
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::new(seed);
         let mut offsets: Vec<usize> = (0..factor).collect();
         // Partial Fisher-Yates: the first `count` entries become the sample.
         for i in 0..count {
@@ -313,12 +321,12 @@ impl AzureTrace {
 
 /// One arrival time in `[0, window)` with a diurnal intensity
 /// `1 + amplitude * sin(2 pi t / day)` via rejection sampling.
-fn sample_diurnal_arrival(rng: &mut StdRng, window: f64, amplitude: f64) -> f64 {
+fn sample_diurnal_arrival(rng: &mut Rng, window: f64, amplitude: f64) -> f64 {
     debug_assert!((0.0..1.0).contains(&amplitude));
     loop {
-        let t = rng.gen::<f64>() * window;
+        let t = rng.gen_f64() * window;
         let intensity = 1.0 + amplitude * (std::f64::consts::TAU * t / SECONDS_PER_DAY).sin();
-        if rng.gen::<f64>() * (1.0 + amplitude) <= intensity {
+        if rng.gen_f64() * (1.0 + amplitude) <= intensity {
             return t;
         }
     }
@@ -348,7 +356,7 @@ mod tests {
 
     #[test]
     fn catalog_types_are_valid() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::new(1);
         let catalog = VmCatalog::sample(&mut rng);
         assert_eq!(catalog.types().len(), 30);
         for t in catalog.types() {

@@ -87,9 +87,7 @@ pub fn parse_instance_csv(text: &str) -> Result<Instance, CsvError> {
         let release = parse(0)?;
         let proc_time = parse(1)?;
         let weight = parse(2)?;
-        let demands: Vec<f64> = (3..fields.len())
-            .map(parse)
-            .collect::<Result<_, _>>()?;
+        let demands: Vec<f64> = (3..fields.len()).map(parse).collect::<Result<_, _>>()?;
         if num_resources == 0 {
             num_resources = demands.len();
         } else if demands.len() != num_resources {
@@ -131,10 +129,7 @@ pub fn instance_to_csv(instance: &Instance) -> String {
     }
     out.push('\n');
     for job in instance.jobs() {
-        out.push_str(&format!(
-            "{},{},{}",
-            job.release, job.proc_time, job.weight
-        ));
+        out.push_str(&format!("{},{},{}", job.release, job.proc_time, job.weight));
         for &d in job.demands.iter() {
             out.push_str(&format!(",{}", fraction(d)));
         }

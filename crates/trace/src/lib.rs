@@ -27,7 +27,6 @@ mod adversarial;
 mod augment;
 mod azure;
 pub mod io;
-mod rng_ext;
 
 pub use adversarial::{
     lemma41_instance, lemma41_reference_awct, patience_instance, unit_job_batch, PatienceConfig,

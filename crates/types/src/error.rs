@@ -1,4 +1,4 @@
-//! Error types for instance construction.
+//! Error types for instance construction and online scheduling.
 
 use crate::JobId;
 
@@ -87,3 +87,63 @@ impl std::fmt::Display for InstanceError {
 }
 
 impl std::error::Error for InstanceError {}
+
+/// A scheduling policy violated a placement rule, or an algorithm failed to
+/// produce a complete schedule. Surfaced as a typed error instead of a
+/// process abort so callers can attribute the failure to the offending
+/// policy and input.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchedulingError {
+    /// A policy started a job before its release time.
+    PlacedBeforeRelease {
+        /// Offending job.
+        job: JobId,
+        /// The job's release time.
+        release: f64,
+        /// The simulated time of the premature placement.
+        now: f64,
+    },
+    /// A policy started a job on a machine lacking capacity for it.
+    DoesNotFit {
+        /// Offending job.
+        job: JobId,
+        /// Machine the policy chose.
+        machine: usize,
+    },
+    /// A policy started the same job twice.
+    AlreadyPlaced {
+        /// Offending job.
+        job: JobId,
+    },
+    /// The event loop drained with jobs still unplaced: the policy stranded
+    /// them (a work-conserving policy places every job once the cluster
+    /// empties).
+    StrandedJobs {
+        /// Number of jobs left unplaced.
+        unplaced: usize,
+    },
+}
+
+impl std::fmt::Display for SchedulingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchedulingError::PlacedBeforeRelease { job, release, now } => write!(
+                f,
+                "policy placed {job} at time {now} before its release {release}"
+            ),
+            SchedulingError::DoesNotFit { job, machine } => write!(
+                f,
+                "policy placed {job} on machine {machine} without sufficient capacity"
+            ),
+            SchedulingError::AlreadyPlaced { job } => {
+                write!(f, "policy placed {job} twice")
+            }
+            SchedulingError::StrandedJobs { unplaced } => write!(
+                f,
+                "online policy stranded {unplaced} jobs: no events remain but the schedule is incomplete"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SchedulingError {}

@@ -75,7 +75,10 @@ impl Instance {
 
     /// Convenience constructor renumbering job ids to match their index, for
     /// generators that assemble jobs out of order.
-    pub fn from_unnumbered(mut jobs: Vec<Job>, num_resources: usize) -> Result<Self, InstanceError> {
+    pub fn from_unnumbered(
+        mut jobs: Vec<Job>,
+        num_resources: usize,
+    ) -> Result<Self, InstanceError> {
         for (index, job) in jobs.iter_mut().enumerate() {
             job.id = JobId(index as u32);
         }

@@ -30,7 +30,7 @@ mod job;
 mod resource;
 mod schedule;
 
-pub use error::InstanceError;
+pub use error::{InstanceError, SchedulingError};
 pub use instance::{Instance, InstanceStats};
 pub use job::{Job, JobId};
 pub use resource::{
@@ -45,6 +45,7 @@ pub type Time = f64;
 /// Commonly used items, for glob-importing in examples and downstream crates.
 pub mod prelude {
     pub use crate::{
-        Amount, Assignment, Instance, InstanceError, Job, JobId, Schedule, Time, CAPACITY,
+        Amount, Assignment, Instance, InstanceError, Job, JobId, Schedule, SchedulingError, Time,
+        CAPACITY,
     };
 }

@@ -77,7 +77,10 @@ impl std::fmt::Display for ScheduleError {
                 job,
                 start,
                 release,
-            } => write!(f, "job {job} starts at {start} before its release {release}"),
+            } => write!(
+                f,
+                "job {job} starts at {start} before its release {release}"
+            ),
             ScheduleError::NonFiniteStart(j) => write!(f, "job {j} has a non-finite start time"),
             ScheduleError::CapacityExceeded {
                 machine,
@@ -134,13 +137,15 @@ impl Schedule {
     /// The assignment of `job`, if it has one.
     #[inline]
     pub fn get(&self, job: JobId) -> Option<Assignment> {
-        self.slots.get(job.index()).copied().flatten().map(
-            |(machine, start)| Assignment {
+        self.slots
+            .get(job.index())
+            .copied()
+            .flatten()
+            .map(|(machine, start)| Assignment {
                 job,
                 machine: machine as usize,
                 start,
-            },
-        )
+            })
     }
 
     /// Whether every job has been assigned.
@@ -161,8 +166,7 @@ impl Schedule {
 
     /// `C_j = S_j + p_j` for an assigned job.
     pub fn completion_time(&self, instance: &Instance, job: JobId) -> Option<Time> {
-        self.get(job)
-            .map(|a| a.start + instance.job(job).proc_time)
+        self.get(job).map(|a| a.start + instance.job(job).proc_time)
     }
 
     /// Total weighted completion time `sum_j w_j C_j` over assigned jobs.

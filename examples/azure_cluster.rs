@@ -21,7 +21,10 @@ fn main() {
     let factor = 16;
     let samples = 5;
 
-    println!("generating Azure-like base trace ({} jobs)...", num_jobs * factor);
+    println!(
+        "generating Azure-like base trace ({} jobs)...",
+        num_jobs * factor
+    );
     let trace = AzureTrace::generate(&AzureTraceConfig {
         num_jobs: num_jobs * factor,
         ..Default::default()

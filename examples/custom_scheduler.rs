@@ -28,18 +28,23 @@ impl OnlinePolicy for HeaviestFirstPolicy {
         }
     }
 
-    fn dispatch(&mut self, d: &mut Dispatcher<'_>, _freed: &[usize]) {
+    fn dispatch(
+        &mut self,
+        d: &mut Dispatcher<'_>,
+        _freed: &[usize],
+    ) -> Result<(), SchedulingError> {
         let instance = d.instance();
         let mut placed = Vec::new();
         for &(key, j) in self.pending.iter() {
             if let Some(m) = d.cluster().first_fit(&instance.job(j).demands) {
-                d.place(m, j);
+                d.place(m, j)?;
                 placed.push((key, j));
             }
         }
         for entry in placed {
             self.pending.remove(&entry);
         }
+        Ok(())
     }
 }
 
@@ -50,12 +55,12 @@ impl Scheduler for HeaviestFirst {
         "HEAVIEST-FIRST".to_string()
     }
 
-    fn schedule(&self, instance: &Instance, num_machines: usize) -> Schedule {
-        run_online(
-            instance,
-            num_machines,
-            &mut HeaviestFirstPolicy::default(),
-        )
+    fn try_schedule(
+        &self,
+        instance: &Instance,
+        num_machines: usize,
+    ) -> Result<Schedule, SchedulingError> {
+        run_online(instance, num_machines, &mut HeaviestFirstPolicy::default())
     }
 }
 

@@ -46,7 +46,10 @@ fn main() {
         .map(|(_, s)| s.makespan(&instance))
         .fold(0.0_f64, f64::max)
         .ceil();
-    println!("CPU utilization over [0, {horizon}) (one cell per {:.2} time units):\n", horizon / 64.0);
+    println!(
+        "CPU utilization over [0, {horizon}) (one cell per {:.2} time units):\n",
+        horizon / 64.0
+    );
     for (name, schedule) in &results {
         let profile = utilization_profile(&instance, schedule, 0, 0, horizon, 64);
         println!(

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Full local CI: formatting, lints, hermetic offline build, and tests.
+#
+# The workspace has no external dependencies, so both the build and the
+# tests must succeed with an empty cargo registry cache and no network —
+# `--offline` enforces that invariant on every run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (workspace, all targets, -D warnings)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+cargo clippy -p mris-bench --features criterion --benches --offline -- -D warnings
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline --workspace
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline --workspace
+
+echo "==> benches compile under --features criterion"
+cargo build --offline -p mris-bench --features criterion --benches
+
+echo "CI OK"

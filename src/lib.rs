@@ -49,6 +49,7 @@
 #![forbid(unsafe_code)]
 
 pub use mris_core as core;
+pub use mris_core::registry;
 pub use mris_knapsack as knapsack;
 pub use mris_metrics as metrics;
 pub use mris_schedulers as schedulers;
@@ -58,7 +59,8 @@ pub use mris_types as types;
 
 /// The most commonly used items across the workspace.
 pub mod prelude {
+    pub use mris_core::registry::{algorithm_by_name, known_algorithms};
     pub use mris_core::{KnapsackChoice, Mris, MrisConfig};
     pub use mris_schedulers::{BfExec, CaPq, Pq, Scheduler, SortHeuristic, Tetris};
-    pub use mris_types::{Instance, Job, JobId, Schedule, Time};
+    pub use mris_types::{Instance, Job, JobId, Schedule, SchedulingError, Time};
 }

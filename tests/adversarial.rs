@@ -36,8 +36,10 @@ fn lemma_4_1_pq_ratio_grows_linearly() {
             "MRIS ratio {mris_ratio} exceeds ceiling {ceiling} at n = {n}"
         );
         // And the PQ ratio strictly grows across the sweep.
-        let pq_ratio =
-            Pq::new(SortHeuristic::Wsjf).schedule(&instance, 1).awct(&instance) / reference;
+        let pq_ratio = Pq::new(SortHeuristic::Wsjf)
+            .schedule(&instance, 1)
+            .awct(&instance)
+            / reference;
         assert!(pq_ratio > previous_ratio);
         previous_ratio = pq_ratio;
     }

@@ -3,25 +3,36 @@
 use mris::metrics::{awct_lower_bound, makespan_lower_bound};
 use mris::prelude::*;
 use mris::trace::{instance_to_csv, parse_instance_csv};
-use proptest::prelude::*;
+use mris_rng::prop::{check, Config};
+use mris_rng::{prop_assert, prop_assert_eq, Rng};
 
-fn arb_instance() -> impl Strategy<Value = Instance> {
-    prop::collection::vec(
-        (
-            0.0f64..10.0,
-            1.0f64..5.0,
-            0.5f64..4.0,
-            prop::collection::vec(0.01f64..=1.0, 2..=2),
-        ),
-        1..16,
-    )
-    .prop_map(|rows| {
-        let jobs = rows
-            .iter()
-            .map(|(r, p, w, d)| Job::from_fractions(JobId(0), *r, *p, *w, d))
-            .collect();
-        Instance::from_unnumbered(jobs, 2).unwrap()
-    })
+/// One generated job row: release, proc time, weight, demands.
+type Row = (f64, f64, f64, Vec<f64>);
+
+fn gen_rows(rng: &mut Rng) -> Vec<Row> {
+    let n = rng.gen_range(1..16usize);
+    (0..n)
+        .map(|_| {
+            (
+                rng.gen_range(0.0..10.0),
+                rng.gen_range(1.0..5.0),
+                rng.gen_range(0.5..4.0),
+                vec![rng.gen_range(0.01..=1.0), rng.gen_range(0.01..=1.0)],
+            )
+        })
+        .collect()
+}
+
+/// `None` for shrink candidates that broke the generator's invariants.
+fn build_instance(rows: &[Row]) -> Option<Instance> {
+    if rows.is_empty() || rows.iter().any(|(_, _, _, d)| d.len() != 2) {
+        return None;
+    }
+    let jobs = rows
+        .iter()
+        .map(|(r, p, w, d)| Job::from_fractions(JobId(0), *r, *p, *w, d))
+        .collect();
+    Instance::from_unnumbered(jobs, 2).ok()
 }
 
 fn scale_times(instance: &Instance, c: f64) -> Instance {
@@ -37,100 +48,163 @@ fn scale_times(instance: &Instance, c: f64) -> Instance {
     Instance::new(jobs, instance.num_resources()).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Scaling all times by a constant scales every PQ-class schedule (and
+/// its AWCT) by the same constant: the event order is invariant.
+#[test]
+fn pq_is_time_scale_invariant() {
+    check(
+        "pq is time scale invariant",
+        &Config::with_cases(48),
+        |rng| (gen_rows(rng), rng.gen_range(1.0..8.0)),
+        |(rows, c)| {
+            let Some(instance) = build_instance(rows) else {
+                return Ok(());
+            };
+            let c = *c;
+            let scaled = scale_times(&instance, c);
+            for heuristic in [SortHeuristic::Wsjf, SortHeuristic::Svf] {
+                let pq = Pq::new(heuristic);
+                let base = pq.schedule(&instance, 2);
+                let big = pq.schedule(&scaled, 2);
+                for job in instance.jobs() {
+                    let a = base.get(job.id).unwrap();
+                    let b = big.get(job.id).unwrap();
+                    prop_assert_eq!(a.machine, b.machine);
+                    prop_assert!(
+                        (a.start * c - b.start).abs() < 1e-6 * c.max(1.0),
+                        "{:?} vs {:?}",
+                        a,
+                        b
+                    );
+                }
+                prop_assert!(
+                    (base.awct(&instance) * c - big.awct(&scaled)).abs() < 1e-6 * c.max(1.0)
+                );
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Scaling all times by a constant scales every PQ-class schedule (and
-    /// its AWCT) by the same constant: the event order is invariant.
-    #[test]
-    fn pq_is_time_scale_invariant(instance in arb_instance(), c in 1.0f64..8.0) {
-        let scaled = scale_times(&instance, c);
-        for heuristic in [SortHeuristic::Wsjf, SortHeuristic::Svf] {
-            let pq = Pq::new(heuristic);
-            let base = pq.schedule(&instance, 2);
-            let big = pq.schedule(&scaled, 2);
+/// MRIS is also time-scale invariant: its interval grid is anchored at
+/// the minimum processing time, which scales along.
+#[test]
+fn mris_is_time_scale_invariant() {
+    check(
+        "mris is time scale invariant",
+        &Config::with_cases(48),
+        |rng| (gen_rows(rng), rng.gen_range(1.0..8.0)),
+        |(rows, c)| {
+            let Some(instance) = build_instance(rows) else {
+                return Ok(());
+            };
+            let c = *c;
+            let scaled = scale_times(&instance, c);
+            let mris = Mris::default();
+            let base = mris.schedule(&instance, 2);
+            let big = mris.schedule(&scaled, 2);
             for job in instance.jobs() {
                 let a = base.get(job.id).unwrap();
                 let b = big.get(job.id).unwrap();
                 prop_assert_eq!(a.machine, b.machine);
-                prop_assert!((a.start * c - b.start).abs() < 1e-6 * c.max(1.0),
-                    "{:?} vs {:?}", a, b);
+                prop_assert!((a.start * c - b.start).abs() < 1e-6 * c.max(1.0));
             }
-            prop_assert!((base.awct(&instance) * c - big.awct(&scaled)).abs()
-                < 1e-6 * c.max(1.0));
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// MRIS is also time-scale invariant: its interval grid is anchored at
-    /// the minimum processing time, which scales along.
-    #[test]
-    fn mris_is_time_scale_invariant(instance in arb_instance(), c in 1.0f64..8.0) {
-        let scaled = scale_times(&instance, c);
-        let mris = Mris::default();
-        let base = mris.schedule(&instance, 2);
-        let big = mris.schedule(&scaled, 2);
-        for job in instance.jobs() {
-            let a = base.get(job.id).unwrap();
-            let b = big.get(job.id).unwrap();
-            prop_assert_eq!(a.machine, b.machine);
-            prop_assert!((a.start * c - b.start).abs() < 1e-6 * c.max(1.0));
-        }
-    }
+/// Doubling every weight doubles the total weighted completion time of
+/// weight-oblivious schedules and leaves weighted-heuristic schedule
+/// orders unchanged.
+#[test]
+fn weight_scaling_is_linear() {
+    check(
+        "weight scaling is linear",
+        &Config::with_cases(48),
+        |rng| (gen_rows(rng), rng.gen_range(1.0..5.0)),
+        |(rows, c)| {
+            let Some(instance) = build_instance(rows) else {
+                return Ok(());
+            };
+            let c = *c;
+            let jobs = instance
+                .jobs()
+                .iter()
+                .map(|j| Job {
+                    weight: j.weight * c,
+                    ..j.clone()
+                })
+                .collect();
+            let reweighted = Instance::new(jobs, instance.num_resources()).unwrap();
+            for algo in [
+                Box::new(Pq::new(SortHeuristic::Wsjf)) as Box<dyn Scheduler>,
+                Box::new(Mris::default()),
+            ] {
+                let a = algo.schedule(&instance, 2);
+                let b = algo.schedule(&reweighted, 2);
+                // w/c-ratio orders are unchanged, so the schedules coincide...
+                prop_assert_eq!(&a, &b, "{}", algo.name());
+                // ...and the objective scales linearly.
+                prop_assert!((a.awct(&instance) * c - b.awct(&reweighted)).abs() < 1e-6 * c);
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Doubling every weight doubles the total weighted completion time of
-    /// weight-oblivious schedules and leaves weighted-heuristic schedule
-    /// orders unchanged.
-    #[test]
-    fn weight_scaling_is_linear(instance in arb_instance(), c in 1.0f64..5.0) {
-        let jobs = instance
-            .jobs()
-            .iter()
-            .map(|j| Job { weight: j.weight * c, ..j.clone() })
-            .collect();
-        let reweighted = Instance::new(jobs, instance.num_resources()).unwrap();
-        for algo in [
-            Box::new(Pq::new(SortHeuristic::Wsjf)) as Box<dyn Scheduler>,
-            Box::new(Mris::default()),
-        ] {
-            let a = algo.schedule(&instance, 2);
-            let b = algo.schedule(&reweighted, 2);
-            // w/c-ratio orders are unchanged, so the schedules coincide...
-            prop_assert_eq!(&a, &b, "{}", algo.name());
-            // ...and the objective scales linearly.
-            prop_assert!((a.awct(&instance) * c - b.awct(&reweighted)).abs() < 1e-6 * c);
-        }
-    }
+/// CSV round-trips preserve scheduling outcomes bit-for-bit on the
+/// fixed-point demands and near-exactly on times.
+#[test]
+fn csv_roundtrip_preserves_schedules() {
+    check(
+        "csv roundtrip preserves schedules",
+        &Config::with_cases(48),
+        gen_rows,
+        |rows| {
+            let Some(instance) = build_instance(rows) else {
+                return Ok(());
+            };
+            let back = parse_instance_csv(&instance_to_csv(&instance)).unwrap();
+            let a = Mris::default().schedule(&instance, 2);
+            let b = Mris::default().schedule(&back, 2);
+            for job in instance.jobs() {
+                let x = a.get(job.id).unwrap();
+                let y = b.get(job.id).unwrap();
+                prop_assert_eq!(x.machine, y.machine);
+                prop_assert!((x.start - y.start).abs() < 1e-6);
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// CSV round-trips preserve scheduling outcomes bit-for-bit on the
-    /// fixed-point demands and near-exactly on times.
-    #[test]
-    fn csv_roundtrip_preserves_schedules(instance in arb_instance()) {
-        let back = parse_instance_csv(&instance_to_csv(&instance)).unwrap();
-        let a = Mris::default().schedule(&instance, 2);
-        let b = Mris::default().schedule(&back, 2);
-        for job in instance.jobs() {
-            let x = a.get(job.id).unwrap();
-            let y = b.get(job.id).unwrap();
-            prop_assert_eq!(x.machine, y.machine);
-            prop_assert!((x.start - y.start).abs() < 1e-6);
-        }
-    }
-
-    /// The provable lower bounds never exceed what any real schedule
-    /// achieves.
-    #[test]
-    fn lower_bounds_are_valid(instance in arb_instance(), machines in 1usize..4) {
-        let awct_lb = awct_lower_bound(&instance, machines);
-        let mk_lb = makespan_lower_bound(&instance, machines);
-        for algo in [
-            Box::new(Pq::new(SortHeuristic::Wsjf)) as Box<dyn Scheduler>,
-            Box::new(Mris::default()),
-            Box::new(Tetris::default()),
-            Box::new(BfExec),
-        ] {
-            let s = algo.schedule(&instance, machines);
-            prop_assert!(s.awct(&instance) >= awct_lb - 1e-6, "{}", algo.name());
-            prop_assert!(s.makespan(&instance) >= mk_lb - 1e-6, "{}", algo.name());
-        }
-    }
+/// The provable lower bounds never exceed what any real schedule
+/// achieves.
+#[test]
+fn lower_bounds_are_valid() {
+    check(
+        "lower bounds are valid",
+        &Config::with_cases(48),
+        |rng| (gen_rows(rng), rng.gen_range(1..4usize)),
+        |(rows, machines)| {
+            let Some(instance) = build_instance(rows) else {
+                return Ok(());
+            };
+            let machines = *machines;
+            let awct_lb = awct_lower_bound(&instance, machines);
+            let mk_lb = makespan_lower_bound(&instance, machines);
+            for algo in [
+                Box::new(Pq::new(SortHeuristic::Wsjf)) as Box<dyn Scheduler>,
+                Box::new(Mris::default()),
+                Box::new(Tetris::default()),
+                Box::new(BfExec),
+            ] {
+                let s = algo.schedule(&instance, machines);
+                prop_assert!(s.awct(&instance) >= awct_lb - 1e-6, "{}", algo.name());
+                prop_assert!(s.makespan(&instance) >= mk_lb - 1e-6, "{}", algo.name());
+            }
+            Ok(())
+        },
+    );
 }

@@ -3,7 +3,8 @@
 //! the first majorizes the second on every prefix, then weighting by any
 //! non-decreasing non-negative sequence favors the second.
 
-use proptest::prelude::*;
+use mris_rng::prop::{check, Config};
+use mris_rng::prop_assert;
 
 /// Direct statement of Lemma 6.7.
 fn lemma_6_7_holds(x: &[f64], y: &[f64], z: &[f64]) -> bool {
@@ -12,56 +13,74 @@ fn lemma_6_7_holds(x: &[f64], y: &[f64], z: &[f64]) -> bool {
     lhs <= rhs + 1e-6
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
+#[test]
+fn exchange_inequality() {
+    check(
+        "exchange inequality",
+        &Config::with_cases(512),
+        |rng| {
+            let n = rng.gen_range(1..12usize);
+            let y: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..10.0)).collect();
+            let z_increments: Vec<f64> = (0..12).map(|_| rng.gen_range(0.0..5.0)).collect();
+            (y, z_increments)
+        },
+        |(y, z_increments)| {
+            if y.is_empty() || z_increments.is_empty() {
+                return Ok(());
+            }
+            // Build y freely, then construct x satisfying the hypotheses:
+            // equal total and prefix-domination. We do that by moving mass of
+            // y earlier: x_k gets y's mass weighted toward the front.
+            let total: f64 = y.iter().sum();
+            let k = y.len();
+            // Front-loaded x: sort y's entries in decreasing order. Prefixes
+            // of a decreasing rearrangement dominate prefixes of any order of
+            // the same multiset.
+            let mut x = y.clone();
+            x.sort_by(|a, b| b.total_cmp(a));
+            // Sanity: hypotheses hold.
+            let mut px = 0.0;
+            let mut py = 0.0;
+            for i in 0..k {
+                px += x[i];
+                py += y[i];
+                prop_assert!(px >= py - 1e-9);
+            }
+            prop_assert!((px - total).abs() < 1e-9);
 
-    #[test]
-    fn exchange_inequality(
-        raw in prop::collection::vec((0.0f64..10.0, 0.0f64..10.0), 1..12),
-        z_increments in prop::collection::vec(0.0f64..5.0, 12),
-    ) {
-        // Build y freely, then construct x satisfying the hypotheses:
-        // equal total and prefix-domination. We do that by moving mass of y
-        // earlier: x_k gets y's mass weighted toward the front.
-        let y: Vec<f64> = raw.iter().map(|p| p.0).collect();
-        let total: f64 = y.iter().sum();
-        let k = y.len();
-        // Front-loaded x: sort y's entries in decreasing order. Prefixes of
-        // a decreasing rearrangement dominate prefixes of any order of the
-        // same multiset.
-        let mut x = y.clone();
-        x.sort_by(|a, b| b.total_cmp(a));
-        // Sanity: hypotheses hold.
-        let mut px = 0.0;
-        let mut py = 0.0;
-        for i in 0..k {
-            px += x[i];
-            py += y[i];
-            prop_assert!(px >= py - 1e-9);
-        }
-        prop_assert!((px - total).abs() < 1e-9);
+            // Non-decreasing non-negative z from increments.
+            let mut z = Vec::with_capacity(k);
+            let mut acc = 0.0;
+            for i in 0..k {
+                acc += z_increments[i % z_increments.len()];
+                z.push(acc);
+            }
 
-        // Non-decreasing non-negative z from increments.
-        let mut z = Vec::with_capacity(k);
-        let mut acc = 0.0;
-        for i in 0..k {
-            acc += z_increments[i % z_increments.len()];
-            z.push(acc);
-        }
+            prop_assert!(
+                lemma_6_7_holds(&x, y, &z),
+                "lemma violated: x={x:?} y={y:?} z={z:?}"
+            );
+            Ok(())
+        },
+    );
+}
 
-        prop_assert!(lemma_6_7_holds(&x, &y, &z),
-            "lemma violated: x={x:?} y={y:?} z={z:?}");
-    }
-
-    /// The inequality can fail without the prefix-domination hypothesis —
-    /// guarding against the test above being vacuous.
-    #[test]
-    fn hypothesis_is_necessary(a in 0.1f64..5.0, b in 0.1f64..5.0) {
-        // x = [0, a+b], y = [a+b, 0] violates prefix domination for x;
-        // with z = [0, 1], sum z*x = a+b > 0 = sum z*y.
-        let x = [0.0, a + b];
-        let y = [a + b, 0.0];
-        let z = [0.0, 1.0];
-        prop_assert!(!lemma_6_7_holds(&x, &y, &z));
-    }
+/// The inequality can fail without the prefix-domination hypothesis —
+/// guarding against the test above being vacuous.
+#[test]
+fn hypothesis_is_necessary() {
+    check(
+        "hypothesis is necessary",
+        &Config::with_cases(512),
+        |rng| (rng.gen_range(0.1..5.0), rng.gen_range(0.1..5.0)),
+        |&(a, b)| {
+            // x = [0, a+b], y = [a+b, 0] violates prefix domination for x;
+            // with z = [0, 1], sum z*x = a+b > 0 = sum z*y.
+            let x = [0.0, a + b];
+            let y = [a + b, 0.0];
+            let z = [0.0, 1.0];
+            prop_assert!(!lemma_6_7_holds(&x, &y, &z));
+            Ok(())
+        },
+    );
 }

@@ -17,7 +17,11 @@ fn makespan_of(instance: &Instance, placements: &[(JobId, usize, f64)]) -> f64 {
         .fold(0.0_f64, f64::max)
 }
 
-fn as_schedule(instance: &Instance, placements: &[(JobId, usize, f64)], machines: usize) -> Schedule {
+fn as_schedule(
+    instance: &Instance,
+    placements: &[(JobId, usize, f64)],
+    machines: usize,
+) -> Schedule {
     let mut s = Schedule::new(instance.len(), machines);
     for &(j, m, start) in placements {
         s.assign(j, m, start).unwrap();

@@ -6,28 +6,40 @@ use mris::core::{
 };
 use mris::prelude::*;
 use mris::sim::ClusterTimelines;
-use proptest::prelude::*;
+use mris_rng::prop::{check, Config};
+use mris_rng::{prop_assert, prop_assert_eq, Rng};
 
-/// Random small instances: up to 24 jobs, 1-3 resources.
-fn arb_instance() -> impl Strategy<Value = Instance> {
-    (1usize..=3).prop_flat_map(|r| {
-        prop::collection::vec(
+/// One generated job row: release, proc time, weight, demands.
+type Row = (f64, f64, f64, Vec<f64>);
+
+/// Random small instances: up to 24 jobs, 1-3 resources, generated as
+/// `(num_resources, rows)` so the row list shrinks while `r` stays fixed.
+fn gen_case(rng: &mut Rng) -> (usize, Vec<Row>) {
+    let r = rng.gen_range(1..=3usize);
+    let n = rng.gen_range(1..24usize);
+    let rows = (0..n)
+        .map(|_| {
             (
-                0.0f64..20.0,                                   // release
-                1.0f64..8.0,                                    // proc
-                0.0f64..5.0,                                    // weight
-                prop::collection::vec(0.0f64..=1.0, r..=r),     // demands
-            ),
-            1..24,
-        )
-        .prop_map(move |rows| {
-            let jobs = rows
-                .iter()
-                .map(|(rel, p, w, d)| Job::from_fractions(JobId(0), *rel, *p, *w, d))
-                .collect();
-            Instance::from_unnumbered(jobs, r).unwrap()
+                rng.gen_range(0.0..20.0),
+                rng.gen_range(1.0..8.0),
+                rng.gen_range(0.0..5.0),
+                (0..r).map(|_| rng.gen_range(0.0..=1.0)).collect(),
+            )
         })
-    })
+        .collect();
+    (r, rows)
+}
+
+/// `None` for shrink candidates that broke the generator's invariants.
+fn build_instance(r: usize, rows: &[Row]) -> Option<Instance> {
+    if rows.is_empty() || !(1..=3).contains(&r) || rows.iter().any(|(_, _, _, d)| d.len() != r) {
+        return None;
+    }
+    let jobs = rows
+        .iter()
+        .map(|(rel, p, w, d)| Job::from_fractions(JobId(0), *rel, *p, *w, d))
+        .collect();
+    Instance::from_unnumbered(jobs, r).ok()
 }
 
 fn all_algorithms() -> Vec<Box<dyn Scheduler>> {
@@ -41,158 +53,251 @@ fn all_algorithms() -> Vec<Box<dyn Scheduler>> {
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Every algorithm produces a complete, feasible, online-respecting
-    /// schedule on arbitrary instances and machine counts.
-    #[test]
-    fn schedules_always_feasible(instance in arb_instance(), machines in 1usize..5) {
-        for algo in all_algorithms() {
-            let schedule = algo.schedule(&instance, machines);
-            prop_assert!(schedule.validate(&instance).is_ok(),
-                "{} produced an infeasible schedule", algo.name());
-        }
-    }
-
-    /// Lemma 6.2: makespan >= V/(R*M) for every algorithm (they are all
-    /// feasible schedules, so the lower bound binds them too).
-    #[test]
-    fn lemma_6_2_volume_lower_bound(instance in arb_instance(), machines in 1usize..5) {
-        let bound = instance.total_volume()
-            / (instance.num_resources() * machines) as f64;
-        for algo in all_algorithms() {
-            let makespan = algo.schedule(&instance, machines).makespan(&instance);
-            prop_assert!(makespan >= bound - 1e-6,
-                "{}: {makespan} < {bound}", algo.name());
-        }
-    }
-
-    /// Lemma 6.3: the offline PQ-with-backfilling subroutine schedules any
-    /// batch on an empty cluster within max(2 p_max, 2 V / M).
-    #[test]
-    fn lemma_6_3_pq_makespan_bound(instance in arb_instance(), machines in 1usize..5) {
-        let mut timelines = ClusterTimelines::new(machines, instance.num_resources());
-        let batch: Vec<JobId> = instance.jobs().iter().map(|j| j.id).collect();
-        let placements = place_batch(&mut timelines, &instance, &batch, 0.0);
-        let makespan = placements
-            .iter()
-            .map(|&(j, _, s)| s + instance.job(j).proc_time)
-            .fold(0.0_f64, f64::max);
-        let bound = batch_makespan_bound(&instance, &batch, machines);
-        prop_assert!(makespan <= bound + 1e-6, "{makespan} > {bound}");
-    }
-
-    /// Theorem 6.8 (necessary condition): MRIS's AWCT is at most
-    /// 8R(1 + eps) times the best AWCT any implemented algorithm achieves
-    /// (which upper-bounds OPT). Same for makespan via Lemma 6.9.
-    #[test]
-    fn theorem_6_8_ceiling_vs_best_known(instance in arb_instance(), machines in 1usize..4) {
-        let mris = Mris::default();
-        let ceiling = mris.config.competitive_ratio(instance.num_resources());
-        let s = mris.schedule(&instance, machines);
-        let (awct, makespan) = (s.awct(&instance), s.makespan(&instance));
-        let mut best_awct = f64::INFINITY;
-        let mut best_makespan = f64::INFINITY;
-        for algo in all_algorithms() {
-            let s = algo.schedule(&instance, machines);
-            best_awct = best_awct.min(s.awct(&instance));
-            best_makespan = best_makespan.min(s.makespan(&instance));
-        }
-        prop_assert!(awct <= ceiling * best_awct + 1e-6,
-            "AWCT {awct} > {ceiling} x {best_awct}");
-        prop_assert!(makespan <= ceiling * best_makespan + 1e-6,
-            "makespan {makespan} > {ceiling} x {best_makespan}");
-    }
-
-    /// Theorem 6.8 against the exhaustive small-instance oracle: the best
-    /// list schedule over all permutations upper-bounds OPT much more
-    /// tightly than any single heuristic, and MRIS stays within the proven
-    /// ceiling of it.
-    #[test]
-    fn theorem_6_8_ceiling_vs_permutation_oracle(
-        rows in prop::collection::vec(
-            (0.0f64..6.0, 1.0f64..4.0, 0.5f64..3.0,
-             prop::collection::vec(0.05f64..=1.0, 2..=2)),
-            1..7,
-        ),
-        machines in 1usize..3,
-    ) {
-        let jobs = rows
-            .iter()
-            .map(|(r, p, w, d)| Job::from_fractions(JobId(0), *r, *p, *w, d))
-            .collect();
-        let instance = Instance::from_unnumbered(jobs, 2).unwrap();
-        let mris = Mris::default();
-        let ceiling = mris.config.competitive_ratio(2);
-        let mris_awct = mris.schedule(&instance, machines).awct(&instance);
-        let oracle = best_list_schedule(&instance, machines);
-        oracle.validate(&instance).unwrap();
-        prop_assert!(mris_awct <= ceiling * oracle.awct(&instance) + 1e-6,
-            "MRIS {mris_awct} > {ceiling} x oracle {}", oracle.awct(&instance));
-    }
-
-    /// The future-work deadline scheduler (Section 8) keeps its guarantee:
-    /// every selected job finishes by the deadline, the partial schedule is
-    /// capacity-feasible, and a generous deadline selects every job.
-    #[test]
-    fn deadline_scheduler_guarantee(
-        instance in arb_instance(),
-        machines in 1usize..4,
-        deadline in 1.0f64..40.0,
-        eps in 0.1f64..0.9,
-    ) {
-        let batch: Vec<JobId> = instance.jobs().iter().map(|j| j.id).collect();
-        let sel = max_weight_by_deadline(&instance, machines, &batch, deadline, eps);
-        prop_assert!(sel.makespan <= deadline + 1e-6);
-        // Feasibility of the partial schedule: validate a sub-instance with
-        // only the selected jobs.
-        let sub_jobs: Vec<Job> = sel
-            .selected
-            .iter()
-            .map(|&j| {
-                let mut job = instance.job(j).clone();
-                job.release = 0.0; // batch semantics: scheduled from time 0
-                job
-            })
-            .collect();
-        if !sub_jobs.is_empty() {
-            let sub = Instance::from_unnumbered(sub_jobs, instance.num_resources()).unwrap();
-            let mut sub_schedule = Schedule::new(sub.len(), machines);
-            for (idx, &j) in sel.selected.iter().enumerate() {
-                let a = sel.schedule.get(j).unwrap();
-                sub_schedule.assign(JobId(idx as u32), a.machine, a.start).unwrap();
+/// Every algorithm produces a complete, feasible, online-respecting
+/// schedule on arbitrary instances and machine counts.
+#[test]
+fn schedules_always_feasible() {
+    check(
+        "schedules always feasible",
+        &Config::with_cases(64),
+        |rng| (gen_case(rng), rng.gen_range(1..5usize)),
+        |((r, rows), machines)| {
+            let Some(instance) = build_instance(*r, rows) else {
+                return Ok(());
+            };
+            for algo in all_algorithms() {
+                let schedule = algo.schedule(&instance, *machines);
+                prop_assert!(
+                    schedule.validate(&instance).is_ok(),
+                    "{} produced an infeasible schedule",
+                    algo.name()
+                );
             }
-            prop_assert!(sub_schedule.validate(&sub).is_ok());
-        }
-        // A deadline beyond everything selects everything with weight > 0.
-        let generous = max_weight_by_deadline(&instance, machines, &batch, 1e9, 0.5);
-        let positive: Vec<JobId> = instance
-            .jobs()
-            .iter()
-            .filter(|j| j.weight > 0.0)
-            .map(|j| j.id)
-            .collect();
-        for j in positive {
-            prop_assert!(generous.selected.contains(&j));
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// MRIS per-iteration volume budget (Lemma 6.5 machinery): every batch's
-    /// volume is at most (1 + eps) * zeta_k.
-    #[test]
-    fn mris_iteration_volume_budget(instance in arb_instance(), machines in 1usize..4) {
-        let mris = Mris::default();
-        let (_, log) = mris.schedule_with_log(&instance, machines);
-        for it in &log {
+/// Lemma 6.2: makespan >= V/(R*M) for every algorithm (they are all
+/// feasible schedules, so the lower bound binds them too).
+#[test]
+fn lemma_6_2_volume_lower_bound() {
+    check(
+        "lemma 6.2 volume lower bound",
+        &Config::with_cases(64),
+        |rng| (gen_case(rng), rng.gen_range(1..5usize)),
+        |((r, rows), machines)| {
+            let Some(instance) = build_instance(*r, rows) else {
+                return Ok(());
+            };
+            let bound = instance.total_volume() / (instance.num_resources() * machines) as f64;
+            for algo in all_algorithms() {
+                let makespan = algo.schedule(&instance, *machines).makespan(&instance);
+                prop_assert!(
+                    makespan >= bound - 1e-6,
+                    "{}: {makespan} < {bound}",
+                    algo.name()
+                );
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Lemma 6.3: the offline PQ-with-backfilling subroutine schedules any
+/// batch on an empty cluster within max(2 p_max, 2 V / M).
+#[test]
+fn lemma_6_3_pq_makespan_bound() {
+    check(
+        "lemma 6.3 pq makespan bound",
+        &Config::with_cases(64),
+        |rng| (gen_case(rng), rng.gen_range(1..5usize)),
+        |((r, rows), machines)| {
+            let Some(instance) = build_instance(*r, rows) else {
+                return Ok(());
+            };
+            let mut timelines = ClusterTimelines::new(*machines, instance.num_resources());
+            let batch: Vec<JobId> = instance.jobs().iter().map(|j| j.id).collect();
+            let placements = place_batch(&mut timelines, &instance, &batch, 0.0);
+            let makespan = placements
+                .iter()
+                .map(|&(j, _, s)| s + instance.job(j).proc_time)
+                .fold(0.0_f64, f64::max);
+            let bound = batch_makespan_bound(&instance, &batch, *machines);
+            prop_assert!(makespan <= bound + 1e-6, "{makespan} > {bound}");
+            Ok(())
+        },
+    );
+}
+
+/// Theorem 6.8 (necessary condition): MRIS's AWCT is at most
+/// 8R(1 + eps) times the best AWCT any implemented algorithm achieves
+/// (which upper-bounds OPT). Same for makespan via Lemma 6.9.
+#[test]
+fn theorem_6_8_ceiling_vs_best_known() {
+    check(
+        "theorem 6.8 ceiling vs best known",
+        &Config::with_cases(64),
+        |rng| (gen_case(rng), rng.gen_range(1..4usize)),
+        |((r, rows), machines)| {
+            let Some(instance) = build_instance(*r, rows) else {
+                return Ok(());
+            };
+            let mris = Mris::default();
+            let ceiling = mris.config.competitive_ratio(instance.num_resources());
+            let s = mris.schedule(&instance, *machines);
+            let (awct, makespan) = (s.awct(&instance), s.makespan(&instance));
+            let mut best_awct = f64::INFINITY;
+            let mut best_makespan = f64::INFINITY;
+            for algo in all_algorithms() {
+                let s = algo.schedule(&instance, *machines);
+                best_awct = best_awct.min(s.awct(&instance));
+                best_makespan = best_makespan.min(s.makespan(&instance));
+            }
             prop_assert!(
-                it.batch_volume <= (1.0 + mris.config.epsilon) * it.zeta + 1e-6,
-                "iteration {} volume {} > budget {}",
-                it.k, it.batch_volume, (1.0 + mris.config.epsilon) * it.zeta
+                awct <= ceiling * best_awct + 1e-6,
+                "AWCT {awct} > {ceiling} x {best_awct}"
             );
-            prop_assert!(it.scheduled <= it.eligible);
-        }
-        let scheduled: usize = log.iter().map(|it| it.scheduled).sum();
-        prop_assert_eq!(scheduled, instance.len());
-    }
+            prop_assert!(
+                makespan <= ceiling * best_makespan + 1e-6,
+                "makespan {makespan} > {ceiling} x {best_makespan}"
+            );
+            Ok(())
+        },
+    );
+}
+
+/// Theorem 6.8 against the exhaustive small-instance oracle: the best
+/// list schedule over all permutations upper-bounds OPT much more
+/// tightly than any single heuristic, and MRIS stays within the proven
+/// ceiling of it.
+#[test]
+fn theorem_6_8_ceiling_vs_permutation_oracle() {
+    check(
+        "theorem 6.8 ceiling vs permutation oracle",
+        &Config::with_cases(64),
+        |rng| {
+            let n = rng.gen_range(1..7usize);
+            let rows: Vec<Row> = (0..n)
+                .map(|_| {
+                    (
+                        rng.gen_range(0.0..6.0),
+                        rng.gen_range(1.0..4.0),
+                        rng.gen_range(0.5..3.0),
+                        vec![rng.gen_range(0.05..=1.0), rng.gen_range(0.05..=1.0)],
+                    )
+                })
+                .collect();
+            (rows, rng.gen_range(1..3usize))
+        },
+        |(rows, machines)| {
+            let Some(instance) = build_instance(2, rows) else {
+                return Ok(());
+            };
+            let mris = Mris::default();
+            let ceiling = mris.config.competitive_ratio(2);
+            let mris_awct = mris.schedule(&instance, *machines).awct(&instance);
+            let oracle = best_list_schedule(&instance, *machines);
+            oracle.validate(&instance).unwrap();
+            prop_assert!(
+                mris_awct <= ceiling * oracle.awct(&instance) + 1e-6,
+                "MRIS {mris_awct} > {ceiling} x oracle {}",
+                oracle.awct(&instance)
+            );
+            Ok(())
+        },
+    );
+}
+
+/// The future-work deadline scheduler (Section 8) keeps its guarantee:
+/// every selected job finishes by the deadline, the partial schedule is
+/// capacity-feasible, and a generous deadline selects every job.
+#[test]
+fn deadline_scheduler_guarantee() {
+    check(
+        "deadline scheduler guarantee",
+        &Config::with_cases(64),
+        |rng| {
+            (
+                gen_case(rng),
+                rng.gen_range(1..4usize),
+                rng.gen_range(1.0..40.0),
+                rng.gen_range(0.1..0.9),
+            )
+        },
+        |((r, rows), machines, deadline, eps)| {
+            let Some(instance) = build_instance(*r, rows) else {
+                return Ok(());
+            };
+            let machines = *machines;
+            let batch: Vec<JobId> = instance.jobs().iter().map(|j| j.id).collect();
+            let sel = max_weight_by_deadline(&instance, machines, &batch, *deadline, *eps);
+            prop_assert!(sel.makespan <= deadline + 1e-6);
+            // Feasibility of the partial schedule: validate a sub-instance
+            // with only the selected jobs.
+            let sub_jobs: Vec<Job> = sel
+                .selected
+                .iter()
+                .map(|&j| {
+                    let mut job = instance.job(j).clone();
+                    job.release = 0.0; // batch semantics: scheduled from time 0
+                    job
+                })
+                .collect();
+            if !sub_jobs.is_empty() {
+                let sub = Instance::from_unnumbered(sub_jobs, instance.num_resources()).unwrap();
+                let mut sub_schedule = Schedule::new(sub.len(), machines);
+                for (idx, &j) in sel.selected.iter().enumerate() {
+                    let a = sel.schedule.get(j).unwrap();
+                    sub_schedule
+                        .assign(JobId(idx as u32), a.machine, a.start)
+                        .unwrap();
+                }
+                prop_assert!(sub_schedule.validate(&sub).is_ok());
+            }
+            // A deadline beyond everything selects everything with weight > 0.
+            let generous = max_weight_by_deadline(&instance, machines, &batch, 1e9, 0.5);
+            let positive: Vec<JobId> = instance
+                .jobs()
+                .iter()
+                .filter(|j| j.weight > 0.0)
+                .map(|j| j.id)
+                .collect();
+            for j in positive {
+                prop_assert!(generous.selected.contains(&j));
+            }
+            Ok(())
+        },
+    );
+}
+
+/// MRIS per-iteration volume budget (Lemma 6.5 machinery): every batch's
+/// volume is at most (1 + eps) * zeta_k.
+#[test]
+fn mris_iteration_volume_budget() {
+    check(
+        "mris iteration volume budget",
+        &Config::with_cases(64),
+        |rng| (gen_case(rng), rng.gen_range(1..4usize)),
+        |((r, rows), machines)| {
+            let Some(instance) = build_instance(*r, rows) else {
+                return Ok(());
+            };
+            let mris = Mris::default();
+            let (_, log) = mris.schedule_with_log(&instance, *machines);
+            for it in &log {
+                prop_assert!(
+                    it.batch_volume <= (1.0 + mris.config.epsilon) * it.zeta + 1e-6,
+                    "iteration {} volume {} > budget {}",
+                    it.k,
+                    it.batch_volume,
+                    (1.0 + mris.config.epsilon) * it.zeta
+                );
+                prop_assert!(it.scheduled <= it.eligible);
+            }
+            let scheduled: usize = log.iter().map(|it| it.scheduled).sum();
+            prop_assert_eq!(scheduled, instance.len());
+            Ok(())
+        },
+    );
 }
