@@ -1,0 +1,497 @@
+//! Committed-timeline hot-path benchmark (`BENCH_timeline.json`).
+//!
+//! Replays three workloads against the indexed [`MachineTimeline`] /
+//! [`ClusterTimelines`] and a faithful copy of the pre-index brute-force
+//! structure (sorted breakpoints, per-breakpoint `Vec::insert`, linear
+//! scans, full machine sweep), reporting throughput, speedup, segment
+//! counts, and per-query latency percentiles:
+//!
+//! * `trace_replay` — earliest-fit placement of an Azure-like trace at
+//!   release order on a multi-machine cluster (the `place_batch` hot path).
+//! * `synthetic_churn` — a single machine under a mixed stream of commits,
+//!   feasibility probes, earliest-fit queries, and periodic compaction.
+//! * `parallel_scan` — `earliest_fit` on a wide, heavily fragmented
+//!   cluster: the scoped-thread scan versus the same indexed scan forced
+//!   sequential.
+//!
+//! `cargo run --release -p mris-bench --bin timeline [--machines 64]
+//!  [--jobs 10000] [--window-days 0.25] [--seed 7] [--smoke]
+//!  [--out BENCH_timeline.json]`
+//!
+//! `--smoke` shrinks every workload to a few hundred operations so CI can
+//! validate the pipeline and the JSON schema in seconds; full runs are for
+//! tracked numbers.
+
+use std::time::Instant;
+
+use mris_bench::Args;
+use mris_rng::Rng;
+use mris_sim::{ClusterTimelines, MachineTimeline};
+use mris_trace::{AzureTrace, AzureTraceConfig};
+use mris_types::{amount_from_fraction, Amount, Job, CAPACITY};
+
+/// The pre-index `MachineTimeline`: identical invariants and answers, no
+/// skip index, no hint cache, no cutoff pruning — the "before" side of
+/// every speedup this benchmark reports.
+struct BruteTimeline {
+    num_resources: usize,
+    times: Vec<f64>,
+    usage: Vec<Amount>,
+}
+
+impl BruteTimeline {
+    fn new(num_resources: usize) -> Self {
+        BruteTimeline {
+            num_resources,
+            times: vec![0.0],
+            usage: vec![0; num_resources],
+        }
+    }
+
+    fn segment_index(&self, t: f64) -> usize {
+        self.times.partition_point(|&bp| bp <= t) - 1
+    }
+
+    fn segment_usage(&self, i: usize) -> &[Amount] {
+        &self.usage[i * self.num_resources..(i + 1) * self.num_resources]
+    }
+
+    fn ensure_breakpoint(&mut self, t: f64) -> usize {
+        let i = self.segment_index(t);
+        if self.times[i] == t {
+            return i;
+        }
+        self.times.insert(i + 1, t);
+        let r = self.num_resources;
+        let seg: Vec<Amount> = self.segment_usage(i).to_vec();
+        let at = (i + 1) * r;
+        self.usage.splice(at..at, seg);
+        i + 1
+    }
+
+    fn is_feasible(&self, start: f64, dur: f64, demands: &[Amount]) -> bool {
+        let end = start + dur;
+        let mut i = self.segment_index(start);
+        while i < self.times.len() && self.times[i] < end {
+            let seg = self.segment_usage(i);
+            if seg.iter().zip(demands).any(|(&u, &d)| u + d > CAPACITY) {
+                return false;
+            }
+            i += 1;
+        }
+        true
+    }
+
+    fn earliest_fit(&self, from: f64, dur: f64, demands: &[Amount]) -> f64 {
+        let mut cand = from.max(0.0);
+        'outer: loop {
+            let end = cand + dur;
+            let mut i = self.segment_index(cand);
+            while i < self.times.len() && self.times[i] < end {
+                let seg = self.segment_usage(i);
+                if seg.iter().zip(demands).any(|(&u, &d)| u + d > CAPACITY) {
+                    cand = self.times[i + 1];
+                    continue 'outer;
+                }
+                i += 1;
+            }
+            return cand;
+        }
+    }
+
+    fn commit(&mut self, start: f64, dur: f64, demands: &[Amount]) {
+        let i0 = self.ensure_breakpoint(start);
+        let i1 = self.ensure_breakpoint(start + dur);
+        let r = self.num_resources;
+        for i in i0..i1 {
+            for (u, &d) in self.usage[i * r..(i + 1) * r].iter_mut().zip(demands) {
+                *u += d;
+            }
+        }
+    }
+
+    fn compact_before(&mut self, horizon: f64) {
+        let keep_from = self.segment_index(horizon.max(0.0));
+        if keep_from == 0 {
+            return;
+        }
+        self.times.drain(..keep_from);
+        self.usage.drain(..keep_from * self.num_resources);
+        self.times[0] = 0.0;
+    }
+}
+
+/// The original cluster scan: every machine, no cutoff, strict `<`
+/// tie-break toward the lower index.
+fn brute_cluster_fit(
+    machines: &[BruteTimeline],
+    from: f64,
+    dur: f64,
+    demands: &[Amount],
+) -> (usize, f64) {
+    let mut best = (0usize, f64::INFINITY);
+    for (m, tl) in machines.iter().enumerate() {
+        let s = tl.earliest_fit(from, dur, demands);
+        if s < best.1 {
+            best = (m, s);
+        }
+    }
+    best
+}
+
+/// One workload's measurements, serialized as a JSON object.
+struct WorkloadReport {
+    name: &'static str,
+    ops: usize,
+    elapsed_s: f64,
+    baseline_elapsed_s: f64,
+    segments: usize,
+    query_ns: Vec<u64>,
+}
+
+impl WorkloadReport {
+    fn ops_per_sec(&self) -> f64 {
+        self.ops as f64 / self.elapsed_s.max(1e-12)
+    }
+
+    fn baseline_ops_per_sec(&self) -> f64 {
+        self.ops as f64 / self.baseline_elapsed_s.max(1e-12)
+    }
+
+    fn speedup(&self) -> f64 {
+        self.baseline_elapsed_s / self.elapsed_s.max(1e-12)
+    }
+
+    fn percentile_ns(&self, p: f64) -> u64 {
+        if self.query_ns.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.query_ns.clone();
+        sorted.sort_unstable();
+        let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+        sorted[rank.min(sorted.len() - 1)]
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"name\": \"{}\", \"ops\": {}, \"ops_per_sec\": {:.1}, ",
+                "\"baseline_ops_per_sec\": {:.1}, \"speedup\": {:.2}, ",
+                "\"segments\": {}, \"query_ns_p50\": {}, \"query_ns_p99\": {}}}"
+            ),
+            self.name,
+            self.ops,
+            self.ops_per_sec(),
+            self.baseline_ops_per_sec(),
+            self.speedup(),
+            self.segments,
+            self.percentile_ns(50.0),
+            self.percentile_ns(99.0),
+        )
+    }
+}
+
+/// Earliest-fit placement of a full trace at release order: the exact loop
+/// `place_batch` drives during simulation, measured on the indexed cluster
+/// and the brute baseline over identical job sequences.
+fn trace_replay(jobs: &[Job], machines: usize, resources: usize) -> WorkloadReport {
+    let mut brute: Vec<BruteTimeline> = (0..machines)
+        .map(|_| BruteTimeline::new(resources))
+        .collect();
+    let t0 = Instant::now();
+    for job in jobs {
+        let (m, s) = brute_cluster_fit(&brute, job.release, job.proc_time, &job.demands);
+        brute[m].commit(s, job.proc_time, &job.demands);
+    }
+    let baseline_elapsed_s = t0.elapsed().as_secs_f64();
+
+    let mut cluster = ClusterTimelines::new(machines, resources);
+    let mut query_ns = Vec::with_capacity(jobs.len());
+    let t0 = Instant::now();
+    for job in jobs {
+        let tq = Instant::now();
+        let (m, s) = cluster.earliest_fit(job.release, job.proc_time, &job.demands);
+        query_ns.push(tq.elapsed().as_nanos() as u64);
+        cluster.commit(m, s, job.proc_time, &job.demands);
+    }
+    let elapsed_s = t0.elapsed().as_secs_f64();
+
+    // The two sides must have produced identical schedules.
+    let brute_segments: usize = brute.iter().map(|tl| tl.times.len()).sum();
+    assert_eq!(
+        cluster.total_segments(),
+        brute_segments,
+        "indexed and brute replays diverged"
+    );
+
+    WorkloadReport {
+        name: "trace_replay",
+        ops: jobs.len(),
+        elapsed_s,
+        baseline_elapsed_s,
+        segments: cluster.total_segments(),
+        query_ns,
+    }
+}
+
+/// The operation mix for the churn workload, regenerated per run from the
+/// seed so both sides replay the identical script.
+enum ChurnOp {
+    Place {
+        dur: f64,
+        demands: Vec<Amount>,
+    },
+    Feasible {
+        at: f64,
+        dur: f64,
+        demands: Vec<Amount>,
+    },
+    Query {
+        at: f64,
+        dur: f64,
+        demands: Vec<Amount>,
+    },
+    Compact,
+}
+
+fn churn_script(ops: usize, seed: u64) -> Vec<ChurnOp> {
+    let mut rng = Rng::new(seed);
+    (0..ops)
+        .map(|_| {
+            let demands: Vec<Amount> = (0..2)
+                .map(|_| amount_from_fraction(rng.gen_range(0.05..0.45)))
+                .collect();
+            match rng.gen_range(0..10usize) {
+                0..=5 => ChurnOp::Place {
+                    dur: rng.gen_range(0.1..8.0),
+                    demands,
+                },
+                6 => ChurnOp::Feasible {
+                    at: rng.gen_range(0.0..400.0),
+                    dur: rng.gen_range(0.1..10.0),
+                    demands,
+                },
+                7..=8 => ChurnOp::Query {
+                    at: rng.gen_range(0.0..400.0),
+                    dur: rng.gen_range(0.1..10.0),
+                    demands,
+                },
+                _ => ChurnOp::Compact,
+            }
+        })
+        .collect()
+}
+
+/// A single machine under mixed commit/query/compaction churn. Placements
+/// go through `earliest_fit` first (the simulator's contract: commits are
+/// always feasible), compaction tracks a sliding watermark, and queries are
+/// clamped to it.
+fn synthetic_churn(ops: usize, seed: u64) -> WorkloadReport {
+    let script = churn_script(ops, seed);
+    let resources = 2;
+
+    let mut brute = BruteTimeline::new(resources);
+    let mut clock = 0.0f64;
+    let mut watermark = 0.0f64;
+    let t0 = Instant::now();
+    for op in &script {
+        match op {
+            ChurnOp::Place { dur, demands } => {
+                clock += 0.35;
+                let s = brute.earliest_fit(clock.max(watermark), *dur, demands);
+                brute.commit(s, *dur, demands);
+            }
+            ChurnOp::Feasible { at, dur, demands } => {
+                std::hint::black_box(brute.is_feasible(at.max(watermark), *dur, demands));
+            }
+            ChurnOp::Query { at, dur, demands } => {
+                std::hint::black_box(brute.earliest_fit(at.max(watermark), *dur, demands));
+            }
+            ChurnOp::Compact => {
+                watermark = watermark.max(clock - 20.0);
+                brute.compact_before(clock - 20.0);
+            }
+        }
+    }
+    let baseline_elapsed_s = t0.elapsed().as_secs_f64();
+
+    let mut indexed = MachineTimeline::new(resources);
+    let mut clock = 0.0f64;
+    let mut query_ns = Vec::new();
+    let t0 = Instant::now();
+    for op in &script {
+        match op {
+            ChurnOp::Place { dur, demands } => {
+                clock += 0.35;
+                let from = clock.max(indexed.compaction_watermark());
+                let s = indexed.earliest_fit(from, *dur, demands);
+                indexed.commit(s, *dur, demands);
+            }
+            ChurnOp::Feasible { at, dur, demands } => {
+                let at = at.max(indexed.compaction_watermark());
+                std::hint::black_box(indexed.is_feasible(at, *dur, demands));
+            }
+            ChurnOp::Query { at, dur, demands } => {
+                let at = at.max(indexed.compaction_watermark());
+                let tq = Instant::now();
+                std::hint::black_box(indexed.earliest_fit(at, *dur, demands));
+                query_ns.push(tq.elapsed().as_nanos() as u64);
+            }
+            ChurnOp::Compact => indexed.compact_before(clock - 20.0),
+        }
+    }
+    let elapsed_s = t0.elapsed().as_secs_f64();
+
+    WorkloadReport {
+        name: "synthetic_churn",
+        ops,
+        elapsed_s,
+        baseline_elapsed_s,
+        segments: indexed.num_segments(),
+        query_ns,
+    }
+}
+
+/// `earliest_fit` over a wide, heavily fragmented cluster: the scoped-thread
+/// scan against the identical indexed scan forced sequential (so the delta
+/// is purely the threading, not the index).
+fn parallel_scan(machines: usize, queries: usize, seed: u64) -> WorkloadReport {
+    let resources = 2;
+    let mut rng = Rng::new(seed);
+    let mut cluster = ClusterTimelines::new(machines, resources);
+    // Fragment every machine with staggered near-saturating commits whose
+    // inter-commit gaps are mostly too short for the queries below: scans
+    // cannot finish at the floor and must walk deep into the breakpoints.
+    let depth = 200;
+    for m in 0..machines {
+        for k in 0..depth {
+            let start = (m % 7) as f64 * 0.3 + k as f64 * 2.0;
+            let demands: Vec<Amount> = (0..resources)
+                .map(|_| amount_from_fraction(rng.gen_range(0.55..0.9)))
+                .collect();
+            cluster.commit(m, start, rng.gen_range(1.2..1.95), &demands);
+        }
+    }
+    let horizon = depth as f64 * 2.0;
+    let script: Vec<(f64, f64, Vec<Amount>)> = (0..queries)
+        .map(|_| {
+            (
+                rng.gen_range(0.0..horizon * 0.25),
+                rng.gen_range(2.0..6.0),
+                (0..resources)
+                    .map(|_| amount_from_fraction(rng.gen_range(0.2..0.5)))
+                    .collect(),
+            )
+        })
+        .collect();
+
+    cluster.set_parallel_threshold(usize::MAX);
+    let t0 = Instant::now();
+    for (from, dur, demands) in &script {
+        std::hint::black_box(cluster.earliest_fit(*from, *dur, demands));
+    }
+    let baseline_elapsed_s = t0.elapsed().as_secs_f64();
+
+    cluster.set_parallel_threshold(1);
+    let mut query_ns = Vec::with_capacity(queries);
+    let t0 = Instant::now();
+    for (from, dur, demands) in &script {
+        let tq = Instant::now();
+        std::hint::black_box(cluster.earliest_fit(*from, *dur, demands));
+        query_ns.push(tq.elapsed().as_nanos() as u64);
+    }
+    let elapsed_s = t0.elapsed().as_secs_f64();
+
+    WorkloadReport {
+        name: "parallel_scan",
+        ops: queries,
+        elapsed_s,
+        baseline_elapsed_s,
+        segments: cluster.total_segments(),
+        query_ns,
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let smoke = args.has("smoke");
+    let machines = args.get("machines", if smoke { 8 } else { 64 });
+    let jobs = args.get("jobs", if smoke { 400 } else { 10_000 });
+    let window_days = args.get("window-days", if smoke { 0.02 } else { 0.25 });
+    let seed = args.get("seed", 7u64);
+    let out: String = args.get("out", "BENCH_timeline.json".to_string());
+    let churn_ops = if smoke { 4_000 } else { 50_000 };
+    let scan_machines = if smoke { 32 } else { 256 };
+    let scan_queries = if smoke { 200 } else { 4_000 };
+
+    eprintln!(
+        "timeline bench: mode = {}, M = {machines}, N = {jobs}, window = {window_days} days, seed = {seed}",
+        if smoke { "smoke" } else { "full" }
+    );
+
+    let trace = AzureTrace::generate(&AzureTraceConfig {
+        num_jobs: jobs,
+        window_days,
+        seed,
+        ..AzureTraceConfig::default()
+    });
+    let instance = trace.sample_instance(1, 0);
+    let resources = instance.num_resources();
+
+    eprintln!(
+        "  trace_replay: {} jobs on {machines} machines ...",
+        instance.jobs().len()
+    );
+    let replay = trace_replay(instance.jobs(), machines, resources);
+    eprintln!(
+        "    {:.0} ops/s vs {:.0} ops/s baseline ({:.2}x), {} segments",
+        replay.ops_per_sec(),
+        replay.baseline_ops_per_sec(),
+        replay.speedup(),
+        replay.segments
+    );
+
+    eprintln!("  synthetic_churn: {churn_ops} mixed ops on one machine ...");
+    let churn = synthetic_churn(churn_ops, seed ^ 0x5eed);
+    eprintln!(
+        "    {:.0} ops/s vs {:.0} ops/s baseline ({:.2}x)",
+        churn.ops_per_sec(),
+        churn.baseline_ops_per_sec(),
+        churn.speedup()
+    );
+
+    eprintln!("  parallel_scan: {scan_queries} queries over {scan_machines} machines ...");
+    let scan = parallel_scan(scan_machines, scan_queries, seed ^ 0xacc1);
+    eprintln!(
+        "    {:.0} ops/s vs {:.0} ops/s sequential ({:.2}x)",
+        scan.ops_per_sec(),
+        scan.baseline_ops_per_sec(),
+        scan.speedup()
+    );
+
+    let workloads: Vec<String> = [&replay, &churn, &scan]
+        .iter()
+        .map(|w| format!("    {}", w.to_json()))
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"timeline\",\n",
+            "  \"version\": 1,\n",
+            "  \"mode\": \"{}\",\n",
+            "  \"machines\": {},\n",
+            "  \"jobs\": {},\n",
+            "  \"seed\": {},\n",
+            "  \"workloads\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        if smoke { "smoke" } else { "full" },
+        machines,
+        jobs,
+        seed,
+        workloads.join(",\n")
+    );
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    eprintln!("  wrote {out}");
+    print!("{json}");
+}

@@ -52,6 +52,42 @@ pub struct IterationStats {
     pub batch_end: Time,
 }
 
+/// Solves P1 over `items` with budget `zeta` and returns the selected item
+/// indices, with "free" zero-weight items folded in.
+///
+/// Zero-weight items are never chosen by the knapsack (they add volume for
+/// no profit), but every job must eventually be scheduled. Once a
+/// zero-weight item's volume is free — i.e. the leftover budget (at the
+/// solver's capacity blow-up) covers it — it joins the batch; this keeps the
+/// Lemma 6.5 volume bound intact.
+///
+/// The folding binary-searches `Solution::selected`, relying on the
+/// [`KnapsackSolver`] contract that selections are strictly increasing;
+/// that invariant is re-checked here in debug builds.
+fn select_batch(solver: &dyn KnapsackSolver, items: &[Item], zeta: f64) -> Vec<usize> {
+    let solution = solver.solve(items, zeta);
+    debug_assert!(
+        solution.selected.windows(2).all(|w| w[0] < w[1]),
+        "KnapsackSolver contract violation: {} returned a selection that is \
+         not strictly increasing: {:?}",
+        solver.name(),
+        solution.selected
+    );
+    let mut batch = solution.selected.clone();
+    let mut used = solution.size;
+    let budget = zeta * solver.capacity_blowup();
+    for (idx, item) in items.iter().enumerate() {
+        if item.weight == 0.0
+            && solution.selected.binary_search(&idx).is_err()
+            && used + item.size <= budget
+        {
+            used += item.size;
+            batch.push(idx);
+        }
+    }
+    batch
+}
+
 impl Mris {
     /// MRIS with an explicit configuration.
     pub fn with_config(config: MrisConfig) -> Self {
@@ -112,27 +148,10 @@ impl Mris {
                         Item::new(job.weight, job.volume())
                     })
                     .collect();
-                let solution = solver.solve(&items, zeta);
-                let mut batch: Vec<JobId> =
-                    solution.selected.iter().map(|&i| eligible[i]).collect();
-
-                // Zero-weight jobs are never chosen by the knapsack (they add
-                // volume for no profit), but every job must eventually be
-                // scheduled. Once a zero-weight job's volume is "free" —
-                // i.e. the leftover budget covers it — fold it into the
-                // batch; this keeps the Lemma 6.5 volume bound intact.
-                let mut used = solution.size;
-                let budget = zeta * solver.capacity_blowup();
-                for (idx, &j) in eligible.iter().enumerate() {
-                    let job = instance.job(j);
-                    if job.weight == 0.0
-                        && solution.selected.binary_search(&idx).is_err()
-                        && used + job.volume() <= budget
-                    {
-                        used += job.volume();
-                        batch.push(j);
-                    }
-                }
+                let mut batch: Vec<JobId> = select_batch(solver.as_ref(), &items, zeta)
+                    .into_iter()
+                    .map(|i| eligible[i])
+                    .collect();
 
                 if !batch.is_empty() {
                     // Line 6: PQ with backfilling, starting at gamma_k. When
@@ -341,5 +360,56 @@ mod tests {
         let (s, log) = Mris::default().schedule_with_log(&instance, 4);
         assert!(s.is_complete());
         assert!(log.is_empty());
+    }
+
+    /// A mock solver with a fixed (possibly contract-violating) selection.
+    struct FixedSelection(Vec<usize>);
+
+    impl KnapsackSolver for FixedSelection {
+        fn name(&self) -> &'static str {
+            "mock-fixed"
+        }
+        fn solve(&self, items: &[Item], _capacity: f64) -> mris_knapsack::Solution {
+            // Deliberately bypasses `Solution::from_selected` so tests can
+            // hand the call site an out-of-contract selection.
+            mris_knapsack::Solution {
+                selected: self.0.clone(),
+                weight: self.0.iter().map(|&i| items[i].weight).sum(),
+                size: self.0.iter().map(|&i| items[i].size).sum(),
+            }
+        }
+        fn capacity_blowup(&self) -> f64 {
+            1.0
+        }
+    }
+
+    #[test]
+    fn select_batch_folds_free_zero_weight_items() {
+        // Solver picks item 1 only; items 0 and 3 are zero-weight. With
+        // budget 10 and 4.0 used, item 0 (size 3) folds in, then item 3
+        // (size 4) no longer fits the leftover budget.
+        let items = vec![
+            Item::new(0.0, 3.0),
+            Item::new(5.0, 4.0),
+            Item::new(2.0, 1.0),
+            Item::new(0.0, 4.0),
+        ];
+        let batch = select_batch(&FixedSelection(vec![1]), &items, 10.0);
+        assert_eq!(batch, vec![1, 0]);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "not strictly increasing")]
+    fn unsorted_solver_selection_is_caught_in_debug() {
+        let items = vec![
+            Item::new(1.0, 1.0),
+            Item::new(2.0, 1.0),
+            Item::new(0.0, 1.0),
+        ];
+        // An unsorted selection breaks the binary-search invariant of the
+        // zero-weight folding; the call site must reject it loudly instead
+        // of silently double-scheduling item 2.
+        let _ = select_batch(&FixedSelection(vec![1, 0]), &items, 10.0);
     }
 }

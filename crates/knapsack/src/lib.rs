@@ -65,7 +65,9 @@ pub struct Solution {
 }
 
 impl Solution {
-    fn from_selected(items: &[Item], mut selected: Vec<usize>) -> Self {
+    /// Builds a solution from item indices, enforcing the sorted invariant
+    /// of `selected` (sorts, dedups, and sums weight/size).
+    pub fn from_selected(items: &[Item], mut selected: Vec<usize>) -> Self {
         selected.sort_unstable();
         selected.dedup();
         let weight = selected.iter().map(|&i| items[i].weight).sum();
@@ -94,6 +96,12 @@ impl Solution {
 /// capacity; *constraint-approximate* solvers ([`Cadp`], [`GreedyConstraint`])
 /// guarantee `solution.weight >= OPT(capacity)` while allowing
 /// `solution.size` up to their documented blow-up factor times `capacity`.
+///
+/// **Contract:** `Solution::selected` must be **strictly increasing** (and
+/// therefore duplicate-free). Callers rely on this — MRIS's zero-weight
+/// folding binary-searches the selection — so custom implementations should
+/// construct results via [`Solution::from_selected`], which sorts and
+/// dedups. The MRIS call site re-checks the invariant in debug builds.
 pub trait KnapsackSolver {
     /// A short human-readable solver name for reports.
     fn name(&self) -> &'static str;

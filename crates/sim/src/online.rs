@@ -43,11 +43,17 @@ impl<'a> Dispatcher<'a> {
 
     /// Starts `job` on `machine` right now.
     ///
-    /// Returns a typed [`SchedulingError`] if the job has not been released,
-    /// does not fit on `machine`, or was already placed — all policy bugs,
-    /// surfaced as errors so the caller can attribute them instead of
-    /// aborting the process.
+    /// Returns a typed [`SchedulingError`] if `machine` is out of range, the
+    /// job has not been released, does not fit on `machine`, or was already
+    /// placed — all policy bugs, surfaced as errors so the caller can
+    /// attribute them instead of aborting the process.
     pub fn place(&mut self, machine: usize, job: JobId) -> Result<(), SchedulingError> {
+        if machine >= self.cluster.num_machines() {
+            return Err(SchedulingError::InvalidMachine {
+                machine,
+                num_machines: self.cluster.num_machines(),
+            });
+        }
         let j = self.instance.job(job);
         if j.release > self.now {
             return Err(SchedulingError::PlacedBeforeRelease {
@@ -363,6 +369,35 @@ mod tests {
             SchedulingError::DoesNotFit {
                 job: JobId(1),
                 machine: 0
+            }
+        );
+    }
+
+    #[test]
+    fn out_of_range_machine_is_a_typed_error() {
+        struct WrongMachine;
+        impl OnlinePolicy for WrongMachine {
+            fn on_arrivals(&mut self, _now: Time, _arrived: &[JobId], _inst: &Instance) {}
+            fn dispatch(
+                &mut self,
+                d: &mut Dispatcher<'_>,
+                _freed: &[usize],
+            ) -> Result<(), SchedulingError> {
+                // The cluster has machines 0 and 1; machine 2 is a policy bug
+                // and must surface as a typed error, not an index panic.
+                d.place(2, JobId(0))
+            }
+        }
+        let instance = inst(
+            vec![Job::from_fractions(JobId(0), 0.0, 1.0, 1.0, &[0.1])],
+            1,
+        );
+        let err = run_online(&instance, 2, &mut WrongMachine).unwrap_err();
+        assert_eq!(
+            err,
+            SchedulingError::InvalidMachine {
+                machine: 2,
+                num_machines: 2
             }
         );
     }

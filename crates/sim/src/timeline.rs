@@ -6,9 +6,62 @@
 //! `>= t`", which requires querying usage over an entire candidate window
 //! `[s, s + p)` — something the instantaneous [`ClusterState`] cannot answer.
 //!
+//! # The skip index
+//!
+//! Scanning breakpoints one by one makes a query `O(segments)` and a batch
+//! placement quadratic over a trace. The timeline therefore maintains a
+//! per-resource **interval-max/min skip index**: segments are grouped into
+//! fixed blocks of [`BLOCK`] and each block stores, per resource, the
+//! maximum and minimum usage over its segments (a branching-factor-`BLOCK`
+//! segment tree of height two, rebuilt incrementally on commit).
+//! [`MachineTimeline::earliest_fit`] uses it two ways:
+//!
+//! * a block whose **max** usage plus the demand fits capacity on every
+//!   resource contains no violating segment — the feasibility scan jumps
+//!   over all of it in `O(R)`;
+//! * a block whose **min** usage plus the demand exceeds capacity on some
+//!   resource consists *only* of violating segments — the candidate start
+//!   jumps past the entire block in `O(R)`.
+//!
+//! On top of that, cluster-level scans are pruned with a best-so-far cutoff
+//! (machines that cannot beat the current best abort early), answered from a
+//! per-machine hint cache when a batch repeats the same query (invalidated
+//! on commit), and spread over [`std::thread::scope`] threads once the
+//! machine count reaches [`PARALLEL_SCAN_THRESHOLD`].
+//!
 //! [`ClusterState`]: crate::ClusterState
 
+use std::sync::Mutex;
+
 use mris_types::{Amount, Job, Time, CAPACITY};
+
+/// Segments per skip-index block. 64 keeps a block's per-resource stats in a
+/// cache line or two while amortizing the index to under 2% of segment
+/// storage.
+pub const BLOCK: usize = 64;
+
+/// Machine count at which [`ClusterTimelines::earliest_fit`] switches from
+/// the sequential cutoff-pruned scan to a [`std::thread::scope`] parallel
+/// scan. Spawning scoped threads costs tens of microseconds, so the default
+/// only pays it for clusters wide enough that a full scan dominates;
+/// [`ClusterTimelines::set_parallel_threshold`] overrides it.
+pub const PARALLEL_SCAN_THRESHOLD: usize = 128;
+
+/// Threads used by the parallel cluster scan (bounded so a query never
+/// oversubscribes the host even on very wide clusters).
+const MAX_SCAN_THREADS: usize = 8;
+
+/// A memoized `earliest_fit` answer: valid until the next commit/compaction
+/// on the machine. Exploits that batch placement re-asks the same
+/// `(from, dur, demands)` query against every machine that did *not* receive
+/// the previous job.
+#[derive(Debug, Clone)]
+struct FitHint {
+    from: Time,
+    dur: Time,
+    demands: Box<[Amount]>,
+    result: Time,
+}
 
 /// Per-machine resource usage over time as a step function.
 ///
@@ -18,12 +71,39 @@ use mris_types::{Amount, Job, Time, CAPACITY};
 ///   infinity) with constant usage `usage[i*R .. (i+1)*R]`;
 /// * every committed occupation is finite, so the last segment's usage is
 ///   always all-zero — which guarantees [`MachineTimeline::earliest_fit`]
-///   terminates for any demand within machine capacity.
-#[derive(Debug, Clone)]
+///   terminates for any demand within machine capacity;
+/// * `block_max`/`block_min` hold the per-resource max/min usage of each
+///   [`BLOCK`]-segment block (the skip index);
+/// * queries are only valid at or after [`MachineTimeline::compaction_watermark`].
+#[derive(Debug)]
 pub struct MachineTimeline {
     num_resources: usize,
     times: Vec<Time>,
     usage: Vec<Amount>,
+    /// Flattened `num_blocks x R` per-resource maximum usage per block.
+    block_max: Vec<Amount>,
+    /// Flattened `num_blocks x R` per-resource minimum usage per block.
+    block_min: Vec<Amount>,
+    /// Earliest instant at which queries are still exact (see
+    /// [`MachineTimeline::compact_before`]).
+    watermark: Time,
+    /// Last full `earliest_fit` answer; interior-mutable so `&self` queries
+    /// can maintain it (also from the parallel cluster scan).
+    hint: Mutex<Option<FitHint>>,
+}
+
+impl Clone for MachineTimeline {
+    fn clone(&self) -> Self {
+        MachineTimeline {
+            num_resources: self.num_resources,
+            times: self.times.clone(),
+            usage: self.usage.clone(),
+            block_max: self.block_max.clone(),
+            block_min: self.block_min.clone(),
+            watermark: self.watermark,
+            hint: Mutex::new(self.hint.lock().expect("timeline hint lock").clone()),
+        }
+    }
 }
 
 impl MachineTimeline {
@@ -34,6 +114,10 @@ impl MachineTimeline {
             num_resources,
             times: vec![0.0],
             usage: vec![0; num_resources],
+            block_max: vec![0; num_resources],
+            block_min: vec![0; num_resources],
+            watermark: 0.0,
+            hint: Mutex::new(None),
         }
     }
 
@@ -49,6 +133,13 @@ impl MachineTimeline {
         self.times.len()
     }
 
+    /// Earliest instant at which queries are still exact. `0.0` until
+    /// [`MachineTimeline::compact_before`] discards history.
+    #[inline]
+    pub fn compaction_watermark(&self) -> Time {
+        self.watermark
+    }
+
     /// Index of the segment containing `t` (requires `t >= 0`).
     fn segment_index(&self, t: Time) -> usize {
         debug_assert!(t >= 0.0);
@@ -57,7 +148,16 @@ impl MachineTimeline {
     }
 
     /// Usage vector in effect at instant `t`.
+    ///
+    /// After [`MachineTimeline::compact_before`], instants earlier than the
+    /// watermark no longer have exact usage; querying them is a caller bug
+    /// (checked in debug builds).
     pub fn usage_at(&self, t: Time) -> &[Amount] {
+        debug_assert!(
+            t >= self.watermark,
+            "usage_at({t}) queries history compacted away before {}",
+            self.watermark
+        );
         let i = self.segment_index(t);
         &self.usage[i * self.num_resources..(i + 1) * self.num_resources]
     }
@@ -66,29 +166,103 @@ impl MachineTimeline {
         &self.usage[i * self.num_resources..(i + 1) * self.num_resources]
     }
 
-    /// Ensures `t` is a breakpoint, splitting its containing segment if
-    /// needed; returns the index of the segment that starts at `t`.
-    fn ensure_breakpoint(&mut self, t: Time) -> usize {
-        let i = self.segment_index(t);
-        if self.times[i] == t {
-            return i;
-        }
-        self.times.insert(i + 1, t);
+    /// Whether every segment of block `b` is feasible for `demands` (its
+    /// per-resource max usage leaves room on every resource).
+    #[inline]
+    fn block_feasible(&self, b: usize, demands: &[Amount]) -> bool {
         let r = self.num_resources;
-        let seg: Vec<Amount> = self.segment_usage(i).to_vec();
-        // Insert a copy of segment i's usage for the new segment i+1.
-        let at = (i + 1) * r;
-        self.usage.splice(at..at, seg);
-        i + 1
+        self.block_max[b * r..(b + 1) * r]
+            .iter()
+            .zip(demands)
+            .all(|(&u, &d)| u + d <= CAPACITY)
+    }
+
+    /// Whether every segment of block `b` violates `demands` (some resource's
+    /// per-resource *min* usage already exceeds the remaining room).
+    #[inline]
+    fn block_saturated(&self, b: usize, demands: &[Amount]) -> bool {
+        let r = self.num_resources;
+        self.block_min[b * r..(b + 1) * r]
+            .iter()
+            .zip(demands)
+            .any(|(&u, &d)| u + d > CAPACITY)
+    }
+
+    /// Recomputes the skip-index entry of block `b` in place.
+    fn recompute_block(&mut self, b: usize) {
+        let r = self.num_resources;
+        let lo = b * BLOCK;
+        let hi = (lo + BLOCK).min(self.times.len());
+        debug_assert!(lo < hi);
+        let base = b * r;
+        self.block_max[base..base + r].copy_from_slice(&self.usage[lo * r..lo * r + r]);
+        self.block_min[base..base + r].copy_from_slice(&self.usage[lo * r..lo * r + r]);
+        for i in lo + 1..hi {
+            for (res, &u) in self.usage[i * r..(i + 1) * r].iter().enumerate() {
+                if u > self.block_max[base + res] {
+                    self.block_max[base + res] = u;
+                }
+                if u < self.block_min[base + res] {
+                    self.block_min[base + res] = u;
+                }
+            }
+        }
+    }
+
+    /// Rebuilds the skip index for every block containing a segment `>=
+    /// first_seg` (segment indices at or after an insertion point shift, so
+    /// their blocks must be recomputed; earlier blocks are untouched).
+    fn rebuild_index_from(&mut self, first_seg: usize) {
+        let r = self.num_resources;
+        let num_blocks = self.times.len().div_ceil(BLOCK);
+        let first_block = first_seg / BLOCK;
+        self.block_max.resize(num_blocks * r, 0);
+        self.block_min.resize(num_blocks * r, 0);
+        for b in first_block..num_blocks {
+            self.recompute_block(b);
+        }
+    }
+
+    /// First segment at index `>= i` that is feasible for `demands`,
+    /// skipping saturated blocks wholesale. Always exists because the last
+    /// segment is all-zero and `demands <= CAPACITY`.
+    fn first_feasible_segment(&self, mut i: usize, demands: &[Amount]) -> usize {
+        let n = self.times.len();
+        loop {
+            debug_assert!(i < n, "tail segment is all-zero and must be feasible");
+            if i.is_multiple_of(BLOCK) && self.block_saturated(i / BLOCK, demands) {
+                i += BLOCK;
+                continue;
+            }
+            if self
+                .segment_usage(i)
+                .iter()
+                .zip(demands)
+                .all(|(&u, &d)| u + d <= CAPACITY)
+            {
+                return i;
+            }
+            i += 1;
+        }
     }
 
     /// Whether a job with `demands` fits throughout `[start, start + dur)`.
     pub fn is_feasible(&self, start: Time, dur: Time, demands: &[Amount]) -> bool {
         debug_assert_eq!(demands.len(), self.num_resources);
         debug_assert!(dur > 0.0 && start >= 0.0);
+        debug_assert!(
+            start >= self.watermark,
+            "is_feasible({start}, ..) queries history compacted away before {}",
+            self.watermark
+        );
+        let n = self.times.len();
         let end = start + dur;
         let mut i = self.segment_index(start);
-        while i < self.times.len() && self.times[i] < end {
+        while i < n && self.times[i] < end {
+            if i.is_multiple_of(BLOCK) && self.block_feasible(i / BLOCK, demands) {
+                i += BLOCK;
+                continue;
+            }
             let seg = self.segment_usage(i);
             if seg.iter().zip(demands).any(|(&u, &d)| u + d > CAPACITY) {
                 return false;
@@ -100,66 +274,219 @@ impl MachineTimeline {
 
     /// The earliest instant `s >= from` such that the job fits throughout
     /// `[s, s + dur)`. Always exists for demands within machine capacity
-    /// because the timeline's tail is empty. Runs in `O(segments)`.
+    /// because the timeline's tail is empty. Runs in `O(segments / BLOCK +
+    /// BLOCK)` per infeasible run skipped, instead of the naive
+    /// `O(segments)` per segment stepped.
     pub fn earliest_fit(&self, from: Time, dur: Time, demands: &[Amount]) -> Time {
+        self.earliest_fit_bounded(from, dur, demands, f64::INFINITY)
+            .expect("unbounded earliest_fit always finds the empty tail")
+    }
+
+    /// Like [`MachineTimeline::earliest_fit`], but gives up as soon as the
+    /// answer provably is `>= cutoff` and returns `None`. Cluster scans use
+    /// this to prune machines that cannot beat the best start found so far.
+    /// A non-finite `cutoff` disables pruning.
+    pub fn earliest_fit_bounded(
+        &self,
+        from: Time,
+        dur: Time,
+        demands: &[Amount],
+        cutoff: Time,
+    ) -> Option<Time> {
         debug_assert_eq!(demands.len(), self.num_resources);
         assert!(dur > 0.0, "job duration must be positive");
         assert!(
             demands.iter().all(|&d| d <= CAPACITY),
             "demand exceeds machine capacity; job can never fit"
         );
+        debug_assert!(
+            from.max(0.0) >= self.watermark,
+            "earliest_fit(from = {from}) queries history compacted away before {}",
+            self.watermark
+        );
+        let cutoff = if cutoff.is_finite() {
+            cutoff
+        } else {
+            f64::INFINITY
+        };
+        if let Some(hit) = self.hint_lookup(from, dur, demands) {
+            return if hit < cutoff { Some(hit) } else { None };
+        }
+        let result = self.scan_earliest(from, dur, demands, cutoff);
+        if let Some(s) = result {
+            self.hint_store(from, dur, demands, s);
+        }
+        result
+    }
+
+    /// The cutoff-pruned skip-index scan behind the `earliest_fit` family.
+    fn scan_earliest(
+        &self,
+        from: Time,
+        dur: Time,
+        demands: &[Amount],
+        cutoff: Time,
+    ) -> Option<Time> {
+        let n = self.times.len();
         let mut cand = from.max(0.0);
         'outer: loop {
+            if cand >= cutoff {
+                return None;
+            }
             let end = cand + dur;
             let mut i = self.segment_index(cand);
-            while i < self.times.len() && self.times[i] < end {
+            while i < n && self.times[i] < end {
+                if i.is_multiple_of(BLOCK) && self.block_feasible(i / BLOCK, demands) {
+                    i += BLOCK;
+                    continue;
+                }
                 let seg = self.segment_usage(i);
                 if seg.iter().zip(demands).any(|(&u, &d)| u + d > CAPACITY) {
                     // Any start overlapping this segment is infeasible; jump
-                    // past it. The last segment is all-zero so a violating
-                    // segment always has a successor.
-                    cand = self.times[i + 1];
+                    // past the whole violating run. The last segment is
+                    // all-zero so a violating segment always has a feasible
+                    // successor.
+                    let j = self.first_feasible_segment(i + 1, demands);
+                    cand = self.times[j];
                     continue 'outer;
                 }
                 i += 1;
             }
-            return cand;
+            return Some(cand);
         }
+    }
+
+    /// Answers a query from the hint cache: exact-match `(dur, demands)`
+    /// with `hint.from <= from <= hint.result` — in that range no feasible
+    /// start exists below `hint.result`, so the answer is unchanged.
+    fn hint_lookup(&self, from: Time, dur: Time, demands: &[Amount]) -> Option<Time> {
+        let guard = self.hint.lock().expect("timeline hint lock");
+        let hint = guard.as_ref()?;
+        if hint.dur == dur && hint.from <= from && from <= hint.result && *hint.demands == *demands
+        {
+            Some(hint.result)
+        } else {
+            None
+        }
+    }
+
+    fn hint_store(&self, from: Time, dur: Time, demands: &[Amount], result: Time) {
+        *self.hint.lock().expect("timeline hint lock") = Some(FitHint {
+            from,
+            dur,
+            demands: demands.into(),
+            result,
+        });
+    }
+
+    /// Drops any memoized query answer; must follow every mutation.
+    fn invalidate_hint(&mut self) {
+        *self.hint.get_mut().expect("timeline hint lock") = None;
+    }
+
+    /// Ensures `start` and `end` are breakpoints in a single pass (one
+    /// allocation and one copy regardless of how many of the two are
+    /// missing), and returns the segment index range `[i0, i1)` covering
+    /// exactly `[start, end)`.
+    fn insert_breakpoints(&mut self, start: Time, end: Time) -> (usize, usize) {
+        debug_assert!(start < end);
+        let i_s = self.segment_index(start);
+        let need_s = self.times[i_s] != start;
+        let i_e = self.segment_index(end);
+        let need_e = self.times[i_e] != end;
+        let inserted = need_s as usize + need_e as usize;
+        let i0 = i_s + need_s as usize;
+        let i1 = i_e + inserted;
+        if inserted == 0 {
+            return (i0, i1);
+        }
+
+        let r = self.num_resources;
+        let n = self.times.len();
+        let mut times = Vec::with_capacity(n + inserted);
+        let mut usage = Vec::with_capacity((n + inserted) * r);
+        for i in 0..n {
+            times.push(self.times[i]);
+            usage.extend_from_slice(&self.usage[i * r..(i + 1) * r]);
+            // A new breakpoint splits segment i: the new segment inherits
+            // segment i's usage.
+            if need_s && i == i_s {
+                times.push(start);
+                usage.extend_from_slice(&self.usage[i * r..(i + 1) * r]);
+            }
+            if need_e && i == i_e {
+                times.push(end);
+                usage.extend_from_slice(&self.usage[i * r..(i + 1) * r]);
+            }
+        }
+        self.times = times;
+        self.usage = usage;
+        self.rebuild_index_from(i0);
+        (i0, i1)
     }
 
     /// Adds `demands` to the usage over `[start, start + dur)`.
     ///
-    /// Panics (debug) if the result would exceed capacity — callers must
-    /// check feasibility first (e.g. via [`MachineTimeline::earliest_fit`]).
+    /// # Panics
+    ///
+    /// Panics — in **every** build profile — if the result would exceed
+    /// capacity on any resource: callers must check feasibility first (e.g.
+    /// via [`MachineTimeline::earliest_fit`]). An over-committed timeline
+    /// would silently corrupt every subsequent feasibility answer, so this
+    /// is checked before any usage is modified; on panic the step function
+    /// is semantically unchanged (at most already-implied breakpoints were
+    /// materialized).
     pub fn commit(&mut self, start: Time, dur: Time, demands: &[Amount]) {
-        debug_assert_eq!(demands.len(), self.num_resources);
+        assert_eq!(demands.len(), self.num_resources);
         assert!(start >= 0.0 && dur > 0.0 && (start + dur).is_finite());
-        let i0 = self.ensure_breakpoint(start);
-        let i1 = self.ensure_breakpoint(start + dur);
+        let (i0, i1) = self.insert_breakpoints(start, start + dur);
         let r = self.num_resources;
+        for i in i0..i1 {
+            assert!(
+                self.usage[i * r..(i + 1) * r]
+                    .iter()
+                    .zip(demands)
+                    .all(|(&u, &d)| u + d <= CAPACITY),
+                "timeline commit exceeds capacity in [{start}, {})",
+                start + dur
+            );
+        }
         for i in i0..i1 {
             for (u, &d) in self.usage[i * r..(i + 1) * r].iter_mut().zip(demands) {
                 *u += d;
-                debug_assert!(*u <= CAPACITY, "timeline commit exceeds capacity");
             }
         }
+        for b in i0 / BLOCK..=(i1 - 1) / BLOCK {
+            self.recompute_block(b);
+        }
+        self.invalidate_hint();
     }
 
     /// Drops breakpoints earlier than `horizon` whose removal does not change
     /// the step function at or after `horizon`. Bounds memory in long
-    /// simulations where the past is no longer queried. After compaction,
-    /// queries before `horizon` are invalid.
+    /// simulations where the past is no longer queried.
+    ///
+    /// After compaction, usage before the retained prefix is approximate;
+    /// [`MachineTimeline::compaction_watermark`] advances to the earliest
+    /// still-exact instant and queries below it are rejected in debug
+    /// builds.
     pub fn compact_before(&mut self, horizon: Time) {
         let keep_from = self.segment_index(horizon.max(0.0));
         if keep_from == 0 {
             return;
         }
+        self.watermark = self.watermark.max(self.times[keep_from]);
         self.times.drain(..keep_from);
         self.usage.drain(..keep_from * self.num_resources);
         // Re-anchor the first breakpoint at zero so `segment_index` stays
-        // valid for any t >= 0 (usage before `horizon` is now approximate,
-        // which is fine: callers promise not to query it).
+        // valid for any t >= 0 (usage before the watermark is now
+        // approximate, which is fine: callers promise not to query it).
         self.times[0] = 0.0;
+        let num_blocks = self.times.len().div_ceil(BLOCK);
+        self.block_max.truncate(num_blocks * self.num_resources);
+        self.block_min.truncate(num_blocks * self.num_resources);
+        self.rebuild_index_from(0);
+        self.invalidate_hint();
     }
 }
 
@@ -167,6 +494,7 @@ impl MachineTimeline {
 #[derive(Debug, Clone)]
 pub struct ClusterTimelines {
     machines: Vec<MachineTimeline>,
+    parallel_threshold: usize,
 }
 
 impl ClusterTimelines {
@@ -176,6 +504,7 @@ impl ClusterTimelines {
         assert!(num_machines > 0);
         ClusterTimelines {
             machines: vec![MachineTimeline::new(num_resources); num_machines],
+            parallel_threshold: PARALLEL_SCAN_THRESHOLD,
         }
     }
 
@@ -191,17 +520,125 @@ impl ClusterTimelines {
         &self.machines[m]
     }
 
+    /// Total segments across all machines (for diagnostics and benches).
+    pub fn total_segments(&self) -> usize {
+        self.machines.iter().map(|tl| tl.num_segments()).sum()
+    }
+
+    /// Overrides the machine count at which [`ClusterTimelines::earliest_fit`]
+    /// switches to the threaded scan (default
+    /// [`PARALLEL_SCAN_THRESHOLD`]). `usize::MAX` forces the sequential
+    /// path, small values force the parallel one — the results are
+    /// identical either way, including the lower-machine-index tie-break.
+    pub fn set_parallel_threshold(&mut self, threshold: usize) {
+        self.parallel_threshold = threshold.max(1);
+    }
+
     /// Earliest `(machine, start)` with `start >= from` at which the job
     /// fits for `dur`; ties on start break toward the lower machine index.
     pub fn earliest_fit(&self, from: Time, dur: Time, demands: &[Amount]) -> (usize, Time) {
+        let best = if self.machines.len() >= self.parallel_threshold {
+            self.earliest_fit_parallel(from, dur, demands)
+        } else {
+            Self::earliest_fit_sequential(&self.machines, from, dur, demands)
+        };
+        debug_assert!(best.1.is_finite());
+        best
+    }
+
+    /// The cutoff-pruned sequential scan: each machine only searches below
+    /// the best start found so far, and the scan stops outright once some
+    /// machine fits at the floor (no later machine can strictly beat it).
+    fn earliest_fit_sequential(
+        machines: &[MachineTimeline],
+        from: Time,
+        dur: Time,
+        demands: &[Amount],
+    ) -> (usize, Time) {
+        let floor = from.max(0.0);
         let mut best = (0usize, f64::INFINITY);
-        for (m, tl) in self.machines.iter().enumerate() {
-            let s = tl.earliest_fit(from, dur, demands);
+        for (m, tl) in machines.iter().enumerate() {
+            if let Some(s) = tl.earliest_fit_bounded(from, dur, demands, best.1) {
+                best = (m, s);
+                if s <= floor {
+                    break;
+                }
+            }
+        }
+        best
+    }
+
+    /// The scoped-thread scan for wide clusters: contiguous machine chunks
+    /// are searched concurrently, sharing a relaxed atomic best-so-far as a
+    /// pruning bound. Chunks report results `<=` the shared bound (one ulp
+    /// of slack) so that the deterministic in-order reduction can still
+    /// resolve ties toward the lower machine index.
+    fn earliest_fit_parallel(&self, from: Time, dur: Time, demands: &[Amount]) -> (usize, Time) {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(MAX_SCAN_THREADS)
+            .min(self.machines.len());
+        if threads <= 1 {
+            return Self::earliest_fit_sequential(&self.machines, from, dur, demands);
+        }
+        let chunk_len = self.machines.len().div_ceil(threads);
+        let shared_best = AtomicU64::new(f64::INFINITY.to_bits());
+        let chunk_results: Vec<(usize, Time)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .machines
+                .chunks(chunk_len)
+                .enumerate()
+                .map(|(c, machines)| {
+                    let shared_best = &shared_best;
+                    scope.spawn(move || {
+                        let mut local = (0usize, f64::INFINITY);
+                        for (k, tl) in machines.iter().enumerate() {
+                            let global = f64::from_bits(shared_best.load(Ordering::Relaxed));
+                            // Allow equality with the global bound: a tie
+                            // must survive to the reduction, where machine
+                            // order decides it.
+                            let slack = if global.is_finite() {
+                                global.next_up()
+                            } else {
+                                f64::INFINITY
+                            };
+                            let cutoff = local.1.min(slack);
+                            if let Some(s) = tl.earliest_fit_bounded(from, dur, demands, cutoff) {
+                                if s < local.1 {
+                                    local = (c * chunk_len + k, s);
+                                }
+                                let mut cur = shared_best.load(Ordering::Relaxed);
+                                while f64::from_bits(cur) > s {
+                                    match shared_best.compare_exchange_weak(
+                                        cur,
+                                        s.to_bits(),
+                                        Ordering::Relaxed,
+                                        Ordering::Relaxed,
+                                    ) {
+                                        Ok(_) => break,
+                                        Err(observed) => cur = observed,
+                                    }
+                                }
+                            }
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("timeline scan thread panicked"))
+                .collect()
+        });
+        let mut best = (0usize, f64::INFINITY);
+        for (m, s) in chunk_results {
             if s < best.1 {
                 best = (m, s);
             }
         }
-        debug_assert!(best.1.is_finite());
         best
     }
 
@@ -341,5 +778,128 @@ mod tests {
         tl.compact_before(9.0);
         assert_eq!(tl.earliest_fit(10.0, 2.0, &d(&[0.6])), before);
         assert!(tl.num_segments() <= 4);
+    }
+
+    #[test]
+    fn compaction_advances_the_watermark() {
+        let mut tl = MachineTimeline::new(1);
+        assert_eq!(tl.compaction_watermark(), 0.0);
+        tl.commit(1.0, 2.0, &d(&[0.5]));
+        tl.commit(4.0, 2.0, &d(&[0.5]));
+        tl.compact_before(5.0);
+        // The kept segment starts at the last breakpoint <= 5, i.e. 4.0.
+        assert_eq!(tl.compaction_watermark(), 4.0);
+        // Queries at or after the watermark remain exact.
+        assert_eq!(tl.usage_at(4.5), &d(&[0.5])[..]);
+        assert_eq!(tl.earliest_fit(4.0, 3.0, &d(&[0.6])), 6.0);
+        // Compacting below the watermark never regresses it.
+        tl.compact_before(0.0);
+        assert_eq!(tl.compaction_watermark(), 4.0);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "compacted away")]
+    fn pre_watermark_usage_query_is_rejected_in_debug() {
+        let mut tl = MachineTimeline::new(1);
+        tl.commit(1.0, 2.0, &d(&[0.5]));
+        tl.commit(5.0, 2.0, &d(&[0.5]));
+        tl.compact_before(6.0);
+        let _ = tl.usage_at(0.5);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "compacted away")]
+    fn pre_watermark_earliest_fit_is_rejected_in_debug() {
+        let mut tl = MachineTimeline::new(1);
+        tl.commit(1.0, 2.0, &d(&[0.5]));
+        tl.commit(5.0, 2.0, &d(&[0.5]));
+        tl.compact_before(6.0);
+        let _ = tl.earliest_fit(0.0, 1.0, &d(&[0.1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds capacity")]
+    fn commit_capacity_check_holds_in_every_profile() {
+        // No debug_assert here: an over-commit must abort in --release too.
+        let mut tl = MachineTimeline::new(1);
+        tl.commit(0.0, 4.0, &d(&[0.7]));
+        tl.commit(1.0, 2.0, &d(&[0.7]));
+    }
+
+    #[test]
+    fn skip_index_survives_many_fragmented_commits() {
+        // Enough commits to span several BLOCK-sized index blocks, with
+        // answers checked against fresh rebuilt timelines along the way.
+        let mut tl = MachineTimeline::new(2);
+        for i in 0..(3 * BLOCK) {
+            let start = (i * 2) as f64 + 0.5;
+            tl.commit(start, 1.0, &d(&[0.8, 0.3]));
+        }
+        assert!(tl.num_segments() > 2 * BLOCK);
+        // The gaps between commits are exactly 1 long: a 1-long 0.5-demand
+        // job fits in the first inter-commit gap, a 1.5-long one only after
+        // the last commitment.
+        assert_eq!(tl.earliest_fit(0.0, 1.0, &d(&[0.5, 0.5])), 1.5);
+        let last_end = ((3 * BLOCK - 1) * 2) as f64 + 1.5;
+        assert_eq!(tl.earliest_fit(0.6, 1.5, &d(&[0.5, 0.5])), last_end);
+    }
+
+    #[test]
+    fn hint_cache_survives_reads_and_dies_on_commit() {
+        let mut tl = MachineTimeline::new(1);
+        tl.commit(0.0, 4.0, &d(&[0.8]));
+        let probe = d(&[0.5]);
+        assert_eq!(tl.earliest_fit(0.0, 2.0, &probe), 4.0);
+        // Cached: same query, and a query whose `from` lies below the
+        // cached result, answer identically.
+        assert_eq!(tl.earliest_fit(0.0, 2.0, &probe), 4.0);
+        assert_eq!(tl.earliest_fit(3.0, 2.0, &probe), 4.0);
+        // A commit invalidates: the same probe must now see the new block.
+        tl.commit(4.0, 2.0, &d(&[0.8]));
+        assert_eq!(tl.earliest_fit(0.0, 2.0, &probe), 6.0);
+    }
+
+    #[test]
+    fn bounded_scan_prunes_but_never_lies() {
+        let mut tl = MachineTimeline::new(1);
+        tl.commit(0.0, 10.0, &d(&[0.9]));
+        let probe = d(&[0.5]);
+        assert_eq!(tl.earliest_fit_bounded(0.0, 1.0, &probe, 20.0), Some(10.0));
+        assert_eq!(tl.earliest_fit_bounded(0.0, 1.0, &probe, 10.0), None);
+        assert_eq!(tl.earliest_fit_bounded(0.0, 1.0, &probe, 5.0), None);
+        // The None above must not have poisoned the cache.
+        assert_eq!(tl.earliest_fit(0.0, 1.0, &probe), 10.0);
+    }
+
+    #[test]
+    fn parallel_and_sequential_cluster_scans_agree() {
+        use mris_types::{Job, JobId};
+        let mut cl = ClusterTimelines::new(9, 2);
+        for i in 0..40u32 {
+            let j = Job::from_fractions(
+                JobId(i),
+                0.0,
+                1.0 + (i % 5) as f64,
+                1.0,
+                &[0.2 + 0.1 * (i % 7) as f64, 0.3],
+            );
+            cl.place_earliest(&j, (i % 3) as f64);
+        }
+        let probe = d(&[0.6, 0.6]);
+        let mut parallel = cl.clone();
+        parallel.set_parallel_threshold(1);
+        let mut sequential = cl.clone();
+        sequential.set_parallel_threshold(usize::MAX);
+        for from in [0.0, 1.5, 7.0, 30.0] {
+            for dur in [0.5, 2.0, 9.0] {
+                assert_eq!(
+                    parallel.earliest_fit(from, dur, &probe),
+                    sequential.earliest_fit(from, dur, &probe),
+                    "from {from}, dur {dur}"
+                );
+            }
+        }
     }
 }

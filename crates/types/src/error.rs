@@ -103,6 +103,14 @@ pub enum SchedulingError {
         /// The simulated time of the premature placement.
         now: f64,
     },
+    /// A policy referenced a machine index outside the cluster.
+    InvalidMachine {
+        /// The out-of-range machine index.
+        machine: usize,
+        /// Number of machines in the cluster (valid indices are
+        /// `0..num_machines`).
+        num_machines: usize,
+    },
     /// A policy started a job on a machine lacking capacity for it.
     DoesNotFit {
         /// Offending job.
@@ -130,6 +138,13 @@ impl std::fmt::Display for SchedulingError {
             SchedulingError::PlacedBeforeRelease { job, release, now } => write!(
                 f,
                 "policy placed {job} at time {now} before its release {release}"
+            ),
+            SchedulingError::InvalidMachine {
+                machine,
+                num_machines,
+            } => write!(
+                f,
+                "policy referenced machine {machine}, but the cluster has {num_machines} machines"
             ),
             SchedulingError::DoesNotFit { job, machine } => write!(
                 f,

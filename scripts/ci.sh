@@ -23,4 +23,16 @@ cargo test -q --offline --workspace
 echo "==> benches compile under --features criterion"
 cargo build --offline -p mris-bench --features criterion --benches
 
+echo "==> timeline bench smoke run + schema check"
+mkdir -p results
+cargo run --release --offline -p mris-bench --bin timeline -- \
+  --smoke --out results/BENCH_timeline_smoke.json >/dev/null
+for key in '"bench": "timeline"' '"mode": "smoke"' '"workloads"' \
+  '"name": "trace_replay"' '"name": "synthetic_churn"' '"name": "parallel_scan"' \
+  '"ops_per_sec"' '"baseline_ops_per_sec"' '"speedup"' '"segments"' \
+  '"query_ns_p50"' '"query_ns_p99"'; do
+  grep -qF "$key" results/BENCH_timeline_smoke.json \
+    || { echo "BENCH_timeline_smoke.json is missing $key" >&2; exit 1; }
+done
+
 echo "CI OK"

@@ -1,0 +1,125 @@
+//! Hardening regressions for the committed-timeline hot path: release-build
+//! capacity enforcement, compaction watermarks, typed machine-index errors,
+//! and sequential/parallel cluster-scan agreement — all through the public
+//! facade, the way downstream policies consume the crate.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use mris::sim::{run_online, ClusterTimelines, Dispatcher, MachineTimeline, OnlinePolicy};
+use mris::types::{amount_from_fraction, Amount, Instance, Job, JobId, SchedulingError, Time};
+
+fn d(fracs: &[f64]) -> Vec<Amount> {
+    fracs.iter().copied().map(amount_from_fraction).collect()
+}
+
+/// The capacity bound in `commit` must hold in **every** build profile —
+/// this test passes under both `cargo test` and `cargo test --release`
+/// because the check is a hard assertion, not a `debug_assert!`. Before the
+/// fix, a caller bug silently over-committed the timeline in `--release`
+/// and corrupted every later feasibility answer.
+#[test]
+fn over_commit_aborts_in_release_semantics_and_preserves_the_timeline() {
+    let mut tl = MachineTimeline::new(2);
+    tl.commit(0.0, 10.0, &d(&[0.7, 0.2]));
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        tl.commit(5.0, 2.0, &d(&[0.7, 0.2]));
+    }))
+    .expect_err("over-commit must panic in every profile");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()).unwrap());
+    assert!(msg.contains("exceeds capacity"), "panic message: {msg}");
+    // The step function is semantically unchanged: the failed commit
+    // materialized at most already-implied breakpoints, never usage.
+    assert_eq!(tl.usage_at(5.5), &d(&[0.7, 0.2])[..]);
+    assert_eq!(tl.usage_at(11.0), &d(&[0.0, 0.0])[..]);
+    assert!(tl.is_feasible(0.0, 10.0, &d(&[0.3, 0.3])));
+    assert_eq!(tl.earliest_fit(0.0, 1.0, &d(&[0.7, 0.2])), 10.0);
+}
+
+#[test]
+fn compaction_watermark_is_observable_and_monotone() {
+    let mut tl = MachineTimeline::new(1);
+    tl.commit(0.0, 2.0, &d(&[0.5]));
+    tl.commit(3.0, 2.0, &d(&[0.5]));
+    tl.commit(8.0, 4.0, &d(&[0.9]));
+    assert_eq!(tl.compaction_watermark(), 0.0);
+    tl.compact_before(6.0);
+    // The retained prefix starts at the last breakpoint <= 6, i.e. 5.0.
+    assert_eq!(tl.compaction_watermark(), 5.0);
+    // Post-watermark answers stay exact after compaction: the gap [5, 8)
+    // takes a duration-3 job, but a duration-4 one must wait out [8, 12).
+    assert_eq!(tl.earliest_fit(5.0, 3.0, &d(&[0.5])), 5.0);
+    assert_eq!(tl.earliest_fit(5.0, 4.0, &d(&[0.5])), 12.0);
+    assert!(tl.is_feasible(5.0, 3.0, &d(&[0.1])));
+    // Watermarks never move backwards.
+    tl.compact_before(1.0);
+    assert_eq!(tl.compaction_watermark(), 5.0);
+}
+
+/// A policy that targets a machine index outside the cluster: the driver
+/// must surface `SchedulingError::InvalidMachine`, not panic on a slice
+/// index deep inside `ClusterState::fits`.
+#[test]
+fn online_driver_reports_invalid_machine_as_typed_error() {
+    struct OffByOne;
+    impl OnlinePolicy for OffByOne {
+        fn on_arrivals(&mut self, _now: Time, _arrived: &[JobId], _inst: &Instance) {}
+        fn dispatch(
+            &mut self,
+            d: &mut Dispatcher<'_>,
+            _freed: &[usize],
+        ) -> Result<(), SchedulingError> {
+            let machines = d.cluster().num_machines();
+            d.place(machines, JobId(0))
+        }
+    }
+    let instance = Instance::new(
+        vec![Job::from_fractions(JobId(0), 0.0, 1.0, 1.0, &[0.2])],
+        1,
+    )
+    .unwrap();
+    let err = run_online(&instance, 3, &mut OffByOne).unwrap_err();
+    assert_eq!(
+        err,
+        SchedulingError::InvalidMachine {
+            machine: 3,
+            num_machines: 3
+        }
+    );
+    assert!(err.to_string().contains("machine 3"));
+}
+
+/// The threaded cluster scan is an internal optimization: forcing it on and
+/// off over an identically-committed cluster must give bit-identical
+/// placements, including machine tie-breaks.
+#[test]
+fn forced_parallel_scan_places_identically_to_sequential() {
+    let jobs: Vec<Job> = (0..120)
+        .map(|i| {
+            Job::from_fractions(
+                JobId(i),
+                (i % 7) as f64 * 0.5,
+                0.5 + (i % 9) as f64,
+                1.0,
+                &[
+                    0.1 + 0.11 * (i % 8) as f64,
+                    0.05 * (i % 13) as f64,
+                    0.25 + 0.15 * (i % 5) as f64,
+                ],
+            )
+        })
+        .collect();
+    let mut sequential = ClusterTimelines::new(12, 3);
+    sequential.set_parallel_threshold(usize::MAX);
+    let mut parallel = ClusterTimelines::new(12, 3);
+    parallel.set_parallel_threshold(1);
+    for job in &jobs {
+        let got_seq = sequential.place_earliest(job, job.release);
+        let got_par = parallel.place_earliest(job, job.release);
+        assert_eq!(got_seq, got_par, "job {}", job.id);
+    }
+    assert_eq!(sequential.horizon(), parallel.horizon());
+    assert_eq!(sequential.total_segments(), parallel.total_segments());
+}
