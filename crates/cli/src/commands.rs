@@ -7,7 +7,9 @@ use mris_trace::{instance_to_csv, parse_instance_csv, AzureTrace, AzureTraceConf
 use mris_types::Instance;
 
 use crate::schedule_io::{parse_schedule_csv, schedule_to_csv};
-use mris_core::registry::{algorithm_by_name, known_algorithms};
+use mris_core::registry::{algorithm_by_name, known_algorithms, online_policy_by_name};
+use mris_sim::{run_online_chaos, suggested_horizon, FaultPlan, PoissonFaultConfig};
+use mris_types::RestartSemantics;
 
 /// A CLI failure: message for the user, non-zero exit.
 #[derive(Debug)]
@@ -40,7 +42,9 @@ fn usage() -> String {
          \x20 mris generate --jobs N [--seed S] [--out trace.csv]\n\
          \x20 mris schedule --trace trace.csv --algo NAME --machines M [--out schedule.csv]\n\
          \x20 mris compare --trace trace.csv --machines M [--algos a,b,c]\n\
-         \x20 mris validate --trace trace.csv --schedule schedule.csv --machines M\n\n\
+         \x20 mris validate --trace trace.csv --schedule schedule.csv --machines M\n\
+         \x20 mris chaos --trace trace.csv --machines M [--algos a,b,c] [--rate X]\n\
+         \x20      [--mttr-frac F] [--seed S] [--restart full|aging] [--aging-factor K]\n\n\
          ALGORITHMS:\n",
     );
     for (name, desc) in known_algorithms() {
@@ -109,6 +113,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "schedule" => schedule(&Flags::parse(rest)?),
         "compare" => compare(&Flags::parse(rest)?),
         "validate" => validate(&Flags::parse(rest)?),
+        "chaos" => chaos(&Flags::parse(rest)?),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(CliError(format!(
             "unknown command '{other}'\n\n{}",
@@ -232,6 +237,88 @@ fn validate(flags: &Flags) -> Result<String, CliError> {
     }
 }
 
+fn chaos(flags: &Flags) -> Result<String, CliError> {
+    let instance = load_instance(flags.require("trace")?)?;
+    let machines: usize = flags.get_parsed("machines", 20)?;
+    let rate: f64 = flags.get_parsed("rate", 1.0)?;
+    let mttr_frac: f64 = flags.get_parsed("mttr-frac", 0.05)?;
+    let seed: u64 = flags.get_parsed("seed", 0xC4A05)?;
+    let aging_factor: f64 = flags.get_parsed("aging-factor", 2.0)?;
+    if !rate.is_finite() || rate < 0.0 {
+        return Err(CliError(format!(
+            "--rate must be finite and >= 0, got {rate}"
+        )));
+    }
+    if !mttr_frac.is_finite() || mttr_frac <= 0.0 {
+        return Err(CliError(format!(
+            "--mttr-frac must be finite and > 0, got {mttr_frac}"
+        )));
+    }
+    let restart = match flags.get("restart").unwrap_or("full") {
+        "full" => RestartSemantics::FullRestart,
+        "aging" => RestartSemantics::WeightAging {
+            factor: aging_factor,
+        },
+        other => {
+            return Err(CliError(format!(
+                "--restart must be 'full' or 'aging', got '{other}'"
+            )))
+        }
+    };
+    let names = flags
+        .get("algos")
+        .unwrap_or("mris,pq-wsjf,tetris,bf-exec,ca-pq");
+    let horizon = suggested_horizon(&instance, machines);
+    let plan = if rate == 0.0 {
+        FaultPlan::none()
+    } else {
+        FaultPlan::poisson(&PoissonFaultConfig {
+            seed,
+            num_machines: machines,
+            horizon,
+            mtbf: horizon / rate,
+            mttr: mttr_frac * horizon,
+        })
+    };
+    let mut table = Table::new(vec![
+        "algorithm",
+        "AWCT (no faults)",
+        "AWCT (chaos)",
+        "inflation",
+        "failures",
+        "re-releases",
+    ]);
+    for name in names.split(',') {
+        let algo = algorithm_by_name(name.trim())?;
+        let baseline = algo.schedule(&instance, machines);
+        let mut policy = online_policy_by_name(name.trim(), &instance, machines)?;
+        let outcome = run_online_chaos(&instance, machines, policy.as_mut(), &plan, restart)
+            .map_err(|e| CliError(format!("{}: chaos run failed: {e}", algo.name())))?;
+        outcome
+            .log
+            .verify()
+            .map_err(|v| CliError(format!("{}: invariant violation: {v}", algo.name())))?;
+        let base_awct = baseline.awct(&instance);
+        let chaos_awct = outcome.schedule.awct(&instance);
+        table.push_row(vec![
+            algo.name(),
+            format!("{base_awct:.1}"),
+            format!("{chaos_awct:.1}"),
+            format!("{:.3}", chaos_awct / base_awct),
+            format!("{}", outcome.log.failures.len()),
+            format!("{}", outcome.log.total_re_releases()),
+        ]);
+    }
+    Ok(format!(
+        "{} jobs, {} resources, {machines} machines; failure rate {rate} \
+         (per-machine MTBF = horizon/rate, horizon {horizon:.1}), restart = {}\n\n{}",
+        instance.len(),
+        instance.num_resources(),
+        restart.label(),
+        table.to_markdown()
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -313,6 +400,77 @@ mod tests {
             "{out}"
         );
         assert!(out.contains("AWCT/LB"));
+    }
+
+    #[test]
+    fn chaos_reports_inflation_table() {
+        let trace_path = tmp("chaos_trace.csv");
+        run(&s(&[
+            "generate",
+            "--jobs",
+            "120",
+            "--out",
+            trace_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let out = run(&s(&[
+            "chaos",
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--machines",
+            "3",
+            "--algos",
+            "mris,pq-wsjf",
+            "--rate",
+            "1.0",
+            "--seed",
+            "7",
+        ]))
+        .unwrap();
+        assert!(
+            out.contains("MRIS-WSJF") && out.contains("PQ-WSJF"),
+            "{out}"
+        );
+        assert!(
+            out.contains("inflation") && out.contains("re-releases"),
+            "{out}"
+        );
+        // rate 0 degenerates to the failure-free run: inflation exactly 1.
+        let out = run(&s(&[
+            "chaos",
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--machines",
+            "3",
+            "--algos",
+            "pq-wsjf",
+            "--rate",
+            "0",
+        ]))
+        .unwrap();
+        assert!(out.contains("1.000"), "{out}");
+        // Aging restart is accepted; bogus restart is not.
+        run(&s(&[
+            "chaos",
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--machines",
+            "3",
+            "--algos",
+            "pq-wsjf",
+            "--restart",
+            "aging",
+        ]))
+        .unwrap();
+        let err = run(&s(&[
+            "chaos",
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--restart",
+            "sideways",
+        ]))
+        .unwrap_err();
+        assert!(err.0.contains("'full' or 'aging'"), "{err}");
     }
 
     #[test]

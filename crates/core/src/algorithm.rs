@@ -64,7 +64,7 @@ pub struct IterationStats {
 /// The folding binary-searches `Solution::selected`, relying on the
 /// [`KnapsackSolver`] contract that selections are strictly increasing;
 /// that invariant is re-checked here in debug builds.
-fn select_batch(solver: &dyn KnapsackSolver, items: &[Item], zeta: f64) -> Vec<usize> {
+pub(crate) fn select_batch(solver: &dyn KnapsackSolver, items: &[Item], zeta: f64) -> Vec<usize> {
     let solution = solver.solve(items, zeta);
     debug_assert!(
         solution.selected.windows(2).all(|w| w[0] < w[1]),

@@ -29,6 +29,7 @@ mod backfill;
 mod config;
 mod deadline;
 mod ffd;
+mod online;
 mod oracle;
 pub mod registry;
 
@@ -37,7 +38,9 @@ pub use backfill::{batch_makespan_bound, place_batch};
 pub use config::{KnapsackChoice, MrisConfig};
 pub use deadline::{max_weight_by_deadline, DeadlineSelection};
 pub use ffd::place_batch_ffd;
+pub use online::MrisOnline;
 pub use oracle::{best_list_schedule, list_schedule};
 pub use registry::{
     algorithm_by_name, algorithms_by_names, comparison_algorithms, known_algorithms,
+    online_policy_by_name,
 };

@@ -1,0 +1,379 @@
+//! MRIS as an incremental [`OnlinePolicy`], for the event-driven and
+//! fault-injection drivers.
+//!
+//! [`Mris`](crate::Mris) constructs the whole schedule in one offline pass
+//! over the geometric interval grid. [`MrisOnline`] runs the *same*
+//! Algorithm 1 loop incrementally: iteration `k` executes when the
+//! simulated clock reaches `gamma_k` (requested through
+//! [`OnlinePolicy::next_wakeup`]), commits its batch on the shared
+//! [`ClusterTimelines`], and the committed starts are realized on the live
+//! cluster as their times arrive. Under a fault-free run this produces a
+//! schedule byte-identical to the offline pass (pinned by the chaos
+//! property suite); under machine failures it additionally:
+//!
+//! * truncates the failed machine's committed timeline
+//!   ([`ClusterTimelines::reset_machine`]) and blocks out the downtime with
+//!   a full-capacity commitment, and
+//! * re-plans *orphaned* jobs — committed to the failed machine but not yet
+//!   started — in later iterations, alongside the killed jobs the driver
+//!   re-releases.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use mris_knapsack::{Cadp, GreedyConstraint, Item, KnapsackSolver};
+use mris_sim::{ClusterTimelines, Dispatcher, OnlinePolicy, OrdTime};
+use mris_types::{Instance, JobId, SchedulingError, Time, CAPACITY};
+
+use crate::algorithm::select_batch;
+use crate::backfill::place_batch;
+use crate::config::{KnapsackChoice, MrisConfig};
+
+/// The incremental MRIS policy. Construct per run (it is stateful) with
+/// [`MrisOnline::new`], then drive it with
+/// [`run_online_chaos`](mris_sim::run_online_chaos).
+pub struct MrisOnline {
+    config: MrisConfig,
+    solver: Box<dyn KnapsackSolver>,
+    timelines: ClusterTimelines,
+    num_machines: usize,
+    num_resources: usize,
+    gamma0: Time,
+    /// Current interval endpoint `gamma_k`; iteration `k` runs when the
+    /// clock reaches it.
+    gamma: Time,
+    k: usize,
+    /// Jobs announced but not yet committed to a machine, in id order
+    /// (matching the offline loop's pending-vector order).
+    remaining: BTreeSet<JobId>,
+    /// When each job (re-)entered the queue: release time for original
+    /// arrivals, the kill/orphan instant for fault victims. Mirrors the
+    /// offline `release <= gamma` eligibility test.
+    available_from: Vec<Time>,
+    /// Committed placements not yet realized on the live cluster, keyed by
+    /// start time.
+    pending: BTreeMap<(OrdTime, JobId), usize>,
+}
+
+impl MrisOnline {
+    /// An incremental MRIS policy for one run over `instance`.
+    pub fn new(config: MrisConfig, instance: &Instance, num_machines: usize) -> Self {
+        config.validate();
+        assert!(num_machines > 0);
+        // Same grid base as the offline pass: gamma_0 = min_proc (see
+        // `Mris::schedule_with_log`); the value is irrelevant for an empty
+        // instance but must be positive for the geometric grid.
+        let gamma0 = if instance.is_empty() {
+            1.0
+        } else {
+            instance.stats().min_proc
+        };
+        debug_assert!(gamma0 > 0.0);
+        let solver: Box<dyn KnapsackSolver> = match config.knapsack {
+            KnapsackChoice::Cadp => Box::new(Cadp::new(config.epsilon)),
+            KnapsackChoice::Greedy => Box::new(GreedyConstraint),
+            KnapsackChoice::GreedyHalf => Box::new(mris_knapsack::GreedyHalf),
+        };
+        MrisOnline {
+            config,
+            solver,
+            timelines: ClusterTimelines::new(num_machines, instance.num_resources()),
+            num_machines,
+            num_resources: instance.num_resources(),
+            gamma0,
+            gamma: gamma0,
+            k: 0,
+            remaining: BTreeSet::new(),
+            available_from: vec![0.0; instance.len()],
+            pending: BTreeMap::new(),
+        }
+    }
+
+    /// One Algorithm 1 iteration at the current `gamma_k`, mirroring the
+    /// offline loop body exactly: eligibility filter, knapsack batch
+    /// selection with budget `zeta_k`, heuristic-ordered earliest-fit
+    /// placement with floor `gamma_k`. Selected jobs move from `remaining`
+    /// to `pending`; `gamma` always advances.
+    fn run_iteration(&mut self, instance: &Instance) {
+        let gamma = self.gamma;
+        let eligible: Vec<JobId> = self
+            .remaining
+            .iter()
+            .copied()
+            .filter(|&j| {
+                instance.job(j).proc_time <= gamma && self.available_from[j.index()] <= gamma
+            })
+            .collect();
+        if !eligible.is_empty() {
+            let zeta = (self.num_resources * self.num_machines) as f64 * gamma;
+            let items: Vec<Item> = eligible
+                .iter()
+                .map(|&j| {
+                    let job = instance.job(j);
+                    Item::new(job.weight, job.volume())
+                })
+                .collect();
+            let mut batch: Vec<JobId> = select_batch(self.solver.as_ref(), &items, zeta)
+                .into_iter()
+                .map(|i| eligible[i])
+                .collect();
+            if !batch.is_empty() {
+                let floor = if self.config.backfill {
+                    gamma
+                } else {
+                    gamma.max(self.timelines.horizon())
+                };
+                batch.sort_by(|&a, &b| {
+                    OrdTime(self.config.heuristic.key(instance.job(a)))
+                        .cmp(&OrdTime(self.config.heuristic.key(instance.job(b))))
+                        .then(a.cmp(&b))
+                });
+                let placements = place_batch(&mut self.timelines, instance, &batch, floor);
+                for &(j, m, s) in &placements {
+                    self.pending.insert((OrdTime(s), j), m);
+                    self.remaining.remove(&j);
+                }
+            }
+        }
+        self.k += 1;
+        self.gamma = self.gamma0 * self.config.alpha.powi(self.k as i32);
+    }
+}
+
+impl OnlinePolicy for MrisOnline {
+    fn on_arrivals(&mut self, now: Time, arrived: &[JobId], _instance: &Instance) {
+        // The driver delivers originals exactly at their release and
+        // re-releases at the kill instant, so `now` is the right
+        // availability either way.
+        for &j in arrived {
+            self.remaining.insert(j);
+            self.available_from[j.index()] = now;
+        }
+    }
+
+    fn dispatch(
+        &mut self,
+        d: &mut Dispatcher<'_>,
+        _freed: &[usize],
+    ) -> Result<(), SchedulingError> {
+        let now = d.now();
+        // Run every iteration whose gamma_k has arrived. When the queue was
+        // empty the grid stalls; catch-up iterations for skipped gammas are
+        // provably empty (everything available by those gammas was already
+        // placed, and new arrivals have available_from = now > gamma), so
+        // no job is ever committed to a start in the past.
+        while !self.remaining.is_empty() && self.gamma <= now {
+            self.run_iteration(d.instance());
+        }
+        // Realize committed starts that are due.
+        while let Some((&(start, job), &machine)) = self.pending.first_key_value() {
+            if start.0 > now {
+                break;
+            }
+            self.pending.pop_first();
+            if d.cluster().is_up(machine) {
+                d.place(machine, job)?;
+            } else {
+                // Safety net: the failure hook re-queues commitments on a
+                // failed machine, but a zero-demand job can still be
+                // committed inside a downtime block (zero demand fits a
+                // full machine). Re-plan it from now.
+                self.remaining.insert(job);
+                self.available_from[job.index()] = now;
+            }
+        }
+        Ok(())
+    }
+
+    fn on_machine_failed(
+        &mut self,
+        now: Time,
+        machine: usize,
+        recover_at: Time,
+        _killed: &[JobId],
+        _instance: &Instance,
+    ) {
+        // Orphans: committed to the failed machine but not yet started.
+        // (Killed running jobs come back through on_arrivals.)
+        let orphaned: Vec<(OrdTime, JobId)> = self
+            .pending
+            .iter()
+            .filter(|&(_, &m)| m == machine)
+            .map(|(&key, _)| key)
+            .collect();
+        for key in orphaned {
+            self.pending.remove(&key);
+            self.remaining.insert(key.1);
+            self.available_from[key.1.index()] = now;
+        }
+        // Truncate the machine's committed timeline — every interval on it
+        // (past, running, planned) is invalidated at once — and block out
+        // the downtime so future iterations cannot plan into it.
+        self.timelines.reset_machine(machine);
+        self.timelines.commit(
+            machine,
+            now,
+            recover_at - now,
+            &vec![CAPACITY; self.num_resources],
+        );
+    }
+
+    fn next_wakeup(&self) -> Option<Time> {
+        let grid = (!self.remaining.is_empty()).then_some(self.gamma);
+        let realize = self.pending.first_key_value().map(|(&(s, _), _)| s.0);
+        match (grid, realize) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Mris;
+    use mris_schedulers::Scheduler;
+    use mris_sim::{run_online_chaos, FaultPlan};
+    use mris_types::{FaultEvent, FaultTarget, Job, RestartSemantics};
+
+    fn inst(jobs: Vec<Job>, r: usize) -> Instance {
+        Instance::from_unnumbered(jobs, r).unwrap()
+    }
+
+    fn mixed_instance() -> Instance {
+        inst(
+            (0..24)
+                .map(|i| {
+                    Job::from_fractions(
+                        JobId(0),
+                        (i % 7) as f64 * 0.9,
+                        1.0 + (i % 5) as f64,
+                        1.0 + (i % 3) as f64,
+                        &[0.1 + (i % 8) as f64 * 0.1, 0.05 * (i % 9) as f64],
+                    )
+                })
+                .collect(),
+            2,
+        )
+    }
+
+    #[test]
+    fn fault_free_run_matches_offline_mris() {
+        let instance = mixed_instance();
+        for machines in [1, 3] {
+            let offline = Mris::default().schedule(&instance, machines);
+            let mut policy = MrisOnline::new(MrisConfig::default(), &instance, machines);
+            let outcome = run_online_chaos(
+                &instance,
+                machines,
+                &mut policy,
+                &FaultPlan::none(),
+                RestartSemantics::FullRestart,
+            )
+            .unwrap();
+            assert_eq!(outcome.schedule, offline, "machines = {machines}");
+        }
+    }
+
+    #[test]
+    fn fault_free_run_matches_offline_for_variant_configs() {
+        let instance = mixed_instance();
+        for config in [
+            MrisConfig {
+                knapsack: KnapsackChoice::Greedy,
+                ..Default::default()
+            },
+            MrisConfig {
+                backfill: false,
+                ..Default::default()
+            },
+            MrisConfig {
+                heuristic: mris_schedulers::SortHeuristic::Wsvf,
+                ..Default::default()
+            },
+        ] {
+            let offline = Mris::with_config(config).schedule(&instance, 2);
+            let mut policy = MrisOnline::new(config, &instance, 2);
+            let outcome = run_online_chaos(
+                &instance,
+                2,
+                &mut policy,
+                &FaultPlan::none(),
+                RestartSemantics::FullRestart,
+            )
+            .unwrap();
+            assert_eq!(outcome.schedule, offline, "{config:?}");
+        }
+    }
+
+    #[test]
+    fn survives_failures_and_replans_orphans() {
+        let instance = mixed_instance();
+        let plan = FaultPlan::from_events(vec![
+            FaultEvent {
+                at: 1.5,
+                downtime: 3.0,
+                target: FaultTarget::Machine(0),
+            },
+            FaultEvent {
+                at: 4.0,
+                downtime: 2.0,
+                target: FaultTarget::Busiest,
+            },
+        ]);
+        let mut policy = MrisOnline::new(MrisConfig::default(), &instance, 2);
+        let outcome = run_online_chaos(
+            &instance,
+            2,
+            &mut policy,
+            &plan,
+            RestartSemantics::FullRestart,
+        )
+        .unwrap();
+        // Complete, feasible (run_online_chaos validated stranding already),
+        // and consistent with the fault log.
+        assert!(outcome.schedule.is_complete());
+        outcome.log.verify().unwrap();
+        assert!(!outcome.log.failures.is_empty());
+        // No completed run overlaps a downtime *and* every start respects
+        // release times.
+        for a in outcome.schedule.assignments() {
+            assert!(a.start >= instance.job(a.job).release);
+        }
+    }
+
+    #[test]
+    fn weight_aging_run_completes() {
+        let instance = mixed_instance();
+        let plan = FaultPlan::from_events(vec![FaultEvent {
+            at: 2.0,
+            downtime: 1.0,
+            target: FaultTarget::Machine(1),
+        }]);
+        let mut policy = MrisOnline::new(MrisConfig::default(), &instance, 2);
+        let outcome = run_online_chaos(
+            &instance,
+            2,
+            &mut policy,
+            &plan,
+            RestartSemantics::WeightAging { factor: 2.0 },
+        )
+        .unwrap();
+        assert!(outcome.schedule.is_complete());
+        outcome.log.verify().unwrap();
+    }
+
+    #[test]
+    fn empty_instance_is_fine() {
+        let instance = Instance::new(vec![], 2).unwrap();
+        let mut policy = MrisOnline::new(MrisConfig::default(), &instance, 3);
+        let outcome = run_online_chaos(
+            &instance,
+            3,
+            &mut policy,
+            &FaultPlan::none(),
+            RestartSemantics::FullRestart,
+        )
+        .unwrap();
+        assert!(outcome.schedule.is_complete());
+    }
+}

@@ -4,8 +4,13 @@
 //! harness — resolves algorithms through this module, so adding an
 //! algorithm (or renaming one) is a one-place change.
 
-use crate::{KnapsackChoice, Mris, MrisConfig};
-use mris_schedulers::{BfExec, CaPq, Pq, Scheduler, SortHeuristic, Tetris};
+use crate::{KnapsackChoice, Mris, MrisConfig, MrisOnline};
+use mris_schedulers::{
+    BfExec, BfExecPolicy, CaPq, CaPqPolicy, Pq, PqPolicy, Scheduler, SortHeuristic, Tetris,
+    TetrisPolicy,
+};
+use mris_sim::OnlinePolicy;
+use mris_types::Instance;
 
 /// Names accepted by [`algorithm_by_name`], with a short description each.
 pub fn known_algorithms() -> Vec<(&'static str, &'static str)> {
@@ -86,6 +91,69 @@ pub fn algorithm_by_name(name: &str) -> Result<Box<dyn Scheduler>, String> {
     ))
 }
 
+/// Resolves the same names as [`algorithm_by_name`] into *stateful*
+/// [`OnlinePolicy`] instances for the event-driven and fault-injection
+/// drivers ([`mris_sim::run_online`], [`mris_sim::run_online_chaos`]).
+///
+/// Unlike [`algorithm_by_name`], this takes the instance and machine count:
+/// the policies are constructed per run (MRIS sizes its grid and timelines;
+/// CA-PQ receives the oracle gate, the instance's last release time). The
+/// returned policy, driven fault-free, reproduces the boxed scheduler's
+/// schedule exactly — pinned by the chaos determinism suite.
+pub fn online_policy_by_name(
+    name: &str,
+    instance: &Instance,
+    num_machines: usize,
+) -> Result<Box<dyn OnlinePolicy>, String> {
+    let lower = name.to_ascii_lowercase();
+    let mris = |config: MrisConfig| -> Box<dyn OnlinePolicy> {
+        Box::new(MrisOnline::new(config, instance, num_machines))
+    };
+    match lower.as_str() {
+        "mris" => return Ok(mris(MrisConfig::default())),
+        "mris-greedy" => {
+            return Ok(mris(MrisConfig {
+                knapsack: KnapsackChoice::Greedy,
+                ..Default::default()
+            }))
+        }
+        "mris-greedy-half" => {
+            return Ok(mris(MrisConfig {
+                knapsack: KnapsackChoice::GreedyHalf,
+                ..Default::default()
+            }))
+        }
+        "tetris" => return Ok(Box::new(TetrisPolicy::new(Tetris::default().eps))),
+        "bf-exec" | "bfexec" => return Ok(Box::new(BfExecPolicy::new())),
+        "ca-pq" | "capq" => {
+            return Ok(Box::new(CaPqPolicy::new(
+                SortHeuristic::Wsjf,
+                instance.stats().max_release,
+            )))
+        }
+        _ => {}
+    }
+    if let Some(suffix) = lower.strip_prefix("pq-") {
+        let heuristic: SortHeuristic = suffix.parse()?;
+        return Ok(Box::new(PqPolicy::new(heuristic)));
+    }
+    if let Some(suffix) = lower.strip_prefix("mris-") {
+        let heuristic: SortHeuristic = suffix.parse()?;
+        return Ok(mris(MrisConfig {
+            heuristic,
+            ..Default::default()
+        }));
+    }
+    Err(format!(
+        "unknown algorithm '{name}'; known: {}",
+        known_algorithms()
+            .iter()
+            .map(|(n, _)| *n)
+            .collect::<Vec<_>>()
+            .join(", ")
+    ))
+}
+
 /// Resolves a list of names in order; fails on the first unknown name.
 pub fn algorithms_by_names<I, S>(names: I) -> Result<Vec<Box<dyn Scheduler>>, String>
 where
@@ -155,6 +223,22 @@ mod tests {
         assert_eq!(algos[0].name(), "MRIS-WSJF");
         assert_eq!(algos[1].name(), "TETRIS");
         assert!(algorithms_by_names(["mris", "nope"]).is_err());
+    }
+
+    #[test]
+    fn online_policies_resolve_for_all_comparison_names() {
+        use mris_types::{Job, JobId};
+        let jobs = vec![
+            Job::from_fractions(JobId(0), 0.0, 2.0, 1.0, &[0.5]),
+            Job::from_fractions(JobId(1), 1.0, 1.0, 2.0, &[0.25]),
+        ];
+        let instance = Instance::new(jobs, 1).unwrap();
+        for name in ["mris", "pq-wsjf", "pq-wsvf", "tetris", "bf-exec", "ca-pq"] {
+            let mut policy = online_policy_by_name(name, &instance, 2).unwrap();
+            let schedule = mris_sim::run_online(&instance, 2, policy.as_mut()).unwrap();
+            schedule.validate(&instance).unwrap();
+        }
+        assert!(online_policy_by_name("nope", &instance, 2).is_err());
     }
 
     #[test]

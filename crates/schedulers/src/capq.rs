@@ -15,13 +15,28 @@ use mris_types::{Instance, JobId, Schedule, SchedulingError, Time};
 use crate::{Scheduler, SortHeuristic};
 
 /// The CA-PQ policy: holds every job until `gate` (the last release time),
-/// then behaves as offline PQ.
+/// then behaves as offline PQ. Use through [`CaPq`] unless composing your
+/// own driver loop (e.g. the fault-injection harness).
 #[derive(Debug, Clone)]
-struct CaPqPolicy {
+pub struct CaPqPolicy {
     heuristic: SortHeuristic,
     gate: Time,
     started: bool,
     pending: BTreeSet<(OrdTime, JobId)>,
+}
+
+impl CaPqPolicy {
+    /// A CA-PQ policy gating all dispatch until `gate` (callers pass the
+    /// instance's last release time — the oracle knowledge the paper
+    /// grants CA-PQ).
+    pub fn new(heuristic: SortHeuristic, gate: Time) -> Self {
+        CaPqPolicy {
+            heuristic,
+            gate,
+            started: false,
+            pending: BTreeSet::new(),
+        }
+    }
 }
 
 impl OnlinePolicy for CaPqPolicy {
@@ -96,12 +111,7 @@ impl Scheduler for CaPq {
         num_machines: usize,
     ) -> Result<Schedule, SchedulingError> {
         let gate = instance.stats().max_release;
-        let mut policy = CaPqPolicy {
-            heuristic: self.heuristic,
-            gate,
-            started: false,
-            pending: BTreeSet::new(),
-        };
+        let mut policy = CaPqPolicy::new(self.heuristic, gate);
         run_online(instance, num_machines, &mut policy)
     }
 }

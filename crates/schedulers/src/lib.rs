@@ -27,7 +27,7 @@ mod pq;
 mod tetris;
 
 pub use bfexec::{BfExec, BfExecPolicy};
-pub use capq::CaPq;
+pub use capq::{CaPq, CaPqPolicy};
 pub use heuristic::SortHeuristic;
 pub use pq::{NaivePqPolicy, Pq, PqPolicy};
 pub use tetris::{Tetris, TetrisPolicy};

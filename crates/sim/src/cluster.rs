@@ -10,12 +10,19 @@ use crate::OrdTime;
 /// The instantaneous state of `M` machines: per-machine available capacity
 /// (exact fixed-point) and the set of running jobs with their completion
 /// times. Used by online schedulers that start jobs at the current instant.
+///
+/// Machines can be *failed* ([`ClusterState::fail_machine`]): a down machine
+/// reports no capacity ([`ClusterState::fits`] is `false` for every demand),
+/// so first-fit scans and placement checks skip it until
+/// [`ClusterState::recover_machine`].
 #[derive(Debug, Clone)]
 pub struct ClusterState {
     num_machines: usize,
     num_resources: usize,
     /// Flattened `M x R` available capacity.
     avail: Vec<Amount>,
+    /// Per-machine failed flag; a down machine holds no capacity.
+    down: Vec<bool>,
     /// Min-heap of running jobs by completion time.
     running: BinaryHeap<Reverse<(OrdTime, u32, JobId)>>,
 }
@@ -29,6 +36,7 @@ impl ClusterState {
             num_machines,
             num_resources,
             avail: vec![CAPACITY; num_machines * num_resources],
+            down: vec![false; num_machines],
             running: BinaryHeap::new(),
         }
     }
@@ -51,10 +59,17 @@ impl ClusterState {
         &self.avail[m * self.num_resources..(m + 1) * self.num_resources]
     }
 
-    /// Whether `demands` fits on machine `m` right now.
+    /// Whether `demands` fits on machine `m` right now. Always `false` for a
+    /// failed machine.
     #[inline]
     pub fn fits(&self, m: usize, demands: &[Amount]) -> bool {
-        self.avail(m).iter().zip(demands).all(|(&a, &d)| d <= a)
+        !self.down[m] && self.avail(m).iter().zip(demands).all(|(&a, &d)| d <= a)
+    }
+
+    /// Whether machine `m` is currently up (not failed).
+    #[inline]
+    pub fn is_up(&self, m: usize) -> bool {
+        !self.down[m]
     }
 
     /// The first machine (lowest index) where `demands` fits now, if any.
@@ -107,6 +122,81 @@ impl ClusterState {
             }
             freed.push(m);
         }
+    }
+
+    /// Like [`ClusterState::complete_due`], but records `(job, machine)` for
+    /// each popped completion instead of just the freed machine. Used by the
+    /// fault-aware driver, which needs per-job completion records for its
+    /// invariant checker.
+    pub fn complete_due_recorded(
+        &mut self,
+        now: Time,
+        instance: &Instance,
+        completed: &mut Vec<(JobId, usize)>,
+    ) {
+        while let Some(Reverse((t, m, job))) = self.running.peek().copied() {
+            if t.0 > now {
+                break;
+            }
+            self.running.pop();
+            let m = m as usize;
+            let demands = &instance.job(job).demands;
+            for (a, &d) in self.avail[m * self.num_resources..(m + 1) * self.num_resources]
+                .iter_mut()
+                .zip(demands.iter())
+            {
+                *a += d;
+                debug_assert!(*a <= CAPACITY);
+            }
+            completed.push((job, m));
+        }
+    }
+
+    /// Iterates over the running jobs as `(completion_time, machine, job)`,
+    /// in heap (unspecified) order.
+    pub fn running_jobs(&self) -> impl Iterator<Item = (Time, usize, JobId)> + '_ {
+        self.running
+            .iter()
+            .map(|&Reverse((t, m, job))| (t.0, m as usize, job))
+    }
+
+    /// Fails machine `m`: every job running on it is killed (its completion
+    /// event removed), the machine's capacity is restored to full (held
+    /// behind the down flag, so nothing can use it), and the machine reports
+    /// no capacity until [`ClusterState::recover_machine`]. Returns the
+    /// killed jobs sorted by id.
+    ///
+    /// # Panics
+    ///
+    /// If `m` is already down — the caller (the fault-event queue) is
+    /// responsible for absorbing failures targeting down machines.
+    pub fn fail_machine(&mut self, m: usize) -> Vec<JobId> {
+        assert!(!self.down[m], "machine {m} failed while already down");
+        self.down[m] = true;
+        let mut killed = Vec::new();
+        let mut kept = Vec::with_capacity(self.running.len());
+        for Reverse((t, machine, job)) in self.running.drain() {
+            if machine as usize == m {
+                killed.push(job);
+            } else {
+                kept.push(Reverse((t, machine, job)));
+            }
+        }
+        self.running = BinaryHeap::from(kept);
+        self.avail[m * self.num_resources..(m + 1) * self.num_resources].fill(CAPACITY);
+        killed.sort_unstable();
+        killed
+    }
+
+    /// Brings a failed machine back up at full capacity.
+    ///
+    /// # Panics
+    ///
+    /// If `m` is not down.
+    pub fn recover_machine(&mut self, m: usize) {
+        assert!(self.down[m], "machine {m} recovered while already up");
+        self.down[m] = false;
+        debug_assert!(self.avail(m).iter().all(|&a| a == CAPACITY));
     }
 }
 
@@ -177,6 +267,67 @@ mod tests {
         freed.sort_unstable();
         assert_eq!(freed, vec![0, 1]);
         assert_eq!(cs.next_completion(), None);
+    }
+
+    #[test]
+    fn fail_kills_running_jobs_and_blocks_fits() {
+        let inst = instance(vec![job(0, 2.0, 0.3), job(1, 5.0, 0.3), job(2, 3.0, 0.3)]);
+        let mut cs = ClusterState::new(2, 1);
+        cs.start(0, inst.job(JobId(0)), 0.0);
+        cs.start(0, inst.job(JobId(1)), 0.0);
+        cs.start(1, inst.job(JobId(2)), 0.0);
+        let killed = cs.fail_machine(0);
+        assert_eq!(killed, vec![JobId(0), JobId(1)]);
+        assert!(!cs.is_up(0));
+        assert!(cs.is_up(1));
+        // Down machines report no capacity, even for a zero demand.
+        assert!(!cs.fits(0, &inst.job(JobId(0)).demands));
+        assert_eq!(cs.first_fit(&inst.job(JobId(0)).demands), Some(1));
+        // The survivor on machine 1 still completes normally.
+        assert_eq!(cs.next_completion(), Some(3.0));
+        let mut freed = Vec::new();
+        cs.complete_due(3.0, &inst, &mut freed);
+        assert_eq!(freed, vec![1]);
+        // Recovery restores full capacity.
+        cs.recover_machine(0);
+        assert!(cs.is_up(0));
+        assert!(cs.fits(0, &inst.job(JobId(0)).demands));
+    }
+
+    #[test]
+    fn fail_on_idle_machine_kills_nothing() {
+        let mut cs = ClusterState::new(2, 1);
+        assert_eq!(cs.fail_machine(1), vec![]);
+        assert!(!cs.is_up(1));
+        cs.recover_machine(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already down")]
+    fn double_fail_panics() {
+        let mut cs = ClusterState::new(1, 1);
+        cs.fail_machine(0);
+        cs.fail_machine(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already up")]
+    fn recover_up_machine_panics() {
+        let mut cs = ClusterState::new(1, 1);
+        cs.recover_machine(0);
+    }
+
+    #[test]
+    fn complete_due_recorded_reports_jobs() {
+        let inst = instance(vec![job(0, 2.0, 0.3), job(1, 5.0, 0.3)]);
+        let mut cs = ClusterState::new(1, 1);
+        cs.start(0, inst.job(JobId(0)), 0.0);
+        cs.start(0, inst.job(JobId(1)), 0.0);
+        let mut done = Vec::new();
+        cs.complete_due_recorded(2.0, &inst, &mut done);
+        assert_eq!(done, vec![(JobId(0), 0)]);
+        cs.complete_due_recorded(5.0, &inst, &mut done);
+        assert_eq!(done, vec![(JobId(0), 0), (JobId(1), 0)]);
     }
 
     #[test]

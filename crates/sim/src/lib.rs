@@ -12,6 +12,10 @@
 //!   fragments ahead of wall-clock time and need *earliest-fit backfilling*
 //!   queries ("the earliest instant `>= t` at which this job fits for its
 //!   whole duration, given everything committed so far").
+//! * **Fault injection** ([`FaultPlan`], [`run_online_chaos`]) — a
+//!   deterministic chaos layer that fails machines mid-run, kills their
+//!   in-flight jobs, re-releases them as fresh arrivals, and audits every
+//!   run with an invariant checker ([`FaultLog::verify`]).
 //!
 //! All resource arithmetic is exact fixed-point (`mris_types::Amount`).
 
@@ -19,10 +23,15 @@
 #![warn(missing_docs)]
 
 mod cluster;
+mod fault;
 mod online;
 mod timeline;
 
 pub use cluster::ClusterState;
+pub use fault::{
+    run_online_chaos, suggested_horizon, ChaosOutcome, ChaosViolation, CompletionRecord,
+    FailureRecord, FaultLog, FaultPlan, PoissonFaultConfig, RackBurstConfig,
+};
 pub use online::{run_online, run_online_observed, Dispatcher, EventSnapshot, OnlinePolicy};
 pub use timeline::{ClusterTimelines, MachineTimeline};
 

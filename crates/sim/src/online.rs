@@ -22,6 +22,20 @@ pub struct Dispatcher<'a> {
 }
 
 impl<'a> Dispatcher<'a> {
+    pub(crate) fn new(
+        cluster: &'a mut ClusterState,
+        schedule: &'a mut Schedule,
+        instance: &'a Instance,
+        now: Time,
+    ) -> Self {
+        Dispatcher {
+            cluster,
+            schedule,
+            instance,
+            now,
+        }
+    }
+
     /// The current simulated time.
     #[inline]
     pub fn now(&self) -> Time {
@@ -43,16 +57,20 @@ impl<'a> Dispatcher<'a> {
 
     /// Starts `job` on `machine` right now.
     ///
-    /// Returns a typed [`SchedulingError`] if `machine` is out of range, the
-    /// job has not been released, does not fit on `machine`, or was already
-    /// placed — all policy bugs, surfaced as errors so the caller can
-    /// attribute them instead of aborting the process.
+    /// Returns a typed [`SchedulingError`] if `machine` is out of range or
+    /// currently failed, the job has not been released, does not fit on
+    /// `machine`, or was already placed — all policy bugs, surfaced as
+    /// errors so the caller can attribute them instead of aborting the
+    /// process.
     pub fn place(&mut self, machine: usize, job: JobId) -> Result<(), SchedulingError> {
         if machine >= self.cluster.num_machines() {
             return Err(SchedulingError::InvalidMachine {
                 machine,
                 num_machines: self.cluster.num_machines(),
             });
+        }
+        if !self.cluster.is_up(machine) {
+            return Err(SchedulingError::MachineDown { machine });
         }
         let j = self.instance.job(job);
         if j.release > self.now {
@@ -95,6 +113,39 @@ pub trait OnlinePolicy {
         dispatcher: &mut Dispatcher<'_>,
         freed_machines: &[usize],
     ) -> Result<(), SchedulingError>;
+
+    /// Fault hook: `machine` failed at `now` and will recover at
+    /// `recover_at`; `killed` lists the jobs that were running on it (sorted
+    /// by id). The driver re-releases killed jobs itself (they arrive again
+    /// through [`OnlinePolicy::on_arrivals`]); this hook is for policies
+    /// with *additional* per-machine state — MRIS uses it to truncate the
+    /// failed machine's committed timeline and re-plan orphaned
+    /// committed-but-unstarted jobs. Default: no-op, so fault-oblivious
+    /// policies run unmodified under [`crate::run_online_chaos`].
+    fn on_machine_failed(
+        &mut self,
+        _now: Time,
+        _machine: usize,
+        _recover_at: Time,
+        _killed: &[JobId],
+        _instance: &Instance,
+    ) {
+    }
+
+    /// Fault hook: `machine` came back up at `now`. The driver also lists
+    /// recovered machines in `freed_machines` at the same event's
+    /// [`OnlinePolicy::dispatch`] call, so incremental policies re-examine
+    /// them without extra work here. Default: no-op.
+    fn on_machine_recovered(&mut self, _now: Time, _machine: usize, _instance: &Instance) {}
+
+    /// The next time this policy wants a dispatch event even if no arrival,
+    /// completion, or fault event occurs then. MRIS uses this to run its
+    /// interval boundaries `gamma_k` as scheduled; pure event-driven
+    /// policies return `None` (the default). Times at or before the current
+    /// event are ignored by the driver.
+    fn next_wakeup(&self) -> Option<Time> {
+        None
+    }
 }
 
 /// A snapshot of the simulation taken after each event was processed,
@@ -400,6 +451,24 @@ mod tests {
                 num_machines: 2
             }
         );
+    }
+
+    #[test]
+    fn placement_on_down_machine_is_a_typed_error() {
+        let instance = inst(
+            vec![Job::from_fractions(JobId(0), 0.0, 1.0, 1.0, &[0.1])],
+            1,
+        );
+        let mut cluster = ClusterState::new(2, 1);
+        cluster.fail_machine(0);
+        let mut schedule = Schedule::new(1, 2);
+        let mut d = Dispatcher::new(&mut cluster, &mut schedule, &instance, 0.0);
+        assert_eq!(
+            d.place(0, JobId(0)).unwrap_err(),
+            SchedulingError::MachineDown { machine: 0 }
+        );
+        // The healthy machine still accepts the job.
+        d.place(1, JobId(0)).unwrap();
     }
 
     #[test]

@@ -520,6 +520,15 @@ impl ClusterTimelines {
         &self.machines[m]
     }
 
+    /// Replaces machine `m`'s timeline with a fresh, empty one. Used by the
+    /// fault layer when a machine fails: every commitment on it (running
+    /// and planned) is invalidated at once, and the caller re-commits what
+    /// should survive (e.g. a full-capacity block covering the downtime).
+    pub fn reset_machine(&mut self, m: usize) {
+        let num_resources = self.machines[m].num_resources();
+        self.machines[m] = MachineTimeline::new(num_resources);
+    }
+
     /// Total segments across all machines (for diagnostics and benches).
     pub fn total_segments(&self) -> usize {
         self.machines.iter().map(|tl| tl.num_segments()).sum()
@@ -749,6 +758,21 @@ mod tests {
         assert_eq!((m0, s0), (0, 0.0));
         assert_eq!((m1, s1), (0, 3.0));
         assert_eq!(cl.horizon(), 6.0);
+    }
+
+    #[test]
+    fn reset_machine_clears_only_that_machine() {
+        let mut cl = ClusterTimelines::new(2, 1);
+        cl.commit(0, 0.0, 4.0, &d(&[1.0]));
+        cl.commit(1, 0.0, 6.0, &d(&[1.0]));
+        cl.reset_machine(0);
+        // Machine 0 is empty again; machine 1 keeps its commitment.
+        assert_eq!(cl.machine(0).num_segments(), 1);
+        assert_eq!(cl.earliest_fit(0.0, 2.0, &d(&[1.0])), (0, 0.0));
+        assert_eq!(cl.machine(1).usage_at(3.0), &d(&[1.0])[..]);
+        // A fresh commit (e.g. a downtime block) works on the reset machine.
+        cl.commit(0, 1.0, 2.0, &d(&[1.0]));
+        assert_eq!(cl.machine(0).usage_at(1.5), &d(&[1.0])[..]);
     }
 
     #[test]

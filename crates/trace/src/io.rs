@@ -18,43 +18,68 @@ use std::path::Path;
 
 use mris_types::{fraction, Instance, Job, JobId};
 
-/// Errors raised while parsing an instance CSV.
+/// Errors raised while reading trace data (instance CSVs).
+///
+/// Parse failures carry the 1-based line number and, when the problem is
+/// attributable to a single value, the 1-based field (column) number — so a
+/// malformed row in a million-line trace is findable without bisection.
 #[derive(Debug)]
-pub enum CsvError {
+pub enum TraceError {
     /// Underlying I/O failure.
     Io(std::io::Error),
-    /// A malformed line: `(1-based line number, message)`.
-    Parse(usize, String),
+    /// A malformed line.
+    Parse {
+        /// 1-based line number in the input.
+        line: usize,
+        /// 1-based field number, when the error is local to one value
+        /// (`None` for row-level problems such as a wrong field count).
+        field: Option<usize>,
+        /// Human-readable description of the problem.
+        message: String,
+    },
     /// Parsed jobs failed [`Instance`] validation.
     Invalid(mris_types::InstanceError),
     /// The file contains no job rows.
     Empty,
 }
 
-impl std::fmt::Display for CsvError {
+/// Former name of [`TraceError`], kept for continuity with the CSV entry
+/// points that raise it.
+pub type CsvError = TraceError;
+
+impl std::fmt::Display for TraceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            CsvError::Io(e) => write!(f, "i/o error: {e}"),
-            CsvError::Parse(line, msg) => write!(f, "line {line}: {msg}"),
-            CsvError::Invalid(e) => write!(f, "invalid instance: {e}"),
-            CsvError::Empty => write!(f, "no job rows found"),
+            TraceError::Io(e) => write!(f, "i/o error: {e}"),
+            TraceError::Parse {
+                line,
+                field: Some(field),
+                message,
+            } => write!(f, "line {line}, field {field}: {message}"),
+            TraceError::Parse {
+                line,
+                field: None,
+                message,
+            } => write!(f, "line {line}: {message}"),
+            TraceError::Invalid(e) => write!(f, "invalid instance: {e}"),
+            TraceError::Empty => write!(f, "no job rows found"),
         }
     }
 }
 
-impl std::error::Error for CsvError {
+impl std::error::Error for TraceError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            CsvError::Io(e) => Some(e),
-            CsvError::Invalid(e) => Some(e),
+            TraceError::Io(e) => Some(e),
+            TraceError::Invalid(e) => Some(e),
             _ => None,
         }
     }
 }
 
-impl From<std::io::Error> for CsvError {
+impl From<std::io::Error> for TraceError {
     fn from(e: std::io::Error) -> Self {
-        CsvError::Io(e)
+        TraceError::Io(e)
     }
 }
 
@@ -74,30 +99,54 @@ pub fn parse_instance_csv(text: &str) -> Result<Instance, CsvError> {
             continue;
         }
         if fields.len() < 4 {
-            return Err(CsvError::Parse(
-                lineno + 1,
-                format!("expected at least 4 fields, found {}", fields.len()),
-            ));
+            return Err(TraceError::Parse {
+                line: lineno + 1,
+                field: None,
+                message: format!("expected at least 4 fields, found {}", fields.len()),
+            });
         }
-        let parse = |i: usize| -> Result<f64, CsvError> {
-            fields[i]
-                .parse::<f64>()
-                .map_err(|e| CsvError::Parse(lineno + 1, format!("field {}: {e}", i + 1)))
+        let parse = |i: usize| -> Result<f64, TraceError> {
+            let value = fields[i].parse::<f64>().map_err(|e| TraceError::Parse {
+                line: lineno + 1,
+                field: Some(i + 1),
+                message: format!("'{}': {e}", fields[i]),
+            })?;
+            if !value.is_finite() {
+                return Err(TraceError::Parse {
+                    line: lineno + 1,
+                    field: Some(i + 1),
+                    message: format!("'{}' is not a finite number", fields[i]),
+                });
+            }
+            Ok(value)
         };
         let release = parse(0)?;
         let proc_time = parse(1)?;
         let weight = parse(2)?;
         let demands: Vec<f64> = (3..fields.len()).map(parse).collect::<Result<_, _>>()?;
+        // Demands are capacity fractions; the fixed-point conversion in
+        // `Job::from_fractions` clamps out-of-range values silently, so
+        // range-check here where the field is still attributable.
+        for (k, &d) in demands.iter().enumerate() {
+            if !(0.0..=1.0).contains(&d) {
+                return Err(TraceError::Parse {
+                    line: lineno + 1,
+                    field: Some(4 + k),
+                    message: format!("demand {d} is outside [0, 1]"),
+                });
+            }
+        }
         if num_resources == 0 {
             num_resources = demands.len();
         } else if demands.len() != num_resources {
-            return Err(CsvError::Parse(
-                lineno + 1,
-                format!(
+            return Err(TraceError::Parse {
+                line: lineno + 1,
+                field: None,
+                message: format!(
                     "inconsistent resource count: {} (expected {num_resources})",
                     demands.len()
                 ),
-            ));
+            });
         }
         jobs.push(Job::from_fractions(
             JobId(0),
@@ -108,9 +157,9 @@ pub fn parse_instance_csv(text: &str) -> Result<Instance, CsvError> {
         ));
     }
     if jobs.is_empty() {
-        return Err(CsvError::Empty);
+        return Err(TraceError::Empty);
     }
-    Instance::from_unnumbered(jobs, num_resources).map_err(CsvError::Invalid)
+    Instance::from_unnumbered(jobs, num_resources).map_err(TraceError::Invalid)
 }
 
 /// Reads an instance from a CSV file.
@@ -186,28 +235,83 @@ release,proc_time,weight,d0,d1
     #[test]
     fn rejects_inconsistent_resources() {
         let err = parse_instance_csv("0,1,1,0.5,0.5\n0,1,1,0.5\n").unwrap_err();
-        assert!(matches!(err, CsvError::Parse(2, _)), "{err}");
+        assert!(
+            matches!(
+                err,
+                TraceError::Parse {
+                    line: 2,
+                    field: None,
+                    ..
+                }
+            ),
+            "{err}"
+        );
     }
 
     #[test]
-    fn rejects_bad_numbers_with_line_info() {
+    fn rejects_bad_numbers_with_line_and_field() {
         let err = parse_instance_csv("0,1,1,0.5\n0,abc,1,0.5\n").unwrap_err();
         match err {
-            CsvError::Parse(2, msg) => assert!(msg.contains("field 2"), "{msg}"),
+            TraceError::Parse {
+                line: 2,
+                field: Some(2),
+                ..
+            } => {}
             other => panic!("{other}"),
         }
+        assert!(err.to_string().contains("line 2, field 2"), "{err}");
+    }
+
+    #[test]
+    fn rejects_non_finite_values_with_field() {
+        let err = parse_instance_csv("0,1,inf,0.5\n").unwrap_err();
+        match err {
+            TraceError::Parse {
+                line: 1,
+                field: Some(3),
+                ref message,
+            } => assert!(message.contains("finite"), "{message}"),
+            ref other => panic!("{other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range_demands_with_field() {
+        // The fixed-point conversion would clamp 1.5 to full capacity;
+        // the parser must reject it instead, naming the exact column.
+        let err = parse_instance_csv("0,1,1,0.25,1.5\n").unwrap_err();
+        match err {
+            TraceError::Parse {
+                line: 1,
+                field: Some(5),
+                ref message,
+            } => assert!(message.contains("outside [0, 1]"), "{message}"),
+            ref other => panic!("{other}"),
+        }
+        let err = parse_instance_csv("0,1,1,-0.1\n").unwrap_err();
+        assert!(
+            matches!(
+                err,
+                TraceError::Parse {
+                    line: 1,
+                    field: Some(4),
+                    ..
+                }
+            ),
+            "{err}"
+        );
     }
 
     #[test]
     fn rejects_empty_and_invalid() {
         assert!(matches!(
             parse_instance_csv("# nothing\n").unwrap_err(),
-            CsvError::Empty
+            TraceError::Empty
         ));
         // Negative processing time fails instance validation.
         assert!(matches!(
             parse_instance_csv("0,-1,1,0.5\n").unwrap_err(),
-            CsvError::Invalid(_)
+            TraceError::Invalid(_)
         ));
     }
 

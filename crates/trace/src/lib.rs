@@ -33,4 +33,7 @@ pub use adversarial::{
 };
 pub use augment::augment_resources;
 pub use azure::{ArrivalPattern, AzureTrace, AzureTraceConfig, VmCatalog, VmType};
-pub use io::{instance_to_csv, parse_instance_csv, read_instance_csv, write_instance_csv};
+pub use io::{
+    instance_to_csv, parse_instance_csv, read_instance_csv, write_instance_csv, CsvError,
+    TraceError,
+};

@@ -111,6 +111,14 @@ pub enum SchedulingError {
         /// `0..num_machines`).
         num_machines: usize,
     },
+    /// A policy started a job on a machine that is currently failed. Down
+    /// machines hold no capacity, so accepting the placement would silently
+    /// corrupt cluster accounting; the fault-aware event loop surfaces the
+    /// attempt instead.
+    MachineDown {
+        /// The failed machine the policy chose.
+        machine: usize,
+    },
     /// A policy started a job on a machine lacking capacity for it.
     DoesNotFit {
         /// Offending job.
@@ -145,6 +153,10 @@ impl std::fmt::Display for SchedulingError {
             } => write!(
                 f,
                 "policy referenced machine {machine}, but the cluster has {num_machines} machines"
+            ),
+            SchedulingError::MachineDown { machine } => write!(
+                f,
+                "policy placed a job on machine {machine}, which is currently failed"
             ),
             SchedulingError::DoesNotFit { job, machine } => write!(
                 f,

@@ -1,0 +1,100 @@
+//! Fault-model vocabulary: machine failure events and restart semantics.
+//!
+//! Production clusters lose machines mid-run, and non-preemptive scheduling
+//! makes that especially costly: a killed job forfeits all progress and must
+//! be re-released (compare the rejection-and-restart mechanism of Lucarelli
+//! et al. and the re-dispatchable tasks of the bag-of-tasks model). This
+//! module defines the *data* of the fault model — what fails, when, and what
+//! happens to the victims — while `mris-sim` owns the event-loop mechanics.
+
+use crate::Time;
+
+/// Which machine a [`FaultEvent`] takes down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultTarget {
+    /// A fixed machine index (out-of-range or already-down targets are
+    /// absorbed without effect when the event fires).
+    Machine(usize),
+    /// Resolved when the event fires: the up machine currently running the
+    /// most jobs, ties toward the lower index — the adversarial
+    /// "kill the busiest machine" policy. Deterministic given the
+    /// simulation state.
+    Busiest,
+}
+
+/// One machine failure: at time `at`, the target machine goes down for
+/// `downtime` time units. Every job running on it is killed and re-released
+/// as a fresh arrival; the machine accepts no placements until it recovers
+/// at `at + downtime`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// When the failure strikes (simulated time, finite and non-negative).
+    pub at: Time,
+    /// How long the machine stays down (finite and strictly positive).
+    pub downtime: Time,
+    /// Which machine goes down.
+    pub target: FaultTarget,
+}
+
+/// What happens to a job killed by a machine failure when it is re-released.
+///
+/// In both variants the job restarts from scratch with its original
+/// processing time and demands — the model is non-preemptive, so partial
+/// progress cannot be resumed.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum RestartSemantics {
+    /// Restart with the original weight `w_j`.
+    #[default]
+    FullRestart,
+    /// Each kill multiplies the job's weight by `factor` for all subsequent
+    /// scheduling decisions, modelling the rising urgency of repeatedly
+    /// victimized work. Metrics are still reported against the *original*
+    /// weights so runs stay comparable across semantics.
+    WeightAging {
+        /// Per-kill weight multiplier; must be finite and positive
+        /// (`> 1` ages upward).
+        factor: f64,
+    },
+}
+
+impl RestartSemantics {
+    /// Short machine-readable label (used in reports and JSON).
+    pub fn label(&self) -> &'static str {
+        match self {
+            RestartSemantics::FullRestart => "full",
+            RestartSemantics::WeightAging { .. } => "aging",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_full_restart() {
+        assert_eq!(RestartSemantics::default(), RestartSemantics::FullRestart);
+        assert_eq!(RestartSemantics::FullRestart.label(), "full");
+        assert_eq!(
+            RestartSemantics::WeightAging { factor: 2.0 }.label(),
+            "aging"
+        );
+    }
+
+    #[test]
+    fn fault_event_is_plain_data() {
+        let e = FaultEvent {
+            at: 1.0,
+            downtime: 2.0,
+            target: FaultTarget::Machine(3),
+        };
+        assert_eq!(e, e);
+        assert_ne!(
+            e,
+            FaultEvent {
+                target: FaultTarget::Busiest,
+                ..e
+            }
+        );
+    }
+}

@@ -158,6 +158,23 @@ impl Instance {
         )
     }
 
+    /// Multiplies `job`'s weight by `factor`, preserving the instance
+    /// invariants (the result must stay finite and non-negative). Used by
+    /// the weight-aging restart semantics of the fault model.
+    ///
+    /// # Panics
+    ///
+    /// If the scaled weight would be negative, infinite, or NaN.
+    pub fn scale_weight(&mut self, job: JobId, factor: f64) {
+        let w = &mut self.jobs[job.index()].weight;
+        let scaled = *w * factor;
+        assert!(
+            scaled.is_finite() && scaled >= 0.0,
+            "scaling weight of {job} by {factor} yields invalid weight {scaled}"
+        );
+        *w = scaled;
+    }
+
     /// Summary statistics used for reporting and for sizing MRIS's interval
     /// sequence.
     pub fn stats(&self) -> InstanceStats {
@@ -330,6 +347,22 @@ mod tests {
         let jobs = vec![Job::from_fractions(JobId(0), 0.0, 10.0, 1.0, &[1.0, 1.0])];
         let inst = Instance::new(jobs, 2).unwrap();
         assert!((inst.makespan_lower_bound(1) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scale_weight_multiplies_in_place() {
+        let mut inst = Instance::new(simple_jobs(), 2).unwrap();
+        inst.scale_weight(JobId(1), 2.5);
+        assert!((inst.job(JobId(1)).weight - 5.0).abs() < 1e-12);
+        inst.scale_weight(JobId(1), 0.0);
+        assert_eq!(inst.job(JobId(1)).weight, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid weight")]
+    fn scale_weight_rejects_nan() {
+        let mut inst = Instance::new(simple_jobs(), 2).unwrap();
+        inst.scale_weight(JobId(0), f64::NAN);
     }
 
     #[test]

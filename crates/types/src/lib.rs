@@ -25,12 +25,14 @@
 #![warn(missing_docs)]
 
 mod error;
+mod fault;
 mod instance;
 mod job;
 mod resource;
 mod schedule;
 
 pub use error::{InstanceError, SchedulingError};
+pub use fault::{FaultEvent, FaultTarget, RestartSemantics};
 pub use instance::{Instance, InstanceStats};
 pub use job::{Job, JobId};
 pub use resource::{

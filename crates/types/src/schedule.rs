@@ -134,6 +134,21 @@ impl Schedule {
         Ok(())
     }
 
+    /// Removes and returns `job`'s assignment, if it had one. Used by the
+    /// fault-injection layer when a machine failure kills an in-flight job
+    /// and it must be re-released as a fresh arrival. Out-of-range jobs
+    /// return `None`.
+    pub fn unassign(&mut self, job: JobId) -> Option<Assignment> {
+        self.slots
+            .get_mut(job.index())
+            .and_then(Option::take)
+            .map(|(machine, start)| Assignment {
+                job,
+                machine: machine as usize,
+                start,
+            })
+    }
+
     /// The assignment of `job`, if it has one.
     #[inline]
     pub fn get(&self, job: JobId) -> Option<Assignment> {
@@ -444,6 +459,20 @@ mod tests {
             s.assign(JobId(9), 0, 0.0).unwrap_err(),
             ScheduleError::UnknownJob(JobId(9))
         ));
+    }
+
+    #[test]
+    fn unassign_frees_the_slot() {
+        let mut s = Schedule::new(2, 2);
+        s.assign(JobId(0), 1, 3.0).unwrap();
+        let a = s.unassign(JobId(0)).unwrap();
+        assert_eq!((a.machine, a.start), (1, 3.0));
+        assert!(s.get(JobId(0)).is_none());
+        assert!(s.unassign(JobId(0)).is_none());
+        assert!(s.unassign(JobId(7)).is_none());
+        // The slot is reusable after unassignment.
+        s.assign(JobId(0), 0, 5.0).unwrap();
+        assert_eq!(s.get(JobId(0)).unwrap().start, 5.0);
     }
 
     #[test]

@@ -35,4 +35,14 @@ for key in '"bench": "timeline"' '"mode": "smoke"' '"workloads"' \
     || { echo "BENCH_timeline_smoke.json is missing $key" >&2; exit 1; }
 done
 
+echo "==> chaos bench smoke run + schema check"
+cargo run --release --offline -p mris-bench --bin chaos -- \
+  --smoke --out results/BENCH_chaos_smoke.json >/dev/null
+for key in '"bench": "chaos"' '"mode": "smoke"' '"restart"' '"rates"' \
+  '"schedulers"' '"baseline_awct"' '"results"' '"rate"' '"awct"' \
+  '"awct_inflation"' '"failures"' '"kills"' '"re_releases"'; do
+  grep -qF "$key" results/BENCH_chaos_smoke.json \
+    || { echo "BENCH_chaos_smoke.json is missing $key" >&2; exit 1; }
+done
+
 echo "CI OK"

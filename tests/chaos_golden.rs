@@ -1,0 +1,107 @@
+//! Golden regression test for the fault-injection harness: a tiny
+//! hand-built instance with one injected failure, whose schedule, fault
+//! log, and AWCT are all derived by hand below — plus a negative test
+//! proving the [`FaultLog::verify`] invariant checker actually bites.
+
+use mris::registry::online_policy_by_name;
+use mris::sim::{run_online_chaos, FaultPlan};
+use mris::types::{FaultEvent, FaultTarget, Instance, Job, JobId, RestartSemantics};
+
+/// Two jobs on one machine under PQ-WSJF, with the machine failing once.
+///
+/// Instance (1 resource, capacity 1.0):
+///
+/// * `J0`: release 0, p = 4, w = 1, demand 0.5 — WSJF key p/w = 4
+/// * `J1`: release 0, p = 2, w = 1, demand 0.5 — WSJF key p/w = 2
+///
+/// Failure-free, PQ starts both at t = 0 (0.5 + 0.5 fills the machine).
+/// We inject `FaultEvent { at: 1, downtime: 2, Machine(0) }`:
+///
+/// * t = 0: both arrive, both placed at 0.
+/// * t = 1: machine 0 fails until t = 3. Both jobs are mid-run, so both
+///   are killed and re-released at t = 1 (re_release count 1 each). PQ
+///   re-queues them, but the only machine is down — nothing places.
+/// * t = 3: machine 0 recovers and appears as freed capacity. PQ scans
+///   its queue in WSJF order (J1 key 2 before J0 key 4); both fit
+///   together, so both start at t = 3.
+/// * Completions: J1 runs [3, 5), J0 runs [3, 7).
+///
+/// Hand-computed objective: C_{J1} = 5, C_{J0} = 7, so
+/// AWCT = (1·5 + 1·7) / 2 = **6.0** exactly (all values are
+/// floating-point-exact, so `==` is legitimate).
+fn golden_run() -> (Instance, mris::sim::ChaosOutcome) {
+    let jobs = vec![
+        Job::from_fractions(JobId(0), 0.0, 4.0, 1.0, &[0.5]),
+        Job::from_fractions(JobId(1), 0.0, 2.0, 1.0, &[0.5]),
+    ];
+    let instance = Instance::new(jobs, 1).unwrap();
+    let plan = FaultPlan::from_events(vec![FaultEvent {
+        at: 1.0,
+        downtime: 2.0,
+        target: FaultTarget::Machine(0),
+    }]);
+    let mut policy = online_policy_by_name("pq-wsjf", &instance, 1).unwrap();
+    let outcome = run_online_chaos(
+        &instance,
+        1,
+        policy.as_mut(),
+        &plan,
+        RestartSemantics::FullRestart,
+    )
+    .unwrap();
+    (instance, outcome)
+}
+
+#[test]
+fn golden_single_failure_schedule_and_awct() {
+    let (instance, outcome) = golden_run();
+    let schedule = &outcome.schedule;
+    assert!(schedule.is_complete());
+    schedule.validate(&instance).unwrap();
+
+    // Final placements: both restarted at the recovery instant.
+    let a0 = schedule.get(JobId(0)).unwrap();
+    let a1 = schedule.get(JobId(1)).unwrap();
+    assert_eq!((a0.machine, a0.start), (0, 3.0));
+    assert_eq!((a1.machine, a1.start), (0, 3.0));
+
+    // AWCT = (1*7 + 1*5) / 2, exactly representable.
+    assert_eq!(schedule.awct(&instance), 6.0);
+
+    // Fault log: one failure at t=1 killing both jobs, one recovery at
+    // t=3, each job re-released exactly once.
+    assert_eq!(outcome.log.failures.len(), 1);
+    let failure = &outcome.log.failures[0];
+    assert_eq!(failure.at, 1.0);
+    assert_eq!(failure.machine, 0);
+    assert_eq!(failure.recover_at, 3.0);
+    assert_eq!(failure.killed, vec![JobId(0), JobId(1)]);
+    assert_eq!(outcome.log.recoveries, vec![(3.0, 0)]);
+    assert_eq!(outcome.log.re_releases, vec![1, 1]);
+    assert_eq!(outcome.log.total_re_releases(), 2);
+
+    // Completed runs [3,5) and [3,7) are disjoint from the downtime [1,3).
+    assert_eq!(outcome.log.completions.len(), 2);
+    outcome.log.verify().unwrap();
+}
+
+/// The invariant checker must reject a log claiming a completed run inside
+/// a downtime window — guarding against the checker rotting into a yes-man.
+#[test]
+fn invariant_checker_catches_run_across_downtime() {
+    let (_, outcome) = golden_run();
+    let mut broken = outcome.log.clone();
+    // Pretend J1's final run started at t=2, inside machine 0's downtime
+    // [1, 3). A correct harness can never produce this.
+    let idx = broken
+        .completions
+        .iter()
+        .position(|c| c.job == JobId(1))
+        .unwrap();
+    broken.completions[idx].start = 2.0;
+    let violation = broken.verify().unwrap_err();
+    assert_eq!(violation.machine, 0);
+    assert_eq!(violation.job, JobId(1));
+    let message = violation.to_string();
+    assert!(message.contains("down"), "{message}");
+}
