@@ -1,0 +1,221 @@
+//! Service-mode benchmark (`BENCH_service.json`).
+//!
+//! Drives the `mris-service` daemon loop — admission control, epoch
+//! batching, telemetry — with the open-loop load generator, for MRIS and
+//! every comparison baseline, under two arrival processes (Poisson at a
+//! target utilization, and periodic bursts). Reports sustained throughput
+//! (completed jobs per wall second) and the p50/p95/p99 per-event decision
+//! latency of each policy, plus the admission ledger.
+//!
+//! The Poisson/permissive run is additionally pinned: every submitted job
+//! completes (nothing is shed or stranded by the service machinery itself).
+//!
+//! `cargo run --release -p mris-bench --bin service [--machines 8]
+//!  [--jobs 2000] [--seed 11] [--utilization 0.7] [--smoke]
+//!  [--out BENCH_service.json]`
+//!
+//! `--smoke` shrinks the workload so CI can validate the pipeline and the
+//! JSON schema in seconds; full runs are for tracked numbers.
+
+use mris_bench::Args;
+use mris_core::registry::online_policy_by_name;
+use mris_metrics::Percentiles;
+use mris_service::{
+    generate_workload, poisson_rate_for_utilization, run_workload, ArrivalProcess, LoadGenConfig,
+    NullSink, Service, ServiceConfig, SimClock, Workload,
+};
+
+/// One policy under one arrival process.
+struct ServiceRow {
+    process: &'static str,
+    throughput: f64,
+    latency_us: Percentiles,
+    submitted: usize,
+    completed: usize,
+    rejected: usize,
+    epochs: usize,
+    max_queue_depth: usize,
+    awct: f64,
+}
+
+impl ServiceRow {
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"process\": \"{}\", \"throughput_jobs_per_sec\": {:.3}, ",
+                "\"decision_latency_us\": {{\"p50\": {:.3}, \"p95\": {:.3}, \"p99\": {:.3}}}, ",
+                "\"submitted\": {}, \"completed\": {}, \"rejected\": {}, ",
+                "\"epochs\": {}, \"max_queue_depth\": {}, \"awct\": {:.6}}}"
+            ),
+            self.process,
+            self.throughput,
+            self.latency_us.p50,
+            self.latency_us.p95,
+            self.latency_us.p99,
+            self.submitted,
+            self.completed,
+            self.rejected,
+            self.epochs,
+            self.max_queue_depth,
+            self.awct,
+        )
+    }
+}
+
+struct PolicyReport {
+    name: &'static str,
+    rows: Vec<ServiceRow>,
+}
+
+impl PolicyReport {
+    fn to_json(&self) -> String {
+        let rows: Vec<String> = self.rows.iter().map(|r| r.to_json()).collect();
+        format!(
+            "{{\"name\": \"{}\", \"results\": [{}]}}",
+            self.name,
+            rows.join(", ")
+        )
+    }
+}
+
+fn run_one(name: &str, process: &'static str, workload: &Workload, machines: usize) -> ServiceRow {
+    let policy = online_policy_by_name(name, &workload.instance, machines)
+        .expect("comparison names resolve to online policies");
+    let service = Service::new(
+        workload.instance.clone(),
+        policy,
+        ServiceConfig::new(machines),
+        SimClock::new(),
+        NullSink,
+    );
+    let (report, _) = run_workload(service, workload)
+        .unwrap_or_else(|e| panic!("{name}/{process}: service run failed: {e}"));
+    let s = report.summary;
+    // The permissive service must not lose work: everything submitted
+    // completes.
+    assert_eq!(
+        s.completed,
+        workload.instance.len(),
+        "{name}/{process}: service dropped jobs"
+    );
+    assert_eq!(s.rejected_queue_full + s.rejected_infeasible, 0);
+    report
+        .log
+        .verify()
+        .unwrap_or_else(|v| panic!("{name}/{process}: invariant violation: {v}"));
+    ServiceRow {
+        process,
+        throughput: s.throughput_jobs_per_sec,
+        latency_us: s.decision_latency_us.expect("events were processed"),
+        submitted: s.submitted,
+        completed: s.completed,
+        rejected: 0,
+        epochs: s.epochs,
+        max_queue_depth: s.max_queue_depth,
+        awct: s.awct,
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let smoke = args.has("smoke");
+    let machines = args.get("machines", if smoke { 4 } else { 8 });
+    let jobs = args.get("jobs", if smoke { 150 } else { 2_000 });
+    let seed = args.get("seed", 11u64);
+    let utilization = args.get("utilization", 0.7);
+    let out: String = args.get("out", "BENCH_service.json".to_string());
+
+    eprintln!(
+        "service bench: mode = {}, M = {machines}, N = {jobs}, seed = {seed}, \
+         utilization = {utilization}",
+        if smoke { "smoke" } else { "full" },
+    );
+
+    // Shape distribution is arrival-process independent for a fixed seed,
+    // so probe once to calibrate the Poisson rate to the target utilization.
+    let probe = generate_workload(&LoadGenConfig {
+        num_jobs: jobs,
+        seed,
+        arrivals: ArrivalProcess::Bursts {
+            period: 1.0,
+            size: 1,
+        },
+    });
+    let rate = poisson_rate_for_utilization(&probe.instance, machines, utilization);
+    let burst_size = (jobs / 20).max(1);
+    let workloads: [(&'static str, Workload); 2] = [
+        (
+            "poisson",
+            generate_workload(&LoadGenConfig {
+                num_jobs: jobs,
+                seed,
+                arrivals: ArrivalProcess::Poisson { rate },
+            }),
+        ),
+        (
+            "bursts",
+            generate_workload(&LoadGenConfig {
+                num_jobs: jobs,
+                seed,
+                arrivals: ArrivalProcess::Bursts {
+                    period: burst_size as f64 / rate,
+                    size: burst_size,
+                },
+            }),
+        ),
+    ];
+
+    let names = ["mris", "pq-wsjf", "pq-wsvf", "tetris", "bf-exec", "ca-pq"];
+    let mut reports = Vec::with_capacity(names.len());
+    for name in names {
+        eprintln!("  {name} ...");
+        let rows: Vec<ServiceRow> = workloads
+            .iter()
+            .map(|(process, workload)| {
+                let row = run_one(name, process, workload, machines);
+                eprintln!(
+                    "    {:>7}: {:>10.0} jobs/s, decision p50/p95/p99 = \
+                     {:.1}/{:.1}/{:.1} us, {} epochs",
+                    process,
+                    row.throughput,
+                    row.latency_us.p50,
+                    row.latency_us.p95,
+                    row.latency_us.p99,
+                    row.epochs
+                );
+                row
+            })
+            .collect();
+        reports.push(PolicyReport { name, rows });
+    }
+
+    let schedulers: Vec<String> = reports
+        .iter()
+        .map(|r| format!("    {}", r.to_json()))
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"service\",\n",
+            "  \"version\": 1,\n",
+            "  \"mode\": \"{}\",\n",
+            "  \"machines\": {},\n",
+            "  \"jobs\": {},\n",
+            "  \"seed\": {},\n",
+            "  \"utilization\": {},\n",
+            "  \"poisson_rate\": {:.6},\n",
+            "  \"schedulers\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        if smoke { "smoke" } else { "full" },
+        machines,
+        jobs,
+        seed,
+        utilization,
+        rate,
+        schedulers.join(",\n")
+    );
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    eprintln!("  wrote {out}");
+    print!("{json}");
+}

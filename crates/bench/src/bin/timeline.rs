@@ -25,6 +25,7 @@
 use std::time::Instant;
 
 use mris_bench::Args;
+use mris_metrics::Percentiles;
 use mris_rng::Rng;
 use mris_sim::{ClusterTimelines, MachineTimeline};
 use mris_trace::{AzureTrace, AzureTraceConfig};
@@ -162,17 +163,15 @@ impl WorkloadReport {
         self.baseline_elapsed_s / self.elapsed_s.max(1e-12)
     }
 
-    fn percentile_ns(&self, p: f64) -> u64 {
-        if self.query_ns.is_empty() {
-            return 0;
-        }
-        let mut sorted = self.query_ns.clone();
-        sorted.sort_unstable();
-        let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
-        sorted[rank.min(sorted.len() - 1)]
-    }
-
     fn to_json(&self) -> String {
+        // Shared nearest-rank percentiles from mris-metrics, rather than
+        // this bin rolling its own quantile math.
+        let ns: Vec<f64> = self.query_ns.iter().map(|&n| n as f64).collect();
+        let p = Percentiles::of(&ns).unwrap_or(Percentiles {
+            p50: 0.0,
+            p95: 0.0,
+            p99: 0.0,
+        });
         format!(
             concat!(
                 "{{\"name\": \"{}\", \"ops\": {}, \"ops_per_sec\": {:.1}, ",
@@ -185,8 +184,8 @@ impl WorkloadReport {
             self.baseline_ops_per_sec(),
             self.speedup(),
             self.segments,
-            self.percentile_ns(50.0),
-            self.percentile_ns(99.0),
+            p.p50.round() as u64,
+            p.p99.round() as u64,
         )
     }
 }

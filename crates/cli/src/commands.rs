@@ -8,8 +8,14 @@ use mris_types::Instance;
 
 use crate::schedule_io::{parse_schedule_csv, schedule_to_csv};
 use mris_core::registry::{algorithm_by_name, known_algorithms, online_policy_by_name};
-use mris_sim::{run_online_chaos, suggested_horizon, FaultPlan, PoissonFaultConfig};
-use mris_types::RestartSemantics;
+use mris_service::{
+    generate_workload, poisson_rate_for_utilization, ArrivalProcess, JsonlSink, LoadGenConfig,
+    Service, ServiceConfig, ServiceReport, SimClock,
+};
+use mris_sim::{
+    run_online_chaos, suggested_horizon, FaultPlan, PoissonFaultConfig, RackBurstConfig,
+};
+use mris_types::{JobId, RestartSemantics};
 
 /// A CLI failure: message for the user, non-zero exit.
 #[derive(Debug)]
@@ -44,7 +50,13 @@ fn usage() -> String {
          \x20 mris compare --trace trace.csv --machines M [--algos a,b,c]\n\
          \x20 mris validate --trace trace.csv --schedule schedule.csv --machines M\n\
          \x20 mris chaos --trace trace.csv --machines M [--algos a,b,c] [--rate X]\n\
-         \x20      [--mttr-frac F] [--seed S] [--restart full|aging] [--aging-factor K]\n\n\
+         \x20      [--mttr-frac F] [--seed S] [--restart full|aging] [--aging-factor K]\n\
+         \x20 mris serve --trace trace.csv --algo NAME --machines M [--epoch E]\n\
+         \x20      [--queue-watermark Q] [--load-watermark L] [--telemetry out.jsonl]\n\
+         \x20 mris loadgen --jobs N --machines M [--algo NAME] [--seed S]\n\
+         \x20      [--process poisson|bursts] [--utilization U] [--burst-size B]\n\
+         \x20      [--fault-plan none|poisson|racks|adversarial] [--fault-rate X]\n\
+         \x20      [--mttr-frac F] [--restart full|aging] [--telemetry out.jsonl]\n\n\
          ALGORITHMS:\n",
     );
     for (name, desc) in known_algorithms() {
@@ -114,6 +126,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "compare" => compare(&Flags::parse(rest)?),
         "validate" => validate(&Flags::parse(rest)?),
         "chaos" => chaos(&Flags::parse(rest)?),
+        "serve" => serve(&Flags::parse(rest)?),
+        "loadgen" => loadgen(&Flags::parse(rest)?),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(CliError(format!(
             "unknown command '{other}'\n\n{}",
@@ -254,17 +268,7 @@ fn chaos(flags: &Flags) -> Result<String, CliError> {
             "--mttr-frac must be finite and > 0, got {mttr_frac}"
         )));
     }
-    let restart = match flags.get("restart").unwrap_or("full") {
-        "full" => RestartSemantics::FullRestart,
-        "aging" => RestartSemantics::WeightAging {
-            factor: aging_factor,
-        },
-        other => {
-            return Err(CliError(format!(
-                "--restart must be 'full' or 'aging', got '{other}'"
-            )))
-        }
-    };
+    let restart = restart_from_flags(flags, aging_factor)?;
     let names = flags
         .get("algos")
         .unwrap_or("mris,pq-wsjf,tetris,bf-exec,ca-pq");
@@ -316,6 +320,274 @@ fn chaos(flags: &Flags) -> Result<String, CliError> {
         instance.num_resources(),
         restart.label(),
         table.to_markdown()
+    ))
+}
+
+fn restart_from_flags(flags: &Flags, aging_factor: f64) -> Result<RestartSemantics, CliError> {
+    match flags.get("restart").unwrap_or("full") {
+        "full" => Ok(RestartSemantics::FullRestart),
+        "aging" => Ok(RestartSemantics::WeightAging {
+            factor: aging_factor,
+        }),
+        other => Err(CliError(format!(
+            "--restart must be 'full' or 'aging', got '{other}'"
+        ))),
+    }
+}
+
+/// Reads the service knobs shared by `serve` and `loadgen` into a
+/// [`ServiceConfig`]: `--epoch`, `--queue-watermark`, `--load-watermark`.
+fn service_cfg_from_flags(flags: &Flags, machines: usize) -> Result<ServiceConfig, CliError> {
+    if machines == 0 {
+        return Err(CliError("--machines must be at least 1".into()));
+    }
+    let epoch: f64 = flags.get_parsed("epoch", 0.0)?;
+    let queue_watermark: usize = flags.get_parsed("queue-watermark", usize::MAX)?;
+    let load_watermark: f64 = flags.get_parsed("load-watermark", f64::INFINITY)?;
+    if !epoch.is_finite() || epoch < 0.0 {
+        return Err(CliError(format!(
+            "--epoch must be finite and >= 0, got {epoch}"
+        )));
+    }
+    if queue_watermark == 0 {
+        return Err(CliError("--queue-watermark must be at least 1".into()));
+    }
+    if load_watermark.is_nan() || load_watermark <= 0.0 {
+        return Err(CliError(format!(
+            "--load-watermark must be > 0 (or inf), got {load_watermark}"
+        )));
+    }
+    let mut cfg = ServiceConfig::new(machines);
+    cfg.epoch = epoch;
+    cfg.queue_watermark = queue_watermark;
+    cfg.load_watermark = load_watermark;
+    Ok(cfg)
+}
+
+/// Feeds every job of `instance` through the admission path of a fresh
+/// service (at its release time, in `(release, id)` order), drains, and
+/// verifies the fault log. With `telemetry`, per-epoch records and the
+/// summary stream to that JSONL file.
+fn drive_service(
+    instance: &Instance,
+    name: &str,
+    cfg: ServiceConfig,
+    telemetry: Option<&str>,
+) -> Result<ServiceReport, CliError> {
+    let machines = cfg.num_machines;
+    let policy = online_policy_by_name(name, instance, machines)?;
+    let writer: Box<dyn std::io::Write> = match telemetry {
+        Some(path) => Box::new(
+            std::fs::File::create(path)
+                .map_err(|e| CliError(format!("cannot create {path}: {e}")))?,
+        ),
+        None => Box::new(std::io::sink()),
+    };
+    let mut service = Service::new(
+        instance.clone(),
+        policy,
+        cfg,
+        SimClock::new(),
+        JsonlSink::new(writer),
+    );
+    let mut order: Vec<JobId> = instance.jobs().iter().map(|j| j.id).collect();
+    order.sort_by(|&a, &b| {
+        instance
+            .job(a)
+            .release
+            .total_cmp(&instance.job(b).release)
+            .then(a.cmp(&b))
+    });
+    for job in order {
+        // Admission rejections are recorded in the report's ledger; only
+        // policy failures abort the run.
+        let _ = service
+            .submit_at(instance.job(job).release, job)
+            .map_err(|e| CliError(format!("{name}: service error: {e}")))?;
+    }
+    let (report, sink) = service
+        .drain()
+        .map_err(|e| CliError(format!("{name}: drain failed: {e}")))?;
+    sink.finish()
+        .map_err(|e| CliError(format!("telemetry write failed: {e}")))?;
+    report
+        .log
+        .verify()
+        .map_err(|v| CliError(format!("{name}: fault-log violation: {v}")))?;
+    Ok(report)
+}
+
+fn service_summary_text(report: &ServiceReport) -> String {
+    let s = &report.summary;
+    let latency = match &s.decision_latency_us {
+        Some(p) => format!("{:.1}/{:.1}/{:.1} us", p.p50, p.p95, p.p99),
+        None => "n/a".to_string(),
+    };
+    format!(
+        "submitted   = {}\n\
+         accepted    = {}\n\
+         rejected    = {} (queue full {}, load shed {})\n\
+         completed   = {}\n\
+         failures    = {} (re-releases {})\n\
+         epochs      = {} (max queue depth {})\n\
+         AWCT        = {:.6}\n\
+         makespan    = {:.6}\n\
+         drained at t = {:.3} ({:.3}s wall, {:.0} jobs/s)\n\
+         decision latency p50/p95/p99 = {latency}\n\
+         fault log verified OK\n",
+        s.submitted,
+        s.accepted,
+        s.rejected_queue_full + s.rejected_infeasible,
+        s.rejected_queue_full,
+        s.rejected_infeasible,
+        s.completed,
+        s.failures,
+        report.log.total_re_releases(),
+        s.epochs,
+        s.max_queue_depth,
+        s.awct,
+        s.makespan,
+        s.drained_at,
+        s.wall_seconds,
+        s.throughput_jobs_per_sec,
+    )
+}
+
+fn serve(flags: &Flags) -> Result<String, CliError> {
+    let instance = load_instance(flags.require("trace")?)?;
+    let machines: usize = flags.get_parsed("machines", 20)?;
+    let name = flags.get("algo").unwrap_or("mris");
+    let cfg = service_cfg_from_flags(flags, machines)?;
+    let epoch = cfg.epoch;
+    let report = drive_service(&instance, name, cfg, flags.get("telemetry"))?;
+    Ok(format!(
+        "serve: {} jobs, {} resources, {machines} machines, algo = {name}, epoch = {epoch}\n\n{}",
+        instance.len(),
+        instance.num_resources(),
+        service_summary_text(&report)
+    ))
+}
+
+fn loadgen(flags: &Flags) -> Result<String, CliError> {
+    let jobs: usize = flags.get_parsed("jobs", 500)?;
+    let seed: u64 = flags.get_parsed("seed", 0x10AD)?;
+    let machines: usize = flags.get_parsed("machines", 8)?;
+    let name = flags.get("algo").unwrap_or("mris");
+    let utilization: f64 = flags.get_parsed("utilization", 0.7)?;
+    if jobs == 0 {
+        return Err(CliError("--jobs must be at least 1".into()));
+    }
+    if !utilization.is_finite() || utilization <= 0.0 {
+        return Err(CliError(format!(
+            "--utilization must be finite and > 0, got {utilization}"
+        )));
+    }
+    let mut cfg = service_cfg_from_flags(flags, machines)?;
+
+    // Shapes are arrival-process independent for a fixed seed: probe once
+    // to calibrate the Poisson rate against the target utilization.
+    let probe = generate_workload(&LoadGenConfig {
+        num_jobs: jobs,
+        seed,
+        arrivals: ArrivalProcess::Bursts {
+            period: 1.0,
+            size: 1,
+        },
+    });
+    let rate = match flags.get("rate") {
+        Some(_) => flags.get_parsed("rate", 0.0)?,
+        None => poisson_rate_for_utilization(&probe.instance, machines, utilization),
+    };
+    if !rate.is_finite() || rate <= 0.0 {
+        return Err(CliError(format!(
+            "--rate must be finite and > 0, got {rate}"
+        )));
+    }
+    let process = flags.get("process").unwrap_or("poisson");
+    let arrivals = match process {
+        "poisson" => ArrivalProcess::Poisson { rate },
+        "bursts" => {
+            let size: usize = flags.get_parsed("burst-size", (jobs / 20).max(1))?;
+            if size == 0 {
+                return Err(CliError("--burst-size must be at least 1".into()));
+            }
+            ArrivalProcess::Bursts {
+                period: size as f64 / rate,
+                size,
+            }
+        }
+        other => {
+            return Err(CliError(format!(
+                "--process must be 'poisson' or 'bursts', got '{other}'"
+            )))
+        }
+    };
+    let workload = generate_workload(&LoadGenConfig {
+        num_jobs: jobs,
+        seed,
+        arrivals,
+    });
+
+    // Optional fault layer, replayed against the live service.
+    let plan_name = flags.get("fault-plan").unwrap_or("none");
+    let fault_rate: f64 = flags.get_parsed("fault-rate", 1.0)?;
+    let mttr_frac: f64 = flags.get_parsed("mttr-frac", 0.05)?;
+    let fault_seed: u64 = flags.get_parsed("fault-seed", seed ^ 0xFA17)?;
+    if !fault_rate.is_finite() || fault_rate < 0.0 {
+        return Err(CliError(format!(
+            "--fault-rate must be finite and >= 0, got {fault_rate}"
+        )));
+    }
+    if !mttr_frac.is_finite() || mttr_frac <= 0.0 {
+        return Err(CliError(format!(
+            "--mttr-frac must be finite and > 0, got {mttr_frac}"
+        )));
+    }
+    if !matches!(plan_name, "none" | "poisson" | "racks" | "adversarial") {
+        return Err(CliError(format!(
+            "--fault-plan must be one of none|poisson|racks|adversarial, got '{plan_name}'"
+        )));
+    }
+    let horizon = suggested_horizon(&workload.instance, machines);
+    let plan = if plan_name == "none" || fault_rate == 0.0 {
+        FaultPlan::none()
+    } else {
+        match plan_name {
+            "poisson" => FaultPlan::poisson(&PoissonFaultConfig {
+                seed: fault_seed,
+                num_machines: machines,
+                horizon,
+                mtbf: horizon / fault_rate,
+                mttr: mttr_frac * horizon,
+            }),
+            "racks" => FaultPlan::rack_bursts(&RackBurstConfig {
+                seed: fault_seed,
+                num_machines: machines,
+                rack_size: (machines / 4).max(1),
+                horizon,
+                mtbb: horizon / fault_rate,
+                downtime: mttr_frac * horizon,
+            }),
+            _ => FaultPlan::adversarial_busiest(
+                fault_rate.ceil() as usize,
+                0.1 * horizon,
+                0.8 * horizon / fault_rate.ceil(),
+                mttr_frac * horizon,
+            ),
+        }
+    };
+    let plan_events = plan.len();
+    cfg.restart = restart_from_flags(flags, flags.get_parsed("aging-factor", 2.0)?)?;
+    let restart_label = cfg.restart.label();
+    cfg.fault_plan = plan;
+
+    let report = drive_service(&workload.instance, name, cfg, flags.get("telemetry"))?;
+    Ok(format!(
+        "loadgen: {jobs} jobs, {machines} machines, algo = {name}, process = {process} \
+         (rate {rate:.4}/s, target utilization {utilization})\n\
+         faults: plan = {plan_name} ({plan_events} events over horizon {horizon:.1}), \
+         restart = {restart_label}\n\n{}",
+        service_summary_text(&report)
     ))
 }
 
@@ -488,6 +760,110 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(err.0.contains("cannot read"), "{err}");
+    }
+
+    #[test]
+    fn serve_runs_trace_through_service() {
+        let trace_path = tmp("serve_trace.csv");
+        let jsonl_path = tmp("serve_telemetry.jsonl");
+        run(&s(&[
+            "generate",
+            "--jobs",
+            "80",
+            "--out",
+            trace_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let out = run(&s(&[
+            "serve",
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--algo",
+            "mris",
+            "--machines",
+            "3",
+            "--telemetry",
+            jsonl_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("completed   = 80"), "{out}");
+        assert!(out.contains("AWCT"), "{out}");
+        assert!(out.contains("fault log verified OK"), "{out}");
+        let jsonl = std::fs::read_to_string(&jsonl_path).unwrap();
+        assert!(jsonl.contains("\"event\": \"epoch\""), "{jsonl}");
+        assert!(jsonl.contains("\"event\": \"summary\""), "{jsonl}");
+
+        // A tiny queue watermark sheds load instead of dropping silently.
+        let out = run(&s(&[
+            "serve",
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--algo",
+            "tetris",
+            "--machines",
+            "3",
+            "--queue-watermark",
+            "1",
+        ]))
+        .unwrap();
+        assert!(out.contains("queue full"), "{out}");
+        let err = run(&s(&[
+            "serve",
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--queue-watermark",
+            "0",
+        ]))
+        .unwrap_err();
+        assert!(err.0.contains("queue-watermark"), "{err}");
+    }
+
+    #[test]
+    fn loadgen_replays_fault_plan_against_live_service() {
+        let out = run(&s(&[
+            "loadgen",
+            "--jobs",
+            "60",
+            "--machines",
+            "3",
+            "--algo",
+            "pq-wsjf",
+            "--seed",
+            "5",
+            "--fault-plan",
+            "poisson",
+            "--fault-rate",
+            "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("plan = poisson"), "{out}");
+        assert!(out.contains("fault log verified OK"), "{out}");
+        assert!(out.contains("completed"), "{out}");
+
+        // Burst arrivals and rack faults also drain clean.
+        let out = run(&s(&[
+            "loadgen",
+            "--jobs",
+            "40",
+            "--machines",
+            "4",
+            "--algo",
+            "tetris",
+            "--process",
+            "bursts",
+            "--fault-plan",
+            "racks",
+            "--restart",
+            "aging",
+        ]))
+        .unwrap();
+        assert!(out.contains("process = bursts"), "{out}");
+        assert!(out.contains("restart = aging"), "{out}");
+
+        let err = run(&s(&["loadgen", "--fault-plan", "sideways"])).unwrap_err();
+        assert!(err.0.contains("none|poisson|racks|adversarial"), "{err}");
+        let err = run(&s(&["loadgen", "--process", "sideways"])).unwrap_err();
+        assert!(err.0.contains("poisson"), "{err}");
     }
 
     #[test]

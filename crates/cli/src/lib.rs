@@ -9,6 +9,13 @@
 //!   AWCT/makespan/delay comparison table.
 //! * `mris validate` — check a schedule CSV against its trace for
 //!   feasibility and report its objective values.
+//! * `mris chaos` — replay a fault plan (machine failures + repairs)
+//!   against each algorithm and report AWCT inflation.
+//! * `mris serve` — run a trace through the `mris-service` daemon loop
+//!   (admission control, epoch batching, JSONL telemetry).
+//! * `mris loadgen` — synthesize an open-loop arrival stream (Poisson or
+//!   bursts), optionally replay a fault plan against the live service,
+//!   and report the drained summary.
 //!
 //! The logic lives here (testable); `main.rs` is a thin wrapper.
 

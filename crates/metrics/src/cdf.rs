@@ -1,4 +1,5 @@
-//! Empirical cumulative distribution functions (Figure 5).
+//! Empirical cumulative distribution functions (Figure 5) and the shared
+//! p50/p95/p99 latency summary used by the service and bench reports.
 
 /// An empirical CDF over a sample of values (e.g. per-job queuing delays).
 #[derive(Debug, Clone, PartialEq)]
@@ -79,6 +80,50 @@ impl Cdf {
             Some(self.sorted.iter().sum::<f64>() / self.sorted.len() as f64)
         }
     }
+
+    /// The standard p50/p95/p99 summary of this CDF (nearest-rank). Panics
+    /// when empty; use [`Percentiles::of`] for a fallible entry point.
+    pub fn percentiles(&self) -> Percentiles {
+        Percentiles {
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+/// The p50/p95/p99 summary every latency-style report in the workspace
+/// shares (service decision latencies, timeline query latencies, …), so
+/// quantile math lives in one place.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Percentiles {
+    /// Median (nearest-rank 0.50-quantile).
+    pub p50: f64,
+    /// Nearest-rank 0.95-quantile.
+    pub p95: f64,
+    /// Nearest-rank 0.99-quantile.
+    pub p99: f64,
+}
+
+impl Percentiles {
+    /// Summarizes `values` (need not be sorted; NaNs are rejected).
+    /// Returns `None` for an empty sample.
+    pub fn of(values: &[f64]) -> Option<Percentiles> {
+        if values.is_empty() {
+            return None;
+        }
+        Some(Cdf::new(values.to_vec()).percentiles())
+    }
+
+    /// Divides all three percentiles by `scale` — e.g. nanosecond samples
+    /// reported in microseconds.
+    pub fn scaled(&self, scale: f64) -> Percentiles {
+        Percentiles {
+            p50: self.p50 / scale,
+            p95: self.p95 / scale,
+            p99: self.p99 / scale,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -112,6 +157,21 @@ mod tests {
         assert_eq!(curve[10].0, 99.0);
         assert!((curve[10].1 - 1.0).abs() < 1e-12);
         assert!(curve.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn percentiles_follow_nearest_rank() {
+        let values: Vec<f64> = (1..=100).map(f64::from).collect();
+        let p = Percentiles::of(&values).unwrap();
+        assert_eq!(p.p50, 50.0);
+        assert_eq!(p.p95, 95.0);
+        assert_eq!(p.p99, 99.0);
+        assert_eq!(p, Cdf::new(values).percentiles());
+        assert_eq!(Percentiles::of(&[]), None);
+        let single = Percentiles::of(&[7.0]).unwrap();
+        assert_eq!((single.p50, single.p95, single.p99), (7.0, 7.0, 7.0));
+        let us = p.scaled(1_000.0);
+        assert_eq!(us.p50, 0.05);
     }
 
     #[test]

@@ -6,6 +6,8 @@
 //!   job sets (Section 7.1 plots the mean of 10 samples with a shaded 95%
 //!   CI).
 //! * [`Cdf`] — empirical distribution of queuing delays (Figure 5).
+//! * [`Percentiles`] — the shared p50/p95/p99 summary for latency-style
+//!   reports (service decision latencies, timeline query latencies).
 //! * [`Table`] — plain-text/CSV/markdown series output for the figure
 //!   regeneration binaries.
 //! * [`utilization_profile`] / [`render_utilization`] — resource usage over
@@ -29,7 +31,7 @@ mod summary;
 mod table;
 
 pub use bounds::{awct_lower_bound, makespan_lower_bound, total_weighted_completion_lower_bound};
-pub use cdf::Cdf;
+pub use cdf::{Cdf, Percentiles};
 pub use fairness::{fairness_report, jains_index, slowdowns, FairnessReport};
 pub use gantt::{gantt_lanes, render_gantt, GanttLane};
 pub use render::{render_utilization, utilization_profile};

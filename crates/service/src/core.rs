@@ -1,0 +1,605 @@
+//! The deterministic service event loop.
+//!
+//! [`Service`] wraps any [`OnlinePolicy`] behind a submission interface with
+//! explicit admission control, replays an optional [`FaultPlan`], and
+//! commits placements through the same [`Dispatcher`] path as the batch
+//! drivers. Under a lag-free [`crate::SimClock`] and a policy without
+//! wakeups, a drained service reproduces [`mris_sim::run_online`]
+//! bit-for-bit (the conservativity suite pins this); under a
+//! [`crate::WallClock`] the identical code runs as a daemon.
+//!
+//! # Event ordering
+//!
+//! At one instant the loop mirrors [`mris_sim::run_online_chaos`]:
+//! completions, then fault recoveries, then failures, then delivery of
+//! admitted submissions (one `on_arrivals`), then re-releases (a second
+//! `on_arrivals`), then exactly one `dispatch`. Submissions admitted at the
+//! same delivery instant coalesce into one arrival batch.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap};
+
+use mris_metrics::Percentiles;
+use mris_sim::{
+    resolve_fault_target, ClusterState, CompletionRecord, Dispatcher, FailureRecord, FaultLog,
+    FaultPlan, OnlinePolicy, OrdTime,
+};
+use mris_types::{
+    fraction, AdmissionError, Amount, Instance, JobId, RestartSemantics, Schedule, SchedulingError,
+    Time, CAPACITY,
+};
+
+use crate::clock::Clock;
+use crate::telemetry::{EpochRecord, ServiceSummary, TelemetrySink};
+
+/// Static configuration of a [`Service`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Cluster size.
+    pub num_machines: usize,
+    /// Decision interval: admitted submissions are delivered to the policy
+    /// at the next multiple of `epoch` after they become ready
+    /// (`max(submit time, release)`). `0.0` (the default) delivers
+    /// per-event, which is what conservativity with the batch drivers
+    /// requires.
+    pub epoch: Time,
+    /// Queue-depth watermark: a submission arriving while `queue_watermark`
+    /// admitted jobs are still waiting for delivery is rejected with
+    /// [`AdmissionError::QueueFull`].
+    pub queue_watermark: usize,
+    /// Resource-load watermark as a multiple of one machine's capacity: a
+    /// submission that would push the *queued* (undelivered) demand of some
+    /// resource above `load_watermark * num_machines` is rejected with
+    /// [`AdmissionError::DemandInfeasible`]. `f64::INFINITY` (the default)
+    /// disables load shedding.
+    pub load_watermark: f64,
+    /// Weight treatment for fault-killed jobs, as in the chaos driver.
+    pub restart: RestartSemantics,
+    /// Machine failures to replay during the run.
+    pub fault_plan: FaultPlan,
+}
+
+impl ServiceConfig {
+    /// A permissive configuration: per-event delivery, effectively unbounded
+    /// queue, no load shedding, full restarts, no faults.
+    pub fn new(num_machines: usize) -> Self {
+        ServiceConfig {
+            num_machines,
+            epoch: 0.0,
+            queue_watermark: usize::MAX,
+            load_watermark: f64::INFINITY,
+            restart: RestartSemantics::FullRestart,
+            fault_plan: FaultPlan::none(),
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.num_machines > 0, "service needs at least one machine");
+        assert!(
+            self.epoch.is_finite() && self.epoch >= 0.0,
+            "epoch must be finite and non-negative, got {}",
+            self.epoch
+        );
+        assert!(
+            !self.load_watermark.is_nan() && self.load_watermark > 0.0,
+            "load_watermark must be positive (or infinite), got {}",
+            self.load_watermark
+        );
+        if let RestartSemantics::WeightAging { factor } = self.restart {
+            assert!(
+                factor.is_finite() && factor >= 0.0,
+                "weight-aging factor {factor} must be finite and non-negative"
+            );
+        }
+    }
+}
+
+/// What the service ultimately did with one job of the instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum JobOutcome {
+    /// Never offered to the admission controller.
+    NotSubmitted,
+    /// Shed at admission; the policy never saw it.
+    Rejected(AdmissionError),
+    /// Admitted and not yet completed (queued, pending, or running).
+    Accepted,
+    /// Ran to completion.
+    Completed,
+}
+
+/// The result of draining a [`Service`]: the completed placements, the fault
+/// audit trail, the per-job ledger, and the run summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceReport {
+    /// Final placement of every completed job (rejected jobs are absent).
+    pub schedule: Schedule,
+    /// Failure/recovery/re-release/completion audit trail.
+    pub log: FaultLog,
+    /// Per-job outcome, indexed by job id.
+    pub outcomes: Vec<JobOutcome>,
+    /// End-of-run accounting (also pushed to the telemetry sink).
+    pub summary: ServiceSummary,
+}
+
+/// Pending fault-queue entries; `Recover < Fail` so recoveries fire first
+/// at a shared instant, exactly as in the chaos driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum FaultKind {
+    Recover(usize),
+    Fail(usize),
+}
+
+/// A long-running scheduling service around one [`OnlinePolicy`].
+///
+/// Jobs come from a fixed [`Instance`] (the catalog of everything that may
+/// be submitted); callers submit job ids over time via
+/// [`Service::submit_at`] (or [`Service::submit`] at the clock's current
+/// now) and finally [`Service::drain`] the loop, which runs the remaining
+/// events to quiescence and returns the [`ServiceReport`] plus the
+/// telemetry sink.
+pub struct Service<C: Clock, S: TelemetrySink> {
+    cfg: ServiceConfig,
+    clock: C,
+    sink: S,
+    policy: Box<dyn OnlinePolicy>,
+    /// Pristine copy for metrics; `work` is what aging mutates.
+    original: Instance,
+    work: Instance,
+    cluster: ClusterState,
+    schedule: Schedule,
+    log: FaultLog,
+    outcomes: Vec<JobOutcome>,
+    /// Admitted, undelivered submissions ordered by (delivery time,
+    /// submission sequence) — matches the batch drivers' (release, id)
+    /// arrival order when jobs are submitted in id order.
+    queue: BTreeSet<(OrdTime, u64, JobId)>,
+    /// Exact fixed-point per-resource demand of the queued jobs.
+    queued_demand: Vec<Amount>,
+    seq: u64,
+    fault_q: BinaryHeap<Reverse<(OrdTime, FaultKind)>>,
+    re_released: Vec<JobId>,
+    // Scratch buffers reused across events.
+    freed: Vec<usize>,
+    completed_buf: Vec<(JobId, usize)>,
+    deliver_buf: Vec<JobId>,
+    // Counters and telemetry state.
+    submitted: usize,
+    accepted: usize,
+    rejected_queue_full: usize,
+    rejected_infeasible: usize,
+    max_queue_depth: usize,
+    epochs: usize,
+    decision_ns: Vec<u64>,
+    last_event: Time,
+    started: std::time::Instant,
+}
+
+impl<C: Clock, S: TelemetrySink> Service<C, S> {
+    /// Builds a service over `instance` with the given policy, clock, and
+    /// telemetry sink.
+    ///
+    /// # Panics
+    ///
+    /// If the configuration is invalid (see [`ServiceConfig`] field docs).
+    pub fn new(
+        instance: Instance,
+        policy: Box<dyn OnlinePolicy>,
+        cfg: ServiceConfig,
+        clock: C,
+        sink: S,
+    ) -> Self {
+        cfg.validate();
+        let n = instance.len();
+        let r = instance.num_resources();
+        let fault_q = cfg
+            .fault_plan
+            .events()
+            .iter()
+            .enumerate()
+            .map(|(i, e)| Reverse((OrdTime(e.at), FaultKind::Fail(i))))
+            .collect();
+        Service {
+            cluster: ClusterState::new(cfg.num_machines, r),
+            schedule: Schedule::new(n, cfg.num_machines),
+            log: FaultLog {
+                failures: Vec::new(),
+                recoveries: Vec::new(),
+                re_releases: vec![0; n],
+                completions: Vec::new(),
+            },
+            outcomes: vec![JobOutcome::NotSubmitted; n],
+            queue: BTreeSet::new(),
+            queued_demand: vec![0; r],
+            seq: 0,
+            fault_q,
+            re_released: Vec::new(),
+            freed: Vec::new(),
+            completed_buf: Vec::new(),
+            deliver_buf: Vec::new(),
+            submitted: 0,
+            accepted: 0,
+            rejected_queue_full: 0,
+            rejected_infeasible: 0,
+            max_queue_depth: 0,
+            epochs: 0,
+            decision_ns: Vec::new(),
+            last_event: f64::NEG_INFINITY,
+            started: std::time::Instant::now(),
+            original: instance.clone(),
+            work: instance,
+            cfg,
+            clock,
+            sink,
+            policy,
+        }
+    }
+
+    /// The service's current time.
+    pub fn now(&self) -> Time {
+        self.clock.now()
+    }
+
+    /// Admitted submissions still waiting for delivery to the policy.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The current outcome of `job`.
+    pub fn outcome(&self, job: JobId) -> JobOutcome {
+        self.outcomes[job.index()]
+    }
+
+    /// Submits `job` at the clock's current time without advancing it —
+    /// the threaded front-end's entry point. See [`Service::submit_at`].
+    pub fn submit(&mut self, job: JobId) -> Result<(), AdmissionError> {
+        let now = self.clock.now();
+        self.admit(now, job)
+    }
+
+    /// Advances the service to time `t` (processing every event due
+    /// strictly before it) and then offers `job` to the admission
+    /// controller.
+    ///
+    /// The outer error is fatal — the policy violated a placement rule
+    /// while catching up. The inner result is the admission decision;
+    /// rejections are recorded in the job's [`JobOutcome`] and are normal
+    /// operation, not failures.
+    ///
+    /// # Panics
+    ///
+    /// If `job` is out of range for the instance or was already submitted.
+    pub fn submit_at(
+        &mut self,
+        t: Time,
+        job: JobId,
+    ) -> Result<Result<(), AdmissionError>, SchedulingError> {
+        while let Some(next) = self.next_event_time() {
+            if next >= t {
+                break;
+            }
+            let now = self.clock.advance_to(next);
+            self.process_event(now)?;
+        }
+        let now = self.clock.advance_to(t);
+        Ok(self.admit(now, job))
+    }
+
+    fn admit(&mut self, now: Time, job: JobId) -> Result<(), AdmissionError> {
+        assert!(
+            job.index() < self.work.len(),
+            "unknown job {job} (instance has {} jobs)",
+            self.work.len()
+        );
+        assert!(
+            matches!(self.outcomes[job.index()], JobOutcome::NotSubmitted),
+            "{job} was already submitted"
+        );
+        self.submitted += 1;
+        let depth = self.queue.len();
+        if depth >= self.cfg.queue_watermark {
+            let err = AdmissionError::QueueFull {
+                depth,
+                watermark: self.cfg.queue_watermark,
+            };
+            self.rejected_queue_full += 1;
+            self.outcomes[job.index()] = JobOutcome::Rejected(err);
+            return Err(err);
+        }
+        let budget_ticks = self.cfg.load_watermark * self.cfg.num_machines as f64 * CAPACITY as f64;
+        if budget_ticks.is_finite() {
+            let j = self.work.job(job);
+            for (resource, (&queued, &demand)) in
+                self.queued_demand.iter().zip(j.demands.iter()).enumerate()
+            {
+                if (queued + demand) as f64 > budget_ticks {
+                    let err = AdmissionError::DemandInfeasible {
+                        job,
+                        resource,
+                        queued: fraction(queued),
+                        budget: self.cfg.load_watermark * self.cfg.num_machines as f64,
+                    };
+                    self.rejected_infeasible += 1;
+                    self.outcomes[job.index()] = JobOutcome::Rejected(err);
+                    return Err(err);
+                }
+            }
+        }
+        let j = self.work.job(job);
+        let ready = now.max(j.release);
+        let deliver = if self.cfg.epoch > 0.0 {
+            (ready / self.cfg.epoch).ceil() * self.cfg.epoch
+        } else {
+            ready
+        };
+        for (q, &d) in self.queued_demand.iter_mut().zip(j.demands.iter()) {
+            *q += d;
+        }
+        self.queue.insert((OrdTime(deliver), self.seq, job));
+        self.seq += 1;
+        self.accepted += 1;
+        self.max_queue_depth = self.max_queue_depth.max(self.queue.len());
+        self.outcomes[job.index()] = JobOutcome::Accepted;
+        Ok(())
+    }
+
+    /// The time of the next pending event (delivery, completion, fault, or
+    /// policy wakeup), or `None` when the service is quiescent.
+    pub fn next_event_time(&self) -> Option<Time> {
+        let delivery = self.queue.first().map(|&(t, _, _)| t.0);
+        let completion = self.cluster.next_completion();
+        let fault = self.fault_q.peek().map(|&Reverse((t, _))| t.0);
+        let wake = self.policy.next_wakeup().filter(|&t| t > self.last_event);
+        let mut next = f64::INFINITY;
+        for t in [delivery, completion, fault, wake].into_iter().flatten() {
+            next = next.min(t);
+        }
+        next.is_finite().then_some(next)
+    }
+
+    /// How long a wall-clock caller should sleep before the next event is
+    /// due; `None` when there is no pending event or no waiting is needed.
+    pub fn wait_hint(&self) -> Option<std::time::Duration> {
+        self.next_event_time().and_then(|t| self.clock.wait_hint(t))
+    }
+
+    /// Advances the clock to the next pending event and processes it.
+    /// Returns `false` if the service was already quiescent.
+    ///
+    /// # Errors
+    ///
+    /// Propagates placement-rule violations from the policy.
+    pub fn step(&mut self) -> Result<bool, SchedulingError> {
+        match self.next_event_time() {
+            None => Ok(false),
+            Some(next) => {
+                let now = self.clock.advance_to(next);
+                self.process_event(now)?;
+                Ok(true)
+            }
+        }
+    }
+
+    /// One decision event at `now`: completions, fault events, arrival
+    /// deliveries, re-releases, a single dispatch, then telemetry.
+    /// Everything due at or before `now` is handled (a lagging clock may
+    /// overshoot the event that scheduled this call).
+    fn process_event(&mut self, now: Time) -> Result<(), SchedulingError> {
+        self.last_event = now;
+
+        // 1. Completions — before faults, so a job finishing exactly at a
+        //    strike instant survives.
+        self.freed.clear();
+        self.completed_buf.clear();
+        self.cluster
+            .complete_due_recorded(now, &self.work, &mut self.completed_buf);
+        let first_new_completion = self.log.completions.len();
+        for &(job, machine) in &self.completed_buf {
+            let a = self.schedule.get(job).expect("completed job is assigned");
+            self.log.completions.push(CompletionRecord {
+                job,
+                machine,
+                start: a.start,
+                end: a.start + self.work.job(job).proc_time,
+            });
+            self.outcomes[job.index()] = JobOutcome::Completed;
+            self.freed.push(machine);
+        }
+        let completions = self.completed_buf.len();
+
+        // 2. Fault events due (recoveries before failures at an instant).
+        while let Some(&Reverse((t, kind))) = self.fault_q.peek() {
+            if t.0 > now {
+                break;
+            }
+            self.fault_q.pop();
+            match kind {
+                FaultKind::Recover(machine) => {
+                    self.cluster.recover_machine(machine);
+                    self.freed.push(machine);
+                    self.log.recoveries.push((now, machine));
+                    self.policy.on_machine_recovered(now, machine, &self.work);
+                }
+                FaultKind::Fail(idx) => {
+                    let event = self.cfg.fault_plan.events()[idx];
+                    let Some(machine) = resolve_fault_target(event.target, &self.cluster) else {
+                        continue;
+                    };
+                    let killed = self.cluster.fail_machine(machine);
+                    let recover_at = now + event.downtime;
+                    for &job in &killed {
+                        self.schedule.unassign(job);
+                        self.log.re_releases[job.index()] += 1;
+                        self.outcomes[job.index()] = JobOutcome::Accepted;
+                        if let RestartSemantics::WeightAging { factor } = self.cfg.restart {
+                            self.work.scale_weight(job, factor);
+                        }
+                        self.re_released.push(job);
+                    }
+                    self.fault_q
+                        .push(Reverse((OrdTime(recover_at), FaultKind::Recover(machine))));
+                    self.log.failures.push(FailureRecord {
+                        at: now,
+                        machine,
+                        recover_at,
+                        killed: killed.clone(),
+                    });
+                    self.policy
+                        .on_machine_failed(now, machine, recover_at, &killed, &self.work);
+                }
+            }
+        }
+
+        // 3. Deliveries due: originals first, then this event's re-releases.
+        self.freed.sort_unstable();
+        self.freed.dedup();
+        self.deliver_buf.clear();
+        while let Some(&entry @ (t, _, job)) = self.queue.first() {
+            if t.0 > now {
+                break;
+            }
+            self.queue.remove(&entry);
+            for (q, &d) in self
+                .queued_demand
+                .iter_mut()
+                .zip(self.work.job(job).demands.iter())
+            {
+                *q -= d;
+            }
+            self.deliver_buf.push(job);
+        }
+        let arrivals = self.deliver_buf.len();
+        let decision_started = std::time::Instant::now();
+        if arrivals > 0 {
+            self.policy.on_arrivals(now, &self.deliver_buf, &self.work);
+        }
+        let re_releases = self.re_released.len();
+        if re_releases > 0 {
+            self.re_released.sort_unstable();
+            self.policy.on_arrivals(now, &self.re_released, &self.work);
+            self.re_released.clear();
+        }
+
+        // 4. One dispatch per event.
+        let running_before = self.cluster.num_running();
+        {
+            let mut dispatcher =
+                Dispatcher::new(&mut self.cluster, &mut self.schedule, &self.work, now);
+            self.policy.dispatch(&mut dispatcher, &self.freed)?;
+        }
+        let decision_ns = decision_started.elapsed().as_nanos() as u64;
+        self.decision_ns.push(decision_ns);
+        let placements = self.cluster.num_running() - running_before;
+
+        // 5. Telemetry.
+        let record = EpochRecord {
+            epoch: self.epochs,
+            time: now,
+            queue_depth: self.queue.len(),
+            arrivals,
+            re_releases,
+            placements,
+            completions,
+            running: self.cluster.num_running(),
+            rejections_total: self.rejected_queue_full + self.rejected_infeasible,
+            decision_ns,
+        };
+        self.epochs += 1;
+        self.sink.epoch(&record);
+
+        // 6. Debug invariant audit, mirroring the chaos driver.
+        #[cfg(debug_assertions)]
+        {
+            for rec in &self.log.completions[first_new_completion..] {
+                for fail in &self.log.failures {
+                    assert!(
+                        !(rec.machine == fail.machine
+                            && rec.start < fail.recover_at
+                            && fail.at < rec.end),
+                        "service invariant violated: {} ran [{}, {}) across downtime [{}, {}) on machine {}",
+                        rec.job,
+                        rec.start,
+                        rec.end,
+                        fail.at,
+                        fail.recover_at,
+                        rec.machine
+                    );
+                }
+            }
+            for (_, m, job) in self.cluster.running_jobs() {
+                assert!(
+                    self.cluster.is_up(m),
+                    "service invariant violated: {job} is running on down machine {m}"
+                );
+            }
+        }
+        #[cfg(not(debug_assertions))]
+        let _ = first_new_completion;
+        Ok(())
+    }
+
+    /// Runs the loop to quiescence, enforces that every accepted job
+    /// completed, verifies the fault log, emits the summary to the sink,
+    /// and returns the report together with the sink.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedulingError::StrandedJobs`] if the policy left accepted jobs
+    /// incomplete, or any placement-rule violation raised while draining.
+    pub fn drain(mut self) -> Result<(ServiceReport, S), SchedulingError> {
+        while let Some(next) = self.next_event_time() {
+            let now = self.clock.advance_to(next);
+            self.process_event(now)?;
+        }
+        let stranded = self
+            .outcomes
+            .iter()
+            .filter(|o| matches!(o, JobOutcome::Accepted))
+            .count();
+        if stranded > 0 {
+            return Err(SchedulingError::StrandedJobs { unplaced: stranded });
+        }
+        debug_assert!(
+            self.log.verify().is_ok(),
+            "service fault-log invariant violated at drain"
+        );
+        let completed = self
+            .outcomes
+            .iter()
+            .filter(|o| matches!(o, JobOutcome::Completed))
+            .count();
+        let wall_seconds = self.started.elapsed().as_secs_f64();
+        let awct = if completed > 0 {
+            self.schedule.total_weighted_completion(&self.original) / completed as f64
+        } else {
+            0.0
+        };
+        let latency: Vec<f64> = self.decision_ns.iter().map(|&ns| ns as f64).collect();
+        let summary = ServiceSummary {
+            submitted: self.submitted,
+            accepted: self.accepted,
+            rejected_queue_full: self.rejected_queue_full,
+            rejected_infeasible: self.rejected_infeasible,
+            completed,
+            epochs: self.epochs,
+            max_queue_depth: self.max_queue_depth,
+            failures: self.log.failures.len(),
+            awct,
+            makespan: self.schedule.makespan(&self.original),
+            drained_at: self.clock.now(),
+            wall_seconds,
+            // Guard against a zero-resolution timer on pathological hosts.
+            throughput_jobs_per_sec: completed as f64 / wall_seconds.max(1e-9),
+            decision_latency_us: Percentiles::of(&latency).map(|p| p.scaled(1_000.0)),
+        };
+        self.sink.summary(&summary);
+        Ok((
+            ServiceReport {
+                schedule: self.schedule,
+                log: self.log,
+                outcomes: self.outcomes,
+                summary,
+            },
+            self.sink,
+        ))
+    }
+}

@@ -1,0 +1,46 @@
+//! Scheduler-as-a-service runtime for MRIS and its baselines.
+//!
+//! This crate turns any registered [`mris_sim::OnlinePolicy`] into a
+//! long-running scheduling daemon:
+//!
+//! * **Clock abstraction** ([`Clock`], [`SimClock`], [`WallClock`]) — the
+//!   same event loop is property-testable under deterministic virtual time
+//!   and runnable in real time with a replay speedup.
+//! * **Admission control** ([`Service`], [`ServiceConfig`]) — a bounded
+//!   submission queue with explicit depth and resource-load watermarks;
+//!   shedding is always a typed [`mris_types::AdmissionError`], never a
+//!   silent drop, and every job's fate is recorded in a [`JobOutcome`]
+//!   ledger.
+//! * **Epoch batching** — arrivals accumulate for a configurable decision
+//!   interval and are announced as one batch; the zero interval delivers
+//!   per-event and is bit-identical to the batch drivers (the
+//!   conservativity suite pins this).
+//! * **Fault replay** — a [`mris_sim::FaultPlan`] runs against the live
+//!   service with the chaos driver's exact event ordering and audit log.
+//! * **Telemetry** ([`TelemetrySink`], [`JsonlSink`]) — per-epoch JSONL
+//!   events plus an end-of-run [`ServiceSummary`] with decision-latency
+//!   percentiles from [`mris_metrics::Percentiles`].
+//! * **Threaded front-end** ([`spawn_service`], [`ServiceHandle`]) — a
+//!   bounded `std::mpsc` transport into a worker thread that drains
+//!   gracefully when the handle is dropped or drained.
+//! * **Open-loop load generation** ([`Workload`], [`generate_workload`],
+//!   [`run_workload`]) — Poisson and burst arrival processes over
+//!   Azure-derived job shapes, seeded by `mris-rng`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clock;
+mod core;
+mod loadgen;
+mod server;
+mod telemetry;
+
+pub use clock::{Clock, SimClock, WallClock};
+pub use core::{JobOutcome, Service, ServiceConfig, ServiceReport};
+pub use loadgen::{
+    generate_workload, poisson_rate_for_utilization, run_workload, ArrivalProcess, LoadGenConfig,
+    Workload,
+};
+pub use server::{spawn_service, ServiceHandle, SubmitError};
+pub use telemetry::{EpochRecord, JsonlSink, MemorySink, NullSink, ServiceSummary, TelemetrySink};

@@ -1,0 +1,184 @@
+//! Conservativity of the service event loop.
+//!
+//! The service adds admission control, clocks, and telemetry *around* the
+//! scheduling path — it must not change a single placement. Pinned here,
+//! over randomized instances:
+//!
+//! 1. A permissive service under a lag-free `SimClock` (jobs submitted at
+//!    their release times, per-event delivery) produces a bit-identical
+//!    schedule and AWCT to the batch scheduler resolved from the registry,
+//!    for **every** comparison algorithm — including MRIS, whose `gamma_k`
+//!    wakeups the service loop honors.
+//! 2. For policies without wakeups (all baselines), the service is also
+//!    bit-identical to `run_online` directly.
+//! 3. Two service runs with the same seed are byte-identical (replay).
+
+use mris_core::registry::{algorithm_by_name, online_policy_by_name};
+use mris_rng::prop::{check, Config};
+use mris_rng::{prop_assert, prop_assert_eq, Rng};
+use mris_service::{JobOutcome, MemorySink, Service, ServiceConfig, ServiceReport, SimClock};
+use mris_sim::run_online;
+use mris_types::{Instance, Job, JobId};
+
+const SCHEDULERS: [&str; 6] = ["mris", "pq-wsjf", "pq-wsvf", "tetris", "bf-exec", "ca-pq"];
+/// Baselines whose `next_wakeup` is `None`, comparable against `run_online`.
+const EVENT_DRIVEN: [&str; 5] = ["pq-wsjf", "pq-wsvf", "tetris", "bf-exec", "ca-pq"];
+
+/// One generated job row: release, proc time, weight, demands.
+type Row = (f64, f64, f64, Vec<f64>);
+
+/// `(machines, resources, rows)`.
+type Case = (usize, usize, Vec<Row>);
+
+fn gen_case(rng: &mut Rng) -> Case {
+    let r = rng.gen_range(1..=2usize);
+    let n = rng.gen_range(2..=12usize);
+    let rows = (0..n)
+        .map(|_| {
+            (
+                rng.gen_range(0.0..10.0),
+                rng.gen_range(0.5..6.0),
+                rng.gen_range(0.0..4.0),
+                (0..r).map(|_| rng.gen_range(0.0..=1.0)).collect(),
+            )
+        })
+        .collect();
+    (rng.gen_range(1..=3usize), r, rows)
+}
+
+fn build_case(case: &Case) -> Option<(usize, Instance)> {
+    let (machines, r, rows) = case;
+    if rows.len() < 2
+        || !(1..=2).contains(r)
+        || !(1..=3).contains(machines)
+        || rows.iter().any(|(_, _, _, d)| d.len() != *r)
+    {
+        return None;
+    }
+    let jobs = rows
+        .iter()
+        .map(|(rel, p, w, d)| Job::from_fractions(JobId(0), *rel, *p, *w, d))
+        .collect();
+    let instance = Instance::from_unnumbered(jobs, *r).ok()?;
+    Some((*machines, instance))
+}
+
+/// Runs a permissive service over `instance`, submitting every job at its
+/// release time in (release, id) order — the same arrival order the batch
+/// drivers synthesize.
+fn run_service(name: &str, instance: &Instance, machines: usize) -> Result<ServiceReport, String> {
+    let policy = online_policy_by_name(name, instance, machines)
+        .expect("registry resolves comparison names");
+    let mut service = Service::new(
+        instance.clone(),
+        policy,
+        ServiceConfig::new(machines),
+        SimClock::new(),
+        MemorySink::default(),
+    );
+    let mut order: Vec<JobId> = instance.jobs().iter().map(|j| j.id).collect();
+    order.sort_by(|&a, &b| {
+        instance
+            .job(a)
+            .release
+            .total_cmp(&instance.job(b).release)
+            .then(a.cmp(&b))
+    });
+    for job in order {
+        service
+            .submit_at(instance.job(job).release, job)
+            .map_err(|e| format!("{name} service: {e}"))?
+            .expect("permissive config never rejects");
+    }
+    let (report, _sink) = service.drain().map_err(|e| format!("{name} drain: {e}"))?;
+    Ok(report)
+}
+
+/// Service == batch scheduler, bit for bit, for every comparison algorithm.
+#[test]
+fn service_matches_batch_for_all_algorithms() {
+    check(
+        "service vs batch conservativity",
+        &Config::with_cases(48),
+        gen_case,
+        |case| {
+            let Some((machines, instance)) = build_case(case) else {
+                return Ok(());
+            };
+            for name in SCHEDULERS {
+                let batch = algorithm_by_name(name)
+                    .expect("registry resolves comparison names")
+                    .try_schedule(&instance, machines)
+                    .map_err(|e| format!("{name} batch: {e}"))?;
+                let report = run_service(name, &instance, machines)?;
+                prop_assert_eq!(&report.schedule, &batch, "{name} diverged from batch");
+                prop_assert_eq!(
+                    report.schedule.awct(&instance).to_bits(),
+                    batch.awct(&instance).to_bits(),
+                    "{name} AWCT bits diverged"
+                );
+                prop_assert!(
+                    report
+                        .outcomes
+                        .iter()
+                        .all(|o| matches!(o, JobOutcome::Completed)),
+                    "{name} left non-completed outcomes"
+                );
+                prop_assert_eq!(report.summary.completed, instance.len(), "{name} count");
+                prop_assert_eq!(report.summary.failures, 0usize, "{name} phantom failure");
+            }
+            Ok(())
+        },
+    );
+}
+
+/// For wakeup-free baselines the service is also identical to `run_online`.
+#[test]
+fn service_matches_run_online_for_event_driven_policies() {
+    check(
+        "service vs run_online conservativity",
+        &Config::with_cases(48),
+        gen_case,
+        |case| {
+            let Some((machines, instance)) = build_case(case) else {
+                return Ok(());
+            };
+            for name in EVENT_DRIVEN {
+                let mut policy = online_policy_by_name(name, &instance, machines)
+                    .expect("registry resolves comparison names");
+                let online = run_online(&instance, machines, policy.as_mut())
+                    .map_err(|e| format!("{name} run_online: {e}"))?;
+                let report = run_service(name, &instance, machines)?;
+                prop_assert_eq!(&report.schedule, &online, "{name} diverged from run_online");
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Same inputs, two service runs: byte-identical schedules and summaries.
+#[test]
+fn service_replay_is_bit_for_bit() {
+    check(
+        "service replay determinism",
+        &Config::with_cases(32),
+        gen_case,
+        |case| {
+            let Some((machines, instance)) = build_case(case) else {
+                return Ok(());
+            };
+            for name in ["mris", "tetris"] {
+                let first = run_service(name, &instance, machines)?;
+                let second = run_service(name, &instance, machines)?;
+                prop_assert_eq!(&first.schedule, &second.schedule, "{name} schedule");
+                prop_assert_eq!(&first.log, &second.log, "{name} log");
+                prop_assert_eq!(
+                    first.summary.awct.to_bits(),
+                    second.summary.awct.to_bits(),
+                    "{name} AWCT bits"
+                );
+            }
+            Ok(())
+        },
+    );
+}

@@ -356,7 +356,12 @@ enum FaultKind {
     Fail(usize),
 }
 
-fn resolve_target(target: FaultTarget, cluster: &ClusterState) -> Option<usize> {
+/// Resolves a [`FaultTarget`] against the instantaneous cluster state:
+/// `Machine(m)` hits `m` iff it is in range and up; `Busiest` picks the up
+/// machine running the most jobs (lowest index wins ties). `None` means the
+/// strike is absorbed. Public so external fault-replaying drivers (the
+/// `mris-service` event loop) share the chaos driver's exact semantics.
+pub fn resolve_fault_target(target: FaultTarget, cluster: &ClusterState) -> Option<usize> {
     match target {
         FaultTarget::Machine(m) => (m < cluster.num_machines() && cluster.is_up(m)).then_some(m),
         FaultTarget::Busiest => {
@@ -512,7 +517,7 @@ pub fn run_online_chaos<P: OnlinePolicy + ?Sized>(
                 FaultKind::Fail(idx) => {
                     let event = plan.events()[idx];
                     // Absorb strikes on down or out-of-range machines.
-                    let Some(machine) = resolve_target(event.target, &cluster) else {
+                    let Some(machine) = resolve_fault_target(event.target, &cluster) else {
                         continue;
                     };
                     let killed = cluster.fail_machine(machine);

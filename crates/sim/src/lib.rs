@@ -29,8 +29,8 @@ mod timeline;
 
 pub use cluster::ClusterState;
 pub use fault::{
-    run_online_chaos, suggested_horizon, ChaosOutcome, ChaosViolation, CompletionRecord,
-    FailureRecord, FaultLog, FaultPlan, PoissonFaultConfig, RackBurstConfig,
+    resolve_fault_target, run_online_chaos, suggested_horizon, ChaosOutcome, ChaosViolation,
+    CompletionRecord, FailureRecord, FaultLog, FaultPlan, PoissonFaultConfig, RackBurstConfig,
 };
 pub use online::{run_online, run_online_observed, Dispatcher, EventSnapshot, OnlinePolicy};
 pub use timeline::{ClusterTimelines, MachineTimeline};

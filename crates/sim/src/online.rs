@@ -22,7 +22,11 @@ pub struct Dispatcher<'a> {
 }
 
 impl<'a> Dispatcher<'a> {
-    pub(crate) fn new(
+    /// Builds a dispatcher for one event at `now`. Public so external
+    /// drivers (the `mris-service` event loop) can commit placements
+    /// through the same checked path as [`run_online`] and
+    /// [`crate::run_online_chaos`].
+    pub fn new(
         cluster: &'a mut ClusterState,
         schedule: &'a mut Schedule,
         instance: &'a Instance,

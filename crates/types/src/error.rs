@@ -88,6 +88,60 @@ impl std::fmt::Display for InstanceError {
 
 impl std::error::Error for InstanceError {}
 
+/// The scheduling service's admission controller rejected a submission.
+///
+/// Admission control is *explicit load-shedding*: a submission is either
+/// accepted (and then guaranteed to complete) or rejected with one of these
+/// typed reasons — never silently dropped.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AdmissionError {
+    /// The submission queue is at or above its depth watermark.
+    QueueFull {
+        /// Queue depth observed at submission time.
+        depth: usize,
+        /// The configured depth watermark (submissions are shed at
+        /// `depth >= watermark`).
+        watermark: usize,
+    },
+    /// Admitting the job would push the queued demand for some resource
+    /// beyond the configured load watermark — the cluster cannot absorb it
+    /// at an acceptable backlog.
+    DemandInfeasible {
+        /// The rejected job.
+        job: JobId,
+        /// Resource index whose budget the job would overflow.
+        resource: usize,
+        /// Queued demand for that resource (machine-capacity fractions)
+        /// before the submission.
+        queued: f64,
+        /// The configured budget (`load_watermark * num_machines`).
+        budget: f64,
+    },
+}
+
+impl std::fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionError::QueueFull { depth, watermark } => write!(
+                f,
+                "submission queue full: depth {depth} at watermark {watermark}"
+            ),
+            AdmissionError::DemandInfeasible {
+                job,
+                resource,
+                queued,
+                budget,
+            } => write!(
+                f,
+                "demand infeasible: {job} would push queued demand for resource {resource} \
+                 past {budget:.3} (currently {queued:.3})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
 /// A scheduling policy violated a placement rule, or an algorithm failed to
 /// produce a complete schedule. Surfaced as a typed error instead of a
 /// process abort so callers can attribute the failure to the offending

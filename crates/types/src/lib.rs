@@ -31,7 +31,7 @@ mod job;
 mod resource;
 mod schedule;
 
-pub use error::{InstanceError, SchedulingError};
+pub use error::{AdmissionError, InstanceError, SchedulingError};
 pub use fault::{FaultEvent, FaultTarget, RestartSemantics};
 pub use instance::{Instance, InstanceStats};
 pub use job::{Job, JobId};

@@ -19,4 +19,7 @@ $B/ablation --samples 5 > results/ablation.txt 2> results/ablation.log
 $B/runtime  > results/runtime.txt  2> results/runtime.log
 $B/dynamics > results/dynamics.txt 2> results/dynamics.log
 $B/fairness --samples 3 > results/fairness.txt 2> results/fairness.log
+$B/timeline --out results/BENCH_timeline.json > /dev/null 2> results/timeline.log
+$B/chaos    --out results/BENCH_chaos.json    > /dev/null 2> results/chaos.log
+$B/service  --out results/BENCH_service.json  > /dev/null 2> results/service.log
 echo ALL_DONE

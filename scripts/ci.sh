@@ -45,4 +45,15 @@ for key in '"bench": "chaos"' '"mode": "smoke"' '"restart"' '"rates"' \
     || { echo "BENCH_chaos_smoke.json is missing $key" >&2; exit 1; }
 done
 
+echo "==> service bench smoke run + schema check"
+cargo run --release --offline -p mris-bench --bin service -- \
+  --smoke --out results/BENCH_service_smoke.json >/dev/null
+for key in '"bench": "service"' '"mode": "smoke"' '"poisson_rate"' \
+  '"schedulers"' '"process": "poisson"' '"process": "bursts"' \
+  '"throughput_jobs_per_sec"' '"decision_latency_us"' '"p50"' '"p95"' \
+  '"p99"' '"submitted"' '"completed"' '"epochs"' '"max_queue_depth"'; do
+  grep -qF "$key" results/BENCH_service_smoke.json \
+    || { echo "BENCH_service_smoke.json is missing $key" >&2; exit 1; }
+done
+
 echo "CI OK"

@@ -22,7 +22,10 @@
 //! * the substrates: exact fixed-point types ([`mris_types`]), a
 //!   discrete-event cluster simulator ([`mris_sim`]), knapsack solvers
 //!   ([`mris_knapsack`]), an Azure-like trace generator ([`mris_trace`]),
-//!   and experiment metrics ([`mris_metrics`]).
+//!   and experiment metrics ([`mris_metrics`]);
+//! * a long-running scheduling daemon ([`mris_service`]) wrapping any
+//!   registered policy behind admission control, epoch batching, pluggable
+//!   clocks, and per-epoch telemetry, plus an open-loop load generator.
 //!
 //! ## Quickstart
 //!
@@ -53,6 +56,7 @@ pub use mris_core::registry;
 pub use mris_knapsack as knapsack;
 pub use mris_metrics as metrics;
 pub use mris_schedulers as schedulers;
+pub use mris_service as service;
 pub use mris_sim as sim;
 pub use mris_trace as trace;
 pub use mris_types as types;
