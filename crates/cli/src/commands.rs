@@ -10,7 +10,7 @@ use crate::schedule_io::{parse_schedule_csv, schedule_to_csv};
 use mris_core::registry::{algorithm_by_name, known_algorithms, online_policy_by_name};
 use mris_service::{
     generate_workload, poisson_rate_for_utilization, ArrivalProcess, JsonlSink, LoadGenConfig,
-    Service, ServiceConfig, ServiceReport, SimClock,
+    ObsBridge, Service, ServiceConfig, ServiceReport, SimClock,
 };
 use mris_sim::{
     run_online_chaos, suggested_horizon, FaultPlan, PoissonFaultConfig, RackBurstConfig,
@@ -41,18 +41,33 @@ impl From<std::io::Error> for CliError {
     }
 }
 
+impl From<mris_types::RegistryError> for CliError {
+    fn from(e: mris_types::RegistryError) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+impl From<mris_types::ConfigError> for CliError {
+    fn from(e: mris_types::ConfigError) -> Self {
+        CliError(e.to_string())
+    }
+}
+
 fn usage() -> String {
     let mut s = String::from(
         "mris — online non-preemptive multi-resource scheduling (ICPP'24 reproduction)\n\n\
          USAGE:\n\
          \x20 mris generate --jobs N [--seed S] [--out trace.csv]\n\
          \x20 mris schedule --trace trace.csv --algo NAME --machines M [--out schedule.csv]\n\
+         \x20      [--obs] [--obs-events events.jsonl] [--metrics-path metrics.prom]\n\
+         \x20      ('run' is an alias of 'schedule')\n\
          \x20 mris compare --trace trace.csv --machines M [--algos a,b,c]\n\
          \x20 mris validate --trace trace.csv --schedule schedule.csv --machines M\n\
          \x20 mris chaos --trace trace.csv --machines M [--algos a,b,c] [--rate X]\n\
          \x20      [--mttr-frac F] [--seed S] [--restart full|aging] [--aging-factor K]\n\
          \x20 mris serve --trace trace.csv --algo NAME --machines M [--epoch E]\n\
          \x20      [--queue-watermark Q] [--load-watermark L] [--telemetry out.jsonl]\n\
+         \x20      [--metrics-path metrics.prom]\n\
          \x20 mris loadgen --jobs N --machines M [--algo NAME] [--seed S]\n\
          \x20      [--process poisson|bursts] [--utilization U] [--burst-size B]\n\
          \x20      [--fault-plan none|poisson|racks|adversarial] [--fault-rate X]\n\
@@ -72,15 +87,18 @@ struct Flags {
 impl Flags {
     fn parse(args: &[String]) -> Result<Flags, CliError> {
         let mut pairs = Vec::new();
-        let mut iter = args.iter();
+        let mut iter = args.iter().peekable();
         while let Some(arg) = iter.next() {
             let key = arg.strip_prefix("--").ok_or_else(|| {
                 CliError(format!("expected a --flag, found '{arg}'\n\n{}", usage()))
             })?;
-            let value = iter
-                .next()
-                .ok_or_else(|| CliError(format!("--{key} requires a value")))?;
-            pairs.push((key.to_string(), value.clone()));
+            // A flag followed by another --flag (or by nothing) is a switch
+            // and records the value "true" (e.g. `--obs`).
+            let value = match iter.peek() {
+                Some(next) if !next.starts_with("--") => iter.next().unwrap().clone(),
+                _ => "true".to_string(),
+            };
+            pairs.push((key.to_string(), value));
         }
         Ok(Flags { pairs })
     }
@@ -90,6 +108,12 @@ impl Flags {
             .iter()
             .find(|(k, _)| k == key)
             .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether a boolean switch flag is present (and not explicitly
+    /// disabled with `--flag false`).
+    fn switch(&self, key: &str) -> bool {
+        self.get(key).is_some_and(|v| v != "false" && v != "0")
     }
 
     fn require(&self, key: &str) -> Result<&str, CliError> {
@@ -108,6 +132,57 @@ impl Flags {
     }
 }
 
+/// Installs the process-wide observability subscriber for the duration of
+/// one command when `--obs`, `--obs-events`, or `--metrics-path` asks for
+/// it. Returns the subscriber (kept for rendering at command end) and the
+/// RAII guard holding the installation.
+fn obs_from_flags(
+    flags: &Flags,
+) -> Result<Option<(std::sync::Arc<mris_obs::Obs>, mris_obs::InstallGuard)>, CliError> {
+    let wanted = flags.switch("obs")
+        || flags.get("obs-events").is_some()
+        || flags.get("metrics-path").is_some();
+    if !wanted {
+        return Ok(None);
+    }
+    let obs = match flags.get("obs-events") {
+        Some(path) => {
+            let file = std::fs::File::create(path)
+                .map_err(|e| CliError(format!("cannot create {path}: {e}")))?;
+            mris_obs::Obs::with_sink(Box::new(mris_obs::JsonlEventSink::new(
+                std::io::BufWriter::new(file),
+            )))
+        }
+        None => mris_obs::Obs::new(),
+    };
+    let obs = std::sync::Arc::new(obs);
+    let guard = mris_obs::install_guard(obs.clone());
+    Ok(Some((obs, guard)))
+}
+
+/// Flushes the obs subscriber and renders its metrics: written to
+/// `--metrics-path` when given, appended to the command output otherwise.
+fn obs_epilogue(flags: &Flags, obs: &mris_obs::Obs) -> Result<String, CliError> {
+    obs.flush();
+    let report = mris_obs::ObsReport::from_registry(obs.registry());
+    let text = obs.registry().render_prometheus();
+    mris_obs::validate_exposition(&text)
+        .map_err(|e| CliError(format!("internal error: invalid metrics exposition: {e}")))?;
+    match flags.get("metrics-path") {
+        Some(path) => {
+            std::fs::write(path, &text)?;
+            Ok(format!(
+                "observability: {} metric families; wrote Prometheus metrics to {path}\n",
+                report.num_families()
+            ))
+        }
+        None => Ok(format!(
+            "observability ({} metric families):\n{text}",
+            report.num_families()
+        )),
+    }
+}
+
 fn load_instance(path: &str) -> Result<Instance, CliError> {
     let text =
         std::fs::read_to_string(path).map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
@@ -122,7 +197,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     };
     match command.as_str() {
         "generate" => generate(&Flags::parse(rest)?),
-        "schedule" => schedule(&Flags::parse(rest)?),
+        // `run` is the daemon-era alias of the original `schedule` verb.
+        "schedule" | "run" => schedule(&Flags::parse(rest)?),
         "compare" => compare(&Flags::parse(rest)?),
         "validate" => validate(&Flags::parse(rest)?),
         "chaos" => chaos(&Flags::parse(rest)?),
@@ -165,6 +241,7 @@ fn schedule(flags: &Flags) -> Result<String, CliError> {
     let instance = load_instance(flags.require("trace")?)?;
     let machines: usize = flags.get_parsed("machines", 20)?;
     let algo = algorithm_by_name(flags.require("algo")?)?;
+    let obs = obs_from_flags(flags)?;
     let schedule = algo.schedule(&instance, machines);
     schedule
         .validate(&instance)
@@ -176,11 +253,15 @@ fn schedule(flags: &Flags) -> Result<String, CliError> {
         schedule.makespan(&instance)
     );
     let csv = schedule_to_csv(&schedule);
+    let obs_text = match &obs {
+        Some((subscriber, _guard)) => obs_epilogue(flags, subscriber)?,
+        None => String::new(),
+    };
     match flags.get("out") {
         Some(path) => {
             std::fs::write(PathBuf::from(path), format!("{report}{csv}"))?;
             Ok(format!(
-                "scheduled {} jobs with {}; AWCT = {:.3}; wrote {path}\n",
+                "scheduled {} jobs with {}; AWCT = {:.3}; wrote {path}\n{obs_text}",
                 instance.len(),
                 algo.name(),
                 schedule.awct(&instance)
@@ -188,6 +269,7 @@ fn schedule(flags: &Flags) -> Result<String, CliError> {
         }
         None => {
             report.push_str(&csv);
+            report.push_str(&obs_text);
             Ok(report)
         }
     }
@@ -344,24 +426,21 @@ fn service_cfg_from_flags(flags: &Flags, machines: usize) -> Result<ServiceConfi
     let epoch: f64 = flags.get_parsed("epoch", 0.0)?;
     let queue_watermark: usize = flags.get_parsed("queue-watermark", usize::MAX)?;
     let load_watermark: f64 = flags.get_parsed("load-watermark", f64::INFINITY)?;
-    if !epoch.is_finite() || epoch < 0.0 {
-        return Err(CliError(format!(
-            "--epoch must be finite and >= 0, got {epoch}"
-        )));
-    }
-    if queue_watermark == 0 {
-        return Err(CliError("--queue-watermark must be at least 1".into()));
-    }
-    if load_watermark.is_nan() || load_watermark <= 0.0 {
-        return Err(CliError(format!(
-            "--load-watermark must be > 0 (or inf), got {load_watermark}"
-        )));
-    }
-    let mut cfg = ServiceConfig::new(machines);
-    cfg.epoch = epoch;
-    cfg.queue_watermark = queue_watermark;
-    cfg.load_watermark = load_watermark;
-    Ok(cfg)
+    ServiceConfig::builder(machines)
+        .epoch(epoch)
+        .queue_watermark(queue_watermark)
+        .load_watermark(load_watermark)
+        .build()
+        .map_err(|e| {
+            // Re-key the typed error onto the CLI flag that caused it.
+            use mris_types::ConfigError;
+            CliError(match &e {
+                ConfigError::InvalidEpoch { .. } => format!("--epoch: {e}"),
+                ConfigError::ZeroQueueWatermark => format!("--queue-watermark: {e}"),
+                ConfigError::InvalidLoadWatermark { .. } => format!("--load-watermark: {e}"),
+                _ => e.to_string(),
+            })
+        })
 }
 
 /// Feeds every job of `instance` through the admission path of a fresh
@@ -383,12 +462,14 @@ fn drive_service(
         ),
         None => Box::new(std::io::sink()),
     };
+    // The bridge leaves the JSONL bytes untouched and mirrors records into
+    // the obs layer when a subscriber is installed.
     let mut service = Service::new(
         instance.clone(),
         policy,
         cfg,
         SimClock::new(),
-        JsonlSink::new(writer),
+        ObsBridge::new(JsonlSink::new(writer)),
     );
     let mut order: Vec<JobId> = instance.jobs().iter().map(|j| j.id).collect();
     order.sort_by(|&a, &b| {
@@ -408,7 +489,8 @@ fn drive_service(
     let (report, sink) = service
         .drain()
         .map_err(|e| CliError(format!("{name}: drain failed: {e}")))?;
-    sink.finish()
+    sink.into_inner()
+        .finish()
         .map_err(|e| CliError(format!("telemetry write failed: {e}")))?;
     report
         .log
@@ -459,9 +541,14 @@ fn serve(flags: &Flags) -> Result<String, CliError> {
     let name = flags.get("algo").unwrap_or("mris");
     let cfg = service_cfg_from_flags(flags, machines)?;
     let epoch = cfg.epoch;
+    let obs = obs_from_flags(flags)?;
     let report = drive_service(&instance, name, cfg, flags.get("telemetry"))?;
+    let obs_text = match &obs {
+        Some((subscriber, _guard)) => obs_epilogue(flags, subscriber)?,
+        None => String::new(),
+    };
     Ok(format!(
-        "serve: {} jobs, {} resources, {machines} machines, algo = {name}, epoch = {epoch}\n\n{}",
+        "serve: {} jobs, {} resources, {machines} machines, algo = {name}, epoch = {epoch}\n\n{}{obs_text}",
         instance.len(),
         instance.num_resources(),
         service_summary_text(&report)
@@ -581,12 +668,17 @@ fn loadgen(flags: &Flags) -> Result<String, CliError> {
     let restart_label = cfg.restart.label();
     cfg.fault_plan = plan;
 
+    let obs = obs_from_flags(flags)?;
     let report = drive_service(&workload.instance, name, cfg, flags.get("telemetry"))?;
+    let obs_text = match &obs {
+        Some((subscriber, _guard)) => obs_epilogue(flags, subscriber)?,
+        None => String::new(),
+    };
     Ok(format!(
         "loadgen: {jobs} jobs, {machines} machines, algo = {name}, process = {process} \
          (rate {rate:.4}/s, target utilization {utilization})\n\
          faults: plan = {plan_name} ({plan_events} events over horizon {horizon:.1}), \
-         restart = {restart_label}\n\n{}",
+         restart = {restart_label}\n\n{}{obs_text}",
         service_summary_text(&report)
     ))
 }
@@ -864,6 +956,120 @@ mod tests {
         assert!(err.0.contains("none|poisson|racks|adversarial"), "{err}");
         let err = run(&s(&["loadgen", "--process", "sideways"])).unwrap_err();
         assert!(err.0.contains("poisson"), "{err}");
+    }
+
+    #[test]
+    fn run_alias_and_obs_flag() {
+        let trace_path = tmp("obs_trace.csv");
+        let prom_path = tmp("obs_metrics.prom");
+        let events_path = tmp("obs_events.jsonl");
+        run(&s(&[
+            "generate",
+            "--jobs",
+            "60",
+            "--out",
+            trace_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        // `run` resolves to the schedule verb; `--obs` is a switch flag that
+        // appends the Prometheus rendering to the output.
+        let out = run(&s(&[
+            "run",
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--algo",
+            "mris",
+            "--machines",
+            "3",
+            "--obs",
+            "--obs-events",
+            events_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("observability"), "{out}");
+        assert!(out.contains("mris_knapsack_solves_total"), "{out}");
+        assert!(out.contains("mris_timeline_probes_total"), "{out}");
+        let events = std::fs::read_to_string(&events_path).unwrap();
+        assert!(events.contains("mris_schedule_seconds"), "{events}");
+
+        // With --metrics-path the exposition goes to the file instead.
+        let out = run(&s(&[
+            "schedule",
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--algo",
+            "pq-wsjf",
+            "--machines",
+            "3",
+            "--metrics-path",
+            prom_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("wrote Prometheus metrics"), "{out}");
+        let prom = std::fs::read_to_string(&prom_path).unwrap();
+        assert!(prom.contains("# TYPE"), "{prom}");
+        mris_obs::validate_exposition(&prom).unwrap();
+    }
+
+    #[test]
+    fn serve_writes_prometheus_metrics() {
+        let trace_path = tmp("serve_prom_trace.csv");
+        let prom_path = tmp("serve_metrics.prom");
+        run(&s(&[
+            "generate",
+            "--jobs",
+            "50",
+            "--out",
+            trace_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let out = run(&s(&[
+            "serve",
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--algo",
+            "mris",
+            "--machines",
+            "3",
+            "--metrics-path",
+            prom_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("wrote Prometheus metrics"), "{out}");
+        let prom = std::fs::read_to_string(&prom_path).unwrap();
+        mris_obs::validate_exposition(&prom).unwrap();
+        for family in [
+            "mris_service_admitted_total",
+            "mris_service_epochs_total",
+            "mris_service_epoch_batch_size",
+            "mris_service_decision_latency_seconds",
+            "mris_dispatcher_placements_total",
+            "mris_timeline_probes_total",
+        ] {
+            assert!(prom.contains(family), "missing {family} in:\n{prom}");
+        }
+    }
+
+    #[test]
+    fn unknown_algorithm_suggests_fix() {
+        let trace_path = tmp("suggest_trace.csv");
+        run(&s(&[
+            "generate",
+            "--jobs",
+            "10",
+            "--out",
+            trace_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let err = run(&s(&[
+            "schedule",
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--algo",
+            "tetriss",
+        ]))
+        .unwrap_err();
+        assert!(err.0.contains("did you mean 'tetris'"), "{err}");
     }
 
     #[test]

@@ -103,6 +103,11 @@ impl Mris {
     ) -> (Schedule, Vec<IterationStats>) {
         self.config.validate();
         assert!(num_machines > 0);
+        let _span = mris_obs::span!(
+            "mris_schedule_seconds",
+            jobs = instance.len(),
+            machines = num_machines
+        );
         let mut schedule = Schedule::new(instance.len(), num_machines);
         let mut log = Vec::new();
         if instance.is_empty() {
@@ -191,6 +196,7 @@ impl Mris {
             k += 1;
             gamma = gamma0 * self.config.alpha.powi(k as i32);
         }
+        mris_obs::counter_add("mris_schedule_iterations_total", k as u64);
         (schedule, log)
     }
 }

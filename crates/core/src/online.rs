@@ -200,6 +200,10 @@ impl OnlinePolicy for MrisOnline {
             .filter(|&(_, &m)| m == machine)
             .map(|(&key, _)| key)
             .collect();
+        mris_obs::counter_add(
+            "mris_chaos_orphaned_commitments_total",
+            orphaned.len() as u64,
+        );
         for key in orphaned {
             self.pending.remove(&key);
             self.remaining.insert(key.1);

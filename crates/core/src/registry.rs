@@ -10,7 +10,7 @@ use mris_schedulers::{
     TetrisPolicy,
 };
 use mris_sim::OnlinePolicy;
-use mris_types::Instance;
+use mris_types::{Instance, RegistryError};
 
 /// Names accepted by [`algorithm_by_name`], with a short description each.
 pub fn known_algorithms() -> Vec<(&'static str, &'static str)> {
@@ -47,9 +47,48 @@ pub fn known_algorithms() -> Vec<(&'static str, &'static str)> {
     ]
 }
 
+/// Every concrete name the registry resolves, for did-you-mean suggestions:
+/// the fixed names plus both heuristic families expanded over every
+/// [`SortHeuristic`] label.
+fn suggestion_candidates() -> Vec<String> {
+    let mut out: Vec<String> = [
+        "mris",
+        "mris-greedy",
+        "mris-greedy-half",
+        "tetris",
+        "bf-exec",
+        "ca-pq",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    for h in SortHeuristic::ALL_EXTENDED {
+        out.push(format!("pq-{}", h.label().to_ascii_lowercase()));
+        out.push(format!("mris-{}", h.label().to_ascii_lowercase()));
+    }
+    out
+}
+
+/// The typed error every resolver returns for an unrecognised name.
+fn unknown(name: &str) -> RegistryError {
+    RegistryError::unknown_algorithm(
+        name,
+        known_algorithms().iter().map(|(n, _)| *n).collect(),
+        suggestion_candidates(),
+    )
+}
+
+/// Maps a heuristic-suffix parse failure into the typed registry error.
+fn bad_heuristic(name: &str, detail: String) -> RegistryError {
+    RegistryError::UnknownHeuristic {
+        name: name.to_string(),
+        detail,
+    }
+}
+
 /// Resolves an algorithm name (case-insensitive). Heuristic suffixes accept
 /// every [`SortHeuristic`] label, e.g. `pq-wsvf` or `mris-sjf`.
-pub fn algorithm_by_name(name: &str) -> Result<Box<dyn Scheduler>, String> {
+pub fn algorithm_by_name(name: &str) -> Result<Box<dyn Scheduler>, RegistryError> {
     let lower = name.to_ascii_lowercase();
     match lower.as_str() {
         "mris" => return Ok(Box::new(Mris::default())),
@@ -71,24 +110,17 @@ pub fn algorithm_by_name(name: &str) -> Result<Box<dyn Scheduler>, String> {
         _ => {}
     }
     if let Some(suffix) = lower.strip_prefix("pq-") {
-        let heuristic: SortHeuristic = suffix.parse()?;
+        let heuristic: SortHeuristic = suffix.parse().map_err(|e| bad_heuristic(name, e))?;
         return Ok(Box::new(Pq::new(heuristic)));
     }
     if let Some(suffix) = lower.strip_prefix("mris-") {
-        let heuristic: SortHeuristic = suffix.parse()?;
+        let heuristic: SortHeuristic = suffix.parse().map_err(|e| bad_heuristic(name, e))?;
         return Ok(Box::new(Mris::with_config(MrisConfig {
             heuristic,
             ..Default::default()
         })));
     }
-    Err(format!(
-        "unknown algorithm '{name}'; known: {}",
-        known_algorithms()
-            .iter()
-            .map(|(n, _)| *n)
-            .collect::<Vec<_>>()
-            .join(", ")
-    ))
+    Err(unknown(name))
 }
 
 /// Resolves the same names as [`algorithm_by_name`] into *stateful*
@@ -104,7 +136,7 @@ pub fn online_policy_by_name(
     name: &str,
     instance: &Instance,
     num_machines: usize,
-) -> Result<Box<dyn OnlinePolicy>, String> {
+) -> Result<Box<dyn OnlinePolicy>, RegistryError> {
     let lower = name.to_ascii_lowercase();
     let mris = |config: MrisConfig| -> Box<dyn OnlinePolicy> {
         Box::new(MrisOnline::new(config, instance, num_machines))
@@ -134,28 +166,21 @@ pub fn online_policy_by_name(
         _ => {}
     }
     if let Some(suffix) = lower.strip_prefix("pq-") {
-        let heuristic: SortHeuristic = suffix.parse()?;
+        let heuristic: SortHeuristic = suffix.parse().map_err(|e| bad_heuristic(name, e))?;
         return Ok(Box::new(PqPolicy::new(heuristic)));
     }
     if let Some(suffix) = lower.strip_prefix("mris-") {
-        let heuristic: SortHeuristic = suffix.parse()?;
+        let heuristic: SortHeuristic = suffix.parse().map_err(|e| bad_heuristic(name, e))?;
         return Ok(mris(MrisConfig {
             heuristic,
             ..Default::default()
         }));
     }
-    Err(format!(
-        "unknown algorithm '{name}'; known: {}",
-        known_algorithms()
-            .iter()
-            .map(|(n, _)| *n)
-            .collect::<Vec<_>>()
-            .join(", ")
-    ))
+    Err(unknown(name))
 }
 
 /// Resolves a list of names in order; fails on the first unknown name.
-pub fn algorithms_by_names<I, S>(names: I) -> Result<Vec<Box<dyn Scheduler>>, String>
+pub fn algorithms_by_names<I, S>(names: I) -> Result<Vec<Box<dyn Scheduler>>, RegistryError>
 where
     I: IntoIterator<Item = S>,
     S: AsRef<str>,
@@ -213,8 +238,29 @@ mod tests {
 
     #[test]
     fn error_lists_known_algorithms() {
-        let err = algorithm_by_name("whatever").err().expect("must fail");
+        let err = algorithm_by_name("whatever")
+            .err()
+            .expect("must fail")
+            .to_string();
         assert!(err.contains("mris") && err.contains("tetris"), "{err}");
+    }
+
+    #[test]
+    fn error_suggests_nearby_name() {
+        match algorithm_by_name("tetriss").err().expect("must fail") {
+            mris_types::RegistryError::UnknownAlgorithm { suggestion, .. } => {
+                assert_eq!(suggestion.as_deref(), Some("tetris"));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        // A typo'd heuristic suffix gets the heuristic-specific error.
+        match algorithm_by_name("pq-nope").err().expect("must fail") {
+            mris_types::RegistryError::UnknownHeuristic { name, detail } => {
+                assert_eq!(name, "pq-nope");
+                assert!(detail.contains("heuristic"), "{detail}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
     }
 
     #[test]

@@ -49,6 +49,8 @@ impl KnapsackSolver for Cadp {
 
     fn solve(&self, items: &[Item], capacity: f64) -> Solution {
         assert_valid_items(items);
+        crate::record_solve(self.name(), items.len());
+        mris_obs::gauge_set("mris_knapsack_epsilon", self.epsilon);
         let n = items.len();
         if n == 0 {
             return Solution::empty();

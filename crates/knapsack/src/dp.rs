@@ -133,6 +133,7 @@ impl KnapsackSolver for ExactDp {
 
     fn solve(&self, items: &[Item], capacity: f64) -> Solution {
         assert_valid_items(items);
+        crate::record_solve(self.name(), items.len());
         if items.is_empty() || capacity < 0.0 {
             return Solution::empty();
         }

@@ -69,6 +69,7 @@ impl KnapsackSolver for GreedyHalf {
 
     fn solve(&self, items: &[Item], capacity: f64) -> Solution {
         assert_valid_items(items);
+        crate::record_solve(self.name(), items.len());
         if capacity < 0.0 {
             return Solution::empty();
         }
@@ -100,6 +101,7 @@ impl KnapsackSolver for GreedyConstraint {
 
     fn solve(&self, items: &[Item], capacity: f64) -> Solution {
         assert_valid_items(items);
+        crate::record_solve(self.name(), items.len());
         if capacity < 0.0 {
             return Solution::empty();
         }

@@ -115,6 +115,18 @@ pub trait KnapsackSolver {
     fn capacity_blowup(&self) -> f64;
 }
 
+/// Records one solver invocation in the observability registry: a per-solver
+/// solve count and item count under the `mris_knapsack_*` families. One
+/// relaxed atomic load each when no subscriber is installed.
+pub(crate) fn record_solve(solver: &'static str, num_items: usize) {
+    mris_obs::counter_add_labeled("mris_knapsack_solves_total", ("solver", solver), 1);
+    mris_obs::counter_add_labeled(
+        "mris_knapsack_items_total",
+        ("solver", solver),
+        num_items as u64,
+    );
+}
+
 pub(crate) fn assert_valid_items(items: &[Item]) {
     for (i, item) in items.iter().enumerate() {
         assert!(

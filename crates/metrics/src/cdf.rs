@@ -81,14 +81,18 @@ impl Cdf {
         }
     }
 
-    /// The standard p50/p95/p99 summary of this CDF (nearest-rank). Panics
-    /// when empty; use [`Percentiles::of`] for a fallible entry point.
-    pub fn percentiles(&self) -> Percentiles {
-        Percentiles {
+    /// The standard p50/p95/p99 summary of this CDF (nearest-rank), or
+    /// `None` when the CDF has no samples. [`Percentiles::of`] is the
+    /// equivalent entry point for unsorted slices; both are total.
+    pub fn percentiles(&self) -> Option<Percentiles> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        Some(Percentiles {
             p50: self.quantile(0.50),
             p95: self.quantile(0.95),
             p99: self.quantile(0.99),
-        }
+        })
     }
 }
 
@@ -109,10 +113,7 @@ impl Percentiles {
     /// Summarizes `values` (need not be sorted; NaNs are rejected).
     /// Returns `None` for an empty sample.
     pub fn of(values: &[f64]) -> Option<Percentiles> {
-        if values.is_empty() {
-            return None;
-        }
-        Some(Cdf::new(values.to_vec()).percentiles())
+        Cdf::new(values.to_vec()).percentiles()
     }
 
     /// Divides all three percentiles by `scale` — e.g. nanosecond samples
@@ -166,8 +167,9 @@ mod tests {
         assert_eq!(p.p50, 50.0);
         assert_eq!(p.p95, 95.0);
         assert_eq!(p.p99, 99.0);
-        assert_eq!(p, Cdf::new(values).percentiles());
+        assert_eq!(Some(p), Cdf::new(values).percentiles());
         assert_eq!(Percentiles::of(&[]), None);
+        assert_eq!(Cdf::new(vec![]).percentiles(), None);
         let single = Percentiles::of(&[7.0]).unwrap();
         assert_eq!((single.p50, single.p95, single.p99), (7.0, 7.0, 7.0));
         let us = p.scaled(1_000.0);

@@ -1,0 +1,394 @@
+//! Sharded metrics registry: counters, gauges, log₂-bucketed histograms.
+//!
+//! Keys are `&'static str` metric names plus an optional single static label
+//! pair. Static keys make the hot path allocation-free and let the hash be a
+//! cheap FNV-1a over the name bytes; sixteen mutex shards keep the parallel
+//! timeline-scan threads from serializing on one lock when a subscriber is
+//! installed (with no subscriber the registry is never touched at all).
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Number of mutex shards. Power of two so the shard pick is a mask.
+const SHARDS: usize = 16;
+
+/// Number of log₂ histogram buckets.
+const HIST_BUCKETS: usize = 64;
+
+/// Bucket `i` has upper bound `2^(i - HIST_EXP_OFFSET)`: bucket 0 covers
+/// everything up to ~9.1e-13 (comfortably below one nanosecond in seconds)
+/// and bucket 63 tops out at ~8.4e6.
+const HIST_EXP_OFFSET: i32 = 40;
+
+/// A metric identity: static name plus at most one static label pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+struct MetricKey {
+    name: &'static str,
+    label: Option<(&'static str, &'static str)>,
+}
+
+/// FNV-1a over the metric name (labels of one family land in the same shard
+/// only by coincidence, which is fine — shard choice is a throughput knob,
+/// not a correctness one).
+fn shard_of(name: &str) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in name.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h as usize) & (SHARDS - 1)
+}
+
+/// Index of the log₂ bucket for `v`. Non-positive and NaN values collapse
+/// into bucket 0; values past the top bound clamp into the overflow bucket.
+fn bucket_index(v: f64) -> usize {
+    if v.is_nan() || v <= 0.0 {
+        return 0;
+    }
+    let e = (v.log2().ceil() + HIST_EXP_OFFSET as f64).clamp(0.0, (HIST_BUCKETS - 1) as f64);
+    e as usize
+}
+
+/// Upper bound of bucket `i`.
+fn bucket_bound(i: usize) -> f64 {
+    ((i as i32 - HIST_EXP_OFFSET) as f64).exp2()
+}
+
+/// Live histogram state: per-bucket counts plus running sum/count.
+#[derive(Debug, Clone)]
+struct Hist {
+    buckets: [u64; HIST_BUCKETS],
+    sum: f64,
+    count: u64,
+}
+
+impl Hist {
+    fn new() -> Self {
+        Hist {
+            buckets: [0; HIST_BUCKETS],
+            sum: 0.0,
+            count: 0,
+        }
+    }
+
+    fn record(&mut self, v: f64) {
+        self.buckets[bucket_index(v)] += 1;
+        self.sum += v;
+        self.count += 1;
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(u64),
+    Gauge(f64),
+    Histogram(Box<Hist>),
+}
+
+/// One registry entry: metric name, optional static label pair, value.
+pub type MetricEntry = (
+    &'static str,
+    Option<(&'static str, &'static str)>,
+    MetricValue,
+);
+
+/// Point-in-time value of one metric, as returned by
+/// [`MetricsRegistry::snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotonic event count.
+    Counter(u64),
+    /// Last-set value.
+    Gauge(f64),
+    /// Bucketed distribution.
+    Histogram(HistogramSnapshot),
+}
+
+/// Frozen histogram: cumulative `(upper_bound, count)` pairs for every
+/// non-empty bucket below the overflow bucket, plus total `count`/`sum`
+/// (the `+Inf` bucket is implicit — it always equals `count`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Cumulative bucket counts, ascending by bound.
+    pub buckets: Vec<(f64, u64)>,
+    /// Total number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: f64,
+}
+
+impl Hist {
+    fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        let mut cum = 0u64;
+        // The overflow bucket has no honest finite bound; it is represented
+        // by the implicit +Inf bucket in the snapshot and the rendering.
+        for i in 0..HIST_BUCKETS - 1 {
+            if self.buckets[i] > 0 {
+                cum += self.buckets[i];
+                buckets.push((bucket_bound(i), cum));
+            }
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.count,
+            sum: self.sum,
+        }
+    }
+}
+
+/// A sharded registry of counters, gauges, and histograms keyed by static
+/// names. All methods take `&self`; interior mutability is per-shard.
+pub struct MetricsRegistry {
+    shards: [Mutex<HashMap<MetricKey, Metric>>; SHARDS],
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry {
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+        }
+    }
+
+    fn update(&self, key: MetricKey, f: impl FnOnce(&mut Metric), init: impl FnOnce() -> Metric) {
+        let mut shard = self.shards[shard_of(key.name)]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        f(shard.entry(key).or_insert_with(init));
+    }
+
+    /// Adds `v` to the counter `name`. A type clash with an existing gauge or
+    /// histogram of the same name is a bug at the call site; it is
+    /// debug-asserted and otherwise ignored.
+    pub fn counter_add(
+        &self,
+        name: &'static str,
+        label: Option<(&'static str, &'static str)>,
+        v: u64,
+    ) {
+        self.update(
+            MetricKey { name, label },
+            |m| {
+                if let Metric::Counter(c) = m {
+                    *c += v;
+                } else {
+                    debug_assert!(false, "metric {name} is not a counter");
+                }
+            },
+            || Metric::Counter(0),
+        );
+    }
+
+    /// Sets the gauge `name` to `v`.
+    pub fn gauge_set(
+        &self,
+        name: &'static str,
+        label: Option<(&'static str, &'static str)>,
+        v: f64,
+    ) {
+        self.update(
+            MetricKey { name, label },
+            |m| {
+                if let Metric::Gauge(g) = m {
+                    *g = v;
+                } else {
+                    debug_assert!(false, "metric {name} is not a gauge");
+                }
+            },
+            || Metric::Gauge(v),
+        );
+    }
+
+    /// Records `v` into the histogram `name`.
+    pub fn histogram_record(
+        &self,
+        name: &'static str,
+        label: Option<(&'static str, &'static str)>,
+        v: f64,
+    ) {
+        self.update(
+            MetricKey { name, label },
+            |m| {
+                if let Metric::Histogram(h) = m {
+                    h.record(v);
+                } else {
+                    debug_assert!(false, "metric {name} is not a histogram");
+                }
+            },
+            || Metric::Histogram(Box::new(Hist::new())),
+        );
+    }
+
+    /// All metrics, sorted by `(name, label)` for deterministic output.
+    pub fn snapshot(&self) -> Vec<MetricEntry> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().unwrap_or_else(|e| e.into_inner());
+            for (key, metric) in shard.iter() {
+                let value = match metric {
+                    Metric::Counter(c) => MetricValue::Counter(*c),
+                    Metric::Gauge(g) => MetricValue::Gauge(*g),
+                    Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                };
+                out.push((key.name, key.label, value));
+            }
+        }
+        out.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        out
+    }
+
+    /// Looks up a counter's current value (testing / report convenience).
+    pub fn counter_value(
+        &self,
+        name: &'static str,
+        label: Option<(&'static str, &'static str)>,
+    ) -> Option<u64> {
+        let shard = self.shards[shard_of(name)]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        match shard.get(&MetricKey { name, label }) {
+            Some(Metric::Counter(c)) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// Renders every metric in the Prometheus text exposition format
+    /// (version 0.0.4): one `# TYPE` line per family followed by its
+    /// samples; histograms expand into cumulative `_bucket{le=...}` samples
+    /// plus `_sum` and `_count`. Output is deterministic (sorted by name,
+    /// then label).
+    pub fn render_prometheus(&self) -> String {
+        let snapshot = self.snapshot();
+        let mut out = String::new();
+        let mut last_name: Option<&str> = None;
+        for (name, label, value) in &snapshot {
+            if last_name != Some(name) {
+                let kind = match value {
+                    MetricValue::Counter(_) => "counter",
+                    MetricValue::Gauge(_) => "gauge",
+                    MetricValue::Histogram(_) => "histogram",
+                };
+                out.push_str(&format!("# TYPE {name} {kind}\n"));
+                last_name = Some(name);
+            }
+            let label_str = |extra: Option<(&str, String)>| -> String {
+                let mut parts = Vec::new();
+                if let Some((k, v)) = label {
+                    parts.push(format!("{k}=\"{v}\""));
+                }
+                if let Some((k, v)) = extra {
+                    parts.push(format!("{k}=\"{v}\""));
+                }
+                if parts.is_empty() {
+                    String::new()
+                } else {
+                    format!("{{{}}}", parts.join(","))
+                }
+            };
+            match value {
+                MetricValue::Counter(c) => {
+                    out.push_str(&format!("{name}{} {c}\n", label_str(None)));
+                }
+                MetricValue::Gauge(g) => {
+                    out.push_str(&format!("{name}{} {g}\n", label_str(None)));
+                }
+                MetricValue::Histogram(h) => {
+                    for (bound, cum) in &h.buckets {
+                        out.push_str(&format!(
+                            "{name}_bucket{} {cum}\n",
+                            label_str(Some(("le", format!("{bound:e}"))))
+                        ));
+                    }
+                    out.push_str(&format!(
+                        "{name}_bucket{} {}\n",
+                        label_str(Some(("le", "+Inf".to_string()))),
+                        h.count
+                    ));
+                    out.push_str(&format!("{name}_sum{} {}\n", label_str(None), h.sum));
+                    out.push_str(&format!("{name}_count{} {}\n", label_str(None), h.count));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_label() {
+        let r = MetricsRegistry::new();
+        r.counter_add("solves_total", Some(("solver", "cadp")), 2);
+        r.counter_add("solves_total", Some(("solver", "cadp")), 3);
+        r.counter_add("solves_total", Some(("solver", "dp")), 1);
+        assert_eq!(
+            r.counter_value("solves_total", Some(("solver", "cadp"))),
+            Some(5)
+        );
+        assert_eq!(
+            r.counter_value("solves_total", Some(("solver", "dp"))),
+            Some(1)
+        );
+        assert_eq!(r.counter_value("solves_total", None), None);
+    }
+
+    #[test]
+    fn gauge_takes_last_value() {
+        let r = MetricsRegistry::new();
+        r.gauge_set("eps", None, 0.5);
+        r.gauge_set("eps", None, 0.25);
+        match &r.snapshot()[0].2 {
+            MetricValue::Gauge(g) => assert_eq!(*g, 0.25),
+            other => panic!("expected gauge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_bounded() {
+        let r = MetricsRegistry::new();
+        for v in [0.5, 0.5, 2.0, 1e9] {
+            r.histogram_record("lat", None, v);
+        }
+        let snap = match &r.snapshot()[0].2 {
+            MetricValue::Histogram(h) => h.clone(),
+            other => panic!("expected histogram, got {other:?}"),
+        };
+        assert_eq!(snap.count, 4);
+        assert!((snap.sum - 1e9 - 3.0).abs() < 1e-6);
+        // 0.5s bucket (bound 0.5) holds two, 2.0 lands at bound 2.0; the 1e9
+        // overflow lives only in the implicit +Inf bucket.
+        assert_eq!(snap.buckets, vec![(0.5, 2), (2.0, 3)]);
+    }
+
+    #[test]
+    fn bucket_index_clamps_degenerate_values() {
+        assert_eq!(bucket_index(-1.0), 0);
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(f64::NAN), 0);
+        assert_eq!(bucket_index(f64::INFINITY), HIST_BUCKETS - 1);
+        assert!(bucket_bound(bucket_index(1e-9)) >= 1e-9);
+    }
+
+    #[test]
+    fn render_is_deterministic_and_grouped() {
+        let r = MetricsRegistry::new();
+        r.counter_add("b_total", None, 1);
+        r.counter_add("a_total", Some(("k", "y")), 1);
+        r.counter_add("a_total", Some(("k", "x")), 1);
+        let text = r.render_prometheus();
+        let idx_a = text.find("# TYPE a_total").unwrap();
+        let idx_b = text.find("# TYPE b_total").unwrap();
+        assert!(idx_a < idx_b);
+        assert!(text.find("k=\"x\"").unwrap() < text.find("k=\"y\"").unwrap());
+        assert_eq!(text.matches("# TYPE a_total").count(), 1);
+    }
+}

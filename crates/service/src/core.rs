@@ -25,8 +25,8 @@ use mris_sim::{
     FaultPlan, OnlinePolicy, OrdTime,
 };
 use mris_types::{
-    fraction, AdmissionError, Amount, Instance, JobId, RestartSemantics, Schedule, SchedulingError,
-    Time, CAPACITY,
+    fraction, AdmissionError, Amount, ConfigError, Instance, JobId, RestartSemantics, Schedule,
+    SchedulingError, Time, CAPACITY,
 };
 
 use crate::clock::Clock;
@@ -73,24 +73,94 @@ impl ServiceConfig {
         }
     }
 
-    fn validate(&self) {
-        assert!(self.num_machines > 0, "service needs at least one machine");
-        assert!(
-            self.epoch.is_finite() && self.epoch >= 0.0,
-            "epoch must be finite and non-negative, got {}",
-            self.epoch
-        );
-        assert!(
-            !self.load_watermark.is_nan() && self.load_watermark > 0.0,
-            "load_watermark must be positive (or infinite), got {}",
-            self.load_watermark
-        );
-        if let RestartSemantics::WeightAging { factor } = self.restart {
-            assert!(
-                factor.is_finite() && factor >= 0.0,
-                "weight-aging factor {factor} must be finite and non-negative"
-            );
+    /// Starts a validated configuration with [`ServiceConfigBuilder`]
+    /// defaults (the same as [`ServiceConfig::new`]). Unlike `new`, the
+    /// builder's [`build`](ServiceConfigBuilder::build) rejects nonsensical
+    /// values with a typed [`ConfigError`] instead of panicking later.
+    pub fn builder(num_machines: usize) -> ServiceConfigBuilder {
+        ServiceConfigBuilder {
+            cfg: ServiceConfig::new(num_machines),
         }
+    }
+
+    /// The typed validation behind both the builder and the panicking
+    /// constructor path.
+    fn check(&self) -> Result<(), ConfigError> {
+        if self.num_machines == 0 {
+            return Err(ConfigError::NoMachines);
+        }
+        if !(self.epoch.is_finite() && self.epoch >= 0.0) {
+            return Err(ConfigError::InvalidEpoch { value: self.epoch });
+        }
+        if self.load_watermark.is_nan() || self.load_watermark <= 0.0 {
+            return Err(ConfigError::InvalidLoadWatermark {
+                value: self.load_watermark,
+            });
+        }
+        if let RestartSemantics::WeightAging { factor } = self.restart {
+            if !(factor.is_finite() && factor >= 0.0) {
+                return Err(ConfigError::InvalidAgingFactor { value: factor });
+            }
+        }
+        Ok(())
+    }
+
+    fn validate(&self) {
+        if let Err(e) = self.check() {
+            panic!("{e}");
+        }
+    }
+}
+
+/// Fluent, validated construction of a [`ServiceConfig`].
+///
+/// Obtained from [`ServiceConfig::builder`]. Setters are chainable;
+/// [`build`](ServiceConfigBuilder::build) returns a typed [`ConfigError`]
+/// for invalid values, so daemon front ends can turn a bad flag into a
+/// clean exit instead of a panic deep in the event loop.
+#[derive(Debug, Clone)]
+pub struct ServiceConfigBuilder {
+    cfg: ServiceConfig,
+}
+
+impl ServiceConfigBuilder {
+    /// Sets the decision interval (`0.0` = per-event delivery).
+    pub fn epoch(mut self, epoch: Time) -> Self {
+        self.cfg.epoch = epoch;
+        self
+    }
+
+    /// Sets the queue-depth watermark.
+    pub fn queue_watermark(mut self, watermark: usize) -> Self {
+        self.cfg.queue_watermark = watermark;
+        self
+    }
+
+    /// Sets the resource-load watermark (multiples of one machine).
+    pub fn load_watermark(mut self, watermark: f64) -> Self {
+        self.cfg.load_watermark = watermark;
+        self
+    }
+
+    /// Sets the restart semantics for fault-killed jobs.
+    pub fn restart(mut self, restart: RestartSemantics) -> Self {
+        self.cfg.restart = restart;
+        self
+    }
+
+    /// Sets the fault plan to replay.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.cfg.fault_plan = plan;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<ServiceConfig, ConfigError> {
+        if self.cfg.queue_watermark == 0 {
+            return Err(ConfigError::ZeroQueueWatermark);
+        }
+        self.cfg.check()?;
+        Ok(self.cfg)
     }
 }
 
@@ -302,6 +372,7 @@ impl<C: Clock, S: TelemetrySink> Service<C, S> {
                 watermark: self.cfg.queue_watermark,
             };
             self.rejected_queue_full += 1;
+            mris_obs::counter_add("mris_service_rejected_queue_full_total", 1);
             self.outcomes[job.index()] = JobOutcome::Rejected(err);
             return Err(err);
         }
@@ -319,6 +390,7 @@ impl<C: Clock, S: TelemetrySink> Service<C, S> {
                         budget: self.cfg.load_watermark * self.cfg.num_machines as f64,
                     };
                     self.rejected_infeasible += 1;
+                    mris_obs::counter_add("mris_service_rejected_infeasible_total", 1);
                     self.outcomes[job.index()] = JobOutcome::Rejected(err);
                     return Err(err);
                 }
@@ -337,6 +409,7 @@ impl<C: Clock, S: TelemetrySink> Service<C, S> {
         self.queue.insert((OrdTime(deliver), self.seq, job));
         self.seq += 1;
         self.accepted += 1;
+        mris_obs::counter_add("mris_service_admitted_total", 1);
         self.max_queue_depth = self.max_queue_depth.max(self.queue.len());
         self.outcomes[job.index()] = JobOutcome::Accepted;
         Ok(())
@@ -489,6 +562,17 @@ impl<C: Clock, S: TelemetrySink> Service<C, S> {
         let decision_ns = decision_started.elapsed().as_nanos() as u64;
         self.decision_ns.push(decision_ns);
         let placements = self.cluster.num_running() - running_before;
+        if mris_obs::enabled() {
+            mris_obs::counter_add("mris_service_epochs_total", 1);
+            mris_obs::histogram_record(
+                "mris_service_epoch_batch_size",
+                (arrivals + re_releases) as f64,
+            );
+            mris_obs::histogram_record(
+                "mris_service_decision_latency_seconds",
+                decision_ns as f64 * 1e-9,
+            );
+        }
 
         // 5. Telemetry.
         let record = EpochRecord {
@@ -601,5 +685,69 @@ impl<C: Clock, S: TelemetrySink> Service<C, S> {
             },
             self.sink,
         ))
+    }
+}
+
+#[cfg(test)]
+mod config_tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_match_new() {
+        let built = ServiceConfig::builder(3).build().unwrap();
+        let direct = ServiceConfig::new(3);
+        assert_eq!(built.num_machines, direct.num_machines);
+        assert_eq!(built.epoch, direct.epoch);
+        assert_eq!(built.queue_watermark, direct.queue_watermark);
+        assert_eq!(built.load_watermark, direct.load_watermark);
+    }
+
+    #[test]
+    fn builder_sets_every_field() {
+        let cfg = ServiceConfig::builder(2)
+            .epoch(0.5)
+            .queue_watermark(16)
+            .load_watermark(4.0)
+            .restart(RestartSemantics::WeightAging { factor: 0.5 })
+            .fault_plan(FaultPlan::none())
+            .build()
+            .unwrap();
+        assert_eq!(cfg.epoch, 0.5);
+        assert_eq!(cfg.queue_watermark, 16);
+        assert_eq!(cfg.load_watermark, 4.0);
+        assert!(matches!(
+            cfg.restart,
+            RestartSemantics::WeightAging { factor } if factor == 0.5
+        ));
+    }
+
+    #[test]
+    fn builder_rejects_invalid_values() {
+        assert!(matches!(
+            ServiceConfig::builder(0).build(),
+            Err(ConfigError::NoMachines)
+        ));
+        assert!(matches!(
+            ServiceConfig::builder(1).epoch(f64::NAN).build(),
+            Err(ConfigError::InvalidEpoch { .. })
+        ));
+        assert!(matches!(
+            ServiceConfig::builder(1).epoch(-1.0).build(),
+            Err(ConfigError::InvalidEpoch { .. })
+        ));
+        assert!(matches!(
+            ServiceConfig::builder(1).queue_watermark(0).build(),
+            Err(ConfigError::ZeroQueueWatermark)
+        ));
+        assert!(matches!(
+            ServiceConfig::builder(1).load_watermark(0.0).build(),
+            Err(ConfigError::InvalidLoadWatermark { .. })
+        ));
+        assert!(matches!(
+            ServiceConfig::builder(1)
+                .restart(RestartSemantics::WeightAging { factor: -0.1 })
+                .build(),
+            Err(ConfigError::InvalidAgingFactor { .. })
+        ));
     }
 }

@@ -37,10 +37,12 @@ mod server;
 mod telemetry;
 
 pub use clock::{Clock, SimClock, WallClock};
-pub use core::{JobOutcome, Service, ServiceConfig, ServiceReport};
+pub use core::{JobOutcome, Service, ServiceConfig, ServiceConfigBuilder, ServiceReport};
 pub use loadgen::{
     generate_workload, poisson_rate_for_utilization, run_workload, ArrivalProcess, LoadGenConfig,
     Workload,
 };
 pub use server::{spawn_service, ServiceHandle, SubmitError};
-pub use telemetry::{EpochRecord, JsonlSink, MemorySink, NullSink, ServiceSummary, TelemetrySink};
+pub use telemetry::{
+    EpochRecord, JsonlSink, MemorySink, NullSink, ObsBridge, ServiceSummary, TelemetrySink,
+};

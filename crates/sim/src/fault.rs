@@ -512,12 +512,14 @@ pub fn run_online_chaos<P: OnlinePolicy + ?Sized>(
                     // Listed as freed so incremental policies re-examine it.
                     freed.push(machine);
                     log.recoveries.push((now, machine));
+                    mris_obs::counter_add("mris_chaos_recoveries_total", 1);
                     policy.on_machine_recovered(now, machine, &work);
                 }
                 FaultKind::Fail(idx) => {
                     let event = plan.events()[idx];
                     // Absorb strikes on down or out-of-range machines.
                     let Some(machine) = resolve_fault_target(event.target, &cluster) else {
+                        mris_obs::counter_add("mris_chaos_absorbed_strikes_total", 1);
                         continue;
                     };
                     let killed = cluster.fail_machine(machine);
@@ -537,6 +539,8 @@ pub fn run_online_chaos<P: OnlinePolicy + ?Sized>(
                         recover_at,
                         killed: killed.clone(),
                     });
+                    mris_obs::counter_add("mris_chaos_failures_total", 1);
+                    mris_obs::counter_add("mris_chaos_re_releases_total", killed.len() as u64);
                     policy.on_machine_failed(now, machine, recover_at, &killed, &work);
                 }
             }

@@ -9,6 +9,18 @@ use mris_types::{Instance, JobId, Schedule, SchedulingError, Time};
 
 use crate::ClusterState;
 
+/// Static label value for the dispatcher rejection counter.
+fn rejection_reason(e: &SchedulingError) -> &'static str {
+    match e {
+        SchedulingError::InvalidMachine { .. } => "invalid_machine",
+        SchedulingError::MachineDown { .. } => "machine_down",
+        SchedulingError::PlacedBeforeRelease { .. } => "before_release",
+        SchedulingError::DoesNotFit { .. } => "does_not_fit",
+        SchedulingError::AlreadyPlaced { .. } => "already_placed",
+        SchedulingError::StrandedJobs { .. } => "stranded",
+    }
+}
+
 /// The placement interface handed to an [`OnlinePolicy`] at each event.
 ///
 /// Placements take effect immediately (`S_j = now`): capacity is consumed at
@@ -67,6 +79,16 @@ impl<'a> Dispatcher<'a> {
     /// errors so the caller can attribute them instead of aborting the
     /// process.
     pub fn place(&mut self, machine: usize, job: JobId) -> Result<(), SchedulingError> {
+        self.place_inner(machine, job).inspect_err(|e| {
+            mris_obs::counter_add_labeled(
+                "mris_dispatcher_rejections_total",
+                ("reason", rejection_reason(e)),
+                1,
+            );
+        })
+    }
+
+    fn place_inner(&mut self, machine: usize, job: JobId) -> Result<(), SchedulingError> {
         if machine >= self.cluster.num_machines() {
             return Err(SchedulingError::InvalidMachine {
                 machine,
@@ -91,6 +113,7 @@ impl<'a> Dispatcher<'a> {
             .assign(job, machine, self.now)
             .map_err(|_| SchedulingError::AlreadyPlaced { job })?;
         self.cluster.start(machine, j, self.now);
+        mris_obs::counter_add("mris_dispatcher_placements_total", 1);
         Ok(())
     }
 }

@@ -228,10 +228,12 @@ impl MachineTimeline {
     /// segment is all-zero and `demands <= CAPACITY`.
     fn first_feasible_segment(&self, mut i: usize, demands: &[Amount]) -> usize {
         let n = self.times.len();
-        loop {
+        let mut block_jumps: u64 = 0;
+        let found = loop {
             debug_assert!(i < n, "tail segment is all-zero and must be feasible");
             if i.is_multiple_of(BLOCK) && self.block_saturated(i / BLOCK, demands) {
                 i += BLOCK;
+                block_jumps += 1;
                 continue;
             }
             if self
@@ -240,10 +242,14 @@ impl MachineTimeline {
                 .zip(demands)
                 .all(|(&u, &d)| u + d <= CAPACITY)
             {
-                return i;
+                break i;
             }
             i += 1;
+        };
+        if block_jumps > 0 {
+            mris_obs::counter_add("mris_timeline_block_jumps_total", block_jumps);
         }
+        found
     }
 
     /// Whether a job with `demands` fits throughout `[start, start + dur)`.
@@ -309,9 +315,12 @@ impl MachineTimeline {
         } else {
             f64::INFINITY
         };
+        mris_obs::counter_add("mris_timeline_probes_total", 1);
         if let Some(hit) = self.hint_lookup(from, dur, demands) {
+            mris_obs::counter_add("mris_timeline_hint_hits_total", 1);
             return if hit < cutoff { Some(hit) } else { None };
         }
+        mris_obs::counter_add("mris_timeline_hint_misses_total", 1);
         let result = self.scan_earliest(from, dur, demands, cutoff);
         if let Some(s) = result {
             self.hint_store(from, dur, demands, s);
@@ -329,15 +338,17 @@ impl MachineTimeline {
     ) -> Option<Time> {
         let n = self.times.len();
         let mut cand = from.max(0.0);
-        'outer: loop {
+        let mut block_jumps: u64 = 0;
+        let result = 'outer: loop {
             if cand >= cutoff {
-                return None;
+                break 'outer None;
             }
             let end = cand + dur;
             let mut i = self.segment_index(cand);
             while i < n && self.times[i] < end {
                 if i.is_multiple_of(BLOCK) && self.block_feasible(i / BLOCK, demands) {
                     i += BLOCK;
+                    block_jumps += 1;
                     continue;
                 }
                 let seg = self.segment_usage(i);
@@ -352,8 +363,12 @@ impl MachineTimeline {
                 }
                 i += 1;
             }
-            return Some(cand);
+            break 'outer Some(cand);
+        };
+        if block_jumps > 0 {
+            mris_obs::counter_add("mris_timeline_block_jumps_total", block_jumps);
         }
+        result
     }
 
     /// Answers a query from the hint cache: exact-match `(dur, demands)`
@@ -439,7 +454,13 @@ impl MachineTimeline {
     pub fn commit(&mut self, start: Time, dur: Time, demands: &[Amount]) {
         assert_eq!(demands.len(), self.num_resources);
         assert!(start >= 0.0 && dur > 0.0 && (start + dur).is_finite());
+        let segments_before = self.times.len();
         let (i0, i1) = self.insert_breakpoints(start, start + dur);
+        mris_obs::counter_add("mris_timeline_commits_total", 1);
+        mris_obs::counter_add(
+            "mris_timeline_commit_breakpoints_total",
+            (self.times.len() - segments_before) as u64,
+        );
         let r = self.num_resources;
         for i in i0..i1 {
             assert!(

@@ -228,3 +228,212 @@ impl std::fmt::Display for SchedulingError {
 }
 
 impl std::error::Error for SchedulingError {}
+
+/// An algorithm name failed to resolve against the registry.
+///
+/// Carries the rejected name, the registry's known-name listing (so the
+/// message stays self-describing, as the old stringly-typed error was), and
+/// an optional did-you-mean suggestion computed by edit distance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// No registered algorithm matches the requested name.
+    UnknownAlgorithm {
+        /// The name as the caller supplied it.
+        name: String,
+        /// Closest registered name by edit distance, when one is near enough.
+        suggestion: Option<String>,
+        /// The registry's documented names, for the error message.
+        known: Vec<&'static str>,
+    },
+    /// The name used a recognised family prefix (`pq-`, `mris-`) but the
+    /// heuristic suffix does not parse.
+    UnknownHeuristic {
+        /// The name as the caller supplied it.
+        name: String,
+        /// The parse failure reported by the heuristic parser.
+        detail: String,
+    },
+}
+
+impl RegistryError {
+    /// Builds an [`RegistryError::UnknownAlgorithm`] for `name`, picking a
+    /// did-you-mean suggestion from `candidates` by Levenshtein distance.
+    pub fn unknown_algorithm<I, S>(name: &str, known: Vec<&'static str>, candidates: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let suggestion = closest_match(name, candidates.into_iter().map(Into::into));
+        RegistryError::UnknownAlgorithm {
+            name: name.to_string(),
+            suggestion,
+            known,
+        }
+    }
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::UnknownAlgorithm {
+                name,
+                suggestion,
+                known,
+            } => {
+                write!(f, "unknown algorithm '{name}'")?;
+                if let Some(s) = suggestion {
+                    write!(f, " (did you mean '{s}'?)")?;
+                }
+                write!(f, "; known: {}", known.join(", "))
+            }
+            RegistryError::UnknownHeuristic { name, detail } => {
+                write!(f, "unknown heuristic in '{name}': {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// Compatibility shim: front ends that still plumb `Result<_, String>` keep
+/// working while the typed error propagates through the registry.
+impl From<RegistryError> for String {
+    fn from(e: RegistryError) -> String {
+        e.to_string()
+    }
+}
+
+/// Case-insensitive Levenshtein distance between two short names.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().flat_map(|c| c.to_lowercase()).collect();
+    let b: Vec<char> = b.chars().flat_map(|c| c.to_lowercase()).collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// The candidate closest to `target` by edit distance, if any is within a
+/// third of the target's length (minimum slack 2). Used for did-you-mean
+/// suggestions in [`RegistryError`].
+pub fn closest_match<I>(target: &str, candidates: I) -> Option<String>
+where
+    I: IntoIterator<Item = String>,
+{
+    let budget = (target.chars().count() / 3).max(2);
+    candidates
+        .into_iter()
+        .map(|c| (edit_distance(target, &c), c))
+        .filter(|(d, _)| *d <= budget)
+        .min_by(|(da, a), (db, b)| da.cmp(db).then_with(|| a.cmp(b)))
+        .map(|(_, c)| c)
+}
+
+/// A service configuration failed validation (see `ServiceConfig::builder`
+/// in `mris-service`).
+///
+/// The builder surfaces these instead of panicking so daemons can reject a
+/// bad config at startup with a proper exit message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// The cluster must have at least one machine.
+    NoMachines,
+    /// The scheduling epoch is negative or not finite. (Zero is legal and
+    /// means per-event scheduling.)
+    InvalidEpoch {
+        /// The invalid value.
+        value: f64,
+    },
+    /// A queue watermark of zero sheds every submission.
+    ZeroQueueWatermark,
+    /// The load watermark must be a positive number.
+    InvalidLoadWatermark {
+        /// The invalid value.
+        value: f64,
+    },
+    /// The re-release aging factor is negative or not finite.
+    InvalidAgingFactor {
+        /// The invalid value.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::NoMachines => write!(f, "service config: num_machines must be positive"),
+            ConfigError::InvalidEpoch { value } => {
+                write!(
+                    f,
+                    "service config: epoch must be finite and >= 0, got {value}"
+                )
+            }
+            ConfigError::ZeroQueueWatermark => write!(
+                f,
+                "service config: queue_watermark 0 would shed every submission"
+            ),
+            ConfigError::InvalidLoadWatermark { value } => write!(
+                f,
+                "service config: load_watermark must be positive, got {value}"
+            ),
+            ConfigError::InvalidAgingFactor { value } => write!(
+                f,
+                "service config: aging factor must be finite and >= 0, got {value}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Compatibility shim mirroring [`RegistryError`]'s.
+impl From<ConfigError> for String {
+    fn from(e: ConfigError) -> String {
+        e.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closest_match_finds_near_names() {
+        let known = ["mris", "tetris", "bf-exec", "pq-wsjf"];
+        let got = closest_match("tetriss", known.iter().map(|s| s.to_string()));
+        assert_eq!(got.as_deref(), Some("tetris"));
+        // Far-off garbage yields no suggestion.
+        assert_eq!(
+            closest_match("zzzzzzzzzz", known.iter().map(|s| s.to_string())),
+            None
+        );
+    }
+
+    #[test]
+    fn registry_error_message_lists_known_names() {
+        let e = RegistryError::unknown_algorithm(
+            "mrs",
+            vec!["mris", "tetris"],
+            ["mris".to_string(), "tetris".to_string()],
+        );
+        let msg = e.to_string();
+        assert!(msg.contains("mris") && msg.contains("tetris"), "{msg}");
+        assert!(msg.contains("did you mean 'mris'"), "{msg}");
+        let s: String = e.into();
+        assert!(s.contains("unknown algorithm"));
+    }
+
+    #[test]
+    fn config_errors_render() {
+        let e = ConfigError::InvalidEpoch { value: f64::NAN };
+        assert!(e.to_string().contains("epoch"));
+        assert!(String::from(ConfigError::NoMachines).contains("num_machines"));
+    }
+}

@@ -31,7 +31,9 @@ mod job;
 mod resource;
 mod schedule;
 
-pub use error::{AdmissionError, InstanceError, SchedulingError};
+pub use error::{
+    closest_match, AdmissionError, ConfigError, InstanceError, RegistryError, SchedulingError,
+};
 pub use fault::{FaultEvent, FaultTarget, RestartSemantics};
 pub use instance::{Instance, InstanceStats};
 pub use job::{Job, JobId};

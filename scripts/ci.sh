@@ -56,4 +56,25 @@ for key in '"bench": "service"' '"mode": "smoke"' '"poisson_rate"' \
     || { echo "BENCH_service_smoke.json is missing $key" >&2; exit 1; }
 done
 
+echo "==> obs bench smoke run + schema check"
+cargo run --release --offline -p mris-bench --bin obs -- \
+  --smoke --out results/BENCH_obs_smoke.json >/dev/null
+for key in '"bench": "obs"' '"mode": "smoke"' '"disabled_path"' \
+  '"counter_ns_per_op"' '"span_ns_per_op"' '"budget_ns_per_op"' \
+  '"trace_replay"' '"metrics_overhead_pct"' '"disabled_repeat_delta_pct"' \
+  '"within_budget"' '"instrumented_run"' '"metric_families"' \
+  '"snapshot_valid": true'; do
+  grep -qF "$key" results/BENCH_obs_smoke.json \
+    || { echo "BENCH_obs_smoke.json is missing $key" >&2; exit 1; }
+done
+# The bench writes its format-validated Prometheus snapshot next to the
+# JSON; require every instrumented subsystem's metric family to be present.
+for family in mris_dispatcher_placements_total mris_knapsack_solves_total \
+  mris_timeline_probes_total mris_timeline_commits_total \
+  mris_service_admitted_total mris_service_epochs_total \
+  mris_service_decision_latency_seconds mris_schedule_seconds; do
+  grep -q "^# TYPE $family " results/BENCH_obs_smoke.prom \
+    || { echo "BENCH_obs_smoke.prom is missing the $family family" >&2; exit 1; }
+done
+
 echo "CI OK"

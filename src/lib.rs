@@ -55,6 +55,7 @@ pub use mris_core as core;
 pub use mris_core::registry;
 pub use mris_knapsack as knapsack;
 pub use mris_metrics as metrics;
+pub use mris_obs as obs;
 pub use mris_schedulers as schedulers;
 pub use mris_service as service;
 pub use mris_sim as sim;

@@ -1,0 +1,150 @@
+//! Observability is passive by contract: installing a subscriber (with a
+//! live JSONL sink) must not change a single placement for any registered
+//! algorithm. This suite pins that bit-for-bit, plus the Prometheus snapshot
+//! format and the disabled-path overhead gate.
+
+use std::sync::Arc;
+
+use mris::obs::{self, check_disabled_overhead, validate_exposition, JsonlEventSink, Obs};
+use mris::obs::{MetricsRegistry, ObsReport};
+use mris::prelude::*;
+use mris_rng::prop::{check, Config};
+use mris_rng::{prop_assert, Rng};
+
+/// Every concrete registered algorithm: the three MRIS knapsack variants,
+/// two PQ heuristics, and the three non-PQ baselines.
+const ALGORITHMS: [&str; 8] = [
+    "mris",
+    "mris-greedy",
+    "mris-greedy-half",
+    "pq-wsjf",
+    "pq-wsvf",
+    "tetris",
+    "bf-exec",
+    "ca-pq",
+];
+
+/// One generated job row: release, proc time, weight, demands.
+type Row = (f64, f64, f64, Vec<f64>);
+
+fn gen_rows(rng: &mut Rng) -> Vec<Row> {
+    let n = rng.gen_range(1..16usize);
+    (0..n)
+        .map(|_| {
+            (
+                rng.gen_range(0.0..10.0),
+                rng.gen_range(1.0..5.0),
+                rng.gen_range(0.5..4.0),
+                vec![rng.gen_range(0.01..=1.0), rng.gen_range(0.01..=1.0)],
+            )
+        })
+        .collect()
+}
+
+/// `None` for shrink candidates that broke the generator's invariants.
+fn build_instance(rows: &[Row]) -> Option<Instance> {
+    if rows.is_empty() || rows.iter().any(|(_, _, _, d)| d.len() != 2) {
+        return None;
+    }
+    let jobs = rows
+        .iter()
+        .map(|(r, p, w, d)| Job::from_fractions(JobId(0), *r, *p, *w, d))
+        .collect();
+    Instance::from_unnumbered(jobs, 2).ok()
+}
+
+/// The tentpole differential property: for every registered algorithm the
+/// schedule produced with a subscriber + JSONL sink installed is bit-identical
+/// (`Schedule: PartialEq`, exact `f64` starts) to the one produced with no
+/// subscriber. 48 cases, 8 algorithms each.
+#[test]
+fn obs_subscriber_never_changes_a_schedule() {
+    check(
+        "obs subscriber never changes a schedule",
+        &Config::with_cases(48),
+        |rng| (gen_rows(rng), rng.gen_range(1..4usize)),
+        |(rows, machines)| {
+            let Some(instance) = build_instance(rows) else {
+                return Ok(());
+            };
+            let machines = *machines;
+            let baselines: Vec<(&str, Schedule)> = ALGORITHMS
+                .iter()
+                .map(|name| {
+                    let algo = algorithm_by_name(name).expect("registered algorithm resolves");
+                    (*name, algo.schedule(&instance, machines))
+                })
+                .collect();
+            let events: Vec<u8> = Vec::new();
+            let obs = Arc::new(Obs::with_sink(Box::new(JsonlEventSink::new(events))));
+            {
+                let _guard = obs::install_guard(Arc::clone(&obs));
+                for (name, baseline) in &baselines {
+                    let algo = algorithm_by_name(name).expect("registered algorithm resolves");
+                    let instrumented = algo.schedule(&instance, machines);
+                    prop_assert!(
+                        *baseline == instrumented,
+                        "{} schedule changed under an installed subscriber",
+                        name
+                    );
+                    instrumented
+                        .validate(&instance)
+                        .expect("schedule stays feasible");
+                }
+            }
+            // The comparison is only meaningful if instrumentation actually
+            // fired: the registry must have accumulated metrics.
+            prop_assert!(
+                !obs.registry().snapshot().is_empty(),
+                "no metrics recorded — instrumentation did not fire"
+            );
+            Ok(())
+        },
+    );
+}
+
+/// Golden test for the Prometheus text rendering: a deterministic registry
+/// renders byte-for-byte to the expected exposition, which also passes the
+/// format checker.
+#[test]
+fn prometheus_snapshot_matches_golden() {
+    let r = MetricsRegistry::new();
+    r.gauge_set("mris_demo_epsilon", None, 0.125);
+    r.histogram_record("mris_demo_latency_seconds", None, 0.5);
+    r.histogram_record("mris_demo_latency_seconds", None, 0.5);
+    r.histogram_record("mris_demo_latency_seconds", None, 2.0);
+    r.counter_add("mris_demo_solves_total", Some(("solver", "cadp")), 2);
+    r.counter_add("mris_demo_solves_total", Some(("solver", "dp")), 1);
+    r.counter_add("mris_demo_total", None, 7);
+
+    let golden = "\
+# TYPE mris_demo_epsilon gauge
+mris_demo_epsilon 0.125
+# TYPE mris_demo_latency_seconds histogram
+mris_demo_latency_seconds_bucket{le=\"5e-1\"} 2
+mris_demo_latency_seconds_bucket{le=\"2e0\"} 3
+mris_demo_latency_seconds_bucket{le=\"+Inf\"} 3
+mris_demo_latency_seconds_sum 3
+mris_demo_latency_seconds_count 3
+# TYPE mris_demo_solves_total counter
+mris_demo_solves_total{solver=\"cadp\"} 2
+mris_demo_solves_total{solver=\"dp\"} 1
+# TYPE mris_demo_total counter
+mris_demo_total 7
+";
+    let rendered = r.render_prometheus();
+    assert_eq!(rendered, golden);
+    validate_exposition(&rendered).expect("golden snapshot passes the format checker");
+    assert_eq!(ObsReport::from_registry(&r).num_families(), 4);
+}
+
+/// Negative test: the disabled-path overhead gate used by the `obs` bench
+/// bin actually bites on a blown budget or a garbage measurement.
+#[test]
+fn disabled_overhead_gate_bites() {
+    check_disabled_overhead(2.0, 100.0).expect("sub-budget measurement passes");
+    let err = check_disabled_overhead(250.0, 100.0).expect_err("over-budget must fail");
+    assert!(err.contains("exceeds budget"), "{err}");
+    assert!(check_disabled_overhead(f64::NAN, 100.0).is_err());
+    assert!(check_disabled_overhead(-1.0, 100.0).is_err());
+}
