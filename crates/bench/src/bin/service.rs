@@ -10,6 +10,13 @@
 //! The Poisson/permissive run is additionally pinned: every submitted job
 //! completes (nothing is shed or stranded by the service machinery itself).
 //!
+//! A final obs-enabled MRIS pass per arrival process produces the
+//! `stage_breakdown` section: wall-seconds and span counts for each stage
+//! of the epoch decision path (`grid`/`filter`/`solve`/`probe`/`commit`,
+//! from the `mris_epoch_*_seconds` span histograms) plus the knapsack memo
+//! hit/miss counters. The timed passes above run with observability
+//! disabled, so the breakdown never pollutes the throughput numbers.
+//!
 //! `cargo run --release -p mris-bench --bin service [--machines 8]
 //!  [--jobs 2000] [--seed 11] [--utilization 0.7] [--smoke]
 //!  [--out BENCH_service.json]`
@@ -20,6 +27,7 @@
 use mris_bench::Args;
 use mris_core::registry::online_policy_by_name;
 use mris_metrics::Percentiles;
+use mris_obs::MetricValue;
 use mris_service::{
     generate_workload, poisson_rate_for_utilization, run_workload, ArrivalProcess, LoadGenConfig,
     NullSink, Service, ServiceConfig, SimClock, Workload,
@@ -116,6 +124,92 @@ fn run_one(name: &str, process: &'static str, workload: &Workload, machines: usi
     }
 }
 
+/// Stage totals from one obs-enabled MRIS pass over a workload.
+struct StageBreakdown {
+    process: &'static str,
+    /// `(stage, span count, total seconds)` for the five decision stages.
+    stages: Vec<(&'static str, u64, f64)>,
+    memo_hits: u64,
+    memo_misses: u64,
+}
+
+impl StageBreakdown {
+    fn to_json(&self) -> String {
+        let stages: Vec<String> = self
+            .stages
+            .iter()
+            .map(|(stage, count, seconds)| {
+                format!("\"{stage}\": {{\"count\": {count}, \"seconds\": {seconds:.6}}}")
+            })
+            .collect();
+        format!(
+            concat!(
+                "{{\"process\": \"{}\", \"stages\": {{{}}}, ",
+                "\"memo_hits\": {}, \"memo_misses\": {}}}"
+            ),
+            self.process,
+            stages.join(", "),
+            self.memo_hits,
+            self.memo_misses,
+        )
+    }
+}
+
+/// Re-runs MRIS over `workload` with an [`mris_obs::Obs`] subscriber
+/// installed (the timed passes run with observability disabled, where the
+/// `span!` sites are a single relaxed load) and reads the per-stage span
+/// histograms and memo counters back out of the registry.
+fn stage_breakdown(process: &'static str, workload: &Workload, machines: usize) -> StageBreakdown {
+    let obs = std::sync::Arc::new(mris_obs::Obs::new());
+    let guard = mris_obs::install_guard(obs.clone());
+    let policy = online_policy_by_name("mris", &workload.instance, machines)
+        .expect("mris resolves to an online policy");
+    let service = Service::new(
+        workload.instance.clone(),
+        policy,
+        ServiceConfig::new(machines),
+        SimClock::new(),
+        NullSink,
+    );
+    run_workload(service, workload)
+        .unwrap_or_else(|e| panic!("mris/{process}: breakdown run failed: {e}"));
+    drop(guard);
+
+    const STAGES: [(&str, &str); 5] = [
+        ("grid", "mris_epoch_grid_seconds"),
+        ("filter", "mris_epoch_filter_seconds"),
+        ("solve", "mris_epoch_solve_seconds"),
+        ("probe", "mris_epoch_probe_seconds"),
+        ("commit", "mris_epoch_commit_seconds"),
+    ];
+    let snapshot = obs.registry().snapshot();
+    let stages = STAGES
+        .iter()
+        .map(|&(stage, family)| {
+            let (count, sum) = snapshot
+                .iter()
+                .find_map(|(name, _, value)| match value {
+                    MetricValue::Histogram(h) if *name == family => Some((h.count, h.sum)),
+                    _ => None,
+                })
+                .unwrap_or((0, 0.0));
+            (stage, count, sum)
+        })
+        .collect();
+    StageBreakdown {
+        process,
+        stages,
+        memo_hits: obs
+            .registry()
+            .counter_value("mris_epoch_memo_hits_total", None)
+            .unwrap_or(0),
+        memo_misses: obs
+            .registry()
+            .counter_value("mris_epoch_memo_misses_total", None)
+            .unwrap_or(0),
+    }
+}
+
 fn main() {
     let args = Args::parse();
     let smoke = args.has("smoke");
@@ -189,22 +283,49 @@ fn main() {
         reports.push(PolicyReport { name, rows });
     }
 
+    eprintln!("  mris stage breakdown (obs-enabled pass) ...");
+    let breakdowns: Vec<StageBreakdown> = workloads
+        .iter()
+        .map(|(process, workload)| {
+            let b = stage_breakdown(process, workload, machines);
+            let total: f64 = b.stages.iter().map(|(_, _, s)| s).sum();
+            eprintln!(
+                "    {:>7}: {:.1} ms across stages ({}), memo {}/{} hit/miss",
+                b.process,
+                total * 1e3,
+                b.stages
+                    .iter()
+                    .map(|(stage, _, s)| format!("{stage} {:.1}ms", s * 1e3))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                b.memo_hits,
+                b.memo_misses
+            );
+            b
+        })
+        .collect();
+
     let schedulers: Vec<String> = reports
         .iter()
         .map(|r| format!("    {}", r.to_json()))
+        .collect();
+    let breakdown_json: Vec<String> = breakdowns
+        .iter()
+        .map(|b| format!("    {}", b.to_json()))
         .collect();
     let json = format!(
         concat!(
             "{{\n",
             "  \"bench\": \"service\",\n",
-            "  \"version\": 1,\n",
+            "  \"version\": 2,\n",
             "  \"mode\": \"{}\",\n",
             "  \"machines\": {},\n",
             "  \"jobs\": {},\n",
             "  \"seed\": {},\n",
             "  \"utilization\": {},\n",
             "  \"poisson_rate\": {:.6},\n",
-            "  \"schedulers\": [\n{}\n  ]\n",
+            "  \"schedulers\": [\n{}\n  ],\n",
+            "  \"stage_breakdown\": [\n{}\n  ]\n",
             "}}\n"
         ),
         if smoke { "smoke" } else { "full" },
@@ -213,7 +334,8 @@ fn main() {
         seed,
         utilization,
         rate,
-        schedulers.join(",\n")
+        schedulers.join(",\n"),
+        breakdown_json.join(",\n")
     );
     std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
     eprintln!("  wrote {out}");

@@ -11,8 +11,9 @@
 //! * `synthetic_churn` — a single machine under a mixed stream of commits,
 //!   feasibility probes, earliest-fit queries, and periodic compaction.
 //! * `parallel_scan` — `earliest_fit` on a wide, heavily fragmented
-//!   cluster: the scoped-thread scan versus the same indexed scan forced
-//!   sequential.
+//!   cluster: the current policy (sequential cutoff-pruned scan below
+//!   `PARALLEL_SCAN_THRESHOLD`) versus a bench-local replica of the
+//!   pre-fix per-query scoped-thread scan.
 //!
 //! `cargo run --release -p mris-bench --bin timeline [--machines 64]
 //!  [--jobs 10000] [--window-days 0.25] [--seed 7] [--smoke]
@@ -351,9 +352,83 @@ fn synthetic_churn(ops: usize, seed: u64) -> WorkloadReport {
     }
 }
 
-/// `earliest_fit` over a wide, heavily fragmented cluster: the scoped-thread
-/// scan against the identical indexed scan forced sequential (so the delta
-/// is purely the threading, not the index).
+/// Bench-local replica of the *pre-fix* cluster scan: per-query
+/// `std::thread::scope` chunks over the machines, sharing a relaxed atomic
+/// best-so-far as a pruning bound, with an in-order reduction for the
+/// lower-machine-index tie-break. The library used to take this path for
+/// every cluster of 128+ machines; the per-query spawn cost measured a
+/// 0.93x *slowdown* at 256 machines, so the default policy now stays
+/// sequential below `PARALLEL_SCAN_THRESHOLD` (512). This replica is the
+/// "before" side of the `parallel_scan` workload.
+fn old_scoped_scan(
+    cluster: &ClusterTimelines,
+    from: f64,
+    dur: f64,
+    demands: &[Amount],
+) -> (usize, f64) {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    let machines = cluster.num_machines();
+    let threads = 8.min(machines);
+    let chunk_len = machines.div_ceil(threads);
+    let shared_best = AtomicU64::new(f64::INFINITY.to_bits());
+    let chunk_results: Vec<(usize, f64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|c| {
+                let shared_best = &shared_best;
+                scope.spawn(move || {
+                    let mut local = (0usize, f64::INFINITY);
+                    let lo = c * chunk_len;
+                    let hi = (lo + chunk_len).min(machines);
+                    for m in lo..hi {
+                        let global = f64::from_bits(shared_best.load(Ordering::Relaxed));
+                        // One ulp of slack so an equal-start answer from a
+                        // lower index survives to the reduction.
+                        let slack = if global.is_finite() {
+                            global.next_up()
+                        } else {
+                            f64::INFINITY
+                        };
+                        let cutoff = local.1.min(slack);
+                        if let Some(s) = cluster
+                            .machine(m)
+                            .earliest_fit_bounded(from, dur, demands, cutoff)
+                        {
+                            local = (m, s);
+                            let mut cur = shared_best.load(Ordering::Relaxed);
+                            while f64::from_bits(cur) > s {
+                                match shared_best.compare_exchange_weak(
+                                    cur,
+                                    s.to_bits(),
+                                    Ordering::Relaxed,
+                                    Ordering::Relaxed,
+                                ) {
+                                    Ok(_) => break,
+                                    Err(observed) => cur = observed,
+                                }
+                            }
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut best = (0usize, f64::INFINITY);
+    for (m, s) in chunk_results {
+        if s < best.1 {
+            best = (m, s);
+        }
+    }
+    best
+}
+
+/// `earliest_fit` over a wide, heavily fragmented cluster: the default
+/// policy (sequential cutoff-pruned scan — at this width no per-query
+/// threads are spawned) against [`old_scoped_scan`], the replica of the
+/// pre-fix per-query scoped-thread behavior. Both sides answer the
+/// identical query script and must agree exactly.
 fn parallel_scan(machines: usize, queries: usize, seed: u64) -> WorkloadReport {
     let resources = 2;
     let mut rng = Rng::new(seed);
@@ -384,22 +459,26 @@ fn parallel_scan(machines: usize, queries: usize, seed: u64) -> WorkloadReport {
         })
         .collect();
 
-    cluster.set_parallel_threshold(usize::MAX);
+    // Baseline: the pre-fix policy, spawning scoped threads for every query.
+    let mut baseline_answers = Vec::with_capacity(queries);
     let t0 = Instant::now();
     for (from, dur, demands) in &script {
-        std::hint::black_box(cluster.earliest_fit(*from, *dur, demands));
+        baseline_answers.push(old_scoped_scan(&cluster, *from, *dur, demands));
     }
     let baseline_elapsed_s = t0.elapsed().as_secs_f64();
 
-    cluster.set_parallel_threshold(1);
+    // Measured: the library's default policy — sequential below
+    // `PARALLEL_SCAN_THRESHOLD`, so no per-query threads at this width.
+    let mut answers = Vec::with_capacity(queries);
     let mut query_ns = Vec::with_capacity(queries);
     let t0 = Instant::now();
     for (from, dur, demands) in &script {
         let tq = Instant::now();
-        std::hint::black_box(cluster.earliest_fit(*from, *dur, demands));
+        answers.push(cluster.earliest_fit(*from, *dur, demands));
         query_ns.push(tq.elapsed().as_nanos() as u64);
     }
     let elapsed_s = t0.elapsed().as_secs_f64();
+    assert_eq!(answers, baseline_answers, "scan policies diverged");
 
     WorkloadReport {
         name: "parallel_scan",
@@ -462,7 +541,7 @@ fn main() {
     eprintln!("  parallel_scan: {scan_queries} queries over {scan_machines} machines ...");
     let scan = parallel_scan(scan_machines, scan_queries, seed ^ 0xacc1);
     eprintln!(
-        "    {:.0} ops/s vs {:.0} ops/s sequential ({:.2}x)",
+        "    {:.0} ops/s vs {:.0} ops/s pre-fix scoped-thread scan ({:.2}x)",
         scan.ops_per_sec(),
         scan.baseline_ops_per_sec(),
         scan.speedup()

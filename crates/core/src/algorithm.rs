@@ -1,12 +1,12 @@
 //! The MRIS main loop (Algorithm 1).
 
-use mris_knapsack::{Cadp, GreedyConstraint, Item, KnapsackSolver};
+use mris_knapsack::{Cadp, GreedyConstraint, Item, KnapsackSolver, SolveScratch};
 use mris_schedulers::Scheduler;
-use mris_sim::{ClusterTimelines, OrdTime};
+use mris_sim::ClusterTimelines;
 use mris_types::{Instance, JobId, Schedule, Time};
 
-use crate::backfill::place_batch;
 use crate::config::{KnapsackChoice, MrisConfig};
+use crate::epoch::EpochState;
 
 /// Multi-Resource Interval Scheduling (Algorithm 1): the paper's main
 /// contribution. `8R(1 + eps)`-competitive for AWCT (Theorem 6.8) and for
@@ -64,8 +64,13 @@ pub struct IterationStats {
 /// The folding binary-searches `Solution::selected`, relying on the
 /// [`KnapsackSolver`] contract that selections are strictly increasing;
 /// that invariant is re-checked here in debug builds.
-pub(crate) fn select_batch(solver: &dyn KnapsackSolver, items: &[Item], zeta: f64) -> Vec<usize> {
-    let solution = solver.solve(items, zeta);
+pub(crate) fn select_batch(
+    solver: &dyn KnapsackSolver,
+    scratch: &mut SolveScratch,
+    items: &[Item],
+    zeta: f64,
+) -> Vec<usize> {
+    let solution = solver.solve_into(scratch, items, zeta);
     debug_assert!(
         solution.selected.windows(2).all(|w| w[0] < w[1]),
         "KnapsackSolver contract violation: {} returned a selection that is \
@@ -127,71 +132,46 @@ impl Mris {
             KnapsackChoice::Cadp => Box::new(Cadp::new(self.config.epsilon)),
             KnapsackChoice::Greedy => Box::new(GreedyConstraint),
             KnapsackChoice::GreedyHalf => Box::new(mris_knapsack::GreedyHalf),
+            KnapsackChoice::Exact => Box::new(mris_knapsack::ExactDp::default()),
         };
 
         let mut timelines = ClusterTimelines::new(num_machines, r);
-        let mut remaining: Vec<JobId> = instance.jobs().iter().map(|j| j.id).collect();
+        // Lines 3-6 of each iteration run inside `EpochState::run_epoch`:
+        // eligibility via the monotone frontier, P1 via the memoized
+        // knapsack, placement via PQ-with-backfilling (see `epoch.rs`).
+        let mut state = EpochState::new(instance.len(), self.config.force_epoch_rebuild);
+        for job in instance.jobs() {
+            state.insert(job.id, job.proc_time, job.release);
+        }
+        let mut placements: Vec<(JobId, usize, Time)> = Vec::new();
         let mut gamma = gamma0;
         let mut k = 0usize;
-        while !remaining.is_empty() {
-            // Line 3: J_k = eligible pending jobs.
-            let eligible: Vec<JobId> = remaining
-                .iter()
-                .copied()
-                .filter(|&j| {
-                    let job = instance.job(j);
-                    job.proc_time <= gamma && job.release <= gamma
-                })
-                .collect();
-            if !eligible.is_empty() {
-                // Lines 4-5: solve P1 with capacity zeta_k over volumes.
-                let zeta = (r * num_machines) as f64 * gamma;
-                let items: Vec<Item> = eligible
-                    .iter()
-                    .map(|&j| {
-                        let job = instance.job(j);
-                        Item::new(job.weight, job.volume())
-                    })
-                    .collect();
-                let mut batch: Vec<JobId> = select_batch(solver.as_ref(), &items, zeta)
-                    .into_iter()
-                    .map(|i| eligible[i])
-                    .collect();
-
-                if !batch.is_empty() {
-                    // Line 6: PQ with backfilling, starting at gamma_k. When
-                    // backfilling is disabled (ablation), placements may not
-                    // precede the end of everything already committed.
-                    let floor = if self.config.backfill {
-                        gamma
-                    } else {
-                        gamma.max(timelines.horizon())
-                    };
-                    batch.sort_by(|&a, &b| {
-                        OrdTime(self.config.heuristic.key(instance.job(a)))
-                            .cmp(&OrdTime(self.config.heuristic.key(instance.job(b))))
-                            .then(a.cmp(&b))
-                    });
-                    let placements = place_batch(&mut timelines, instance, &batch, floor);
-                    let mut batch_end = 0.0_f64;
-                    for &(j, m, s) in &placements {
-                        schedule.assign(j, m, s).expect("MRIS placed a job twice");
-                        batch_end = batch_end.max(s + instance.job(j).proc_time);
-                    }
-                    let batch_set: std::collections::HashSet<JobId> =
-                        batch.iter().copied().collect();
-                    remaining.retain(|j| !batch_set.contains(j));
-                    log.push(IterationStats {
-                        k,
-                        gamma,
-                        zeta,
-                        eligible: eligible.len(),
-                        scheduled: batch.len(),
-                        batch_weight: batch.iter().map(|&j| instance.job(j).weight).sum(),
-                        batch_volume: batch.iter().map(|&j| instance.job(j).volume()).sum(),
-                        batch_end,
-                    });
+        while !state.is_empty() {
+            let zeta = (r * num_machines) as f64 * gamma;
+            placements.clear();
+            let stats = state.run_epoch(
+                instance,
+                &mut timelines,
+                solver.as_ref(),
+                &self.config,
+                gamma,
+                zeta,
+                &mut placements,
+            );
+            if stats.scheduled > 0 {
+                for &(j, m, s) in &placements {
+                    schedule.assign(j, m, s).expect("MRIS placed a job twice");
                 }
+                log.push(IterationStats {
+                    k,
+                    gamma,
+                    zeta,
+                    eligible: stats.eligible,
+                    scheduled: stats.scheduled,
+                    batch_weight: stats.batch_weight,
+                    batch_volume: stats.batch_volume,
+                    batch_end: stats.batch_end,
+                });
             }
             k += 1;
             gamma = gamma0 * self.config.alpha.powi(k as i32);
@@ -209,6 +189,7 @@ impl Scheduler for Mris {
             KnapsackChoice::GreedyHalf => {
                 format!("MRIS-GREEDY-HALF-{}", self.config.heuristic)
             }
+            KnapsackChoice::Exact => format!("MRIS-EXACT-{}", self.config.heuristic),
         }
     }
 
@@ -375,7 +356,12 @@ mod tests {
         fn name(&self) -> &'static str {
             "mock-fixed"
         }
-        fn solve(&self, items: &[Item], _capacity: f64) -> mris_knapsack::Solution {
+        fn solve_into(
+            &self,
+            _scratch: &mut SolveScratch,
+            items: &[Item],
+            _capacity: f64,
+        ) -> mris_knapsack::Solution {
             // Deliberately bypasses `Solution::from_selected` so tests can
             // hand the call site an out-of-contract selection.
             mris_knapsack::Solution {
@@ -400,7 +386,12 @@ mod tests {
             Item::new(2.0, 1.0),
             Item::new(0.0, 4.0),
         ];
-        let batch = select_batch(&FixedSelection(vec![1]), &items, 10.0);
+        let batch = select_batch(
+            &FixedSelection(vec![1]),
+            &mut SolveScratch::default(),
+            &items,
+            10.0,
+        );
         assert_eq!(batch, vec![1, 0]);
     }
 
@@ -416,6 +407,11 @@ mod tests {
         // An unsorted selection breaks the binary-search invariant of the
         // zero-weight folding; the call site must reject it loudly instead
         // of silently double-scheduling item 2.
-        let _ = select_batch(&FixedSelection(vec![1, 0]), &items, 10.0);
+        let _ = select_batch(
+            &FixedSelection(vec![1, 0]),
+            &mut SolveScratch::default(),
+            &items,
+            10.0,
+        );
     }
 }

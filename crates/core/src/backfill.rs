@@ -35,7 +35,8 @@ pub fn place_batch(
     let mut placements = Vec::with_capacity(batch.len());
     for &id in batch {
         let job = instance.job(id);
-        let (machine, start) = timelines.place_earliest(job, floor);
+        let (machine, start) = timelines.earliest_fit_mut(floor, job.proc_time, &job.demands);
+        timelines.commit(machine, start, job.proc_time, &job.demands);
         placements.push((id, machine, start));
     }
     placements

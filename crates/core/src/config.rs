@@ -18,6 +18,13 @@ pub enum KnapsackChoice {
     /// 1/2-approximation, so **no** competitive guarantee carries through
     /// Lemma 6.5 — included for the Figure 2 comparison and ablations.
     GreedyHalf,
+    /// Exact pseudo-polynomial dynamic programming
+    /// ([`ExactDp`](mris_knapsack::ExactDp) at its default resolution):
+    /// optimal weight *within* the volume budget (blow-up 1). Exponentially
+    /// slower than CADP on adversarial sizes but exact; yields the `8R`
+    /// competitive ratio and serves as the reference solver for the epoch
+    /// equivalence suite (`MRIS-EXACT`).
+    Exact,
 }
 
 /// Tuning knobs for [`Mris`](crate::Mris). `Default` reproduces the paper's
@@ -44,6 +51,13 @@ pub struct MrisConfig {
     /// Theorem 6.8 analysis, where each iteration's schedule strictly
     /// follows the previous one; exposed for the ablation bench.
     pub backfill: bool,
+    /// Testing-only: disables the incremental epoch state (monotone
+    /// eligibility frontier + knapsack memo) and re-derives each epoch from
+    /// scratch, as the pre-incremental loop did. The equivalence property
+    /// suite pins the two modes bit-identical; there is no reason to enable
+    /// this in production.
+    #[doc(hidden)]
+    pub force_epoch_rebuild: bool,
 }
 
 impl Default for MrisConfig {
@@ -54,6 +68,7 @@ impl Default for MrisConfig {
             heuristic: SortHeuristic::Wsjf,
             knapsack: KnapsackChoice::Cadp,
             backfill: true,
+            force_epoch_rebuild: false,
         }
     }
 }
@@ -88,6 +103,8 @@ impl MrisConfig {
             // No proven ratio: the weight guarantee needed by Lemma 6.5
             // fails for the half-approximation.
             KnapsackChoice::GreedyHalf => return f64::INFINITY,
+            // Exact solver: blow-up 1, i.e. the eps -> 0 limit of CADP.
+            KnapsackChoice::Exact => 1.0,
         };
         2.0 * num_resources as f64 * blowup * self.alpha * self.alpha / (self.alpha - 1.0)
     }

@@ -1,0 +1,338 @@
+//! Incremental epoch state for the Algorithm 1 interval loop.
+//!
+//! The offline pass ([`Mris`](crate::Mris)) and the online policy
+//! ([`MrisOnline`](crate::MrisOnline)) execute the same per-iteration body:
+//! filter the pending set down to the eligible jobs `J_k`, solve problem
+//! **P1** at budget `zeta_k`, and place the batch earliest-fit. Before this
+//! module both loops re-derived everything from scratch at every `gamma_k`
+//! — an `O(pending)` filter plus a fresh knapsack solve and a handful of
+//! allocations per epoch, even for epochs in which nothing changed.
+//!
+//! [`EpochState`] carries the loop's working set across iterations:
+//!
+//! * **Monotone eligibility frontier.** A job becomes eligible at the fixed
+//!   threshold `max(p_j, available_from_j)` and — because the grid only
+//!   advances — never becomes ineligible again. Jobs wait in a min-heap
+//!   keyed by that threshold and are promoted into the `frontier` set at
+//!   most once; an epoch whose frontier is empty costs `O(1)`.
+//! * **Knapsack memo.** [`select_batch`](crate::algorithm::select_batch) is
+//!   a pure function of `(items, zeta)` for a fixed solver, so solutions
+//!   are memoized under a fingerprint of the item list and budget. Lookups
+//!   verify *full equality* of the keyed inputs before reuse — a hash
+//!   collision can cost a repeat solve, never a wrong batch. Hit/miss
+//!   counts are exported as `mris_epoch_memo_{hits,misses}_total`.
+//! * **Scratch arena.** The eligible list, item list, batch vector, and the
+//!   solver's [`SolveScratch`] live in an [`EpochScratch`] reused across
+//!   epochs, so a steady-state epoch allocates nothing beyond the returned
+//!   placements.
+//!
+//! Stage timing: when an observability subscriber is installed the epoch
+//! body opens `mris_epoch_{filter,solve,probe,commit}_seconds` spans (the
+//! grid/compaction stage is timed by the caller as
+//! `mris_epoch_grid_seconds`), giving the service bench its per-stage
+//! breakdown. With no subscriber each span is one relaxed atomic load.
+//!
+//! The `force_rebuild` mode re-derives each epoch the way the
+//! pre-incremental loop did — one flat set, an explicit threshold filter
+//! per epoch, no memo — and exists solely as the reference for the
+//! equivalence property suite (`tests/epoch_equivalence.rs`), which pins
+//! both modes bit-identical.
+
+use std::cmp::Reverse;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeSet, BinaryHeap, HashMap};
+use std::hash::Hasher;
+
+use mris_knapsack::{Item, KnapsackSolver, SolveScratch};
+use mris_sim::{ClusterTimelines, OrdTime};
+use mris_types::{Instance, JobId, Time};
+
+use crate::algorithm::select_batch;
+use crate::config::MrisConfig;
+
+/// Memo entries kept before the table is wiped. Epochs that can hit the
+/// memo recur within a few grid steps of each other, so a small bound
+/// suffices; wiping (rather than evicting) keeps the table allocation-free
+/// on the lookup path.
+const MEMO_CAPACITY: usize = 256;
+
+/// Reusable per-epoch buffers: cleared and refilled every epoch, never
+/// shrunk, so steady-state epochs perform no allocation.
+#[derive(Default)]
+struct EpochScratch {
+    /// Eligible job ids in ascending id order (`J_k`).
+    eligible: Vec<JobId>,
+    /// `(weight, volume)` items, parallel to `eligible`.
+    items: Vec<Item>,
+    /// The selected batch `B_k`, heuristic-sorted before placement.
+    batch: Vec<JobId>,
+    /// The knapsack solver's temporary buffers.
+    solve: SolveScratch,
+}
+
+/// One memoized batch selection: the full keyed inputs (for collision-proof
+/// verification) and the selected indices into the item list.
+struct MemoEntry {
+    items: Vec<Item>,
+    zeta_bits: u64,
+    selection: Vec<usize>,
+}
+
+/// Per-epoch outcome summary, consumed by the offline iteration log.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct EpochStats {
+    /// `|J_k|`: eligible jobs considered this epoch.
+    pub eligible: usize,
+    /// `|B_k|`: jobs selected and placed.
+    pub scheduled: usize,
+    /// Total weight of `B_k`.
+    pub batch_weight: f64,
+    /// Total volume of `B_k`.
+    pub batch_volume: f64,
+    /// Latest completion among this epoch's placements (0 if none).
+    pub batch_end: Time,
+}
+
+/// The carried state described in the [module docs](self).
+pub(crate) struct EpochState {
+    /// Announced jobs not yet eligible, keyed by eligibility threshold
+    /// `max(p_j, available_from_j)`. Ties carry the id so the pop order is
+    /// total. Unused in `force_rebuild` mode.
+    waiting: BinaryHeap<Reverse<(OrdTime, JobId)>>,
+    /// Eligible-but-unscheduled jobs. In `force_rebuild` mode this holds
+    /// *every* unscheduled job and the threshold filter runs per epoch.
+    frontier: BTreeSet<JobId>,
+    /// Eligibility threshold per job, indexed by `JobId::index()`. Source
+    /// of truth for the `force_rebuild` filter; in incremental mode it only
+    /// backs debug assertions.
+    threshold: Vec<Time>,
+    memo: HashMap<u64, MemoEntry>,
+    scratch: EpochScratch,
+    force_rebuild: bool,
+}
+
+/// Fingerprint of a `select_batch` input. Exact f64 bit patterns feed the
+/// hash, so two inputs that fingerprint equal and then compare equal are
+/// the *same* pure-function input.
+fn fingerprint(items: &[Item], zeta: f64) -> u64 {
+    let mut h = DefaultHasher::new();
+    h.write_u64(items.len() as u64);
+    for it in items {
+        h.write_u64(it.weight.to_bits());
+        h.write_u64(it.size.to_bits());
+    }
+    h.write_u64(zeta.to_bits());
+    h.finish()
+}
+
+impl EpochState {
+    /// State for a run over an instance of `num_jobs` jobs.
+    pub(crate) fn new(num_jobs: usize, force_rebuild: bool) -> Self {
+        EpochState {
+            waiting: BinaryHeap::new(),
+            frontier: BTreeSet::new(),
+            threshold: vec![0.0; num_jobs],
+            memo: HashMap::new(),
+            scratch: EpochScratch::default(),
+            force_rebuild,
+        }
+    }
+
+    /// Announces a job (original arrival or chaos re-release): it becomes
+    /// eligible once `gamma >= max(proc_time, available_from)`.
+    pub(crate) fn insert(&mut self, job: JobId, proc_time: Time, available_from: Time) {
+        let key = proc_time.max(available_from);
+        self.threshold[job.index()] = key;
+        if self.force_rebuild {
+            self.frontier.insert(job);
+        } else {
+            debug_assert!(
+                !self.frontier.contains(&job),
+                "job {job:?} announced while already eligible"
+            );
+            self.waiting.push(Reverse((OrdTime(key), job)));
+        }
+    }
+
+    /// True when no announced job remains unscheduled.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.frontier.is_empty() && self.waiting.is_empty()
+    }
+
+    /// Drops every memoized solution. Called on machine failure: failures
+    /// rewrite job availability (orphans, re-releases, weight aging) while
+    /// the epoch is mid-flight, and a conservative wipe is cheaper to
+    /// reason about than proving which entries survive.
+    pub(crate) fn invalidate_memo(&mut self) {
+        self.memo.clear();
+    }
+
+    /// Promotes every job whose threshold has been reached into the
+    /// frontier. Monotone: `gamma` never decreases within a run, so each
+    /// job is promoted exactly once.
+    fn advance_frontier(&mut self, gamma: Time) {
+        while let Some(&Reverse((OrdTime(key), job))) = self.waiting.peek() {
+            if key > gamma {
+                break;
+            }
+            self.waiting.pop();
+            self.frontier.insert(job);
+        }
+    }
+
+    /// Runs one Algorithm 1 epoch at `gamma` with budget `zeta`: frontier
+    /// advance, batch selection (memoized), heuristic sort, and
+    /// earliest-fit placement committed onto `timelines`. Placements are
+    /// appended to `placements` in placement order; selected jobs leave the
+    /// state.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn run_epoch(
+        &mut self,
+        instance: &Instance,
+        timelines: &mut ClusterTimelines,
+        solver: &dyn KnapsackSolver,
+        config: &MrisConfig,
+        gamma: Time,
+        zeta: f64,
+        placements: &mut Vec<(JobId, usize, Time)>,
+    ) -> EpochStats {
+        let mut stats = EpochStats::default();
+        {
+            let _s = mris_obs::span!("mris_epoch_filter_seconds");
+            self.scratch.eligible.clear();
+            if self.force_rebuild {
+                // Reference path: explicit threshold filter over the whole
+                // unscheduled set, exactly as the pre-incremental loop did.
+                let threshold = &self.threshold;
+                self.scratch.eligible.extend(
+                    self.frontier
+                        .iter()
+                        .copied()
+                        .filter(|&j| threshold[j.index()] <= gamma),
+                );
+            } else {
+                self.advance_frontier(gamma);
+                self.scratch.eligible.extend(self.frontier.iter().copied());
+            }
+        }
+        stats.eligible = self.scratch.eligible.len();
+        if stats.eligible == 0 {
+            return stats;
+        }
+
+        {
+            let _s = mris_obs::span!("mris_epoch_solve_seconds");
+            self.scratch.items.clear();
+            self.scratch
+                .items
+                .extend(self.scratch.eligible.iter().map(|&j| {
+                    let job = instance.job(j);
+                    Item::new(job.weight, job.volume())
+                }));
+            let key = fingerprint(&self.scratch.items, zeta);
+            let cached = self
+                .memo
+                .get(&key)
+                .filter(|e| e.zeta_bits == zeta.to_bits() && e.items == self.scratch.items);
+            self.scratch.batch.clear();
+            if let Some(entry) = cached {
+                mris_obs::counter_add("mris_epoch_memo_hits_total", 1);
+                self.scratch
+                    .batch
+                    .extend(entry.selection.iter().map(|&i| self.scratch.eligible[i]));
+            } else {
+                mris_obs::counter_add("mris_epoch_memo_misses_total", 1);
+                let selection =
+                    select_batch(solver, &mut self.scratch.solve, &self.scratch.items, zeta);
+                self.scratch
+                    .batch
+                    .extend(selection.iter().map(|&i| self.scratch.eligible[i]));
+                if !self.force_rebuild {
+                    if self.memo.len() >= MEMO_CAPACITY {
+                        self.memo.clear();
+                    }
+                    self.memo.insert(
+                        key,
+                        MemoEntry {
+                            items: self.scratch.items.clone(),
+                            zeta_bits: zeta.to_bits(),
+                            selection,
+                        },
+                    );
+                }
+            }
+            let heuristic = config.heuristic;
+            self.scratch.batch.sort_by(|&a, &b| {
+                OrdTime(heuristic.key(instance.job(a)))
+                    .cmp(&OrdTime(heuristic.key(instance.job(b))))
+                    .then(a.cmp(&b))
+            });
+        }
+        if self.scratch.batch.is_empty() {
+            return stats;
+        }
+
+        // Earliest-fit placement with floor gamma (Section 5.2/5.3); probes
+        // ride the timelines' fit-hint cache, commits follow immediately so
+        // the hint learned by job i prunes the probe for job i+1.
+        let floor = if config.backfill {
+            gamma
+        } else {
+            gamma.max(timelines.horizon())
+        };
+        for &id in &self.scratch.batch {
+            let job = instance.job(id);
+            let (machine, start) = {
+                let _s = mris_obs::span!("mris_epoch_probe_seconds");
+                timelines.earliest_fit_mut(floor, job.proc_time, &job.demands)
+            };
+            {
+                let _s = mris_obs::span!("mris_epoch_commit_seconds");
+                timelines.commit(machine, start, job.proc_time, &job.demands);
+            }
+            placements.push((id, machine, start));
+            self.frontier.remove(&id);
+            stats.scheduled += 1;
+            stats.batch_weight += job.weight;
+            stats.batch_volume += job.volume();
+            stats.batch_end = stats.batch_end.max(start + job.proc_time);
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_distinguishes_inputs() {
+        let a = vec![Item::new(1.0, 2.0), Item::new(3.0, 4.0)];
+        let b = vec![Item::new(1.0, 2.0), Item::new(3.0, 5.0)];
+        assert_ne!(fingerprint(&a, 10.0), fingerprint(&b, 10.0));
+        assert_ne!(fingerprint(&a, 10.0), fingerprint(&a, 20.0));
+        assert_eq!(fingerprint(&a, 10.0), fingerprint(&a.clone(), 10.0));
+    }
+
+    #[test]
+    fn frontier_promotion_is_monotone_and_single_shot() {
+        let mut state = EpochState::new(3, false);
+        state.insert(JobId(0), 1.0, 0.0); // threshold 1
+        state.insert(JobId(1), 4.0, 0.0); // threshold 4
+        state.insert(JobId(2), 1.0, 6.0); // threshold 6
+        state.advance_frontier(2.0);
+        assert_eq!(state.frontier.len(), 1);
+        assert!(state.frontier.contains(&JobId(0)));
+        state.advance_frontier(6.0);
+        assert_eq!(state.frontier.len(), 3);
+        assert!(state.waiting.is_empty());
+    }
+
+    #[test]
+    fn empty_state_reports_empty() {
+        let mut state = EpochState::new(1, false);
+        assert!(state.is_empty());
+        state.insert(JobId(0), 1.0, 0.0);
+        assert!(!state.is_empty());
+    }
+}

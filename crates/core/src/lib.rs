@@ -28,8 +28,9 @@ mod algorithm;
 mod backfill;
 mod config;
 mod deadline;
+mod epoch;
 mod ffd;
-mod online;
+pub mod online;
 mod oracle;
 pub mod registry;
 

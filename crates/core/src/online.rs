@@ -18,15 +18,15 @@
 //!   started — in later iterations, alongside the killed jobs the driver
 //!   re-releases.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
-use mris_knapsack::{Cadp, GreedyConstraint, Item, KnapsackSolver};
+use mris_knapsack::{Cadp, GreedyConstraint, KnapsackSolver};
 use mris_sim::{ClusterTimelines, Dispatcher, OnlinePolicy, OrdTime};
 use mris_types::{Instance, JobId, SchedulingError, Time, CAPACITY};
 
-use crate::algorithm::select_batch;
-use crate::backfill::place_batch;
 use crate::config::{KnapsackChoice, MrisConfig};
+use crate::epoch::EpochState;
 
 /// The incremental MRIS policy. Construct per run (it is stateful) with
 /// [`MrisOnline::new`], then drive it with
@@ -42,16 +42,19 @@ pub struct MrisOnline {
     /// clock reaches it.
     gamma: Time,
     k: usize,
-    /// Jobs announced but not yet committed to a machine, in id order
-    /// (matching the offline loop's pending-vector order).
-    remaining: BTreeSet<JobId>,
-    /// When each job (re-)entered the queue: release time for original
-    /// arrivals, the kill/orphan instant for fault victims. Mirrors the
-    /// offline `release <= gamma` eligibility test.
-    available_from: Vec<Time>,
-    /// Committed placements not yet realized on the live cluster, keyed by
-    /// start time.
-    pending: BTreeMap<(OrdTime, JobId), usize>,
+    /// Announced-but-uncommitted jobs plus the per-run caches: the monotone
+    /// eligibility frontier, the knapsack memo, and the epoch scratch arena
+    /// (see `epoch.rs`). Availability (release for originals, the
+    /// kill/orphan instant for fault victims) is folded into each job's
+    /// eligibility threshold at insertion.
+    state: EpochState,
+    /// Committed placements `(start, job, machine)` not yet realized on the
+    /// live cluster, ordered by start time. `(start, job)` pairs are unique,
+    /// so the machine never participates in the ordering and the pop order
+    /// matches the former `BTreeMap<(OrdTime, JobId), usize>` exactly.
+    pending: BinaryHeap<Reverse<(OrdTime, JobId, usize)>>,
+    /// Scratch for each epoch's placements, reused across iterations.
+    placements: Vec<(JobId, usize, Time)>,
 }
 
 impl MrisOnline {
@@ -72,6 +75,7 @@ impl MrisOnline {
             KnapsackChoice::Cadp => Box::new(Cadp::new(config.epsilon)),
             KnapsackChoice::Greedy => Box::new(GreedyConstraint),
             KnapsackChoice::GreedyHalf => Box::new(mris_knapsack::GreedyHalf),
+            KnapsackChoice::Exact => Box::new(mris_knapsack::ExactDp::default()),
         };
         MrisOnline {
             config,
@@ -82,57 +86,37 @@ impl MrisOnline {
             gamma0,
             gamma: gamma0,
             k: 0,
-            remaining: BTreeSet::new(),
-            available_from: vec![0.0; instance.len()],
-            pending: BTreeMap::new(),
+            state: EpochState::new(instance.len(), config.force_epoch_rebuild),
+            pending: BinaryHeap::new(),
+            placements: Vec::new(),
         }
     }
 
-    /// One Algorithm 1 iteration at the current `gamma_k`, mirroring the
-    /// offline loop body exactly: eligibility filter, knapsack batch
-    /// selection with budget `zeta_k`, heuristic-ordered earliest-fit
-    /// placement with floor `gamma_k`. Selected jobs move from `remaining`
-    /// to `pending`; `gamma` always advances.
+    /// One Algorithm 1 iteration at the current `gamma_k`: timeline
+    /// compaction (the grid stage), then the shared incremental epoch body
+    /// (`EpochState::run_epoch` — frontier advance, memoized knapsack with
+    /// budget `zeta_k`, heuristic-ordered earliest-fit placement with floor
+    /// `gamma_k`). Selected jobs leave the epoch state and enter `pending`;
+    /// `gamma` always advances.
     fn run_iteration(&mut self, instance: &Instance) {
         let gamma = self.gamma;
-        let eligible: Vec<JobId> = self
-            .remaining
-            .iter()
-            .copied()
-            .filter(|&j| {
-                instance.job(j).proc_time <= gamma && self.available_from[j.index()] <= gamma
-            })
-            .collect();
-        if !eligible.is_empty() {
-            let zeta = (self.num_resources * self.num_machines) as f64 * gamma;
-            let items: Vec<Item> = eligible
-                .iter()
-                .map(|&j| {
-                    let job = instance.job(j);
-                    Item::new(job.weight, job.volume())
-                })
-                .collect();
-            let mut batch: Vec<JobId> = select_batch(self.solver.as_ref(), &items, zeta)
-                .into_iter()
-                .map(|i| eligible[i])
-                .collect();
-            if !batch.is_empty() {
-                let floor = if self.config.backfill {
-                    gamma
-                } else {
-                    gamma.max(self.timelines.horizon())
-                };
-                batch.sort_by(|&a, &b| {
-                    OrdTime(self.config.heuristic.key(instance.job(a)))
-                        .cmp(&OrdTime(self.config.heuristic.key(instance.job(b))))
-                        .then(a.cmp(&b))
-                });
-                let placements = place_batch(&mut self.timelines, instance, &batch, floor);
-                for &(j, m, s) in &placements {
-                    self.pending.insert((OrdTime(s), j), m);
-                    self.remaining.remove(&j);
-                }
-            }
+        {
+            let _s = mris_obs::span!("mris_epoch_grid_seconds");
+            self.timelines.compact_before(gamma);
+        }
+        let zeta = (self.num_resources * self.num_machines) as f64 * gamma;
+        self.placements.clear();
+        self.state.run_epoch(
+            instance,
+            &mut self.timelines,
+            self.solver.as_ref(),
+            &self.config,
+            gamma,
+            zeta,
+            &mut self.placements,
+        );
+        for &(j, m, s) in &self.placements {
+            self.pending.push(Reverse((OrdTime(s), j, m)));
         }
         self.k += 1;
         self.gamma = self.gamma0 * self.config.alpha.powi(self.k as i32);
@@ -140,13 +124,12 @@ impl MrisOnline {
 }
 
 impl OnlinePolicy for MrisOnline {
-    fn on_arrivals(&mut self, now: Time, arrived: &[JobId], _instance: &Instance) {
+    fn on_arrivals(&mut self, now: Time, arrived: &[JobId], instance: &Instance) {
         // The driver delivers originals exactly at their release and
         // re-releases at the kill instant, so `now` is the right
         // availability either way.
         for &j in arrived {
-            self.remaining.insert(j);
-            self.available_from[j.index()] = now;
+            self.state.insert(j, instance.job(j).proc_time, now);
         }
     }
 
@@ -159,17 +142,18 @@ impl OnlinePolicy for MrisOnline {
         // Run every iteration whose gamma_k has arrived. When the queue was
         // empty the grid stalls; catch-up iterations for skipped gammas are
         // provably empty (everything available by those gammas was already
-        // placed, and new arrivals have available_from = now > gamma), so
-        // no job is ever committed to a start in the past.
-        while !self.remaining.is_empty() && self.gamma <= now {
+        // placed, and new arrivals have an eligibility threshold of at
+        // least `now > gamma`), so no job is ever committed to a start in
+        // the past.
+        while !self.state.is_empty() && self.gamma <= now {
             self.run_iteration(d.instance());
         }
         // Realize committed starts that are due.
-        while let Some((&(start, job), &machine)) = self.pending.first_key_value() {
+        while let Some(&Reverse((start, job, machine))) = self.pending.peek() {
             if start.0 > now {
                 break;
             }
-            self.pending.pop_first();
+            self.pending.pop();
             if d.cluster().is_up(machine) {
                 d.place(machine, job)?;
             } else {
@@ -177,8 +161,7 @@ impl OnlinePolicy for MrisOnline {
                 // failed machine, but a zero-demand job can still be
                 // committed inside a downtime block (zero demand fits a
                 // full machine). Re-plan it from now.
-                self.remaining.insert(job);
-                self.available_from[job.index()] = now;
+                self.state.insert(job, d.instance().job(job).proc_time, now);
             }
         }
         Ok(())
@@ -190,25 +173,27 @@ impl OnlinePolicy for MrisOnline {
         machine: usize,
         recover_at: Time,
         _killed: &[JobId],
-        _instance: &Instance,
+        instance: &Instance,
     ) {
         // Orphans: committed to the failed machine but not yet started.
         // (Killed running jobs come back through on_arrivals.)
-        let orphaned: Vec<(OrdTime, JobId)> = self
-            .pending
-            .iter()
-            .filter(|&(_, &m)| m == machine)
-            .map(|(&key, _)| key)
-            .collect();
-        mris_obs::counter_add(
-            "mris_chaos_orphaned_commitments_total",
-            orphaned.len() as u64,
-        );
-        for key in orphaned {
-            self.pending.remove(&key);
-            self.remaining.insert(key.1);
-            self.available_from[key.1.index()] = now;
-        }
+        let mut entries = std::mem::take(&mut self.pending).into_vec();
+        let mut orphaned: u64 = 0;
+        let state = &mut self.state;
+        entries.retain(|&Reverse((_, job, m))| {
+            if m == machine {
+                orphaned += 1;
+                state.insert(job, instance.job(job).proc_time, now);
+                false
+            } else {
+                true
+            }
+        });
+        self.pending = BinaryHeap::from(entries);
+        mris_obs::counter_add("mris_chaos_orphaned_commitments_total", orphaned);
+        // A failure rewrites availability mid-epoch; wipe the knapsack memo
+        // rather than reason about which entries survive.
+        self.state.invalidate_memo();
         // Truncate the machine's committed timeline — every interval on it
         // (past, running, planned) is invalidated at once — and block out
         // the downtime so future iterations cannot plan into it.
@@ -222,8 +207,8 @@ impl OnlinePolicy for MrisOnline {
     }
 
     fn next_wakeup(&self) -> Option<Time> {
-        let grid = (!self.remaining.is_empty()).then_some(self.gamma);
-        let realize = self.pending.first_key_value().map(|(&(s, _), _)| s.0);
+        let grid = (!self.state.is_empty()).then_some(self.gamma);
+        let realize = self.pending.peek().map(|&Reverse((s, _, _))| s.0);
         match (grid, realize) {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),

@@ -28,6 +28,10 @@ pub fn known_algorithms() -> Vec<(&'static str, &'static str)> {
             "MRIS with the capacity-respecting half-budget greedy",
         ),
         (
+            "mris-exact",
+            "MRIS with the exact pseudo-polynomial knapsack (reference)",
+        ),
+        (
             "mris-<heuristic>",
             "MRIS with another queue order, e.g. mris-wsvf",
         ),
@@ -55,6 +59,7 @@ fn suggestion_candidates() -> Vec<String> {
         "mris",
         "mris-greedy",
         "mris-greedy-half",
+        "mris-exact",
         "tetris",
         "bf-exec",
         "ca-pq",
@@ -101,6 +106,12 @@ pub fn algorithm_by_name(name: &str) -> Result<Box<dyn Scheduler>, RegistryError
         "mris-greedy-half" => {
             return Ok(Box::new(Mris::with_config(MrisConfig {
                 knapsack: KnapsackChoice::GreedyHalf,
+                ..Default::default()
+            })))
+        }
+        "mris-exact" => {
+            return Ok(Box::new(Mris::with_config(MrisConfig {
+                knapsack: KnapsackChoice::Exact,
                 ..Default::default()
             })))
         }
@@ -152,6 +163,12 @@ pub fn online_policy_by_name(
         "mris-greedy-half" => {
             return Ok(mris(MrisConfig {
                 knapsack: KnapsackChoice::GreedyHalf,
+                ..Default::default()
+            }))
+        }
+        "mris-exact" => {
+            return Ok(mris(MrisConfig {
+                knapsack: KnapsackChoice::Exact,
                 ..Default::default()
             }))
         }
@@ -208,6 +225,7 @@ mod tests {
             "mris",
             "mris-greedy",
             "mris-greedy-half",
+            "mris-exact",
             "tetris",
             "bf-exec",
             "ca-pq",
@@ -217,6 +235,11 @@ mod tests {
         assert_eq!(algorithm_by_name("pq-wsjf").unwrap().name(), "PQ-WSJF");
         assert_eq!(algorithm_by_name("PQ-SVF").unwrap().name(), "PQ-SVF");
         assert_eq!(algorithm_by_name("mris-erf").unwrap().name(), "MRIS-ERF");
+        // "mris-exact" is an exact-match name, not a heuristic suffix.
+        assert_eq!(
+            algorithm_by_name("mris-exact").unwrap().name(),
+            "MRIS-EXACT-WSJF"
+        );
     }
 
     #[test]

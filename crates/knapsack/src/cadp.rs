@@ -13,7 +13,7 @@
 //! `K = eps * zeta / n`, which is what we implement.
 
 use crate::dp::solve_integer;
-use crate::{assert_valid_items, Item, KnapsackSolver, Solution};
+use crate::{assert_valid_items, Item, KnapsackSolver, Solution, SolveScratch};
 
 /// The CADP solver: optimal weight at `capacity`, returned size at most
 /// `(1 + epsilon) * capacity`, running time `O(n^2 / epsilon)`.
@@ -47,7 +47,7 @@ impl KnapsackSolver for Cadp {
         "cadp"
     }
 
-    fn solve(&self, items: &[Item], capacity: f64) -> Solution {
+    fn solve_into(&self, scratch: &mut SolveScratch, items: &[Item], capacity: f64) -> Solution {
         assert_valid_items(items);
         crate::record_solve(self.name(), items.len());
         mris_obs::gauge_set("mris_knapsack_epsilon", self.epsilon);
@@ -70,12 +70,13 @@ impl KnapsackSolver for Cadp {
         }
         let k = self.epsilon * capacity / n as f64;
         let scaled_cap = (capacity / k).floor() as u64; // = floor(n / eps)
-        let sizes: Vec<u64> = items
-            .iter()
-            .map(|it| (it.size / k).floor() as u64)
-            .collect();
-        let weights: Vec<f64> = items.iter().map(|it| it.weight).collect();
-        let selected = solve_integer(&sizes, &weights, scaled_cap);
+        scratch.sizes.clear();
+        scratch
+            .sizes
+            .extend(items.iter().map(|it| (it.size / k).floor() as u64));
+        scratch.weights.clear();
+        scratch.weights.extend(items.iter().map(|it| it.weight));
+        let selected = solve_integer(&scratch.sizes, &scratch.weights, scaled_cap);
         Solution::from_selected(items, selected)
     }
 

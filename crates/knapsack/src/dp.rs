@@ -8,7 +8,7 @@
 //! total, so the whole reconstruction costs at most twice the value-only DP
 //! while never materializing the `n x capacity` choice matrix.
 
-use crate::{assert_valid_items, Item, KnapsackSolver, Solution};
+use crate::{assert_valid_items, Item, KnapsackSolver, Solution, SolveScratch};
 
 /// Best achievable weight for each capacity `0..=cap`, considering
 /// `items[lo..hi]`. `out` must have length `cap + 1` and is overwritten.
@@ -131,19 +131,22 @@ impl KnapsackSolver for ExactDp {
         "exact-dp"
     }
 
-    fn solve(&self, items: &[Item], capacity: f64) -> Solution {
+    fn solve_into(&self, scratch: &mut SolveScratch, items: &[Item], capacity: f64) -> Solution {
         assert_valid_items(items);
         crate::record_solve(self.name(), items.len());
         if items.is_empty() || capacity < 0.0 {
             return Solution::empty();
         }
-        let sizes: Vec<u64> = items
-            .iter()
-            .map(|it| (it.size * self.resolution).ceil() as u64)
-            .collect();
-        let weights: Vec<f64> = items.iter().map(|it| it.weight).collect();
+        scratch.sizes.clear();
+        scratch.sizes.extend(
+            items
+                .iter()
+                .map(|it| (it.size * self.resolution).ceil() as u64),
+        );
+        scratch.weights.clear();
+        scratch.weights.extend(items.iter().map(|it| it.weight));
         let cap = (capacity * self.resolution).floor().max(0.0) as u64;
-        let selected = solve_integer(&sizes, &weights, cap);
+        let selected = solve_integer(&scratch.sizes, &scratch.weights, cap);
         Solution::from_selected(items, selected)
     }
 

@@ -10,20 +10,19 @@
 //!   weight (it dominates the fractional relaxation) using at most twice the
 //!   capacity. This is the `O(n log n)` subroutine behind `MRIS-GREEDY`.
 
-use crate::{assert_valid_items, Item, KnapsackSolver, Solution};
+use crate::{assert_valid_items, Item, KnapsackSolver, Solution, SolveScratch};
 
-/// Indices sorted by non-increasing density `weight / size`; zero-size items
-/// (infinite density) first, zero-weight items excluded entirely.
-fn density_order(items: &[Item]) -> Vec<usize> {
-    let mut order: Vec<usize> = (0..items.len())
-        .filter(|&i| items[i].weight > 0.0)
-        .collect();
+/// Fills `order` with indices sorted by non-increasing density
+/// `weight / size`; zero-size items (infinite density) first, zero-weight
+/// items excluded entirely.
+fn density_order_into(items: &[Item], order: &mut Vec<usize>) {
+    order.clear();
+    order.extend((0..items.len()).filter(|&i| items[i].weight > 0.0));
     order.sort_by(|&a, &b| {
         let da = density(items[a]);
         let db = density(items[b]);
         db.total_cmp(&da).then(a.cmp(&b))
     });
-    order
 }
 
 fn density(item: Item) -> f64 {
@@ -36,10 +35,16 @@ fn density(item: Item) -> f64 {
 
 /// The greedy prefix: items taken while they fit, plus (separately) the first
 /// item that failed to fit, restricted to items that individually fit.
-fn greedy_prefix(items: &[Item], capacity: f64) -> (Vec<usize>, Option<usize>) {
+/// `scratch.indices` holds the density order for the duration of the call.
+fn greedy_prefix(
+    scratch: &mut SolveScratch,
+    items: &[Item],
+    capacity: f64,
+) -> (Vec<usize>, Option<usize>) {
+    density_order_into(items, &mut scratch.indices);
     let mut taken = Vec::new();
     let mut used = 0.0;
-    for i in density_order(items) {
+    for &i in &scratch.indices {
         if items[i].size > capacity {
             // Items larger than the whole knapsack cannot be part of any
             // optimal (capacity-respecting) solution; skipping them keeps the
@@ -67,13 +72,13 @@ impl KnapsackSolver for GreedyHalf {
         "greedy-half"
     }
 
-    fn solve(&self, items: &[Item], capacity: f64) -> Solution {
+    fn solve_into(&self, scratch: &mut SolveScratch, items: &[Item], capacity: f64) -> Solution {
         assert_valid_items(items);
         crate::record_solve(self.name(), items.len());
         if capacity < 0.0 {
             return Solution::empty();
         }
-        let (prefix, overflow) = greedy_prefix(items, capacity);
+        let (prefix, overflow) = greedy_prefix(scratch, items, capacity);
         let prefix_sol = Solution::from_selected(items, prefix);
         match overflow {
             Some(k) if items[k].weight > prefix_sol.weight => {
@@ -99,13 +104,13 @@ impl KnapsackSolver for GreedyConstraint {
         "greedy-constraint"
     }
 
-    fn solve(&self, items: &[Item], capacity: f64) -> Solution {
+    fn solve_into(&self, scratch: &mut SolveScratch, items: &[Item], capacity: f64) -> Solution {
         assert_valid_items(items);
         crate::record_solve(self.name(), items.len());
         if capacity < 0.0 {
             return Solution::empty();
         }
-        let (mut prefix, overflow) = greedy_prefix(items, capacity);
+        let (mut prefix, overflow) = greedy_prefix(scratch, items, capacity);
         if let Some(k) = overflow {
             prefix.push(k);
         }

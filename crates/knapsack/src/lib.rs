@@ -89,6 +89,29 @@ impl Solution {
     }
 }
 
+/// Reusable scratch buffers for [`KnapsackSolver::solve_into`].
+///
+/// Every solver needs a handful of `O(n)` temporaries per solve — scaled
+/// integer sizes, extracted weights, a density-sorted index order. A caller
+/// that solves once per scheduling epoch can hold one `SolveScratch` for the
+/// lifetime of the run and amortize those allocations away; the only
+/// per-solve allocation left is the (batch-sized) `selected` vector inside
+/// the returned [`Solution`].
+///
+/// The buffers carry **no state between solves**: every `solve_into`
+/// implementation fully re-initializes whatever it uses, so a scratch can be
+/// shared freely across solvers and capacities.
+#[derive(Debug, Default)]
+pub struct SolveScratch {
+    /// Integer-scaled item sizes (DP-based solvers).
+    pub(crate) sizes: Vec<u64>,
+    /// Extracted item weights (DP-based solvers).
+    pub(crate) weights: Vec<f64>,
+    /// Index staging: density order for the greedies, raw DP selection for
+    /// the exact solvers.
+    pub(crate) indices: Vec<usize>,
+}
+
 /// A 0/1-knapsack solver over real-valued sizes.
 ///
 /// Implementations document their guarantee as a relation between the
@@ -106,8 +129,17 @@ pub trait KnapsackSolver {
     /// A short human-readable solver name for reports.
     fn name(&self) -> &'static str;
 
-    /// Selects a subset of `items` for the given `capacity`.
-    fn solve(&self, items: &[Item], capacity: f64) -> Solution;
+    /// Selects a subset of `items` for the given `capacity`, drawing all
+    /// per-solve temporaries from `scratch`. Results are independent of the
+    /// scratch's prior contents.
+    fn solve_into(&self, scratch: &mut SolveScratch, items: &[Item], capacity: f64) -> Solution;
+
+    /// Convenience wrapper over [`KnapsackSolver::solve_into`] that allocates
+    /// a fresh [`SolveScratch`] per call. Hot paths (one solve per epoch)
+    /// should hold a scratch and call `solve_into` directly.
+    fn solve(&self, items: &[Item], capacity: f64) -> Solution {
+        self.solve_into(&mut SolveScratch::default(), items, capacity)
+    }
 
     /// The factor `c` such that the returned size is guaranteed at most
     /// `c * capacity` (1.0 for exact solvers, `1 + eps` for CADP, 2.0 for the

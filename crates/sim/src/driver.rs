@@ -1,0 +1,518 @@
+//! The unified event-loop driver.
+//!
+//! One loop drives every simulation in the repo. Historically
+//! [`run_online`](crate::run_online) (arrivals + completions only) and
+//! [`run_online_chaos`](crate::run_online_chaos) (plus fault events and
+//! policy wakeups) were two hand-maintained copies of the same event loop
+//! that had already drifted once: the fault-free loop ignored
+//! [`OnlinePolicy::next_wakeup`], so grid-driven policies silently only
+//! worked under the chaos entry point. Both are now thin wrappers over
+//! [`run_driver`], configured through [`RunOptions`]:
+//!
+//! * **fault-free** is simply the default options (no fault plan) — the
+//!   fault queue starts empty and the loop degenerates to
+//!   arrivals/completions/wakeups;
+//! * **chaos** attaches a [`FaultPlan`] and
+//!   [`RestartSemantics`].
+//!
+//! The driver only clones the instance when weight aging actually rewrites
+//! a weight (`Cow`), so the dominant fault-free path borrows the caller's
+//! instance without copying.
+//!
+//! # Event ordering at one instant
+//!
+//! At a shared timestamp `t` the driver processes, in order: completions
+//! (a job finishing exactly at `t` survives a failure at `t`), then
+//! recoveries, then failures (a machine recovering at `t` can be re-failed
+//! by a strike at `t`), then arrivals and re-releases, then one dispatch.
+//! A failure targeting a machine that is down (or out of range) at fire
+//! time is absorbed without effect.
+
+use std::borrow::Cow;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use mris_types::{Instance, JobId, RestartSemantics, Schedule, SchedulingError};
+
+use crate::fault::{
+    resolve_fault_target, ChaosOutcome, CompletionRecord, FailureRecord, FaultLog, FaultPlan,
+};
+use crate::online::EventSnapshot;
+use crate::{ClusterState, Dispatcher, OnlinePolicy, OrdTime};
+
+/// Configuration for one [`run_driver`] run, built fluently:
+///
+/// ```
+/// use mris_sim::{FaultPlan, RunOptions};
+/// use mris_types::RestartSemantics;
+///
+/// let fault_free = RunOptions::new();
+/// let plan = FaultPlan::none();
+/// let chaos = RunOptions::new()
+///     .with_faults(&plan)
+///     .with_restart(RestartSemantics::WeightAging { factor: 2.0 });
+/// # let _ = (fault_free, chaos);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct RunOptions<'a> {
+    plan: Option<&'a FaultPlan>,
+    restart: RestartSemantics,
+}
+
+impl Default for RunOptions<'_> {
+    fn default() -> Self {
+        RunOptions {
+            plan: None,
+            restart: RestartSemantics::FullRestart,
+        }
+    }
+}
+
+impl<'a> RunOptions<'a> {
+    /// Fault-free defaults: no failures, [`RestartSemantics::FullRestart`]
+    /// (irrelevant without failures).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replays `plan` during the run. An empty plan is equivalent to the
+    /// default.
+    pub fn with_faults(mut self, plan: &'a FaultPlan) -> Self {
+        self.plan = Some(plan);
+        self
+    }
+
+    /// What happens to a killed job's weight when it is re-released.
+    ///
+    /// # Panics
+    ///
+    /// If a [`RestartSemantics::WeightAging`] factor is not finite and
+    /// non-negative.
+    pub fn with_restart(mut self, restart: RestartSemantics) -> Self {
+        if let RestartSemantics::WeightAging { factor } = restart {
+            assert!(
+                factor.is_finite() && factor >= 0.0,
+                "weight-aging factor {factor} must be finite and non-negative"
+            );
+        }
+        self.restart = restart;
+        self
+    }
+
+    /// The attached fault plan, if any.
+    pub fn plan(&self) -> Option<&'a FaultPlan> {
+        self.plan
+    }
+
+    /// The restart semantics.
+    pub fn restart(&self) -> RestartSemantics {
+        self.restart
+    }
+}
+
+/// Pending fault-queue entries. Variant order matters: `Recover < Fail`,
+/// so at a shared instant recoveries fire before failures (a machine
+/// recovering at `t` can be struck again at `t`). Within a kind, the
+/// payload (machine index / plan index) breaks ties deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum FaultKind {
+    Recover(usize),
+    Fail(usize),
+}
+
+#[cfg(debug_assertions)]
+fn debug_check_event(log: &FaultLog, cluster: &ClusterState, first_new_completion: usize) {
+    // Completions recorded this event must not overlap any downtime so far
+    // (future failures cannot overlap them: a failure at `t >= now` starts
+    // at or after every end recorded by `now`).
+    for rec in &log.completions[first_new_completion..] {
+        for fail in &log.failures {
+            assert!(
+                !(rec.machine == fail.machine && rec.start < fail.recover_at && fail.at < rec.end),
+                "chaos invariant violated: {} ran [{}, {}) across downtime [{}, {}) on machine {}",
+                rec.job,
+                rec.start,
+                rec.end,
+                fail.at,
+                fail.recover_at,
+                rec.machine
+            );
+        }
+    }
+    // No job may be running on a down machine.
+    for (_, m, job) in cluster.running_jobs() {
+        assert!(
+            cluster.is_up(m),
+            "chaos invariant violated: {job} is running on down machine {m}"
+        );
+    }
+}
+
+/// Runs `policy` over `instance` on `num_machines` machines under
+/// `options`, calling `observer` with an [`EventSnapshot`] after every
+/// processed event.
+///
+/// This is the single event loop behind [`run_online`](crate::run_online),
+/// [`run_online_observed`](crate::run_online_observed), and
+/// [`run_online_chaos`](crate::run_online_chaos); see those wrappers for
+/// the common entry points. The loop advances the simulated clock to the
+/// earliest of: the next arrival, the next completion, the next fault
+/// event (failure or recovery), and the policy's
+/// [`next_wakeup`](OnlinePolicy::next_wakeup).
+///
+/// Machine failures kill every job running on the struck machine; killed
+/// jobs lose all progress (non-preemptive restart) and are re-released to
+/// the policy as fresh arrivals at the failure instant, with weights per
+/// [`RunOptions::with_restart`]. Under weight aging the aged weights are
+/// visible to the policy's decisions, but callers should compute metrics
+/// against the *original* instance so runs stay comparable.
+///
+/// # Errors
+///
+/// Returns a [`SchedulingError`] if the policy strands jobs (leaves them
+/// unplaced after the last event) or violates placement rules — see
+/// [`Dispatcher::place`].
+pub fn run_driver_observed<P: OnlinePolicy + ?Sized>(
+    instance: &Instance,
+    num_machines: usize,
+    policy: &mut P,
+    options: RunOptions<'_>,
+    mut observer: impl FnMut(&EventSnapshot),
+) -> Result<ChaosOutcome, SchedulingError> {
+    // Re-validate here so options built without the builder (Default +
+    // struct update) cannot smuggle in a bad factor.
+    if let RestartSemantics::WeightAging { factor } = options.restart {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "weight-aging factor {factor} must be finite and non-negative"
+        );
+    }
+    let mut log = FaultLog::new(instance.len());
+    let mut schedule = Schedule::new(instance.len(), num_machines);
+    if instance.is_empty() {
+        return Ok(ChaosOutcome { schedule, log });
+    }
+    // Weight aging rewrites weights in a working copy made on first kill;
+    // the fault-free path never clones.
+    let mut work: Cow<'_, Instance> = Cow::Borrowed(instance);
+    let mut cluster = ClusterState::new(num_machines, instance.num_resources());
+
+    let mut arrivals: Vec<JobId> = work.jobs().iter().map(|j| j.id).collect();
+    arrivals.sort_by(|&a, &b| {
+        work.job(a)
+            .release
+            .total_cmp(&work.job(b).release)
+            .then(a.cmp(&b))
+    });
+    let mut next_arrival = 0usize;
+
+    let plan_events = options.plan.map(FaultPlan::events).unwrap_or(&[]);
+    let mut fault_q: BinaryHeap<Reverse<(OrdTime, FaultKind)>> = plan_events
+        .iter()
+        .enumerate()
+        .map(|(i, e)| Reverse((OrdTime(e.at), FaultKind::Fail(i))))
+        .collect();
+
+    let mut freed: Vec<usize> = Vec::new();
+    let mut completed: Vec<(JobId, usize)> = Vec::new();
+    let mut re_released: Vec<JobId> = Vec::new();
+    let mut placed_total = 0usize;
+    let mut last_now = f64::NEG_INFINITY;
+
+    loop {
+        let arr_t = arrivals.get(next_arrival).map(|&j| work.job(j).release);
+        let comp_t = cluster.next_completion();
+        let fault_t = fault_q.peek().map(|&Reverse((t, _))| t.0);
+        let wake_t = policy.next_wakeup().filter(|&t| t > last_now);
+        let mut now = f64::INFINITY;
+        for t in [arr_t, comp_t, fault_t, wake_t].into_iter().flatten() {
+            now = now.min(t);
+        }
+        if !now.is_finite() {
+            break;
+        }
+        last_now = now;
+
+        // 1. Completions due at `now` — before faults, so a job finishing
+        //    exactly at the strike instant survives.
+        freed.clear();
+        completed.clear();
+        cluster.complete_due_recorded(now, &work, &mut completed);
+        let _first_new_completion = log.completions.len();
+        for &(job, machine) in &completed {
+            let a = schedule.get(job).expect("completed job must be assigned");
+            log.completions.push(CompletionRecord {
+                job,
+                machine,
+                start: a.start,
+                end: a.start + work.job(job).proc_time,
+            });
+            freed.push(machine);
+        }
+
+        // 2. Fault events due at `now` (recoveries before failures).
+        while let Some(&Reverse((t, kind))) = fault_q.peek() {
+            if t.0 > now {
+                break;
+            }
+            fault_q.pop();
+            match kind {
+                FaultKind::Recover(machine) => {
+                    cluster.recover_machine(machine);
+                    // Listed as freed so incremental policies re-examine it.
+                    freed.push(machine);
+                    log.recoveries.push((now, machine));
+                    mris_obs::counter_add("mris_chaos_recoveries_total", 1);
+                    policy.on_machine_recovered(now, machine, &work);
+                }
+                FaultKind::Fail(idx) => {
+                    let event = plan_events[idx];
+                    // Absorb strikes on down or out-of-range machines.
+                    let Some(machine) = resolve_fault_target(event.target, &cluster) else {
+                        mris_obs::counter_add("mris_chaos_absorbed_strikes_total", 1);
+                        continue;
+                    };
+                    let killed = cluster.fail_machine(machine);
+                    let recover_at = now + event.downtime;
+                    for &job in &killed {
+                        schedule.unassign(job);
+                        log.re_releases[job.index()] += 1;
+                        if let RestartSemantics::WeightAging { factor } = options.restart {
+                            work.to_mut().scale_weight(job, factor);
+                        }
+                        re_released.push(job);
+                    }
+                    fault_q.push(Reverse((OrdTime(recover_at), FaultKind::Recover(machine))));
+                    log.failures.push(FailureRecord {
+                        at: now,
+                        machine,
+                        recover_at,
+                        killed: killed.clone(),
+                    });
+                    mris_obs::counter_add("mris_chaos_failures_total", 1);
+                    mris_obs::counter_add("mris_chaos_re_releases_total", killed.len() as u64);
+                    policy.on_machine_failed(now, machine, recover_at, &killed, &work);
+                }
+            }
+        }
+
+        // 3. Arrivals: originals first, then this instant's re-releases.
+        freed.sort_unstable();
+        freed.dedup();
+        let first = next_arrival;
+        while next_arrival < arrivals.len() && work.job(arrivals[next_arrival]).release <= now {
+            next_arrival += 1;
+        }
+        if next_arrival > first {
+            policy.on_arrivals(now, &arrivals[first..next_arrival], &work);
+        }
+        if !re_released.is_empty() {
+            re_released.sort_unstable();
+            policy.on_arrivals(now, &re_released, &work);
+            re_released.clear();
+        }
+
+        // 4. One dispatch per event.
+        let running_before_dispatch = cluster.num_running();
+        let mut dispatcher = Dispatcher::new(&mut cluster, &mut schedule, &work, now);
+        policy.dispatch(&mut dispatcher, &freed)?;
+        placed_total += cluster.num_running() - running_before_dispatch;
+        observer(&EventSnapshot {
+            time: now,
+            running: cluster.num_running(),
+            placed: placed_total,
+            released: next_arrival,
+        });
+
+        // 5. Debug invariant audit.
+        #[cfg(debug_assertions)]
+        debug_check_event(&log, &cluster, _first_new_completion);
+    }
+
+    if !schedule.is_complete() {
+        let unplaced = instance.len() - schedule.assignments().count();
+        return Err(SchedulingError::StrandedJobs { unplaced });
+    }
+    #[cfg(debug_assertions)]
+    log.verify()
+        .expect("chaos invariant violated at end of run");
+    Ok(ChaosOutcome { schedule, log })
+}
+
+/// [`run_driver_observed`] without an observer.
+pub fn run_driver<P: OnlinePolicy + ?Sized>(
+    instance: &Instance,
+    num_machines: usize,
+    policy: &mut P,
+    options: RunOptions<'_>,
+) -> Result<ChaosOutcome, SchedulingError> {
+    run_driver_observed(instance, num_machines, policy, options, |_| {})
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mris_types::{FaultEvent, FaultTarget, Job, Time};
+
+    /// Minimal work-conserving FIFO policy for driver tests.
+    struct Fifo {
+        pending: Vec<JobId>,
+    }
+
+    impl OnlinePolicy for Fifo {
+        fn on_arrivals(&mut self, _now: Time, arrived: &[JobId], _inst: &Instance) {
+            self.pending.extend_from_slice(arrived);
+        }
+
+        fn dispatch(
+            &mut self,
+            d: &mut Dispatcher<'_>,
+            _freed: &[usize],
+        ) -> Result<(), SchedulingError> {
+            let mut remaining = Vec::with_capacity(self.pending.len());
+            for &job in &self.pending {
+                let demands = &d.instance().job(job).demands;
+                if let Some(m) = d.cluster().first_fit(demands) {
+                    d.place(m, job)?;
+                } else {
+                    remaining.push(job);
+                }
+            }
+            self.pending = remaining;
+            Ok(())
+        }
+    }
+
+    fn inst(jobs: Vec<Job>) -> Instance {
+        Instance::new(jobs, 1).unwrap()
+    }
+
+    #[test]
+    fn options_default_is_fault_free_full_restart() {
+        let o = RunOptions::new();
+        assert!(o.plan().is_none());
+        assert_eq!(o.restart(), RestartSemantics::FullRestart);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight-aging factor")]
+    fn options_reject_bad_aging_factor() {
+        let _ = RunOptions::new().with_restart(RestartSemantics::WeightAging { factor: f64::NAN });
+    }
+
+    #[test]
+    fn empty_plan_equals_no_plan() {
+        let instance = inst(
+            (0..6)
+                .map(|i| Job::from_fractions(JobId(i), (i % 3) as f64, 2.0, 1.0, &[0.6]))
+                .collect(),
+        );
+        let none = FaultPlan::none();
+        let a = run_driver(
+            &instance,
+            2,
+            &mut Fifo { pending: vec![] },
+            RunOptions::new(),
+        )
+        .unwrap();
+        let b = run_driver(
+            &instance,
+            2,
+            &mut Fifo { pending: vec![] },
+            RunOptions::new().with_faults(&none),
+        )
+        .unwrap();
+        assert_eq!(a.schedule, b.schedule);
+        assert_eq!(a.log, b.log);
+    }
+
+    #[test]
+    fn honors_policy_wakeups_without_faults() {
+        // A policy that refuses to place anything until its self-scheduled
+        // wakeup at t = 5 — under the old fault-free loop (arrivals and
+        // completions only) this run would deadlock-strand; the unified
+        // driver must fire the wakeup.
+        struct Sleeper {
+            pending: Vec<JobId>,
+            wake: Time,
+        }
+        impl OnlinePolicy for Sleeper {
+            fn on_arrivals(&mut self, _now: Time, arrived: &[JobId], _inst: &Instance) {
+                self.pending.extend_from_slice(arrived);
+            }
+            fn dispatch(
+                &mut self,
+                d: &mut Dispatcher<'_>,
+                _freed: &[usize],
+            ) -> Result<(), SchedulingError> {
+                if d.now() < self.wake {
+                    return Ok(());
+                }
+                for job in self.pending.drain(..) {
+                    let m = d
+                        .cluster()
+                        .first_fit(&d.instance().job(job).demands)
+                        .unwrap();
+                    d.place(m, job)?;
+                }
+                Ok(())
+            }
+            fn next_wakeup(&self) -> Option<Time> {
+                (!self.pending.is_empty()).then_some(self.wake)
+            }
+        }
+        let instance = inst(vec![Job::from_fractions(JobId(0), 0.0, 1.0, 1.0, &[0.5])]);
+        let outcome = run_driver(
+            &instance,
+            1,
+            &mut Sleeper {
+                pending: vec![],
+                wake: 5.0,
+            },
+            RunOptions::new(),
+        )
+        .unwrap();
+        assert_eq!(outcome.schedule.get(JobId(0)).unwrap().start, 5.0);
+    }
+
+    #[test]
+    fn fault_free_run_borrows_instance_without_cloning() {
+        // Indirect but effective: weight aging under an empty plan must not
+        // alter observable weights, and the run must succeed end to end.
+        let instance = inst(vec![Job::from_fractions(JobId(0), 0.0, 1.0, 3.0, &[0.5])]);
+        let outcome = run_driver(
+            &instance,
+            1,
+            &mut Fifo { pending: vec![] },
+            RunOptions::new().with_restart(RestartSemantics::WeightAging { factor: 2.0 }),
+        )
+        .unwrap();
+        assert!(outcome.schedule.is_complete());
+        assert_eq!(instance.job(JobId(0)).weight, 3.0);
+    }
+
+    #[test]
+    fn observer_fires_under_chaos_options() {
+        let instance = inst(vec![
+            Job::from_fractions(JobId(0), 0.0, 4.0, 1.0, &[0.5]),
+            Job::from_fractions(JobId(1), 0.5, 1.0, 1.0, &[0.4]),
+        ]);
+        let plan = FaultPlan::from_events(vec![FaultEvent {
+            at: 1.0,
+            downtime: 2.0,
+            target: FaultTarget::Machine(0),
+        }]);
+        let mut times = Vec::new();
+        let outcome = run_driver_observed(
+            &instance,
+            1,
+            &mut Fifo { pending: vec![] },
+            RunOptions::new().with_faults(&plan),
+            |snap| times.push(snap.time),
+        )
+        .unwrap();
+        assert!(outcome.schedule.is_complete());
+        assert!(!times.is_empty());
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

@@ -23,15 +23,13 @@
 //! A failure targeting a machine that is down (or out of range) at fire
 //! time is absorbed without effect.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
 use mris_rng::Rng;
 use mris_types::{
     FaultEvent, FaultTarget, Instance, JobId, RestartSemantics, Schedule, SchedulingError, Time,
 };
 
-use crate::{ClusterState, Dispatcher, OnlinePolicy, OrdTime};
+use crate::driver::{run_driver, RunOptions};
+use crate::{ClusterState, OnlinePolicy};
 
 /// A deterministic list of machine failures, sorted by strike time.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -292,7 +290,7 @@ impl std::fmt::Display for ChaosViolation {
 impl std::error::Error for ChaosViolation {}
 
 impl FaultLog {
-    fn new(num_jobs: usize) -> Self {
+    pub(crate) fn new(num_jobs: usize) -> Self {
         FaultLog {
             failures: Vec::new(),
             recoveries: Vec::new(),
@@ -346,16 +344,6 @@ pub struct ChaosOutcome {
     pub log: FaultLog,
 }
 
-/// Pending fault-queue entries. Variant order matters: `Recover < Fail`,
-/// so at a shared instant recoveries fire before failures (a machine
-/// recovering at `t` can be struck again at `t`). Within a kind, the
-/// payload (machine index / plan index) breaks ties deterministically.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-enum FaultKind {
-    Recover(usize),
-    Fail(usize),
-}
-
 /// Resolves a [`FaultTarget`] against the instantaneous cluster state:
 /// `Machine(m)` hits `m` iff it is in range and up; `Busiest` picks the up
 /// machine running the most jobs (lowest index wins ties). `None` means the
@@ -380,51 +368,21 @@ pub fn resolve_fault_target(target: FaultTarget, cluster: &ClusterState) -> Opti
     }
 }
 
-#[cfg(debug_assertions)]
-fn debug_check_event(log: &FaultLog, cluster: &ClusterState, first_new_completion: usize) {
-    // Completions recorded this event must not overlap any downtime so far
-    // (future failures cannot overlap them: a failure at `t >= now` starts
-    // at or after every end recorded by `now`).
-    for rec in &log.completions[first_new_completion..] {
-        for fail in &log.failures {
-            assert!(
-                !(rec.machine == fail.machine && rec.start < fail.recover_at && fail.at < rec.end),
-                "chaos invariant violated: {} ran [{}, {}) across downtime [{}, {}) on machine {}",
-                rec.job,
-                rec.start,
-                rec.end,
-                fail.at,
-                fail.recover_at,
-                rec.machine
-            );
-        }
-    }
-    // No job may be running on a down machine.
-    for (_, m, job) in cluster.running_jobs() {
-        assert!(
-            cluster.is_up(m),
-            "chaos invariant violated: {job} is running on down machine {m}"
-        );
-    }
-}
-
 /// Runs `policy` over `instance` while replaying the failures in `plan`.
 ///
-/// Machine failures kill every job running on the struck machine; killed
-/// jobs lose all progress (non-preemptive restart) and are re-released to
-/// the policy as fresh arrivals at the failure instant, with weights per
-/// `restart`. Under [`RestartSemantics::WeightAging`] the aged weights are
-/// visible to the policy's decisions, but callers should compute metrics
-/// against the *original* instance so runs stay comparable.
+/// Thin wrapper over the unified event-loop driver
+/// ([`crate::run_driver`]) with the plan and restart semantics attached
+/// via [`crate::RunOptions`] — see [`crate::run_driver_observed`] for the
+/// full event-loop semantics (fault ordering, kill/re-release, weight
+/// aging, debug audits).
 ///
 /// Under [`FaultPlan::none`] this is equivalent to [`crate::run_online`]
-/// for any policy whose `next_wakeup` is `None`, and produces the
-/// identical schedule.
+/// for any policy, and produces the identical schedule.
 ///
 /// # Errors
 ///
 /// Propagates [`SchedulingError`] exactly like [`crate::run_online`]:
-/// placement-rule violations (including the new
+/// placement-rule violations (including
 /// [`SchedulingError::MachineDown`]) and stranded jobs.
 pub fn run_online_chaos<P: OnlinePolicy + ?Sized>(
     instance: &Instance,
@@ -433,158 +391,18 @@ pub fn run_online_chaos<P: OnlinePolicy + ?Sized>(
     plan: &FaultPlan,
     restart: RestartSemantics,
 ) -> Result<ChaosOutcome, SchedulingError> {
-    if let RestartSemantics::WeightAging { factor } = restart {
-        assert!(
-            factor.is_finite() && factor >= 0.0,
-            "weight-aging factor {factor} must be finite and non-negative"
-        );
-    }
-    let mut log = FaultLog::new(instance.len());
-    let mut schedule = Schedule::new(instance.len(), num_machines);
-    if instance.is_empty() {
-        return Ok(ChaosOutcome { schedule, log });
-    }
-    // Weight aging mutates this working copy; the caller keeps the original.
-    let mut work = instance.clone();
-    let mut cluster = ClusterState::new(num_machines, instance.num_resources());
-
-    let mut arrivals: Vec<JobId> = work.jobs().iter().map(|j| j.id).collect();
-    arrivals.sort_by(|&a, &b| {
-        work.job(a)
-            .release
-            .total_cmp(&work.job(b).release)
-            .then(a.cmp(&b))
-    });
-    let mut next_arrival = 0usize;
-
-    let mut fault_q: BinaryHeap<Reverse<(OrdTime, FaultKind)>> = plan
-        .events()
-        .iter()
-        .enumerate()
-        .map(|(i, e)| Reverse((OrdTime(e.at), FaultKind::Fail(i))))
-        .collect();
-
-    let mut freed: Vec<usize> = Vec::new();
-    let mut completed: Vec<(JobId, usize)> = Vec::new();
-    let mut re_released: Vec<JobId> = Vec::new();
-    let mut last_now = f64::NEG_INFINITY;
-
-    loop {
-        let arr_t = arrivals.get(next_arrival).map(|&j| work.job(j).release);
-        let comp_t = cluster.next_completion();
-        let fault_t = fault_q.peek().map(|&Reverse((t, _))| t.0);
-        let wake_t = policy.next_wakeup().filter(|&t| t > last_now);
-        let mut now = f64::INFINITY;
-        for t in [arr_t, comp_t, fault_t, wake_t].into_iter().flatten() {
-            now = now.min(t);
-        }
-        if !now.is_finite() {
-            break;
-        }
-        last_now = now;
-
-        // 1. Completions due at `now` — before faults, so a job finishing
-        //    exactly at the strike instant survives.
-        freed.clear();
-        completed.clear();
-        cluster.complete_due_recorded(now, &work, &mut completed);
-        let _first_new_completion = log.completions.len();
-        for &(job, machine) in &completed {
-            let a = schedule.get(job).expect("completed job must be assigned");
-            log.completions.push(CompletionRecord {
-                job,
-                machine,
-                start: a.start,
-                end: a.start + work.job(job).proc_time,
-            });
-            freed.push(machine);
-        }
-
-        // 2. Fault events due at `now` (recoveries before failures).
-        while let Some(&Reverse((t, kind))) = fault_q.peek() {
-            if t.0 > now {
-                break;
-            }
-            fault_q.pop();
-            match kind {
-                FaultKind::Recover(machine) => {
-                    cluster.recover_machine(machine);
-                    // Listed as freed so incremental policies re-examine it.
-                    freed.push(machine);
-                    log.recoveries.push((now, machine));
-                    mris_obs::counter_add("mris_chaos_recoveries_total", 1);
-                    policy.on_machine_recovered(now, machine, &work);
-                }
-                FaultKind::Fail(idx) => {
-                    let event = plan.events()[idx];
-                    // Absorb strikes on down or out-of-range machines.
-                    let Some(machine) = resolve_fault_target(event.target, &cluster) else {
-                        mris_obs::counter_add("mris_chaos_absorbed_strikes_total", 1);
-                        continue;
-                    };
-                    let killed = cluster.fail_machine(machine);
-                    let recover_at = now + event.downtime;
-                    for &job in &killed {
-                        schedule.unassign(job);
-                        log.re_releases[job.index()] += 1;
-                        if let RestartSemantics::WeightAging { factor } = restart {
-                            work.scale_weight(job, factor);
-                        }
-                        re_released.push(job);
-                    }
-                    fault_q.push(Reverse((OrdTime(recover_at), FaultKind::Recover(machine))));
-                    log.failures.push(FailureRecord {
-                        at: now,
-                        machine,
-                        recover_at,
-                        killed: killed.clone(),
-                    });
-                    mris_obs::counter_add("mris_chaos_failures_total", 1);
-                    mris_obs::counter_add("mris_chaos_re_releases_total", killed.len() as u64);
-                    policy.on_machine_failed(now, machine, recover_at, &killed, &work);
-                }
-            }
-        }
-
-        // 3. Arrivals: originals first, then this instant's re-releases.
-        freed.sort_unstable();
-        freed.dedup();
-        let first = next_arrival;
-        while next_arrival < arrivals.len() && work.job(arrivals[next_arrival]).release <= now {
-            next_arrival += 1;
-        }
-        if next_arrival > first {
-            policy.on_arrivals(now, &arrivals[first..next_arrival], &work);
-        }
-        if !re_released.is_empty() {
-            re_released.sort_unstable();
-            policy.on_arrivals(now, &re_released, &work);
-            re_released.clear();
-        }
-
-        // 4. One dispatch per event.
-        let mut dispatcher = Dispatcher::new(&mut cluster, &mut schedule, &work, now);
-        policy.dispatch(&mut dispatcher, &freed)?;
-
-        // 5. Debug invariant audit.
-        #[cfg(debug_assertions)]
-        debug_check_event(&log, &cluster, _first_new_completion);
-    }
-
-    if !schedule.is_complete() {
-        let unplaced = instance.len() - schedule.assignments().count();
-        return Err(SchedulingError::StrandedJobs { unplaced });
-    }
-    #[cfg(debug_assertions)]
-    log.verify()
-        .expect("chaos invariant violated at end of run");
-    Ok(ChaosOutcome { schedule, log })
+    run_driver(
+        instance,
+        num_machines,
+        policy,
+        RunOptions::new().with_faults(plan).with_restart(restart),
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::run_online;
+    use crate::{run_online, Dispatcher};
     use mris_types::Job;
 
     /// Minimal work-conserving FIFO policy for driver tests.

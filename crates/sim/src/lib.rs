@@ -17,17 +17,25 @@
 //!   in-flight jobs, re-releases them as fresh arrivals, and audits every
 //!   run with an invariant checker ([`FaultLog::verify`]).
 //!
+//! All online execution flows through one event loop: [`run_driver`] with
+//! a [`RunOptions`] builder (fault plan, restart semantics). The classic
+//! entry points [`run_online`], [`run_online_observed`], and
+//! [`run_online_chaos`] are thin wrappers over it — no call site
+//! constructs the event loop by hand.
+//!
 //! All resource arithmetic is exact fixed-point (`mris_types::Amount`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod cluster;
+mod driver;
 mod fault;
 mod online;
 mod timeline;
 
 pub use cluster::ClusterState;
+pub use driver::{run_driver, run_driver_observed, RunOptions};
 pub use fault::{
     resolve_fault_target, run_online_chaos, suggested_horizon, ChaosOutcome, ChaosViolation,
     CompletionRecord, FailureRecord, FaultLog, FaultPlan, PoissonFaultConfig, RackBurstConfig,

@@ -192,6 +192,10 @@ pub struct EventSnapshot {
 /// Runs `policy` over `instance` on `num_machines` machines and returns the
 /// complete schedule.
 ///
+/// Thin wrapper over the unified event-loop driver
+/// ([`crate::run_driver`]) with fault-free defaults (no fault plan) — see
+/// [`crate::run_driver_observed`] for the full event-loop semantics.
+///
 /// # Errors
 ///
 /// Returns a [`SchedulingError`] if the policy strands jobs (leaves them
@@ -213,71 +217,16 @@ pub fn run_online_observed<P: OnlinePolicy + ?Sized>(
     instance: &Instance,
     num_machines: usize,
     policy: &mut P,
-    mut observer: impl FnMut(&EventSnapshot),
+    observer: impl FnMut(&EventSnapshot),
 ) -> Result<Schedule, SchedulingError> {
-    let mut schedule = Schedule::new(instance.len(), num_machines);
-    if instance.is_empty() {
-        return Ok(schedule);
-    }
-    let mut cluster = ClusterState::new(num_machines, instance.num_resources());
-
-    let mut arrivals: Vec<JobId> = instance.jobs().iter().map(|j| j.id).collect();
-    arrivals.sort_by(|&a, &b| {
-        instance
-            .job(a)
-            .release
-            .total_cmp(&instance.job(b).release)
-            .then(a.cmp(&b))
-    });
-
-    let mut next_arrival = 0usize;
-    let mut freed: Vec<usize> = Vec::new();
-    let mut placed_total = 0usize;
-    loop {
-        let arr_t = arrivals.get(next_arrival).map(|&j| instance.job(j).release);
-        let comp_t = cluster.next_completion();
-        let now = match (arr_t, comp_t) {
-            (Some(a), Some(c)) => a.min(c),
-            (Some(a), None) => a,
-            (None, Some(c)) => c,
-            (None, None) => break,
-        };
-
-        freed.clear();
-        cluster.complete_due(now, instance, &mut freed);
-        freed.sort_unstable();
-        freed.dedup();
-
-        let first = next_arrival;
-        while next_arrival < arrivals.len() && instance.job(arrivals[next_arrival]).release <= now {
-            next_arrival += 1;
-        }
-        if next_arrival > first {
-            policy.on_arrivals(now, &arrivals[first..next_arrival], instance);
-        }
-
-        let running_before_dispatch = cluster.num_running();
-        let mut dispatcher = Dispatcher {
-            cluster: &mut cluster,
-            schedule: &mut schedule,
-            instance,
-            now,
-        };
-        policy.dispatch(&mut dispatcher, &freed)?;
-        placed_total += cluster.num_running() - running_before_dispatch;
-        observer(&EventSnapshot {
-            time: now,
-            running: cluster.num_running(),
-            placed: placed_total,
-            released: next_arrival,
-        });
-    }
-
-    if !schedule.is_complete() {
-        let unplaced = instance.len() - schedule.assignments().count();
-        return Err(SchedulingError::StrandedJobs { unplaced });
-    }
-    Ok(schedule)
+    crate::driver::run_driver_observed(
+        instance,
+        num_machines,
+        policy,
+        crate::driver::RunOptions::new(),
+        observer,
+    )
+    .map(|outcome| outcome.schedule)
 }
 
 #[cfg(test)]

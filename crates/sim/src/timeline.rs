@@ -26,8 +26,10 @@
 //! On top of that, cluster-level scans are pruned with a best-so-far cutoff
 //! (machines that cannot beat the current best abort early), answered from a
 //! per-machine hint cache when a batch repeats the same query (invalidated
-//! on commit), and spread over [`std::thread::scope`] threads once the
-//! machine count reaches [`PARALLEL_SCAN_THRESHOLD`].
+//! only by commits that overlap the hinted window — usage is monotone, so
+//! other commits cannot change the answer), and spread over
+//! [`std::thread::scope`] threads once the machine count reaches
+//! [`PARALLEL_SCAN_THRESHOLD`].
 //!
 //! [`ClusterState`]: crate::ClusterState
 
@@ -35,32 +37,45 @@ use std::sync::Mutex;
 
 use mris_types::{Amount, Job, Time, CAPACITY};
 
-/// Segments per skip-index block. 64 keeps a block's per-resource stats in a
-/// cache line or two while amortizing the index to under 2% of segment
-/// storage.
-pub const BLOCK: usize = 64;
+/// Segments per skip-index block. 16 is small enough that a block is often
+/// uniformly saturated (so the min-skip fires inside packed prefixes) while
+/// keeping the index under 10% of segment storage; larger blocks straddle the
+/// packed/idle boundary and lose most skip opportunities.
+pub const BLOCK: usize = 16;
 
 /// Machine count at which [`ClusterTimelines::earliest_fit`] switches from
 /// the sequential cutoff-pruned scan to a [`std::thread::scope`] parallel
-/// scan. Spawning scoped threads costs tens of microseconds, so the default
-/// only pays it for clusters wide enough that a full scan dominates;
+/// scan. Spawning scoped threads costs tens of microseconds *per query*, and
+/// the sequential scan's cutoff pruning already skips most machines, so the
+/// parallel path only pays for itself on very wide clusters: at 256 machines
+/// the old threshold of 128 measured a 0.93x *slowdown* in the timeline
+/// bench. Below this threshold no per-query threads are ever spawned;
 /// [`ClusterTimelines::set_parallel_threshold`] overrides it.
-pub const PARALLEL_SCAN_THRESHOLD: usize = 128;
+pub const PARALLEL_SCAN_THRESHOLD: usize = 512;
 
 /// Threads used by the parallel cluster scan (bounded so a query never
 /// oversubscribes the host even on very wide clusters).
 const MAX_SCAN_THREADS: usize = 8;
 
-/// A memoized `earliest_fit` answer: valid until the next commit/compaction
-/// on the machine. Exploits that batch placement re-asks the same
-/// `(from, dur, demands)` query against every machine that did *not* receive
-/// the previous job.
+/// What the last scan of a machine learned, kept for reuse by later probes.
+///
+/// With `exact == true`, `result` is the full answer to the hinted query —
+/// valid until a commit overlaps the hinted window or the timeline is
+/// compacted/reset. With `exact == false`, the scan was cut off and `result`
+/// is only a proven *lower bound* on the answer ("no feasible start below
+/// `result`") — usage only ever increases, so a bound stays valid across
+/// commits unconditionally.
+///
+/// Either form also bounds every *at-least-as-hard* query (later `from`,
+/// longer `dur`, pointwise-greater `demands`) from below, which lets a
+/// cutoff-pruned cluster sweep rule a machine out without scanning it.
 #[derive(Debug, Clone)]
 struct FitHint {
     from: Time,
     dur: Time,
-    demands: Box<[Amount]>,
+    demands: Vec<Amount>,
     result: Time,
+    exact: bool,
 }
 
 /// Per-machine resource usage over time as a step function.
@@ -87,8 +102,9 @@ pub struct MachineTimeline {
     /// Earliest instant at which queries are still exact (see
     /// [`MachineTimeline::compact_before`]).
     watermark: Time,
-    /// Last full `earliest_fit` answer; interior-mutable so `&self` queries
-    /// can maintain it (also from the parallel cluster scan).
+    /// What the last scan learned (answer or lower bound); interior-mutable
+    /// so `&self` queries can maintain it (also from the parallel cluster
+    /// scan).
     hint: Mutex<Option<FitHint>>,
 }
 
@@ -189,7 +205,44 @@ impl MachineTimeline {
     }
 
     /// Recomputes the skip-index entry of block `b` in place.
+    /// Dispatches to a core monomorphized on the resource count — commits
+    /// that splice breakpoints into the middle of a long timeline recompute
+    /// every shifted tail block, so the per-segment fold is hot.
     fn recompute_block(&mut self, b: usize) {
+        match self.num_resources {
+            1 => self.recompute_block_core::<1>(b),
+            2 => self.recompute_block_core::<2>(b),
+            3 => self.recompute_block_core::<3>(b),
+            4 => self.recompute_block_core::<4>(b),
+            _ => self.recompute_block_any(b),
+        }
+    }
+
+    /// Monomorphized fold; `R` must equal `self.num_resources`. The min/max
+    /// accumulators live in fixed-size locals and `chunks_exact` removes
+    /// the per-visit bounds checks. Mirrors
+    /// [`MachineTimeline::recompute_block_any`] — keep the two in sync.
+    fn recompute_block_core<const R: usize>(&mut self, b: usize) {
+        debug_assert_eq!(self.num_resources, R);
+        let lo = b * BLOCK;
+        let hi = (lo + BLOCK).min(self.times.len());
+        debug_assert!(lo < hi);
+        let usage = &self.usage[lo * R..hi * R];
+        let mut mx: [Amount; R] = std::array::from_fn(|r| usage[r]);
+        let mut mn = mx;
+        for seg in usage[R..].chunks_exact(R) {
+            for r in 0..R {
+                mx[r] = mx[r].max(seg[r]);
+                mn[r] = mn[r].min(seg[r]);
+            }
+        }
+        let base = b * R;
+        self.block_max[base..base + R].copy_from_slice(&mx);
+        self.block_min[base..base + R].copy_from_slice(&mn);
+    }
+
+    /// Slice-generic fold for resource counts with no monomorphized core.
+    fn recompute_block_any(&mut self, b: usize) {
         let r = self.num_resources;
         let lo = b * BLOCK;
         let hi = (lo + BLOCK).min(self.times.len());
@@ -221,35 +274,6 @@ impl MachineTimeline {
         for b in first_block..num_blocks {
             self.recompute_block(b);
         }
-    }
-
-    /// First segment at index `>= i` that is feasible for `demands`,
-    /// skipping saturated blocks wholesale. Always exists because the last
-    /// segment is all-zero and `demands <= CAPACITY`.
-    fn first_feasible_segment(&self, mut i: usize, demands: &[Amount]) -> usize {
-        let n = self.times.len();
-        let mut block_jumps: u64 = 0;
-        let found = loop {
-            debug_assert!(i < n, "tail segment is all-zero and must be feasible");
-            if i.is_multiple_of(BLOCK) && self.block_saturated(i / BLOCK, demands) {
-                i += BLOCK;
-                block_jumps += 1;
-                continue;
-            }
-            if self
-                .segment_usage(i)
-                .iter()
-                .zip(demands)
-                .all(|(&u, &d)| u + d <= CAPACITY)
-            {
-                break i;
-            }
-            i += 1;
-        };
-        if block_jumps > 0 {
-            mris_obs::counter_add("mris_timeline_block_jumps_total", block_jumps);
-        }
-        found
     }
 
     /// Whether a job with `demands` fits throughout `[start, start + dur)`.
@@ -315,20 +339,120 @@ impl MachineTimeline {
         } else {
             f64::INFINITY
         };
+        let mut slot = self.hint.lock().expect("timeline hint lock");
+        self.fit_via_hint(&mut slot, from, dur, demands, cutoff)
+    }
+
+    /// Like [`MachineTimeline::earliest_fit_bounded`], but for exclusive
+    /// access: the hint cache is reached through `Mutex::get_mut`, skipping
+    /// the lock entirely. Batch placement probes every machine once per job,
+    /// so the per-probe lock round-trips add up.
+    pub fn earliest_fit_bounded_mut(
+        &mut self,
+        from: Time,
+        dur: Time,
+        demands: &[Amount],
+        cutoff: Time,
+    ) -> Option<Time> {
+        debug_assert_eq!(demands.len(), self.num_resources);
+        assert!(dur > 0.0, "job duration must be positive");
+        assert!(
+            demands.iter().all(|&d| d <= CAPACITY),
+            "demand exceeds machine capacity; job can never fit"
+        );
+        debug_assert!(
+            from.max(0.0) >= self.watermark,
+            "earliest_fit(from = {from}) queries history compacted away before {}",
+            self.watermark
+        );
+        let cutoff = if cutoff.is_finite() {
+            cutoff
+        } else {
+            f64::INFINITY
+        };
+        let mut slot = std::mem::take(self.hint.get_mut().expect("timeline hint lock"));
+        let result = self.fit_via_hint(&mut slot, from, dur, demands, cutoff);
+        *self.hint.get_mut().expect("timeline hint lock") = slot;
+        result
+    }
+
+    /// The shared hint-then-scan core of the `earliest_fit_bounded` family,
+    /// with the hint slot already exclusively borrowed by the caller.
+    fn fit_via_hint(
+        &self,
+        slot: &mut Option<FitHint>,
+        from: Time,
+        dur: Time,
+        demands: &[Amount],
+        cutoff: Time,
+    ) -> Option<Time> {
         mris_obs::counter_add("mris_timeline_probes_total", 1);
-        if let Some(hit) = self.hint_lookup(from, dur, demands) {
-            mris_obs::counter_add("mris_timeline_hint_hits_total", 1);
-            return if hit < cutoff { Some(hit) } else { None };
+        if let Some(hint) = slot.as_ref() {
+            if hint.exact
+                && hint.dur == dur
+                && hint.from <= from
+                && from <= hint.result
+                && *hint.demands == *demands
+            {
+                mris_obs::counter_add("mris_timeline_hint_hits_total", 1);
+                let hit = hint.result;
+                return if hit < cutoff { Some(hit) } else { None };
+            }
+            // Dominance pruning: answers are monotone in `from`, `dur`, and
+            // every demand, so a query at least as hard as the hinted one has
+            // an answer >= hint.result; when that already reaches the cutoff
+            // the machine is ruled out without scanning.
+            if hint.result >= cutoff
+                && hint.from <= from
+                && hint.dur <= dur
+                && hint.demands.len() == demands.len()
+                && hint.demands.iter().zip(demands).all(|(&h, &d)| h <= d)
+            {
+                mris_obs::counter_add("mris_timeline_hint_hits_total", 1);
+                return None;
+            }
         }
         mris_obs::counter_add("mris_timeline_hint_misses_total", 1);
         let result = self.scan_earliest(from, dur, demands, cutoff);
-        if let Some(s) = result {
-            self.hint_store(from, dur, demands, s);
+        // Remember what the scan learned either way: the answer itself, or —
+        // on a cutoff abort — that this query has no feasible start below
+        // `cutoff` (the scan is exhaustive up to there).
+        let (learned, exact) = match result {
+            Some(t) => (t, true),
+            None => (cutoff, false),
+        };
+        if learned.is_finite() {
+            match slot.as_mut() {
+                // Reuse the existing allocation: batch placement stores a
+                // hint on every probe, so this path is hot.
+                Some(hint) => {
+                    hint.from = from;
+                    hint.dur = dur;
+                    hint.demands.clear();
+                    hint.demands.extend_from_slice(demands);
+                    hint.result = learned;
+                    hint.exact = exact;
+                }
+                None => {
+                    *slot = Some(FitHint {
+                        from,
+                        dur,
+                        demands: demands.to_vec(),
+                        result: learned,
+                        exact,
+                    });
+                }
+            }
         }
         result
     }
 
     /// The cutoff-pruned skip-index scan behind the `earliest_fit` family.
+    ///
+    /// Dispatches to a core monomorphized on the resource count so the
+    /// per-segment feasibility check compiles to straight-line compares —
+    /// the scan visits hundreds of thousands of segments per scheduling run,
+    /// so per-visit iterator and bounds-check overhead is measurable.
     fn scan_earliest(
         &self,
         from: Time,
@@ -336,32 +460,100 @@ impl MachineTimeline {
         demands: &[Amount],
         cutoff: Time,
     ) -> Option<Time> {
+        match demands.len() {
+            1 => self.scan_core::<1>(from, dur, demands, cutoff),
+            2 => self.scan_core::<2>(from, dur, demands, cutoff),
+            3 => self.scan_core::<3>(from, dur, demands, cutoff),
+            4 => self.scan_core::<4>(from, dur, demands, cutoff),
+            _ => self.scan_any(from, dur, demands, cutoff),
+        }
+    }
+
+    /// Monomorphized scan core; `R` must equal `demands.len()`. Mirrors
+    /// [`MachineTimeline::scan_any`] exactly — keep the two in sync.
+    fn scan_core<const R: usize>(
+        &self,
+        from: Time,
+        dur: Time,
+        demands: &[Amount],
+        cutoff: Time,
+    ) -> Option<Time> {
+        debug_assert_eq!(demands.len(), R);
+        // Free room per resource: `usage + demand > CAPACITY` iff
+        // `usage > room` (exact in fixed point), saving an add per visit.
+        let room: [Amount; R] = std::array::from_fn(|r| CAPACITY - demands[r]);
         let n = self.times.len();
+        let times = &self.times[..n];
+        let usage = &self.usage[..n * R];
+        let bmax = self.block_max.as_slice();
+        let bmin = self.block_min.as_slice();
         let mut cand = from.max(0.0);
+        if cand >= cutoff {
+            return None;
+        }
+        // `cand` lands on a breakpoint after every jump, so the binary
+        // search runs once and the window start `start_k` is carried from
+        // there. After a hole-hop, segment `start_k - 1` (the window's first
+        // segment) was just verified feasible by the advance loop, so the
+        // window re-check starts one past it.
+        let mut start_k = self.segment_index(cand);
         let mut block_jumps: u64 = 0;
         let result = 'outer: loop {
-            if cand >= cutoff {
-                break 'outer None;
-            }
             let end = cand + dur;
-            let mut i = self.segment_index(cand);
-            while i < n && self.times[i] < end {
-                if i.is_multiple_of(BLOCK) && self.block_feasible(i / BLOCK, demands) {
-                    i += BLOCK;
-                    block_jumps += 1;
-                    continue;
+            let mut k = start_k;
+            while k < n && times[k] < end {
+                if k.is_multiple_of(BLOCK) {
+                    let mut feasible = true;
+                    for r in 0..R {
+                        feasible &= bmax[(k / BLOCK) * R + r] <= room[r];
+                    }
+                    if feasible {
+                        k += BLOCK;
+                        block_jumps += 1;
+                        continue;
+                    }
                 }
-                let seg = self.segment_usage(i);
-                if seg.iter().zip(demands).any(|(&u, &d)| u + d > CAPACITY) {
+                let mut fits = true;
+                for r in 0..R {
+                    fits &= usage[k * R + r] <= room[r];
+                }
+                if !fits {
                     // Any start overlapping this segment is infeasible; jump
-                    // past the whole violating run. The last segment is
+                    // past the whole violating run, giving up as soon as the
+                    // run provably reaches the cutoff. The last segment is
                     // all-zero so a violating segment always has a feasible
                     // successor.
-                    let j = self.first_feasible_segment(i + 1, demands);
-                    cand = self.times[j];
+                    let mut j = k + 1;
+                    loop {
+                        debug_assert!(j < n, "tail segment is all-zero and must be feasible");
+                        if times[j] >= cutoff {
+                            break 'outer None;
+                        }
+                        if j.is_multiple_of(BLOCK) {
+                            let mut saturated = false;
+                            for r in 0..R {
+                                saturated |= bmin[(j / BLOCK) * R + r] > room[r];
+                            }
+                            if saturated {
+                                j += BLOCK;
+                                block_jumps += 1;
+                                continue;
+                            }
+                        }
+                        let mut free = true;
+                        for r in 0..R {
+                            free &= usage[j * R + r] <= room[r];
+                        }
+                        if free {
+                            break;
+                        }
+                        j += 1;
+                    }
+                    cand = times[j];
+                    start_k = j + 1;
                     continue 'outer;
                 }
-                i += 1;
+                k += 1;
             }
             break 'outer Some(cand);
         };
@@ -371,38 +563,99 @@ impl MachineTimeline {
         result
     }
 
-    /// Answers a query from the hint cache: exact-match `(dur, demands)`
-    /// with `hint.from <= from <= hint.result` — in that range no feasible
-    /// start exists below `hint.result`, so the answer is unchanged.
-    fn hint_lookup(&self, from: Time, dur: Time, demands: &[Amount]) -> Option<Time> {
-        let guard = self.hint.lock().expect("timeline hint lock");
-        let hint = guard.as_ref()?;
-        if hint.dur == dur && hint.from <= from && from <= hint.result && *hint.demands == *demands
-        {
-            Some(hint.result)
-        } else {
-            None
+    /// Slice-generic scan for resource counts with no monomorphized core.
+    /// Mirrors [`MachineTimeline::scan_core`] exactly — keep the two in sync.
+    fn scan_any(&self, from: Time, dur: Time, demands: &[Amount], cutoff: Time) -> Option<Time> {
+        let n = self.times.len();
+        let mut cand = from.max(0.0);
+        if cand >= cutoff {
+            return None;
         }
+        let mut start_k = self.segment_index(cand);
+        let mut block_jumps: u64 = 0;
+        let result = 'outer: loop {
+            let end = cand + dur;
+            let mut k = start_k;
+            while k < n && self.times[k] < end {
+                if k.is_multiple_of(BLOCK) && self.block_feasible(k / BLOCK, demands) {
+                    k += BLOCK;
+                    block_jumps += 1;
+                    continue;
+                }
+                let seg = self.segment_usage(k);
+                if seg.iter().zip(demands).any(|(&u, &d)| u + d > CAPACITY) {
+                    let mut j = k + 1;
+                    loop {
+                        debug_assert!(j < n, "tail segment is all-zero and must be feasible");
+                        if self.times[j] >= cutoff {
+                            break 'outer None;
+                        }
+                        if j.is_multiple_of(BLOCK) && self.block_saturated(j / BLOCK, demands) {
+                            j += BLOCK;
+                            block_jumps += 1;
+                            continue;
+                        }
+                        if self
+                            .segment_usage(j)
+                            .iter()
+                            .zip(demands)
+                            .all(|(&u, &d)| u + d <= CAPACITY)
+                        {
+                            break;
+                        }
+                        j += 1;
+                    }
+                    cand = self.times[j];
+                    start_k = j + 1;
+                    continue 'outer;
+                }
+                k += 1;
+            }
+            break 'outer Some(cand);
+        };
+        if block_jumps > 0 {
+            mris_obs::counter_add("mris_timeline_block_jumps_total", block_jumps);
+        }
+        result
     }
 
-    fn hint_store(&self, from: Time, dur: Time, demands: &[Amount], result: Time) {
-        *self.hint.lock().expect("timeline hint lock") = Some(FitHint {
-            from,
-            dur,
-            demands: demands.into(),
-            result,
-        });
-    }
-
-    /// Drops any memoized query answer; must follow every mutation.
+    /// Drops any memoized query answer; must follow every mutation whose
+    /// effect on the hint cannot be reasoned about more precisely.
     fn invalidate_hint(&mut self) {
         *self.hint.get_mut().expect("timeline hint lock") = None;
     }
 
-    /// Ensures `start` and `end` are breakpoints in a single pass (one
-    /// allocation and one copy regardless of how many of the two are
-    /// missing), and returns the segment index range `[i0, i1)` covering
-    /// exactly `[start, end)`.
+    /// Drops the memoized query answer only if adding usage over
+    /// `[start, end)` can change it. Usage only ever *increases*, so a
+    /// commit cannot create a feasible start below `hint.result` (the "no
+    /// earlier fit" half of the hint stays true unconditionally); it can
+    /// only invalidate the "fits at `result`" half of an *exact* hint, and
+    /// only by overlapping the hinted window `[result, result + dur)`.
+    /// Lower-bound hints have no such half and survive every commit.
+    fn invalidate_hint_overlapping(&mut self, start: Time, end: Time) {
+        let guard = self.hint.get_mut().expect("timeline hint lock");
+        if let Some(hint) = guard.as_ref() {
+            if hint.exact && start < hint.result + hint.dur && hint.result < end {
+                *guard = None;
+            }
+        }
+    }
+
+    /// Splits segment `i` at instant `at` by inserting a breakpoint after
+    /// it; the new segment inherits segment `i`'s usage. In-place tail move,
+    /// no reallocation once the vectors have grown.
+    fn split_segment(&mut self, i: usize, at: Time) {
+        let r = self.num_resources;
+        self.times.insert(i + 1, at);
+        let old_len = self.usage.len();
+        self.usage.resize(old_len + r, 0);
+        self.usage.copy_within(i * r..old_len, (i + 1) * r);
+    }
+
+    /// Ensures `start` and `end` are breakpoints by splicing them into the
+    /// existing vectors (two tail moves at most, instead of rebuilding the
+    /// whole step function), and returns the segment index range `[i0, i1)`
+    /// covering exactly `[start, end)`.
     fn insert_breakpoints(&mut self, start: Time, end: Time) -> (usize, usize) {
         debug_assert!(start < end);
         let i_s = self.segment_index(start);
@@ -415,27 +668,13 @@ impl MachineTimeline {
         if inserted == 0 {
             return (i0, i1);
         }
-
-        let r = self.num_resources;
-        let n = self.times.len();
-        let mut times = Vec::with_capacity(n + inserted);
-        let mut usage = Vec::with_capacity((n + inserted) * r);
-        for i in 0..n {
-            times.push(self.times[i]);
-            usage.extend_from_slice(&self.usage[i * r..(i + 1) * r]);
-            // A new breakpoint splits segment i: the new segment inherits
-            // segment i's usage.
-            if need_s && i == i_s {
-                times.push(start);
-                usage.extend_from_slice(&self.usage[i * r..(i + 1) * r]);
-            }
-            if need_e && i == i_e {
-                times.push(end);
-                usage.extend_from_slice(&self.usage[i * r..(i + 1) * r]);
-            }
+        // Split the later segment first so the earlier index stays valid.
+        if need_e {
+            self.split_segment(i_e, end);
         }
-        self.times = times;
-        self.usage = usage;
+        if need_s {
+            self.split_segment(i_s, start);
+        }
         self.rebuild_index_from(i0);
         (i0, i1)
     }
@@ -462,25 +701,32 @@ impl MachineTimeline {
             (self.times.len() - segments_before) as u64,
         );
         let r = self.num_resources;
+        // One fused walk: add optimistically and, on the first violating
+        // segment, roll back everything added before panicking — so the step
+        // function is still semantically unchanged on panic, at half the
+        // segment traffic of a separate check pass.
         for i in i0..i1 {
-            assert!(
-                self.usage[i * r..(i + 1) * r]
-                    .iter()
-                    .zip(demands)
-                    .all(|(&u, &d)| u + d <= CAPACITY),
-                "timeline commit exceeds capacity in [{start}, {})",
-                start + dur
-            );
-        }
-        for i in i0..i1 {
+            let mut ok = true;
             for (u, &d) in self.usage[i * r..(i + 1) * r].iter_mut().zip(demands) {
                 *u += d;
+                ok &= *u <= CAPACITY;
+            }
+            if !ok {
+                for j in i0..=i {
+                    for (u, &d) in self.usage[j * r..(j + 1) * r].iter_mut().zip(demands) {
+                        *u -= d;
+                    }
+                }
+                panic!(
+                    "timeline commit exceeds capacity in [{start}, {})",
+                    start + dur
+                );
             }
         }
         for b in i0 / BLOCK..=(i1 - 1) / BLOCK {
             self.recompute_block(b);
         }
-        self.invalidate_hint();
+        self.invalidate_hint_overlapping(start, start + dur);
     }
 
     /// Drops breakpoints earlier than `horizon` whose removal does not change
@@ -516,6 +762,11 @@ impl MachineTimeline {
 pub struct ClusterTimelines {
     machines: Vec<MachineTimeline>,
     parallel_threshold: usize,
+    /// Machine probed first by [`ClusterTimelines::earliest_fit_mut`] to
+    /// seed the pruning cutoff: one past the previous winner, i.e. the
+    /// machine least recently loaded. Pure probe-order heuristic — the
+    /// returned placement is independent of it.
+    scan_seed: usize,
 }
 
 impl ClusterTimelines {
@@ -526,6 +777,7 @@ impl ClusterTimelines {
         ClusterTimelines {
             machines: vec![MachineTimeline::new(num_resources); num_machines],
             parallel_threshold: PARALLEL_SCAN_THRESHOLD,
+            scan_seed: 0,
         }
     }
 
@@ -595,6 +847,48 @@ impl ClusterTimelines {
                 }
             }
         }
+        best
+    }
+
+    /// The seeded sequential scan over exclusive timelines, probing through
+    /// the lock-free [`MachineTimeline::earliest_fit_bounded_mut`].
+    ///
+    /// The seed machine (one past the previous winner, so the least recently
+    /// loaded) is probed first without a cutoff; its answer then prunes the
+    /// in-order sweep over the rest. Machines below the current winner are
+    /// probed with one ulp of cutoff slack so that an equal-start answer
+    /// from a lower index survives to win the tie — the result is the
+    /// lexicographic minimum of `(start, machine)` over all machines,
+    /// exactly what the unseeded in-order scan returns.
+    fn earliest_fit_seeded_mut(
+        &mut self,
+        from: Time,
+        dur: Time,
+        demands: &[Amount],
+    ) -> (usize, Time) {
+        let floor = from.max(0.0);
+        let g = self.scan_seed.min(self.machines.len() - 1);
+        let s_g = self.machines[g]
+            .earliest_fit_bounded_mut(from, dur, demands, f64::INFINITY)
+            .expect("unbounded earliest_fit always finds the empty tail");
+        let mut best = (g, s_g);
+        for (m, tl) in self.machines.iter_mut().enumerate() {
+            // Every machine below best.0 has been probed, and no machine at
+            // or above m can beat a fit at the floor (ties go lower).
+            if best.1 <= floor && best.0 <= m {
+                break;
+            }
+            if m == g {
+                continue;
+            }
+            let cutoff = if m < best.0 { best.1.next_up() } else { best.1 };
+            if let Some(s) = tl.earliest_fit_bounded_mut(from, dur, demands, cutoff) {
+                if s < best.1 || (s == best.1 && m < best.0) {
+                    best = (m, s);
+                }
+            }
+        }
+        self.scan_seed = (best.0 + 1) % self.machines.len();
         best
     }
 
@@ -677,12 +971,36 @@ impl ClusterTimelines {
         self.machines[machine].commit(start, dur, demands);
     }
 
+    /// [`ClusterTimelines::earliest_fit`] over exclusive timelines: the
+    /// sequential scan skips the hint-cache lock on every probe. Same
+    /// answers, including the lower-machine-index tie-break.
+    pub fn earliest_fit_mut(&mut self, from: Time, dur: Time, demands: &[Amount]) -> (usize, Time) {
+        let best = if self.machines.len() >= self.parallel_threshold {
+            self.earliest_fit_parallel(from, dur, demands)
+        } else {
+            self.earliest_fit_seeded_mut(from, dur, demands)
+        };
+        debug_assert!(best.1.is_finite());
+        best
+    }
+
     /// Finds the earliest fit for `job` at or after `from`, commits it, and
     /// returns the placement.
     pub fn place_earliest(&mut self, job: &Job, from: Time) -> (usize, Time) {
-        let (m, s) = self.earliest_fit(from, job.proc_time, &job.demands);
+        let (m, s) = self.earliest_fit_mut(from, job.proc_time, &job.demands);
         self.commit(m, s, job.proc_time, &job.demands);
         (m, s)
+    }
+
+    /// Compacts every machine's timeline before `horizon` (see
+    /// [`MachineTimeline::compact_before`]). Callers promise that no future
+    /// query or commit looks below `horizon`; MRIS upholds this because both
+    /// only ever happen at or after the current grid point `gamma_k`, which
+    /// is monotone.
+    pub fn compact_before(&mut self, horizon: Time) {
+        for tl in &mut self.machines {
+            tl.compact_before(horizon);
+        }
     }
 
     /// The latest committed breakpoint across machines — an upper bound on

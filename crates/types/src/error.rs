@@ -295,14 +295,6 @@ impl std::fmt::Display for RegistryError {
 
 impl std::error::Error for RegistryError {}
 
-/// Compatibility shim: front ends that still plumb `Result<_, String>` keep
-/// working while the typed error propagates through the registry.
-impl From<RegistryError> for String {
-    fn from(e: RegistryError) -> String {
-        e.to_string()
-    }
-}
-
 /// Case-insensitive Levenshtein distance between two short names.
 fn edit_distance(a: &str, b: &str) -> usize {
     let a: Vec<char> = a.chars().flat_map(|c| c.to_lowercase()).collect();
@@ -393,7 +385,8 @@ impl std::fmt::Display for ConfigError {
 
 impl std::error::Error for ConfigError {}
 
-/// Compatibility shim mirroring [`RegistryError`]'s.
+/// Compatibility shim: front ends that still plumb `Result<_, String>` for
+/// service configs keep working while the typed error propagates.
 impl From<ConfigError> for String {
     fn from(e: ConfigError) -> String {
         e.to_string()
@@ -426,8 +419,7 @@ mod tests {
         let msg = e.to_string();
         assert!(msg.contains("mris") && msg.contains("tetris"), "{msg}");
         assert!(msg.contains("did you mean 'mris'"), "{msg}");
-        let s: String = e.into();
-        assert!(s.contains("unknown algorithm"));
+        assert!(msg.contains("unknown algorithm"), "{msg}");
     }
 
     #[test]

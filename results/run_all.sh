@@ -21,6 +21,7 @@ $B/dynamics > results/dynamics.txt 2> results/dynamics.log
 $B/fairness --samples 3 > results/fairness.txt 2> results/fairness.log
 $B/timeline --out results/BENCH_timeline.json > /dev/null 2> results/timeline.log
 $B/chaos    --out results/BENCH_chaos.json    > /dev/null 2> results/chaos.log
+# service bench includes the MRIS stage_breakdown section (obs-enabled pass).
 $B/service  --out results/BENCH_service.json  > /dev/null 2> results/service.log
 $B/obs      --out results/BENCH_obs.json      > /dev/null 2> results/obs.log
 echo ALL_DONE

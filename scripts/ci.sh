@@ -51,7 +51,9 @@ cargo run --release --offline -p mris-bench --bin service -- \
 for key in '"bench": "service"' '"mode": "smoke"' '"poisson_rate"' \
   '"schedulers"' '"process": "poisson"' '"process": "bursts"' \
   '"throughput_jobs_per_sec"' '"decision_latency_us"' '"p50"' '"p95"' \
-  '"p99"' '"submitted"' '"completed"' '"epochs"' '"max_queue_depth"'; do
+  '"p99"' '"submitted"' '"completed"' '"epochs"' '"max_queue_depth"' \
+  '"stage_breakdown"' '"stages"' '"grid"' '"filter"' '"solve"' '"probe"' \
+  '"commit"' '"memo_hits"' '"memo_misses"'; do
   grep -qF "$key" results/BENCH_service_smoke.json \
     || { echo "BENCH_service_smoke.json is missing $key" >&2; exit 1; }
 done
@@ -72,7 +74,10 @@ done
 for family in mris_dispatcher_placements_total mris_knapsack_solves_total \
   mris_timeline_probes_total mris_timeline_commits_total \
   mris_service_admitted_total mris_service_epochs_total \
-  mris_service_decision_latency_seconds mris_schedule_seconds; do
+  mris_service_decision_latency_seconds mris_schedule_seconds \
+  mris_epoch_grid_seconds mris_epoch_filter_seconds mris_epoch_solve_seconds \
+  mris_epoch_probe_seconds mris_epoch_commit_seconds \
+  mris_epoch_memo_misses_total; do
   grep -q "^# TYPE $family " results/BENCH_obs_smoke.prom \
     || { echo "BENCH_obs_smoke.prom is missing the $family family" >&2; exit 1; }
 done
