@@ -25,6 +25,7 @@
 
 use std::time::Instant;
 
+use mris_bench::scan::{fragmented_cluster, fragmented_horizon, old_scoped_scan, scan_script};
 use mris_bench::Args;
 use mris_metrics::Percentiles;
 use mris_rng::Rng;
@@ -352,112 +353,20 @@ fn synthetic_churn(ops: usize, seed: u64) -> WorkloadReport {
     }
 }
 
-/// Bench-local replica of the *pre-fix* cluster scan: per-query
-/// `std::thread::scope` chunks over the machines, sharing a relaxed atomic
-/// best-so-far as a pruning bound, with an in-order reduction for the
-/// lower-machine-index tie-break. The library used to take this path for
-/// every cluster of 128+ machines; the per-query spawn cost measured a
-/// 0.93x *slowdown* at 256 machines, so the default policy now stays
-/// sequential below `PARALLEL_SCAN_THRESHOLD` (512). This replica is the
-/// "before" side of the `parallel_scan` workload.
-fn old_scoped_scan(
-    cluster: &ClusterTimelines,
-    from: f64,
-    dur: f64,
-    demands: &[Amount],
-) -> (usize, f64) {
-    use std::sync::atomic::{AtomicU64, Ordering};
-
-    let machines = cluster.num_machines();
-    let threads = 8.min(machines);
-    let chunk_len = machines.div_ceil(threads);
-    let shared_best = AtomicU64::new(f64::INFINITY.to_bits());
-    let chunk_results: Vec<(usize, f64)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|c| {
-                let shared_best = &shared_best;
-                scope.spawn(move || {
-                    let mut local = (0usize, f64::INFINITY);
-                    let lo = c * chunk_len;
-                    let hi = (lo + chunk_len).min(machines);
-                    for m in lo..hi {
-                        let global = f64::from_bits(shared_best.load(Ordering::Relaxed));
-                        // One ulp of slack so an equal-start answer from a
-                        // lower index survives to the reduction.
-                        let slack = if global.is_finite() {
-                            global.next_up()
-                        } else {
-                            f64::INFINITY
-                        };
-                        let cutoff = local.1.min(slack);
-                        if let Some(s) = cluster
-                            .machine(m)
-                            .earliest_fit_bounded(from, dur, demands, cutoff)
-                        {
-                            local = (m, s);
-                            let mut cur = shared_best.load(Ordering::Relaxed);
-                            while f64::from_bits(cur) > s {
-                                match shared_best.compare_exchange_weak(
-                                    cur,
-                                    s.to_bits(),
-                                    Ordering::Relaxed,
-                                    Ordering::Relaxed,
-                                ) {
-                                    Ok(_) => break,
-                                    Err(observed) => cur = observed,
-                                }
-                            }
-                        }
-                    }
-                    local
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    });
-    let mut best = (0usize, f64::INFINITY);
-    for (m, s) in chunk_results {
-        if s < best.1 {
-            best = (m, s);
-        }
-    }
-    best
-}
-
 /// `earliest_fit` over a wide, heavily fragmented cluster: the default
 /// policy (sequential cutoff-pruned scan — at this width no per-query
 /// threads are spawned) against [`old_scoped_scan`], the replica of the
 /// pre-fix per-query scoped-thread behavior. Both sides answer the
-/// identical query script and must agree exactly.
+/// identical query script and must agree exactly. (The `scale` bin runs
+/// the same recipe at 1k–10k machines, where the shard worker pool takes
+/// over.)
 fn parallel_scan(machines: usize, queries: usize, seed: u64) -> WorkloadReport {
     let resources = 2;
     let mut rng = Rng::new(seed);
-    let mut cluster = ClusterTimelines::new(machines, resources);
-    // Fragment every machine with staggered near-saturating commits whose
-    // inter-commit gaps are mostly too short for the queries below: scans
-    // cannot finish at the floor and must walk deep into the breakpoints.
     let depth = 200;
-    for m in 0..machines {
-        for k in 0..depth {
-            let start = (m % 7) as f64 * 0.3 + k as f64 * 2.0;
-            let demands: Vec<Amount> = (0..resources)
-                .map(|_| amount_from_fraction(rng.gen_range(0.55..0.9)))
-                .collect();
-            cluster.commit(m, start, rng.gen_range(1.2..1.95), &demands);
-        }
-    }
-    let horizon = depth as f64 * 2.0;
-    let script: Vec<(f64, f64, Vec<Amount>)> = (0..queries)
-        .map(|_| {
-            (
-                rng.gen_range(0.0..horizon * 0.25),
-                rng.gen_range(2.0..6.0),
-                (0..resources)
-                    .map(|_| amount_from_fraction(rng.gen_range(0.2..0.5)))
-                    .collect(),
-            )
-        })
-        .collect();
+    let cluster = fragmented_cluster(machines, resources, depth, &mut rng);
+    let horizon = fragmented_horizon(depth);
+    let script = scan_script(queries, horizon, resources, &mut rng);
 
     // Baseline: the pre-fix policy, spawning scoped threads for every query.
     let mut baseline_answers = Vec::with_capacity(queries);

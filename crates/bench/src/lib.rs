@@ -20,6 +20,7 @@
 
 pub mod cli;
 pub mod harness;
+pub mod scan;
 
 pub use cli::Args;
 pub use harness::{

@@ -1,0 +1,155 @@
+//! Shared cluster-scan workload pieces for the `timeline` and `scale`
+//! bench binaries: the fragmented-cluster builder, the query-script
+//! generator, and a faithful replica of the *pre-fix* per-query
+//! scoped-thread scan that both bins use as their "before" baseline.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use mris_rng::Rng;
+use mris_sim::ClusterTimelines;
+use mris_types::{amount_from_fraction, Amount};
+
+/// Builds a wide, heavily fragmented cluster: every machine is packed
+/// with `depth` staggered near-saturating commits whose inter-commit gaps
+/// are mostly too short for the queries produced by [`scan_script`], so
+/// scans cannot finish at the floor and must walk deep into the
+/// breakpoints. Identical recipe across bench bins so their numbers are
+/// comparable.
+pub fn fragmented_cluster(
+    machines: usize,
+    resources: usize,
+    depth: usize,
+    rng: &mut Rng,
+) -> ClusterTimelines {
+    let mut cluster = ClusterTimelines::new(machines, resources);
+    for m in 0..machines {
+        for k in 0..depth {
+            let start = (m % 7) as f64 * 0.3 + k as f64 * 2.0;
+            let demands: Vec<Amount> = (0..resources)
+                .map(|_| amount_from_fraction(rng.gen_range(0.55..0.9)))
+                .collect();
+            cluster.commit(m, start, rng.gen_range(1.2..1.95), &demands);
+        }
+    }
+    cluster
+}
+
+/// The query horizon matching a [`fragmented_cluster`] of the given depth.
+pub fn fragmented_horizon(depth: usize) -> f64 {
+    depth as f64 * 2.0
+}
+
+/// Generates the earliest-fit query script replayed against every scan
+/// policy: `(from, dur, demands)` triples whose durations exceed most of
+/// the fragmentation gaps, so every query walks deep into the committed
+/// breakpoints.
+pub fn scan_script(
+    queries: usize,
+    horizon: f64,
+    resources: usize,
+    rng: &mut Rng,
+) -> Vec<(f64, f64, Vec<Amount>)> {
+    mixed_scan_script(queries, horizon, resources, 0.0, rng)
+}
+
+/// [`scan_script`] with a tunable fraction of *frontier* queries — probes
+/// at or beyond the committed horizon that fit at the floor immediately,
+/// the common case when an arrival stream places jobs at the clock
+/// frontier. Deep queries stress per-segment scan work; frontier queries
+/// stress fixed per-query overhead (thread spawns in the pre-fix scoped
+/// scan, shard bookkeeping and the floor short-circuit in the pool).
+pub fn mixed_scan_script(
+    queries: usize,
+    horizon: f64,
+    resources: usize,
+    frontier_fraction: f64,
+    rng: &mut Rng,
+) -> Vec<(f64, f64, Vec<Amount>)> {
+    (0..queries)
+        .map(|_| {
+            let from = if rng.gen_range(0.0..1.0) < frontier_fraction {
+                rng.gen_range(horizon..horizon * 1.1)
+            } else {
+                rng.gen_range(0.0..horizon * 0.25)
+            };
+            (
+                from,
+                rng.gen_range(2.0..6.0),
+                (0..resources)
+                    .map(|_| amount_from_fraction(rng.gen_range(0.2..0.5)))
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// Bench-local replica of the *pre-fix* cluster scan: per-query
+/// `std::thread::scope` chunks over the machines, sharing a relaxed atomic
+/// best-so-far as a pruning bound, with an in-order reduction for the
+/// lower-machine-index tie-break. The library used to take this path for
+/// every cluster of 128+ machines; the per-query spawn cost measured a
+/// 0.93x *slowdown* at 256 machines. The shipped policy now routes wide
+/// clusters through the persistent shard worker pool instead — this
+/// replica is the "before" side of every scoped-scan speedup the bench
+/// bins report.
+pub fn old_scoped_scan(
+    cluster: &ClusterTimelines,
+    from: f64,
+    dur: f64,
+    demands: &[Amount],
+) -> (usize, f64) {
+    let machines = cluster.num_machines();
+    let threads = 8.min(machines);
+    let chunk_len = machines.div_ceil(threads);
+    let shared_best = AtomicU64::new(f64::INFINITY.to_bits());
+    let chunk_results: Vec<(usize, f64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|c| {
+                let shared_best = &shared_best;
+                scope.spawn(move || {
+                    let mut local = (0usize, f64::INFINITY);
+                    let lo = c * chunk_len;
+                    let hi = (lo + chunk_len).min(machines);
+                    for m in lo..hi {
+                        let global = f64::from_bits(shared_best.load(Ordering::Relaxed));
+                        // One ulp of slack so an equal-start answer from a
+                        // lower index survives to the reduction.
+                        let slack = if global.is_finite() {
+                            global.next_up()
+                        } else {
+                            f64::INFINITY
+                        };
+                        let cutoff = local.1.min(slack);
+                        if let Some(s) = cluster
+                            .machine(m)
+                            .earliest_fit_bounded(from, dur, demands, cutoff)
+                        {
+                            local = (m, s);
+                            let mut cur = shared_best.load(Ordering::Relaxed);
+                            while f64::from_bits(cur) > s {
+                                match shared_best.compare_exchange_weak(
+                                    cur,
+                                    s.to_bits(),
+                                    Ordering::Relaxed,
+                                    Ordering::Relaxed,
+                                ) {
+                                    Ok(_) => break,
+                                    Err(observed) => cur = observed,
+                                }
+                            }
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut best = (0usize, f64::INFINITY);
+    for (m, s) in chunk_results {
+        if s < best.1 {
+            best = (m, s);
+        }
+    }
+    best
+}

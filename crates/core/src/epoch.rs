@@ -274,28 +274,48 @@ impl EpochState {
 
         // Earliest-fit placement with floor gamma (Section 5.2/5.3); probes
         // ride the timelines' fit-hint cache, commits follow immediately so
-        // the hint learned by job i prunes the probe for job i+1.
+        // the hint learned by job i prunes the probe for job i+1. Probe and
+        // commit timings are accumulated across the batch and recorded once
+        // per epoch: a per-job histogram insert costs as much as a cheap
+        // probe, which both skewed the distribution and showed up in the
+        // stage breakdown itself. The `mris_epoch_{probe,commit}_seconds`
+        // families keep the same per-epoch sums; only their counts change
+        // (one sample per epoch instead of per job).
         let floor = if config.backfill {
             gamma
         } else {
             gamma.max(timelines.horizon())
         };
+        let timed = mris_obs::enabled();
+        let mut probe_time = std::time::Duration::ZERO;
+        let mut commit_time = std::time::Duration::ZERO;
         for &id in &self.scratch.batch {
             let job = instance.job(id);
-            let (machine, start) = {
-                let _s = mris_obs::span!("mris_epoch_probe_seconds");
-                timelines.earliest_fit_mut(floor, job.proc_time, &job.demands)
-            };
-            {
-                let _s = mris_obs::span!("mris_epoch_commit_seconds");
+            let (machine, start) = if timed {
+                let t0 = std::time::Instant::now();
+                let (machine, start) =
+                    timelines.earliest_fit_mut(floor, job.proc_time, &job.demands);
+                let t1 = std::time::Instant::now();
                 timelines.commit(machine, start, job.proc_time, &job.demands);
-            }
+                probe_time += t1 - t0;
+                commit_time += t1.elapsed();
+                (machine, start)
+            } else {
+                let (machine, start) =
+                    timelines.earliest_fit_mut(floor, job.proc_time, &job.demands);
+                timelines.commit(machine, start, job.proc_time, &job.demands);
+                (machine, start)
+            };
             placements.push((id, machine, start));
             self.frontier.remove(&id);
             stats.scheduled += 1;
             stats.batch_weight += job.weight;
             stats.batch_volume += job.volume();
             stats.batch_end = stats.batch_end.max(start + job.proc_time);
+        }
+        if timed {
+            mris_obs::histogram_record("mris_epoch_probe_seconds", probe_time.as_secs_f64());
+            mris_obs::histogram_record("mris_epoch_commit_seconds", commit_time.as_secs_f64());
         }
         stats
     }

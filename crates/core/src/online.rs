@@ -206,6 +206,18 @@ impl OnlinePolicy for MrisOnline {
         );
     }
 
+    fn on_machine_recovered(&mut self, _now: Time, _machine: usize, _instance: &Instance) {
+        // Recovery is the other half of the availability rewrite: the
+        // machine's downtime block stops binding and placements that were
+        // infeasible while it was pinned become feasible again. A memoized
+        // knapsack selection computed while the machine was down can
+        // therefore go stale the same way a failure staled the pre-failure
+        // memo — wipe it here too instead of reasoning about which entries
+        // survive. (The failure hook blocked the timeline only up to
+        // `recover_at`, so the timeline itself needs no touch-up.)
+        self.state.invalidate_memo();
+    }
+
     fn next_wakeup(&self) -> Option<Time> {
         let grid = (!self.state.is_empty()).then_some(self.gamma);
         let realize = self.pending.peek().map(|&Reverse((s, _, _))| s.0);

@@ -255,3 +255,66 @@ fn mid_epoch_failure_invalidates_memo() {
         assert!(inc.log.total_kills() > 0, "plan must actually strike");
     }
 }
+
+/// The recovery twin of the test above: the machine comes back between two
+/// grid wakeups while jobs are still pending, so epochs plan against both
+/// the degraded and the recovered cluster. `on_machine_recovered` now
+/// wipes the knapsack memo exactly like the failure hook does; the
+/// memoized path must stay bit-identical to the rebuild path across the
+/// mid-epoch recovery (and keep matching through the epochs that follow
+/// it).
+#[test]
+fn mid_epoch_recovery_invalidates_memo() {
+    let jobs = vec![
+        Job::from_fractions(JobId(0), 0.0, 1.5, 3.0, &[0.7]),
+        Job::from_fractions(JobId(1), 0.0, 3.0, 2.0, &[0.6]),
+        Job::from_fractions(JobId(2), 0.25, 2.0, 1.0, &[0.5]),
+        Job::from_fractions(JobId(3), 3.5, 1.0, 4.0, &[0.8]),
+        Job::from_fractions(JobId(4), 6.0, 2.0, 2.5, &[0.4]),
+    ];
+    let instance = Instance::from_unnumbered(jobs, 1).unwrap();
+    // Strike at t = 2.5 (killing work placed at the gamma = 2 wakeup) and
+    // recover at t = 4.2: both land strictly between grid wakeups
+    // (gamma = 2, 4, 8), so the memo is wiped mid-epoch twice — once by
+    // the failure hook, once by the recovery hook — and the job released
+    // at t = 6.0 forces a post-recovery epoch that would replan against a
+    // stale memo if the recovery hook forgot to invalidate.
+    let plan = FaultPlan::from_events(vec![FaultEvent {
+        at: 2.5,
+        downtime: 1.7,
+        target: FaultTarget::Machine(0),
+    }]);
+    for machines in [1usize, 2] {
+        let mut inc_policy =
+            MrisOnline::new(config(KnapsackChoice::Cadp, false), &instance, machines);
+        let mut reb_policy =
+            MrisOnline::new(config(KnapsackChoice::Cadp, true), &instance, machines);
+        let inc = run_online_chaos(
+            &instance,
+            machines,
+            &mut inc_policy,
+            &plan,
+            RestartSemantics::FullRestart,
+        )
+        .unwrap();
+        let reb = run_online_chaos(
+            &instance,
+            machines,
+            &mut reb_policy,
+            &plan,
+            RestartSemantics::FullRestart,
+        )
+        .unwrap();
+        assert_eq!(inc.schedule, reb.schedule, "M = {machines}");
+        assert_eq!(inc.log, reb.log, "M = {machines}");
+        assert!(inc.log.total_kills() > 0, "plan must actually strike");
+        assert!(
+            !inc.log.recoveries.is_empty(),
+            "recovery must land before the run drains"
+        );
+        assert!(
+            inc.schedule.assignments().count() >= instance.len(),
+            "every job is eventually placed"
+        );
+    }
+}

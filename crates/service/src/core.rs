@@ -467,7 +467,14 @@ impl<C: Clock, S: TelemetrySink> Service<C, S> {
             .complete_due_recorded(now, &self.work, &mut self.completed_buf);
         let first_new_completion = self.log.completions.len();
         for &(job, machine) in &self.completed_buf {
-            let a = self.schedule.get(job).expect("completed job is assigned");
+            // Completions are ordered before the fault events that unassign
+            // jobs at the same tick (a fault re-release racing a completion
+            // lands in step 2); a missing assignment means that ordering
+            // regressed, so surface the typed error — the ledger keeps the
+            // job's last recorded state — instead of aborting the service.
+            let Some(a) = self.schedule.get(job) else {
+                return Err(SchedulingError::UnassignedCompletion { job, machine });
+            };
             self.log.completions.push(CompletionRecord {
                 job,
                 machine,

@@ -315,3 +315,61 @@ fn load_watermark_sheds_by_resource() {
     assert!(matches!(report.outcomes[2], JobOutcome::NotSubmitted));
     assert_eq!(report.summary.completed, 1);
 }
+
+/// A completion and a failure striking the same machine at the same tick
+/// compose in that order: the finishing job survives — never re-released —
+/// and the service surfaces no `UnassignedCompletion`. This pins the
+/// completions-before-faults event ordering that the typed error in
+/// `process_event` now guards (the old code `expect`ed the assignment and
+/// aborted the process if the ordering ever regressed).
+#[test]
+fn same_tick_completion_beats_failure() {
+    use mris_sim::FaultPlan as Plan;
+    use mris_types::{FaultEvent, FaultTarget};
+    // One machine: job 0 runs [0, 2) and finishes exactly when the strike
+    // lands at t = 2; job 1 arrives mid-run and rides out the downtime.
+    let jobs = vec![
+        Job::from_fractions(JobId(0), 0.0, 2.0, 1.0, &[0.9]),
+        Job::from_fractions(JobId(1), 0.5, 1.0, 1.0, &[0.9]),
+    ];
+    let instance = Instance::new(jobs, 1).unwrap();
+    let mut cfg = ServiceConfig::new(1);
+    cfg.fault_plan = Plan::from_events(vec![FaultEvent {
+        at: 2.0,
+        downtime: 1.0,
+        target: FaultTarget::Machine(0),
+    }]);
+    let policy = online_policy_by_name("tetris", &instance, 1).unwrap();
+    let mut service = Service::new(
+        instance.clone(),
+        policy,
+        cfg,
+        SimClock::new(),
+        MemorySink::default(),
+    );
+    for j in instance.jobs() {
+        let admission = service
+            .submit_at(j.release, j.id)
+            .expect("same-tick completion + failure must not error");
+        assert!(admission.is_ok(), "{:?} rejected", j.id);
+    }
+    let (report, _sink) = service
+        .drain()
+        .expect("same-tick completion + failure must not error");
+    assert!(matches!(report.outcomes[0], JobOutcome::Completed));
+    assert!(matches!(report.outcomes[1], JobOutcome::Completed));
+    assert_eq!(
+        report.log.re_releases[0], 0,
+        "the finishing job must not be re-released by the same-tick failure"
+    );
+    assert_eq!(report.summary.failures, 1, "the strike itself still lands");
+    assert!(
+        report
+            .log
+            .completions
+            .iter()
+            .any(|c| c.job == JobId(0) && c.end == 2.0),
+        "job 0's completion at the strike instant is recorded"
+    );
+    report.log.verify().expect("audit log stays sound");
+}

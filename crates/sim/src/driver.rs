@@ -240,7 +240,12 @@ pub fn run_driver_observed<P: OnlinePolicy + ?Sized>(
         cluster.complete_due_recorded(now, &work, &mut completed);
         let _first_new_completion = log.completions.len();
         for &(job, machine) in &completed {
-            let a = schedule.get(job).expect("completed job must be assigned");
+            // Completions are ordered before the fault events that unassign
+            // jobs at the same tick, so a missing assignment means that
+            // ordering regressed; surface it instead of aborting the run.
+            let Some(a) = schedule.get(job) else {
+                return Err(SchedulingError::UnassignedCompletion { job, machine });
+            };
             log.completions.push(CompletionRecord {
                 job,
                 machine,

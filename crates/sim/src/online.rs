@@ -18,6 +18,7 @@ fn rejection_reason(e: &SchedulingError) -> &'static str {
         SchedulingError::DoesNotFit { .. } => "does_not_fit",
         SchedulingError::AlreadyPlaced { .. } => "already_placed",
         SchedulingError::StrandedJobs { .. } => "stranded",
+        SchedulingError::UnassignedCompletion { .. } => "unassigned_completion",
     }
 }
 

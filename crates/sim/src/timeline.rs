@@ -24,18 +24,36 @@
 //!   jumps past the entire block in `O(R)`.
 //!
 //! On top of that, cluster-level scans are pruned with a best-so-far cutoff
-//! (machines that cannot beat the current best abort early), answered from a
-//! per-machine hint cache when a batch repeats the same query (invalidated
-//! only by commits that overlap the hinted window — usage is monotone, so
-//! other commits cannot change the answer), and spread over
-//! [`std::thread::scope`] threads once the machine count reaches
-//! [`PARALLEL_SCAN_THRESHOLD`].
+//! (machines that cannot beat the current best abort early) and answered
+//! from a per-machine hint cache when a batch repeats the same query
+//! (invalidated only by commits that overlap the hinted window — usage is
+//! monotone, so other commits cannot change the answer).
+//!
+//! # Shards and the persistent scan pool
+//!
+//! A [`ClusterTimelines`] stores its machines in fixed-size
+//! [`TimelineShard`]s of [`SHARD_SIZE`] machines. Shards are the unit of
+//! parallel work: once the machine count reaches
+//! [`PARALLEL_SCAN_THRESHOLD`], `earliest_fit` queries are served by a
+//! **persistent** per-cluster worker pool ([`crate::pool`]) whose scanners
+//! claim shards dynamically and share a lock-free best-so-far bound —
+//! threads are created once per cluster, never per query (per-query
+//! [`std::thread::scope`] spawns measured as a 0.93x *slowdown* at 256
+//! machines). Mutations (`commit`, `reset_machine`, `compact_before`) go
+//! through `&mut self` shard ownership, so per-machine fit hints and skip
+//! indexes are only ever touched by one scanner at a time. The sequential
+//! cutoff-pruned scan below the threshold is byte-identical to what it
+//! always was, and the pooled scan reproduces it bit for bit (same
+//! lowest-machine-index tie-break, same one-ulp slack semantics).
 //!
 //! [`ClusterState`]: crate::ClusterState
 
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
 
 use mris_types::{Amount, Job, Time, CAPACITY};
+
+use crate::pool::ScanPool;
 
 /// Segments per skip-index block. 16 is small enough that a block is often
 /// uniformly saturated (so the min-skip fires inside packed prefixes) while
@@ -44,18 +62,21 @@ use mris_types::{Amount, Job, Time, CAPACITY};
 pub const BLOCK: usize = 16;
 
 /// Machine count at which [`ClusterTimelines::earliest_fit`] switches from
-/// the sequential cutoff-pruned scan to a [`std::thread::scope`] parallel
-/// scan. Spawning scoped threads costs tens of microseconds *per query*, and
-/// the sequential scan's cutoff pruning already skips most machines, so the
-/// parallel path only pays for itself on very wide clusters: at 256 machines
-/// the old threshold of 128 measured a 0.93x *slowdown* in the timeline
-/// bench. Below this threshold no per-query threads are ever spawned;
+/// the sequential cutoff-pruned scan to the persistent sharded scan pool.
+/// The sequential scan's cutoff pruning already skips most machines, so
+/// parallelism only pays for itself on wide clusters; below this threshold
+/// the pool is never even spawned.
 /// [`ClusterTimelines::set_parallel_threshold`] overrides it.
 pub const PARALLEL_SCAN_THRESHOLD: usize = 512;
 
-/// Threads used by the parallel cluster scan (bounded so a query never
-/// oversubscribes the host even on very wide clusters).
-const MAX_SCAN_THREADS: usize = 8;
+/// Machines per [`TimelineShard`] — the unit of work one pool scanner
+/// claims at a time. 64 machines is coarse enough that the claim CAS and
+/// the shared-bound traffic are amortized over thousands of probed
+/// segments, while still splitting a 1k-machine cluster into ~16 claims,
+/// plenty for dynamic load balancing across at most 8 scanners.
+/// [`ClusterTimelines::with_shard_size`] overrides it (the differential
+/// suite runs shard sizes 1, 7, and 64).
+pub const SHARD_SIZE: usize = 64;
 
 /// What the last scan of a machine learned, kept for reuse by later probes.
 ///
@@ -334,6 +355,11 @@ impl MachineTimeline {
             "earliest_fit(from = {from}) queries history compacted away before {}",
             self.watermark
         );
+        // Uphold the documented contract in release builds too: below the
+        // watermark the retained step function is approximate (compaction
+        // folded history into the first segment), so an unclamped scan
+        // could return a stale pre-watermark start.
+        let from = from.max(self.watermark);
         let cutoff = if cutoff.is_finite() {
             cutoff
         } else {
@@ -365,6 +391,8 @@ impl MachineTimeline {
             "earliest_fit(from = {from}) queries history compacted away before {}",
             self.watermark
         );
+        // Same release-mode watermark clamp as `earliest_fit_bounded`.
+        let from = from.max(self.watermark);
         let cutoff = if cutoff.is_finite() {
             cutoff
         } else {
@@ -757,40 +785,177 @@ impl MachineTimeline {
     }
 }
 
-/// Timelines for a cluster of `M` identical machines.
+/// A fixed-size run of consecutive machines — the unit of work one pool
+/// scanner claims at a time, and the unit the cross-shard reduce folds
+/// over. Shard `i` of a cluster with shard size `Z` holds machines
+/// `[i * Z, min((i + 1) * Z, M))`, so concatenating shards in order
+/// recovers machine order — which is what keeps the in-order reduce's
+/// tie-break identical to the sequential scan's.
 #[derive(Debug, Clone)]
-pub struct ClusterTimelines {
+pub(crate) struct TimelineShard {
+    /// Global index of this shard's first machine.
+    base: usize,
     machines: Vec<MachineTimeline>,
+}
+
+impl TimelineShard {
+    /// The cutoff-pruned earliest fit over this shard, in machine order:
+    /// returns the shard's lexicographic `(start, global machine)` minimum,
+    /// or `(usize::MAX, INFINITY)` when the shared bound rules every
+    /// machine out. `shared_best` carries the best start found anywhere in
+    /// the cluster so far; it is read as a pruning bound — with one ulp of
+    /// slack, so an equal start in this shard survives to the in-order
+    /// reduce where shard order decides the tie — and CAS-min published on
+    /// every improvement. `floor` (`from.max(0.0)`) ends the shard scan
+    /// early: within a shard no later machine can beat a fit at the floor.
+    pub(crate) fn scan_bounded(
+        &self,
+        from: Time,
+        dur: Time,
+        demands: &[Amount],
+        floor: Time,
+        shared_best: &AtomicU64,
+    ) -> (usize, Time) {
+        let mut local = (usize::MAX, f64::INFINITY);
+        let mut probed: u64 = 0;
+        for (k, tl) in self.machines.iter().enumerate() {
+            let global = f64::from_bits(shared_best.load(Ordering::Relaxed));
+            let slack = if global.is_finite() {
+                global.next_up()
+            } else {
+                f64::INFINITY
+            };
+            let cutoff = local.1.min(slack);
+            probed += 1;
+            if let Some(s) = tl.earliest_fit_bounded(from, dur, demands, cutoff) {
+                if s < local.1 {
+                    local = (self.base + k, s);
+                }
+                let mut cur = shared_best.load(Ordering::Relaxed);
+                while f64::from_bits(cur) > s {
+                    match shared_best.compare_exchange_weak(
+                        cur,
+                        s.to_bits(),
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => break,
+                        Err(observed) => cur = observed,
+                    }
+                }
+                if s <= floor {
+                    break;
+                }
+            }
+        }
+        mris_obs::counter_add("mris_shard_probes_total", probed);
+        local
+    }
+}
+
+/// Timelines for a cluster of `M` identical machines, stored in
+/// [`SHARD_SIZE`]-machine shards served by a lazily-spawned persistent
+/// scan pool (see the module docs).
+pub struct ClusterTimelines {
+    shards: Vec<TimelineShard>,
+    num_machines: usize,
+    num_resources: usize,
+    shard_size: usize,
     parallel_threshold: usize,
     /// Machine probed first by [`ClusterTimelines::earliest_fit_mut`] to
     /// seed the pruning cutoff: one past the previous winner, i.e. the
     /// machine least recently loaded. Pure probe-order heuristic — the
     /// returned placement is independent of it.
     scan_seed: usize,
+    /// The cluster's persistent scan workers, spawned on the first query
+    /// that crosses `parallel_threshold` and joined on drop. Never cloned:
+    /// a cloned cluster lazily spawns its own.
+    pool: OnceLock<ScanPool>,
+}
+
+impl Clone for ClusterTimelines {
+    fn clone(&self) -> Self {
+        ClusterTimelines {
+            shards: self.shards.clone(),
+            num_machines: self.num_machines,
+            num_resources: self.num_resources,
+            shard_size: self.shard_size,
+            parallel_threshold: self.parallel_threshold,
+            scan_seed: self.scan_seed,
+            pool: OnceLock::new(),
+        }
+    }
+}
+
+impl std::fmt::Debug for ClusterTimelines {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterTimelines")
+            .field("shards", &self.shards)
+            .field("num_machines", &self.num_machines)
+            .field("shard_size", &self.shard_size)
+            .field("parallel_threshold", &self.parallel_threshold)
+            .field("scan_seed", &self.scan_seed)
+            .field("pool", &self.pool.get())
+            .finish()
+    }
 }
 
 impl ClusterTimelines {
     /// Empty timelines for `num_machines` machines with `num_resources`
-    /// resources each.
+    /// resources each, sharded at the default [`SHARD_SIZE`].
     pub fn new(num_machines: usize, num_resources: usize) -> Self {
+        Self::with_shard_size(num_machines, num_resources, SHARD_SIZE)
+    }
+
+    /// Like [`ClusterTimelines::new`] with an explicit shard size (clamped
+    /// to at least 1). Placements are independent of the shard size — the
+    /// differential suite pins this for sizes 1, 7, and 64 — so this only
+    /// exists for tests and experiments; production callers use `new`.
+    pub fn with_shard_size(num_machines: usize, num_resources: usize, shard_size: usize) -> Self {
         assert!(num_machines > 0);
+        let shard_size = shard_size.max(1);
+        let shards = (0..num_machines)
+            .step_by(shard_size)
+            .map(|base| TimelineShard {
+                base,
+                machines: vec![
+                    MachineTimeline::new(num_resources);
+                    shard_size.min(num_machines - base)
+                ],
+            })
+            .collect();
         ClusterTimelines {
-            machines: vec![MachineTimeline::new(num_resources); num_machines],
+            shards,
+            num_machines,
+            num_resources,
+            shard_size,
             parallel_threshold: PARALLEL_SCAN_THRESHOLD,
             scan_seed: 0,
+            pool: OnceLock::new(),
         }
     }
 
     /// Number of machines `M`.
     #[inline]
     pub fn num_machines(&self) -> usize {
-        self.machines.len()
+        self.num_machines
+    }
+
+    /// All machines in index order (shards hold consecutive machine runs).
+    #[inline]
+    fn machines(&self) -> impl Iterator<Item = &MachineTimeline> {
+        self.shards.iter().flat_map(|s| s.machines.iter())
     }
 
     /// Access a single machine's timeline.
     #[inline]
     pub fn machine(&self, m: usize) -> &MachineTimeline {
-        &self.machines[m]
+        &self.shards[m / self.shard_size].machines[m % self.shard_size]
+    }
+
+    #[inline]
+    fn machine_mut(&mut self, m: usize) -> &mut MachineTimeline {
+        &mut self.shards[m / self.shard_size].machines[m % self.shard_size]
     }
 
     /// Replaces machine `m`'s timeline with a fresh, empty one. Used by the
@@ -798,19 +963,19 @@ impl ClusterTimelines {
     /// and planned) is invalidated at once, and the caller re-commits what
     /// should survive (e.g. a full-capacity block covering the downtime).
     pub fn reset_machine(&mut self, m: usize) {
-        let num_resources = self.machines[m].num_resources();
-        self.machines[m] = MachineTimeline::new(num_resources);
+        let num_resources = self.num_resources;
+        *self.machine_mut(m) = MachineTimeline::new(num_resources);
     }
 
     /// Total segments across all machines (for diagnostics and benches).
     pub fn total_segments(&self) -> usize {
-        self.machines.iter().map(|tl| tl.num_segments()).sum()
+        self.machines().map(|tl| tl.num_segments()).sum()
     }
 
     /// Overrides the machine count at which [`ClusterTimelines::earliest_fit`]
-    /// switches to the threaded scan (default
+    /// switches to the pooled sharded scan (default
     /// [`PARALLEL_SCAN_THRESHOLD`]). `usize::MAX` forces the sequential
-    /// path, small values force the parallel one — the results are
+    /// path, small values force the pooled one — the results are
     /// identical either way, including the lower-machine-index tie-break.
     pub fn set_parallel_threshold(&mut self, threshold: usize) {
         self.parallel_threshold = threshold.max(1);
@@ -819,10 +984,10 @@ impl ClusterTimelines {
     /// Earliest `(machine, start)` with `start >= from` at which the job
     /// fits for `dur`; ties on start break toward the lower machine index.
     pub fn earliest_fit(&self, from: Time, dur: Time, demands: &[Amount]) -> (usize, Time) {
-        let best = if self.machines.len() >= self.parallel_threshold {
-            self.earliest_fit_parallel(from, dur, demands)
+        let best = if self.num_machines >= self.parallel_threshold {
+            self.earliest_fit_pooled(from, dur, demands)
         } else {
-            Self::earliest_fit_sequential(&self.machines, from, dur, demands)
+            self.earliest_fit_sequential(from, dur, demands)
         };
         debug_assert!(best.1.is_finite());
         best
@@ -831,15 +996,10 @@ impl ClusterTimelines {
     /// The cutoff-pruned sequential scan: each machine only searches below
     /// the best start found so far, and the scan stops outright once some
     /// machine fits at the floor (no later machine can strictly beat it).
-    fn earliest_fit_sequential(
-        machines: &[MachineTimeline],
-        from: Time,
-        dur: Time,
-        demands: &[Amount],
-    ) -> (usize, Time) {
+    fn earliest_fit_sequential(&self, from: Time, dur: Time, demands: &[Amount]) -> (usize, Time) {
         let floor = from.max(0.0);
         let mut best = (0usize, f64::INFINITY);
-        for (m, tl) in machines.iter().enumerate() {
+        for (m, tl) in self.machines().enumerate() {
             if let Some(s) = tl.earliest_fit_bounded(from, dur, demands, best.1) {
                 best = (m, s);
                 if s <= floor {
@@ -867,116 +1027,58 @@ impl ClusterTimelines {
         demands: &[Amount],
     ) -> (usize, Time) {
         let floor = from.max(0.0);
-        let g = self.scan_seed.min(self.machines.len() - 1);
-        let s_g = self.machines[g]
+        let g = self.scan_seed.min(self.num_machines - 1);
+        let s_g = self
+            .machine_mut(g)
             .earliest_fit_bounded_mut(from, dur, demands, f64::INFINITY)
             .expect("unbounded earliest_fit always finds the empty tail");
         let mut best = (g, s_g);
-        for (m, tl) in self.machines.iter_mut().enumerate() {
-            // Every machine below best.0 has been probed, and no machine at
-            // or above m can beat a fit at the floor (ties go lower).
-            if best.1 <= floor && best.0 <= m {
-                break;
-            }
-            if m == g {
-                continue;
-            }
-            let cutoff = if m < best.0 { best.1.next_up() } else { best.1 };
-            if let Some(s) = tl.earliest_fit_bounded_mut(from, dur, demands, cutoff) {
-                if s < best.1 || (s == best.1 && m < best.0) {
-                    best = (m, s);
+        'shards: for shard in self.shards.iter_mut() {
+            for (k, tl) in shard.machines.iter_mut().enumerate() {
+                let m = shard.base + k;
+                // Every machine below best.0 has been probed, and no machine
+                // at or above m can beat a fit at the floor (ties go lower).
+                if best.1 <= floor && best.0 <= m {
+                    break 'shards;
+                }
+                if m == g {
+                    continue;
+                }
+                let cutoff = if m < best.0 { best.1.next_up() } else { best.1 };
+                if let Some(s) = tl.earliest_fit_bounded_mut(from, dur, demands, cutoff) {
+                    if s < best.1 || (s == best.1 && m < best.0) {
+                        best = (m, s);
+                    }
                 }
             }
         }
-        self.scan_seed = (best.0 + 1) % self.machines.len();
+        self.scan_seed = (best.0 + 1) % self.num_machines;
         best
     }
 
-    /// The scoped-thread scan for wide clusters: contiguous machine chunks
-    /// are searched concurrently, sharing a relaxed atomic best-so-far as a
-    /// pruning bound. Chunks report results `<=` the shared bound (one ulp
-    /// of slack) so that the deterministic in-order reduction can still
-    /// resolve ties toward the lower machine index.
-    fn earliest_fit_parallel(&self, from: Time, dur: Time, demands: &[Amount]) -> (usize, Time) {
-        use std::sync::atomic::{AtomicU64, Ordering};
-
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(MAX_SCAN_THREADS)
-            .min(self.machines.len());
-        if threads <= 1 {
-            return Self::earliest_fit_sequential(&self.machines, from, dur, demands);
-        }
-        let chunk_len = self.machines.len().div_ceil(threads);
-        let shared_best = AtomicU64::new(f64::INFINITY.to_bits());
-        let chunk_results: Vec<(usize, Time)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .machines
-                .chunks(chunk_len)
-                .enumerate()
-                .map(|(c, machines)| {
-                    let shared_best = &shared_best;
-                    scope.spawn(move || {
-                        let mut local = (0usize, f64::INFINITY);
-                        for (k, tl) in machines.iter().enumerate() {
-                            let global = f64::from_bits(shared_best.load(Ordering::Relaxed));
-                            // Allow equality with the global bound: a tie
-                            // must survive to the reduction, where machine
-                            // order decides it.
-                            let slack = if global.is_finite() {
-                                global.next_up()
-                            } else {
-                                f64::INFINITY
-                            };
-                            let cutoff = local.1.min(slack);
-                            if let Some(s) = tl.earliest_fit_bounded(from, dur, demands, cutoff) {
-                                if s < local.1 {
-                                    local = (c * chunk_len + k, s);
-                                }
-                                let mut cur = shared_best.load(Ordering::Relaxed);
-                                while f64::from_bits(cur) > s {
-                                    match shared_best.compare_exchange_weak(
-                                        cur,
-                                        s.to_bits(),
-                                        Ordering::Relaxed,
-                                        Ordering::Relaxed,
-                                    ) {
-                                        Ok(_) => break,
-                                        Err(observed) => cur = observed,
-                                    }
-                                }
-                            }
-                        }
-                        local
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("timeline scan thread panicked"))
-                .collect()
-        });
-        let mut best = (0usize, f64::INFINITY);
-        for (m, s) in chunk_results {
-            if s < best.1 {
-                best = (m, s);
-            }
-        }
-        best
+    /// The sharded scan for wide clusters, served by the cluster's
+    /// persistent worker pool: scanners claim shards dynamically, share a
+    /// relaxed atomic best-so-far as a pruning bound (with one ulp of slack
+    /// so ties survive), and the caller reduces per-shard minima in shard
+    /// order — reproducing the sequential scan's answers exactly,
+    /// lower-machine-index tie-break included.
+    fn earliest_fit_pooled(&self, from: Time, dur: Time, demands: &[Amount]) -> (usize, Time) {
+        debug_assert_eq!(demands.len(), self.num_resources);
+        let pool = self.pool.get_or_init(ScanPool::new);
+        pool.scan(&self.shards, from, dur, demands)
     }
 
     /// Commits a job occupation on a machine.
     pub fn commit(&mut self, machine: usize, start: Time, dur: Time, demands: &[Amount]) {
-        self.machines[machine].commit(start, dur, demands);
+        self.machine_mut(machine).commit(start, dur, demands);
     }
 
     /// [`ClusterTimelines::earliest_fit`] over exclusive timelines: the
     /// sequential scan skips the hint-cache lock on every probe. Same
     /// answers, including the lower-machine-index tie-break.
     pub fn earliest_fit_mut(&mut self, from: Time, dur: Time, demands: &[Amount]) -> (usize, Time) {
-        let best = if self.machines.len() >= self.parallel_threshold {
-            self.earliest_fit_parallel(from, dur, demands)
+        let best = if self.num_machines >= self.parallel_threshold {
+            self.earliest_fit_pooled(from, dur, demands)
         } else {
             self.earliest_fit_seeded_mut(from, dur, demands)
         };
@@ -998,16 +1100,17 @@ impl ClusterTimelines {
     /// only ever happen at or after the current grid point `gamma_k`, which
     /// is monotone.
     pub fn compact_before(&mut self, horizon: Time) {
-        for tl in &mut self.machines {
-            tl.compact_before(horizon);
+        for shard in &mut self.shards {
+            for tl in &mut shard.machines {
+                tl.compact_before(horizon);
+            }
         }
     }
 
     /// The latest committed breakpoint across machines — an upper bound on
     /// the makespan of everything committed so far.
     pub fn horizon(&self) -> Time {
-        self.machines
-            .iter()
+        self.machines()
             .map(|tl| *tl.times.last().unwrap())
             .fold(0.0, f64::max)
     }
@@ -1182,6 +1285,25 @@ mod tests {
         let _ = tl.earliest_fit(0.0, 1.0, &d(&[0.1]));
     }
 
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn pre_watermark_earliest_fit_clamps_in_release() {
+        let mut tl = MachineTimeline::new(1);
+        tl.commit(1.0, 2.0, &d(&[0.5]));
+        tl.commit(5.0, 2.0, &d(&[0.5]));
+        tl.compact_before(6.0);
+        assert_eq!(tl.compaction_watermark(), 5.0);
+        // Compaction folded history into the retained prefix, which a
+        // pre-watermark query would scan as if it were exact: without the
+        // clamp this answers 0.0, a start in history that no longer
+        // exists. The contract says answers never precede the watermark.
+        assert_eq!(tl.earliest_fit(0.0, 1.0, &d(&[0.1])), 5.0);
+        assert_eq!(
+            tl.earliest_fit_bounded_mut(0.0, 1.0, &d(&[0.1]), f64::INFINITY),
+            Some(5.0)
+        );
+    }
+
     #[test]
     #[should_panic(expected = "exceeds capacity")]
     fn commit_capacity_check_holds_in_every_profile() {
@@ -1262,6 +1384,45 @@ mod tests {
                     sequential.earliest_fit(from, dur, &probe),
                     "from {from}, dur {dur}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_scan_spans_shard_boundaries() {
+        use mris_types::{Job, JobId};
+        // 13 machines in shards of 3: the last shard is ragged, and winners
+        // land on either side of shard boundaries across the probes.
+        let mut cl = ClusterTimelines::with_shard_size(13, 1, 3);
+        for i in 0..60u32 {
+            let j = Job::from_fractions(
+                JobId(i),
+                0.0,
+                1.0 + (i % 4) as f64,
+                1.0,
+                &[0.4 + 0.1 * (i % 6) as f64],
+            );
+            cl.place_earliest(&j, (i % 5) as f64);
+        }
+        let mut pooled = cl.clone();
+        pooled.set_parallel_threshold(1);
+        let mut sequential = cl.clone();
+        sequential.set_parallel_threshold(usize::MAX);
+        for from in [0.0, 2.5, 11.0] {
+            for dur in [0.75, 3.0] {
+                for demand in [0.3, 0.55, 0.9] {
+                    let probe = d(&[demand]);
+                    assert_eq!(
+                        pooled.earliest_fit(from, dur, &probe),
+                        sequential.earliest_fit(from, dur, &probe),
+                        "earliest_fit from {from}, dur {dur}, demand {demand}"
+                    );
+                    assert_eq!(
+                        pooled.earliest_fit_mut(from, dur, &probe),
+                        sequential.earliest_fit_mut(from, dur, &probe),
+                        "earliest_fit_mut from {from}, dur {dur}, demand {demand}"
+                    );
+                }
             }
         }
     }

@@ -1,0 +1,205 @@
+//! Differential property suite: the pooled sharded cluster scan against
+//! the sequential cutoff-pruned scan.
+//!
+//! Random cluster scenarios — placements, machine failures (reset +
+//! full-capacity downtime block), compactions, and queries — are replayed
+//! into a sequential reference (`set_parallel_threshold(usize::MAX)`) and
+//! into pooled clusters (`set_parallel_threshold(1)`, every query through
+//! the persistent worker pool) at shard sizes 1, 7, and 64. Every
+//! `(machine, start)` answer must agree bit for bit, including the
+//! lowest-machine-index tie-break — shard boundaries, the shared pruning
+//! bound, the floor short-circuit, and the cross-shard reduce must be
+//! invisible in results.
+
+use mris_rng::prop::{check, Config};
+use mris_rng::{prop_assert_eq, Rng};
+use mris_sim::ClusterTimelines;
+use mris_types::{amount_from_fraction, Amount, CAPACITY};
+
+const RESOURCES: usize = 2;
+const SHARD_SIZES: [usize; 3] = [1, 7, 64];
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Query + commit of the winning placement (to every variant).
+    Place {
+        from_off: f64,
+        dur: f64,
+        fracs: Vec<f64>,
+    },
+    /// Machine failure: reset the timeline, block out a downtime window.
+    Down { pick: usize, at: f64, dur: f64 },
+    /// Cluster-wide compaction; later queries start at the new watermark.
+    Compact { horizon: f64 },
+    /// Shared-access query (`earliest_fit`), no commit.
+    Query {
+        from_off: f64,
+        dur: f64,
+        fracs: Vec<f64>,
+    },
+    /// Exclusive-access query (`earliest_fit_mut`), no commit.
+    QueryMut {
+        from_off: f64,
+        dur: f64,
+        fracs: Vec<f64>,
+    },
+}
+
+fn gen_fracs(rng: &mut Rng, hi: f64) -> Vec<f64> {
+    (0..RESOURCES).map(|_| rng.gen_range(0.0..hi)).collect()
+}
+
+fn gen_case(rng: &mut Rng) -> (usize, Vec<Op>) {
+    let machines = rng.gen_range(2..80usize);
+    let n = rng.gen_range(1..30usize);
+    let ops = (0..n)
+        .map(|_| match rng.gen_range(0..10usize) {
+            0..=3 => Op::Place {
+                from_off: rng.gen_range(0.0..20.0),
+                dur: rng.gen_range(0.1..9.0),
+                fracs: gen_fracs(rng, 0.8),
+            },
+            4 => Op::Down {
+                pick: rng.gen_range(0..1024usize),
+                at: rng.gen_range(0.0..40.0),
+                dur: rng.gen_range(1.0..10.0),
+            },
+            5 => Op::Compact {
+                horizon: rng.gen_range(0.0..50.0),
+            },
+            6..=7 => Op::Query {
+                from_off: rng.gen_range(0.0..40.0),
+                dur: rng.gen_range(0.1..12.0),
+                fracs: gen_fracs(rng, 1.0),
+            },
+            _ => Op::QueryMut {
+                from_off: rng.gen_range(0.0..40.0),
+                dur: rng.gen_range(0.1..12.0),
+                fracs: gen_fracs(rng, 1.0),
+            },
+        })
+        .collect();
+    (machines, ops)
+}
+
+fn to_amounts(fracs: &[f64]) -> Vec<Amount> {
+    fracs.iter().map(|&f| amount_from_fraction(f)).collect()
+}
+
+/// The earliest instant still exact on *every* machine: queries at or
+/// after it satisfy the watermark contract cluster-wide.
+fn cluster_watermark(c: &ClusterTimelines) -> f64 {
+    (0..c.num_machines())
+        .map(|m| c.machine(m).compaction_watermark())
+        .fold(0.0, f64::max)
+}
+
+#[test]
+fn sharded_scan_matches_sequential_scan() {
+    check(
+        "pooled sharded scan matches sequential scan",
+        &Config::with_cases(160),
+        gen_case,
+        |(machines, ops)| {
+            let machines = (*machines).clamp(2, 128);
+            let mut reference = ClusterTimelines::new(machines, RESOURCES);
+            reference.set_parallel_threshold(usize::MAX);
+            let mut pooled: Vec<ClusterTimelines> = SHARD_SIZES
+                .iter()
+                .map(|&z| {
+                    let mut c = ClusterTimelines::with_shard_size(machines, RESOURCES, z);
+                    c.set_parallel_threshold(1);
+                    c
+                })
+                .collect();
+            for op in ops {
+                match op {
+                    Op::Place {
+                        from_off,
+                        dur,
+                        fracs,
+                    } => {
+                        let demands = to_amounts(fracs);
+                        let from = cluster_watermark(&reference) + from_off;
+                        let expect = reference.earliest_fit(from, *dur, &demands);
+                        for (c, &z) in pooled.iter_mut().zip(&SHARD_SIZES) {
+                            prop_assert_eq!(
+                                c.earliest_fit(from, *dur, &demands),
+                                expect,
+                                "place query from {} at shard size {}",
+                                from,
+                                z
+                            );
+                        }
+                        reference.commit(expect.0, expect.1, *dur, &demands);
+                        for c in pooled.iter_mut() {
+                            c.commit(expect.0, expect.1, *dur, &demands);
+                        }
+                    }
+                    Op::Down { pick, at, dur } => {
+                        let m = pick % machines;
+                        let full = vec![CAPACITY; RESOURCES];
+                        reference.reset_machine(m);
+                        reference.commit(m, *at, *dur, &full);
+                        for c in pooled.iter_mut() {
+                            c.reset_machine(m);
+                            c.commit(m, *at, *dur, &full);
+                        }
+                    }
+                    Op::Compact { horizon } => {
+                        reference.compact_before(*horizon);
+                        for c in pooled.iter_mut() {
+                            c.compact_before(*horizon);
+                        }
+                        for (c, &z) in pooled.iter().zip(&SHARD_SIZES) {
+                            prop_assert_eq!(
+                                cluster_watermark(c),
+                                cluster_watermark(&reference),
+                                "watermark after compact_before({}) at shard size {}",
+                                horizon,
+                                z
+                            );
+                        }
+                    }
+                    Op::Query {
+                        from_off,
+                        dur,
+                        fracs,
+                    } => {
+                        let demands = to_amounts(fracs);
+                        let from = cluster_watermark(&reference) + from_off;
+                        let expect = reference.earliest_fit(from, *dur, &demands);
+                        for (c, &z) in pooled.iter().zip(&SHARD_SIZES) {
+                            prop_assert_eq!(
+                                c.earliest_fit(from, *dur, &demands),
+                                expect,
+                                "query from {} at shard size {}",
+                                from,
+                                z
+                            );
+                        }
+                    }
+                    Op::QueryMut {
+                        from_off,
+                        dur,
+                        fracs,
+                    } => {
+                        let demands = to_amounts(fracs);
+                        let from = cluster_watermark(&reference) + from_off;
+                        let expect = reference.earliest_fit_mut(from, *dur, &demands);
+                        for (c, &z) in pooled.iter_mut().zip(&SHARD_SIZES) {
+                            prop_assert_eq!(
+                                c.earliest_fit_mut(from, *dur, &demands),
+                                expect,
+                                "mut query from {} at shard size {}",
+                                from,
+                                z
+                            );
+                        }
+                    }
+                }
+            }
+            Ok(())
+        },
+    );
+}

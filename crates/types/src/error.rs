@@ -192,6 +192,18 @@ pub enum SchedulingError {
         /// Number of jobs left unplaced.
         unplaced: usize,
     },
+    /// A job's completion event fired with no assignment backing it in the
+    /// schedule. The event loops order completions before the fault events
+    /// that unassign jobs at the same tick, so this indicates a
+    /// completion/re-release ordering bug in the driver — surfaced as a
+    /// typed error (the run's ledger and audit log stay intact) instead of
+    /// a process abort.
+    UnassignedCompletion {
+        /// The job whose completion had no assignment.
+        job: JobId,
+        /// The machine the completion event claimed the job ran on.
+        machine: usize,
+    },
 }
 
 impl std::fmt::Display for SchedulingError {
@@ -222,6 +234,10 @@ impl std::fmt::Display for SchedulingError {
             SchedulingError::StrandedJobs { unplaced } => write!(
                 f,
                 "online policy stranded {unplaced} jobs: no events remain but the schedule is incomplete"
+            ),
+            SchedulingError::UnassignedCompletion { job, machine } => write!(
+                f,
+                "{job} completed on machine {machine} with no recorded assignment (completion/re-release ordering bug)"
             ),
         }
     }

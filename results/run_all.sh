@@ -20,6 +20,9 @@ $B/runtime  > results/runtime.txt  2> results/runtime.log
 $B/dynamics > results/dynamics.txt 2> results/dynamics.log
 $B/fairness --samples 3 > results/fairness.txt 2> results/fairness.log
 $B/timeline --out results/BENCH_timeline.json > /dev/null 2> results/timeline.log
+# scale bench: shard worker-pool scan + placement throughput at up to 10k
+# machines; --gate enforces sharded >= sequential at 1000 machines.
+$B/scale --gate --out results/BENCH_scale.json > /dev/null 2> results/scale.log
 $B/chaos    --out results/BENCH_chaos.json    > /dev/null 2> results/chaos.log
 # service bench includes the MRIS stage_breakdown section (obs-enabled pass).
 $B/service  --out results/BENCH_service.json  > /dev/null 2> results/service.log

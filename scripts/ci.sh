@@ -20,6 +20,12 @@ cargo build --release --offline --workspace
 echo "==> cargo test -q --offline"
 cargo test -q --offline --workspace
 
+# The watermark-clamp regression test is compiled out of debug builds
+# (`#[cfg(not(debug_assertions))]` — the debug path asserts instead of
+# clamping), so the sim suite must also run in release mode.
+echo "==> cargo test -q --release --offline -p mris-sim"
+cargo test -q --release --offline -p mris-sim
+
 echo "==> benches compile under --features criterion"
 cargo build --offline -p mris-bench --features criterion --benches
 
@@ -33,6 +39,21 @@ for key in '"bench": "timeline"' '"mode": "smoke"' '"workloads"' \
   '"query_ns_p50"' '"query_ns_p99"'; do
   grep -qF "$key" results/BENCH_timeline_smoke.json \
     || { echo "BENCH_timeline_smoke.json is missing $key" >&2; exit 1; }
+done
+
+echo "==> scale bench smoke run + schema check + shard-pool gate"
+# --gate fails the run unless the sharded (worker-pool) scan is at least
+# as fast as the sequential scan at 1000 machines: the tripwire against
+# reintroducing per-query overhead on the wide-cluster path.
+cargo run --release --offline -p mris-bench --bin scale -- \
+  --smoke --gate --out results/BENCH_scale_smoke.json >/dev/null
+for key in '"bench": "scale"' '"mode": "smoke"' '"scan"' '"placement"' \
+  '"machines": 64' '"machines": 1000' '"sharded_ops_per_sec"' \
+  '"sequential_ops_per_sec"' '"scoped_ops_per_sec"' \
+  '"speedup_vs_sequential"' '"speedup_vs_scoped"' '"jobs_per_sec"' \
+  '"shard_counters"' '"wakeups"' '"steals"' '"probes"'; do
+  grep -qF "$key" results/BENCH_scale_smoke.json \
+    || { echo "BENCH_scale_smoke.json is missing $key" >&2; exit 1; }
 done
 
 echo "==> chaos bench smoke run + schema check"
