@@ -28,7 +28,10 @@ use std::time::Instant;
 use mris_bench::Args;
 use mris_core::registry::online_policy_by_name;
 use mris_obs::{check_disabled_overhead, validate_exposition, Obs, ObsReport};
-use mris_service::{MemorySink, ObsBridge, Service, ServiceConfig, SimClock};
+use mris_service::{
+    DurabilityConfig, MemorySink, NullSink, NullSnapshots, ObsBridge, RestoreOptions, Service,
+    ServiceConfig, SharedBuf, SimClock,
+};
 use mris_sim::ClusterTimelines;
 use mris_trace::{AzureTrace, AzureTraceConfig};
 use mris_types::{Instance, Job, JobId};
@@ -97,20 +100,31 @@ fn replay_best(jobs: &[Job], machines: usize, resources: usize, reps: usize) -> 
     (best, segments)
 }
 
-/// Drives a small service run (every job submitted at release) under the
-/// currently installed subscriber, so the service metric families appear.
+/// Drives a small journaled service run (every job submitted at release)
+/// under the currently installed subscriber, then a restore from the
+/// journal it wrote, so the service *and* durability metric families
+/// appear.
 fn drive_service(instance: &Instance, machines: usize) {
     let policy = online_policy_by_name("mris", instance, machines).expect("mris resolves");
     let cfg = ServiceConfig::builder(machines)
         .build()
         .expect("default service config is valid");
+    let dcfg = DurabilityConfig {
+        flush_every: 1,
+        snapshot_every: 8,
+    };
     let mut service = Service::new(
         instance.clone(),
         policy,
-        cfg,
+        cfg.clone(),
         SimClock::new(),
         ObsBridge::new(MemorySink::default()),
-    );
+    )
+    .expect("default service config is valid");
+    let journal = SharedBuf::new();
+    service
+        .attach_journal(dcfg, Box::new(journal.clone()), Box::new(NullSnapshots))
+        .expect("journal attaches to a pristine service");
     let mut order: Vec<JobId> = instance.jobs().iter().map(|j| j.id).collect();
     order.sort_by(|&a, &b| {
         instance
@@ -127,6 +141,24 @@ fn drive_service(instance: &Instance, machines: usize) {
     }
     let (report, _sink) = service.drain().expect("service drains clean");
     report.log.verify().expect("fault log verifies");
+
+    let policy = online_policy_by_name("mris", instance, machines).expect("mris resolves");
+    let (_, restore) = Service::restore(
+        instance.clone(),
+        policy,
+        cfg,
+        dcfg,
+        SimClock::new(),
+        NullSink,
+        &journal.contents(),
+        None,
+        RestoreOptions::default(),
+    )
+    .expect("restore from the run's own journal succeeds");
+    assert!(
+        restore.clean_shutdown,
+        "drained journal must end with Close"
+    );
 }
 
 fn json_f64(v: f64) -> String {
@@ -220,6 +252,11 @@ fn main() {
         "mris_service_epochs_total",
         "mris_service_decision_latency_seconds",
         "mris_schedule_seconds",
+        "mris_journal_appends_total",
+        "mris_journal_bytes_total",
+        "mris_journal_fsyncs_total",
+        "mris_snapshot_seconds",
+        "mris_restore_seconds",
     ];
     for family in required {
         assert!(

@@ -29,8 +29,9 @@ use mris_core::registry::online_policy_by_name;
 use mris_metrics::Percentiles;
 use mris_obs::MetricValue;
 use mris_service::{
-    generate_workload, poisson_rate_for_utilization, run_workload, ArrivalProcess, LoadGenConfig,
-    NullSink, Service, ServiceConfig, SimClock, Workload,
+    generate_workload, poisson_rate_for_utilization, run_workload, truncate_at_event,
+    ArrivalProcess, DurabilityConfig, LoadGenConfig, MemorySnapshots, NullSink, RestoreOptions,
+    Service, ServiceConfig, SharedBuf, SimClock, Workload,
 };
 
 /// One policy under one arrival process.
@@ -95,7 +96,8 @@ fn run_one(name: &str, process: &'static str, workload: &Workload, machines: usi
         ServiceConfig::new(machines),
         SimClock::new(),
         NullSink,
-    );
+    )
+    .expect("valid service config");
     let (report, _) = run_workload(service, workload)
         .unwrap_or_else(|e| panic!("{name}/{process}: service run failed: {e}"));
     let s = report.summary;
@@ -170,7 +172,8 @@ fn stage_breakdown(process: &'static str, workload: &Workload, machines: usize) 
         ServiceConfig::new(machines),
         SimClock::new(),
         NullSink,
-    );
+    )
+    .expect("valid service config");
     run_workload(service, workload)
         .unwrap_or_else(|e| panic!("mris/{process}: breakdown run failed: {e}"));
     drop(guard);
@@ -208,6 +211,197 @@ fn stage_breakdown(process: &'static str, workload: &Workload, machines: usize) 
             .counter_value("mris_epoch_memo_misses_total", None)
             .unwrap_or(0),
     }
+}
+
+/// Journal-on vs journal-off throughput plus restore latency at growing
+/// journal-tail lengths, for MRIS under one workload. Both runs must
+/// produce the identical schedule — journaling observes decisions, it
+/// never makes them — and the overhead budget is 15%.
+fn run_durability(
+    process: &'static str,
+    workload: &Workload,
+    machines: usize,
+    smoke: bool,
+) -> String {
+    let name = "mris";
+    let make_policy = || {
+        online_policy_by_name(name, &workload.instance, machines)
+            .expect("mris resolves to an online policy")
+    };
+    let cfg = ServiceConfig::new(machines);
+    // The throughput gate measures the WAL alone (snapshots off): the
+    // journal rides the hot path on every event, while snapshotting is a
+    // cadence choice measured separately below.
+    let wal_dcfg = DurabilityConfig {
+        flush_every: 1,
+        snapshot_every: 0,
+    };
+    let dcfg = DurabilityConfig {
+        flush_every: 1,
+        snapshot_every: 32,
+    };
+
+    // The individual runs finish in milliseconds, so the off/on comparison
+    // is interleaved and repeated, keeping the best of each side — the
+    // standard microbench defense against scheduler noise.
+    let reps = if smoke { 2 } else { 10 };
+    let run_off = || {
+        let service = Service::new(
+            workload.instance.clone(),
+            make_policy(),
+            cfg.clone(),
+            SimClock::new(),
+            NullSink,
+        )
+        .expect("valid service config");
+        run_workload(service, workload)
+            .unwrap_or_else(|e| panic!("{name}/{process}: journal-off run failed: {e}"))
+            .0
+    };
+    let run_on = || {
+        let mut service = Service::new(
+            workload.instance.clone(),
+            make_policy(),
+            cfg.clone(),
+            SimClock::new(),
+            NullSink,
+        )
+        .expect("valid service config");
+        service
+            .attach_journal(
+                wal_dcfg,
+                Box::new(SharedBuf::new()),
+                Box::new(mris_service::NullSnapshots),
+            )
+            .expect("journal attaches to a pristine service");
+        run_workload(service, workload)
+            .unwrap_or_else(|e| panic!("{name}/{process}: journal-on run failed: {e}"))
+            .0
+    };
+    let (mut report_off, mut report_on) = (run_off(), run_on()); // warmup pair
+    for _ in 0..reps {
+        let off = run_off();
+        if off.summary.throughput_jobs_per_sec > report_off.summary.throughput_jobs_per_sec {
+            report_off = off;
+        }
+        let on = run_on();
+        if on.summary.throughput_jobs_per_sec > report_on.summary.throughput_jobs_per_sec {
+            report_on = on;
+        }
+    }
+    assert_eq!(
+        report_off.schedule, report_on.schedule,
+        "{name}/{process}: journaling changed the schedule"
+    );
+    assert_eq!(
+        report_off.summary.awct.to_bits(),
+        report_on.summary.awct.to_bits(),
+        "{name}/{process}: journaling changed the AWCT"
+    );
+
+    // Snapshot pass: same run with periodic full-state snapshots; its
+    // journal (and the snapshots' dcfg) feed the restore rows below.
+    let journal = SharedBuf::new();
+    let snapshots = MemorySnapshots::new();
+    let mut service = Service::new(
+        workload.instance.clone(),
+        make_policy(),
+        cfg.clone(),
+        SimClock::new(),
+        NullSink,
+    )
+    .expect("valid service config");
+    service
+        .attach_journal(dcfg, Box::new(journal.clone()), Box::new(snapshots.clone()))
+        .expect("journal attaches to a pristine service");
+    let (report_snap, _) = run_workload(service, workload)
+        .unwrap_or_else(|e| panic!("{name}/{process}: snapshot run failed: {e}"));
+    assert_eq!(
+        report_off.schedule, report_snap.schedule,
+        "{name}/{process}: snapshotting changed the schedule"
+    );
+
+    let off = report_off.summary.throughput_jobs_per_sec;
+    let on = report_on.summary.throughput_jobs_per_sec;
+    let snap_rate = report_snap.summary.throughput_jobs_per_sec;
+    let overhead_pct = if off > 0.0 {
+        (off - on) / off * 100.0
+    } else {
+        0.0
+    };
+    let within_budget = overhead_pct < 15.0;
+    if !within_budget {
+        eprintln!(
+            "    WARNING: journal overhead {overhead_pct:.1}% exceeds the 15% budget \
+             ({off:.0} -> {on:.0} jobs/s)"
+        );
+    }
+
+    let golden = journal.contents();
+    let epochs = report_snap.summary.epochs;
+    let mut restore_rows = Vec::new();
+    for fraction in [0.25f64, 0.5, 0.75, 1.0] {
+        let cut = if fraction >= 1.0 {
+            golden.len()
+        } else {
+            let cut_event = ((epochs as f64 * fraction) as usize).min(epochs.saturating_sub(1));
+            truncate_at_event(&golden, cut_event).unwrap_or(golden.len())
+        };
+        let (_, restore) = Service::restore(
+            workload.instance.clone(),
+            make_policy(),
+            cfg.clone(),
+            dcfg,
+            SimClock::new(),
+            NullSink,
+            &golden[..cut],
+            None,
+            RestoreOptions::default(),
+        )
+        .unwrap_or_else(|e| panic!("{name}/{process}: restore at {fraction} failed: {e}"));
+        eprintln!(
+            "    restore @{:>3.0}%: {} records in {:.1} ms",
+            fraction * 100.0,
+            restore.records,
+            restore.restore_seconds * 1e3
+        );
+        restore_rows.push(format!(
+            concat!(
+                "{{\"fraction\": {:.2}, \"journal_bytes\": {}, \"records\": {}, ",
+                "\"regenerated\": {}, \"clean_shutdown\": {}, \"restore_seconds\": {:.6}}}"
+            ),
+            fraction,
+            cut,
+            restore.records,
+            restore.regenerated,
+            restore.clean_shutdown,
+            restore.restore_seconds,
+        ));
+    }
+    let _ = smoke;
+
+    format!(
+        concat!(
+            "{{\"policy\": \"{}\", \"process\": \"{}\", ",
+            "\"journal_off_jobs_per_sec\": {:.3}, \"journal_on_jobs_per_sec\": {:.3}, ",
+            "\"overhead_pct\": {:.3}, \"overhead_budget_pct\": 15.0, \"within_budget\": {}, ",
+            "\"snapshot_pass_jobs_per_sec\": {:.3}, ",
+            "\"journal_bytes\": {}, \"snapshots\": {}, \"flush_every\": {}, ",
+            "\"snapshot_every\": {}, \"restore\": [{}]}}"
+        ),
+        name,
+        process,
+        off,
+        on,
+        overhead_pct,
+        within_budget,
+        snap_rate,
+        golden.len(),
+        snapshots.all().len(),
+        dcfg.flush_every,
+        dcfg.snapshot_every,
+        restore_rows.join(", "),
+    )
 }
 
 fn main() {
@@ -305,6 +499,9 @@ fn main() {
         })
         .collect();
 
+    eprintln!("  durability overhead + restore latency (journaled mris pass) ...");
+    let durability = run_durability("poisson", &workloads[0].1, machines, smoke);
+
     let schedulers: Vec<String> = reports
         .iter()
         .map(|r| format!("    {}", r.to_json()))
@@ -317,7 +514,7 @@ fn main() {
         concat!(
             "{{\n",
             "  \"bench\": \"service\",\n",
-            "  \"version\": 2,\n",
+            "  \"version\": 3,\n",
             "  \"mode\": \"{}\",\n",
             "  \"machines\": {},\n",
             "  \"jobs\": {},\n",
@@ -325,7 +522,8 @@ fn main() {
             "  \"utilization\": {},\n",
             "  \"poisson_rate\": {:.6},\n",
             "  \"schedulers\": [\n{}\n  ],\n",
-            "  \"stage_breakdown\": [\n{}\n  ]\n",
+            "  \"stage_breakdown\": [\n{}\n  ],\n",
+            "  \"durability\": {}\n",
             "}}\n"
         ),
         if smoke { "smoke" } else { "full" },
@@ -335,7 +533,8 @@ fn main() {
         utilization,
         rate,
         schedulers.join(",\n"),
-        breakdown_json.join(",\n")
+        breakdown_json.join(",\n"),
+        durability
     );
     std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
     eprintln!("  wrote {out}");

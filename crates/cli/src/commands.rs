@@ -9,8 +9,9 @@ use mris_types::Instance;
 use crate::schedule_io::{parse_schedule_csv, schedule_to_csv};
 use mris_core::registry::{algorithm_by_name, known_algorithms, online_policy_by_name};
 use mris_service::{
-    generate_workload, poisson_rate_for_utilization, ArrivalProcess, JsonlSink, LoadGenConfig,
-    ObsBridge, Service, ServiceConfig, ServiceReport, SimClock,
+    generate_workload, poisson_rate_for_utilization, ArrivalProcess, DirSnapshots,
+    DurabilityConfig, JobOutcome, JsonlSink, LoadGenConfig, NullSink, NullSnapshots, ObsBridge,
+    Outage, RestoreOptions, Service, ServiceConfig, ServiceReport, SimClock, SnapshotStore,
 };
 use mris_sim::{
     run_online_chaos, suggested_horizon, FaultPlan, PoissonFaultConfig, RackBurstConfig,
@@ -53,6 +54,18 @@ impl From<mris_types::ConfigError> for CliError {
     }
 }
 
+impl From<mris_types::DurabilityError> for CliError {
+    fn from(e: mris_types::DurabilityError) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+impl From<mris_types::RestoreError> for CliError {
+    fn from(e: mris_types::RestoreError) -> Self {
+        CliError(e.to_string())
+    }
+}
+
 fn usage() -> String {
     let mut s = String::from(
         "mris — online non-preemptive multi-resource scheduling (ICPP'24 reproduction)\n\n\
@@ -67,7 +80,12 @@ fn usage() -> String {
          \x20      [--mttr-frac F] [--seed S] [--restart full|aging] [--aging-factor K]\n\
          \x20 mris serve --trace trace.csv --algo NAME --machines M [--epoch E]\n\
          \x20      [--queue-watermark Q] [--load-watermark L] [--telemetry out.jsonl]\n\
-         \x20      [--metrics-path metrics.prom]\n\
+         \x20      [--metrics-path metrics.prom] [--journal wal.mrjl] [--flush-every N]\n\
+         \x20      [--snapshot-dir DIR] [--snapshot-every N]\n\
+         \x20 mris restore --trace trace.csv --algo NAME --machines M --journal wal.mrjl\n\
+         \x20      [--snapshot snap.bin | --snapshot-dir DIR] [--strict]\n\
+         \x20      [--outage-at T --outage-downtime D] [--epoch E] (+ the serve knobs\n\
+         \x20      of the original run; the journal fingerprint is checked)\n\
          \x20 mris loadgen --jobs N --machines M [--algo NAME] [--seed S]\n\
          \x20      [--process poisson|bursts] [--utilization U] [--burst-size B]\n\
          \x20      [--fault-plan none|poisson|racks|adversarial] [--fault-rate X]\n\
@@ -203,6 +221,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "validate" => validate(&Flags::parse(rest)?),
         "chaos" => chaos(&Flags::parse(rest)?),
         "serve" => serve(&Flags::parse(rest)?),
+        "restore" => restore(&Flags::parse(rest)?),
         "loadgen" => loadgen(&Flags::parse(rest)?),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(CliError(format!(
@@ -443,15 +462,62 @@ fn service_cfg_from_flags(flags: &Flags, machines: usize) -> Result<ServiceConfi
         })
 }
 
+/// Durability knobs shared by `serve` and `restore`: where the journal
+/// lives, how often it is flushed, and where snapshots go.
+struct DurabilitySetup {
+    journal: String,
+    dcfg: DurabilityConfig,
+    snapshot_dir: Option<String>,
+}
+
+/// Reads `--flush-every` / `--snapshot-every` into a [`DurabilityConfig`].
+/// Snapshots default on (every 64 events) when a snapshot destination is
+/// named, off otherwise. The cadences feed the journal's configuration
+/// fingerprint, so a `restore` must repeat the original run's flags.
+fn durability_cfg_from_flags(flags: &Flags) -> Result<DurabilityConfig, CliError> {
+    let snapshot_default = if flags.get("snapshot-dir").is_some() {
+        64
+    } else {
+        0
+    };
+    let flush_every: u32 = flags.get_parsed("flush-every", 1)?;
+    let snapshot_every: u32 = flags.get_parsed("snapshot-every", snapshot_default)?;
+    if flush_every == 0 {
+        return Err(CliError("--flush-every must be at least 1".into()));
+    }
+    Ok(DurabilityConfig {
+        flush_every,
+        snapshot_every,
+    })
+}
+
+/// Reads the `serve` durability flags. `None` when `--journal` is absent.
+fn durability_setup(flags: &Flags) -> Result<Option<DurabilitySetup>, CliError> {
+    let Some(journal) = flags.get("journal") else {
+        if flags.get("snapshot-dir").is_some() {
+            return Err(CliError("--snapshot-dir requires --journal".into()));
+        }
+        return Ok(None);
+    };
+    Ok(Some(DurabilitySetup {
+        journal: journal.to_string(),
+        dcfg: durability_cfg_from_flags(flags)?,
+        snapshot_dir: flags.get("snapshot-dir").map(str::to_string),
+    }))
+}
+
 /// Feeds every job of `instance` through the admission path of a fresh
 /// service (at its release time, in `(release, id)` order), drains, and
 /// verifies the fault log. With `telemetry`, per-epoch records and the
-/// summary stream to that JSONL file.
+/// summary stream to that JSONL file. With `durability`, every
+/// state-mutating event is journaled (and optionally snapshotted) as it
+/// happens.
 fn drive_service(
     instance: &Instance,
     name: &str,
     cfg: ServiceConfig,
     telemetry: Option<&str>,
+    durability: Option<&DurabilitySetup>,
 ) -> Result<ServiceReport, CliError> {
     let machines = cfg.num_machines;
     let policy = online_policy_by_name(name, instance, machines)?;
@@ -470,7 +536,23 @@ fn drive_service(
         cfg,
         SimClock::new(),
         ObsBridge::new(JsonlSink::new(writer)),
-    );
+    )?;
+    if let Some(setup) = durability {
+        let file = std::fs::File::create(&setup.journal)
+            .map_err(|e| CliError(format!("cannot create {}: {e}", setup.journal)))?;
+        let snapshots: Box<dyn SnapshotStore + Send> = match &setup.snapshot_dir {
+            Some(dir) => Box::new(
+                DirSnapshots::new(dir)
+                    .map_err(|e| CliError(format!("cannot create {dir}: {e}")))?,
+            ),
+            None => Box::new(NullSnapshots),
+        };
+        service.attach_journal(
+            setup.dcfg,
+            Box::new(std::io::BufWriter::new(file)),
+            snapshots,
+        )?;
+    }
     let mut order: Vec<JobId> = instance.jobs().iter().map(|j| j.id).collect();
     order.sort_by(|&a, &b| {
         instance
@@ -485,6 +567,9 @@ fn drive_service(
         let _ = service
             .submit_at(instance.job(job).release, job)
             .map_err(|e| CliError(format!("{name}: service error: {e}")))?;
+    }
+    if let Some(e) = service.durability_error() {
+        return Err(CliError(format!("{name}: journal write failed: {e}")));
     }
     let (report, sink) = service
         .drain()
@@ -542,15 +627,146 @@ fn serve(flags: &Flags) -> Result<String, CliError> {
     let cfg = service_cfg_from_flags(flags, machines)?;
     let epoch = cfg.epoch;
     let obs = obs_from_flags(flags)?;
-    let report = drive_service(&instance, name, cfg, flags.get("telemetry"))?;
+    let durability = durability_setup(flags)?;
+    let report = drive_service(
+        &instance,
+        name,
+        cfg,
+        flags.get("telemetry"),
+        durability.as_ref(),
+    )?;
     let obs_text = match &obs {
         Some((subscriber, _guard)) => obs_epilogue(flags, subscriber)?,
         None => String::new(),
     };
+    let journal_text = match &durability {
+        Some(setup) => {
+            let bytes = std::fs::metadata(&setup.journal)
+                .map(|m| m.len())
+                .unwrap_or(0);
+            let snap_text = match &setup.snapshot_dir {
+                Some(dir) => format!(", snapshots in {dir} every {}", setup.dcfg.snapshot_every),
+                None => String::new(),
+            };
+            format!(
+                "journal     = {} ({bytes} bytes, flush every {}{snap_text})\n",
+                setup.journal, setup.dcfg.flush_every
+            )
+        }
+        None => String::new(),
+    };
     Ok(format!(
-        "serve: {} jobs, {} resources, {machines} machines, algo = {name}, epoch = {epoch}\n\n{}{obs_text}",
+        "serve: {} jobs, {} resources, {machines} machines, algo = {name}, epoch = {epoch}\n\n{}{journal_text}{obs_text}",
         instance.len(),
         instance.num_resources(),
+        service_summary_text(&report)
+    ))
+}
+
+/// `mris restore`: rebuild a service from a journal (and optional
+/// snapshot), then finish the run — resubmitting every job the crash cut
+/// off at its release time — and print both the restore report and the
+/// drained summary. The same trace/algo/knobs as the original `serve`
+/// must be given; the journal's configuration fingerprint enforces it.
+fn restore(flags: &Flags) -> Result<String, CliError> {
+    let instance = load_instance(flags.require("trace")?)?;
+    let machines: usize = flags.get_parsed("machines", 20)?;
+    let name = flags.get("algo").unwrap_or("mris");
+    let cfg = service_cfg_from_flags(flags, machines)?;
+    let dcfg = durability_cfg_from_flags(flags)?;
+    let journal_path = flags.require("journal")?;
+    let journal = std::fs::read(journal_path)
+        .map_err(|e| CliError(format!("cannot read {journal_path}: {e}")))?;
+    let snapshot: Option<Vec<u8>> = match (flags.get("snapshot"), flags.get("snapshot-dir")) {
+        (Some(path), _) => {
+            Some(std::fs::read(path).map_err(|e| CliError(format!("cannot read {path}: {e}")))?)
+        }
+        (None, Some(dir)) => DirSnapshots::latest(std::path::Path::new(dir))
+            .map_err(|e| CliError(format!("cannot read snapshots in {dir}: {e}")))?,
+        (None, None) => None,
+    };
+    let outage = match flags.get("outage-at") {
+        Some(_) => Some(Outage {
+            at: flags.get_parsed("outage-at", 0.0)?,
+            downtime: flags.get_parsed("outage-downtime", 1.0)?,
+        }),
+        None => None,
+    };
+    let opts = RestoreOptions {
+        strict: flags.switch("strict"),
+        outage,
+    };
+    let policy = online_policy_by_name(name, &instance, machines)?;
+    let (mut service, restore) = Service::restore(
+        instance.clone(),
+        policy,
+        cfg,
+        dcfg,
+        SimClock::new(),
+        NullSink,
+        &journal,
+        snapshot.as_deref(),
+        opts,
+    )?;
+
+    // Finish the run: offer everything the crash cut off, in the same
+    // (release, id) order the original serve used, never before the
+    // replayed frontier.
+    let mut remaining: Vec<JobId> = instance
+        .jobs()
+        .iter()
+        .map(|j| j.id)
+        .filter(|&j| matches!(service.outcome(j), JobOutcome::NotSubmitted))
+        .collect();
+    remaining.sort_by(|&a, &b| {
+        instance
+            .job(a)
+            .release
+            .total_cmp(&instance.job(b).release)
+            .then(a.cmp(&b))
+    });
+    let resubmitted = remaining.len();
+    for job in remaining {
+        let at = instance.job(job).release.max(restore.resumed_at);
+        let _ = service
+            .submit_at(at, job)
+            .map_err(|e| CliError(format!("{name}: service error after restore: {e}")))?;
+    }
+    let (report, _sink) = service
+        .drain()
+        .map_err(|e| CliError(format!("{name}: drain failed after restore: {e}")))?;
+    report
+        .log
+        .verify()
+        .map_err(|v| CliError(format!("{name}: fault-log violation: {v}")))?;
+
+    let snapshot_text = match restore.snapshot_verified {
+        Some(lsn) => format!("verified at lsn {lsn}"),
+        None if snapshot.is_some() => "supplied but not reached".to_string(),
+        None => "none".to_string(),
+    };
+    let tail_text = match &restore.tail_error {
+        Some(e) => format!(" ({e})"),
+        None => String::new(),
+    };
+    Ok(format!(
+        "restore: {} jobs, {machines} machines, algo = {name}\n\n\
+         records     = {} replayed ({} regenerated past the journal end)\n\
+         torn tail   = {} bytes dropped{tail_text}\n\
+         snapshot    = {snapshot_text}\n\
+         shutdown    = {}\n\
+         resumed at t = {:.3} ({:.3}s wall); resubmitted {resubmitted} jobs\n\n{}",
+        instance.len(),
+        restore.records,
+        restore.regenerated,
+        restore.torn_tail_bytes,
+        if restore.clean_shutdown {
+            "clean"
+        } else {
+            "crash"
+        },
+        restore.resumed_at,
+        restore.restore_seconds,
         service_summary_text(&report)
     ))
 }
@@ -669,7 +885,7 @@ fn loadgen(flags: &Flags) -> Result<String, CliError> {
     cfg.fault_plan = plan;
 
     let obs = obs_from_flags(flags)?;
-    let report = drive_service(&workload.instance, name, cfg, flags.get("telemetry"))?;
+    let report = drive_service(&workload.instance, name, cfg, flags.get("telemetry"), None)?;
     let obs_text = match &obs {
         Some((subscriber, _guard)) => obs_epilogue(flags, subscriber)?,
         None => String::new(),
@@ -908,6 +1124,102 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(err.0.contains("queue-watermark"), "{err}");
+    }
+
+    #[test]
+    fn serve_journal_then_restore_round_trips() {
+        let trace_path = tmp("durable_trace.csv");
+        let journal_path = tmp("durable.mrjl");
+        let snap_dir = tmp("durable_snaps");
+        run(&s(&[
+            "generate",
+            "--jobs",
+            "60",
+            "--out",
+            trace_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let serve_out = run(&s(&[
+            "serve",
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--algo",
+            "pq-wsjf",
+            "--machines",
+            "3",
+            "--journal",
+            journal_path.to_str().unwrap(),
+            "--snapshot-dir",
+            snap_dir.to_str().unwrap(),
+            "--snapshot-every",
+            "16",
+        ]))
+        .unwrap();
+        assert!(serve_out.contains("journal     ="), "{serve_out}");
+        assert!(journal_path.exists());
+
+        // A full journal restores cleanly to the same drained summary.
+        let restore_out = run(&s(&[
+            "restore",
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--algo",
+            "pq-wsjf",
+            "--machines",
+            "3",
+            "--journal",
+            journal_path.to_str().unwrap(),
+            "--snapshot-dir",
+            snap_dir.to_str().unwrap(),
+            "--snapshot-every",
+            "16",
+        ]))
+        .unwrap();
+        assert!(restore_out.contains("shutdown    = clean"), "{restore_out}");
+        assert!(restore_out.contains("resubmitted 0 jobs"), "{restore_out}");
+        let serve_awct = serve_out
+            .lines()
+            .find(|l| l.starts_with("AWCT"))
+            .unwrap()
+            .to_string();
+        assert!(restore_out.contains(&serve_awct), "{restore_out}");
+
+        // A torn journal (crash mid-write) still restores: the cut tail is
+        // dropped and replay regenerates the schedule up to the cut.
+        let bytes = std::fs::read(&journal_path).unwrap();
+        let torn_path = tmp("durable_torn.mrjl");
+        std::fs::write(&torn_path, &bytes[..bytes.len() * 2 / 3]).unwrap();
+        let torn_out = run(&s(&[
+            "restore",
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--algo",
+            "pq-wsjf",
+            "--machines",
+            "3",
+            "--journal",
+            torn_path.to_str().unwrap(),
+            "--snapshot-every",
+            "16",
+        ]))
+        .unwrap();
+        assert!(torn_out.contains("shutdown    = crash"), "{torn_out}");
+        assert!(torn_out.contains(&serve_awct), "{torn_out}");
+
+        // Wrong config ⇒ fingerprint mismatch, not a bogus replay.
+        let err = run(&s(&[
+            "restore",
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--algo",
+            "pq-wsjf",
+            "--machines",
+            "4",
+            "--journal",
+            journal_path.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.0.contains("fingerprint"), "{err}");
     }
 
     #[test]

@@ -12,7 +12,12 @@
 //! * `mris chaos` — replay a fault plan (machine failures + repairs)
 //!   against each algorithm and report AWCT inflation.
 //! * `mris serve` — run a trace through the `mris-service` daemon loop
-//!   (admission control, epoch batching, JSONL telemetry).
+//!   (admission control, epoch batching, JSONL telemetry), optionally
+//!   journaling every state-mutating event (`--journal`) and writing
+//!   periodic snapshots (`--snapshot-dir`).
+//! * `mris restore` — rebuild a crashed `serve` from its journal (and
+//!   optional snapshot), finish the run, and report both the replay and
+//!   the final summary.
 //! * `mris loadgen` — synthesize an open-loop arrival stream (Poisson or
 //!   bursts), optionally replay a fault plan against the live service,
 //!   and report the drained summary.

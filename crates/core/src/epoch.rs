@@ -167,6 +167,33 @@ impl EpochState {
         self.memo.clear();
     }
 
+    /// Appends a canonical encoding of the replay-relevant state to `out`:
+    /// the waiting heap (sorted — heap layout is history-dependent), the
+    /// frontier, the thresholds, and the rebuild mode. The knapsack memo
+    /// and the scratch arena are derived caches and are excluded.
+    pub(crate) fn durable_bytes(&self, out: &mut Vec<u8>) {
+        let mut waiting: Vec<(u64, u32)> = self
+            .waiting
+            .iter()
+            .map(|&Reverse((OrdTime(key), job))| (key.to_bits(), job.0))
+            .collect();
+        waiting.sort_unstable();
+        out.extend_from_slice(&(waiting.len() as u64).to_le_bytes());
+        for (key, job) in waiting {
+            out.extend_from_slice(&key.to_le_bytes());
+            out.extend_from_slice(&job.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.frontier.len() as u64).to_le_bytes());
+        for job in &self.frontier {
+            out.extend_from_slice(&job.0.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.threshold.len() as u64).to_le_bytes());
+        for &t in &self.threshold {
+            out.extend_from_slice(&t.to_bits().to_le_bytes());
+        }
+        out.push(self.force_rebuild as u8);
+    }
+
     /// Promotes every job whose threshold has been reached into the
     /// frontier. Monotone: `gamma` never decreases within a run, so each
     /// job is promoted exactly once.

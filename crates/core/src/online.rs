@@ -226,6 +226,29 @@ impl OnlinePolicy for MrisOnline {
             (a, b) => a.or(b),
         }
     }
+
+    fn encode_durable_state(&self, out: &mut Vec<u8>) -> bool {
+        out.extend_from_slice(&self.gamma0.to_bits().to_le_bytes());
+        out.extend_from_slice(&self.gamma.to_bits().to_le_bytes());
+        out.extend_from_slice(&(self.k as u64).to_le_bytes());
+        // Sorted, not heap order: the heap's layout depends on insertion
+        // history, which snapshot verification must not be sensitive to.
+        let mut pending: Vec<(u64, u32, u64)> = self
+            .pending
+            .iter()
+            .map(|&Reverse((OrdTime(s), j, m))| (s.to_bits(), j.0, m as u64))
+            .collect();
+        pending.sort_unstable();
+        out.extend_from_slice(&(pending.len() as u64).to_le_bytes());
+        for (s, j, m) in pending {
+            out.extend_from_slice(&s.to_le_bytes());
+            out.extend_from_slice(&j.to_le_bytes());
+            out.extend_from_slice(&m.to_le_bytes());
+        }
+        self.state.durable_bytes(out);
+        self.timelines.durable_bytes(out);
+        true
+    }
 }
 
 #[cfg(test)]

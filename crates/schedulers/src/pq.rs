@@ -83,6 +83,21 @@ impl OnlinePolicy for PqPolicy {
         }
         Ok(())
     }
+
+    fn encode_durable_state(&self, out: &mut Vec<u8>) -> bool {
+        // BTreeSet iterates sorted, and `fresh` is in deterministic arrival
+        // order, so the encoding is already canonical.
+        out.extend_from_slice(&(self.pending.len() as u64).to_le_bytes());
+        for &(OrdTime(key), j) in &self.pending {
+            out.extend_from_slice(&key.to_bits().to_le_bytes());
+            out.extend_from_slice(&j.0.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.fresh.len() as u64).to_le_bytes());
+        for j in &self.fresh {
+            out.extend_from_slice(&j.0.to_le_bytes());
+        }
+        true
+    }
 }
 
 /// The PQ scheduler (Section 4): event-driven greedy scheduling in heuristic

@@ -25,11 +25,17 @@ use mris_sim::{
     FaultPlan, OnlinePolicy, OrdTime,
 };
 use mris_types::{
-    fraction, AdmissionError, Amount, ConfigError, Instance, JobId, RestartSemantics, Schedule,
-    SchedulingError, Time, CAPACITY,
+    fraction, AdmissionError, Amount, ConfigError, DurabilityError, Instance, JobId,
+    RestartSemantics, Schedule, SchedulingError, Time, CAPACITY,
 };
 
 use crate::clock::Clock;
+use crate::codec::Encoder;
+use crate::journal::{
+    config_fingerprint, Durability, DurabilityConfig, DurabilitySink, JournalRecord, JournalWriter,
+    RejectReason,
+};
+use crate::snapshot::SnapshotStore;
 use crate::telemetry::{EpochRecord, ServiceSummary, TelemetrySink};
 
 /// Static configuration of a [`Service`].
@@ -83,9 +89,9 @@ impl ServiceConfig {
         }
     }
 
-    /// The typed validation behind both the builder and the panicking
-    /// constructor path.
-    fn check(&self) -> Result<(), ConfigError> {
+    /// The typed validation behind both the builder and
+    /// [`Service::new`].
+    pub(crate) fn check(&self) -> Result<(), ConfigError> {
         if self.num_machines == 0 {
             return Err(ConfigError::NoMachines);
         }
@@ -103,12 +109,6 @@ impl ServiceConfig {
             }
         }
         Ok(())
-    }
-
-    fn validate(&self) {
-        if let Err(e) = self.check() {
-            panic!("{e}");
-        }
     }
 }
 
@@ -208,8 +208,8 @@ enum FaultKind {
 /// events to quiescence and returns the [`ServiceReport`] plus the
 /// telemetry sink.
 pub struct Service<C: Clock, S: TelemetrySink> {
-    cfg: ServiceConfig,
-    clock: C,
+    pub(crate) cfg: ServiceConfig,
+    pub(crate) clock: C,
     sink: S,
     policy: Box<dyn OnlinePolicy>,
     /// Pristine copy for metrics; `work` is what aging mutates.
@@ -218,7 +218,7 @@ pub struct Service<C: Clock, S: TelemetrySink> {
     cluster: ClusterState,
     schedule: Schedule,
     log: FaultLog,
-    outcomes: Vec<JobOutcome>,
+    pub(crate) outcomes: Vec<JobOutcome>,
     /// Admitted, undelivered submissions ordered by (delivery time,
     /// submission sequence) — matches the batch drivers' (release, id)
     /// arrival order when jobs are submitted in id order.
@@ -232,6 +232,13 @@ pub struct Service<C: Clock, S: TelemetrySink> {
     freed: Vec<usize>,
     completed_buf: Vec<(JobId, usize)>,
     deliver_buf: Vec<JobId>,
+    /// Placements captured from the dispatcher while a journal is
+    /// attached; empty otherwise.
+    placed_buf: Vec<(JobId, u32)>,
+    /// Write-ahead journal / replay verifier, when durability is on.
+    /// Boxed: durability is off by default and the hot loop should not
+    /// carry its footprint.
+    pub(crate) dur: Option<Box<Durability>>,
     // Counters and telemetry state.
     submitted: usize,
     accepted: usize,
@@ -240,7 +247,7 @@ pub struct Service<C: Clock, S: TelemetrySink> {
     max_queue_depth: usize,
     epochs: usize,
     decision_ns: Vec<u64>,
-    last_event: Time,
+    pub(crate) last_event: Time,
     started: std::time::Instant,
 }
 
@@ -248,17 +255,22 @@ impl<C: Clock, S: TelemetrySink> Service<C, S> {
     /// Builds a service over `instance` with the given policy, clock, and
     /// telemetry sink.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// If the configuration is invalid (see [`ServiceConfig`] field docs).
+    /// A typed [`ConfigError`] if the configuration is invalid (see
+    /// [`ServiceConfig`] field docs) — surfaced to the caller instead of
+    /// killing the daemon.
     pub fn new(
         instance: Instance,
         policy: Box<dyn OnlinePolicy>,
         cfg: ServiceConfig,
         clock: C,
         sink: S,
-    ) -> Self {
-        cfg.validate();
+    ) -> Result<Self, ConfigError> {
+        if cfg.queue_watermark == 0 {
+            return Err(ConfigError::ZeroQueueWatermark);
+        }
+        cfg.check()?;
         let n = instance.len();
         let r = instance.num_resources();
         let fault_q = cfg
@@ -268,7 +280,7 @@ impl<C: Clock, S: TelemetrySink> Service<C, S> {
             .enumerate()
             .map(|(i, e)| Reverse((OrdTime(e.at), FaultKind::Fail(i))))
             .collect();
-        Service {
+        Ok(Service {
             cluster: ClusterState::new(cfg.num_machines, r),
             schedule: Schedule::new(n, cfg.num_machines),
             log: FaultLog {
@@ -286,6 +298,8 @@ impl<C: Clock, S: TelemetrySink> Service<C, S> {
             freed: Vec::new(),
             completed_buf: Vec::new(),
             deliver_buf: Vec::new(),
+            placed_buf: Vec::new(),
+            dur: None,
             submitted: 0,
             accepted: 0,
             rejected_queue_full: 0,
@@ -301,6 +315,63 @@ impl<C: Clock, S: TelemetrySink> Service<C, S> {
             clock,
             sink,
             policy,
+        })
+    }
+
+    /// Attaches a write-ahead journal (and snapshot store) to a pristine
+    /// service. Durability is off by default; with it on, every admission
+    /// decision and event outcome is framed, checksummed, and flushed at
+    /// the configured cadence, and [`Service::restore`] can rebuild the
+    /// exact service from the journal after a crash.
+    ///
+    /// # Errors
+    ///
+    /// [`DurabilityError::AttachAfterStart`] if the service has already
+    /// admitted a submission or processed an event — those could never be
+    /// replayed.
+    pub fn attach_journal(
+        &mut self,
+        dcfg: DurabilityConfig,
+        out: Box<dyn std::io::Write + Send>,
+        snapshots: Box<dyn SnapshotStore + Send>,
+    ) -> Result<(), DurabilityError> {
+        if self.submitted > 0 || self.epochs > 0 || self.dur.is_some() {
+            return Err(DurabilityError::AttachAfterStart {
+                events: self.epochs,
+                submitted: self.submitted,
+            });
+        }
+        let fingerprint = config_fingerprint(&self.original, &self.cfg, &dcfg);
+        let writer = JournalWriter::new(out, fingerprint);
+        self.dur = Some(Box::new(Durability::new(
+            dcfg,
+            fingerprint,
+            DurabilitySink::Journal { writer, snapshots },
+        )));
+        Ok(())
+    }
+
+    /// The first durability failure (journal or snapshot IO), if any.
+    /// Durability failures never abort the event loop — the scheduler's
+    /// non-preemptive commitments outrank the audit trail — so operators
+    /// poll this.
+    pub fn durability_error(&self) -> Option<DurabilityError> {
+        self.dur.as_ref().and_then(|d| d.error.clone())
+    }
+
+    /// `(appends, bytes, flushes)` written to the attached journal so far.
+    pub fn journal_stats(&self) -> Option<(u64, u64, u64)> {
+        self.dur.as_ref().and_then(|d| match &d.sink {
+            DurabilitySink::Journal { writer, .. } => Some(writer.stats()),
+            DurabilitySink::Verify(_) => None,
+        })
+    }
+
+    /// Emits one record into the attached journal/verifier, if any.
+    #[inline]
+    fn emit(&mut self, make: impl FnOnce() -> JournalRecord) {
+        if let Some(d) = self.dur.as_deref_mut() {
+            d.emit(make());
         }
     }
 
@@ -374,6 +445,11 @@ impl<C: Clock, S: TelemetrySink> Service<C, S> {
             self.rejected_queue_full += 1;
             mris_obs::counter_add("mris_service_rejected_queue_full_total", 1);
             self.outcomes[job.index()] = JobOutcome::Rejected(err);
+            self.emit(|| JournalRecord::Reject {
+                at: now,
+                job: job.0,
+                reason: RejectReason::QueueFull,
+            });
             return Err(err);
         }
         let budget_ticks = self.cfg.load_watermark * self.cfg.num_machines as f64 * CAPACITY as f64;
@@ -392,6 +468,11 @@ impl<C: Clock, S: TelemetrySink> Service<C, S> {
                     self.rejected_infeasible += 1;
                     mris_obs::counter_add("mris_service_rejected_infeasible_total", 1);
                     self.outcomes[job.index()] = JobOutcome::Rejected(err);
+                    self.emit(|| JournalRecord::Reject {
+                        at: now,
+                        job: job.0,
+                        reason: RejectReason::LoadShed,
+                    });
                     return Err(err);
                 }
             }
@@ -412,7 +493,28 @@ impl<C: Clock, S: TelemetrySink> Service<C, S> {
         mris_obs::counter_add("mris_service_admitted_total", 1);
         self.max_queue_depth = self.max_queue_depth.max(self.queue.len());
         self.outcomes[job.index()] = JobOutcome::Accepted;
+        self.emit(|| JournalRecord::Admit {
+            at: now,
+            job: job.0,
+        });
         Ok(())
+    }
+
+    /// Replays one decision event at the recorded time `at` — the restore
+    /// driver's stepper. The recorded time is used verbatim (the original
+    /// run's clock may have lagged or been wall-driven; replay must not
+    /// re-quantize it).
+    pub(crate) fn replay_event(&mut self, at: Time) -> Result<(), SchedulingError> {
+        self.clock.advance_to(at);
+        self.process_event(at)
+    }
+
+    /// Replays one admission decision at the recorded time `at`. The
+    /// decision itself is re-derived (and cross-checked by the replay
+    /// verifier), so the return value mirrors the original's.
+    pub(crate) fn replay_admit(&mut self, at: Time, job: JobId) -> Result<(), AdmissionError> {
+        self.clock.advance_to(at);
+        self.admit(at, job)
     }
 
     /// The time of the next pending event (delivery, completion, fault, or
@@ -458,6 +560,7 @@ impl<C: Clock, S: TelemetrySink> Service<C, S> {
     /// overshoot the event that scheduled this call).
     fn process_event(&mut self, now: Time) -> Result<(), SchedulingError> {
         self.last_event = now;
+        self.emit(|| JournalRecord::Event { at: now });
 
         // 1. Completions — before faults, so a job finishing exactly at a
         //    strike instant survives.
@@ -466,7 +569,8 @@ impl<C: Clock, S: TelemetrySink> Service<C, S> {
         self.cluster
             .complete_due_recorded(now, &self.work, &mut self.completed_buf);
         let first_new_completion = self.log.completions.len();
-        for &(job, machine) in &self.completed_buf {
+        for i in 0..self.completed_buf.len() {
+            let (job, machine) = self.completed_buf[i];
             // Completions are ordered before the fault events that unassign
             // jobs at the same tick (a fault re-release racing a completion
             // lands in step 2); a missing assignment means that ordering
@@ -483,6 +587,10 @@ impl<C: Clock, S: TelemetrySink> Service<C, S> {
             });
             self.outcomes[job.index()] = JobOutcome::Completed;
             self.freed.push(machine);
+            self.emit(|| JournalRecord::Complete {
+                job: job.0,
+                machine: machine as u32,
+            });
         }
         let completions = self.completed_buf.len();
 
@@ -498,6 +606,10 @@ impl<C: Clock, S: TelemetrySink> Service<C, S> {
                     self.freed.push(machine);
                     self.log.recoveries.push((now, machine));
                     self.policy.on_machine_recovered(now, machine, &self.work);
+                    self.emit(|| JournalRecord::Recover {
+                        machine: machine as u32,
+                        at: now,
+                    });
                 }
                 FaultKind::Fail(idx) => {
                     let event = self.cfg.fault_plan.events()[idx];
@@ -525,6 +637,14 @@ impl<C: Clock, S: TelemetrySink> Service<C, S> {
                     });
                     self.policy
                         .on_machine_failed(now, machine, recover_at, &killed, &self.work);
+                    self.emit(|| JournalRecord::Fail {
+                        machine: machine as u32,
+                        at: now,
+                        recover_at,
+                    });
+                    for &job in &killed {
+                        self.emit(|| JournalRecord::ReRelease { job: job.0 });
+                    }
                 }
             }
         }
@@ -566,11 +686,25 @@ impl<C: Clock, S: TelemetrySink> Service<C, S> {
 
         // 4. One dispatch per event.
         let running_before = self.cluster.num_running();
+        self.placed_buf.clear();
         {
             let mut dispatcher =
                 Dispatcher::new(&mut self.cluster, &mut self.schedule, &self.work, now);
+            if self.dur.is_some() {
+                dispatcher.record_placements(&mut self.placed_buf);
+            }
             self.policy.dispatch(&mut dispatcher, &self.freed)?;
         }
+        for i in 0..self.placed_buf.len() {
+            let (job, machine) = self.placed_buf[i];
+            let start = self.schedule.get(job).map_or(now, |a| a.start);
+            self.emit(|| JournalRecord::Place {
+                job: job.0,
+                machine,
+                start,
+            });
+        }
+        self.placed_buf.clear();
         let decision_ns = decision_started.map(|t| t.elapsed().as_nanos() as u64);
         if let Some(ns) = decision_ns {
             self.decision_ns.push(ns);
@@ -632,7 +766,127 @@ impl<C: Clock, S: TelemetrySink> Service<C, S> {
         }
         #[cfg(not(debug_assertions))]
         let _ = first_new_completion;
+
+        // 7. Durability boundary: snapshot if due, flush at cadence. The
+        //    state encoding is computed only at snapshot points.
+        if let Some(mut d) = self.dur.take() {
+            let state = d.snapshot_due().then(|| self.durable_state_bytes());
+            d.event_end(now, state);
+            self.dur = Some(d);
+        }
         Ok(())
+    }
+
+    /// Canonical encoding of the full committed service state — the
+    /// snapshot payload and the replay-equivalence witness. Unordered
+    /// containers are emitted sorted; wall-clock-only fields (the
+    /// decision-latency samples, the start `Instant`) and scratch buffers
+    /// are excluded because they differ between an original run and its
+    /// replay without affecting any scheduling decision.
+    pub(crate) fn durable_state_bytes(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.f64(self.last_event);
+        e.u64(self.submitted as u64);
+        e.u64(self.accepted as u64);
+        e.u64(self.rejected_queue_full as u64);
+        e.u64(self.rejected_infeasible as u64);
+        e.u64(self.max_queue_depth as u64);
+        e.u64(self.epochs as u64);
+        e.u64(self.seq);
+        e.u64(self.outcomes.len() as u64);
+        for o in &self.outcomes {
+            e.u8(match o {
+                JobOutcome::NotSubmitted => 0,
+                JobOutcome::Rejected(AdmissionError::QueueFull { .. }) => 1,
+                JobOutcome::Rejected(AdmissionError::DemandInfeasible { .. }) => 2,
+                JobOutcome::Accepted => 3,
+                JobOutcome::Completed => 4,
+            });
+        }
+        // Weight aging mutates `work`; everything else in it is static.
+        for j in self.work.jobs() {
+            e.f64(j.weight);
+        }
+        let mut queue: Vec<(u64, u64, u32)> = self
+            .queue
+            .iter()
+            .map(|&Reverse((t, s, j))| (t.0.to_bits(), s, j.0))
+            .collect();
+        queue.sort_unstable();
+        e.u64(queue.len() as u64);
+        for (t, s, j) in queue {
+            e.u64(t);
+            e.u64(s);
+            e.u32(j);
+        }
+        e.u64(self.queued_demand.len() as u64);
+        for &d in &self.queued_demand {
+            e.u64(d);
+        }
+        let mut faults: Vec<(u64, u8, u64)> = self
+            .fault_q
+            .iter()
+            .map(|&Reverse((t, kind))| match kind {
+                FaultKind::Recover(m) => (t.0.to_bits(), 0u8, m as u64),
+                FaultKind::Fail(i) => (t.0.to_bits(), 1u8, i as u64),
+            })
+            .collect();
+        faults.sort_unstable();
+        e.u64(faults.len() as u64);
+        for (t, k, p) in faults {
+            e.u64(t);
+            e.u8(k);
+            e.u64(p);
+        }
+        e.u64(self.re_released.len() as u64);
+        for j in &self.re_released {
+            e.u32(j.0);
+        }
+        let mut sub = Vec::new();
+        self.cluster.durable_bytes(&mut sub);
+        e.bytes(&sub);
+        for i in 0..self.original.len() {
+            match self.schedule.get(JobId(i as u32)) {
+                Some(a) => {
+                    e.u8(1);
+                    e.u32(a.machine as u32);
+                    e.f64(a.start);
+                }
+                None => e.u8(0),
+            }
+        }
+        e.u64(self.log.failures.len() as u64);
+        for f in &self.log.failures {
+            e.f64(f.at);
+            e.u64(f.machine as u64);
+            e.f64(f.recover_at);
+            e.u64(f.killed.len() as u64);
+            for j in &f.killed {
+                e.u32(j.0);
+            }
+        }
+        e.u64(self.log.recoveries.len() as u64);
+        for &(t, m) in &self.log.recoveries {
+            e.f64(t);
+            e.u64(m as u64);
+        }
+        e.u64(self.log.re_releases.len() as u64);
+        for &n in &self.log.re_releases {
+            e.u64(n as u64);
+        }
+        e.u64(self.log.completions.len() as u64);
+        for c in &self.log.completions {
+            e.u32(c.job.0);
+            e.u64(c.machine as u64);
+            e.f64(c.start);
+            e.f64(c.end);
+        }
+        sub.clear();
+        let encoded = self.policy.encode_durable_state(&mut sub);
+        e.u8(encoded as u8);
+        e.u64(sub.len() as u64);
+        e.bytes(&sub);
+        e.into_bytes()
     }
 
     /// Runs the loop to quiescence, enforces that every accepted job
@@ -660,6 +914,11 @@ impl<C: Clock, S: TelemetrySink> Service<C, S> {
             self.log.verify().is_ok(),
             "service fault-log invariant violated at drain"
         );
+        if let Some(d) = self.dur.as_deref_mut() {
+            let at = self.clock.now();
+            d.emit(JournalRecord::Close { at });
+            d.flush();
+        }
         let completed = self
             .outcomes
             .iter()

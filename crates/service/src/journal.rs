@@ -1,0 +1,724 @@
+//! Write-ahead journal of state-mutating service events.
+//!
+//! # Format
+//!
+//! A journal is a 16-byte header followed by frames:
+//!
+//! ```text
+//! header:  magic "MRJL" | version u32 | fingerprint u64
+//! frame:   len u32 | crc32(payload) u32 | payload (len bytes)
+//! payload: tag u8 | tag-specific fields
+//! ```
+//!
+//! All integers are little-endian; times are IEEE-754 bit patterns (see
+//! [`crate::codec`]). The fingerprint hashes the instance, the
+//! [`crate::ServiceConfig`], and the [`DurabilityConfig`] so a journal is
+//! never replayed against a different world.
+//!
+//! # Replay model
+//!
+//! The journal is the *source of truth*: [`crate::Service::restore`]
+//! replays the input records (admissions, rejections, event marks) from
+//! genesis through a fresh service and policy, which deterministically
+//! regenerates every derived record (placements, completions, faults,
+//! re-releases). During replay the derived records are *verified* against
+//! the journal ([`ReplayVerifier`]) instead of being re-appended — a
+//! mismatch is a typed [`RestoreError::Divergence`], so a journal from a
+//! different build or a corrupted-but-checksum-valid file can never
+//! silently produce a different schedule. Snapshots are consistency
+//! checkpoints layered on top (see [`crate::snapshot`]).
+
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+use mris_sim::FaultPlan;
+use mris_types::{CodecError, DurabilityError, FaultTarget, Instance, RestartSemantics, Time};
+
+use crate::codec::{crc32, fnv64, Decoder, Encoder};
+use crate::core::ServiceConfig;
+use crate::snapshot::{Snapshot, SnapshotStore, SNAPSHOT_VERSION};
+
+/// Journal file magic bytes.
+pub const JOURNAL_MAGIC: [u8; 4] = *b"MRJL";
+/// Newest journal format version this build reads and writes.
+pub const JOURNAL_VERSION: u32 = 1;
+/// Upper bound on a single frame's payload; real payloads are < 32 bytes,
+/// so anything larger is corruption, caught before allocating.
+const MAX_FRAME: u32 = 1 << 16;
+/// Bytes a frame adds around its payload: `len: u32` + `crc32: u32`.
+const FRAME_OVERHEAD: usize = 8;
+/// Journal header length in bytes (magic + version + fingerprint).
+pub const HEADER_LEN: usize = 16;
+
+/// Why an admission was rejected, as recorded in the journal. Collapses
+/// [`mris_types::AdmissionError`] to its variant — the full diagnostic
+/// fields are deterministic given replay, so the journal stores only the
+/// decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// Queue-depth watermark hit.
+    QueueFull,
+    /// Resource-load watermark hit.
+    LoadShed,
+}
+
+/// One durable record. Input records (`Admit`, `Reject`, `Event`, `Close`)
+/// drive replay; the rest are derived and serve as the verification trail.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalRecord {
+    /// A submission was admitted at `at`.
+    Admit {
+        /// Admission time.
+        at: Time,
+        /// The admitted job id.
+        job: u32,
+    },
+    /// A submission was rejected at `at`.
+    Reject {
+        /// Rejection time.
+        at: Time,
+        /// The rejected job id.
+        job: u32,
+        /// Which watermark shed it.
+        reason: RejectReason,
+    },
+    /// The event loop processed a decision event at `at`.
+    Event {
+        /// Event time.
+        at: Time,
+    },
+    /// The policy placed `job` on `machine` starting at `start`.
+    Place {
+        /// Placed job id.
+        job: u32,
+        /// Target machine.
+        machine: u32,
+        /// Start time (the event's now).
+        start: Time,
+    },
+    /// `job` ran to completion on `machine`.
+    Complete {
+        /// Completed job id.
+        job: u32,
+        /// Machine it ran on.
+        machine: u32,
+    },
+    /// `machine` failed at `at` and will recover at `recover_at`.
+    Fail {
+        /// Failed machine.
+        machine: u32,
+        /// Failure instant.
+        at: Time,
+        /// Scheduled recovery instant.
+        recover_at: Time,
+    },
+    /// `machine` recovered at `at`.
+    Recover {
+        /// Recovered machine.
+        machine: u32,
+        /// Recovery instant.
+        at: Time,
+    },
+    /// `job` was killed by a failure and re-released.
+    ReRelease {
+        /// The re-released job id.
+        job: u32,
+    },
+    /// A snapshot of the full service state was persisted; `lsn` is the
+    /// number of records preceding this mark.
+    SnapshotMark {
+        /// Records written before the mark — the snapshot's identity.
+        lsn: u64,
+    },
+    /// The service drained cleanly at `at`.
+    Close {
+        /// Drain time.
+        at: Time,
+    },
+}
+
+impl JournalRecord {
+    /// Appends the tagged payload encoding (no frame) to `e`.
+    pub fn encode(&self, e: &mut Encoder) {
+        match *self {
+            JournalRecord::Admit { at, job } => {
+                e.u8(1);
+                e.f64(at);
+                e.u32(job);
+            }
+            JournalRecord::Reject { at, job, reason } => {
+                e.u8(2);
+                e.f64(at);
+                e.u32(job);
+                e.u8(match reason {
+                    RejectReason::QueueFull => 0,
+                    RejectReason::LoadShed => 1,
+                });
+            }
+            JournalRecord::Event { at } => {
+                e.u8(3);
+                e.f64(at);
+            }
+            JournalRecord::Place {
+                job,
+                machine,
+                start,
+            } => {
+                e.u8(4);
+                e.u32(job);
+                e.u32(machine);
+                e.f64(start);
+            }
+            JournalRecord::Complete { job, machine } => {
+                e.u8(5);
+                e.u32(job);
+                e.u32(machine);
+            }
+            JournalRecord::Fail {
+                machine,
+                at,
+                recover_at,
+            } => {
+                e.u8(6);
+                e.u32(machine);
+                e.f64(at);
+                e.f64(recover_at);
+            }
+            JournalRecord::Recover { machine, at } => {
+                e.u8(7);
+                e.u32(machine);
+                e.f64(at);
+            }
+            JournalRecord::ReRelease { job } => {
+                e.u8(8);
+                e.u32(job);
+            }
+            JournalRecord::SnapshotMark { lsn } => {
+                e.u8(9);
+                e.u64(lsn);
+            }
+            JournalRecord::Close { at } => {
+                e.u8(10);
+                e.f64(at);
+            }
+        }
+    }
+
+    /// Decodes one tagged payload. `base` is the payload's offset in the
+    /// file, for error reporting.
+    pub fn decode(payload: &[u8], base: usize) -> Result<JournalRecord, CodecError> {
+        let mut d = Decoder::new(payload);
+        let tag = d.u8()?;
+        let rec = match tag {
+            1 => JournalRecord::Admit {
+                at: d.f64()?,
+                job: d.u32()?,
+            },
+            2 => JournalRecord::Reject {
+                at: d.f64()?,
+                job: d.u32()?,
+                reason: match d.u8()? {
+                    0 => RejectReason::QueueFull,
+                    1 => RejectReason::LoadShed,
+                    other => {
+                        return Err(CodecError::Malformed {
+                            offset: base + d.offset() - 1,
+                            detail: format!("unknown reject reason {other}"),
+                        })
+                    }
+                },
+            },
+            3 => JournalRecord::Event { at: d.f64()? },
+            4 => JournalRecord::Place {
+                job: d.u32()?,
+                machine: d.u32()?,
+                start: d.f64()?,
+            },
+            5 => JournalRecord::Complete {
+                job: d.u32()?,
+                machine: d.u32()?,
+            },
+            6 => JournalRecord::Fail {
+                machine: d.u32()?,
+                at: d.f64()?,
+                recover_at: d.f64()?,
+            },
+            7 => JournalRecord::Recover {
+                machine: d.u32()?,
+                at: d.f64()?,
+            },
+            8 => JournalRecord::ReRelease { job: d.u32()? },
+            9 => JournalRecord::SnapshotMark { lsn: d.u64()? },
+            10 => JournalRecord::Close { at: d.f64()? },
+            other => {
+                return Err(CodecError::Malformed {
+                    offset: base,
+                    detail: format!("unknown record tag {other}"),
+                })
+            }
+        };
+        d.finish().map_err(|e| match e {
+            CodecError::Malformed { offset, detail } => CodecError::Malformed {
+                offset: base + offset,
+                detail,
+            },
+            other => other,
+        })?;
+        Ok(rec)
+    }
+}
+
+/// Durability knobs, part of the journal's configuration fingerprint (the
+/// flush and snapshot cadences shape which records group into frames and
+/// where snapshot marks land, so replay must run under the same values).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurabilityConfig {
+    /// Journal frames are flushed to the writer every `flush_every`
+    /// processed events (epoch boundaries). `1` flushes per event — the
+    /// strongest guarantee; larger values trade crash-window for
+    /// throughput. Admissions between events ride along with the next
+    /// event flush.
+    pub flush_every: u32,
+    /// A full state snapshot is persisted every `snapshot_every` processed
+    /// events; `0` disables snapshots (journal-only durability).
+    pub snapshot_every: u32,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        DurabilityConfig {
+            flush_every: 1,
+            snapshot_every: 0,
+        }
+    }
+}
+
+/// FNV-1a fingerprint binding a journal/snapshot to the exact world it was
+/// recorded under: the instance, the service config (including the fault
+/// plan), and the durability cadences.
+pub fn config_fingerprint(
+    instance: &Instance,
+    cfg: &ServiceConfig,
+    dcfg: &DurabilityConfig,
+) -> u64 {
+    let mut e = Encoder::new();
+    e.u64(instance.len() as u64);
+    e.u64(instance.num_resources() as u64);
+    for j in instance.jobs() {
+        e.f64(j.release);
+        e.f64(j.proc_time);
+        e.f64(j.weight);
+        for &d in j.demands.iter() {
+            e.u64(d);
+        }
+    }
+    e.u64(cfg.num_machines as u64);
+    e.f64(cfg.epoch);
+    e.u64(cfg.queue_watermark as u64);
+    e.f64(cfg.load_watermark);
+    match cfg.restart {
+        RestartSemantics::FullRestart => e.u8(0),
+        RestartSemantics::WeightAging { factor } => {
+            e.u8(1);
+            e.f64(factor);
+        }
+    }
+    encode_fault_plan(&mut e, &cfg.fault_plan);
+    e.u32(dcfg.flush_every);
+    e.u32(dcfg.snapshot_every);
+    fnv64(&e.into_bytes())
+}
+
+fn encode_fault_plan(e: &mut Encoder, plan: &FaultPlan) {
+    e.u64(plan.len() as u64);
+    for ev in plan.events() {
+        e.f64(ev.at);
+        e.f64(ev.downtime);
+        match ev.target {
+            FaultTarget::Machine(m) => {
+                e.u8(0);
+                e.u64(m as u64);
+            }
+            FaultTarget::Busiest => e.u8(1),
+        }
+    }
+}
+
+/// Buffered frame writer over any `Write` sink.
+///
+/// Frames accumulate in an in-process buffer and reach the sink only on
+/// [`JournalWriter::flush`] (called by the service at its flush cadence and
+/// at drain), so the on-disk journal always ends at a frame-group boundary
+/// of the configured cadence.
+pub struct JournalWriter {
+    out: Box<dyn Write + Send>,
+    buf: Encoder,
+    appends: u64,
+    bytes: u64,
+    fsyncs: u64,
+    // Obs counters are batched and published at flush so the per-record
+    // hot path stays allocation- and lookup-free.
+    pending_appends: u64,
+    pending_bytes: u64,
+}
+
+impl JournalWriter {
+    /// Starts a journal on `out`, buffering the header immediately.
+    pub fn new(out: Box<dyn Write + Send>, fingerprint: u64) -> Self {
+        let mut e = Encoder::new();
+        e.bytes(&JOURNAL_MAGIC);
+        e.u32(JOURNAL_VERSION);
+        e.u64(fingerprint);
+        JournalWriter {
+            out,
+            buf: e,
+            appends: 0,
+            bytes: HEADER_LEN as u64,
+            fsyncs: 0,
+            pending_appends: 0,
+            pending_bytes: 0,
+        }
+    }
+
+    /// Buffers one framed record. Allocation-free: the payload is encoded
+    /// in place after an 8-byte placeholder, then the frame header (length
+    /// and CRC-32) is backpatched over it.
+    pub fn append(&mut self, rec: &JournalRecord) {
+        let frame_start = self.buf.len();
+        self.buf.u32(0); // length placeholder
+        self.buf.u32(0); // crc placeholder
+        rec.encode(&mut self.buf);
+        let payload_len = self.buf.len() - frame_start - FRAME_OVERHEAD;
+        let crc = crc32(&self.buf.as_bytes()[frame_start + FRAME_OVERHEAD..]);
+        self.buf.patch_u32(frame_start, payload_len as u32);
+        self.buf.patch_u32(frame_start + 4, crc);
+        let frame_len = (FRAME_OVERHEAD + payload_len) as u64;
+        self.appends += 1;
+        self.bytes += frame_len;
+        self.pending_appends += 1;
+        self.pending_bytes += frame_len;
+    }
+
+    /// Writes every buffered frame to the sink and flushes it.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        if !self.buf.is_empty() {
+            self.out.write_all(self.buf.as_bytes())?;
+            self.buf.clear();
+        }
+        self.out.flush()?;
+        self.fsyncs += 1;
+        mris_obs::counter_add("mris_journal_appends_total", self.pending_appends);
+        mris_obs::counter_add("mris_journal_bytes_total", self.pending_bytes);
+        mris_obs::counter_add("mris_journal_fsyncs_total", 1);
+        self.pending_appends = 0;
+        self.pending_bytes = 0;
+        Ok(())
+    }
+
+    /// `(appends, bytes, flushes)` written so far, for telemetry.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.appends, self.bytes, self.fsyncs)
+    }
+}
+
+/// A decoded journal: header fields plus every record in order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedJournal {
+    /// Format version from the header.
+    pub version: u32,
+    /// Configuration fingerprint from the header.
+    pub fingerprint: u64,
+    /// All records, in append order.
+    pub records: Vec<JournalRecord>,
+}
+
+pub(crate) fn parse_header(d: &mut Decoder<'_>) -> Result<(u32, u64), CodecError> {
+    let magic = d.bytes(4)?;
+    if magic != JOURNAL_MAGIC {
+        return Err(CodecError::BadMagic {
+            found: magic.try_into().expect("4-byte slice"),
+        });
+    }
+    let version = d.u32()?;
+    if version == 0 || version > JOURNAL_VERSION {
+        return Err(CodecError::UnsupportedVersion {
+            found: version,
+            supported: JOURNAL_VERSION,
+        });
+    }
+    let fingerprint = d.u64()?;
+    Ok((version, fingerprint))
+}
+
+pub(crate) fn parse_frame(d: &mut Decoder<'_>) -> Result<(JournalRecord, usize), CodecError> {
+    let frame_start = d.offset();
+    let len = d.u32()?;
+    if len == 0 || len > MAX_FRAME {
+        return Err(CodecError::Malformed {
+            offset: frame_start,
+            detail: format!("frame length {len} outside (0, {MAX_FRAME}]"),
+        });
+    }
+    let stored = d.u32()?;
+    let payload_start = d.offset();
+    let payload = d.bytes(len as usize)?;
+    let computed = crc32(payload);
+    if stored != computed {
+        return Err(CodecError::ChecksumMismatch {
+            offset: frame_start,
+            stored,
+            computed,
+        });
+    }
+    let rec = JournalRecord::decode(payload, payload_start)?;
+    Ok((rec, d.offset()))
+}
+
+/// Strictly parses a complete journal: any malformed byte — including a
+/// torn tail — is a typed error.
+pub fn parse_journal(bytes: &[u8]) -> Result<ParsedJournal, CodecError> {
+    let mut d = Decoder::new(bytes);
+    let (version, fingerprint) = parse_header(&mut d)?;
+    let mut records = Vec::new();
+    while d.remaining() > 0 {
+        let (rec, _) = parse_frame(&mut d)?;
+        records.push(rec);
+    }
+    Ok(ParsedJournal {
+        version,
+        fingerprint,
+        records,
+    })
+}
+
+/// Leniently parses the longest valid prefix of a journal, for crash
+/// recovery: a torn final frame (the write the crash interrupted) is
+/// dropped rather than rejected. Returns the parsed prefix, the number of
+/// valid bytes, and the error that terminated the scan (if any). Header
+/// corruption is still fatal — without a header nothing can be replayed.
+#[allow(clippy::type_complexity)]
+pub fn read_valid_prefix(
+    bytes: &[u8],
+) -> Result<(ParsedJournal, usize, Option<CodecError>), CodecError> {
+    let mut d = Decoder::new(bytes);
+    let (version, fingerprint) = parse_header(&mut d)?;
+    let mut records = Vec::new();
+    let mut valid = d.offset();
+    let mut tail_error = None;
+    while d.remaining() > 0 {
+        match parse_frame(&mut d) {
+            Ok((rec, end)) => {
+                records.push(rec);
+                valid = end;
+            }
+            Err(e) => {
+                tail_error = Some(e);
+                break;
+            }
+        }
+    }
+    Ok((
+        ParsedJournal {
+            version,
+            fingerprint,
+            records,
+        },
+        valid,
+        tail_error,
+    ))
+}
+
+/// An in-memory `Write` sink shareable across the service and the test
+/// harness — the crash suite's stand-in for a journal file.
+#[derive(Debug, Clone, Default)]
+pub struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    /// An empty shared buffer.
+    pub fn new() -> Self {
+        SharedBuf::default()
+    }
+
+    /// A copy of everything written (and flushed or not — the buffer has
+    /// no separate flush stage) so far.
+    pub fn contents(&self) -> Vec<u8> {
+        self.0.lock().expect("shared buf lock").clone()
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0
+            .lock()
+            .expect("shared buf lock")
+            .extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Replay-time verifier: instead of appending, every record the restoring
+/// service produces is compared against the journal's record at the
+/// cursor. Records produced past the journal's end are the regenerated
+/// torn tail (counted, not an error). The first mismatch is latched.
+pub(crate) struct ReplayVerifier {
+    pub(crate) expected: Vec<JournalRecord>,
+    pub(crate) cursor: usize,
+    pub(crate) regenerated: u64,
+    /// The snapshot to cross-check when replay passes its mark, if any.
+    pub(crate) snapshot: Option<Snapshot>,
+    pub(crate) snapshot_verified: Option<u64>,
+    pub(crate) divergence: Option<mris_types::RestoreError>,
+}
+
+impl ReplayVerifier {
+    pub(crate) fn new(expected: Vec<JournalRecord>, snapshot: Option<Snapshot>) -> Self {
+        ReplayVerifier {
+            expected,
+            cursor: 0,
+            regenerated: 0,
+            snapshot,
+            snapshot_verified: None,
+            divergence: None,
+        }
+    }
+
+    fn check(&mut self, produced: JournalRecord) {
+        if self.divergence.is_some() {
+            return;
+        }
+        if self.cursor < self.expected.len() {
+            let expected = &self.expected[self.cursor];
+            if *expected != produced {
+                self.divergence = Some(mris_types::RestoreError::Divergence {
+                    lsn: self.cursor as u64,
+                    detail: format!("journal holds {expected:?}, replay produced {produced:?}"),
+                });
+                return;
+            }
+            self.cursor += 1;
+        } else {
+            self.regenerated += 1;
+        }
+    }
+}
+
+/// Where emitted records go: a live journal or the replay verifier.
+pub(crate) enum DurabilitySink {
+    Journal {
+        writer: JournalWriter,
+        snapshots: Box<dyn SnapshotStore + Send>,
+    },
+    Verify(ReplayVerifier),
+}
+
+/// The durability state carried by a [`crate::Service`] when a journal is
+/// attached (or during restore replay).
+pub(crate) struct Durability {
+    pub(crate) cfg: DurabilityConfig,
+    pub(crate) fingerprint: u64,
+    pub(crate) sink: DurabilitySink,
+    /// Records emitted so far (the next record's LSN).
+    pub(crate) records: u64,
+    events_since_flush: u32,
+    events_since_snapshot: u32,
+    pub(crate) error: Option<DurabilityError>,
+}
+
+impl Durability {
+    pub(crate) fn new(cfg: DurabilityConfig, fingerprint: u64, sink: DurabilitySink) -> Self {
+        Durability {
+            cfg,
+            fingerprint,
+            sink,
+            records: 0,
+            events_since_flush: 0,
+            events_since_snapshot: 0,
+            error: None,
+        }
+    }
+
+    /// Emits one record: appended in journal mode, compared in verify mode.
+    pub(crate) fn emit(&mut self, rec: JournalRecord) {
+        self.records += 1;
+        match &mut self.sink {
+            DurabilitySink::Journal { writer, .. } => writer.append(&rec),
+            DurabilitySink::Verify(v) => v.check(rec),
+        }
+    }
+
+    /// Whether the next event boundary is a snapshot point — asked by the
+    /// service *before* [`Durability::event_end`] so it can compute the
+    /// (expensive) state encoding only when needed.
+    pub(crate) fn snapshot_due(&self) -> bool {
+        self.cfg.snapshot_every > 0 && self.events_since_snapshot + 1 >= self.cfg.snapshot_every
+    }
+
+    /// Event-boundary bookkeeping: snapshot (if due; `state` carries the
+    /// service's canonical state bytes) and flush (at the flush cadence).
+    pub(crate) fn event_end(&mut self, now: Time, state: Option<Vec<u8>>) {
+        if let Some(state) = state {
+            debug_assert!(self.snapshot_due());
+            self.events_since_snapshot = 0;
+            let lsn = self.records;
+            self.emit(JournalRecord::SnapshotMark { lsn });
+            let snap = Snapshot {
+                version: SNAPSHOT_VERSION,
+                fingerprint: self.fingerprint,
+                lsn,
+                at: now,
+                state,
+            };
+            match &mut self.sink {
+                DurabilitySink::Journal { snapshots, .. } => {
+                    let started = std::time::Instant::now();
+                    if let Err(e) = snapshots.put(&snap) {
+                        self.error.get_or_insert(e);
+                    }
+                    mris_obs::histogram_record(
+                        "mris_snapshot_seconds",
+                        started.elapsed().as_secs_f64(),
+                    );
+                }
+                DurabilitySink::Verify(v) => {
+                    if v.divergence.is_none() {
+                        if let Some(stored) = &v.snapshot {
+                            if stored.lsn == lsn {
+                                if stored.state == snap.state {
+                                    v.snapshot_verified = Some(lsn);
+                                } else {
+                                    v.divergence =
+                                        Some(mris_types::RestoreError::SnapshotStateMismatch {
+                                            lsn,
+                                        });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        } else {
+            self.events_since_snapshot += 1;
+        }
+        self.events_since_flush += 1;
+        if self.events_since_flush >= self.cfg.flush_every.max(1) {
+            self.events_since_flush = 0;
+            self.flush();
+        }
+    }
+
+    /// Flushes the journal writer (no-op in verify mode); IO failures are
+    /// latched into [`Durability::error`] rather than crashing the loop.
+    pub(crate) fn flush(&mut self) {
+        if let DurabilitySink::Journal { writer, .. } = &mut self.sink {
+            if let Err(e) = writer.flush() {
+                self.error.get_or_insert(DurabilityError::JournalIo {
+                    detail: e.to_string(),
+                });
+            }
+        }
+    }
+}

@@ -26,23 +26,49 @@
 //! * **Open-loop load generation** ([`Workload`], [`generate_workload`],
 //!   [`run_workload`]) — Poisson and burst arrival processes over
 //!   Azure-derived job shapes, seeded by `mris-rng`.
+//! * **Durability** ([`Service::attach_journal`], [`Service::restore`]) —
+//!   a length-prefixed, checksummed write-ahead journal of every
+//!   state-mutating event plus periodic full-state snapshots, both over
+//!   the in-tree zero-dependency codec ([`Encoder`], [`Decoder`]).
+//!   Restore replays the journal from genesis through a fresh policy and
+//!   verifies every derived record and snapshot byte-for-byte, so a
+//!   crash-restarted service is bit-identical to the uncrashed run (the
+//!   crash-restart suite pins this); journal loss after a snapshot
+//!   degrades to machine-failure semantics via [`RestoreOptions::outage`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod clock;
+mod codec;
 mod core;
+mod crash;
+mod journal;
 mod loadgen;
+mod restore;
 mod server;
+mod snapshot;
 mod telemetry;
 
 pub use clock::{Clock, SimClock, WallClock};
+pub use codec::{crc32, fnv64, Decoder, Encoder};
 pub use core::{JobOutcome, Service, ServiceConfig, ServiceConfigBuilder, ServiceReport};
+pub use crash::{truncate_at_event, CrashPlan};
+pub use journal::{
+    config_fingerprint, parse_journal, read_valid_prefix, DurabilityConfig, JournalRecord,
+    JournalWriter, ParsedJournal, RejectReason, SharedBuf, HEADER_LEN, JOURNAL_MAGIC,
+    JOURNAL_VERSION,
+};
 pub use loadgen::{
     generate_workload, poisson_rate_for_utilization, run_workload, ArrivalProcess, LoadGenConfig,
     Workload,
 };
-pub use server::{spawn_service, ServiceHandle, SubmitError};
+pub use restore::{Outage, RestoreOptions, RestoreReport};
+pub use server::{spawn_service, ServiceError, ServiceHandle, SubmitError};
+pub use snapshot::{
+    DirSnapshots, MemorySnapshots, NullSnapshots, Snapshot, SnapshotStore, SNAPSHOT_MAGIC,
+    SNAPSHOT_VERSION,
+};
 pub use telemetry::{
     EpochRecord, JsonlSink, MemorySink, NullSink, ObsBridge, ServiceSummary, TelemetrySink,
 };

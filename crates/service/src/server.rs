@@ -12,11 +12,53 @@
 use std::sync::mpsc;
 
 use mris_sim::OnlinePolicy;
-use mris_types::{Instance, JobId, SchedulingError};
+use mris_types::{ConfigError, Instance, JobId, SchedulingError};
 
 use crate::clock::Clock;
 use crate::core::{Service, ServiceConfig, ServiceReport};
 use crate::telemetry::TelemetrySink;
+
+/// Why a threaded service run failed — every way the worker can go down,
+/// as a typed error instead of a panic in the caller's thread.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// The configuration was rejected at construction.
+    Config(ConfigError),
+    /// The policy violated a placement rule (or stranded accepted jobs).
+    Scheduling(SchedulingError),
+    /// The worker thread panicked; `payload` is the panic message when it
+    /// was a string, or a placeholder otherwise.
+    WorkerPanicked {
+        /// Downcast panic payload.
+        payload: String,
+    },
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Config(e) => write!(f, "service configuration rejected: {e}"),
+            ServiceError::Scheduling(e) => write!(f, "service scheduling failed: {e}"),
+            ServiceError::WorkerPanicked { payload } => {
+                write!(f, "service worker panicked: {payload}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<ConfigError> for ServiceError {
+    fn from(e: ConfigError) -> Self {
+        ServiceError::Config(e)
+    }
+}
+
+impl From<SchedulingError> for ServiceError {
+    fn from(e: SchedulingError) -> Self {
+        ServiceError::Scheduling(e)
+    }
+}
 
 /// Why a submission did not make it into the service's admission queue.
 /// Transport-level backpressure — distinct from a typed admission
@@ -43,7 +85,7 @@ impl std::error::Error for SubmitError {}
 /// Handle to a service running on a worker thread.
 pub struct ServiceHandle<S> {
     tx: Option<mpsc::SyncSender<JobId>>,
-    join: std::thread::JoinHandle<Result<(ServiceReport, S), SchedulingError>>,
+    join: std::thread::JoinHandle<Result<(ServiceReport, S), ServiceError>>,
 }
 
 impl<S> ServiceHandle<S> {
@@ -67,16 +109,25 @@ impl<S> ServiceHandle<S> {
     /// admitted job completes, the summary is emitted, and the report and
     /// sink come back.
     ///
-    /// # Panics
-    ///
-    /// If the worker thread panicked.
-    ///
     /// # Errors
     ///
-    /// Propagates any [`SchedulingError`] the policy raised on the worker.
-    pub fn drain(mut self) -> Result<(ServiceReport, S), SchedulingError> {
+    /// A typed [`ServiceError`]: the configuration rejection or
+    /// [`SchedulingError`] the worker hit, or — if the worker thread
+    /// panicked — [`ServiceError::WorkerPanicked`] carrying the panic
+    /// payload instead of re-panicking in the caller's thread.
+    pub fn drain(mut self) -> Result<(ServiceReport, S), ServiceError> {
         drop(self.tx.take());
-        self.join.join().expect("service worker panicked")
+        match self.join.join() {
+            Ok(result) => result,
+            Err(payload) => {
+                let payload = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "<non-string panic payload>".to_string());
+                Err(ServiceError::WorkerPanicked { payload })
+            }
+        }
     }
 }
 
@@ -101,9 +152,9 @@ where
     F: FnOnce(&Instance, usize) -> Box<dyn OnlinePolicy> + Send + 'static,
 {
     let (tx, rx) = mpsc::sync_channel::<JobId>(transport_capacity.max(1));
-    let join = std::thread::spawn(move || {
+    let join = std::thread::spawn(move || -> Result<(ServiceReport, S), ServiceError> {
         let policy = make_policy(&instance, cfg.num_machines);
-        let mut service = Service::new(instance, policy, cfg, clock, sink);
+        let mut service = Service::new(instance, policy, cfg, clock, sink)?;
         loop {
             match service.wait_hint() {
                 // Next event is due now (or the clock never waits): process
@@ -135,7 +186,7 @@ where
                 },
             }
         }
-        service.drain()
+        Ok(service.drain()?)
     });
     ServiceHandle { tx: Some(tx), join }
 }

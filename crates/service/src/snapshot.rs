@@ -1,0 +1,204 @@
+//! Snapshot container format and pluggable snapshot stores.
+//!
+//! A snapshot is a checksummed, version-tagged container around the
+//! service's canonical state bytes (committed timelines with compaction
+//! watermarks and shard layout, admission ledger, pending fault queue,
+//! cluster state, and the policy's durable state — see
+//! `Service::durable_state_bytes`):
+//!
+//! ```text
+//! magic "MRSN" | version u32 | fingerprint u64 | lsn u64 | at f64
+//!             | state_len u32 | crc32(state) u32 | state bytes
+//! ```
+//!
+//! Restore does **not** deserialize a snapshot into live structures — live
+//! state (notably the policy's) is rebuilt by replaying the journal from
+//! genesis, which is the only policy-agnostic way to reconstruct a
+//! `Box<dyn OnlinePolicy>` bit-for-bit. Instead, when replay reaches the
+//! snapshot's sequence number it re-derives the state bytes and compares
+//! them to the stored snapshot, turning every snapshot into an end-to-end
+//! consistency check; and a snapshot is the anchor for degraded
+//! journal-loss recovery (`RestoreOptions::outage`).
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use mris_types::{CodecError, DurabilityError, Time};
+
+use crate::codec::{crc32, Decoder, Encoder};
+
+/// Snapshot file magic bytes.
+pub const SNAPSHOT_MAGIC: [u8; 4] = *b"MRSN";
+/// Newest snapshot format version this build reads and writes.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// One decoded (or to-be-encoded) snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Format version.
+    pub version: u32,
+    /// Configuration fingerprint (same value as the paired journal's).
+    pub fingerprint: u64,
+    /// Journal records preceding this snapshot's mark.
+    pub lsn: u64,
+    /// Service time the snapshot was taken at.
+    pub at: Time,
+    /// The service's canonical state bytes.
+    pub state: Vec<u8>,
+}
+
+impl Snapshot {
+    /// Encodes the container; encode→decode→encode is byte-identical
+    /// (pinned by the codec round-trip suite).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.bytes(&SNAPSHOT_MAGIC);
+        e.u32(self.version);
+        e.u64(self.fingerprint);
+        e.u64(self.lsn);
+        e.f64(self.at);
+        e.u32(self.state.len() as u32);
+        e.u32(crc32(&self.state));
+        e.bytes(&self.state);
+        e.into_bytes()
+    }
+
+    /// Strictly decodes a container: bad magic, unsupported version, short
+    /// input, trailing bytes, and checksum mismatches are all typed errors.
+    pub fn decode(bytes: &[u8]) -> Result<Snapshot, CodecError> {
+        let mut d = Decoder::new(bytes);
+        let magic = d.bytes(4)?;
+        if magic != SNAPSHOT_MAGIC {
+            return Err(CodecError::BadMagic {
+                found: magic.try_into().expect("4-byte slice"),
+            });
+        }
+        let version = d.u32()?;
+        if version == 0 || version > SNAPSHOT_VERSION {
+            return Err(CodecError::UnsupportedVersion {
+                found: version,
+                supported: SNAPSHOT_VERSION,
+            });
+        }
+        let fingerprint = d.u64()?;
+        let lsn = d.u64()?;
+        let at = d.f64()?;
+        let state_len = d.u32()? as usize;
+        let stored = d.u32()?;
+        let state_offset = d.offset();
+        let state = d.bytes(state_len)?.to_vec();
+        d.finish()?;
+        let computed = crc32(&state);
+        if stored != computed {
+            return Err(CodecError::ChecksumMismatch {
+                offset: state_offset,
+                stored,
+                computed,
+            });
+        }
+        Ok(Snapshot {
+            version,
+            fingerprint,
+            lsn,
+            at,
+            state,
+        })
+    }
+}
+
+/// Where encoded snapshots go.
+pub trait SnapshotStore {
+    /// Persists one snapshot. Errors are latched by the durability layer
+    /// (they never abort the event loop).
+    fn put(&mut self, snap: &Snapshot) -> Result<(), DurabilityError>;
+}
+
+/// Discards snapshots (journal-only durability).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSnapshots;
+
+impl SnapshotStore for NullSnapshots {
+    fn put(&mut self, _snap: &Snapshot) -> Result<(), DurabilityError> {
+        Ok(())
+    }
+}
+
+/// Keeps every encoded snapshot in memory behind a shareable handle — the
+/// crash suite's store.
+#[derive(Debug, Clone, Default)]
+pub struct MemorySnapshots(Arc<Mutex<Vec<Vec<u8>>>>);
+
+impl MemorySnapshots {
+    /// An empty store.
+    pub fn new() -> Self {
+        MemorySnapshots::default()
+    }
+
+    /// Copies of every snapshot persisted so far, in order.
+    pub fn all(&self) -> Vec<Vec<u8>> {
+        self.0.lock().expect("snapshot store lock").clone()
+    }
+}
+
+impl SnapshotStore for MemorySnapshots {
+    fn put(&mut self, snap: &Snapshot) -> Result<(), DurabilityError> {
+        self.0
+            .lock()
+            .expect("snapshot store lock")
+            .push(snap.encode());
+        Ok(())
+    }
+}
+
+/// Writes each snapshot to `dir/snapshot-<lsn>.bin` (zero-padded so
+/// lexicographic order is LSN order). The write goes through a `.tmp`
+/// sibling and a rename, so a crash mid-snapshot never leaves a torn file
+/// under the canonical name.
+#[derive(Debug, Clone)]
+pub struct DirSnapshots {
+    dir: PathBuf,
+}
+
+impl DirSnapshots {
+    /// A store rooted at `dir`, created if missing.
+    pub fn new(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(DirSnapshots { dir })
+    }
+
+    /// Loads the newest (highest-LSN) snapshot file under `dir`, if any.
+    pub fn latest(dir: &Path) -> std::io::Result<Option<Vec<u8>>> {
+        let mut names: Vec<PathBuf> = std::fs::read_dir(dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("snapshot-") && n.ends_with(".bin"))
+            })
+            .collect();
+        names.sort();
+        match names.last() {
+            Some(path) => Ok(Some(std::fs::read(path)?)),
+            None => Ok(None),
+        }
+    }
+}
+
+impl SnapshotStore for DirSnapshots {
+    fn put(&mut self, snap: &Snapshot) -> Result<(), DurabilityError> {
+        let write = || -> std::io::Result<()> {
+            let name = self.dir.join(format!("snapshot-{:012}.bin", snap.lsn));
+            let tmp = self.dir.join(format!("snapshot-{:012}.bin.tmp", snap.lsn));
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(&snap.encode())?;
+            f.flush()?;
+            std::fs::rename(&tmp, &name)
+        };
+        write().map_err(|e| DurabilityError::SnapshotIo {
+            detail: e.to_string(),
+        })
+    }
+}

@@ -114,7 +114,8 @@ fn no_silent_drops_and_watermark_consistent_rejections() {
                 cfg,
                 SimClock::new(),
                 MemorySink::default(),
-            );
+            )
+            .expect("valid service config");
             let mut order: Vec<JobId> = instance.jobs().iter().map(|j| j.id).collect();
             order.sort_by(|&a, &b| {
                 instance
@@ -244,7 +245,8 @@ fn watermarks_actually_bind() {
         cfg,
         SimClock::new(),
         MemorySink::default(),
-    );
+    )
+    .expect("valid service config");
     let mut accepted = 0;
     for j in instance.jobs() {
         if service.submit_at(j.release, j.id).unwrap().is_ok() {
@@ -264,7 +266,8 @@ fn watermarks_actually_bind() {
         ServiceConfig::new(2),
         SimClock::new(),
         MemorySink::default(),
-    );
+    )
+    .expect("valid service config");
     for j in instance.jobs() {
         service.submit_at(j.release, j.id).unwrap().unwrap();
     }
@@ -292,7 +295,8 @@ fn load_watermark_sheds_by_resource() {
         cfg,
         SimClock::new(),
         MemorySink::default(),
-    );
+    )
+    .expect("valid service config");
     assert!(service.submit_at(0.0, JobId(0)).unwrap().is_ok());
     let err = service.submit_at(0.0, JobId(1)).unwrap().unwrap_err();
     match err {
@@ -346,7 +350,8 @@ fn same_tick_completion_beats_failure() {
         cfg,
         SimClock::new(),
         MemorySink::default(),
-    );
+    )
+    .expect("valid service config");
     for j in instance.jobs() {
         let admission = service
             .submit_at(j.release, j.id)

@@ -75,7 +75,8 @@ fn run_service(name: &str, instance: &Instance, machines: usize) -> Result<Servi
         ServiceConfig::new(machines),
         SimClock::new(),
         MemorySink::default(),
-    );
+    )
+    .expect("valid service config");
     let mut order: Vec<JobId> = instance.jobs().iter().map(|j| j.id).collect();
     order.sort_by(|&a, &b| {
         instance

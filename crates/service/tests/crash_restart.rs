@@ -1,0 +1,400 @@
+//! Crash-restart equivalence: a service rebuilt from its write-ahead
+//! journal (and optionally a snapshot), then driven to completion, is
+//! bit-identical to the run that never crashed.
+//!
+//! The suite runs seeded cases across three online policies (including
+//! MRIS with its `gamma_k` wakeups and durable memo state) and varied
+//! configurations — epoch batching on/off, restart semantics, live fault
+//! plans. Each case:
+//!
+//! 1. runs a *golden* service with journaling on (in-memory journal +
+//!    snapshot store) and records its schedule, AWCT bits, fault log, and
+//!    outcome ledger;
+//! 2. simulates crashes by truncating the journal at seeded event
+//!    boundaries ([`CrashPlan`]) and at arbitrary mid-frame byte offsets
+//!    (torn tails);
+//! 3. restores from the truncated journal, resubmits every job the crash
+//!    cut off at its release time, drains, and asserts equality with the
+//!    golden run — schedule, AWCT bits, [`mris_sim::FaultLog`], and
+//!    per-job outcomes.
+//!
+//! A final test pins the degraded path: restoring with
+//! [`RestoreOptions::outage`] after total journal-tail loss equals a
+//! fresh run whose fault plan contains the same whole-cluster outage —
+//! exactly the chaos driver's machine-failure semantics.
+
+use mris_core::registry::online_policy_by_name;
+use mris_rng::Rng;
+use mris_service::{
+    parse_journal, truncate_at_event, CrashPlan, DurabilityConfig, JobOutcome, MemorySink,
+    MemorySnapshots, Outage, RestoreOptions, RestoreReport, Service, ServiceConfig, ServiceReport,
+    SharedBuf, SimClock, Snapshot, HEADER_LEN,
+};
+use mris_sim::{suggested_horizon, FaultPlan, PoissonFaultConfig};
+use mris_types::{FaultEvent, FaultTarget, Instance, Job, JobId, RestartSemantics};
+
+const POLICIES: [&str; 3] = ["mris", "pq-wsjf", "tetris"];
+const SEEDS: u64 = 16;
+const DCFG: DurabilityConfig = DurabilityConfig {
+    flush_every: 1,
+    snapshot_every: 8,
+};
+
+/// One golden (uncrashed) run: its inputs, its artifacts, its results.
+struct Golden {
+    instance: Instance,
+    cfg: ServiceConfig,
+    report: ServiceReport,
+    journal: Vec<u8>,
+    snapshots: Vec<Vec<u8>>,
+}
+
+/// A seeded random instance in the conservativity suite's style, a bit
+/// larger so epochs, wakeups, and faults all get airtime.
+fn gen_instance(rng: &mut Rng) -> (usize, Instance) {
+    let r = rng.gen_range(1..=2usize);
+    let n = rng.gen_range(8..=24usize);
+    let jobs = (0..n)
+        .map(|_| {
+            Job::from_fractions(
+                JobId(0),
+                rng.gen_range(0.0..12.0),
+                rng.gen_range(0.5..6.0),
+                rng.gen_range(0.0..4.0),
+                &(0..r)
+                    .map(|_| rng.gen_range(0.05..=1.0))
+                    .collect::<Vec<_>>(),
+            )
+        })
+        .collect();
+    let machines = rng.gen_range(1..=3usize);
+    (
+        machines,
+        Instance::from_unnumbered(jobs, r).expect("generated jobs are valid"),
+    )
+}
+
+/// Seed-varied service config: epoch cadence, restart semantics, and an
+/// optional live fault plan.
+fn gen_cfg(seed: u64, machines: usize, instance: &Instance) -> ServiceConfig {
+    let mut cfg = ServiceConfig::builder(machines)
+        .epoch(match seed % 3 {
+            0 => 0.0,
+            1 => 0.5,
+            _ => 2.0,
+        })
+        .build()
+        .expect("valid config");
+    cfg.restart = if seed.is_multiple_of(2) {
+        RestartSemantics::FullRestart
+    } else {
+        RestartSemantics::WeightAging { factor: 2.0 }
+    };
+    if seed % 2 == 1 {
+        let horizon = suggested_horizon(instance, machines);
+        cfg.fault_plan = FaultPlan::poisson(&PoissonFaultConfig {
+            seed: seed ^ 0xFA17,
+            num_machines: machines,
+            horizon,
+            mtbf: horizon / 1.5,
+            mttr: 0.08 * horizon,
+        });
+    }
+    cfg
+}
+
+/// Jobs of `instance` in the canonical submission order.
+fn submission_order(instance: &Instance) -> Vec<JobId> {
+    let mut order: Vec<JobId> = instance.jobs().iter().map(|j| j.id).collect();
+    order.sort_by(|&a, &b| {
+        instance
+            .job(a)
+            .release
+            .total_cmp(&instance.job(b).release)
+            .then(a.cmp(&b))
+    });
+    order
+}
+
+fn golden_run(name: &str, seed: u64) -> Golden {
+    let mut rng = Rng::new(seed).substream("crash-restart");
+    let (machines, instance) = gen_instance(&mut rng);
+    let cfg = gen_cfg(seed, machines, &instance);
+    let policy = online_policy_by_name(name, &instance, machines).expect("known policy");
+    let mut svc = Service::new(
+        instance.clone(),
+        policy,
+        cfg.clone(),
+        SimClock::new(),
+        MemorySink::default(),
+    )
+    .expect("valid service config");
+    let buf = SharedBuf::new();
+    let snaps = MemorySnapshots::new();
+    svc.attach_journal(DCFG, Box::new(buf.clone()), Box::new(snaps.clone()))
+        .expect("journal attaches to a fresh service");
+    for job in submission_order(&instance) {
+        let _ = svc
+            .submit_at(instance.job(job).release, job)
+            .expect("golden run never hits a policy error");
+    }
+    let (report, _sink) = svc.drain().expect("golden drain");
+    Golden {
+        instance,
+        cfg,
+        report,
+        journal: buf.contents(),
+        snapshots: snaps.all(),
+    }
+}
+
+/// Restores from `journal` (+ optional snapshot), resubmits everything the
+/// crash cut off at its release time, drains, and returns both reports.
+fn restore_and_finish(
+    g: &Golden,
+    name: &str,
+    journal: &[u8],
+    snapshot: Option<&[u8]>,
+    opts: RestoreOptions,
+) -> (ServiceReport, RestoreReport) {
+    let policy = online_policy_by_name(name, &g.instance, g.cfg.num_machines).expect("known");
+    let (mut svc, restore) = Service::restore(
+        g.instance.clone(),
+        policy,
+        g.cfg.clone(),
+        DCFG,
+        SimClock::new(),
+        MemorySink::default(),
+        journal,
+        snapshot,
+        opts,
+    )
+    .expect("restore succeeds");
+    for job in submission_order(&g.instance) {
+        if !matches!(svc.outcome(job), JobOutcome::NotSubmitted) {
+            continue;
+        }
+        let _ = svc
+            .submit_at(g.instance.job(job).release, job)
+            .expect("resubmission never hits a policy error");
+    }
+    let (report, _sink) = svc.drain().expect("post-restore drain");
+    (report, restore)
+}
+
+/// Equality of everything the golden run pinned.
+fn assert_equivalent(
+    name: &str,
+    seed: u64,
+    ctx: &str,
+    golden: &ServiceReport,
+    got: &ServiceReport,
+) {
+    assert_eq!(
+        got.schedule, golden.schedule,
+        "{name} seed {seed} {ctx}: schedule diverged"
+    );
+    assert_eq!(
+        got.summary.awct.to_bits(),
+        golden.summary.awct.to_bits(),
+        "{name} seed {seed} {ctx}: AWCT bits diverged"
+    );
+    assert_eq!(
+        got.log, golden.log,
+        "{name} seed {seed} {ctx}: fault log diverged"
+    );
+    assert_eq!(
+        got.outcomes, golden.outcomes,
+        "{name} seed {seed} {ctx}: outcome ledger diverged"
+    );
+}
+
+/// The tentpole property: for every policy and seed, every seeded crash
+/// point restores into a continuation bit-identical to the uncrashed run.
+#[test]
+fn crash_restart_is_bit_identical() {
+    for name in POLICIES {
+        for seed in 0..SEEDS {
+            let g = golden_run(name, seed);
+            let epochs = g.report.summary.epochs;
+            if epochs == 0 {
+                continue;
+            }
+            for kill in CrashPlan::seeded(seed ^ 0xC4A5, epochs, 2).kill_after_events {
+                let cut = truncate_at_event(&g.journal, kill)
+                    .expect("kill point within the journal's events");
+                let (report, restore) = restore_and_finish(
+                    &g,
+                    name,
+                    &g.journal[..cut],
+                    None,
+                    RestoreOptions::default(),
+                );
+                assert!(!restore.clean_shutdown, "a truncated journal is a crash");
+                assert_equivalent(name, seed, &format!("kill@{kill}"), &g.report, &report);
+            }
+        }
+    }
+}
+
+/// Restoring the *full* journal replays the clean shutdown: nothing to
+/// resubmit, nothing regenerated, and the same results.
+#[test]
+fn full_journal_restores_clean() {
+    for name in POLICIES {
+        for seed in [1, 4, 9] {
+            let g = golden_run(name, seed);
+            let (report, restore) =
+                restore_and_finish(&g, name, &g.journal, None, RestoreOptions::default());
+            assert!(restore.clean_shutdown, "{name} seed {seed}: not clean");
+            assert_eq!(restore.regenerated, 0, "{name} seed {seed}: regenerated");
+            assert_eq!(restore.torn_tail_bytes, 0, "{name} seed {seed}: torn");
+            assert_equivalent(name, seed, "full journal", &g.report, &report);
+        }
+    }
+}
+
+/// Snapshots are byte-verified during replay: every snapshot the golden
+/// run wrote matches the state replay re-derives at its sequence number.
+#[test]
+fn snapshots_verify_during_replay() {
+    for name in POLICIES {
+        for seed in [3, 5, 11] {
+            let g = golden_run(name, seed);
+            let records = parse_journal(&g.journal)
+                .expect("golden journal parses")
+                .records
+                .len() as u64;
+            let mut checked = 0;
+            for bytes in &g.snapshots {
+                let snap = Snapshot::decode(bytes).expect("golden snapshot decodes");
+                if snap.lsn > records {
+                    continue;
+                }
+                let (report, restore) = restore_and_finish(
+                    &g,
+                    name,
+                    &g.journal,
+                    Some(bytes),
+                    RestoreOptions::default(),
+                );
+                assert_eq!(
+                    restore.snapshot_verified,
+                    Some(snap.lsn),
+                    "{name} seed {seed}: snapshot at lsn {} not verified",
+                    snap.lsn
+                );
+                assert_equivalent(name, seed, "snapshot", &g.report, &report);
+                checked += 1;
+            }
+            assert!(
+                checked > 0,
+                "{name} seed {seed}: no snapshot exercised (journal too short?)"
+            );
+        }
+    }
+}
+
+/// Mid-frame cuts — the torn tail a real crash leaves — restore in
+/// lenient mode by dropping the torn frame and regenerating the lost
+/// records, still bit-identical to the uncrashed run.
+#[test]
+fn torn_tails_restore_leniently() {
+    for name in POLICIES {
+        for seed in [2, 7, 13] {
+            let g = golden_run(name, seed);
+            let mut rng = Rng::new(seed).substream("torn-tail");
+            for _ in 0..4 {
+                let span = (g.journal.len() - HEADER_LEN) as u64;
+                let cut = HEADER_LEN + rng.next_u64_below(span.max(1)) as usize;
+                let (report, restore) = restore_and_finish(
+                    &g,
+                    name,
+                    &g.journal[..cut],
+                    None,
+                    RestoreOptions::default(),
+                );
+                assert!(!restore.clean_shutdown || cut == g.journal.len());
+                assert_equivalent(name, seed, &format!("torn@{cut}"), &g.report, &report);
+            }
+        }
+    }
+}
+
+/// Degraded mode: when the journal tail after a crash is lost for good,
+/// `RestoreOptions::outage` recovers with machine-failure semantics — the
+/// continuation equals a fresh run whose fault plan holds the same
+/// whole-cluster outage. (PR 3's chaos semantics, word for word.)
+#[test]
+fn journal_loss_degrades_to_machine_failure_semantics() {
+    for name in POLICIES {
+        for seed in [0, 6, 10] {
+            let g = golden_run(name, seed);
+            let epochs = g.report.summary.epochs;
+            if epochs < 2 {
+                continue;
+            }
+            let kill = epochs / 2;
+            let cut = truncate_at_event(&g.journal, kill).expect("kill point in range");
+            let prefix = &g.journal[..cut];
+
+            // The outage strikes strictly after everything the surviving
+            // journal recorded.
+            let horizon = parse_journal(prefix)
+                .expect("event-boundary prefix parses strictly")
+                .records
+                .iter()
+                .filter_map(|r| match *r {
+                    mris_service::JournalRecord::Admit { at, .. }
+                    | mris_service::JournalRecord::Reject { at, .. }
+                    | mris_service::JournalRecord::Event { at } => Some(at),
+                    _ => None,
+                })
+                .fold(f64::NEG_INFINITY, f64::max);
+            let outage = Outage {
+                at: horizon + 0.25,
+                downtime: 1.5,
+            };
+            let (report, restore) = restore_and_finish(
+                &g,
+                name,
+                prefix,
+                None,
+                RestoreOptions {
+                    strict: false,
+                    outage: Some(outage),
+                },
+            );
+            assert!(!restore.clean_shutdown);
+
+            // Reference: a never-crashed service whose plan contains the
+            // same whole-cluster failure burst.
+            let mut cfg = g.cfg.clone();
+            let mut events = cfg.fault_plan.events().to_vec();
+            for m in 0..cfg.num_machines {
+                events.push(FaultEvent {
+                    at: outage.at,
+                    downtime: outage.downtime,
+                    target: FaultTarget::Machine(m),
+                });
+            }
+            cfg.fault_plan = FaultPlan::from_events(events);
+            let policy = online_policy_by_name(name, &g.instance, cfg.num_machines).expect("known");
+            let mut svc = Service::new(
+                g.instance.clone(),
+                policy,
+                cfg,
+                SimClock::new(),
+                MemorySink::default(),
+            )
+            .expect("valid service config");
+            for job in submission_order(&g.instance) {
+                let _ = svc
+                    .submit_at(g.instance.job(job).release, job)
+                    .expect("reference run never hits a policy error");
+            }
+            let (reference, _sink) = svc.drain().expect("reference drain");
+            assert_equivalent(name, seed, "degraded outage", &reference, &report);
+        }
+    }
+}

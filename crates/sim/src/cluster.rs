@@ -198,6 +198,34 @@ impl ClusterState {
         self.down[m] = false;
         debug_assert!(self.avail(m).iter().all(|&a| a == CAPACITY));
     }
+
+    /// Appends a canonical little-endian encoding of the cluster state to
+    /// `out`, for the service durability layer's snapshots. Running jobs
+    /// are emitted in sorted `(completion, machine, job)` order so two
+    /// clusters with the same observable state encode identically
+    /// regardless of heap layout history.
+    pub fn durable_bytes(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.num_machines as u64).to_le_bytes());
+        out.extend_from_slice(&(self.num_resources as u64).to_le_bytes());
+        for &a in &self.avail {
+            out.extend_from_slice(&a.to_le_bytes());
+        }
+        for &d in &self.down {
+            out.push(d as u8);
+        }
+        let mut running: Vec<(u64, u32, u32)> = self
+            .running
+            .iter()
+            .map(|&Reverse((t, m, job))| (t.0.to_bits(), m, job.0))
+            .collect();
+        running.sort_unstable();
+        out.extend_from_slice(&(running.len() as u64).to_le_bytes());
+        for (t, m, j) in running {
+            out.extend_from_slice(&t.to_le_bytes());
+            out.extend_from_slice(&m.to_le_bytes());
+            out.extend_from_slice(&j.to_le_bytes());
+        }
+    }
 }
 
 #[cfg(test)]

@@ -32,6 +32,7 @@ pub struct Dispatcher<'a> {
     schedule: &'a mut Schedule,
     instance: &'a Instance,
     now: Time,
+    recorder: Option<&'a mut Vec<(JobId, u32)>>,
 }
 
 impl<'a> Dispatcher<'a> {
@@ -50,7 +51,15 @@ impl<'a> Dispatcher<'a> {
             schedule,
             instance,
             now,
+            recorder: None,
         }
+    }
+
+    /// Appends every successful placement of this event as `(job, machine)`
+    /// to `out`, in placement order. The service's write-ahead journal uses
+    /// this to capture placements without a second bookkeeping path.
+    pub fn record_placements(&mut self, out: &'a mut Vec<(JobId, u32)>) {
+        self.recorder = Some(out);
     }
 
     /// The current simulated time.
@@ -114,6 +123,9 @@ impl<'a> Dispatcher<'a> {
             .assign(job, machine, self.now)
             .map_err(|_| SchedulingError::AlreadyPlaced { job })?;
         self.cluster.start(machine, j, self.now);
+        if let Some(rec) = self.recorder.as_deref_mut() {
+            rec.push((job, machine as u32));
+        }
         mris_obs::counter_add("mris_dispatcher_placements_total", 1);
         Ok(())
     }
@@ -173,6 +185,22 @@ pub trait OnlinePolicy {
     /// event are ignored by the driver.
     fn next_wakeup(&self) -> Option<Time> {
         None
+    }
+
+    /// Serializes the policy's replay-relevant state into `out` as a
+    /// canonical byte string, returning `true` if the policy supports it.
+    /// Used by the service durability layer to *verify* a restored policy
+    /// against a snapshot — restore itself replays the journal from
+    /// genesis, so policies without this hook (the default, returning
+    /// `false`) are still fully restorable; their snapshots just cannot be
+    /// cross-checked against policy internals.
+    ///
+    /// Canonical means: derived caches, scratch buffers, and probe-order
+    /// heuristics are excluded, and unordered containers are emitted in a
+    /// sorted order, so two policies with equal observable behavior encode
+    /// identically.
+    fn encode_durable_state(&self, _out: &mut Vec<u8>) -> bool {
+        false
     }
 }
 

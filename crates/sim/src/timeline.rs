@@ -177,6 +177,22 @@ impl MachineTimeline {
         self.watermark
     }
 
+    /// Appends a canonical little-endian encoding of the committed step
+    /// function (watermark, breakpoints as f64 bit patterns, usage) to
+    /// `out`. The block skip index and the fit-hint cache are derived
+    /// acceleration structures and are excluded, so two timelines with the
+    /// same committed load encode identically.
+    pub fn durable_bytes(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.watermark.to_bits().to_le_bytes());
+        out.extend_from_slice(&(self.times.len() as u64).to_le_bytes());
+        for &t in &self.times {
+            out.extend_from_slice(&t.to_bits().to_le_bytes());
+        }
+        for &u in &self.usage {
+            out.extend_from_slice(&u.to_le_bytes());
+        }
+    }
+
     /// Index of the segment containing `t` (requires `t >= 0`).
     fn segment_index(&self, t: Time) -> usize {
         debug_assert!(t >= 0.0);
@@ -1113,6 +1129,19 @@ impl ClusterTimelines {
         self.machines()
             .map(|tl| *tl.times.last().unwrap())
             .fold(0.0, f64::max)
+    }
+
+    /// Appends a canonical encoding of every machine's committed timeline
+    /// (including shard layout, since the differential suite treats shard
+    /// size as part of the configured identity) to `out`. Scan-seed, pool,
+    /// and parallel-threshold are runtime heuristics and are excluded.
+    pub fn durable_bytes(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.num_machines as u64).to_le_bytes());
+        out.extend_from_slice(&(self.num_resources as u64).to_le_bytes());
+        out.extend_from_slice(&(self.shard_size as u64).to_le_bytes());
+        for tl in self.machines() {
+            tl.durable_bytes(out);
+        }
     }
 }
 

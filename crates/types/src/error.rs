@@ -409,6 +409,243 @@ impl From<ConfigError> for String {
     }
 }
 
+/// A durability artifact (journal or snapshot) failed to decode.
+///
+/// Every variant names the byte offset at which decoding stopped, so a
+/// corrupted file is diagnosable without a hex dump. Corruption is always a
+/// typed rejection — never a panic, never silent partial state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The file does not start with the expected magic bytes.
+    BadMagic {
+        /// The four bytes found where the magic was expected.
+        found: [u8; 4],
+    },
+    /// The file's format version is newer than this build understands.
+    UnsupportedVersion {
+        /// The version tag found in the header.
+        found: u32,
+        /// The newest version this build can decode.
+        supported: u32,
+    },
+    /// The input ended before a complete header, frame, or field.
+    Truncated {
+        /// Byte offset at which more input was needed.
+        offset: usize,
+        /// Bytes the decoder needed at that offset.
+        needed: usize,
+        /// Bytes actually remaining.
+        remaining: usize,
+    },
+    /// A frame's CRC-32 checksum does not match its payload.
+    ChecksumMismatch {
+        /// Byte offset of the corrupted frame.
+        offset: usize,
+        /// Checksum stored in the frame.
+        stored: u32,
+        /// Checksum computed over the payload.
+        computed: u32,
+    },
+    /// A length or tag field holds a structurally impossible value.
+    Malformed {
+        /// Byte offset of the offending field.
+        offset: usize,
+        /// What the decoder found there.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::BadMagic { found } => {
+                write!(f, "bad magic bytes {found:02x?}")
+            }
+            CodecError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "format version {found} is newer than supported version {supported}"
+            ),
+            CodecError::Truncated {
+                offset,
+                needed,
+                remaining,
+            } => write!(
+                f,
+                "truncated at byte {offset}: needed {needed} bytes, {remaining} remain"
+            ),
+            CodecError::ChecksumMismatch {
+                offset,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "checksum mismatch at byte {offset}: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            CodecError::Malformed { offset, detail } => {
+                write!(f, "malformed field at byte {offset}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// The durability subsystem of a running service failed.
+///
+/// Journal-append IO failures are held here (queryable on the service)
+/// rather than aborting the event loop: the scheduler keeps its
+/// non-preemptive commitments even when the disk under the journal
+/// misbehaves, and the operator decides whether to keep flying blind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DurabilityError {
+    /// A journal can only be attached to a pristine service — events that
+    /// predate the journal could never be replayed.
+    AttachAfterStart {
+        /// Events the service had already processed.
+        events: usize,
+        /// Submissions it had already admitted.
+        submitted: usize,
+    },
+    /// Writing or flushing the journal failed.
+    JournalIo {
+        /// The `std::io::Error` rendered to a string (io errors are not
+        /// `Clone`/`PartialEq`).
+        detail: String,
+    },
+    /// Persisting a snapshot failed.
+    SnapshotIo {
+        /// The underlying error rendered to a string.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for DurabilityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DurabilityError::AttachAfterStart { events, submitted } => write!(
+                f,
+                "journal attached after start: {events} events processed, {submitted} submitted"
+            ),
+            DurabilityError::JournalIo { detail } => write!(f, "journal io failed: {detail}"),
+            DurabilityError::SnapshotIo { detail } => write!(f, "snapshot io failed: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for DurabilityError {}
+
+/// `Service::restore` (in `mris-service`) could not rebuild a crashed
+/// service from its journal and snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RestoreError {
+    /// The journal failed to decode before any record could be replayed
+    /// (header-level corruption; tail corruption degrades gracefully).
+    Journal(CodecError),
+    /// The snapshot container failed to decode.
+    Snapshot(CodecError),
+    /// The journal or snapshot was written under a different instance,
+    /// service config, or durability config than the one being restored.
+    FingerprintMismatch {
+        /// Fingerprint stored in the artifact.
+        stored: u64,
+        /// Fingerprint of the restoring configuration.
+        expected: u64,
+    },
+    /// Replay produced a different record than the journal holds — the
+    /// journal does not describe a run of this service build.
+    Divergence {
+        /// Sequence number of the first mismatching record.
+        lsn: u64,
+        /// Human-readable expected-vs-produced description.
+        detail: String,
+    },
+    /// Replay reached the snapshot's sequence number but the re-derived
+    /// state differs byte-for-byte from the stored snapshot.
+    SnapshotStateMismatch {
+        /// The snapshot's sequence number.
+        lsn: u64,
+    },
+    /// The surviving journal ends before the snapshot's sequence number:
+    /// the records needed to reach the snapshot's horizon are gone.
+    JournalBehindSnapshot {
+        /// The snapshot's sequence number.
+        lsn: u64,
+        /// Records the journal actually holds.
+        records: u64,
+    },
+    /// The snapshot's sequence number was never visited during replay even
+    /// though the journal is long enough — the snapshot belongs to a
+    /// different run or cadence.
+    SnapshotUnmatched {
+        /// The snapshot's sequence number.
+        lsn: u64,
+        /// Records replayed.
+        replayed: u64,
+    },
+    /// A degraded-mode outage was requested at or before the replayed
+    /// horizon; the synthetic failures would rewrite already-replayed
+    /// history.
+    OutageTooEarly {
+        /// The requested outage instant.
+        at: f64,
+        /// The time replay resumed the service at.
+        resumed_at: f64,
+    },
+    /// The policy violated a placement rule during replay (the journal
+    /// encodes an impossible run for this policy).
+    Scheduling(SchedulingError),
+    /// The restoring service configuration is itself invalid.
+    Config(ConfigError),
+}
+
+impl std::fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RestoreError::Journal(e) => write!(f, "journal unreadable: {e}"),
+            RestoreError::Config(e) => write!(f, "restore configuration invalid: {e}"),
+            RestoreError::Snapshot(e) => write!(f, "snapshot unreadable: {e}"),
+            RestoreError::FingerprintMismatch { stored, expected } => write!(
+                f,
+                "configuration fingerprint mismatch: artifact {stored:#018x}, restoring {expected:#018x}"
+            ),
+            RestoreError::Divergence { lsn, detail } => {
+                write!(f, "replay diverged from journal at record {lsn}: {detail}")
+            }
+            RestoreError::SnapshotStateMismatch { lsn } => write!(
+                f,
+                "re-derived state at record {lsn} differs from the stored snapshot"
+            ),
+            RestoreError::JournalBehindSnapshot { lsn, records } => write!(
+                f,
+                "journal holds {records} records but the snapshot was taken at record {lsn}"
+            ),
+            RestoreError::SnapshotUnmatched { lsn, replayed } => write!(
+                f,
+                "snapshot record {lsn} was never visited in {replayed} replayed records"
+            ),
+            RestoreError::OutageTooEarly { at, resumed_at } => write!(
+                f,
+                "degraded outage at {at} precedes the replayed horizon {resumed_at}"
+            ),
+            RestoreError::Scheduling(e) => write!(f, "replay hit a scheduling error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
+impl From<SchedulingError> for RestoreError {
+    fn from(e: SchedulingError) -> Self {
+        RestoreError::Scheduling(e)
+    }
+}
+
+impl From<ConfigError> for RestoreError {
+    fn from(e: ConfigError) -> Self {
+        RestoreError::Config(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -32,7 +32,8 @@ mod resource;
 mod schedule;
 
 pub use error::{
-    closest_match, AdmissionError, ConfigError, InstanceError, RegistryError, SchedulingError,
+    closest_match, AdmissionError, CodecError, ConfigError, DurabilityError, InstanceError,
+    RegistryError, RestoreError, SchedulingError,
 };
 pub use fault::{FaultEvent, FaultTarget, RestartSemantics};
 pub use instance::{Instance, InstanceStats};

@@ -24,7 +24,9 @@ $B/timeline --out results/BENCH_timeline.json > /dev/null 2> results/timeline.lo
 # machines; --gate enforces sharded >= sequential at 1000 machines.
 $B/scale --gate --out results/BENCH_scale.json > /dev/null 2> results/scale.log
 $B/chaos    --out results/BENCH_chaos.json    > /dev/null 2> results/chaos.log
-# service bench includes the MRIS stage_breakdown section (obs-enabled pass).
+# service bench includes the MRIS stage_breakdown section (obs-enabled pass)
+# and the durability section (journal-on vs journal-off throughput with a
+# <15% overhead budget, plus restore latency vs journal-tail length).
 $B/service  --out results/BENCH_service.json  > /dev/null 2> results/service.log
 $B/obs      --out results/BENCH_obs.json      > /dev/null 2> results/obs.log
 echo ALL_DONE

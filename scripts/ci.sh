@@ -74,10 +74,38 @@ for key in '"bench": "service"' '"mode": "smoke"' '"poisson_rate"' \
   '"throughput_jobs_per_sec"' '"decision_latency_us"' '"p50"' '"p95"' \
   '"p99"' '"submitted"' '"completed"' '"epochs"' '"max_queue_depth"' \
   '"stage_breakdown"' '"stages"' '"grid"' '"filter"' '"solve"' '"probe"' \
-  '"commit"' '"memo_hits"' '"memo_misses"'; do
+  '"commit"' '"memo_hits"' '"memo_misses"' '"durability"' \
+  '"journal_off_jobs_per_sec"' '"journal_on_jobs_per_sec"' \
+  '"overhead_pct"' '"within_budget"' '"journal_bytes"' '"restore"' \
+  '"regenerated"' '"clean_shutdown"' '"restore_seconds"'; do
   grep -qF "$key" results/BENCH_service_smoke.json \
     || { echo "BENCH_service_smoke.json is missing $key" >&2; exit 1; }
 done
+
+echo "==> durability suites in release (crash-restart equivalence + codec fuzz)"
+cargo test -q --release --offline -p mris-service \
+  --test crash_restart --test durability_codec
+
+echo "==> CLI crash-restart smoke (serve --journal, torn tail, restore)"
+DUR_TMP=$(mktemp -d)
+trap 'rm -rf "$DUR_TMP"' EXIT
+cargo run --release --offline -p mris-cli --bin mris -- generate \
+  --jobs 80 --out "$DUR_TMP/trace.csv" >/dev/null
+cargo run --release --offline -p mris-cli --bin mris -- serve \
+  --trace "$DUR_TMP/trace.csv" --algo pq-wsjf --machines 3 \
+  --journal "$DUR_TMP/wal.mrjl" --snapshot-dir "$DUR_TMP/snaps" \
+  --snapshot-every 16 > "$DUR_TMP/serve.txt"
+# Crash simulation: keep only the first two thirds of the journal.
+WAL_BYTES=$(wc -c < "$DUR_TMP/wal.mrjl")
+head -c $((WAL_BYTES * 2 / 3)) "$DUR_TMP/wal.mrjl" > "$DUR_TMP/torn.mrjl"
+cargo run --release --offline -p mris-cli --bin mris -- restore \
+  --trace "$DUR_TMP/trace.csv" --algo pq-wsjf --machines 3 \
+  --journal "$DUR_TMP/torn.mrjl" --snapshot-every 16 > "$DUR_TMP/restore.txt"
+grep -q 'shutdown    = crash' "$DUR_TMP/restore.txt" \
+  || { echo "restore did not classify the torn journal as a crash" >&2; exit 1; }
+SERVE_AWCT=$(grep '^AWCT' "$DUR_TMP/serve.txt")
+grep -qF "$SERVE_AWCT" "$DUR_TMP/restore.txt" \
+  || { echo "crash-restart AWCT diverged from the uncrashed serve" >&2; exit 1; }
 
 echo "==> obs bench smoke run + schema check"
 cargo run --release --offline -p mris-bench --bin obs -- \
@@ -98,7 +126,9 @@ for family in mris_dispatcher_placements_total mris_knapsack_solves_total \
   mris_service_decision_latency_seconds mris_schedule_seconds \
   mris_epoch_grid_seconds mris_epoch_filter_seconds mris_epoch_solve_seconds \
   mris_epoch_probe_seconds mris_epoch_commit_seconds \
-  mris_epoch_memo_misses_total; do
+  mris_epoch_memo_misses_total mris_journal_appends_total \
+  mris_journal_bytes_total mris_journal_fsyncs_total mris_snapshot_seconds \
+  mris_restore_seconds; do
   grep -q "^# TYPE $family " results/BENCH_obs_smoke.prom \
     || { echo "BENCH_obs_smoke.prom is missing the $family family" >&2; exit 1; }
 done
