@@ -10,6 +10,13 @@
 //! The Poisson/permissive run is additionally pinned: every submitted job
 //! completes (nothing is shed or stranded by the service machinery itself).
 //!
+//! The `net` section drives the same Poisson workload through the
+//! `mris-net` loopback TCP front door with a single client: per-submit
+//! round-trip latency percentiles, end-to-end throughput against the
+//! in-process baseline (the schedules must match bit-for-bit), and a
+//! contended 2-tenant pass recording how close the deficit-round-robin
+//! gate lands to its configured 3:1 admitted-demand split.
+//!
 //! A final obs-enabled MRIS pass per arrival process produces the
 //! `stage_breakdown` section: wall-seconds and span counts for each stage
 //! of the epoch decision path (`grid`/`filter`/`solve`/`probe`/`commit`,
@@ -404,6 +411,186 @@ fn run_durability(
     )
 }
 
+/// TCP front-door pass: the same workload driven through `mris-net` over
+/// loopback by a single client, against the in-process baseline. Reports
+/// the per-submit round-trip latency distribution, the end-to-end
+/// throughput ratio, and — in a second, contended 2-tenant run — how
+/// close the deficit-round-robin gate lands to the configured 3:1 split.
+fn run_net(process: &'static str, workload: &Workload, machines: usize, smoke: bool) -> String {
+    let name = "pq-wsjf"; // cheap policy: the pass measures transport, not knapsack
+    let instance = &workload.instance;
+
+    // In-process baseline.
+    let policy = online_policy_by_name(name, instance, machines)
+        .expect("pq-wsjf resolves to an online policy");
+    let service = Service::new(
+        instance.clone(),
+        policy,
+        ServiceConfig::new(machines),
+        SimClock::new(),
+        NullSink,
+    )
+    .expect("valid service config");
+    let (inproc_report, _) = run_workload(service, workload)
+        .unwrap_or_else(|e| panic!("{name}/{process}: in-process run failed: {e}"));
+    let inproc_rate = inproc_report.summary.throughput_jobs_per_sec;
+
+    // Loopback TCP run: one client, submissions at release times in the
+    // same (release, id) order, per-submit round trip timed client-side.
+    let server = mris_net::serve_net(
+        instance.clone(),
+        ServiceConfig::new(machines),
+        SimClock::new(),
+        NullSink,
+        {
+            let policy_name = name;
+            move |inst: &mris_types::Instance, m: usize| {
+                online_policy_by_name(policy_name, inst, m).expect("validated above")
+            }
+        },
+        "127.0.0.1:0",
+    )
+    .unwrap_or_else(|e| panic!("{name}/{process}: net bench bind failed: {e}"));
+    let addr = server.addr().to_string();
+    let mut client = mris_net::NetClient::connect(&addr, "", 0).expect("loopback connect succeeds");
+    let mut order: Vec<mris_types::JobId> = instance.jobs().iter().map(|j| j.id).collect();
+    order.sort_by(|&a, &b| {
+        instance
+            .job(a)
+            .release
+            .total_cmp(&instance.job(b).release)
+            .then(a.cmp(&b))
+    });
+    let started = std::time::Instant::now();
+    let mut rtts_us = Vec::with_capacity(order.len());
+    for job in order {
+        let at = instance.job(job).release;
+        let t0 = std::time::Instant::now();
+        client
+            .submit_at(at, job)
+            .unwrap_or_else(|e| panic!("{name}/{process}: submit over tcp failed: {e}"))
+            .expect("permissive service admits everything");
+        rtts_us.push(t0.elapsed().as_secs_f64() * 1e6);
+    }
+    let tcp_report = client
+        .drain()
+        .unwrap_or_else(|e| panic!("{name}/{process}: drain over tcp failed: {e}"));
+    let elapsed = started.elapsed().as_secs_f64();
+    server.wait().expect("net bench server joins cleanly");
+    assert_eq!(
+        inproc_report.schedule, tcp_report.schedule,
+        "{name}/{process}: the wire changed the schedule"
+    );
+    let tcp_rate = tcp_report.summary.completed as f64 / elapsed.max(1e-9);
+    let latency = Percentiles::of(&rtts_us).expect("submissions were timed");
+
+    // Contended 2-tenant pass: alternating submissions lead releases so
+    // the queue stands above the fair watermark, and two clients (weights
+    // 3:1) hammer the same door concurrently-in-order.
+    let fair_jobs = if smoke { 120 } else { 400 };
+    let fair = {
+        use mris_service::TenantSpec;
+        let jobs: Vec<mris_types::Job> = (0..fair_jobs)
+            .map(|i| {
+                mris_types::Job::from_fractions(
+                    mris_types::JobId(0),
+                    0.05 * i as f64,
+                    1.0,
+                    1.0,
+                    &[0.5],
+                )
+            })
+            .collect();
+        let instance = mris_types::Instance::from_unnumbered(jobs, 1).expect("valid fair instance");
+        let cfg = ServiceConfig::builder(2)
+            .tenants(vec![
+                TenantSpec::new("alpha", "tok-a", 3.0),
+                TenantSpec::new("beta", "tok-b", 1.0),
+            ])
+            .fair_watermark(4)
+            .build()
+            .expect("valid tenant config");
+        let server = mris_net::serve_net(
+            instance.clone(),
+            cfg,
+            SimClock::new(),
+            NullSink,
+            |inst: &mris_types::Instance, m: usize| {
+                online_policy_by_name("pq-wsjf", inst, m).expect("known policy")
+            },
+            "127.0.0.1:0",
+        )
+        .expect("fair bench bind succeeds");
+        let addr = server.addr().to_string();
+        let mut alpha = mris_net::NetClient::connect(&addr, "tok-a", 0).expect("alpha connects");
+        let mut beta = mris_net::NetClient::connect(&addr, "tok-b", 0).expect("beta connects");
+        for job in instance.jobs() {
+            let at = (job.release - 2.0).max(0.0);
+            let who = if job.id.0 % 2 == 0 {
+                &mut alpha
+            } else {
+                &mut beta
+            };
+            let _ = who
+                .submit_at(at, job.id)
+                .expect("fair bench submission round trip");
+        }
+        let report = beta.drain().expect("fair bench drain");
+        server.wait().expect("fair bench server joins");
+        let a = &report.tenants[0];
+        let b = &report.tenants[1];
+        let total = (a.admitted_cost + b.admitted_cost) as f64;
+        let share = if total > 0.0 {
+            a.admitted_cost as f64 / total
+        } else {
+            0.0
+        };
+        (share, a.rejected + b.rejected)
+    };
+    let (measured_share, fair_rejected) = fair;
+    let abs_error = (measured_share - 0.75).abs();
+    let within_5pct = abs_error <= 0.05;
+    if !within_5pct {
+        eprintln!(
+            "    WARNING: 2-tenant split {measured_share:.3} strays from 0.75 \
+             by more than 5 points"
+        );
+    }
+    eprintln!(
+        "    {process:>7}: tcp {tcp_rate:>8.0} jobs/s vs in-process {inproc_rate:>8.0} \
+         ({:.1}%), submit rtt p50/p95/p99 = {:.1}/{:.1}/{:.1} us, \
+         3:1 split measured {measured_share:.3}",
+        tcp_rate / inproc_rate.max(1e-9) * 100.0,
+        latency.p50,
+        latency.p95,
+        latency.p99,
+    );
+
+    format!(
+        concat!(
+            "{{\"policy\": \"{}\", \"process\": \"{}\", ",
+            "\"inproc_jobs_per_sec\": {:.3}, \"tcp_jobs_per_sec\": {:.3}, ",
+            "\"tcp_vs_inproc_ratio\": {:.4}, ",
+            "\"submit_rtt_us\": {{\"p50\": {:.3}, \"p95\": {:.3}, \"p99\": {:.3}}}, ",
+            "\"fair_split\": {{\"weights\": [3.0, 1.0], \"target_share\": 0.75, ",
+            "\"measured_share\": {:.4}, \"abs_error\": {:.4}, \"rejected\": {}, ",
+            "\"within_5pct\": {}}}}}"
+        ),
+        name,
+        process,
+        inproc_rate,
+        tcp_rate,
+        tcp_rate / inproc_rate.max(1e-9),
+        latency.p50,
+        latency.p95,
+        latency.p99,
+        measured_share,
+        abs_error,
+        fair_rejected,
+        within_5pct,
+    )
+}
+
 fn main() {
     let args = Args::parse();
     let smoke = args.has("smoke");
@@ -502,6 +689,9 @@ fn main() {
     eprintln!("  durability overhead + restore latency (journaled mris pass) ...");
     let durability = run_durability("poisson", &workloads[0].1, machines, smoke);
 
+    eprintln!("  net front door (loopback tcp pass) ...");
+    let net = run_net("poisson", &workloads[0].1, machines, smoke);
+
     let schedulers: Vec<String> = reports
         .iter()
         .map(|r| format!("    {}", r.to_json()))
@@ -514,7 +704,7 @@ fn main() {
         concat!(
             "{{\n",
             "  \"bench\": \"service\",\n",
-            "  \"version\": 3,\n",
+            "  \"version\": 4,\n",
             "  \"mode\": \"{}\",\n",
             "  \"machines\": {},\n",
             "  \"jobs\": {},\n",
@@ -523,7 +713,8 @@ fn main() {
             "  \"poisson_rate\": {:.6},\n",
             "  \"schedulers\": [\n{}\n  ],\n",
             "  \"stage_breakdown\": [\n{}\n  ],\n",
-            "  \"durability\": {}\n",
+            "  \"durability\": {},\n",
+            "  \"net\": {}\n",
             "}}\n"
         ),
         if smoke { "smoke" } else { "full" },
@@ -534,7 +725,8 @@ fn main() {
         rate,
         schedulers.join(",\n"),
         breakdown_json.join(",\n"),
-        durability
+        durability,
+        net
     );
     std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
     eprintln!("  wrote {out}");

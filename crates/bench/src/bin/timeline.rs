@@ -17,7 +17,7 @@
 //!
 //! `cargo run --release -p mris-bench --bin timeline [--machines 64]
 //!  [--jobs 10000] [--window-days 0.25] [--seed 7] [--smoke]
-//!  [--out BENCH_timeline.json]`
+//!  [--out results/BENCH_timeline.json]`
 //!
 //! `--smoke` shrinks every workload to a few hundred operations so CI can
 //! validate the pipeline and the JSON schema in seconds; full runs are for
@@ -406,7 +406,7 @@ fn main() {
     let jobs = args.get("jobs", if smoke { 400 } else { 10_000 });
     let window_days = args.get("window-days", if smoke { 0.02 } else { 0.25 });
     let seed = args.get("seed", 7u64);
-    let out: String = args.get("out", "BENCH_timeline.json".to_string());
+    let out: String = args.get("out", "results/BENCH_timeline.json".to_string());
     let churn_ops = if smoke { 4_000 } else { 50_000 };
     let scan_machines = if smoke { 32 } else { 256 };
     let scan_queries = if smoke { 200 } else { 4_000 };

@@ -8,10 +8,12 @@ use mris_types::Instance;
 
 use crate::schedule_io::{parse_schedule_csv, schedule_to_csv};
 use mris_core::registry::{algorithm_by_name, known_algorithms, online_policy_by_name};
+use mris_net::NetClient;
 use mris_service::{
-    generate_workload, poisson_rate_for_utilization, ArrivalProcess, DirSnapshots,
-    DurabilityConfig, JobOutcome, JsonlSink, LoadGenConfig, NullSink, NullSnapshots, ObsBridge,
-    Outage, RestoreOptions, Service, ServiceConfig, ServiceReport, SimClock, SnapshotStore,
+    generate_workload, poisson_rate_for_utilization, service_fingerprint, ArrivalProcess,
+    DirSnapshots, DurabilityConfig, JobOutcome, JsonlSink, LoadGenConfig, NullSink, NullSnapshots,
+    ObsBridge, Outage, RestoreOptions, Service, ServiceConfig, ServiceReport, SimClock,
+    SnapshotStore, TenantSpec,
 };
 use mris_sim::{
     run_online_chaos, suggested_horizon, FaultPlan, PoissonFaultConfig, RackBurstConfig,
@@ -82,6 +84,13 @@ fn usage() -> String {
          \x20      [--queue-watermark Q] [--load-watermark L] [--telemetry out.jsonl]\n\
          \x20      [--metrics-path metrics.prom] [--journal wal.mrjl] [--flush-every N]\n\
          \x20      [--snapshot-dir DIR] [--snapshot-every N]\n\
+         \x20      [--listen HOST:PORT [--port-file PATH]] — serve over TCP; with\n\
+         \x20      [--tenants name:token:weight,...] [--fair-watermark N] admission is\n\
+         \x20      multi-tenant weighted-fair; with --loadgen the workload comes from\n\
+         \x20      the loadgen flags below instead of --trace\n\
+         \x20 mris client submit --connect HOST:PORT --trace trace.csv [--token T]\n\
+         \x20      [--fingerprint F]  (also: client query --job N | client stats |\n\
+         \x20      client drain — drain prints the final report)\n\
          \x20 mris restore --trace trace.csv --algo NAME --machines M --journal wal.mrjl\n\
          \x20      [--snapshot snap.bin | --snapshot-dir DIR] [--strict]\n\
          \x20      [--outage-at T --outage-downtime D] [--epoch E] (+ the serve knobs\n\
@@ -89,7 +98,9 @@ fn usage() -> String {
          \x20 mris loadgen --jobs N --machines M [--algo NAME] [--seed S]\n\
          \x20      [--process poisson|bursts] [--utilization U] [--burst-size B]\n\
          \x20      [--fault-plan none|poisson|racks|adversarial] [--fault-rate X]\n\
-         \x20      [--mttr-frac F] [--restart full|aging] [--telemetry out.jsonl]\n\n\
+         \x20      [--mttr-frac F] [--restart full|aging] [--telemetry out.jsonl]\n\
+         \x20      [--connect HOST:PORT [--token T]] — replay the same generated\n\
+         \x20      workload over TCP against a `serve --listen --loadgen` twin\n\n\
          ALGORITHMS:\n",
     );
     for (name, desc) in known_algorithms() {
@@ -221,6 +232,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "validate" => validate(&Flags::parse(rest)?),
         "chaos" => chaos(&Flags::parse(rest)?),
         "serve" => serve(&Flags::parse(rest)?),
+        // `client` takes an action word before its flags.
+        "client" => client(rest),
         "restore" => restore(&Flags::parse(rest)?),
         "loadgen" => loadgen(&Flags::parse(rest)?),
         "help" | "--help" | "-h" => Ok(usage()),
@@ -436,8 +449,31 @@ fn restart_from_flags(flags: &Flags, aging_factor: f64) -> Result<RestartSemanti
     }
 }
 
+/// Parses `--tenants "name:token:weight[,name:token:weight...]"` into a
+/// tenant table. An empty/absent flag means single-tenant.
+fn tenants_from_flags(flags: &Flags) -> Result<Vec<TenantSpec>, CliError> {
+    let Some(spec) = flags.get("tenants") else {
+        return Ok(Vec::new());
+    };
+    let mut tenants = Vec::new();
+    for entry in spec.split(',').filter(|e| !e.is_empty()) {
+        let parts: Vec<&str> = entry.split(':').collect();
+        let [name, token, weight] = parts.as_slice() else {
+            return Err(CliError(format!(
+                "--tenants: expected name:token:weight, got '{entry}'"
+            )));
+        };
+        let weight: f64 = weight
+            .parse()
+            .map_err(|e| CliError(format!("--tenants: weight of '{name}': {e}")))?;
+        tenants.push(TenantSpec::new(*name, *token, weight));
+    }
+    Ok(tenants)
+}
+
 /// Reads the service knobs shared by `serve` and `loadgen` into a
-/// [`ServiceConfig`]: `--epoch`, `--queue-watermark`, `--load-watermark`.
+/// [`ServiceConfig`]: `--epoch`, `--queue-watermark`, `--load-watermark`,
+/// `--tenants`, `--fair-watermark`.
 fn service_cfg_from_flags(flags: &Flags, machines: usize) -> Result<ServiceConfig, CliError> {
     if machines == 0 {
         return Err(CliError("--machines must be at least 1".into()));
@@ -445,10 +481,13 @@ fn service_cfg_from_flags(flags: &Flags, machines: usize) -> Result<ServiceConfi
     let epoch: f64 = flags.get_parsed("epoch", 0.0)?;
     let queue_watermark: usize = flags.get_parsed("queue-watermark", usize::MAX)?;
     let load_watermark: f64 = flags.get_parsed("load-watermark", f64::INFINITY)?;
+    let fair_watermark: usize = flags.get_parsed("fair-watermark", usize::MAX)?;
     ServiceConfig::builder(machines)
         .epoch(epoch)
         .queue_watermark(queue_watermark)
         .load_watermark(load_watermark)
+        .tenants(tenants_from_flags(flags)?)
+        .fair_watermark(fair_watermark)
         .build()
         .map_err(|e| {
             // Re-key the typed error onto the CLI flag that caused it.
@@ -590,8 +629,16 @@ fn service_summary_text(report: &ServiceReport) -> String {
         Some(p) => format!("{:.1}/{:.1}/{:.1} us", p.p50, p.p95, p.p99),
         None => "n/a".to_string(),
     };
-    format!(
-        "submitted   = {}\n\
+    let mut tenant_text = String::new();
+    for t in &report.tenants {
+        tenant_text.push_str(&format!(
+            "tenant {} (weight {}): admitted = {} ({} demand ticks), rejected = {}\n",
+            t.name, t.weight, t.admitted, t.admitted_cost, t.rejected
+        ));
+    }
+    tenant_text
+        + &format!(
+            "submitted   = {}\n\
          accepted    = {}\n\
          rejected    = {} (queue full {}, load shed {})\n\
          completed   = {}\n\
@@ -602,25 +649,28 @@ fn service_summary_text(report: &ServiceReport) -> String {
          drained at t = {:.3} ({:.3}s wall, {:.0} jobs/s)\n\
          decision latency p50/p95/p99 = {latency}\n\
          fault log verified OK\n",
-        s.submitted,
-        s.accepted,
-        s.rejected_queue_full + s.rejected_infeasible,
-        s.rejected_queue_full,
-        s.rejected_infeasible,
-        s.completed,
-        s.failures,
-        report.log.total_re_releases(),
-        s.epochs,
-        s.max_queue_depth,
-        s.awct,
-        s.makespan,
-        s.drained_at,
-        s.wall_seconds,
-        s.throughput_jobs_per_sec,
-    )
+            s.submitted,
+            s.accepted,
+            s.rejected_queue_full + s.rejected_infeasible,
+            s.rejected_queue_full,
+            s.rejected_infeasible,
+            s.completed,
+            s.failures,
+            report.log.total_re_releases(),
+            s.epochs,
+            s.max_queue_depth,
+            s.awct,
+            s.makespan,
+            s.drained_at,
+            s.wall_seconds,
+            s.throughput_jobs_per_sec,
+        )
 }
 
 fn serve(flags: &Flags) -> Result<String, CliError> {
+    if let Some(listen) = flags.get("listen") {
+        return serve_listen(flags, listen);
+    }
     let instance = load_instance(flags.require("trace")?)?;
     let machines: usize = flags.get_parsed("machines", 20)?;
     let name = flags.get("algo").unwrap_or("mris");
@@ -657,6 +707,94 @@ fn serve(flags: &Flags) -> Result<String, CliError> {
     };
     Ok(format!(
         "serve: {} jobs, {} resources, {machines} machines, algo = {name}, epoch = {epoch}\n\n{}{journal_text}{obs_text}",
+        instance.len(),
+        instance.num_resources(),
+        service_summary_text(&report)
+    ))
+}
+
+/// `mris serve --listen`: open the TCP front door on `listen` and block
+/// until a client drains the service. The workload is `--trace`, or the
+/// loadgen generator when `--loadgen` is given (so a `loadgen --connect`
+/// twin regenerates the identical instance client-side — the handshake
+/// fingerprint pins the match). The bound address lands in `--port-file`
+/// (and on stderr) before the server blocks, so scripts can discover an
+/// ephemeral port.
+fn serve_listen(flags: &Flags, listen: &str) -> Result<String, CliError> {
+    let (instance, cfg, name, source_text) = if flags.switch("loadgen") {
+        let plan = loadgen_plan(flags)?;
+        let text = format!("workload: {}\n", plan.header.replace('\n', "\n          "));
+        (plan.instance, plan.cfg, plan.name, text)
+    } else {
+        let machines: usize = flags.get_parsed("machines", 20)?;
+        let name = flags.get("algo").unwrap_or("mris").to_string();
+        let instance = load_instance(flags.require("trace")?)?;
+        let cfg = service_cfg_from_flags(flags, machines)?;
+        (instance, cfg, name, String::new())
+    };
+    let machines = cfg.num_machines;
+    // Validate the policy name before the worker thread needs it.
+    let _ = online_policy_by_name(&name, &instance, machines)?;
+    let obs = obs_from_flags(flags)?;
+    let writer: Box<dyn std::io::Write + Send> = match flags.get("telemetry") {
+        Some(path) => Box::new(
+            std::fs::File::create(path)
+                .map_err(|e| CliError(format!("cannot create {path}: {e}")))?,
+        ),
+        None => Box::new(std::io::sink()),
+    };
+    let fingerprint = service_fingerprint(&instance, &cfg);
+    let tenant_text = if cfg.tenants.is_empty() {
+        "single-tenant (any token)".to_string()
+    } else {
+        format!(
+            "{} tenants ({})",
+            cfg.tenants.len(),
+            cfg.tenants
+                .iter()
+                .map(|t| format!("{}:{}", t.name, t.weight))
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    };
+    let policy_name = name.clone();
+    let server = mris_net::serve_net(
+        instance.clone(),
+        cfg,
+        SimClock::new(),
+        ObsBridge::new(JsonlSink::new(writer)),
+        move |inst, m| online_policy_by_name(&policy_name, inst, m).expect("validated above"),
+        listen,
+    )
+    .map_err(|e| CliError(format!("serve --listen {listen}: {e}")))?;
+    let addr = server.addr();
+    if let Some(path) = flags.get("port-file") {
+        std::fs::write(path, addr.to_string())
+            .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+    }
+    eprintln!(
+        "mris: serving {} jobs on {addr} (algo {name}, {tenant_text}, \
+         fingerprint {fingerprint:#018x}); blocks until `mris client drain --connect {addr}`",
+        instance.len()
+    );
+    let (report, sink) = server
+        .wait()
+        .map_err(|e| CliError(format!("{name}: {e}")))?;
+    sink.into_inner()
+        .finish()
+        .map_err(|e| CliError(format!("telemetry write failed: {e}")))?;
+    report
+        .log
+        .verify()
+        .map_err(|v| CliError(format!("{name}: fault-log violation: {v}")))?;
+    let obs_text = match &obs {
+        Some((subscriber, _guard)) => obs_epilogue(flags, subscriber)?,
+        None => String::new(),
+    };
+    Ok(format!(
+        "serve: {} jobs, {} resources, {machines} machines, algo = {name}, \
+         listened on {addr}\n{source_text}tenancy: {tenant_text}, \
+         fingerprint = {fingerprint:#018x}\n\n{}{obs_text}",
         instance.len(),
         instance.num_resources(),
         service_summary_text(&report)
@@ -771,7 +909,20 @@ fn restore(flags: &Flags) -> Result<String, CliError> {
     ))
 }
 
-fn loadgen(flags: &Flags) -> Result<String, CliError> {
+/// Everything `loadgen` derives from its flags before driving a service:
+/// the generated instance, the service config (fault plan and restart
+/// semantics included), the policy name, and the header lines describing
+/// the run. `serve --listen --loadgen` builds the same plan server-side,
+/// so a `loadgen --connect` client regenerates the identical world and
+/// the handshake fingerprint proves it.
+struct LoadgenPlan {
+    instance: Instance,
+    cfg: ServiceConfig,
+    name: String,
+    header: String,
+}
+
+fn loadgen_plan(flags: &Flags) -> Result<LoadgenPlan, CliError> {
     let jobs: usize = flags.get_parsed("jobs", 500)?;
     let seed: u64 = flags.get_parsed("seed", 0x10AD)?;
     let machines: usize = flags.get_parsed("machines", 8)?;
@@ -884,19 +1035,185 @@ fn loadgen(flags: &Flags) -> Result<String, CliError> {
     let restart_label = cfg.restart.label();
     cfg.fault_plan = plan;
 
+    let header = format!(
+        "loadgen: {jobs} jobs, {machines} machines, algo = {name}, process = {process} \
+         (rate {rate:.4}/s, target utilization {utilization})\n\
+         faults: plan = {plan_name} ({plan_events} events over horizon {horizon:.1}), \
+         restart = {restart_label}"
+    );
+    Ok(LoadgenPlan {
+        instance: workload.instance,
+        cfg,
+        name: name.to_string(),
+        header,
+    })
+}
+
+fn loadgen(flags: &Flags) -> Result<String, CliError> {
+    let plan = loadgen_plan(flags)?;
+    if let Some(addr) = flags.get("connect") {
+        return loadgen_connect(flags, plan, addr);
+    }
     let obs = obs_from_flags(flags)?;
-    let report = drive_service(&workload.instance, name, cfg, flags.get("telemetry"), None)?;
+    let report = drive_service(
+        &plan.instance,
+        &plan.name,
+        plan.cfg,
+        flags.get("telemetry"),
+        None,
+    )?;
     let obs_text = match &obs {
         Some((subscriber, _guard)) => obs_epilogue(flags, subscriber)?,
         None => String::new(),
     };
     Ok(format!(
-        "loadgen: {jobs} jobs, {machines} machines, algo = {name}, process = {process} \
-         (rate {rate:.4}/s, target utilization {utilization})\n\
-         faults: plan = {plan_name} ({plan_events} events over horizon {horizon:.1}), \
-         restart = {restart_label}\n\n{}{obs_text}",
+        "{}\n\n{}{obs_text}",
+        plan.header,
         service_summary_text(&report)
     ))
+}
+
+/// `mris loadgen --connect`: replay the generated workload (fault plan
+/// and all) over TCP against a `serve --listen --loadgen` twin started
+/// with the same flags. The handshake pins the configuration fingerprint
+/// of the regenerated world, and the drained report's fault log is
+/// verified exactly as the in-process path does.
+fn loadgen_connect(flags: &Flags, plan: LoadgenPlan, addr: &str) -> Result<String, CliError> {
+    let token = flags.get("token").unwrap_or("");
+    let fingerprint = service_fingerprint(&plan.instance, &plan.cfg);
+    let mut client = NetClient::connect(addr, token, fingerprint)
+        .map_err(|e| CliError(format!("connect {addr}: {e}")))?;
+    let mut order: Vec<JobId> = plan.instance.jobs().iter().map(|j| j.id).collect();
+    order.sort_by(|&a, &b| {
+        plan.instance
+            .job(a)
+            .release
+            .total_cmp(&plan.instance.job(b).release)
+            .then(a.cmp(&b))
+    });
+    let (mut accepted, mut rejected) = (0u64, 0u64);
+    for job in order {
+        let at = plan.instance.job(job).release;
+        match client
+            .submit_at(at, job)
+            .map_err(|e| CliError(format!("submit over {addr}: {e}")))?
+        {
+            Ok(()) => accepted += 1,
+            Err(_) => rejected += 1,
+        }
+    }
+    let report = client
+        .drain()
+        .map_err(|e| CliError(format!("drain over {addr}: {e}")))?;
+    report
+        .log
+        .verify()
+        .map_err(|v| CliError(format!("fault-log violation over TCP: {v}")))?;
+    Ok(format!(
+        "{}\n\
+         over TCP: {addr} (fingerprint {fingerprint:#018x}), \
+         door accepted {accepted} / rejected {rejected}\n\n{}",
+        plan.header,
+        service_summary_text(&report)
+    ))
+}
+
+/// `mris client <submit|query|stats|drain>`: a thin remote control for a
+/// `serve --listen` door.
+fn client(args: &[String]) -> Result<String, CliError> {
+    let Some((action, rest)) = args.split_first() else {
+        return Err(CliError(format!(
+            "client needs an action: mris client <submit|query|stats|drain> \
+             --connect HOST:PORT\n\n{}",
+            usage()
+        )));
+    };
+    let flags = Flags::parse(rest)?;
+    let addr = flags.require("connect")?;
+    let token = flags.get("token").unwrap_or("");
+    let fingerprint: u64 = flags.get_parsed("fingerprint", 0)?;
+    let mut client = NetClient::connect(addr, token, fingerprint)
+        .map_err(|e| CliError(format!("connect {addr}: {e}")))?;
+    match action.as_str() {
+        "submit" => {
+            let instance = load_instance(flags.require("trace")?)?;
+            let mut order: Vec<JobId> = instance.jobs().iter().map(|j| j.id).collect();
+            order.sort_by(|&a, &b| {
+                instance
+                    .job(a)
+                    .release
+                    .total_cmp(&instance.job(b).release)
+                    .then(a.cmp(&b))
+            });
+            let (mut accepted, mut rejected) = (0u64, 0u64);
+            let mut first_rejection = None;
+            for job in order {
+                match client
+                    .submit_at(instance.job(job).release, job)
+                    .map_err(|e| CliError(format!("submit over {addr}: {e}")))?
+                {
+                    Ok(()) => accepted += 1,
+                    Err(e) => {
+                        rejected += 1;
+                        first_rejection.get_or_insert_with(|| format!("{e}"));
+                    }
+                }
+            }
+            let rejection_text = match first_rejection {
+                Some(e) => format!(" (first: {e})"),
+                None => String::new(),
+            };
+            Ok(format!(
+                "client submit: offered {} jobs to {addr} as tenant {}, \
+                 accepted {accepted}, rejected {rejected}{rejection_text}\n",
+                instance.len(),
+                client.tenant()
+            ))
+        }
+        "query" => {
+            let job: u32 = flags
+                .require("job")?
+                .parse()
+                .map_err(|e| CliError(format!("--job: {e}")))?;
+            let outcome = client
+                .query(JobId(job))
+                .map_err(|e| CliError(format!("query over {addr}: {e}")))?;
+            Ok(format!("job {job}: {outcome:?}\n"))
+        }
+        "stats" => {
+            let s = client
+                .stats()
+                .map_err(|e| CliError(format!("stats over {addr}: {e}")))?;
+            let mut text = format!(
+                "stats at t = {:.3}: queue depth {}, submitted {}, accepted {}, \
+                 rejected {}, completed {}\n",
+                s.now, s.queue_depth, s.submitted, s.accepted, s.rejected, s.completed
+            );
+            for t in &s.tenants {
+                text.push_str(&format!(
+                    "tenant {} (weight {}): admitted {} ({} demand ticks), rejected {}\n",
+                    t.name, t.weight, t.admitted, t.admitted_cost, t.rejected
+                ));
+            }
+            Ok(text)
+        }
+        "drain" => {
+            let report = client
+                .drain()
+                .map_err(|e| CliError(format!("drain over {addr}: {e}")))?;
+            report
+                .log
+                .verify()
+                .map_err(|v| CliError(format!("fault-log violation over TCP: {v}")))?;
+            Ok(format!(
+                "client drain: final report from {addr}\n\n{}",
+                service_summary_text(&report)
+            ))
+        }
+        other => Err(CliError(format!(
+            "unknown client action '{other}' (expected submit|query|stats|drain)"
+        ))),
+    }
 }
 
 #[cfg(test)]
@@ -1435,5 +1752,302 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(err.0.contains("INFEASIBLE"), "{err}");
+    }
+
+    /// Polls `--port-file` until the server thread has written the bound
+    /// address.
+    fn wait_for_port_file(path: &std::path::Path) -> String {
+        for _ in 0..500 {
+            if let Ok(addr) = std::fs::read_to_string(path) {
+                if !addr.is_empty() {
+                    return addr;
+                }
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        panic!("server never wrote {path:?}");
+    }
+
+    #[test]
+    fn serve_listen_client_round_trip() {
+        let trace_path = tmp("net_trace.csv");
+        let port_file = tmp("net_port.txt");
+        let _ = std::fs::remove_file(&port_file);
+        run(&s(&[
+            "generate",
+            "--jobs",
+            "40",
+            "--out",
+            trace_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let server = {
+            let trace = trace_path.to_str().unwrap().to_string();
+            let port_file = port_file.to_str().unwrap().to_string();
+            std::thread::spawn(move || {
+                run(&s(&[
+                    "serve",
+                    "--trace",
+                    &trace,
+                    "--algo",
+                    "pq-wsjf",
+                    "--machines",
+                    "3",
+                    "--listen",
+                    "127.0.0.1:0",
+                    "--port-file",
+                    &port_file,
+                ]))
+            })
+        };
+        let addr = wait_for_port_file(&port_file);
+
+        let out = run(&s(&[
+            "client",
+            "submit",
+            "--connect",
+            &addr,
+            "--trace",
+            trace_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("accepted 40, rejected 0"), "{out}");
+
+        let out = run(&s(&["client", "query", "--connect", &addr, "--job", "0"])).unwrap();
+        assert!(out.starts_with("job 0:"), "{out}");
+
+        let out = run(&s(&["client", "stats", "--connect", &addr])).unwrap();
+        assert!(out.contains("submitted 40"), "{out}");
+
+        let out = run(&s(&["client", "drain", "--connect", &addr])).unwrap();
+        assert!(out.contains("completed   = 40"), "{out}");
+        assert!(out.contains("AWCT"), "{out}");
+        assert!(out.contains("fault log verified OK"), "{out}");
+
+        let server_out = server.join().unwrap().unwrap();
+        assert!(server_out.contains("completed   = 40"), "{server_out}");
+        assert!(server_out.contains("fingerprint"), "{server_out}");
+
+        // The drained door refuses new connections (accept loop ended).
+        let err = run(&s(&["client", "stats", "--connect", &addr]));
+        assert!(err.is_err(), "drained server still answering: {err:?}");
+    }
+
+    #[test]
+    fn loadgen_connects_to_loadgen_serve_twin() {
+        let port_file = tmp("net_loadgen_port.txt");
+        let _ = std::fs::remove_file(&port_file);
+        let gen_flags = [
+            "--loadgen",
+            "--jobs",
+            "60",
+            "--seed",
+            "77",
+            "--machines",
+            "2",
+            "--algo",
+            "pq-wsjf",
+            "--fault-plan",
+            "poisson",
+            "--fault-rate",
+            "2.0",
+        ];
+        let server = {
+            let mut args = vec!["serve"];
+            args.extend_from_slice(&gen_flags);
+            args.extend_from_slice(&["--listen", "127.0.0.1:0", "--port-file"]);
+            let args: Vec<String> = args.iter().map(|x| x.to_string()).collect();
+            let port_file = port_file.to_str().unwrap().to_string();
+            std::thread::spawn(move || {
+                let mut args = args;
+                args.push(port_file);
+                run(&args)
+            })
+        };
+        let addr = wait_for_port_file(&port_file);
+
+        // Same generation flags minus --loadgen, plus --connect.
+        let out = run(&s(&[
+            "loadgen",
+            "--jobs",
+            "60",
+            "--seed",
+            "77",
+            "--machines",
+            "2",
+            "--algo",
+            "pq-wsjf",
+            "--fault-plan",
+            "poisson",
+            "--fault-rate",
+            "2.0",
+            "--connect",
+            &addr,
+        ]))
+        .unwrap();
+        assert!(out.contains("over TCP"), "{out}");
+        assert!(out.contains("fault log verified OK"), "{out}");
+        assert!(out.contains("faults: plan = poisson"), "{out}");
+
+        let server_out = server.join().unwrap().unwrap();
+        assert!(server_out.contains("fault log verified OK"), "{server_out}");
+    }
+
+    #[test]
+    fn loadgen_connect_refuses_mismatched_world() {
+        let port_file = tmp("net_mismatch_port.txt");
+        let _ = std::fs::remove_file(&port_file);
+        let server = {
+            let port_file = port_file.to_str().unwrap().to_string();
+            std::thread::spawn(move || {
+                run(&s(&[
+                    "serve",
+                    "--loadgen",
+                    "--jobs",
+                    "30",
+                    "--seed",
+                    "1",
+                    "--machines",
+                    "2",
+                    "--listen",
+                    "127.0.0.1:0",
+                    "--port-file",
+                    &port_file,
+                ]))
+            })
+        };
+        let addr = wait_for_port_file(&port_file);
+
+        // A different seed regenerates a different world: the handshake
+        // fingerprint refuses before any job crosses the wire.
+        let err = run(&s(&[
+            "loadgen",
+            "--jobs",
+            "30",
+            "--seed",
+            "2",
+            "--machines",
+            "2",
+            "--connect",
+            &addr,
+        ]))
+        .unwrap_err();
+        assert!(err.0.contains("fingerprint mismatch"), "{err}");
+
+        // The matching twin still drains the server cleanly.
+        let out = run(&s(&[
+            "loadgen",
+            "--jobs",
+            "30",
+            "--seed",
+            "1",
+            "--machines",
+            "2",
+            "--connect",
+            &addr,
+        ]))
+        .unwrap();
+        assert!(out.contains("fault log verified OK"), "{out}");
+        server.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn serve_listen_multi_tenant_flags() {
+        let trace_path = tmp("net_tenant_trace.csv");
+        let port_file = tmp("net_tenant_port.txt");
+        let _ = std::fs::remove_file(&port_file);
+        run(&s(&[
+            "generate",
+            "--jobs",
+            "20",
+            "--out",
+            trace_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let server = {
+            let trace = trace_path.to_str().unwrap().to_string();
+            let port_file = port_file.to_str().unwrap().to_string();
+            std::thread::spawn(move || {
+                run(&s(&[
+                    "serve",
+                    "--trace",
+                    &trace,
+                    "--algo",
+                    "pq-wsjf",
+                    "--machines",
+                    "2",
+                    "--tenants",
+                    "alpha:tok-a:3.0,beta:tok-b:1.0",
+                    "--listen",
+                    "127.0.0.1:0",
+                    "--port-file",
+                    &port_file,
+                ]))
+            })
+        };
+        let addr = wait_for_port_file(&port_file);
+
+        // A wrong token is refused at the handshake.
+        let err = run(&s(&[
+            "client",
+            "stats",
+            "--connect",
+            &addr,
+            "--token",
+            "wrong",
+        ]))
+        .unwrap_err();
+        assert!(err.0.contains("authentication failed"), "{err}");
+
+        let out = run(&s(&[
+            "client",
+            "submit",
+            "--connect",
+            &addr,
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--token",
+            "tok-b",
+        ]))
+        .unwrap();
+        assert!(out.contains("as tenant 1"), "{out}");
+
+        let out = run(&s(&[
+            "client",
+            "drain",
+            "--connect",
+            &addr,
+            "--token",
+            "tok-a",
+        ]))
+        .unwrap();
+        assert!(
+            out.contains("tenant beta (weight 1): admitted = 20"),
+            "{out}"
+        );
+        let server_out = server.join().unwrap().unwrap();
+        assert!(server_out.contains("2 tenants"), "{server_out}");
+    }
+
+    #[test]
+    fn tenant_flag_parse_errors_are_typed() {
+        let err = run(&s(&[
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--trace",
+            "/nonexistent",
+            "--tenants",
+            "missing-fields",
+        ]))
+        .unwrap_err();
+        // Trace load fails first; tenants parse is exercised directly.
+        assert!(err.0.contains("cannot read"), "{err}");
+        let flags = Flags::parse(&s(&["--tenants", "a:b"])).unwrap();
+        let err = tenants_from_flags(&flags).unwrap_err();
+        assert!(err.0.contains("name:token:weight"), "{err}");
+        let flags = Flags::parse(&s(&["--tenants", "a:b:heavy"])).unwrap();
+        let err = tenants_from_flags(&flags).unwrap_err();
+        assert!(err.0.contains("weight"), "{err}");
     }
 }

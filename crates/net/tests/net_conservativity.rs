@@ -1,0 +1,515 @@
+//! Network conservativity: the TCP front door is an invisible transport.
+//!
+//! * A single-tenant run driven over a loopback socket is **bit-identical**
+//!   (schedule, AWCT bits, outcome ledger, fault log) to the same run
+//!   driven in-process, across policies and seeds.
+//! * The wire codec round-trips every request/response exactly, and no
+//!   corruption — truncation, bit flips, hostile lengths — ever panics a
+//!   decoder; every failure is a typed error.
+//! * The handshake refuses wrong versions, wrong fingerprints, and
+//!   unknown tenant tokens with typed errors.
+
+use std::io::Cursor;
+
+use mris_core::registry::online_policy_by_name;
+use mris_net::{read_frame, write_frame, NetClient, Request, Response};
+use mris_rng::Rng;
+use mris_service::{
+    generate_workload, run_workload, service_fingerprint, ArrivalProcess, JobOutcome,
+    LoadGenConfig, MemorySink, NullSink, Service, ServiceConfig, ServiceReport, SimClock,
+    TenantSpec,
+};
+use mris_types::{AdmissionError, JobId, NetError, TenantId, TenantQuotaKind};
+
+const MACHINES: usize = 2;
+
+fn workload(seed: u64, jobs: usize) -> mris_service::Workload {
+    generate_workload(&LoadGenConfig {
+        num_jobs: jobs,
+        seed,
+        arrivals: ArrivalProcess::Poisson { rate: 4.0 },
+    })
+}
+
+fn in_process_report(
+    w: &mris_service::Workload,
+    policy: &str,
+    cfg: &ServiceConfig,
+) -> ServiceReport {
+    let p = online_policy_by_name(policy, &w.instance, cfg.num_machines).expect("known policy");
+    let svc = Service::new(
+        w.instance.clone(),
+        p,
+        cfg.clone(),
+        SimClock::new(),
+        NullSink,
+    )
+    .expect("valid config");
+    let (report, _) = run_workload(svc, w).expect("no policy violation");
+    report
+}
+
+fn tcp_report(
+    w: &mris_service::Workload,
+    policy: &'static str,
+    cfg: &ServiceConfig,
+) -> ServiceReport {
+    let fp = service_fingerprint(&w.instance, cfg);
+    let server = mris_net::serve_net(
+        w.instance.clone(),
+        cfg.clone(),
+        SimClock::new(),
+        NullSink,
+        move |inst, m| online_policy_by_name(policy, inst, m).expect("known policy"),
+        "127.0.0.1:0",
+    )
+    .expect("bind loopback");
+    let addr = server.addr().to_string();
+    let mut client = NetClient::connect(&addr, "", fp).expect("handshake");
+    for job in w.instance.jobs() {
+        let _ = client.submit_at(job.release, job.id).expect("transport ok");
+    }
+    let report = client.drain().expect("drain over wire");
+    let (local, _) = server.wait().expect("server side clean");
+    // The wire copy and the server's own copy agree too.
+    assert_reports_equal(&local, &report);
+    report
+}
+
+/// Equality on everything deterministic; wall-clock-derived fields
+/// (wall_seconds, throughput, decision latency) are excluded by design.
+fn assert_reports_equal(a: &ServiceReport, b: &ServiceReport) {
+    assert_eq!(a.schedule, b.schedule, "schedules diverged");
+    assert_eq!(a.outcomes, b.outcomes, "outcome ledgers diverged");
+    assert_eq!(a.log, b.log, "fault logs diverged");
+    assert_eq!(a.tenants, b.tenants, "tenant stats diverged");
+    let (sa, sb) = (&a.summary, &b.summary);
+    assert_eq!(sa.awct.to_bits(), sb.awct.to_bits(), "AWCT bits diverged");
+    assert_eq!(sa.makespan.to_bits(), sb.makespan.to_bits());
+    assert_eq!(sa.drained_at.to_bits(), sb.drained_at.to_bits());
+    assert_eq!(sa.submitted, sb.submitted);
+    assert_eq!(sa.accepted, sb.accepted);
+    assert_eq!(sa.rejected_queue_full, sb.rejected_queue_full);
+    assert_eq!(sa.rejected_infeasible, sb.rejected_infeasible);
+    assert_eq!(sa.completed, sb.completed);
+    assert_eq!(sa.epochs, sb.epochs);
+    assert_eq!(sa.max_queue_depth, sb.max_queue_depth);
+    assert_eq!(sa.failures, sb.failures);
+}
+
+/// The tentpole pin: a single-tenant TCP run equals the in-process run on
+/// bits, across 3 policies and 16 seeds.
+#[test]
+fn tcp_is_bit_identical_to_in_process() {
+    for policy in ["mris", "tetris", "pq-wsjf"] {
+        for seed in 0..16u64 {
+            let w = workload(0xC0DE + seed, 18);
+            let cfg = ServiceConfig::new(MACHINES);
+            let local = in_process_report(&w, policy, &cfg);
+            let wire = tcp_report(&w, policy, &cfg);
+            assert_reports_equal(&local, &wire);
+            wire.log.verify().expect("chaos audit");
+            // The ledger partition holds after the wire crossing too.
+            for o in &wire.outcomes {
+                assert!(!matches!(
+                    o,
+                    JobOutcome::NotSubmitted | JobOutcome::Accepted
+                ));
+            }
+        }
+    }
+}
+
+/// Watermarked configs shed over TCP exactly as in-process, so rejection
+/// ledgers (typed AdmissionError payloads) survive the wire.
+#[test]
+fn tcp_preserves_rejection_ledgers() {
+    // Pre-submit every job at t = 0 (releases lie in the future) so the
+    // admission queue builds past the watermark and sheds.
+    let w = workload(0xBEEF, 40);
+    let cfg = ServiceConfig::builder(MACHINES)
+        .queue_watermark(3)
+        .build()
+        .expect("valid");
+
+    let p = online_policy_by_name("pq-wsjf", &w.instance, MACHINES).expect("known policy");
+    let mut svc = Service::new(
+        w.instance.clone(),
+        p,
+        cfg.clone(),
+        SimClock::new(),
+        NullSink,
+    )
+    .expect("valid config");
+    for job in w.instance.jobs() {
+        let _ = svc.submit_at(0.0, job.id).expect("no policy violation");
+    }
+    let (local, _) = svc.drain().expect("drain");
+
+    let fp = service_fingerprint(&w.instance, &cfg);
+    let server = mris_net::serve_net(
+        w.instance.clone(),
+        cfg,
+        SimClock::new(),
+        NullSink,
+        |inst, m| online_policy_by_name("pq-wsjf", inst, m).expect("known policy"),
+        "127.0.0.1:0",
+    )
+    .expect("bind loopback");
+    let addr = server.addr().to_string();
+    let mut client = NetClient::connect(&addr, "", fp).expect("handshake");
+    for job in w.instance.jobs() {
+        let _ = client.submit_at(0.0, job.id).expect("transport ok");
+    }
+    let wire = client.drain().expect("drain over wire");
+    let _ = server.wait().expect("server side clean");
+
+    assert_reports_equal(&local, &wire);
+    assert!(
+        wire.summary.rejected_queue_full > 0,
+        "watermark never fired; the test lost its teeth"
+    );
+    // Rejected outcomes carry their typed AdmissionError across the wire.
+    assert!(wire
+        .outcomes
+        .iter()
+        .any(|o| matches!(o, JobOutcome::Rejected(AdmissionError::QueueFull { .. }))));
+}
+
+/// Handshake refusals: wrong version, wrong fingerprint, bad token.
+#[test]
+fn handshake_refuses_typed() {
+    let w = workload(7, 6);
+    let cfg = ServiceConfig::builder(MACHINES)
+        .tenants(vec![
+            TenantSpec::new("alpha", "alpha-token", 3.0),
+            TenantSpec::new("beta", "beta-token", 1.0),
+        ])
+        .build()
+        .expect("valid");
+    let fp = service_fingerprint(&w.instance, &cfg);
+    let server = mris_net::serve_net(
+        w.instance.clone(),
+        cfg.clone(),
+        SimClock::new(),
+        NullSink,
+        |inst, m| online_policy_by_name("tetris", inst, m).expect("known"),
+        "127.0.0.1:0",
+    )
+    .expect("bind");
+    let addr = server.addr().to_string();
+
+    match NetClient::connect(&addr, "alpha-token", fp ^ 1) {
+        Err(NetError::FingerprintMismatch { server, client }) => {
+            assert_eq!(server, fp);
+            assert_eq!(client, fp ^ 1);
+        }
+        Err(e) => panic!("expected fingerprint refusal, got {e:?}"),
+        Ok(_) => panic!("mismatched fingerprint was accepted"),
+    }
+    match NetClient::connect(&addr, "who-goes-there", fp) {
+        Err(NetError::AuthFailed) => {}
+        Err(e) => panic!("expected auth refusal, got {e:?}"),
+        Ok(_) => panic!("unknown token was accepted"),
+    }
+    // Correct token authenticates to the right tenant.
+    let beta = NetClient::connect(&addr, "beta-token", fp).expect("beta handshake");
+    assert_eq!(beta.tenant(), 1);
+    assert_eq!(beta.fingerprint(), fp);
+
+    // Submit as both tenants over the wire, then drain; the report's
+    // tenant table carries the split.
+    let mut alpha = NetClient::connect(&addr, "alpha-token", fp).expect("alpha handshake");
+    let mut beta = beta;
+    for job in w.instance.jobs() {
+        let client = if job.id.0 % 2 == 0 {
+            &mut alpha
+        } else {
+            &mut beta
+        };
+        let _ = client.submit_at(job.release, job.id).expect("transport");
+    }
+    let report = alpha.drain().expect("drain");
+    assert_eq!(report.tenants.len(), 2);
+    assert_eq!(report.tenants[0].name, "alpha");
+    let offered: u64 = report.tenants.iter().map(|t| t.admitted + t.rejected).sum();
+    assert_eq!(offered as usize, w.instance.len());
+    let _ = server.wait().expect("clean serve");
+}
+
+/// Query, Stats, and Subscribe over a live server.
+#[test]
+fn query_stats_subscribe_roundtrip() {
+    let w = workload(21, 10);
+    let cfg = ServiceConfig::new(MACHINES);
+    let fp = service_fingerprint(&w.instance, &cfg);
+    let server = mris_net::serve_net(
+        w.instance.clone(),
+        cfg,
+        SimClock::new(),
+        MemorySink::default(),
+        |inst, m| online_policy_by_name("pq-wsjf", inst, m).expect("known"),
+        "127.0.0.1:0",
+    )
+    .expect("bind");
+    let addr = server.addr().to_string();
+    let mut sub = NetClient::connect(&addr, "", fp).expect("subscriber");
+    sub.subscribe().expect("subscribe");
+    let mut client = NetClient::connect(&addr, "", fp).expect("driver");
+
+    assert!(matches!(
+        client.query(JobId(0)).expect("query"),
+        JobOutcome::NotSubmitted
+    ));
+    for job in w.instance.jobs() {
+        let _ = client.submit_at(job.release, job.id).expect("transport");
+    }
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.submitted as usize, w.instance.len());
+    assert_eq!(stats.submitted, stats.accepted + stats.rejected);
+    // Unknown jobs are in-band errors, not panics or hangs.
+    match client.query(JobId(9999)) {
+        Err(NetError::Remote { .. }) => {}
+        other => panic!("expected remote error, got {other:?}"),
+    }
+    let report = client.drain().expect("drain");
+    assert_eq!(report.summary.completed, report.summary.accepted);
+    // The subscriber saw at least one epoch line and the summary line.
+    let first = sub.next_telemetry().expect("telemetry line");
+    assert!(first.contains("\"event\""), "not a JSONL event: {first}");
+    let mut saw_summary = first.contains("\"summary\"") || first.contains("awct");
+    while let Ok(line) = sub.next_telemetry() {
+        saw_summary |= line.contains("awct");
+    }
+    assert!(saw_summary, "summary line never reached the subscriber");
+    let _ = server.wait().expect("clean serve");
+}
+
+/// After a drain, new requests on fresh connections answer in-band errors.
+#[test]
+fn drained_server_answers_errors() {
+    let w = workload(3, 4);
+    let cfg = ServiceConfig::new(1);
+    let server = mris_net::serve_net(
+        w.instance.clone(),
+        cfg,
+        SimClock::new(),
+        NullSink,
+        |inst, m| online_policy_by_name("tetris", inst, m).expect("known"),
+        "127.0.0.1:0",
+    )
+    .expect("bind");
+    let addr = server.addr().to_string();
+    let client = NetClient::connect(&addr, "", 0).expect("handshake");
+    let _ = client.drain().expect("drain");
+    let _ = server.wait().expect("clean");
+    // The listener is gone (or refuses) after the drain; either a failed
+    // connect or an in-band error is acceptable — never a hang or panic.
+    if let Ok(mut late) = NetClient::connect(&addr, "", 0) {
+        match late.submit(JobId(0)) {
+            Err(_) => {}
+            Ok(_) => panic!("drained server admitted a job"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wire codec properties (mirrors tests/durability_codec.rs)
+// ---------------------------------------------------------------------------
+
+fn all_requests() -> Vec<Request> {
+    vec![
+        Request::Submit { job: 0, at: None },
+        Request::Submit {
+            job: u32::MAX,
+            at: Some(-0.0),
+        },
+        Request::SubmitBatch {
+            jobs: vec![(1, None), (2, Some(3.5)), (u32::MAX, Some(1e300))],
+        },
+        Request::SubmitBatch { jobs: vec![] },
+        Request::Query { job: 17 },
+        Request::Stats,
+        Request::Subscribe,
+        Request::Drain,
+    ]
+}
+
+fn sample_responses() -> Vec<Response> {
+    vec![
+        Response::Error {
+            detail: "nope".to_string(),
+        },
+        Response::Submitted { result: Ok(()) },
+        Response::Submitted {
+            result: Err(AdmissionError::QueueFull {
+                depth: 9,
+                watermark: 8,
+            }),
+        },
+        Response::Submitted {
+            result: Err(AdmissionError::DemandInfeasible {
+                job: JobId(3),
+                resource: 1,
+                queued: 1.5,
+                budget: 1.25,
+            }),
+        },
+        Response::Submitted {
+            result: Err(AdmissionError::TenantQuota {
+                tenant: TenantId(2),
+                kind: TenantQuotaKind::FairShare {
+                    deficit: 10,
+                    cost: 500_000,
+                },
+            }),
+        },
+        Response::Submitted {
+            result: Err(AdmissionError::TenantQuota {
+                tenant: TenantId(1),
+                kind: TenantQuotaKind::QueueDepth {
+                    depth: 4,
+                    watermark: 4,
+                },
+            }),
+        },
+        Response::Submitted {
+            result: Err(AdmissionError::TenantQuota {
+                tenant: TenantId(0),
+                kind: TenantQuotaKind::QueuedDemand {
+                    queued: 0.75,
+                    budget: 0.5,
+                },
+            }),
+        },
+        Response::BatchSubmitted {
+            results: vec![
+                Ok(()),
+                Err(AdmissionError::QueueFull {
+                    depth: 1,
+                    watermark: 1,
+                }),
+            ],
+        },
+        Response::JobStatus {
+            outcome: JobOutcome::Completed,
+        },
+        Response::JobStatus {
+            outcome: JobOutcome::Rejected(AdmissionError::QueueFull {
+                depth: usize::MAX,
+                watermark: usize::MAX,
+            }),
+        },
+        Response::Subscribed,
+        Response::Telemetry {
+            line: "{\"event\": \"epoch\"}".to_string(),
+        },
+    ]
+}
+
+/// A drained response with real payload for fuzzing: run a tiny service.
+fn real_drained_response() -> Response {
+    let w = workload(11, 8);
+    let cfg = ServiceConfig::new(MACHINES);
+    let report = in_process_report(&w, "pq-wsjf", &cfg);
+    Response::Drained(Box::new(report))
+}
+
+#[test]
+fn wire_round_trip_is_exact() {
+    for req in all_requests() {
+        let bytes = Request::encode(&req);
+        assert_eq!(Request::decode(&bytes).expect("own encoding"), req);
+    }
+    for resp in sample_responses() {
+        let bytes = resp.encode();
+        assert_eq!(Response::decode(&bytes).expect("own encoding"), resp);
+    }
+    let drained = real_drained_response();
+    let bytes = drained.encode();
+    let back = Response::decode(&bytes).expect("own encoding");
+    match (&drained, &back) {
+        (Response::Drained(a), Response::Drained(b)) => assert_reports_equal(a, b),
+        _ => panic!("drained response changed shape"),
+    }
+}
+
+/// Truncating any payload at every boundary is a typed error, never a
+/// panic; same for every single-byte flip (or it decodes to a different
+/// value — never silently the same).
+#[test]
+fn corrupted_payloads_are_typed_or_divergent() {
+    let mut payloads: Vec<Vec<u8>> = all_requests().iter().map(Request::encode).collect();
+    payloads.extend(sample_responses().iter().map(Response::encode));
+    payloads.push(real_drained_response().encode());
+    for bytes in &payloads {
+        for cut in 0..bytes.len() {
+            let _ = Request::decode(&bytes[..cut]);
+            let _ = Response::decode(&bytes[..cut]);
+        }
+    }
+    let mut rng = Rng::new(0xFA22).substream("net-fuzz");
+    for bytes in &payloads {
+        for _ in 0..32 {
+            let mut bad = bytes.clone();
+            let flips = 1 + rng.next_u64_below(4) as usize;
+            for _ in 0..flips {
+                let bit = rng.next_u64_below(bad.len() as u64 * 8);
+                bad[(bit / 8) as usize] ^= 1 << (bit % 8);
+            }
+            // Typed or fine — but never a panic.
+            let _ = Request::decode(&bad);
+            let _ = Response::decode(&bad);
+        }
+    }
+    // Pure garbage too.
+    for len in [0usize, 1, 7, 64, 1024] {
+        let junk: Vec<u8> = (0..len).map(|_| rng.next_u64_below(256) as u8).collect();
+        let _ = Request::decode(&junk);
+        let _ = Response::decode(&junk);
+    }
+}
+
+/// The frame layer: checksum mismatches, hostile lengths, and torn frames
+/// are typed; a round-tripped frame is exact.
+#[test]
+fn frame_layer_is_typed() {
+    let payload = Request::Stats.encode();
+    let mut buf = Vec::new();
+    write_frame(&mut buf, &payload).expect("write to vec");
+    let got = read_frame(&mut Cursor::new(&buf)).expect("read own frame");
+    assert_eq!(got, payload);
+
+    // Flip a payload byte: checksum mismatch.
+    let mut bad = buf.clone();
+    let last = bad.len() - 1;
+    bad[last] ^= 0xFF;
+    match read_frame(&mut Cursor::new(&bad)) {
+        Err(NetError::Codec(mris_types::CodecError::ChecksumMismatch { .. })) => {}
+        other => panic!("expected checksum mismatch, got {other:?}"),
+    }
+
+    // Hostile length field: typed, no allocation bomb.
+    let mut hostile = Vec::new();
+    hostile.extend_from_slice(&u32::MAX.to_le_bytes());
+    hostile.extend_from_slice(&0u32.to_le_bytes());
+    match read_frame(&mut Cursor::new(&hostile)) {
+        Err(NetError::Codec(mris_types::CodecError::Malformed { .. })) => {}
+        other => panic!("expected malformed length, got {other:?}"),
+    }
+
+    // Torn frames at every cut: typed, never a panic.
+    for cut in 0..buf.len() {
+        match read_frame(&mut Cursor::new(&buf[..cut])) {
+            Ok(_) => panic!("torn frame decoded at cut {cut}"),
+            Err(NetError::Closed) => assert_eq!(cut, 0, "Closed only before the first byte"),
+            Err(_) => {}
+        }
+    }
+
+    // Empty stream is a clean close.
+    assert!(matches!(
+        read_frame(&mut Cursor::new(&[] as &[u8])),
+        Err(NetError::Closed)
+    ));
+}

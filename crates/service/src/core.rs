@@ -26,7 +26,7 @@ use mris_sim::{
 };
 use mris_types::{
     fraction, AdmissionError, Amount, ConfigError, DurabilityError, Instance, JobId,
-    RestartSemantics, Schedule, SchedulingError, Time, CAPACITY,
+    RestartSemantics, Schedule, SchedulingError, TenantId, TenantQuotaKind, Time, CAPACITY,
 };
 
 use crate::clock::Clock;
@@ -37,6 +37,7 @@ use crate::journal::{
 };
 use crate::snapshot::SnapshotStore;
 use crate::telemetry::{EpochRecord, ServiceSummary, TelemetrySink};
+use crate::tenant::{job_cost, TenantSpec, TenantStat, TenantState};
 
 /// Static configuration of a [`Service`].
 #[derive(Debug, Clone)]
@@ -63,6 +64,15 @@ pub struct ServiceConfig {
     pub restart: RestartSemantics,
     /// Machine failures to replay during the run.
     pub fault_plan: FaultPlan,
+    /// Tenant table for multi-tenant admission. Empty (the default) runs
+    /// the single-tenant path with zero per-tenant bookkeeping — byte-
+    /// identical to a build without tenancy.
+    pub tenants: Vec<TenantSpec>,
+    /// Global queue depth at or above which the weighted-fair
+    /// (deficit-round-robin) gate is consulted for multi-tenant
+    /// admissions. `usize::MAX` (the default) disables the fair gate;
+    /// ignored when `tenants` is empty.
+    pub fair_watermark: usize,
 }
 
 impl ServiceConfig {
@@ -76,6 +86,8 @@ impl ServiceConfig {
             load_watermark: f64::INFINITY,
             restart: RestartSemantics::FullRestart,
             fault_plan: FaultPlan::none(),
+            tenants: Vec::new(),
+            fair_watermark: usize::MAX,
         }
     }
 
@@ -106,6 +118,38 @@ impl ServiceConfig {
         if let RestartSemantics::WeightAging { factor } = self.restart {
             if !(factor.is_finite() && factor >= 0.0) {
                 return Err(ConfigError::InvalidAgingFactor { value: factor });
+            }
+        }
+        for (i, t) in self.tenants.iter().enumerate() {
+            if t.name.is_empty() {
+                return Err(ConfigError::InvalidTenant {
+                    tenant: i,
+                    detail: "name must be non-empty".into(),
+                });
+            }
+            if !(t.weight.is_finite() && t.weight > 0.0) {
+                return Err(ConfigError::InvalidTenant {
+                    tenant: i,
+                    detail: format!("weight must be finite and > 0, got {}", t.weight),
+                });
+            }
+            if t.queue_watermark == 0 {
+                return Err(ConfigError::InvalidTenant {
+                    tenant: i,
+                    detail: "queue_watermark 0 would shed every submission".into(),
+                });
+            }
+            if t.load_watermark.is_nan() || t.load_watermark <= 0.0 {
+                return Err(ConfigError::InvalidTenant {
+                    tenant: i,
+                    detail: format!("load_watermark must be positive, got {}", t.load_watermark),
+                });
+            }
+            if self.tenants[..i].iter().any(|o| o.name == t.name) {
+                return Err(ConfigError::InvalidTenant {
+                    tenant: i,
+                    detail: format!("duplicate tenant name '{}'", t.name),
+                });
             }
         }
         Ok(())
@@ -154,6 +198,18 @@ impl ServiceConfigBuilder {
         self
     }
 
+    /// Sets the tenant table for multi-tenant admission.
+    pub fn tenants(mut self, tenants: Vec<TenantSpec>) -> Self {
+        self.cfg.tenants = tenants;
+        self
+    }
+
+    /// Sets the contention threshold for the weighted-fair gate.
+    pub fn fair_watermark(mut self, watermark: usize) -> Self {
+        self.cfg.fair_watermark = watermark;
+        self
+    }
+
     /// Validates and returns the configuration.
     pub fn build(self) -> Result<ServiceConfig, ConfigError> {
         if self.cfg.queue_watermark == 0 {
@@ -189,6 +245,8 @@ pub struct ServiceReport {
     pub outcomes: Vec<JobOutcome>,
     /// End-of-run accounting (also pushed to the telemetry sink).
     pub summary: ServiceSummary,
+    /// Per-tenant accounting; empty on the single-tenant path.
+    pub tenants: Vec<TenantStat>,
 }
 
 /// Pending fault-queue entries; `Recover < Fail` so recoveries fire first
@@ -225,6 +283,11 @@ pub struct Service<C: Clock, S: TelemetrySink> {
     queue: BinaryHeap<Reverse<(OrdTime, u64, JobId)>>,
     /// Exact fixed-point per-resource demand of the queued jobs.
     queued_demand: Vec<Amount>,
+    /// Live per-tenant admission state; empty on the single-tenant path.
+    tenants: Vec<TenantState>,
+    /// Admitting tenant of each job, indexed by job id; empty when
+    /// single-tenant (everything is implicitly tenant 0).
+    job_tenant: Vec<u32>,
     seq: u64,
     fault_q: BinaryHeap<Reverse<(OrdTime, FaultKind)>>,
     re_released: Vec<JobId>,
@@ -244,6 +307,7 @@ pub struct Service<C: Clock, S: TelemetrySink> {
     accepted: usize,
     rejected_queue_full: usize,
     rejected_infeasible: usize,
+    rejected_tenant: usize,
     max_queue_depth: usize,
     epochs: usize,
     decision_ns: Vec<u64>,
@@ -280,6 +344,17 @@ impl<C: Clock, S: TelemetrySink> Service<C, S> {
             .enumerate()
             .map(|(i, e)| Reverse((OrdTime(e.at), FaultKind::Fail(i))))
             .collect();
+        let total_weight: f64 = cfg.tenants.iter().map(|t| t.weight).sum();
+        let tenants: Vec<TenantState> = cfg
+            .tenants
+            .iter()
+            .map(|t| TenantState::new(t.clone(), total_weight, cfg.num_machines, r))
+            .collect();
+        let job_tenant = if tenants.is_empty() {
+            Vec::new()
+        } else {
+            vec![0u32; n]
+        };
         Ok(Service {
             cluster: ClusterState::new(cfg.num_machines, r),
             schedule: Schedule::new(n, cfg.num_machines),
@@ -292,6 +367,8 @@ impl<C: Clock, S: TelemetrySink> Service<C, S> {
             outcomes: vec![JobOutcome::NotSubmitted; n],
             queue: BinaryHeap::new(),
             queued_demand: vec![0; r],
+            tenants,
+            job_tenant,
             seq: 0,
             fault_q,
             re_released: Vec::new(),
@@ -304,6 +381,7 @@ impl<C: Clock, S: TelemetrySink> Service<C, S> {
             accepted: 0,
             rejected_queue_full: 0,
             rejected_infeasible: 0,
+            rejected_tenant: 0,
             max_queue_depth: 0,
             epochs: 0,
             decision_ns: Vec::new(),
@@ -390,11 +468,27 @@ impl<C: Clock, S: TelemetrySink> Service<C, S> {
         self.outcomes[job.index()]
     }
 
+    /// Per-tenant accounting so far — the mid-run view of
+    /// [`ServiceReport::tenants`]. Empty on the single-tenant path.
+    pub fn tenant_stats(&self) -> Vec<TenantStat> {
+        self.tenants.iter().map(|t| t.stat()).collect()
+    }
+
     /// Submits `job` at the clock's current time without advancing it —
     /// the threaded front-end's entry point. See [`Service::submit_at`].
     pub fn submit(&mut self, job: JobId) -> Result<(), AdmissionError> {
+        self.submit_as(job, TenantId::DEFAULT)
+    }
+
+    /// [`Service::submit`] on behalf of `tenant`.
+    ///
+    /// # Panics
+    ///
+    /// If `tenant` is not in the configured tenant table (or nonzero on a
+    /// single-tenant service).
+    pub fn submit_as(&mut self, job: JobId, tenant: TenantId) -> Result<(), AdmissionError> {
         let now = self.clock.now();
-        self.admit(now, job)
+        self.admit(now, job, tenant)
     }
 
     /// Advances the service to time `t` (processing every event due
@@ -414,6 +508,21 @@ impl<C: Clock, S: TelemetrySink> Service<C, S> {
         t: Time,
         job: JobId,
     ) -> Result<Result<(), AdmissionError>, SchedulingError> {
+        self.submit_at_as(t, job, TenantId::DEFAULT)
+    }
+
+    /// [`Service::submit_at`] on behalf of `tenant`.
+    ///
+    /// # Panics
+    ///
+    /// Additionally panics if `tenant` is not in the configured tenant
+    /// table (or nonzero on a single-tenant service).
+    pub fn submit_at_as(
+        &mut self,
+        t: Time,
+        job: JobId,
+        tenant: TenantId,
+    ) -> Result<Result<(), AdmissionError>, SchedulingError> {
         while let Some(next) = self.next_event_time() {
             if next >= t {
                 break;
@@ -422,10 +531,36 @@ impl<C: Clock, S: TelemetrySink> Service<C, S> {
             self.process_event(now)?;
         }
         let now = self.clock.advance_to(t);
-        Ok(self.admit(now, job))
+        Ok(self.admit(now, job, tenant))
     }
 
-    fn admit(&mut self, now: Time, job: JobId) -> Result<(), AdmissionError> {
+    /// Records a tenant-quota rejection: ledger, counters, journal.
+    fn reject_tenant(
+        &mut self,
+        now: Time,
+        job: JobId,
+        tenant: TenantId,
+        kind: TenantQuotaKind,
+    ) -> AdmissionError {
+        let err = AdmissionError::TenantQuota { tenant, kind };
+        self.rejected_tenant += 1;
+        self.tenants[tenant.index()].rejected += 1;
+        mris_obs::counter_add_labeled(
+            "mris_tenant_rejected_total",
+            ("tenant", self.tenants[tenant.index()].label),
+            1,
+        );
+        self.outcomes[job.index()] = JobOutcome::Rejected(err);
+        self.emit(|| JournalRecord::Reject {
+            at: now,
+            job: job.0,
+            reason: RejectReason::TenantQuota,
+            tenant: tenant.0,
+        });
+        err
+    }
+
+    fn admit(&mut self, now: Time, job: JobId, tenant: TenantId) -> Result<(), AdmissionError> {
         assert!(
             job.index() < self.work.len(),
             "unknown job {job} (instance has {} jobs)",
@@ -435,6 +570,18 @@ impl<C: Clock, S: TelemetrySink> Service<C, S> {
             matches!(self.outcomes[job.index()], JobOutcome::NotSubmitted),
             "{job} was already submitted"
         );
+        if self.tenants.is_empty() {
+            assert!(
+                tenant == TenantId::DEFAULT,
+                "{tenant} submitted to a single-tenant service"
+            );
+        } else {
+            assert!(
+                tenant.index() < self.tenants.len(),
+                "unknown {tenant} (service has {} tenants)",
+                self.tenants.len()
+            );
+        }
         self.submitted += 1;
         let depth = self.queue.len();
         if depth >= self.cfg.queue_watermark {
@@ -444,13 +591,33 @@ impl<C: Clock, S: TelemetrySink> Service<C, S> {
             };
             self.rejected_queue_full += 1;
             mris_obs::counter_add("mris_service_rejected_queue_full_total", 1);
+            if !self.tenants.is_empty() {
+                self.tenants[tenant.index()].rejected += 1;
+                mris_obs::counter_add_labeled(
+                    "mris_tenant_rejected_total",
+                    ("tenant", self.tenants[tenant.index()].label),
+                    1,
+                );
+            }
             self.outcomes[job.index()] = JobOutcome::Rejected(err);
             self.emit(|| JournalRecord::Reject {
                 at: now,
                 job: job.0,
                 reason: RejectReason::QueueFull,
+                tenant: tenant.0,
             });
             return Err(err);
+        }
+        // Per-tenant queue-depth gate (multi-tenant only).
+        if !self.tenants.is_empty() {
+            let ts = &self.tenants[tenant.index()];
+            if ts.queued_jobs >= ts.spec.queue_watermark {
+                let kind = TenantQuotaKind::QueueDepth {
+                    depth: ts.queued_jobs,
+                    watermark: ts.spec.queue_watermark,
+                };
+                return Err(self.reject_tenant(now, job, tenant, kind));
+            }
         }
         let budget_ticks = self.cfg.load_watermark * self.cfg.num_machines as f64 * CAPACITY as f64;
         if budget_ticks.is_finite() {
@@ -467,15 +634,57 @@ impl<C: Clock, S: TelemetrySink> Service<C, S> {
                     };
                     self.rejected_infeasible += 1;
                     mris_obs::counter_add("mris_service_rejected_infeasible_total", 1);
+                    if !self.tenants.is_empty() {
+                        self.tenants[tenant.index()].rejected += 1;
+                        mris_obs::counter_add_labeled(
+                            "mris_tenant_rejected_total",
+                            ("tenant", self.tenants[tenant.index()].label),
+                            1,
+                        );
+                    }
                     self.outcomes[job.index()] = JobOutcome::Rejected(err);
                     self.emit(|| JournalRecord::Reject {
                         at: now,
                         job: job.0,
                         reason: RejectReason::LoadShed,
+                        tenant: tenant.0,
                     });
                     return Err(err);
                 }
             }
+        }
+        // Per-tenant queued-demand gate (multi-tenant only).
+        if !self.tenants.is_empty() {
+            let ts = &self.tenants[tenant.index()];
+            let tenant_budget =
+                ts.spec.load_watermark * self.cfg.num_machines as f64 * CAPACITY as f64;
+            if tenant_budget.is_finite() {
+                let j = self.work.job(job);
+                for (&queued, &demand) in ts.queued_demand.iter().zip(j.demands.iter()) {
+                    if (queued + demand) as f64 > tenant_budget {
+                        let kind = TenantQuotaKind::QueuedDemand {
+                            queued: fraction(queued),
+                            budget: ts.spec.load_watermark * self.cfg.num_machines as f64,
+                        };
+                        return Err(self.reject_tenant(now, job, tenant, kind));
+                    }
+                }
+            }
+        }
+        // Weighted-fair gate: when the global queue is contended, admission
+        // spends deficit credit earned from deliveries (see crate::tenant).
+        let mut spend = 0u64;
+        if !self.tenants.is_empty() && self.queue.len() >= self.cfg.fair_watermark {
+            let cost = job_cost(self.work.job(job));
+            let ts = &self.tenants[tenant.index()];
+            if ts.deficit < cost {
+                let kind = TenantQuotaKind::FairShare {
+                    deficit: ts.deficit,
+                    cost,
+                };
+                return Err(self.reject_tenant(now, job, tenant, kind));
+            }
+            spend = cost;
         }
         let j = self.work.job(job);
         let ready = now.max(j.release);
@@ -491,11 +700,36 @@ impl<C: Clock, S: TelemetrySink> Service<C, S> {
         self.seq += 1;
         self.accepted += 1;
         mris_obs::counter_add("mris_service_admitted_total", 1);
+        if !self.tenants.is_empty() {
+            let cost = job_cost(self.work.job(job));
+            let demand_ticks: u64 = self.work.job(job).demands.iter().sum();
+            let ts = &mut self.tenants[tenant.index()];
+            ts.deficit -= spend;
+            ts.queued_jobs += 1;
+            for (q, &d) in ts
+                .queued_demand
+                .iter_mut()
+                .zip(self.work.job(job).demands.iter())
+            {
+                *q += d;
+            }
+            ts.admitted += 1;
+            ts.admitted_cost += cost;
+            self.job_tenant[job.index()] = tenant.0;
+            let label = self.tenants[tenant.index()].label;
+            mris_obs::counter_add_labeled("mris_tenant_admitted_total", ("tenant", label), 1);
+            mris_obs::counter_add_labeled(
+                "mris_tenant_queued_demand_total",
+                ("tenant", label),
+                demand_ticks,
+            );
+        }
         self.max_queue_depth = self.max_queue_depth.max(self.queue.len());
         self.outcomes[job.index()] = JobOutcome::Accepted;
         self.emit(|| JournalRecord::Admit {
             at: now,
             job: job.0,
+            tenant: tenant.0,
         });
         Ok(())
     }
@@ -509,12 +743,18 @@ impl<C: Clock, S: TelemetrySink> Service<C, S> {
         self.process_event(at)
     }
 
-    /// Replays one admission decision at the recorded time `at`. The
-    /// decision itself is re-derived (and cross-checked by the replay
-    /// verifier), so the return value mirrors the original's.
-    pub(crate) fn replay_admit(&mut self, at: Time, job: JobId) -> Result<(), AdmissionError> {
+    /// Replays one admission decision at the recorded time `at` on behalf
+    /// of the recorded `tenant`. The decision itself is re-derived (and
+    /// cross-checked by the replay verifier), so the return value mirrors
+    /// the original's.
+    pub(crate) fn replay_admit(
+        &mut self,
+        at: Time,
+        job: JobId,
+        tenant: TenantId,
+    ) -> Result<(), AdmissionError> {
         self.clock.advance_to(at);
-        self.admit(at, job)
+        self.admit(at, job, tenant)
     }
 
     /// The time of the next pending event (delivery, completion, fault, or
@@ -653,6 +893,7 @@ impl<C: Clock, S: TelemetrySink> Service<C, S> {
         self.freed.sort_unstable();
         self.freed.dedup();
         self.deliver_buf.clear();
+        let mut delivered_cost = 0u64;
         while let Some(&Reverse((t, _, job))) = self.queue.peek() {
             if t.0 > now {
                 break;
@@ -665,7 +906,42 @@ impl<C: Clock, S: TelemetrySink> Service<C, S> {
             {
                 *q -= d;
             }
+            if !self.tenants.is_empty() {
+                delivered_cost += job_cost(self.work.job(job));
+                let ts = &mut self.tenants[self.job_tenant[job.index()] as usize];
+                ts.queued_jobs -= 1;
+                for (q, &d) in ts
+                    .queued_demand
+                    .iter_mut()
+                    .zip(self.work.job(job).demands.iter())
+                {
+                    *q -= d;
+                }
+            }
             self.deliver_buf.push(job);
+        }
+        // Deficit-round-robin credit: delivered cost is earned back by the
+        // tenants that still have work queued, proportional to weight, so
+        // a contended queue converges to a weight-proportional admitted
+        // split while a lone active tenant keeps the full delivery rate.
+        if delivered_cost > 0 {
+            let active_weight: f64 = self
+                .tenants
+                .iter()
+                .filter(|t| t.queued_jobs > 0)
+                .map(|t| t.spec.weight)
+                .sum();
+            for ts in self.tenants.iter_mut() {
+                if ts.queued_jobs > 0 {
+                    let credit = (delivered_cost as f64 * ts.spec.weight / active_weight) as u64;
+                    ts.deficit = (ts.deficit + credit).min(ts.burst);
+                } else {
+                    // The tenant left the active set: restore its burst
+                    // allowance (the DRR deficit reset) so it re-enters
+                    // contention from the same starting line.
+                    ts.deficit = ts.burst;
+                }
+            }
         }
         let arrivals = self.deliver_buf.len();
         // Reading the monotonic clock twice per event is measurable against
@@ -732,7 +1008,9 @@ impl<C: Clock, S: TelemetrySink> Service<C, S> {
             placements,
             completions,
             running: self.cluster.num_running(),
-            rejections_total: self.rejected_queue_full + self.rejected_infeasible,
+            rejections_total: self.rejected_queue_full
+                + self.rejected_infeasible
+                + self.rejected_tenant,
             decision_ns: decision_ns.unwrap_or(0),
         };
         self.epochs += 1;
@@ -801,6 +1079,7 @@ impl<C: Clock, S: TelemetrySink> Service<C, S> {
                 JobOutcome::Rejected(AdmissionError::DemandInfeasible { .. }) => 2,
                 JobOutcome::Accepted => 3,
                 JobOutcome::Completed => 4,
+                JobOutcome::Rejected(AdmissionError::TenantQuota { .. }) => 5,
             });
         }
         // Weight aging mutates `work`; everything else in it is static.
@@ -886,6 +1165,23 @@ impl<C: Clock, S: TelemetrySink> Service<C, S> {
         e.u8(encoded as u8);
         e.u64(sub.len() as u64);
         e.bytes(&sub);
+        // Tenant section — only on the multi-tenant path, so single-tenant
+        // snapshot bytes stay identical to the pre-tenancy format.
+        if !self.tenants.is_empty() {
+            e.u64(self.tenants.len() as u64);
+            for ts in &self.tenants {
+                e.u64(ts.queued_jobs as u64);
+                e.u64(ts.deficit);
+                e.u64(ts.admitted);
+                e.u64(ts.rejected);
+                e.u64(ts.admitted_cost);
+                e.u64(ts.queued_demand.len() as u64);
+                for &d in &ts.queued_demand {
+                    e.u64(d);
+                }
+            }
+            e.u64(self.rejected_tenant as u64);
+        }
         e.into_bytes()
     }
 
@@ -955,6 +1251,7 @@ impl<C: Clock, S: TelemetrySink> Service<C, S> {
                 log: self.log,
                 outcomes: self.outcomes,
                 summary,
+                tenants: self.tenants.iter().map(|t| t.stat()).collect(),
             },
             self.sink,
         ))

@@ -41,7 +41,22 @@ use crate::snapshot::{Snapshot, SnapshotStore, SNAPSHOT_VERSION};
 /// Journal file magic bytes.
 pub const JOURNAL_MAGIC: [u8; 4] = *b"MRJL";
 /// Newest journal format version this build reads and writes.
-pub const JOURNAL_VERSION: u32 = 1;
+///
+/// # Version history and back-compat rule
+///
+/// * **v1** — PR 8 format: `Admit`/`Reject` carry no tenant field.
+/// * **v2** — multi-tenancy: `Admit` and `Reject` payloads end with the
+///   admitting tenant's id (`u32`), and `Reject` gains the `TenantQuota`
+///   reason (tag 2).
+///
+/// Writers always write the newest version. Readers accept any version in
+/// `1..=JOURNAL_VERSION`: a v1 `Admit`/`Reject` decodes with tenant 0 (the
+/// single-tenant default), which replays identically because a v1 journal
+/// can only have been recorded by a single-tenant service. The
+/// configuration fingerprint incorporates the tenant table only when one
+/// is configured, so a v1 journal's fingerprint still matches a
+/// single-tenant restore under this build.
+pub const JOURNAL_VERSION: u32 = 2;
 /// Upper bound on a single frame's payload; real payloads are < 32 bytes,
 /// so anything larger is corruption, caught before allocating.
 const MAX_FRAME: u32 = 1 << 16;
@@ -60,6 +75,8 @@ pub enum RejectReason {
     QueueFull,
     /// Resource-load watermark hit.
     LoadShed,
+    /// A per-tenant quota or the weighted-fair gate hit (v2 journals only).
+    TenantQuota,
 }
 
 /// One durable record. Input records (`Admit`, `Reject`, `Event`, `Close`)
@@ -72,6 +89,9 @@ pub enum JournalRecord {
         at: Time,
         /// The admitted job id.
         job: u32,
+        /// The admitting tenant (0 on the single-tenant path; decoded as 0
+        /// from v1 journals).
+        tenant: u32,
     },
     /// A submission was rejected at `at`.
     Reject {
@@ -81,6 +101,9 @@ pub enum JournalRecord {
         job: u32,
         /// Which watermark shed it.
         reason: RejectReason,
+        /// The submitting tenant (0 on the single-tenant path; decoded as
+        /// 0 from v1 journals).
+        tenant: u32,
     },
     /// The event loop processed a decision event at `at`.
     Event {
@@ -141,19 +164,27 @@ impl JournalRecord {
     /// Appends the tagged payload encoding (no frame) to `e`.
     pub fn encode(&self, e: &mut Encoder) {
         match *self {
-            JournalRecord::Admit { at, job } => {
+            JournalRecord::Admit { at, job, tenant } => {
                 e.u8(1);
                 e.f64(at);
                 e.u32(job);
+                e.u32(tenant);
             }
-            JournalRecord::Reject { at, job, reason } => {
+            JournalRecord::Reject {
+                at,
+                job,
+                reason,
+                tenant,
+            } => {
                 e.u8(2);
                 e.f64(at);
                 e.u32(job);
                 e.u8(match reason {
                     RejectReason::QueueFull => 0,
                     RejectReason::LoadShed => 1,
+                    RejectReason::TenantQuota => 2,
                 });
+                e.u32(tenant);
             }
             JournalRecord::Event { at } => {
                 e.u8(3);
@@ -204,15 +235,18 @@ impl JournalRecord {
         }
     }
 
-    /// Decodes one tagged payload. `base` is the payload's offset in the
-    /// file, for error reporting.
-    pub fn decode(payload: &[u8], base: usize) -> Result<JournalRecord, CodecError> {
+    /// Decodes one tagged payload written by format `version`. `base` is
+    /// the payload's offset in the file, for error reporting. v1 payloads
+    /// lack the tenant field on `Admit`/`Reject`; it decodes as tenant 0
+    /// (see [`JOURNAL_VERSION`] for the back-compat rule).
+    pub fn decode(payload: &[u8], base: usize, version: u32) -> Result<JournalRecord, CodecError> {
         let mut d = Decoder::new(payload);
         let tag = d.u8()?;
         let rec = match tag {
             1 => JournalRecord::Admit {
                 at: d.f64()?,
                 job: d.u32()?,
+                tenant: if version >= 2 { d.u32()? } else { 0 },
             },
             2 => JournalRecord::Reject {
                 at: d.f64()?,
@@ -220,6 +254,7 @@ impl JournalRecord {
                 reason: match d.u8()? {
                     0 => RejectReason::QueueFull,
                     1 => RejectReason::LoadShed,
+                    2 if version >= 2 => RejectReason::TenantQuota,
                     other => {
                         return Err(CodecError::Malformed {
                             offset: base + d.offset() - 1,
@@ -227,6 +262,7 @@ impl JournalRecord {
                         })
                     }
                 },
+                tenant: if version >= 2 { d.u32()? } else { 0 },
             },
             3 => JournalRecord::Event { at: d.f64()? },
             4 => JournalRecord::Place {
@@ -293,15 +329,10 @@ impl Default for DurabilityConfig {
     }
 }
 
-/// FNV-1a fingerprint binding a journal/snapshot to the exact world it was
-/// recorded under: the instance, the service config (including the fault
-/// plan), and the durability cadences.
-pub fn config_fingerprint(
-    instance: &Instance,
-    cfg: &ServiceConfig,
-    dcfg: &DurabilityConfig,
-) -> u64 {
-    let mut e = Encoder::new();
+/// Encodes the world a service run is determined by: the instance and the
+/// full service config (fault plan and tenant table included). Shared by
+/// the durability fingerprint and the net handshake fingerprint.
+fn encode_world(e: &mut Encoder, instance: &Instance, cfg: &ServiceConfig) {
     e.u64(instance.len() as u64);
     e.u64(instance.num_resources() as u64);
     for j in instance.jobs() {
@@ -323,9 +354,45 @@ pub fn config_fingerprint(
             e.f64(factor);
         }
     }
-    encode_fault_plan(&mut e, &cfg.fault_plan);
+    encode_fault_plan(e, &cfg.fault_plan);
+    // Tenant section only when tenancy is actually in play, so a
+    // single-tenant config fingerprints identically to the pre-tenancy
+    // format (v1 journals of single-tenant runs stay restorable).
+    if !cfg.tenants.is_empty() || cfg.fair_watermark != usize::MAX {
+        e.u64(cfg.fair_watermark as u64);
+        e.u64(cfg.tenants.len() as u64);
+        for t in &cfg.tenants {
+            e.u64(t.name.len() as u64);
+            e.bytes(t.name.as_bytes());
+            e.f64(t.weight);
+            e.u64(t.queue_watermark as u64);
+            e.f64(t.load_watermark);
+        }
+    }
+}
+
+/// FNV-1a fingerprint binding a journal/snapshot to the exact world it was
+/// recorded under: the instance, the service config (including the fault
+/// plan and tenant table), and the durability cadences.
+pub fn config_fingerprint(
+    instance: &Instance,
+    cfg: &ServiceConfig,
+    dcfg: &DurabilityConfig,
+) -> u64 {
+    let mut e = Encoder::new();
+    encode_world(&mut e, instance, cfg);
     e.u32(dcfg.flush_every);
     e.u32(dcfg.snapshot_every);
+    fnv64(&e.into_bytes())
+}
+
+/// FNV-1a fingerprint of the instance and service config alone (no
+/// durability cadences) — what the `mris-net` handshake compares so a
+/// client and server agree they are scheduling the same world regardless
+/// of the server's journaling setup.
+pub fn service_fingerprint(instance: &Instance, cfg: &ServiceConfig) -> u64 {
+    let mut e = Encoder::new();
+    encode_world(&mut e, instance, cfg);
     fnv64(&e.into_bytes())
 }
 
@@ -450,7 +517,10 @@ pub(crate) fn parse_header(d: &mut Decoder<'_>) -> Result<(u32, u64), CodecError
     Ok((version, fingerprint))
 }
 
-pub(crate) fn parse_frame(d: &mut Decoder<'_>) -> Result<(JournalRecord, usize), CodecError> {
+pub(crate) fn parse_frame(
+    d: &mut Decoder<'_>,
+    version: u32,
+) -> Result<(JournalRecord, usize), CodecError> {
     let frame_start = d.offset();
     let len = d.u32()?;
     if len == 0 || len > MAX_FRAME {
@@ -470,7 +540,7 @@ pub(crate) fn parse_frame(d: &mut Decoder<'_>) -> Result<(JournalRecord, usize),
             computed,
         });
     }
-    let rec = JournalRecord::decode(payload, payload_start)?;
+    let rec = JournalRecord::decode(payload, payload_start, version)?;
     Ok((rec, d.offset()))
 }
 
@@ -481,7 +551,7 @@ pub fn parse_journal(bytes: &[u8]) -> Result<ParsedJournal, CodecError> {
     let (version, fingerprint) = parse_header(&mut d)?;
     let mut records = Vec::new();
     while d.remaining() > 0 {
-        let (rec, _) = parse_frame(&mut d)?;
+        let (rec, _) = parse_frame(&mut d, version)?;
         records.push(rec);
     }
     Ok(ParsedJournal {
@@ -506,7 +576,7 @@ pub fn read_valid_prefix(
     let mut valid = d.offset();
     let mut tail_error = None;
     while d.remaining() > 0 {
-        match parse_frame(&mut d) {
+        match parse_frame(&mut d, version) {
             Ok((rec, end)) => {
                 records.push(rec);
                 valid = end;

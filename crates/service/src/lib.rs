@@ -49,15 +49,16 @@ mod restore;
 mod server;
 mod snapshot;
 mod telemetry;
+mod tenant;
 
 pub use clock::{Clock, SimClock, WallClock};
 pub use codec::{crc32, fnv64, Decoder, Encoder};
 pub use core::{JobOutcome, Service, ServiceConfig, ServiceConfigBuilder, ServiceReport};
 pub use crash::{truncate_at_event, CrashPlan};
 pub use journal::{
-    config_fingerprint, parse_journal, read_valid_prefix, DurabilityConfig, JournalRecord,
-    JournalWriter, ParsedJournal, RejectReason, SharedBuf, HEADER_LEN, JOURNAL_MAGIC,
-    JOURNAL_VERSION,
+    config_fingerprint, parse_journal, read_valid_prefix, service_fingerprint, DurabilityConfig,
+    JournalRecord, JournalWriter, ParsedJournal, RejectReason, SharedBuf, HEADER_LEN,
+    JOURNAL_MAGIC, JOURNAL_VERSION,
 };
 pub use loadgen::{
     generate_workload, poisson_rate_for_utilization, run_workload, ArrivalProcess, LoadGenConfig,
@@ -72,3 +73,4 @@ pub use snapshot::{
 pub use telemetry::{
     EpochRecord, JsonlSink, MemorySink, NullSink, ObsBridge, ServiceSummary, TelemetrySink,
 };
+pub use tenant::{TenantSpec, TenantStat};

@@ -29,7 +29,9 @@
 //! running — exactly the fault model of the chaos driver.
 
 use mris_sim::{FaultPlan, OnlinePolicy};
-use mris_types::{CodecError, FaultEvent, FaultTarget, Instance, JobId, RestoreError, Time};
+use mris_types::{
+    CodecError, FaultEvent, FaultTarget, Instance, JobId, RestoreError, TenantId, Time,
+};
 
 use crate::clock::Clock;
 use crate::core::{JobOutcome, Service, ServiceConfig};
@@ -215,7 +217,10 @@ impl<C: Clock, S: TelemetrySink> Service<C, S> {
                 break;
             }
             match records[cursor] {
-                JournalRecord::Admit { at, job } | JournalRecord::Reject { at, job, .. } => {
+                JournalRecord::Admit { at, job, tenant }
+                | JournalRecord::Reject {
+                    at, job, tenant, ..
+                } => {
                     if job as usize >= num_jobs
                         || !matches!(svc.outcomes[job as usize], JobOutcome::NotSubmitted)
                     {
@@ -224,9 +229,15 @@ impl<C: Clock, S: TelemetrySink> Service<C, S> {
                             detail: format!("journal offers unknown or duplicate job {job}"),
                         });
                     }
+                    if tenant as usize >= svc.cfg.tenants.len().max(1) {
+                        return Err(RestoreError::Divergence {
+                            lsn: cursor as u64,
+                            detail: format!("journal names unknown tenant {tenant}"),
+                        });
+                    }
                     // The decision is re-derived; the emission it triggers
                     // is checked against this very record by the verifier.
-                    let _ = svc.replay_admit(at, JobId(job));
+                    let _ = svc.replay_admit(at, JobId(job), TenantId(tenant));
                 }
                 JournalRecord::Event { at } => {
                     svc.replay_event(at)?;

@@ -1,0 +1,173 @@
+//! Multi-tenant admission state: per-tenant quotas and weighted-fair
+//! (deficit-round-robin) sharing of the global admission watermark.
+//!
+//! Tenancy is opt-in: a [`crate::ServiceConfig`] with an empty tenant table
+//! runs the PR 8 single-tenant admission path byte-for-byte (no per-tenant
+//! bookkeeping, no new journal payload sections, identical fingerprints).
+//! With tenants configured, every submission carries a
+//! [`mris_types::TenantId`] and passes three extra gates after the global
+//! watermarks:
+//!
+//! 1. **Tenant queue depth** — the tenant's own undelivered-job watermark.
+//! 2. **Tenant queued demand** — the tenant's own load watermark, in
+//!    multiples of one machine's capacity, over its *queued* demand.
+//! 3. **Weighted-fair share** — when the global queue is contended (depth at
+//!    or above `fair_watermark`), admission spends *deficit credit*.
+//!    Credit is earned when queued work is delivered to the policy: the
+//!    delivered cost (peak demand ticks) is split among the tenants that
+//!    still have work queued, proportional to their configured weights.
+//!    A tenant that keeps submitting faster than its weight share earns
+//!    credit is rejected with [`mris_types::TenantQuotaKind::FairShare`]
+//!    until deliveries replenish it — deficit round-robin over admission
+//!    slots rather than packets.
+//!
+//! Credit is capped at a per-tenant *burst allowance* (its weight share of
+//! the whole cluster's capacity ticks), which doubles as the initial
+//! deficit so a freshly started tenant can fill its share of the queue
+//! before any delivery has happened. Crediting only *active* tenants (those
+//! with queued work) keeps a lone busy tenant at full delivery rate instead
+//! of starving it down to its weight share of an otherwise idle cluster.
+
+use mris_types::{Amount, Job, CAPACITY};
+
+/// Static description of one tenant: identity, authentication token, and
+/// admission quotas. Part of [`crate::ServiceConfig`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSpec {
+    /// Human-readable tenant name (the obs label value).
+    pub name: String,
+    /// Static bearer token presented by `mris-net` connections to
+    /// authenticate as this tenant.
+    pub token: String,
+    /// Fair-share weight; admitted cost under contention is proportional
+    /// to weights. Must be finite and positive.
+    pub weight: f64,
+    /// The tenant's own queue-depth watermark (counts its undelivered
+    /// jobs). `usize::MAX` (the default) disables the per-tenant gate.
+    pub queue_watermark: usize,
+    /// The tenant's own queued-demand watermark in multiples of one
+    /// machine's capacity. `f64::INFINITY` (the default) disables it.
+    pub load_watermark: f64,
+}
+
+impl TenantSpec {
+    /// A tenant with the given identity and weight, and permissive quotas.
+    pub fn new(name: impl Into<String>, token: impl Into<String>, weight: f64) -> Self {
+        TenantSpec {
+            name: name.into(),
+            token: token.into(),
+            weight,
+            queue_watermark: usize::MAX,
+            load_watermark: f64::INFINITY,
+        }
+    }
+
+    /// Sets the per-tenant queue-depth watermark.
+    pub fn queue_watermark(mut self, watermark: usize) -> Self {
+        self.queue_watermark = watermark;
+        self
+    }
+
+    /// Sets the per-tenant queued-demand watermark.
+    pub fn load_watermark(mut self, watermark: f64) -> Self {
+        self.load_watermark = watermark;
+        self
+    }
+}
+
+/// Per-tenant accounting in a drained [`crate::ServiceReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantStat {
+    /// Tenant name, copied from its [`TenantSpec`].
+    pub name: String,
+    /// Configured fair-share weight.
+    pub weight: f64,
+    /// Submissions admitted for this tenant.
+    pub admitted: u64,
+    /// Submissions rejected by any gate while attributed to this tenant.
+    pub rejected: u64,
+    /// Total admitted cost in demand ticks (peak demand across resources
+    /// per job) — the quantity the weighted-fair gate divides.
+    pub admitted_cost: u64,
+}
+
+/// Live per-tenant admission state inside the service.
+#[derive(Debug, Clone)]
+pub(crate) struct TenantState {
+    pub(crate) spec: TenantSpec,
+    /// Obs label value; leaked once per service so the hot path can use
+    /// `&'static str` labels.
+    pub(crate) label: &'static str,
+    /// The tenant's undelivered admitted jobs.
+    pub(crate) queued_jobs: usize,
+    /// The tenant's undelivered admitted demand, per resource.
+    pub(crate) queued_demand: Vec<Amount>,
+    /// Deficit-round-robin credit in demand ticks; spent on contended
+    /// admissions, earned from deliveries, capped at `burst`.
+    pub(crate) deficit: u64,
+    /// Credit cap and initial allowance: the tenant's weight share of the
+    /// cluster's total capacity ticks.
+    pub(crate) burst: u64,
+    pub(crate) admitted: u64,
+    pub(crate) rejected: u64,
+    pub(crate) admitted_cost: u64,
+}
+
+impl TenantState {
+    pub(crate) fn new(spec: TenantSpec, total_weight: f64, machines: usize, r: usize) -> Self {
+        let share = spec.weight / total_weight;
+        let burst = ((share * machines as f64 * CAPACITY as f64) as u64).max(1);
+        let label: &'static str = Box::leak(spec.name.clone().into_boxed_str());
+        TenantState {
+            spec,
+            label,
+            queued_jobs: 0,
+            queued_demand: vec![0; r],
+            deficit: burst,
+            burst,
+            admitted: 0,
+            rejected: 0,
+            admitted_cost: 0,
+        }
+    }
+
+    pub(crate) fn stat(&self) -> TenantStat {
+        TenantStat {
+            name: self.spec.name.clone(),
+            weight: self.spec.weight,
+            admitted: self.admitted,
+            rejected: self.rejected,
+            admitted_cost: self.admitted_cost,
+        }
+    }
+}
+
+/// A job's cost in demand ticks for the fair-share gate: its peak demand
+/// across resources, floored at one tick so zero-demand jobs still consume
+/// an admission slot.
+pub(crate) fn job_cost(job: &Job) -> u64 {
+    job.demands.iter().copied().max().unwrap_or(0).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_is_weight_share_of_cluster_ticks() {
+        let a = TenantState::new(TenantSpec::new("a", "ta", 3.0), 4.0, 4, 2);
+        let b = TenantState::new(TenantSpec::new("b", "tb", 1.0), 4.0, 4, 2);
+        assert_eq!(a.burst, (0.75 * 4.0 * CAPACITY as f64) as u64);
+        assert_eq!(b.burst, (0.25 * 4.0 * CAPACITY as f64) as u64);
+        assert_eq!(a.deficit, a.burst);
+    }
+
+    #[test]
+    fn spec_builder_sets_quotas() {
+        let s = TenantSpec::new("a", "t", 1.0)
+            .queue_watermark(8)
+            .load_watermark(2.0);
+        assert_eq!(s.queue_watermark, 8);
+        assert_eq!(s.load_watermark, 2.0);
+    }
+}

@@ -155,6 +155,11 @@ fn no_silent_drops_and_watermark_consistent_rejections() {
                                 prop_assert_eq!(budget.to_bits(), expect.to_bits(), "j{i} budget");
                                 prop_assert!(queued >= 0.0 && queued <= budget, "j{i} queued");
                             }
+                            AdmissionError::TenantQuota { .. } => {
+                                return Err(format!(
+                                    "j{i}: tenant quota fired on a single-tenant service"
+                                ));
+                            }
                         }
                         // Rejected jobs were never scheduled.
                         prop_assert!(

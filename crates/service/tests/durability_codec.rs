@@ -22,20 +22,33 @@ fn tiny_instance(n: usize) -> Instance {
 /// are rejected upstream so stay finite, max ids).
 fn all_records() -> Vec<JournalRecord> {
     vec![
-        JournalRecord::Admit { at: 0.0, job: 0 },
+        JournalRecord::Admit {
+            at: 0.0,
+            job: 0,
+            tenant: 0,
+        },
         JournalRecord::Admit {
             at: -0.0,
             job: u32::MAX,
+            tenant: u32::MAX,
         },
         JournalRecord::Reject {
             at: 1.25,
             job: 7,
             reason: RejectReason::QueueFull,
+            tenant: 0,
         },
         JournalRecord::Reject {
             at: 2.5,
             job: 8,
             reason: RejectReason::LoadShed,
+            tenant: 3,
+        },
+        JournalRecord::Reject {
+            at: 2.75,
+            job: 9,
+            reason: RejectReason::TenantQuota,
+            tenant: 1,
         },
         JournalRecord::Event { at: 3.75 },
         JournalRecord::Place {

@@ -1,0 +1,245 @@
+//! Multi-tenant admission properties: per-tenant quota gates fire typed,
+//! deficit-round-robin fair admission splits contended demand by weight,
+//! and a configured-but-unconstrained tenant table never changes
+//! scheduling (multi-tenant bookkeeping is observation-only until a
+//! quota is set).
+
+use mris_core::registry::online_policy_by_name;
+use mris_service::{
+    JobOutcome, MemorySink, NullSink, Service, ServiceConfig, ServiceReport, SimClock, TenantSpec,
+};
+use mris_types::{AdmissionError, Instance, Job, JobId, TenantId, TenantQuotaKind};
+
+/// `n` identical unit jobs, one resource, demand `demand`, released at
+/// `spacing * i`.
+fn uniform_instance(n: usize, demand: f64, spacing: f64) -> Instance {
+    let jobs = (0..n)
+        .map(|i| Job::from_fractions(JobId(0), spacing * i as f64, 1.0, 1.0, &[demand]))
+        .collect();
+    Instance::from_unnumbered(jobs, 1).expect("valid instance")
+}
+
+fn service(instance: &Instance, cfg: ServiceConfig) -> Service<SimClock, MemorySink> {
+    let policy =
+        online_policy_by_name("pq-wsjf", instance, cfg.num_machines).expect("known policy");
+    Service::new(
+        instance.clone(),
+        policy,
+        cfg,
+        SimClock::new(),
+        MemorySink::default(),
+    )
+    .expect("valid service config")
+}
+
+/// The per-tenant queue-depth watermark sheds the tenant's own overflow
+/// while the global queue still has room.
+#[test]
+fn tenant_queue_watermark_sheds_typed() {
+    let instance = uniform_instance(6, 0.4, 10.0);
+    let cfg = ServiceConfig::builder(1)
+        .tenants(vec![
+            TenantSpec::new("small", "s", 1.0).queue_watermark(2),
+            TenantSpec::new("big", "b", 1.0),
+        ])
+        .build()
+        .expect("valid");
+    let mut svc = service(&instance, cfg);
+    // Releases are far out, so admitted jobs stand in the queue.
+    assert!(svc
+        .submit_at_as(0.0, JobId(0), TenantId(0))
+        .unwrap()
+        .is_ok());
+    assert!(svc
+        .submit_at_as(0.0, JobId(1), TenantId(0))
+        .unwrap()
+        .is_ok());
+    match svc.submit_at_as(0.0, JobId(2), TenantId(0)).unwrap() {
+        Err(AdmissionError::TenantQuota {
+            tenant,
+            kind: TenantQuotaKind::QueueDepth { depth, watermark },
+        }) => {
+            assert_eq!(tenant, TenantId(0));
+            assert_eq!(depth, 2);
+            assert_eq!(watermark, 2);
+        }
+        other => panic!("expected tenant queue-depth shed, got {other:?}"),
+    }
+    // The other tenant is untouched by its neighbor's watermark.
+    assert!(svc
+        .submit_at_as(0.0, JobId(3), TenantId(1))
+        .unwrap()
+        .is_ok());
+    let (report, _) = svc.drain().expect("drain");
+    assert_eq!(report.tenants[0].rejected, 1);
+    assert_eq!(report.tenants[0].admitted, 2);
+    assert_eq!(report.tenants[1].admitted, 1);
+}
+
+/// The per-tenant queued-demand budget sheds typed with the observed
+/// queued fraction and budget.
+#[test]
+fn tenant_demand_budget_sheds_typed() {
+    let instance = uniform_instance(4, 0.4, 10.0);
+    let cfg = ServiceConfig::builder(1)
+        .tenants(vec![
+            TenantSpec::new("capped", "c", 1.0).load_watermark(0.5),
+            TenantSpec::new("free", "f", 1.0),
+        ])
+        .build()
+        .expect("valid");
+    let mut svc = service(&instance, cfg);
+    assert!(svc
+        .submit_at_as(0.0, JobId(0), TenantId(0))
+        .unwrap()
+        .is_ok());
+    match svc.submit_at_as(0.0, JobId(1), TenantId(0)).unwrap() {
+        Err(AdmissionError::TenantQuota {
+            tenant,
+            kind: TenantQuotaKind::QueuedDemand { queued, budget },
+        }) => {
+            assert_eq!(tenant, TenantId(0));
+            assert!(queued > 0.0 && budget > 0.0 && queued + 0.4 > budget);
+        }
+        other => panic!("expected tenant demand shed, got {other:?}"),
+    }
+    // The uncapped tenant still fits under the global watermark.
+    assert!(svc
+        .submit_at_as(0.0, JobId(2), TenantId(1))
+        .unwrap()
+        .is_ok());
+    let (report, _) = svc.drain().expect("drain");
+    assert_eq!(report.tenants[0].rejected, 1);
+}
+
+/// Drives a contended 2-tenant run: both tenants offer the same load far
+/// above capacity (submissions lead releases by `lead`, so the queue
+/// stands above the fair watermark) and the DRR gate splits admitted
+/// demand by weight. Returns the drained report.
+fn contended_run(weight_a: f64, weight_b: f64, jobs: usize) -> ServiceReport {
+    let spacing = 0.05; // 20 jobs/time offered vs 4 jobs/time capacity
+    let lead = 2.0;
+    let instance = uniform_instance(jobs, 0.5, spacing);
+    let cfg = ServiceConfig::builder(2)
+        .tenants(vec![
+            TenantSpec::new("alpha", "a", weight_a),
+            TenantSpec::new("beta", "b", weight_b),
+        ])
+        .fair_watermark(4)
+        .build()
+        .expect("valid");
+    let policy = online_policy_by_name("pq-wsjf", &instance, 2).expect("known policy");
+    let mut svc = Service::new(instance.clone(), policy, cfg, SimClock::new(), NullSink)
+        .expect("valid service config");
+    for job in instance.jobs() {
+        let tenant = TenantId(job.id.0 % 2);
+        let at = (job.release - lead).max(0.0);
+        let _ = svc.submit_at_as(at, job.id, tenant).expect("no violation");
+    }
+    let (report, _) = svc.drain().expect("drain");
+    report
+}
+
+/// The acceptance pin: a 3:1 weighted contended run splits admitted
+/// demand within 5 points of the configured 75/25 share.
+#[test]
+fn weighted_fair_split_tracks_weights() {
+    let report = contended_run(3.0, 1.0, 400);
+    let a = &report.tenants[0];
+    let b = &report.tenants[1];
+    // Contention was real: both tenants were shed by the fair gate.
+    assert!(a.rejected > 0, "alpha never shed — no contention");
+    assert!(b.rejected > 0, "beta never shed — no contention");
+    let total = (a.admitted_cost + b.admitted_cost) as f64;
+    let share_a = a.admitted_cost as f64 / total;
+    assert!(
+        (share_a - 0.75).abs() <= 0.05,
+        "alpha share {share_a:.3} strays from 0.75 by more than 5 points \
+         (alpha {} ticks, beta {} ticks)",
+        a.admitted_cost,
+        b.admitted_cost
+    );
+    // Every admitted job completed; the ledger partition holds.
+    assert_eq!(report.summary.accepted, report.summary.completed);
+}
+
+/// Equal weights split admitted demand evenly under the same contention.
+#[test]
+fn equal_weights_split_evenly() {
+    let report = contended_run(1.0, 1.0, 400);
+    let a = &report.tenants[0];
+    let b = &report.tenants[1];
+    let total = (a.admitted_cost + b.admitted_cost) as f64;
+    let share_a = a.admitted_cost as f64 / total;
+    assert!(
+        (share_a - 0.5).abs() <= 0.05,
+        "equal-weight share {share_a:.3} strays from 0.5"
+    );
+}
+
+/// A tenant table with no quotas and the fair gate off never changes
+/// scheduling: the run is bit-identical to the tenantless service (the
+/// single-tenant conservativity property, extended to "configured but
+/// unconstrained").
+#[test]
+fn unconstrained_tenants_do_not_change_scheduling() {
+    let instance = uniform_instance(30, 0.4, 0.3);
+    let bare = {
+        let mut svc = service(&instance, ServiceConfig::new(2));
+        for job in instance.jobs() {
+            let _ = svc.submit_at(job.release, job.id).expect("no violation");
+        }
+        svc.drain().expect("drain").0
+    };
+    let tenanted = {
+        let cfg = ServiceConfig::builder(2)
+            .tenants(vec![TenantSpec::new("only", "tok", 1.0)])
+            .build()
+            .expect("valid");
+        let mut svc = service(&instance, cfg);
+        for job in instance.jobs() {
+            let _ = svc
+                .submit_at_as(job.release, job.id, TenantId(0))
+                .expect("no violation");
+        }
+        svc.drain().expect("drain").0
+    };
+    assert_eq!(bare.schedule, tenanted.schedule);
+    assert_eq!(bare.outcomes, tenanted.outcomes);
+    assert_eq!(
+        bare.summary.awct.to_bits(),
+        tenanted.summary.awct.to_bits(),
+        "AWCT bits diverged"
+    );
+    assert!(bare.tenants.is_empty());
+    assert_eq!(tenanted.tenants.len(), 1);
+    assert_eq!(tenanted.tenants[0].admitted as usize, instance.len());
+    for o in &tenanted.outcomes {
+        assert!(matches!(o, JobOutcome::Completed));
+    }
+}
+
+/// Tenant configs are validated: empty names, bad weights, duplicate
+/// names, and a zero queue watermark are typed [`ConfigError`]s.
+#[test]
+fn tenant_config_validation() {
+    for bad in [
+        vec![TenantSpec::new("", "t", 1.0)],
+        vec![TenantSpec::new("a", "t", 0.0)],
+        vec![TenantSpec::new("a", "t", f64::NAN)],
+        vec![TenantSpec::new("a", "t", -1.0)],
+        vec![
+            TenantSpec::new("dup", "t1", 1.0),
+            TenantSpec::new("dup", "t2", 1.0),
+        ],
+        vec![TenantSpec::new("a", "t", 1.0).queue_watermark(0)],
+    ] {
+        assert!(
+            ServiceConfig::builder(2)
+                .tenants(bad.clone())
+                .build()
+                .is_err(),
+            "invalid tenant table accepted: {bad:?}"
+        );
+    }
+}

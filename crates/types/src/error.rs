@@ -1,6 +1,6 @@
 //! Error types for instance construction and online scheduling.
 
-use crate::JobId;
+use crate::{JobId, TenantId};
 
 /// A problem instance failed validation (see [`Instance::new`](crate::Instance::new)).
 #[derive(Debug, Clone, PartialEq)]
@@ -117,6 +117,45 @@ pub enum AdmissionError {
         /// The configured budget (`load_watermark * num_machines`).
         budget: f64,
     },
+    /// A multi-tenant quota rejected the submission: the submitting tenant
+    /// exhausted its own share even though the global watermarks may still
+    /// have room. Never produced by a single-tenant service.
+    TenantQuota {
+        /// The tenant whose quota was exhausted.
+        tenant: TenantId,
+        /// Which per-tenant limit fired.
+        kind: TenantQuotaKind,
+    },
+}
+
+/// Which per-tenant admission limit rejected a submission
+/// (see [`AdmissionError::TenantQuota`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TenantQuotaKind {
+    /// The tenant's own queue-depth watermark is at capacity.
+    QueueDepth {
+        /// Jobs the tenant already has queued.
+        depth: usize,
+        /// The tenant's configured depth watermark.
+        watermark: usize,
+    },
+    /// The tenant's queued-demand budget cannot absorb the job.
+    QueuedDemand {
+        /// The tenant's queued demand (machine-capacity fractions) on the
+        /// binding resource before the submission.
+        queued: f64,
+        /// The tenant's configured demand budget.
+        budget: f64,
+    },
+    /// The weighted-fair (deficit-round-robin) gate refused the submission:
+    /// the global queue is contended and the tenant has spent its deficit
+    /// credit faster than its weight share earns it back.
+    FairShare {
+        /// The tenant's deficit credit (demand ticks) at submission time.
+        deficit: u64,
+        /// The job's cost (demand ticks) the credit could not cover.
+        cost: u64,
+    },
 }
 
 impl std::fmt::Display for AdmissionError {
@@ -136,6 +175,20 @@ impl std::fmt::Display for AdmissionError {
                 "demand infeasible: {job} would push queued demand for resource {resource} \
                  past {budget:.3} (currently {queued:.3})"
             ),
+            AdmissionError::TenantQuota { tenant, kind } => match kind {
+                TenantQuotaKind::QueueDepth { depth, watermark } => write!(
+                    f,
+                    "{tenant} queue full: depth {depth} at tenant watermark {watermark}"
+                ),
+                TenantQuotaKind::QueuedDemand { queued, budget } => write!(
+                    f,
+                    "{tenant} demand quota exhausted: queued {queued:.3} of budget {budget:.3}"
+                ),
+                TenantQuotaKind::FairShare { deficit, cost } => write!(
+                    f,
+                    "{tenant} over fair share: deficit {deficit} ticks cannot cover cost {cost}"
+                ),
+            },
         }
     }
 }
@@ -371,6 +424,13 @@ pub enum ConfigError {
         /// The invalid value.
         value: f64,
     },
+    /// A tenant specification in the config's tenant table is invalid.
+    InvalidTenant {
+        /// Index of the offending tenant in the table.
+        tenant: usize,
+        /// What was wrong with it.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -395,6 +455,9 @@ impl std::fmt::Display for ConfigError {
                 f,
                 "service config: aging factor must be finite and >= 0, got {value}"
             ),
+            ConfigError::InvalidTenant { tenant, detail } => {
+                write!(f, "service config: tenant {tenant}: {detail}")
+            }
         }
     }
 }
@@ -643,6 +706,72 @@ impl From<SchedulingError> for RestoreError {
 impl From<ConfigError> for RestoreError {
     fn from(e: ConfigError) -> Self {
         RestoreError::Config(e)
+    }
+}
+
+/// A `mris-net` wire-protocol operation failed.
+///
+/// Transport failures (`Io`, `Closed`) and protocol failures (`Codec`,
+/// `FingerprintMismatch`, …) are distinguished so clients can decide
+/// between retrying and giving up. IO errors are rendered to strings —
+/// `std::io::Error` is neither `Clone` nor `PartialEq`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetError {
+    /// A socket read/write failed.
+    Io {
+        /// The underlying `std::io::Error`, rendered.
+        detail: String,
+    },
+    /// A frame or message failed to decode.
+    Codec(CodecError),
+    /// The server rejected the connection's authentication token.
+    AuthFailed,
+    /// The client and server disagree on the configuration fingerprint —
+    /// they are not looking at the same instance/config world.
+    FingerprintMismatch {
+        /// Fingerprint the server reported.
+        server: u64,
+        /// Fingerprint the client expected.
+        client: u64,
+    },
+    /// The server reported a request-level failure (e.g. a rejected drain).
+    Remote {
+        /// The server's rendering of the failure.
+        detail: String,
+    },
+    /// The peer answered with a response type the request does not admit.
+    UnexpectedResponse {
+        /// What arrived instead.
+        detail: String,
+    },
+    /// The connection was closed before the exchange completed.
+    Closed,
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io { detail } => write!(f, "net io failed: {detail}"),
+            NetError::Codec(e) => write!(f, "net frame corrupt: {e}"),
+            NetError::AuthFailed => write!(f, "authentication failed: unknown tenant token"),
+            NetError::FingerprintMismatch { server, client } => write!(
+                f,
+                "configuration fingerprint mismatch: server {server:#018x}, client {client:#018x}"
+            ),
+            NetError::Remote { detail } => write!(f, "server reported an error: {detail}"),
+            NetError::UnexpectedResponse { detail } => {
+                write!(f, "unexpected response: {detail}")
+            }
+            NetError::Closed => write!(f, "connection closed mid-exchange"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<CodecError> for NetError {
+    fn from(e: CodecError) -> Self {
+        NetError::Codec(e)
     }
 }
 

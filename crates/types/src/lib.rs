@@ -30,10 +30,11 @@ mod instance;
 mod job;
 mod resource;
 mod schedule;
+mod tenant;
 
 pub use error::{
     closest_match, AdmissionError, CodecError, ConfigError, DurabilityError, InstanceError,
-    RegistryError, RestoreError, SchedulingError,
+    NetError, RegistryError, RestoreError, SchedulingError, TenantQuotaKind,
 };
 pub use fault::{FaultEvent, FaultTarget, RestartSemantics};
 pub use instance::{Instance, InstanceStats};
@@ -42,6 +43,7 @@ pub use resource::{
     amount_from_fraction, fraction, saturating_add_demands, Amount, DemandVec, CAPACITY,
 };
 pub use schedule::{Assignment, Schedule, ScheduleError};
+pub use tenant::TenantId;
 
 /// Simulation time. Normalized instances measure time in multiples of the
 /// minimum processing time, so `p_j >= 1.0` for every job.

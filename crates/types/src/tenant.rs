@@ -1,0 +1,50 @@
+//! Tenant identity for the multi-tenant service front door.
+//!
+//! A *tenant* is an admission-control principal: a named share of the
+//! service's queue and demand budget. Tenancy is deliberately thin at the
+//! type level — a `TenantId` is just an index into the service's configured
+//! tenant table — so that the single-tenant in-process path pays nothing
+//! for it (tenant 0 is the implicit default everywhere).
+
+/// Identifies a tenant by its index in the service's tenant table.
+///
+/// Tenant 0 is the default tenant: a service configured with no explicit
+/// tenants runs every submission as tenant 0 and skips all per-tenant
+/// accounting, which keeps the PR 8 single-tenant byte streams (journal,
+/// snapshot, durable state) unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TenantId(pub u32);
+
+impl TenantId {
+    /// The implicit default tenant used by the single-tenant path.
+    pub const DEFAULT: TenantId = TenantId(0);
+
+    /// The tenant's index in the configured tenant table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tenant {}", self.0)
+    }
+}
+
+impl From<u32> for TenantId {
+    fn from(v: u32) -> Self {
+        TenantId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_tenant_zero() {
+        assert_eq!(TenantId::default(), TenantId::DEFAULT);
+        assert_eq!(TenantId::DEFAULT.index(), 0);
+        assert_eq!(TenantId::from(3).to_string(), "tenant 3");
+    }
+}

@@ -24,9 +24,11 @@ $B/timeline --out results/BENCH_timeline.json > /dev/null 2> results/timeline.lo
 # machines; --gate enforces sharded >= sequential at 1000 machines.
 $B/scale --gate --out results/BENCH_scale.json > /dev/null 2> results/scale.log
 $B/chaos    --out results/BENCH_chaos.json    > /dev/null 2> results/chaos.log
-# service bench includes the MRIS stage_breakdown section (obs-enabled pass)
-# and the durability section (journal-on vs journal-off throughput with a
-# <15% overhead budget, plus restore latency vs journal-tail length).
+# service bench includes the MRIS stage_breakdown section (obs-enabled pass),
+# the durability section (journal-on vs journal-off throughput with a
+# <15% overhead budget, plus restore latency vs journal-tail length), and the
+# net section (loopback TCP front-door round-trip latency + throughput vs
+# in-process, and the 2-tenant weighted-fair split accuracy).
 $B/service  --out results/BENCH_service.json  > /dev/null 2> results/service.log
 $B/obs      --out results/BENCH_obs.json      > /dev/null 2> results/obs.log
 echo ALL_DONE

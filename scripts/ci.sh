@@ -77,7 +77,10 @@ for key in '"bench": "service"' '"mode": "smoke"' '"poisson_rate"' \
   '"commit"' '"memo_hits"' '"memo_misses"' '"durability"' \
   '"journal_off_jobs_per_sec"' '"journal_on_jobs_per_sec"' \
   '"overhead_pct"' '"within_budget"' '"journal_bytes"' '"restore"' \
-  '"regenerated"' '"clean_shutdown"' '"restore_seconds"'; do
+  '"regenerated"' '"clean_shutdown"' '"restore_seconds"' \
+  '"net"' '"inproc_jobs_per_sec"' '"tcp_jobs_per_sec"' \
+  '"tcp_vs_inproc_ratio"' '"submit_rtt_us"' '"fair_split"' \
+  '"target_share": 0.75' '"measured_share"' '"within_5pct"'; do
   grep -qF "$key" results/BENCH_service_smoke.json \
     || { echo "BENCH_service_smoke.json is missing $key" >&2; exit 1; }
 done
@@ -85,6 +88,10 @@ done
 echo "==> durability suites in release (crash-restart equivalence + codec fuzz)"
 cargo test -q --release --offline -p mris-service \
   --test crash_restart --test durability_codec
+
+echo "==> net + tenancy suites in release (TCP ≡ in-process, frame fuzz, DRR split)"
+cargo test -q --release --offline -p mris-net --test net_conservativity
+cargo test -q --release --offline -p mris-service --test tenant_fairness
 
 echo "==> CLI crash-restart smoke (serve --journal, torn tail, restore)"
 DUR_TMP=$(mktemp -d)
@@ -106,6 +113,46 @@ grep -q 'shutdown    = crash' "$DUR_TMP/restore.txt" \
 SERVE_AWCT=$(grep '^AWCT' "$DUR_TMP/serve.txt")
 grep -qF "$SERVE_AWCT" "$DUR_TMP/restore.txt" \
   || { echo "crash-restart AWCT diverged from the uncrashed serve" >&2; exit 1; }
+
+echo "==> CLI loopback smoke (serve --listen, client submit, drain, AWCT grep)"
+NET_TMP=$(mktemp -d)
+trap 'rm -rf "$DUR_TMP" "$NET_TMP"' EXIT
+cargo run --release --offline -p mris-cli --bin mris -- generate \
+  --jobs 60 --out "$NET_TMP/trace.csv" >/dev/null
+# Two tenants so the per-tenant metric families are live; the ephemeral
+# port lands in --port-file once the door is open.
+cargo run --release --offline -p mris-cli --bin mris -- serve \
+  --trace "$NET_TMP/trace.csv" --algo pq-wsjf --machines 3 \
+  --tenants 'alpha:tok-a:3.0,beta:tok-b:1.0' \
+  --listen 127.0.0.1:0 --port-file "$NET_TMP/port.txt" \
+  --metrics-path "$NET_TMP/metrics.prom" > "$NET_TMP/serve.txt" 2>/dev/null &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  [ -s "$NET_TMP/port.txt" ] && break
+  sleep 0.1
+done
+[ -s "$NET_TMP/port.txt" ] || { echo "serve --listen never opened its door" >&2; exit 1; }
+ADDR=$(cat "$NET_TMP/port.txt")
+cargo run --release --offline -p mris-cli --bin mris -- client submit \
+  --connect "$ADDR" --trace "$NET_TMP/trace.csv" --token tok-a > "$NET_TMP/submit.txt"
+grep -q 'accepted 60, rejected 0' "$NET_TMP/submit.txt" \
+  || { echo "client submit did not admit the whole trace" >&2; exit 1; }
+cargo run --release --offline -p mris-cli --bin mris -- client drain \
+  --connect "$ADDR" --token tok-b > "$NET_TMP/drain.txt"
+wait "$SERVE_PID" || { echo "serve --listen exited non-zero" >&2; exit 1; }
+grep -q '^AWCT' "$NET_TMP/drain.txt" \
+  || { echo "client drain printed no AWCT" >&2; exit 1; }
+SERVE_AWCT=$(grep '^AWCT' "$NET_TMP/serve.txt")
+grep -qF "$SERVE_AWCT" "$NET_TMP/drain.txt" \
+  || { echo "client-side AWCT diverged from the server's report" >&2; exit 1; }
+grep -q 'fault log verified OK' "$NET_TMP/drain.txt" \
+  || { echo "client drain skipped fault-log verification" >&2; exit 1; }
+for family in mris_net_connections_total mris_net_frames_rx_total \
+  mris_net_frames_tx_total mris_net_bytes_rx_total mris_net_bytes_tx_total \
+  mris_tenant_admitted_total mris_tenant_queued_demand_total; do
+  grep -q "^# TYPE $family " "$NET_TMP/metrics.prom" \
+    || { echo "serve --listen metrics are missing the $family family" >&2; exit 1; }
+done
 
 echo "==> obs bench smoke run + schema check"
 cargo run --release --offline -p mris-bench --bin obs -- \

@@ -24,8 +24,12 @@
 //!   ([`mris_knapsack`]), an Azure-like trace generator ([`mris_trace`]),
 //!   and experiment metrics ([`mris_metrics`]);
 //! * a long-running scheduling daemon ([`mris_service`]) wrapping any
-//!   registered policy behind admission control, epoch batching, pluggable
-//!   clocks, and per-epoch telemetry, plus an open-loop load generator.
+//!   registered policy behind admission control (including multi-tenant
+//!   quotas and weighted-fair sharing), epoch batching, pluggable clocks,
+//!   and per-epoch telemetry, plus an open-loop load generator;
+//! * a TCP front door ([`mris_net`]) exposing the daemon over a
+//!   length-prefixed CRC-framed wire protocol with token-authenticated
+//!   tenants — bit-identical to the in-process service.
 //!
 //! ## Quickstart
 //!
@@ -55,6 +59,7 @@ pub use mris_core as core;
 pub use mris_core::registry;
 pub use mris_knapsack as knapsack;
 pub use mris_metrics as metrics;
+pub use mris_net as net;
 pub use mris_obs as obs;
 pub use mris_schedulers as schedulers;
 pub use mris_service as service;
