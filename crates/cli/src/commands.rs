@@ -7,7 +7,9 @@ use mris_trace::{instance_to_csv, parse_instance_csv, AzureTrace, AzureTraceConf
 use mris_types::Instance;
 
 use crate::schedule_io::{parse_schedule_csv, schedule_to_csv};
-use mris_core::registry::{algorithm_by_name, known_algorithms, online_policy_by_name};
+use mris_core::registry::{
+    algorithm_by_name, algorithm_for_workload, known_algorithms, online_policy_by_name,
+};
 use mris_net::NetClient;
 use mris_service::{
     generate_workload, poisson_rate_for_utilization, service_fingerprint, ArrivalProcess,
@@ -18,7 +20,7 @@ use mris_service::{
 use mris_sim::{
     run_online_chaos, suggested_horizon, FaultPlan, PoissonFaultConfig, RackBurstConfig,
 };
-use mris_types::{JobId, RestartSemantics};
+use mris_types::{ClusterSpec, JobId, RestartSemantics, Schedule};
 
 /// A CLI failure: message for the user, non-zero exit.
 #[derive(Debug)]
@@ -74,9 +76,10 @@ fn usage() -> String {
          USAGE:\n\
          \x20 mris generate --jobs N [--seed S] [--out trace.csv]\n\
          \x20 mris schedule --trace trace.csv --algo NAME --machines M [--out schedule.csv]\n\
-         \x20      [--obs] [--obs-events events.jsonl] [--metrics-path metrics.prom]\n\
-         \x20      ('run' is an alias of 'schedule')\n\
-         \x20 mris compare --trace trace.csv --machines M [--algos a,b,c]\n\
+         \x20      [--speeds a,b,c] [--obs] [--obs-events events.jsonl]\n\
+         \x20      [--metrics-path metrics.prom] ('run' is an alias of 'schedule';\n\
+         \x20      --speeds cycles related-machine speeds over the cluster)\n\
+         \x20 mris compare --trace trace.csv --machines M [--algos a,b,c] [--speeds a,b,c]\n\
          \x20 mris validate --trace trace.csv --schedule schedule.csv --machines M\n\
          \x20 mris chaos --trace trace.csv --machines M [--algos a,b,c] [--rate X]\n\
          \x20      [--mttr-frac F] [--seed S] [--restart full|aging] [--aging-factor K]\n\
@@ -269,20 +272,64 @@ fn generate(flags: &Flags) -> Result<String, CliError> {
     }
 }
 
+/// Parses `--speeds a,b,c` into a cluster spec: absent means the uniform
+/// (identical-machine) cluster; present means related machines with the
+/// listed speeds cycled over the fleet (DESIGN.md §16).
+fn cluster_from_flags(flags: &Flags, machines: usize) -> Result<ClusterSpec, CliError> {
+    let Some(raw) = flags.get("speeds") else {
+        return Ok(ClusterSpec::uniform(machines));
+    };
+    let mut speeds = Vec::new();
+    for part in raw.split(',') {
+        let s: f64 = part
+            .trim()
+            .parse()
+            .map_err(|e| CliError(format!("--speeds: {e}")))?;
+        if !s.is_finite() || s <= 0.0 {
+            return Err(CliError(format!("--speeds: {s} is not a positive speed")));
+        }
+        speeds.push(s);
+    }
+    if speeds.is_empty() {
+        return Err(CliError("--speeds needs at least one value".into()));
+    }
+    Ok(ClusterSpec::related(machines, &speeds))
+}
+
+/// Latest completion under the spec's effective processing times; equals
+/// `Schedule::makespan` on a uniform spec.
+fn makespan_on(schedule: &Schedule, instance: &Instance, spec: &ClusterSpec) -> f64 {
+    instance
+        .jobs()
+        .iter()
+        .filter_map(|j| {
+            let a = schedule.get(j.id)?;
+            Some(a.start + spec.effective_time(a.machine, j.proc_time))
+        })
+        .fold(0.0, f64::max)
+}
+
 fn schedule(flags: &Flags) -> Result<String, CliError> {
     let instance = load_instance(flags.require("trace")?)?;
     let machines: usize = flags.get_parsed("machines", 20)?;
-    let algo = algorithm_by_name(flags.require("algo")?)?;
+    let cluster = cluster_from_flags(flags, machines)?;
+    let algo = algorithm_for_workload(flags.require("algo")?, &instance, &cluster)?;
     let obs = obs_from_flags(flags)?;
-    let schedule = algo.schedule(&instance, machines);
+    let schedule = algo
+        .try_schedule_on(&instance, &cluster)
+        .map_err(|e| CliError(format!("{}: {e}", algo.name())))?;
     schedule
-        .validate(&instance)
+        .validate_on(&instance, &cluster)
         .map_err(|e| CliError(format!("internal error: produced invalid schedule: {e}")))?;
+    let speeds_line = match flags.get("speeds") {
+        Some(raw) => format!("# speeds: {raw}\n"),
+        None => String::new(),
+    };
     let mut report = format!(
-        "# algorithm: {}\n# machines: {machines}\n# AWCT: {:.6}\n# makespan: {:.6}\n",
+        "# algorithm: {}\n# machines: {machines}\n{speeds_line}# AWCT: {:.6}\n# makespan: {:.6}\n",
         algo.name(),
-        schedule.awct(&instance),
-        schedule.makespan(&instance)
+        schedule.awct_on(&instance, &cluster),
+        makespan_on(&schedule, &instance, &cluster)
     );
     let csv = schedule_to_csv(&schedule);
     let obs_text = match &obs {
@@ -296,7 +343,7 @@ fn schedule(flags: &Flags) -> Result<String, CliError> {
                 "scheduled {} jobs with {}; AWCT = {:.3}; wrote {path}\n{obs_text}",
                 instance.len(),
                 algo.name(),
-                schedule.awct(&instance)
+                schedule.awct_on(&instance, &cluster)
             ))
         }
         None => {
@@ -310,9 +357,12 @@ fn schedule(flags: &Flags) -> Result<String, CliError> {
 fn compare(flags: &Flags) -> Result<String, CliError> {
     let instance = load_instance(flags.require("trace")?)?;
     let machines: usize = flags.get_parsed("machines", 20)?;
+    let cluster = cluster_from_flags(flags, machines)?;
     let names = flags
         .get("algos")
         .unwrap_or("mris,pq-wsjf,tetris,bf-exec,ca-pq");
+    // The provable lower bound assumes identical unit-speed machines, so
+    // the ratio column only applies on a uniform cluster.
     let lb = awct_lower_bound(&instance, machines);
     let mut table = Table::new(vec![
         "algorithm",
@@ -323,23 +373,35 @@ fn compare(flags: &Flags) -> Result<String, CliError> {
         "zero-delay",
     ]);
     for name in names.split(',') {
-        let algo = algorithm_by_name(name.trim())?;
-        let schedule = algo.schedule(&instance, machines);
+        let algo = algorithm_for_workload(name.trim(), &instance, &cluster)?;
+        let schedule = algo
+            .try_schedule_on(&instance, &cluster)
+            .map_err(|e| CliError(format!("{}: {e}", algo.name())))?;
         schedule
-            .validate(&instance)
+            .validate_on(&instance, &cluster)
             .map_err(|e| CliError(format!("{}: invalid schedule: {e}", algo.name())))?;
+        let awct = schedule.awct_on(&instance, &cluster);
         let cdf = Cdf::new(schedule.queuing_delays(&instance));
         table.push_row(vec![
             algo.name(),
-            format!("{:.1}", schedule.awct(&instance)),
-            format!("{:.2}", schedule.awct(&instance) / lb),
-            format!("{:.1}", schedule.makespan(&instance)),
+            format!("{awct:.1}"),
+            if cluster.is_uniform() {
+                format!("{:.2}", awct / lb)
+            } else {
+                "-".to_string()
+            },
+            format!("{:.1}", makespan_on(&schedule, &instance, &cluster)),
             format!("{:.1}", cdf.quantile(0.5)),
             format!("{:.0}%", cdf.fraction_zero() * 100.0),
         ]);
     }
+    let cluster_note = match flags.get("speeds") {
+        Some(raw) => format!(", related speeds {raw}"),
+        None => String::new(),
+    };
     Ok(format!(
-        "{} jobs, {} resources, {machines} machines (AWCT/LB upper-bounds the true ratio)\n\n{}",
+        "{} jobs, {} resources, {machines} machines{cluster_note} \
+         (AWCT/LB upper-bounds the true ratio)\n\n{}",
         instance.len(),
         instance.num_resources(),
         table.to_markdown()
@@ -1297,6 +1359,48 @@ mod tests {
             "{out}"
         );
         assert!(out.contains("AWCT/LB"));
+    }
+
+    #[test]
+    fn compare_on_related_speeds() {
+        let trace_path = tmp("related_trace.csv");
+        run(&s(&[
+            "generate",
+            "--jobs",
+            "150",
+            "--out",
+            trace_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let out = run(&s(&[
+            "compare",
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--machines",
+            "4",
+            "--algos",
+            "mris,pq-wsjf",
+            "--speeds",
+            "2.0,1.0,0.5",
+        ]))
+        .unwrap();
+        // The unit-speed lower bound doesn't apply on a related cluster.
+        assert!(out.contains("related speeds 2.0,1.0,0.5"), "{out}");
+        assert!(out.contains(" - |"), "{out}");
+
+        let err = run(&s(&[
+            "schedule",
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--algo",
+            "mris",
+            "--machines",
+            "4",
+            "--speeds",
+            "0,-1",
+        ]))
+        .unwrap_err();
+        assert!(err.0.contains("positive speed"), "{}", err.0);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use mris_knapsack::{Cadp, GreedyConstraint, Item, KnapsackSolver, SolveScratch};
 use mris_schedulers::Scheduler;
 use mris_sim::ClusterTimelines;
-use mris_types::{Instance, JobId, Schedule, Time};
+use mris_types::{ClusterSpec, Instance, JobId, Schedule, Time};
 
 use crate::config::{KnapsackChoice, MrisConfig};
 use crate::epoch::EpochState;
@@ -106,7 +106,24 @@ impl Mris {
         instance: &Instance,
         num_machines: usize,
     ) -> (Schedule, Vec<IterationStats>) {
+        self.schedule_with_log_on(instance, &ClusterSpec::uniform(num_machines))
+    }
+
+    /// [`Mris::schedule_with_log`] on an explicit cluster description:
+    /// placement probes and commits scale nominal work by each machine's
+    /// speed and respect per-machine capacities. On a uniform spec this is
+    /// bit-identical to the historical path.
+    ///
+    /// Precedence edges are ignored here — the offline pass has no
+    /// completion events to gate on. [`Scheduler::try_schedule_on`] routes
+    /// DAG instances through the event-driven engine instead.
+    pub fn schedule_with_log_on(
+        &self,
+        instance: &Instance,
+        cluster: &ClusterSpec,
+    ) -> (Schedule, Vec<IterationStats>) {
         self.config.validate();
+        let num_machines = cluster.len();
         assert!(num_machines > 0);
         let _span = mris_obs::span!(
             "mris_schedule_seconds",
@@ -135,7 +152,7 @@ impl Mris {
             KnapsackChoice::Exact => Box::new(mris_knapsack::ExactDp::default()),
         };
 
-        let mut timelines = ClusterTimelines::new(num_machines, r);
+        let mut timelines = ClusterTimelines::with_spec(cluster, r);
         // Lines 3-6 of each iteration run inside `EpochState::run_epoch`:
         // eligibility via the monotone frontier, P1 via the memoized
         // knapsack, placement via PQ-with-backfilling (see `epoch.rs`).
@@ -193,12 +210,29 @@ impl Scheduler for Mris {
         }
     }
 
-    fn try_schedule(
+    fn try_schedule_on(
         &self,
         instance: &Instance,
-        num_machines: usize,
+        cluster: &ClusterSpec,
     ) -> Result<Schedule, mris_types::SchedulingError> {
-        Ok(self.schedule_with_log(instance, num_machines).0)
+        if instance.has_precedence() {
+            // The offline pass packs timelines with no completion events to
+            // gate on, so DAG instances run through the event-driven engine
+            // instead: fault-free, MrisOnline reproduces the offline pass
+            // exactly (pinned by the chaos determinism suite), and the
+            // driver withholds each job until its predecessors complete.
+            let mut policy = crate::MrisOnline::new_on(self.config, instance, cluster);
+            return mris_sim::run_online(instance, cluster, &mut policy);
+        }
+        Ok(self.schedule_with_log_on(instance, cluster).0)
+    }
+
+    fn supports_precedence(&self) -> bool {
+        true
+    }
+
+    fn supports_heterogeneous(&self) -> bool {
+        true
     }
 }
 

@@ -318,19 +318,22 @@ impl EpochState {
         let mut commit_time = std::time::Duration::ZERO;
         for &id in &self.scratch.batch {
             let job = instance.job(id);
+            // `proc_time` is nominal work; the fit probe and `commit_job`
+            // both scale it by the chosen machine's speed (a no-op on unit
+            // machines, where `p / 1.0` is bitwise `p`).
             let (machine, start) = if timed {
                 let t0 = std::time::Instant::now();
                 let (machine, start) =
                     timelines.earliest_fit_mut(floor, job.proc_time, &job.demands);
                 let t1 = std::time::Instant::now();
-                timelines.commit(machine, start, job.proc_time, &job.demands);
+                timelines.commit_job(machine, start, job.proc_time, &job.demands);
                 probe_time += t1 - t0;
                 commit_time += t1.elapsed();
                 (machine, start)
             } else {
                 let (machine, start) =
                     timelines.earliest_fit_mut(floor, job.proc_time, &job.demands);
-                timelines.commit(machine, start, job.proc_time, &job.demands);
+                timelines.commit_job(machine, start, job.proc_time, &job.demands);
                 (machine, start)
             };
             placements.push((id, machine, start));

@@ -42,6 +42,6 @@ pub use ffd::place_batch_ffd;
 pub use online::MrisOnline;
 pub use oracle::{best_list_schedule, list_schedule};
 pub use registry::{
-    algorithm_by_name, algorithms_by_names, comparison_algorithms, known_algorithms,
-    online_policy_by_name,
+    algorithm_by_name, algorithm_for_workload, algorithms_by_names, comparison_algorithms,
+    known_algorithms, online_policy_by_name, online_policy_for_workload, online_policy_on,
 };

@@ -23,7 +23,7 @@ use std::collections::BinaryHeap;
 
 use mris_knapsack::{Cadp, GreedyConstraint, KnapsackSolver};
 use mris_sim::{ClusterTimelines, Dispatcher, OnlinePolicy, OrdTime};
-use mris_types::{Instance, JobId, SchedulingError, Time, CAPACITY};
+use mris_types::{ClusterSpec, Instance, JobId, SchedulingError, Time};
 
 use crate::config::{KnapsackChoice, MrisConfig};
 use crate::epoch::EpochState;
@@ -58,9 +58,18 @@ pub struct MrisOnline {
 }
 
 impl MrisOnline {
-    /// An incremental MRIS policy for one run over `instance`.
+    /// An incremental MRIS policy for one run over `instance` on
+    /// `num_machines` identical unit machines.
     pub fn new(config: MrisConfig, instance: &Instance, num_machines: usize) -> Self {
+        Self::new_on(config, instance, &ClusterSpec::uniform(num_machines))
+    }
+
+    /// [`MrisOnline::new`] on an explicit cluster description: the committed
+    /// timelines carry each machine's capacity and speed, so probes and
+    /// commits account nominal work as `p / speed_m` wall time.
+    pub fn new_on(config: MrisConfig, instance: &Instance, cluster: &ClusterSpec) -> Self {
         config.validate();
+        let num_machines = cluster.len();
         assert!(num_machines > 0);
         // Same grid base as the offline pass: gamma_0 = min_proc (see
         // `Mris::schedule_with_log`); the value is irrelevant for an empty
@@ -80,7 +89,7 @@ impl MrisOnline {
         MrisOnline {
             config,
             solver,
-            timelines: ClusterTimelines::new(num_machines, instance.num_resources()),
+            timelines: ClusterTimelines::with_spec(cluster, instance.num_resources()),
             num_machines,
             num_resources: instance.num_resources(),
             gamma0,
@@ -196,14 +205,12 @@ impl OnlinePolicy for MrisOnline {
         self.state.invalidate_memo();
         // Truncate the machine's committed timeline — every interval on it
         // (past, running, planned) is invalidated at once — and block out
-        // the downtime so future iterations cannot plan into it.
+        // the downtime so future iterations cannot plan into it. The block
+        // pins the *machine's own* capacity (not the global unit), and
+        // `commit` is wall-time: downtime does not shrink on fast machines.
         self.timelines.reset_machine(machine);
-        self.timelines.commit(
-            machine,
-            now,
-            recover_at - now,
-            &vec![CAPACITY; self.num_resources],
-        );
+        let full = self.timelines.capacity(machine).to_vec();
+        self.timelines.commit(machine, now, recover_at - now, &full);
     }
 
     fn on_machine_recovered(&mut self, _now: Time, _machine: usize, _instance: &Instance) {

@@ -10,7 +10,7 @@ use mris_schedulers::{
     TetrisPolicy,
 };
 use mris_sim::OnlinePolicy;
-use mris_types::{Instance, RegistryError};
+use mris_types::{ClusterSpec, Instance, RegistryError, WorkloadFeature};
 
 /// Names accepted by [`algorithm_by_name`], with a short description each.
 pub fn known_algorithms() -> Vec<(&'static str, &'static str)> {
@@ -148,9 +148,23 @@ pub fn online_policy_by_name(
     instance: &Instance,
     num_machines: usize,
 ) -> Result<Box<dyn OnlinePolicy>, RegistryError> {
+    online_policy_on(name, instance, &ClusterSpec::uniform(num_machines))
+}
+
+/// [`online_policy_by_name`] over an explicit [`ClusterSpec`]: MRIS sizes
+/// its committed timelines off the spec's per-machine capacities and
+/// speeds; the reactive policies carry no cluster state of their own.
+///
+/// No capability check happens here — use [`online_policy_for_workload`]
+/// when the (algorithm, workload) pair comes from user input.
+pub fn online_policy_on(
+    name: &str,
+    instance: &Instance,
+    cluster: &ClusterSpec,
+) -> Result<Box<dyn OnlinePolicy>, RegistryError> {
     let lower = name.to_ascii_lowercase();
     let mris = |config: MrisConfig| -> Box<dyn OnlinePolicy> {
-        Box::new(MrisOnline::new(config, instance, num_machines))
+        Box::new(MrisOnline::new_on(config, instance, cluster))
     };
     match lower.as_str() {
         "mris" => return Ok(mris(MrisConfig::default())),
@@ -194,6 +208,60 @@ pub fn online_policy_by_name(
         }));
     }
     Err(unknown(name))
+}
+
+/// Rejects a resolved algorithm whose capability flags do not cover the
+/// workload: precedence edges on `instance`, non-uniform machines in
+/// `cluster`. The typed error replaces the old failure mode — a scheduler
+/// that silently ignored the feature and returned a wrong-looking-right
+/// schedule.
+fn check_capabilities(
+    name: &str,
+    algo: &dyn Scheduler,
+    instance: &Instance,
+    cluster: &ClusterSpec,
+) -> Result<(), RegistryError> {
+    if instance.has_precedence() && !algo.supports_precedence() {
+        return Err(RegistryError::Unsupported {
+            algorithm: name.to_string(),
+            feature: WorkloadFeature::Precedence,
+        });
+    }
+    if !cluster.is_uniform() && !algo.supports_heterogeneous() {
+        return Err(RegistryError::Unsupported {
+            algorithm: name.to_string(),
+            feature: WorkloadFeature::HeterogeneousMachines,
+        });
+    }
+    Ok(())
+}
+
+/// [`algorithm_by_name`] plus a capability check against the workload the
+/// caller is about to schedule. Front ends that accept arbitrary
+/// (algorithm, instance, cluster) triples resolve through this so an
+/// unsupported pair fails with [`RegistryError::Unsupported`] up front.
+pub fn algorithm_for_workload(
+    name: &str,
+    instance: &Instance,
+    cluster: &ClusterSpec,
+) -> Result<Box<dyn Scheduler>, RegistryError> {
+    let algo = algorithm_by_name(name)?;
+    check_capabilities(name, algo.as_ref(), instance, cluster)?;
+    Ok(algo)
+}
+
+/// [`online_policy_by_name`] over an explicit [`ClusterSpec`], with the same
+/// capability check as [`algorithm_for_workload`]. The boxed-scheduler and
+/// online-policy registries resolve the same names to the same algorithms,
+/// so the flags are read off the boxed form.
+pub fn online_policy_for_workload(
+    name: &str,
+    instance: &Instance,
+    cluster: &ClusterSpec,
+) -> Result<Box<dyn OnlinePolicy>, RegistryError> {
+    let algo = algorithm_by_name(name)?;
+    check_capabilities(name, algo.as_ref(), instance, cluster)?;
+    online_policy_on(name, instance, cluster)
 }
 
 /// Resolves a list of names in order; fails on the first unknown name.
@@ -308,6 +376,49 @@ mod tests {
             schedule.validate(&instance).unwrap();
         }
         assert!(online_policy_by_name("nope", &instance, 2).is_err());
+    }
+
+    #[test]
+    fn capability_check_rejects_unsupported_pairs() {
+        use mris_types::{InstanceBuilder, Job, JobId};
+        let mut b = InstanceBuilder::new(1);
+        let a = b.push_job(0.0, 1.0, 1.0, &[0.5]);
+        let c = b.push_job(0.0, 1.0, 1.0, &[0.5]);
+        b.edge(a, c);
+        let dag = b.build().unwrap();
+        let uniform = ClusterSpec::uniform(2);
+        let related = ClusterSpec::related(2, &[1.0, 2.0]);
+
+        // CA-PQ opts out of precedence; everything else in the comparison
+        // set supports both families.
+        match algorithm_for_workload("ca-pq", &dag, &uniform) {
+            Err(RegistryError::Unsupported { algorithm, feature }) => {
+                assert_eq!(algorithm, "ca-pq");
+                assert_eq!(feature, WorkloadFeature::Precedence);
+            }
+            Err(other) => panic!("expected Unsupported, got {other:?}"),
+            Ok(_) => panic!("expected Unsupported, got Ok"),
+        }
+        assert!(online_policy_for_workload("ca-pq", &dag, &uniform).is_err());
+        for name in ["mris", "pq-wsjf", "pq-wsvf", "tetris", "bf-exec"] {
+            assert!(algorithm_for_workload(name, &dag, &related).is_ok(), "{name}");
+            assert!(
+                online_policy_for_workload(name, &dag, &related).is_ok(),
+                "{name}"
+            );
+        }
+        // CA-PQ stays fine on edge-free heterogeneous workloads.
+        let flat = Instance::new(
+            vec![Job::from_fractions(JobId(0), 0.0, 1.0, 1.0, &[0.5])],
+            1,
+        )
+        .unwrap();
+        assert!(algorithm_for_workload("ca-pq", &flat, &related).is_ok());
+        // Unknown names still surface as UnknownAlgorithm, not Unsupported.
+        assert!(matches!(
+            algorithm_for_workload("nope", &dag, &uniform),
+            Err(RegistryError::UnknownAlgorithm { .. })
+        ));
     }
 
     #[test]

@@ -96,12 +96,22 @@ impl Scheduler for BfExec {
         "BF-EXEC".to_string()
     }
 
-    fn try_schedule(
+    fn try_schedule_on(
         &self,
         instance: &Instance,
-        num_machines: usize,
+        cluster: &mris_types::ClusterSpec,
     ) -> Result<Schedule, SchedulingError> {
-        run_online(instance, num_machines, &mut BfExecPolicy::new())
+        run_online(instance, cluster, &mut BfExecPolicy::new())
+    }
+
+    // Reactive like PQ: gated arrivals and speed-scaled runs both come for
+    // free from the driver and cluster.
+    fn supports_precedence(&self) -> bool {
+        true
+    }
+
+    fn supports_heterogeneous(&self) -> bool {
+        true
     }
 }
 

@@ -105,14 +105,23 @@ impl Scheduler for CaPq {
         format!("CA-PQ-{}", self.heuristic)
     }
 
-    fn try_schedule(
+    fn try_schedule_on(
         &self,
         instance: &Instance,
-        num_machines: usize,
+        cluster: &mris_types::ClusterSpec,
     ) -> Result<Schedule, SchedulingError> {
         let gate = instance.stats().max_release;
         let mut policy = CaPqPolicy::new(self.heuristic, gate);
-        run_online(instance, num_machines, &mut policy)
+        run_online(instance, cluster, &mut policy)
+    }
+
+    // Precedence stays opted out (the default): CA-PQ's oracle is the last
+    // *release* time, but a DAG successor only becomes available when its
+    // predecessors complete — which can be after the gate, so "collect all"
+    // is no longer well-defined. Heterogeneity is fine: the batch scan
+    // respects per-machine capacity and the cluster scales run lengths.
+    fn supports_heterogeneous(&self) -> bool {
+        true
     }
 }
 

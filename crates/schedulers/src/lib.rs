@@ -32,30 +32,49 @@ pub use heuristic::SortHeuristic;
 pub use pq::{NaivePqPolicy, Pq, PqPolicy};
 pub use tetris::{Tetris, TetrisPolicy};
 
-use mris_types::{Instance, Schedule, SchedulingError};
+use mris_types::{ClusterSpec, Instance, Schedule, SchedulingError};
 
 /// A complete scheduling algorithm: consumes an instance and produces a full
-/// schedule on `num_machines` identical machines.
+/// schedule on the machines described by a [`ClusterSpec`].
 ///
 /// Online algorithms implement this by running themselves through the
 /// event-driven engine; the trait exists so experiments and benches can
 /// compare algorithms uniformly.
 ///
-/// Implementors provide [`Scheduler::try_schedule`], the fallible entry
-/// point; callers that treat a scheduling failure as a bug (experiments,
-/// benches) use the provided [`Scheduler::schedule`], which panics with the
-/// algorithm's name on error.
+/// Implementors provide [`Scheduler::try_schedule_on`], the fallible entry
+/// point over an explicit cluster description. The historical
+/// [`Scheduler::try_schedule`] shape (`num_machines` identical unit
+/// machines) is a provided wrapper over `ClusterSpec::uniform`, so existing
+/// call sites keep compiling unchanged. Callers that treat a scheduling
+/// failure as a bug (experiments, benches) use the provided
+/// [`Scheduler::schedule`] / [`Scheduler::schedule_on`], which panic with
+/// the algorithm's name on error.
+///
+/// Capability flags ([`Scheduler::supports_precedence`],
+/// [`Scheduler::supports_heterogeneous`]) default to `false`; the registry
+/// consults them before handing an algorithm an instance it would schedule
+/// silently wrong, surfacing `RegistryError::Unsupported` instead.
 pub trait Scheduler {
     /// Human-readable algorithm name (appears in experiment reports).
     fn name(&self) -> String;
 
-    /// Produces a complete schedule of `instance` on `num_machines`
-    /// machines, surfacing policy bugs as typed errors.
+    /// Produces a complete schedule of `instance` on the machines of
+    /// `cluster`, surfacing policy bugs as typed errors.
+    fn try_schedule_on(
+        &self,
+        instance: &Instance,
+        cluster: &ClusterSpec,
+    ) -> Result<Schedule, SchedulingError>;
+
+    /// [`Scheduler::try_schedule_on`] on `num_machines` identical unit
+    /// machines — the pre-`ClusterSpec` call shape, kept as a wrapper.
     fn try_schedule(
         &self,
         instance: &Instance,
         num_machines: usize,
-    ) -> Result<Schedule, SchedulingError>;
+    ) -> Result<Schedule, SchedulingError> {
+        self.try_schedule_on(instance, &ClusterSpec::uniform(num_machines))
+    }
 
     /// Infallible convenience wrapper around [`Scheduler::try_schedule`].
     ///
@@ -69,11 +88,44 @@ pub trait Scheduler {
             Err(e) => panic!("{} failed to schedule: {e}", self.name()),
         }
     }
+
+    /// Infallible convenience wrapper around [`Scheduler::try_schedule_on`].
+    ///
+    /// # Panics
+    ///
+    /// Panics (naming the algorithm) if the underlying policy fails.
+    fn schedule_on(&self, instance: &Instance, cluster: &ClusterSpec) -> Schedule {
+        match self.try_schedule_on(instance, cluster) {
+            Ok(s) => s,
+            Err(e) => panic!("{} failed to schedule: {e}", self.name()),
+        }
+    }
+
+    /// True if the algorithm honors precedence edges (directly or via the
+    /// driver's arrival gating). Defaults to `false`: an algorithm must opt
+    /// in before the registry will hand it a DAG instance.
+    fn supports_precedence(&self) -> bool {
+        false
+    }
+
+    /// True if the algorithm is meaningful on non-uniform clusters
+    /// (per-machine speeds/capacities). Defaults to `false`.
+    fn supports_heterogeneous(&self) -> bool {
+        false
+    }
 }
 
 impl<S: Scheduler + ?Sized> Scheduler for &S {
     fn name(&self) -> String {
         (**self).name()
+    }
+
+    fn try_schedule_on(
+        &self,
+        instance: &Instance,
+        cluster: &ClusterSpec,
+    ) -> Result<Schedule, SchedulingError> {
+        (**self).try_schedule_on(instance, cluster)
     }
 
     fn try_schedule(
@@ -86,6 +138,18 @@ impl<S: Scheduler + ?Sized> Scheduler for &S {
 
     fn schedule(&self, instance: &Instance, num_machines: usize) -> Schedule {
         (**self).schedule(instance, num_machines)
+    }
+
+    fn schedule_on(&self, instance: &Instance, cluster: &ClusterSpec) -> Schedule {
+        (**self).schedule_on(instance, cluster)
+    }
+
+    fn supports_precedence(&self) -> bool {
+        (**self).supports_precedence()
+    }
+
+    fn supports_heterogeneous(&self) -> bool {
+        (**self).supports_heterogeneous()
     }
 }
 
@@ -94,6 +158,14 @@ impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
         (**self).name()
     }
 
+    fn try_schedule_on(
+        &self,
+        instance: &Instance,
+        cluster: &ClusterSpec,
+    ) -> Result<Schedule, SchedulingError> {
+        (**self).try_schedule_on(instance, cluster)
+    }
+
     fn try_schedule(
         &self,
         instance: &Instance,
@@ -104,5 +176,17 @@ impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
 
     fn schedule(&self, instance: &Instance, num_machines: usize) -> Schedule {
         (**self).schedule(instance, num_machines)
+    }
+
+    fn schedule_on(&self, instance: &Instance, cluster: &ClusterSpec) -> Schedule {
+        (**self).schedule_on(instance, cluster)
+    }
+
+    fn supports_precedence(&self) -> bool {
+        (**self).supports_precedence()
+    }
+
+    fn supports_heterogeneous(&self) -> bool {
+        (**self).supports_heterogeneous()
     }
 }

@@ -120,12 +120,22 @@ impl Scheduler for Pq {
         format!("PQ-{}", self.heuristic)
     }
 
-    fn try_schedule(
+    fn try_schedule_on(
         &self,
         instance: &Instance,
-        num_machines: usize,
+        cluster: &mris_types::ClusterSpec,
     ) -> Result<Schedule, SchedulingError> {
-        run_online(instance, num_machines, &mut PqPolicy::new(self.heuristic))
+        run_online(instance, cluster, &mut PqPolicy::new(self.heuristic))
+    }
+
+    // Purely reactive: the driver gates DAG arrivals and the cluster scales
+    // run lengths by machine speed, so PQ works on both workload families.
+    fn supports_precedence(&self) -> bool {
+        true
+    }
+
+    fn supports_heterogeneous(&self) -> bool {
+        true
     }
 }
 

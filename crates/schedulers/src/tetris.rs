@@ -165,12 +165,22 @@ impl Scheduler for Tetris {
         "TETRIS".to_string()
     }
 
-    fn try_schedule(
+    fn try_schedule_on(
         &self,
         instance: &Instance,
-        num_machines: usize,
+        cluster: &mris_types::ClusterSpec,
     ) -> Result<Schedule, SchedulingError> {
-        run_online(instance, num_machines, &mut TetrisPolicy::new(self.eps))
+        run_online(instance, cluster, &mut TetrisPolicy::new(self.eps))
+    }
+
+    // Reactive like PQ: gated arrivals and speed-scaled runs both come for
+    // free from the driver and cluster.
+    fn supports_precedence(&self) -> bool {
+        true
+    }
+
+    fn supports_heterogeneous(&self) -> bool {
+        true
     }
 }
 

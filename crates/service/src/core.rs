@@ -22,7 +22,7 @@ use std::collections::BinaryHeap;
 use mris_metrics::Percentiles;
 use mris_sim::{
     resolve_fault_target, ClusterState, CompletionRecord, Dispatcher, FailureRecord, FaultLog,
-    FaultPlan, OnlinePolicy, OrdTime,
+    FaultPlan, OnlinePolicy, OrdTime, PrecedenceGate,
 };
 use mris_types::{
     fraction, AdmissionError, Amount, ConfigError, DurabilityError, Instance, JobId,
@@ -291,6 +291,15 @@ pub struct Service<C: Clock, S: TelemetrySink> {
     seq: u64,
     fault_q: BinaryHeap<Reverse<(OrdTime, FaultKind)>>,
     re_released: Vec<JobId>,
+    /// Precedence gate for DAG instances; inert (every query
+    /// short-circuits) when the instance has no edges.
+    gate: PrecedenceGate,
+    /// Original admission sequence of each currently-held job, indexed by
+    /// job id, so a gate-opened job re-enters the delivery queue with its
+    /// admission-order tiebreak intact. Empty for edge-free instances.
+    held_seq: Vec<u64>,
+    /// Scratch: held jobs whose gates this event's completions opened.
+    opened_buf: Vec<JobId>,
     // Scratch buffers reused across events.
     freed: Vec<usize>,
     completed_buf: Vec<(JobId, usize)>,
@@ -355,6 +364,12 @@ impl<C: Clock, S: TelemetrySink> Service<C, S> {
         } else {
             vec![0u32; n]
         };
+        let gate = PrecedenceGate::new(&instance);
+        let held_seq = if gate.is_active() {
+            vec![0u64; n]
+        } else {
+            Vec::new()
+        };
         Ok(Service {
             cluster: ClusterState::new(cfg.num_machines, r),
             schedule: Schedule::new(n, cfg.num_machines),
@@ -372,6 +387,9 @@ impl<C: Clock, S: TelemetrySink> Service<C, S> {
             seq: 0,
             fault_q,
             re_released: Vec::new(),
+            gate,
+            held_seq,
+            opened_buf: Vec::new(),
             freed: Vec::new(),
             completed_buf: Vec::new(),
             deliver_buf: Vec::new(),
@@ -806,6 +824,7 @@ impl<C: Clock, S: TelemetrySink> Service<C, S> {
         //    strike instant survives.
         self.freed.clear();
         self.completed_buf.clear();
+        self.opened_buf.clear();
         self.cluster
             .complete_due_recorded(now, &self.work, &mut self.completed_buf);
         let first_new_completion = self.log.completions.len();
@@ -827,12 +846,31 @@ impl<C: Clock, S: TelemetrySink> Service<C, S> {
             });
             self.outcomes[job.index()] = JobOutcome::Completed;
             self.freed.push(machine);
+            self.gate.complete(job, &self.work, &mut self.opened_buf);
             self.emit(|| JournalRecord::Complete {
                 job: job.0,
                 machine: machine as u32,
             });
         }
         let completions = self.completed_buf.len();
+        // Held jobs whose last predecessor just completed re-enter the
+        // delivery queue at this instant (epoch-quantized, like admission)
+        // under their original sequence, so step 3 delivers them in
+        // admission order alongside any originals due now.
+        if !self.opened_buf.is_empty() {
+            let deliver = if self.cfg.epoch > 0.0 {
+                (now / self.cfg.epoch).ceil() * self.cfg.epoch
+            } else {
+                now
+            };
+            for i in 0..self.opened_buf.len() {
+                let job = self.opened_buf[i];
+                self.queue
+                    .push(Reverse((OrdTime(deliver), self.held_seq[job.index()], job)));
+                self.emit(|| JournalRecord::PrecedenceReady { job: job.0 });
+            }
+            self.opened_buf.clear();
+        }
 
         // 2. Fault events due (recoveries before failures at an instant).
         while let Some(&Reverse((t, kind))) = self.fault_q.peek() {
@@ -865,6 +903,17 @@ impl<C: Clock, S: TelemetrySink> Service<C, S> {
                         if let RestartSemantics::WeightAging { factor } = self.cfg.restart {
                             self.work.scale_weight(job, factor);
                         }
+                        // Defensive gate re-arm, mirroring the chaos driver:
+                        // completions run before failures at an instant and
+                        // only running jobs can be killed, so `job` was never
+                        // marked complete and this is a no-op today; it keeps
+                        // the gate sound if that ordering ever changes.
+                        // Started successors are never recalled.
+                        for s in self.gate.revoke(job, &self.work) {
+                            if self.schedule.get(s).is_none() {
+                                self.gate.hold(s);
+                            }
+                        }
                         self.re_released.push(job);
                     }
                     self.fault_q
@@ -894,11 +943,20 @@ impl<C: Clock, S: TelemetrySink> Service<C, S> {
         self.freed.dedup();
         self.deliver_buf.clear();
         let mut delivered_cost = 0u64;
-        while let Some(&Reverse((t, _, job))) = self.queue.peek() {
+        while let Some(&Reverse((t, s, job))) = self.queue.peek() {
             if t.0 > now {
                 break;
             }
             self.queue.pop();
+            if !self.gate.is_ready(job) {
+                // Released but a predecessor is still outstanding: withhold
+                // from the policy. Queued-demand and tenant accounting stay
+                // charged — the job is still admitted-and-undelivered — and
+                // the sequence is kept for the re-enqueue on gate open.
+                self.gate.hold(job);
+                self.held_seq[job.index()] = s;
+                continue;
+            }
             for (q, &d) in self
                 .queued_demand
                 .iter_mut()
@@ -968,6 +1026,9 @@ impl<C: Clock, S: TelemetrySink> Service<C, S> {
                 Dispatcher::new(&mut self.cluster, &mut self.schedule, &self.work, now);
             if self.dur.is_some() {
                 dispatcher.record_placements(&mut self.placed_buf);
+            }
+            if self.gate.is_active() {
+                dispatcher.set_gate(&self.gate);
             }
             self.policy.dispatch(&mut dispatcher, &self.freed)?;
         }
@@ -1181,6 +1242,16 @@ impl<C: Clock, S: TelemetrySink> Service<C, S> {
                 }
             }
             e.u64(self.rejected_tenant as u64);
+        }
+        // Precedence section — only for DAG instances, so edge-free
+        // snapshot bytes stay identical to the pre-precedence format.
+        if self.gate.is_active() {
+            sub.clear();
+            self.gate.durable_bytes_if_active(&mut sub);
+            e.bytes(&sub);
+            for &s in &self.held_seq {
+                e.u64(s);
+            }
         }
         e.into_bytes()
     }

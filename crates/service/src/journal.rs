@@ -48,15 +48,21 @@ pub const JOURNAL_MAGIC: [u8; 4] = *b"MRJL";
 /// * **v2** — multi-tenancy: `Admit` and `Reject` payloads end with the
 ///   admitting tenant's id (`u32`), and `Reject` gains the `TenantQuota`
 ///   reason (tag 2).
+/// * **v3** — precedence: the `PrecedenceReady` record (tag 11) marks a
+///   job whose last outstanding predecessor completed while the job was
+///   withheld from delivery. It is only ever emitted for DAG instances,
+///   and the world encoding appends an edge section for those, so a
+///   journal of an edge-free instance is byte-identical to v2 content
+///   under a v3 header.
 ///
 /// Writers always write the newest version. Readers accept any version in
 /// `1..=JOURNAL_VERSION`: a v1 `Admit`/`Reject` decodes with tenant 0 (the
 /// single-tenant default), which replays identically because a v1 journal
 /// can only have been recorded by a single-tenant service. The
 /// configuration fingerprint incorporates the tenant table only when one
-/// is configured, so a v1 journal's fingerprint still matches a
-/// single-tenant restore under this build.
-pub const JOURNAL_VERSION: u32 = 2;
+/// is configured (and the edge list only when the instance has edges), so
+/// a v1/v2 journal's fingerprint still matches a restore under this build.
+pub const JOURNAL_VERSION: u32 = 3;
 /// Upper bound on a single frame's payload; real payloads are < 32 bytes,
 /// so anything larger is corruption, caught before allocating.
 const MAX_FRAME: u32 = 1 << 16;
@@ -147,6 +153,13 @@ pub enum JournalRecord {
         /// The re-released job id.
         job: u32,
     },
+    /// `job` was released and withheld behind a precedence gate, and its
+    /// last outstanding predecessor has now completed: the job re-enters
+    /// the delivery queue at this event's time (v3 journals only; derived).
+    PrecedenceReady {
+        /// The job whose gate opened.
+        job: u32,
+    },
     /// A snapshot of the full service state was persisted; `lsn` is the
     /// number of records preceding this mark.
     SnapshotMark {
@@ -224,6 +237,10 @@ impl JournalRecord {
                 e.u8(8);
                 e.u32(job);
             }
+            JournalRecord::PrecedenceReady { job } => {
+                e.u8(11);
+                e.u32(job);
+            }
             JournalRecord::SnapshotMark { lsn } => {
                 e.u8(9);
                 e.u64(lsn);
@@ -286,6 +303,7 @@ impl JournalRecord {
             8 => JournalRecord::ReRelease { job: d.u32()? },
             9 => JournalRecord::SnapshotMark { lsn: d.u64()? },
             10 => JournalRecord::Close { at: d.f64()? },
+            11 if version >= 3 => JournalRecord::PrecedenceReady { job: d.u32()? },
             other => {
                 return Err(CodecError::Malformed {
                     offset: base,
@@ -367,6 +385,17 @@ fn encode_world(e: &mut Encoder, instance: &Instance, cfg: &ServiceConfig) {
             e.f64(t.weight);
             e.u64(t.queue_watermark as u64);
             e.f64(t.load_watermark);
+        }
+    }
+    // Edge section only for DAG instances, so edge-free worlds fingerprint
+    // identically to the pre-precedence format (v1/v2 journals of edge-free
+    // runs stay restorable).
+    if instance.has_precedence() {
+        let edges = instance.edges();
+        e.u64(edges.len() as u64);
+        for &(pred, succ) in edges {
+            e.u32(pred.0);
+            e.u32(succ.0);
         }
     }
 }

@@ -8,7 +8,7 @@
 //! offers. [`Service::restore`] therefore replays the journal's *input*
 //! records (`Admit`, `Reject`, `Event`) through a fresh service and
 //! policy; every *derived* record (`Place`, `Complete`, `Fail`,
-//! `Recover`, `ReRelease`, `SnapshotMark`) the replay produces is
+//! `Recover`, `ReRelease`, `PrecedenceReady`, `SnapshotMark`) the replay produces is
 //! compared against the journal instead of re-appended. Any mismatch is a
 //! typed [`RestoreError::Divergence`]: a journal written by a different
 //! build, configuration, or policy can never silently restore into a

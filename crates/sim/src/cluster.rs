@@ -3,7 +3,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use mris_types::{Amount, Instance, Job, JobId, Time, CAPACITY};
+use mris_types::{Amount, ClusterSpec, Instance, Job, JobId, Time, CAPACITY};
 
 use crate::OrdTime;
 
@@ -15,12 +15,26 @@ use crate::OrdTime;
 /// reports no capacity ([`ClusterState::fits`] is `false` for every demand),
 /// so first-fit scans and placement checks skip it until
 /// [`ClusterState::recover_machine`].
+///
+/// Heterogeneous clusters ([`ClusterState::with_spec`]) give each machine its
+/// own capacity vector and relative speed: a job with nominal processing time
+/// `p` started on machine `m` completes after `p / speed_m` wall time. The
+/// uniform constructor ([`ClusterState::new`]) is bit-identical to the
+/// historical behavior (`p / 1.0 == p`, capacities all [`CAPACITY`]).
 #[derive(Debug, Clone)]
 pub struct ClusterState {
     num_machines: usize,
     num_resources: usize,
     /// Flattened `M x R` available capacity.
     avail: Vec<Amount>,
+    /// Flattened `M x R` per-machine full capacity (all [`CAPACITY`] for a
+    /// uniform cluster).
+    caps: Vec<Amount>,
+    /// Per-machine relative speed (all `1.0` for a uniform cluster).
+    speeds: Vec<f64>,
+    /// Every machine is the reference machine — durable encodings omit the
+    /// machine table so uniform fingerprints are unchanged.
+    uniform: bool,
     /// Per-machine failed flag; a down machine holds no capacity.
     down: Vec<bool>,
     /// Min-heap of running jobs by completion time.
@@ -28,14 +42,40 @@ pub struct ClusterState {
 }
 
 impl ClusterState {
-    /// An idle cluster of `num_machines` machines with `num_resources`
-    /// resources each at full capacity.
+    /// An idle cluster of `num_machines` identical machines with
+    /// `num_resources` resources each at full capacity.
     pub fn new(num_machines: usize, num_resources: usize) -> Self {
         assert!(num_machines > 0 && num_resources > 0);
         ClusterState {
             num_machines,
             num_resources,
             avail: vec![CAPACITY; num_machines * num_resources],
+            caps: vec![CAPACITY; num_machines * num_resources],
+            speeds: vec![1.0; num_machines],
+            uniform: true,
+            down: vec![false; num_machines],
+            running: BinaryHeap::new(),
+        }
+    }
+
+    /// An idle cluster following `spec`: machine `m` starts with `spec`'s
+    /// per-resource capacity and runs jobs at `spec.speed(m)`.
+    pub fn with_spec(spec: &ClusterSpec, num_resources: usize) -> Self {
+        assert!(num_resources > 0);
+        let num_machines = spec.len();
+        let mut caps = Vec::with_capacity(num_machines * num_resources);
+        for m in 0..num_machines {
+            for r in 0..num_resources {
+                caps.push(spec.capacity(m, r));
+            }
+        }
+        ClusterState {
+            num_machines,
+            num_resources,
+            avail: caps.clone(),
+            caps,
+            speeds: (0..num_machines).map(|m| spec.speed(m)).collect(),
+            uniform: spec.is_uniform(),
             down: vec![false; num_machines],
             running: BinaryHeap::new(),
         }
@@ -57,6 +97,31 @@ impl ClusterState {
     #[inline]
     pub fn avail(&self, m: usize) -> &[Amount] {
         &self.avail[m * self.num_resources..(m + 1) * self.num_resources]
+    }
+
+    /// Full (idle) capacity vector of machine `m`.
+    #[inline]
+    pub fn capacity(&self, m: usize) -> &[Amount] {
+        &self.caps[m * self.num_resources..(m + 1) * self.num_resources]
+    }
+
+    /// Machine `m`'s relative speed.
+    #[inline]
+    pub fn speed(&self, m: usize) -> f64 {
+        self.speeds[m]
+    }
+
+    /// Wall time machine `m` needs for nominal processing time `p`. Exact
+    /// (`p / 1.0 == p`) on uniform clusters.
+    #[inline]
+    pub fn effective_time(&self, m: usize, p: Time) -> Time {
+        p / self.speeds[m]
+    }
+
+    /// Whether every machine is the reference machine.
+    #[inline]
+    pub fn is_uniform(&self) -> bool {
+        self.uniform
     }
 
     /// Whether `demands` fits on machine `m` right now. Always `false` for a
@@ -89,7 +154,8 @@ impl ClusterState {
     }
 
     /// Starts `job` on machine `m` at time `now`: capacity is consumed and a
-    /// completion event is enqueued. Panics if the job does not fit.
+    /// completion event is enqueued at `now + p / speed_m`. Panics if the job
+    /// does not fit.
     pub fn start(&mut self, m: usize, job: &Job, now: Time) {
         assert!(self.fits(m, &job.demands), "job {} does not fit", job.id);
         for (a, &d) in self.avail[m * self.num_resources..(m + 1) * self.num_resources]
@@ -98,8 +164,11 @@ impl ClusterState {
         {
             *a -= d;
         }
-        self.running
-            .push(Reverse((OrdTime(now + job.proc_time), m as u32, job.id)));
+        self.running.push(Reverse((
+            OrdTime(now + job.proc_time / self.speeds[m]),
+            m as u32,
+            job.id,
+        )));
     }
 
     /// Pops every job completing at or before `now`, restores its capacity,
@@ -113,12 +182,14 @@ impl ClusterState {
             self.running.pop();
             let m = m as usize;
             let demands = &instance.job(job).demands;
-            for (a, &d) in self.avail[m * self.num_resources..(m + 1) * self.num_resources]
+            let base = m * self.num_resources;
+            for (r, (a, &d)) in self.avail[base..base + self.num_resources]
                 .iter_mut()
                 .zip(demands.iter())
+                .enumerate()
             {
                 *a += d;
-                debug_assert!(*a <= CAPACITY);
+                debug_assert!(*a <= self.caps[base + r]);
             }
             freed.push(m);
         }
@@ -141,12 +212,14 @@ impl ClusterState {
             self.running.pop();
             let m = m as usize;
             let demands = &instance.job(job).demands;
-            for (a, &d) in self.avail[m * self.num_resources..(m + 1) * self.num_resources]
+            let base = m * self.num_resources;
+            for (r, (a, &d)) in self.avail[base..base + self.num_resources]
                 .iter_mut()
                 .zip(demands.iter())
+                .enumerate()
             {
                 *a += d;
-                debug_assert!(*a <= CAPACITY);
+                debug_assert!(*a <= self.caps[base + r]);
             }
             completed.push((job, m));
         }
@@ -183,7 +256,9 @@ impl ClusterState {
             }
         }
         self.running = BinaryHeap::from(kept);
-        self.avail[m * self.num_resources..(m + 1) * self.num_resources].fill(CAPACITY);
+        let base = m * self.num_resources;
+        self.avail[base..base + self.num_resources]
+            .copy_from_slice(&self.caps[base..base + self.num_resources]);
         killed.sort_unstable();
         killed
     }
@@ -196,14 +271,16 @@ impl ClusterState {
     pub fn recover_machine(&mut self, m: usize) {
         assert!(self.down[m], "machine {m} recovered while already up");
         self.down[m] = false;
-        debug_assert!(self.avail(m).iter().all(|&a| a == CAPACITY));
+        debug_assert!(self.avail(m) == self.capacity(m));
     }
 
     /// Appends a canonical little-endian encoding of the cluster state to
     /// `out`, for the service durability layer's snapshots. Running jobs
     /// are emitted in sorted `(completion, machine, job)` order so two
     /// clusters with the same observable state encode identically
-    /// regardless of heap layout history.
+    /// regardless of heap layout history. The machine table (capacities and
+    /// speed bits) is appended **only for non-uniform clusters**, so uniform
+    /// fingerprints are unchanged from before heterogeneity existed.
     pub fn durable_bytes(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(&(self.num_machines as u64).to_le_bytes());
         out.extend_from_slice(&(self.num_resources as u64).to_le_bytes());
@@ -225,12 +302,21 @@ impl ClusterState {
             out.extend_from_slice(&m.to_le_bytes());
             out.extend_from_slice(&j.to_le_bytes());
         }
+        if !self.uniform {
+            for &c in &self.caps {
+                out.extend_from_slice(&c.to_le_bytes());
+            }
+            for &s in &self.speeds {
+                out.extend_from_slice(&s.to_bits().to_le_bytes());
+            }
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mris_types::MachineSpec;
 
     fn job(id: u32, p: f64, demand: f64) -> Job {
         Job::from_fractions(JobId(id), 0.0, p, 1.0, &[demand])
@@ -365,5 +451,59 @@ mod tests {
         let mut cs = ClusterState::new(1, 1);
         cs.start(0, inst.job(JobId(0)), 0.0);
         cs.start(0, inst.job(JobId(1)), 0.0);
+    }
+
+    #[test]
+    fn fast_machine_finishes_early() {
+        let inst = instance(vec![job(0, 4.0, 0.5), job(1, 4.0, 0.5)]);
+        let spec = ClusterSpec::related(2, &[1.0, 2.0]);
+        let mut cs = ClusterState::with_spec(&spec, 1);
+        assert!(!cs.is_uniform());
+        cs.start(0, inst.job(JobId(0)), 0.0);
+        cs.start(1, inst.job(JobId(1)), 0.0);
+        // Machine 1 runs at speed 2: the job completes at t = 2, not 4.
+        assert_eq!(cs.next_completion(), Some(2.0));
+        let mut freed = Vec::new();
+        cs.complete_due(2.0, &inst, &mut freed);
+        assert_eq!(freed, vec![1]);
+        cs.complete_due(4.0, &inst, &mut freed);
+        assert_eq!(freed, vec![1, 0]);
+    }
+
+    #[test]
+    fn restricted_capacity_blocks_fit() {
+        let inst = instance(vec![job(0, 2.0, 0.6)]);
+        let spec = ClusterSpec::new(vec![
+            MachineSpec::from_fractions(1.0, &[0.5]),
+            MachineSpec::unit(),
+        ]);
+        let cs = ClusterState::with_spec(&spec, 1);
+        // Machine 0 caps at 0.5 and cannot host a 0.6 demand.
+        assert!(!cs.fits(0, &inst.job(JobId(0)).demands));
+        assert_eq!(cs.first_fit(&inst.job(JobId(0)).demands), Some(1));
+    }
+
+    #[test]
+    fn fail_restores_restricted_capacity_not_global() {
+        let inst = instance(vec![job(0, 2.0, 0.3)]);
+        let spec = ClusterSpec::new(vec![MachineSpec::from_fractions(1.0, &[0.5])]);
+        let mut cs = ClusterState::with_spec(&spec, 1);
+        cs.start(0, inst.job(JobId(0)), 0.0);
+        cs.fail_machine(0);
+        cs.recover_machine(0);
+        assert_eq!(cs.avail(0), cs.capacity(0));
+        assert_eq!(cs.avail(0)[0], CAPACITY / 2);
+    }
+
+    #[test]
+    fn uniform_durable_bytes_have_no_machine_table() {
+        let mut uni = Vec::new();
+        ClusterState::new(2, 1).durable_bytes(&mut uni);
+        let mut via_spec = Vec::new();
+        ClusterState::with_spec(&ClusterSpec::uniform(2), 1).durable_bytes(&mut via_spec);
+        assert_eq!(uni, via_spec);
+        let mut het = Vec::new();
+        ClusterState::with_spec(&ClusterSpec::related(2, &[2.0]), 1).durable_bytes(&mut het);
+        assert!(het.len() > uni.len());
     }
 }

@@ -32,12 +32,13 @@ use std::borrow::Cow;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use mris_types::{Instance, JobId, RestartSemantics, Schedule, SchedulingError};
+use mris_types::{ClusterSpec, Instance, JobId, RestartSemantics, Schedule, SchedulingError};
 
 use crate::fault::{
     resolve_fault_target, ChaosOutcome, CompletionRecord, FailureRecord, FaultLog, FaultPlan,
 };
 use crate::online::EventSnapshot;
+use crate::precedence::PrecedenceGate;
 use crate::{ClusterState, Dispatcher, OnlinePolicy, OrdTime};
 
 /// Configuration for one [`run_driver`] run, built fluently:
@@ -148,9 +149,15 @@ fn debug_check_event(log: &FaultLog, cluster: &ClusterState, first_new_completio
     }
 }
 
-/// Runs `policy` over `instance` on `num_machines` machines under
-/// `options`, calling `observer` with an [`EventSnapshot`] after every
-/// processed event.
+/// Runs `policy` over `instance` on the machines described by `cluster`
+/// under `options`, calling `observer` with an [`EventSnapshot`] after
+/// every processed event.
+///
+/// `cluster` is anything convertible to a [`ClusterSpec`]: a bare machine
+/// count gives the historical uniform cluster; an explicit spec gives each
+/// machine its own speed and capacities (a job started on machine `m`
+/// completes after `p_j / speed_m` wall time, and fit checks use `m`'s own
+/// capacity vector).
 ///
 /// This is the single event loop behind [`run_online`](crate::run_online),
 /// [`run_online_observed`](crate::run_online_observed), and
@@ -160,21 +167,29 @@ fn debug_check_event(log: &FaultLog, cluster: &ClusterState, first_new_completio
 /// event (failure or recovery), and the policy's
 /// [`next_wakeup`](OnlinePolicy::next_wakeup).
 ///
+/// For instances with precedence edges the driver withholds a released job
+/// from [`OnlinePolicy::on_arrivals`] until every predecessor has
+/// completed; the job is delivered at the completion event that opens its
+/// gate (or at its release time, whichever is later). Policies therefore
+/// never see a job they may not start, and run DAG workloads unmodified.
+///
 /// Machine failures kill every job running on the struck machine; killed
 /// jobs lose all progress (non-preemptive restart) and are re-released to
 /// the policy as fresh arrivals at the failure instant, with weights per
-/// [`RunOptions::with_restart`]. Under weight aging the aged weights are
-/// visible to the policy's decisions, but callers should compute metrics
-/// against the *original* instance so runs stay comparable.
+/// [`RunOptions::with_restart`]. A killed job's own completions never
+/// happened, so gates it would have opened stay armed until its re-run
+/// completes.
 ///
 /// # Errors
 ///
 /// Returns a [`SchedulingError`] if the policy strands jobs (leaves them
 /// unplaced after the last event) or violates placement rules — see
-/// [`Dispatcher::place`].
+/// [`Dispatcher::place`] — or, on a heterogeneous cluster, if some job's
+/// demand exceeds every machine's capacity
+/// ([`SchedulingError::UnplaceableJob`]).
 pub fn run_driver_observed<P: OnlinePolicy + ?Sized>(
     instance: &Instance,
-    num_machines: usize,
+    cluster: impl Into<ClusterSpec>,
     policy: &mut P,
     options: RunOptions<'_>,
     mut observer: impl FnMut(&EventSnapshot),
@@ -187,15 +202,37 @@ pub fn run_driver_observed<P: OnlinePolicy + ?Sized>(
             "weight-aging factor {factor} must be finite and non-negative"
         );
     }
+    let spec: ClusterSpec = cluster.into();
+    let num_machines = spec.len();
     let mut log = FaultLog::new(instance.len());
     let mut schedule = Schedule::new(instance.len(), num_machines);
     if instance.is_empty() {
         return Ok(ChaosOutcome { schedule, log });
     }
+    // On a restricted-capacity cluster a job can exceed every machine; the
+    // instance-level bound (demand <= CAPACITY) only covers uniform specs.
+    // Reject up front instead of stranding at the end of the run.
+    if !spec.is_uniform() {
+        for j in instance.jobs() {
+            let placeable = (0..num_machines).any(|m| {
+                j.demands
+                    .iter()
+                    .enumerate()
+                    .all(|(r, &d)| d <= spec.capacity(m, r))
+            });
+            if !placeable {
+                return Err(SchedulingError::UnplaceableJob { job: j.id });
+            }
+        }
+    }
     // Weight aging rewrites weights in a working copy made on first kill;
     // the fault-free path never clones.
     let mut work: Cow<'_, Instance> = Cow::Borrowed(instance);
-    let mut cluster = ClusterState::new(num_machines, instance.num_resources());
+    let mut cluster = ClusterState::with_spec(&spec, instance.num_resources());
+    let mut gate = PrecedenceGate::new(instance);
+    // Successors whose gates opened at this event's completions, pending
+    // delivery in the arrival phase.
+    let mut opened: Vec<JobId> = Vec::new();
 
     let mut arrivals: Vec<JobId> = work.jobs().iter().map(|j| j.id).collect();
     arrivals.sort_by(|&a, &b| {
@@ -250,8 +287,10 @@ pub fn run_driver_observed<P: OnlinePolicy + ?Sized>(
                 job,
                 machine,
                 start: a.start,
-                end: a.start + work.job(job).proc_time,
+                // Effective time: exact `p / 1.0 == p` on uniform clusters.
+                end: a.start + spec.effective_time(machine, work.job(job).proc_time),
             });
+            gate.complete(job, &work, &mut opened);
             freed.push(machine);
         }
 
@@ -285,6 +324,18 @@ pub fn run_driver_observed<P: OnlinePolicy + ?Sized>(
                         if let RestartSemantics::WeightAging { factor } = options.restart {
                             work.to_mut().scale_weight(job, factor);
                         }
+                        // Re-arm gates downstream of the killed job. Only
+                        // running jobs can be killed and completions are
+                        // processed first at a shared instant, so a killed
+                        // job was never marked complete and this is a no-op
+                        // today; it keeps the gate sound if the ordering
+                        // ever changes. Started successors are never
+                        // recalled (non-preemptive).
+                        for s in gate.revoke(job, &work) {
+                            if schedule.get(s).is_none() {
+                                gate.hold(s);
+                            }
+                        }
                         re_released.push(job);
                     }
                     fault_q.push(Reverse((OrdTime(recover_at), FaultKind::Recover(machine))));
@@ -308,8 +359,37 @@ pub fn run_driver_observed<P: OnlinePolicy + ?Sized>(
         while next_arrival < arrivals.len() && work.job(arrivals[next_arrival]).release <= now {
             next_arrival += 1;
         }
-        if next_arrival > first {
-            policy.on_arrivals(now, &arrivals[first..next_arrival], &work);
+        if !gate.is_active() {
+            // Historical edge-free path, byte for byte.
+            if next_arrival > first {
+                policy.on_arrivals(now, &arrivals[first..next_arrival], &work);
+            }
+        } else {
+            // Gated delivery: withhold released jobs with incomplete
+            // predecessors; deliver the ones whose gates this event's
+            // completions opened alongside fresh ready arrivals, ordered by
+            // (release, id) to preserve the `on_arrivals` contract.
+            let mut deliver: Vec<JobId> = Vec::new();
+            for &j in &arrivals[first..next_arrival] {
+                if gate.is_ready(j) {
+                    deliver.push(j);
+                } else {
+                    gate.hold(j);
+                }
+            }
+            // A gate re-armed by the (defensive) revoke path can leave an
+            // opened entry whose release is still in the future; the normal
+            // sweep delivers it at its release instead.
+            deliver.extend(opened.drain(..).filter(|&j| work.job(j).release <= now));
+            deliver.sort_by(|&a, &b| {
+                work.job(a)
+                    .release
+                    .total_cmp(&work.job(b).release)
+                    .then(a.cmp(&b))
+            });
+            if !deliver.is_empty() {
+                policy.on_arrivals(now, &deliver, &work);
+            }
         }
         if !re_released.is_empty() {
             re_released.sort_unstable();
@@ -320,6 +400,9 @@ pub fn run_driver_observed<P: OnlinePolicy + ?Sized>(
         // 4. One dispatch per event.
         let running_before_dispatch = cluster.num_running();
         let mut dispatcher = Dispatcher::new(&mut cluster, &mut schedule, &work, now);
+        if gate.is_active() {
+            dispatcher.set_gate(&gate);
+        }
         policy.dispatch(&mut dispatcher, &freed)?;
         placed_total += cluster.num_running() - running_before_dispatch;
         observer(&EventSnapshot {
@@ -347,11 +430,11 @@ pub fn run_driver_observed<P: OnlinePolicy + ?Sized>(
 /// [`run_driver_observed`] without an observer.
 pub fn run_driver<P: OnlinePolicy + ?Sized>(
     instance: &Instance,
-    num_machines: usize,
+    cluster: impl Into<ClusterSpec>,
     policy: &mut P,
     options: RunOptions<'_>,
 ) -> Result<ChaosOutcome, SchedulingError> {
-    run_driver_observed(instance, num_machines, policy, options, |_| {})
+    run_driver_observed(instance, cluster, policy, options, |_| {})
 }
 
 #[cfg(test)]

@@ -386,14 +386,14 @@ pub fn resolve_fault_target(target: FaultTarget, cluster: &ClusterState) -> Opti
 /// [`SchedulingError::MachineDown`]) and stranded jobs.
 pub fn run_online_chaos<P: OnlinePolicy + ?Sized>(
     instance: &Instance,
-    num_machines: usize,
+    cluster: impl Into<mris_types::ClusterSpec>,
     policy: &mut P,
     plan: &FaultPlan,
     restart: RestartSemantics,
 ) -> Result<ChaosOutcome, SchedulingError> {
     run_driver(
         instance,
-        num_machines,
+        cluster,
         policy,
         RunOptions::new().with_faults(plan).with_restart(restart),
     )

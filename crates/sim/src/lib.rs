@@ -37,6 +37,7 @@ mod fault;
 mod online;
 #[allow(unsafe_code)]
 mod pool;
+mod precedence;
 mod timeline;
 
 pub use cluster::ClusterState;
@@ -46,6 +47,7 @@ pub use fault::{
     CompletionRecord, FailureRecord, FaultLog, FaultPlan, PoissonFaultConfig, RackBurstConfig,
 };
 pub use online::{run_online, run_online_observed, Dispatcher, EventSnapshot, OnlinePolicy};
+pub use precedence::PrecedenceGate;
 pub use timeline::{ClusterTimelines, MachineTimeline, PARALLEL_SCAN_THRESHOLD, SHARD_SIZE};
 
 use mris_types::Time;

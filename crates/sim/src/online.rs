@@ -5,8 +5,9 @@
 //! policy inspects the pending jobs and the instantaneous cluster state and
 //! may start any feasible subset immediately.
 
-use mris_types::{Instance, JobId, Schedule, SchedulingError, Time};
+use mris_types::{ClusterSpec, Instance, JobId, Schedule, SchedulingError, Time};
 
+use crate::precedence::PrecedenceGate;
 use crate::ClusterState;
 
 /// Static label value for the dispatcher rejection counter.
@@ -19,6 +20,8 @@ fn rejection_reason(e: &SchedulingError) -> &'static str {
         SchedulingError::AlreadyPlaced { .. } => "already_placed",
         SchedulingError::StrandedJobs { .. } => "stranded",
         SchedulingError::UnassignedCompletion { .. } => "unassigned_completion",
+        SchedulingError::PredecessorIncomplete { .. } => "predecessor_incomplete",
+        SchedulingError::UnplaceableJob { .. } => "unplaceable",
     }
 }
 
@@ -33,6 +36,7 @@ pub struct Dispatcher<'a> {
     instance: &'a Instance,
     now: Time,
     recorder: Option<&'a mut Vec<(JobId, u32)>>,
+    gate: Option<&'a PrecedenceGate>,
 }
 
 impl<'a> Dispatcher<'a> {
@@ -52,7 +56,16 @@ impl<'a> Dispatcher<'a> {
             instance,
             now,
             recorder: None,
+            gate: None,
         }
+    }
+
+    /// Attaches a precedence gate: placements of jobs with incomplete
+    /// predecessors are rejected with
+    /// [`SchedulingError::PredecessorIncomplete`]. The driver attaches the
+    /// gate only for instances that carry precedence edges.
+    pub fn set_gate(&mut self, gate: &'a PrecedenceGate) {
+        self.gate = Some(gate);
     }
 
     /// Appends every successful placement of this event as `(job, machine)`
@@ -115,6 +128,14 @@ impl<'a> Dispatcher<'a> {
                 release: j.release,
                 now: self.now,
             });
+        }
+        if let Some(gate) = self.gate {
+            if !gate.is_ready(job) {
+                let pred = gate
+                    .first_incomplete_pred(job, self.instance)
+                    .expect("gated job must have an incomplete predecessor");
+                return Err(SchedulingError::PredecessorIncomplete { job, pred });
+            }
         }
         if !self.cluster.fits(machine, &j.demands) {
             return Err(SchedulingError::DoesNotFit { job, machine });
@@ -218,7 +239,9 @@ pub struct EventSnapshot {
     pub released: usize,
 }
 
-/// Runs `policy` over `instance` on `num_machines` machines and returns the
+/// Runs `policy` over `instance` on the cluster described by `cluster` —
+/// a bare machine count (the historical uniform cluster) or an explicit
+/// [`ClusterSpec`] with per-machine speeds and capacities — and returns the
 /// complete schedule.
 ///
 /// Thin wrapper over the unified event-loop driver
@@ -233,10 +256,10 @@ pub struct EventSnapshot {
 /// the cluster drains, all pending jobs fit an idle machine.
 pub fn run_online<P: OnlinePolicy + ?Sized>(
     instance: &Instance,
-    num_machines: usize,
+    cluster: impl Into<ClusterSpec>,
     policy: &mut P,
 ) -> Result<Schedule, SchedulingError> {
-    run_online_observed(instance, num_machines, policy, |_| {})
+    run_online_observed(instance, cluster, policy, |_| {})
 }
 
 /// Like [`run_online`], additionally invoking `observer` with an
@@ -244,13 +267,13 @@ pub fn run_online<P: OnlinePolicy + ?Sized>(
 /// experiments and diagnostics.
 pub fn run_online_observed<P: OnlinePolicy + ?Sized>(
     instance: &Instance,
-    num_machines: usize,
+    cluster: impl Into<ClusterSpec>,
     policy: &mut P,
     observer: impl FnMut(&EventSnapshot),
 ) -> Result<Schedule, SchedulingError> {
     crate::driver::run_driver_observed(
         instance,
-        num_machines,
+        cluster,
         policy,
         crate::driver::RunOptions::new(),
         observer,

@@ -51,7 +51,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 
-use mris_types::{Amount, Job, Time, CAPACITY};
+use mris_types::{Amount, ClusterSpec, Job, Time, CAPACITY};
 
 use crate::pool::ScanPool;
 
@@ -114,6 +114,14 @@ struct FitHint {
 #[derive(Debug)]
 pub struct MachineTimeline {
     num_resources: usize,
+    /// Per-resource capacity of this machine (all [`CAPACITY`] for the
+    /// reference machine). Feasibility compares usage against this, not the
+    /// global constant, so restricted machines reject what they cannot hold.
+    cap: Vec<Amount>,
+    /// Relative speed of this machine (`1.0` for the reference machine).
+    /// The timeline itself is wall-time; cluster-level scans and commits
+    /// scale nominal durations by this before querying.
+    speed: f64,
     times: Vec<Time>,
     usage: Vec<Amount>,
     /// Flattened `num_blocks x R` per-resource maximum usage per block.
@@ -133,6 +141,8 @@ impl Clone for MachineTimeline {
     fn clone(&self) -> Self {
         MachineTimeline {
             num_resources: self.num_resources,
+            cap: self.cap.clone(),
+            speed: self.speed,
             times: self.times.clone(),
             usage: self.usage.clone(),
             block_max: self.block_max.clone(),
@@ -144,11 +154,34 @@ impl Clone for MachineTimeline {
 }
 
 impl MachineTimeline {
-    /// An empty timeline for a machine with `num_resources` resources.
+    /// An empty timeline for a reference machine (unit speed, full
+    /// capacity) with `num_resources` resources.
     pub fn new(num_resources: usize) -> Self {
+        Self::with_limits(num_resources, vec![CAPACITY; num_resources], 1.0)
+    }
+
+    /// An empty timeline for a machine with the given per-resource
+    /// capacities and relative speed.
+    ///
+    /// # Panics
+    ///
+    /// If `cap.len() != num_resources`, any capacity is outside
+    /// `(0, CAPACITY]`, or `speed` is not finite and positive.
+    pub fn with_limits(num_resources: usize, cap: Vec<Amount>, speed: f64) -> Self {
         assert!(num_resources > 0);
+        assert_eq!(cap.len(), num_resources);
+        assert!(
+            cap.iter().all(|&c| c > 0 && c <= CAPACITY),
+            "machine capacities must lie in (0, CAPACITY]"
+        );
+        assert!(
+            speed.is_finite() && speed > 0.0,
+            "machine speed must be finite and positive, got {speed}"
+        );
         MachineTimeline {
             num_resources,
+            cap,
+            speed,
             times: vec![0.0],
             usage: vec![0; num_resources],
             block_max: vec![0; num_resources],
@@ -162,6 +195,25 @@ impl MachineTimeline {
     #[inline]
     pub fn num_resources(&self) -> usize {
         self.num_resources
+    }
+
+    /// This machine's per-resource capacity vector.
+    #[inline]
+    pub fn capacity(&self) -> &[Amount] {
+        &self.cap
+    }
+
+    /// This machine's relative speed.
+    #[inline]
+    pub fn speed(&self) -> f64 {
+        self.speed
+    }
+
+    /// Whether this is a reference machine (unit speed, full capacity):
+    /// such timelines behave bit-identically to the pre-heterogeneity code.
+    #[inline]
+    pub fn is_unit_machine(&self) -> bool {
+        self.speed.to_bits() == 1.0_f64.to_bits() && self.cap.iter().all(|&c| c == CAPACITY)
     }
 
     /// Number of segments in the step function (for diagnostics).
@@ -227,7 +279,8 @@ impl MachineTimeline {
         self.block_max[b * r..(b + 1) * r]
             .iter()
             .zip(demands)
-            .all(|(&u, &d)| u + d <= CAPACITY)
+            .zip(&self.cap)
+            .all(|((&u, &d), &c)| u + d <= c)
     }
 
     /// Whether every segment of block `b` violates `demands` (some resource's
@@ -238,7 +291,8 @@ impl MachineTimeline {
         self.block_min[b * r..(b + 1) * r]
             .iter()
             .zip(demands)
-            .any(|(&u, &d)| u + d > CAPACITY)
+            .zip(&self.cap)
+            .any(|((&u, &d), &c)| u + d > c)
     }
 
     /// Recomputes the skip-index entry of block `b` in place.
@@ -331,7 +385,12 @@ impl MachineTimeline {
                 continue;
             }
             let seg = self.segment_usage(i);
-            if seg.iter().zip(demands).any(|(&u, &d)| u + d > CAPACITY) {
+            if seg
+                .iter()
+                .zip(demands)
+                .zip(&self.cap)
+                .any(|((&u, &d), &c)| u + d > c)
+            {
                 return false;
             }
             i += 1;
@@ -504,6 +563,11 @@ impl MachineTimeline {
         demands: &[Amount],
         cutoff: Time,
     ) -> Option<Time> {
+        // A demand beyond this machine's own capacity never fits here (other
+        // machines may still hold it — the cluster scan just skips this one).
+        if demands.iter().zip(&self.cap).any(|(&d, &c)| d > c) {
+            return None;
+        }
         match demands.len() {
             1 => self.scan_core::<1>(from, dur, demands, cutoff),
             2 => self.scan_core::<2>(from, dur, demands, cutoff),
@@ -523,9 +587,11 @@ impl MachineTimeline {
         cutoff: Time,
     ) -> Option<Time> {
         debug_assert_eq!(demands.len(), R);
-        // Free room per resource: `usage + demand > CAPACITY` iff
-        // `usage > room` (exact in fixed point), saving an add per visit.
-        let room: [Amount; R] = std::array::from_fn(|r| CAPACITY - demands[r]);
+        // Free room per resource: `usage + demand > cap` iff `usage > room`
+        // (exact in fixed point), saving an add per visit. The caller
+        // (`scan_earliest`) already rejected demands above this machine's
+        // capacity, so the subtraction cannot underflow.
+        let room: [Amount; R] = std::array::from_fn(|r| self.cap[r] - demands[r]);
         let n = self.times.len();
         let times = &self.times[..n];
         let usage = &self.usage[..n * R];
@@ -627,7 +693,12 @@ impl MachineTimeline {
                     continue;
                 }
                 let seg = self.segment_usage(k);
-                if seg.iter().zip(demands).any(|(&u, &d)| u + d > CAPACITY) {
+                if seg
+                    .iter()
+                    .zip(demands)
+                    .zip(&self.cap)
+                    .any(|((&u, &d), &c)| u + d > c)
+                {
                     let mut j = k + 1;
                     loop {
                         debug_assert!(j < n, "tail segment is all-zero and must be feasible");
@@ -643,7 +714,8 @@ impl MachineTimeline {
                             .segment_usage(j)
                             .iter()
                             .zip(demands)
-                            .all(|(&u, &d)| u + d <= CAPACITY)
+                            .zip(&self.cap)
+                            .all(|((&u, &d), &c)| u + d <= c)
                         {
                             break;
                         }
@@ -749,15 +821,17 @@ impl MachineTimeline {
         // segment, roll back everything added before panicking — so the step
         // function is still semantically unchanged on panic, at half the
         // segment traffic of a separate check pass.
+        let cap = &self.cap;
+        let usage = &mut self.usage;
         for i in i0..i1 {
             let mut ok = true;
-            for (u, &d) in self.usage[i * r..(i + 1) * r].iter_mut().zip(demands) {
+            for ((u, &d), &c) in usage[i * r..(i + 1) * r].iter_mut().zip(demands).zip(cap) {
                 *u += d;
-                ok &= *u <= CAPACITY;
+                ok &= *u <= c;
             }
             if !ok {
                 for j in i0..=i {
-                    for (u, &d) in self.usage[j * r..(j + 1) * r].iter_mut().zip(demands) {
+                    for (u, &d) in usage[j * r..(j + 1) * r].iter_mut().zip(demands) {
                         *u -= d;
                     }
                 }
@@ -843,7 +917,10 @@ impl TimelineShard {
             };
             let cutoff = local.1.min(slack);
             probed += 1;
-            if let Some(s) = tl.earliest_fit_bounded(from, dur, demands, cutoff) {
+            // `dur` is nominal work; this machine occupies it for
+            // `dur / speed` wall time (exact `dur / 1.0 == dur` on the
+            // reference machine, preserving the uniform path bit for bit).
+            if let Some(s) = tl.earliest_fit_bounded(from, dur / tl.speed(), demands, cutoff) {
                 if s < local.1 {
                     local = (self.base + k, s);
                 }
@@ -928,16 +1005,45 @@ impl ClusterTimelines {
     /// differential suite pins this for sizes 1, 7, and 64 — so this only
     /// exists for tests and experiments; production callers use `new`.
     pub fn with_shard_size(num_machines: usize, num_resources: usize, shard_size: usize) -> Self {
+        Self::with_spec_shard_size(
+            &ClusterSpec::uniform(num_machines),
+            num_resources,
+            shard_size,
+        )
+    }
+
+    /// Empty timelines following `spec`: machine `m` carries `spec`'s
+    /// per-resource capacity and relative speed. Scans and
+    /// [`ClusterTimelines::commit_job`] treat durations as *nominal work*
+    /// and scale them per machine; [`ClusterTimelines::commit`] stays
+    /// wall-time for occupations that do not shrink on faster machines
+    /// (e.g. downtime blocks).
+    pub fn with_spec(spec: &ClusterSpec, num_resources: usize) -> Self {
+        Self::with_spec_shard_size(spec, num_resources, SHARD_SIZE)
+    }
+
+    /// [`ClusterTimelines::with_spec`] with an explicit shard size.
+    pub fn with_spec_shard_size(
+        spec: &ClusterSpec,
+        num_resources: usize,
+        shard_size: usize,
+    ) -> Self {
+        let num_machines = spec.len();
         assert!(num_machines > 0);
         let shard_size = shard_size.max(1);
         let shards = (0..num_machines)
             .step_by(shard_size)
             .map(|base| TimelineShard {
                 base,
-                machines: vec![
-                    MachineTimeline::new(num_resources);
-                    shard_size.min(num_machines - base)
-                ],
+                machines: (base..(base + shard_size).min(num_machines))
+                    .map(|m| {
+                        MachineTimeline::with_limits(
+                            num_resources,
+                            spec.capacity_vec(m, num_resources).into_vec(),
+                            spec.speed(m),
+                        )
+                    })
+                    .collect(),
             })
             .collect();
         ClusterTimelines {
@@ -974,13 +1080,15 @@ impl ClusterTimelines {
         &mut self.shards[m / self.shard_size].machines[m % self.shard_size]
     }
 
-    /// Replaces machine `m`'s timeline with a fresh, empty one. Used by the
-    /// fault layer when a machine fails: every commitment on it (running
-    /// and planned) is invalidated at once, and the caller re-commits what
-    /// should survive (e.g. a full-capacity block covering the downtime).
+    /// Replaces machine `m`'s timeline with a fresh, empty one — keeping
+    /// the machine's capacity and speed. Used by the fault layer when a
+    /// machine fails: every commitment on it (running and planned) is
+    /// invalidated at once, and the caller re-commits what should survive
+    /// (e.g. a full-capacity block covering the downtime).
     pub fn reset_machine(&mut self, m: usize) {
         let num_resources = self.num_resources;
-        *self.machine_mut(m) = MachineTimeline::new(num_resources);
+        let tl = self.machine_mut(m);
+        *tl = MachineTimeline::with_limits(num_resources, tl.cap.clone(), tl.speed);
     }
 
     /// Total segments across all machines (for diagnostics and benches).
@@ -998,7 +1106,16 @@ impl ClusterTimelines {
     }
 
     /// Earliest `(machine, start)` with `start >= from` at which the job
-    /// fits for `dur`; ties on start break toward the lower machine index.
+    /// fits for `dur` units of *nominal work* (machine `m` occupies it for
+    /// `dur / speed_m` wall time); ties on start break toward the lower
+    /// machine index.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic if no machine can ever hold `demands` (every
+    /// machine's capacity is exceeded on some resource) — the driver
+    /// rejects such jobs up front with
+    /// [`SchedulingError::UnplaceableJob`](mris_types::SchedulingError::UnplaceableJob).
     pub fn earliest_fit(&self, from: Time, dur: Time, demands: &[Amount]) -> (usize, Time) {
         let best = if self.num_machines >= self.parallel_threshold {
             self.earliest_fit_pooled(from, dur, demands)
@@ -1016,7 +1133,7 @@ impl ClusterTimelines {
         let floor = from.max(0.0);
         let mut best = (0usize, f64::INFINITY);
         for (m, tl) in self.machines().enumerate() {
-            if let Some(s) = tl.earliest_fit_bounded(from, dur, demands, best.1) {
+            if let Some(s) = tl.earliest_fit_bounded(from, dur / tl.speed(), demands, best.1) {
                 best = (m, s);
                 if s <= floor {
                     break;
@@ -1044,11 +1161,18 @@ impl ClusterTimelines {
     ) -> (usize, Time) {
         let floor = from.max(0.0);
         let g = self.scan_seed.min(self.num_machines - 1);
-        let s_g = self
-            .machine_mut(g)
-            .earliest_fit_bounded_mut(from, dur, demands, f64::INFINITY)
-            .expect("unbounded earliest_fit always finds the empty tail");
-        let mut best = (g, s_g);
+        let seed_speed = self.machine(g).speed();
+        // A restricted seed machine can be incapable of ever holding the
+        // demand (`None` even unbounded); fall back to an unseeded sweep.
+        let mut best = match self.machine_mut(g).earliest_fit_bounded_mut(
+            from,
+            dur / seed_speed,
+            demands,
+            f64::INFINITY,
+        ) {
+            Some(s_g) => (g, s_g),
+            None => (usize::MAX, f64::INFINITY),
+        };
         'shards: for shard in self.shards.iter_mut() {
             for (k, tl) in shard.machines.iter_mut().enumerate() {
                 let m = shard.base + k;
@@ -1061,14 +1185,17 @@ impl ClusterTimelines {
                     continue;
                 }
                 let cutoff = if m < best.0 { best.1.next_up() } else { best.1 };
-                if let Some(s) = tl.earliest_fit_bounded_mut(from, dur, demands, cutoff) {
+                if let Some(s) = tl.earliest_fit_bounded_mut(from, dur / tl.speed, demands, cutoff)
+                {
                     if s < best.1 || (s == best.1 && m < best.0) {
                         best = (m, s);
                     }
                 }
             }
         }
-        self.scan_seed = (best.0 + 1) % self.num_machines;
+        if best.0 < self.num_machines {
+            self.scan_seed = (best.0 + 1) % self.num_machines;
+        }
         best
     }
 
@@ -1084,9 +1211,34 @@ impl ClusterTimelines {
         pool.scan(&self.shards, from, dur, demands)
     }
 
-    /// Commits a job occupation on a machine.
+    /// Commits a **wall-time** occupation on a machine: `dur` is used as
+    /// is, regardless of the machine's speed. For downtime blocks and other
+    /// occupations whose length is not job work. Job commitments go through
+    /// [`ClusterTimelines::commit_job`].
     pub fn commit(&mut self, machine: usize, start: Time, dur: Time, demands: &[Amount]) {
         self.machine_mut(machine).commit(start, dur, demands);
+    }
+
+    /// Commits `work` units of nominal job work on `machine`, occupying it
+    /// for `work / speed_m` wall time — the commit counterpart of the
+    /// nominal-work `earliest_fit` family. Exact (`work / 1.0 == work`) on
+    /// reference machines.
+    pub fn commit_job(&mut self, machine: usize, start: Time, work: Time, demands: &[Amount]) {
+        let tl = self.machine_mut(machine);
+        let dur = work / tl.speed;
+        tl.commit(start, dur, demands);
+    }
+
+    /// Machine `m`'s per-resource capacity vector.
+    #[inline]
+    pub fn capacity(&self, m: usize) -> &[Amount] {
+        self.machine(m).capacity()
+    }
+
+    /// Machine `m`'s relative speed.
+    #[inline]
+    pub fn speed(&self, m: usize) -> f64 {
+        self.machine(m).speed()
     }
 
     /// [`ClusterTimelines::earliest_fit`] over exclusive timelines: the
@@ -1102,11 +1254,11 @@ impl ClusterTimelines {
         best
     }
 
-    /// Finds the earliest fit for `job` at or after `from`, commits it, and
-    /// returns the placement.
+    /// Finds the earliest fit for `job` at or after `from`, commits it
+    /// (scaled by the winning machine's speed), and returns the placement.
     pub fn place_earliest(&mut self, job: &Job, from: Time) -> (usize, Time) {
         let (m, s) = self.earliest_fit_mut(from, job.proc_time, &job.demands);
-        self.commit(m, s, job.proc_time, &job.demands);
+        self.commit_job(m, s, job.proc_time, &job.demands);
         (m, s)
     }
 
@@ -1134,13 +1286,24 @@ impl ClusterTimelines {
     /// Appends a canonical encoding of every machine's committed timeline
     /// (including shard layout, since the differential suite treats shard
     /// size as part of the configured identity) to `out`. Scan-seed, pool,
-    /// and parallel-threshold are runtime heuristics and are excluded.
+    /// and parallel-threshold are runtime heuristics and are excluded. The
+    /// machine table (capacities and speed bits) is appended **only for
+    /// non-uniform clusters**, so uniform fingerprints are unchanged from
+    /// before heterogeneity existed.
     pub fn durable_bytes(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(&(self.num_machines as u64).to_le_bytes());
         out.extend_from_slice(&(self.num_resources as u64).to_le_bytes());
         out.extend_from_slice(&(self.shard_size as u64).to_le_bytes());
         for tl in self.machines() {
             tl.durable_bytes(out);
+        }
+        if !self.machines().all(MachineTimeline::is_unit_machine) {
+            for tl in self.machines() {
+                for &c in &tl.cap {
+                    out.extend_from_slice(&c.to_le_bytes());
+                }
+                out.extend_from_slice(&tl.speed.to_bits().to_le_bytes());
+            }
         }
     }
 }
@@ -1415,6 +1578,114 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn fast_machine_wins_long_jobs() {
+        use mris_types::{ClusterSpec, Job, JobId};
+        // Machine 1 runs at speed 2: nominal work 4 occupies 2 wall time.
+        let spec = ClusterSpec::related(2, &[1.0, 2.0]);
+        let mut cl = ClusterTimelines::with_spec(&spec, 1);
+        let j = Job::from_fractions(JobId(0), 0.0, 4.0, 1.0, &[1.0]);
+        let (m0, s0) = cl.place_earliest(&j, 0.0);
+        assert_eq!((m0, s0), (0, 0.0));
+        // Machine 0 is busy until 4; machine 1 until 2 — next full-demand
+        // job starts on the fast machine at 2.
+        let (m1, s1) = cl.place_earliest(&j, 0.0);
+        assert_eq!((m1, s1), (1, 0.0));
+        assert_eq!(cl.earliest_fit(0.0, 4.0, &d(&[1.0])), (1, 2.0));
+        assert_eq!(cl.horizon(), 4.0);
+    }
+
+    #[test]
+    fn restricted_machine_is_skipped_not_fatal() {
+        use mris_types::{ClusterSpec, MachineSpec};
+        let spec = ClusterSpec::new(vec![
+            MachineSpec::from_fractions(1.0, &[0.5]),
+            MachineSpec::unit(),
+        ]);
+        let mut cl = ClusterTimelines::with_spec(&spec, 1);
+        // 0.6 demand exceeds machine 0's cap; the scan lands on machine 1.
+        assert_eq!(cl.earliest_fit(0.0, 2.0, &d(&[0.6])), (1, 0.0));
+        assert_eq!(cl.earliest_fit_mut(0.0, 2.0, &d(&[0.6])), (1, 0.0));
+        // The restricted machine still takes what it can hold.
+        assert_eq!(cl.earliest_fit(0.0, 2.0, &d(&[0.4])), (0, 0.0));
+        // Per-machine feasibility on the restricted machine uses its cap.
+        cl.commit(0, 0.0, 2.0, &d(&[0.3]));
+        assert!(!cl.machine(0).is_feasible(0.0, 1.0, &d(&[0.4])));
+        assert!(cl.machine(0).is_feasible(0.0, 1.0, &d(&[0.2])));
+    }
+
+    #[test]
+    fn reset_machine_preserves_limits() {
+        use mris_types::ClusterSpec;
+        let spec = ClusterSpec::related(2, &[1.0, 4.0]);
+        let mut cl = ClusterTimelines::with_spec(&spec, 1);
+        cl.commit_job(1, 0.0, 8.0, &d(&[1.0]));
+        assert_eq!(cl.machine(1).earliest_fit(0.0, 1.0, &d(&[1.0])), 2.0);
+        cl.reset_machine(1);
+        assert_eq!(cl.speed(1), 4.0);
+        // The reset machine still scales nominal work by its speed: 8 units
+        // of work occupy the speed-4 machine for only 2 wall time.
+        cl.commit(0, 0.0, 1.0, &d(&[1.0]));
+        assert_eq!(cl.earliest_fit(0.0, 8.0, &d(&[1.0])), (1, 0.0));
+        cl.commit_job(1, 0.0, 8.0, &d(&[1.0]));
+        assert_eq!(cl.machine(1).earliest_fit(0.0, 1.0, &d(&[1.0])), 2.0);
+    }
+
+    #[test]
+    fn heterogeneous_pooled_matches_sequential() {
+        use mris_types::{ClusterSpec, Job, JobId, MachineSpec};
+        let spec = ClusterSpec::new(
+            (0..11)
+                .map(|m| {
+                    MachineSpec::from_fractions(
+                        1.0 + (m % 3) as f64,
+                        &[1.0 - 0.1 * (m % 4) as f64],
+                    )
+                })
+                .collect(),
+        );
+        let mut cl = ClusterTimelines::with_spec_shard_size(&spec, 1, 3);
+        for i in 0..50u32 {
+            let j = Job::from_fractions(
+                JobId(i),
+                0.0,
+                1.0 + (i % 4) as f64,
+                1.0,
+                &[0.3 + 0.1 * (i % 4) as f64],
+            );
+            cl.place_earliest(&j, (i % 5) as f64);
+        }
+        let mut pooled = cl.clone();
+        pooled.set_parallel_threshold(1);
+        let mut sequential = cl.clone();
+        sequential.set_parallel_threshold(usize::MAX);
+        for from in [0.0, 2.5, 11.0] {
+            for dur in [0.75, 3.0] {
+                for demand in [0.3, 0.55, 0.65] {
+                    let probe = d(&[demand]);
+                    assert_eq!(
+                        pooled.earliest_fit(from, dur, &probe),
+                        sequential.earliest_fit(from, dur, &probe),
+                        "from {from}, dur {dur}, demand {demand}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_durable_bytes_have_no_machine_table() {
+        use mris_types::ClusterSpec;
+        let mut via_new = Vec::new();
+        ClusterTimelines::new(3, 2).durable_bytes(&mut via_new);
+        let mut via_spec = Vec::new();
+        ClusterTimelines::with_spec(&ClusterSpec::uniform(3), 2).durable_bytes(&mut via_spec);
+        assert_eq!(via_new, via_spec);
+        let mut het = Vec::new();
+        ClusterTimelines::with_spec(&ClusterSpec::related(3, &[2.0]), 2).durable_bytes(&mut het);
+        assert!(het.len() > via_new.len());
     }
 
     #[test]

@@ -52,6 +52,21 @@ pub enum InstanceError {
     },
     /// The instance declares zero resource types; the model requires `R >= 1`.
     NoResources,
+    /// A precedence edge references a job outside the instance, or is a
+    /// self-edge.
+    PrecedenceOutOfRange {
+        /// The edge's predecessor endpoint.
+        pred: JobId,
+        /// The edge's successor endpoint.
+        succ: JobId,
+        /// Number of jobs in the instance (valid ids are `0..num_jobs`).
+        num_jobs: usize,
+    },
+    /// The precedence edges contain a cycle; no execution order exists.
+    PrecedenceCycle {
+        /// A job on (or behind) the cycle, the smallest id among them.
+        job: JobId,
+    },
 }
 
 impl std::fmt::Display for InstanceError {
@@ -82,6 +97,17 @@ impl std::fmt::Display for InstanceError {
                 write!(f, "job at index {index} carries id {found}")
             }
             InstanceError::NoResources => write!(f, "instance declares zero resource types"),
+            InstanceError::PrecedenceOutOfRange {
+                pred,
+                succ,
+                num_jobs,
+            } => write!(
+                f,
+                "precedence edge ({pred}, {succ}) is invalid for an instance of {num_jobs} jobs"
+            ),
+            InstanceError::PrecedenceCycle { job } => {
+                write!(f, "precedence edges form a cycle through {job}")
+            }
         }
     }
 }
@@ -257,6 +283,24 @@ pub enum SchedulingError {
         /// The machine the completion event claimed the job ran on.
         machine: usize,
     },
+    /// A policy started a job whose precedence predecessor has not
+    /// completed yet. The drivers withhold gated jobs from `on_arrivals`,
+    /// so a policy can only trip this by placing a job it was never told
+    /// about.
+    PredecessorIncomplete {
+        /// The prematurely placed job.
+        job: JobId,
+        /// An incomplete predecessor gating it.
+        pred: JobId,
+    },
+    /// The instance cannot run on the given cluster: some job's demand
+    /// exceeds every machine's capacity, so no feasible placement exists.
+    /// Only reachable on heterogeneous clusters — instance validation
+    /// already bounds demands by the reference [`CAPACITY`](crate::CAPACITY).
+    UnplaceableJob {
+        /// The job no machine can hold.
+        job: JobId,
+    },
 }
 
 impl std::fmt::Display for SchedulingError {
@@ -292,6 +336,14 @@ impl std::fmt::Display for SchedulingError {
                 f,
                 "{job} completed on machine {machine} with no recorded assignment (completion/re-release ordering bug)"
             ),
+            SchedulingError::PredecessorIncomplete { job, pred } => write!(
+                f,
+                "policy placed {job} before its predecessor {pred} completed"
+            ),
+            SchedulingError::UnplaceableJob { job } => write!(
+                f,
+                "{job} demands more than any machine in the cluster can hold"
+            ),
         }
     }
 }
@@ -322,6 +374,35 @@ pub enum RegistryError {
         /// The parse failure reported by the heuristic parser.
         detail: String,
     },
+    /// The algorithm resolved, but it does not support a feature the
+    /// workload requires (precedence edges, heterogeneous machines).
+    /// Surfaced as a typed error so an unsupported (algorithm, workload)
+    /// pair cannot silently produce a wrong schedule.
+    Unsupported {
+        /// The resolved algorithm's registry name.
+        algorithm: String,
+        /// The workload feature it lacks.
+        feature: WorkloadFeature,
+    },
+}
+
+/// A workload capability a scheduler may or may not declare
+/// (see [`RegistryError::Unsupported`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadFeature {
+    /// The instance carries precedence edges.
+    Precedence,
+    /// The cluster has non-unit machine speeds or reduced capacities.
+    HeterogeneousMachines,
+}
+
+impl std::fmt::Display for WorkloadFeature {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkloadFeature::Precedence => write!(f, "precedence-constrained jobs"),
+            WorkloadFeature::HeterogeneousMachines => write!(f, "heterogeneous machines"),
+        }
+    }
 }
 
 impl RegistryError {
@@ -357,6 +438,9 @@ impl std::fmt::Display for RegistryError {
             }
             RegistryError::UnknownHeuristic { name, detail } => {
                 write!(f, "unknown heuristic in '{name}': {detail}")
+            }
+            RegistryError::Unsupported { algorithm, feature } => {
+                write!(f, "algorithm '{algorithm}' does not support {feature}")
             }
         }
     }

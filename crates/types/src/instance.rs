@@ -5,14 +5,22 @@ use crate::job::{Job, JobId};
 use crate::resource::CAPACITY;
 use crate::Time;
 
-/// A problem instance `I`: `N` jobs over `R` resource types (Section 3).
+/// A problem instance `I`: `N` jobs over `R` resource types (Section 3),
+/// optionally related by precedence constraints.
 ///
 /// Invariants, enforced at construction:
 /// * every job's demand vector has length `R >= 1` and each entry is at most
 ///   [`CAPACITY`],
 /// * processing times are positive and finite, releases non-negative and
 ///   finite, weights non-negative and finite,
-/// * `jobs[i].id == JobId(i)`.
+/// * `jobs[i].id == JobId(i)`,
+/// * precedence edges reference existing jobs and form a DAG (no cycles,
+///   no self-edges).
+///
+/// An edge `(pred, succ)` means `succ` may not *start* before `pred` has
+/// *completed* — the non-clairvoyant precedence model of
+/// Garg–Gupta–Kumar–Singla. Edge-free instances (every constructor that
+/// predates precedence) behave exactly as before.
 ///
 /// The paper additionally normalizes `p_j >= 1` by dividing all times by the
 /// minimum processing time; [`Instance::normalize`] performs that step.
@@ -20,11 +28,33 @@ use crate::Time;
 pub struct Instance {
     jobs: Vec<Job>,
     num_resources: usize,
+    /// Precedence edges `(pred, succ)`, sorted and deduplicated. Empty for
+    /// independent-job instances.
+    edges: Vec<(JobId, JobId)>,
+    /// CSR successor adjacency: `succ_list[succ_index[j]..succ_index[j+1]]`
+    /// are the jobs gated on `j`'s completion. Empty when `edges` is.
+    succ_index: Vec<u32>,
+    succ_list: Vec<JobId>,
+    /// In-degree (number of predecessors) per job. Empty when `edges` is.
+    pred_count: Vec<u32>,
 }
 
 impl Instance {
-    /// Validates and wraps a job collection.
+    /// Validates and wraps a job collection of independent jobs (no
+    /// precedence edges). Thin wrapper over [`Instance::with_edges`]; for
+    /// incremental construction prefer [`InstanceBuilder`].
     pub fn new(jobs: Vec<Job>, num_resources: usize) -> Result<Self, InstanceError> {
+        Instance::with_edges(jobs, num_resources, Vec::new())
+    }
+
+    /// Validates and wraps a job collection with precedence edges
+    /// `(pred, succ)`: `succ` may not start before `pred` completes. The
+    /// edge set must be a DAG over the job ids; duplicates are merged.
+    pub fn with_edges(
+        jobs: Vec<Job>,
+        num_resources: usize,
+        mut edges: Vec<(JobId, JobId)>,
+    ) -> Result<Self, InstanceError> {
         if num_resources == 0 {
             return Err(InstanceError::NoResources);
         }
@@ -67,9 +97,72 @@ impl Instance {
                 });
             }
         }
+
+        // Precedence validation: endpoints in range, no self-edges, acyclic.
+        let n = jobs.len();
+        for &(pred, succ) in &edges {
+            if pred.index() >= n || succ.index() >= n || pred == succ {
+                return Err(InstanceError::PrecedenceOutOfRange {
+                    pred,
+                    succ,
+                    num_jobs: n,
+                });
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        let (succ_index, succ_list, pred_count) = if edges.is_empty() {
+            (Vec::new(), Vec::new(), Vec::new())
+        } else {
+            let mut succ_index = vec![0u32; n + 1];
+            for &(pred, _) in &edges {
+                succ_index[pred.index() + 1] += 1;
+            }
+            for i in 0..n {
+                succ_index[i + 1] += succ_index[i];
+            }
+            // Edges are sorted by (pred, succ), so pushing in order fills
+            // each job's CSR slice in ascending successor order.
+            let mut succ_list = Vec::with_capacity(edges.len());
+            let mut pred_count = vec![0u32; n];
+            for &(_, succ) in &edges {
+                succ_list.push(succ);
+                pred_count[succ.index()] += 1;
+            }
+            // Kahn's algorithm: if a topological order does not cover every
+            // job, the leftover jobs lie on (or behind) a cycle; report the
+            // smallest one for a deterministic error.
+            let mut indegree = pred_count.clone();
+            let mut stack: Vec<usize> = (0..n).filter(|&j| indegree[j] == 0).collect();
+            let mut visited = 0usize;
+            while let Some(j) = stack.pop() {
+                visited += 1;
+                let lo = succ_index[j] as usize;
+                let hi = succ_index[j + 1] as usize;
+                for &s in &succ_list[lo..hi] {
+                    indegree[s.index()] -= 1;
+                    if indegree[s.index()] == 0 {
+                        stack.push(s.index());
+                    }
+                }
+            }
+            if visited != n {
+                let job = (0..n)
+                    .find(|&j| indegree[j] > 0)
+                    .map(|j| JobId(j as u32))
+                    .expect("unvisited job must have positive residual indegree");
+                return Err(InstanceError::PrecedenceCycle { job });
+            }
+            (succ_index, succ_list, pred_count)
+        };
+
         Ok(Instance {
             jobs,
             num_resources,
+            edges,
+            succ_index,
+            succ_list,
+            pred_count,
         })
     }
 
@@ -83,6 +176,48 @@ impl Instance {
             job.id = JobId(index as u32);
         }
         Instance::new(jobs, num_resources)
+    }
+
+    /// Whether the instance carries any precedence edges.
+    #[inline]
+    pub fn has_precedence(&self) -> bool {
+        !self.edges.is_empty()
+    }
+
+    /// The precedence edges `(pred, succ)`, sorted and deduplicated.
+    #[inline]
+    pub fn edges(&self) -> &[(JobId, JobId)] {
+        &self.edges
+    }
+
+    /// Jobs gated on `job`'s completion, in ascending id order.
+    #[inline]
+    pub fn successors(&self, job: JobId) -> &[JobId] {
+        if self.edges.is_empty() {
+            return &[];
+        }
+        let lo = self.succ_index[job.index()] as usize;
+        let hi = self.succ_index[job.index() + 1] as usize;
+        &self.succ_list[lo..hi]
+    }
+
+    /// Number of predecessors `job` waits on (0 for edge-free instances).
+    #[inline]
+    pub fn num_predecessors(&self, job: JobId) -> u32 {
+        if self.edges.is_empty() {
+            0
+        } else {
+            self.pred_count[job.index()]
+        }
+    }
+
+    /// Predecessors of `job`: the jobs whose completion gates its start.
+    /// Linear in the edge count; intended for validation, not hot paths.
+    pub fn predecessors(&self, job: JobId) -> impl Iterator<Item = JobId> + '_ {
+        self.edges
+            .iter()
+            .filter(move |&&(_, s)| s == job)
+            .map(|&(p, _)| p)
     }
 
     /// The jobs, indexed by [`JobId`].
@@ -153,6 +288,10 @@ impl Instance {
             Instance {
                 jobs,
                 num_resources: self.num_resources,
+                edges: self.edges.clone(),
+                succ_index: self.succ_index.clone(),
+                succ_list: self.succ_list.clone(),
+                pred_count: self.pred_count.clone(),
             },
             min_p,
         )
@@ -213,6 +352,92 @@ impl Instance {
             .map(|j| j.release + j.proc_time)
             .fold(0.0_f64, f64::max);
         volume_bound.max(job_bound)
+    }
+}
+
+/// Incremental [`Instance`] construction without the mis-numbered-`JobId`
+/// footgun of [`Instance::new`]: [`push_job`](InstanceBuilder::push_job)
+/// assigns ids in order and returns them, [`edge`](InstanceBuilder::edge)
+/// records precedence constraints, and all validation happens in
+/// [`build`](InstanceBuilder::build).
+///
+/// ```
+/// use mris_types::InstanceBuilder;
+/// let mut b = InstanceBuilder::new(2);
+/// let extract = b.push_job(0.0, 2.0, 1.0, &[0.5, 0.1]);
+/// let transform = b.push_job(0.0, 3.0, 2.0, &[0.3, 0.6]);
+/// let load = b.push_job(1.0, 1.0, 4.0, &[0.8, 0.2]);
+/// b.edge(extract, transform);
+/// b.edge(transform, load);
+/// let instance = b.build().unwrap();
+/// assert!(instance.has_precedence());
+/// assert_eq!(instance.successors(extract), &[transform]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct InstanceBuilder {
+    jobs: Vec<Job>,
+    edges: Vec<(JobId, JobId)>,
+    num_resources: usize,
+}
+
+impl InstanceBuilder {
+    /// A builder for instances over `num_resources` resource types.
+    pub fn new(num_resources: usize) -> Self {
+        InstanceBuilder {
+            jobs: Vec::new(),
+            edges: Vec::new(),
+            num_resources,
+        }
+    }
+
+    /// Appends a job with fractional demands and returns its assigned id.
+    pub fn push_job(
+        &mut self,
+        release: Time,
+        proc_time: Time,
+        weight: f64,
+        demand_fractions: &[f64],
+    ) -> JobId {
+        let id = JobId(self.jobs.len() as u32);
+        self.jobs.push(Job::from_fractions(
+            id,
+            release,
+            proc_time,
+            weight,
+            demand_fractions,
+        ));
+        id
+    }
+
+    /// Appends an already-built [`Job`], renumbering its id to the next
+    /// index, and returns the assigned id.
+    pub fn push(&mut self, mut job: Job) -> JobId {
+        let id = JobId(self.jobs.len() as u32);
+        job.id = id;
+        self.jobs.push(job);
+        id
+    }
+
+    /// Records the precedence constraint "`succ` may not start before
+    /// `pred` completes". Endpoints are validated in [`build`](Self::build).
+    pub fn edge(&mut self, pred: JobId, succ: JobId) -> &mut Self {
+        self.edges.push((pred, succ));
+        self
+    }
+
+    /// Number of jobs pushed so far.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether no jobs have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Validates everything pushed so far into an [`Instance`].
+    pub fn build(self) -> Result<Instance, InstanceError> {
+        Instance::with_edges(self.jobs, self.num_resources, self.edges)
     }
 }
 
@@ -371,5 +596,81 @@ mod tests {
             Instance::new(vec![], 0).unwrap_err(),
             InstanceError::NoResources
         );
+    }
+
+    #[test]
+    fn builder_assigns_ids_in_order() {
+        let mut b = InstanceBuilder::new(1);
+        let a = b.push_job(0.0, 1.0, 1.0, &[0.5]);
+        let c = b.push(Job::from_fractions(JobId(99), 1.0, 2.0, 2.0, &[0.25]));
+        assert_eq!((a, c), (JobId(0), JobId(1)));
+        assert_eq!(b.len(), 2);
+        let inst = b.build().unwrap();
+        assert_eq!(inst.job(c).id, JobId(1));
+        assert!(!inst.has_precedence());
+        assert_eq!(inst.num_predecessors(c), 0);
+        assert_eq!(inst.successors(a), &[]);
+    }
+
+    #[test]
+    fn edges_build_csr_adjacency() {
+        let mut b = InstanceBuilder::new(1);
+        let j0 = b.push_job(0.0, 1.0, 1.0, &[0.5]);
+        let j1 = b.push_job(0.0, 1.0, 1.0, &[0.5]);
+        let j2 = b.push_job(0.0, 1.0, 1.0, &[0.5]);
+        b.edge(j0, j1).edge(j0, j2).edge(j1, j2).edge(j0, j2); // dup merged
+        let inst = b.build().unwrap();
+        assert!(inst.has_precedence());
+        assert_eq!(inst.edges(), &[(j0, j1), (j0, j2), (j1, j2)]);
+        assert_eq!(inst.successors(j0), &[j1, j2]);
+        assert_eq!(inst.successors(j1), &[j2]);
+        assert_eq!(inst.successors(j2), &[]);
+        assert_eq!(inst.num_predecessors(j0), 0);
+        assert_eq!(inst.num_predecessors(j2), 2);
+        assert_eq!(inst.predecessors(j2).collect::<Vec<_>>(), vec![j0, j1]);
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let mut b = InstanceBuilder::new(1);
+        let j0 = b.push_job(0.0, 1.0, 1.0, &[0.5]);
+        let j1 = b.push_job(0.0, 1.0, 1.0, &[0.5]);
+        let j2 = b.push_job(0.0, 1.0, 1.0, &[0.5]);
+        b.edge(j0, j1).edge(j1, j2).edge(j2, j0);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            InstanceError::PrecedenceCycle { .. }
+        ));
+    }
+
+    #[test]
+    fn self_edge_and_range_rejected() {
+        let mut b = InstanceBuilder::new(1);
+        let j0 = b.push_job(0.0, 1.0, 1.0, &[0.5]);
+        b.edge(j0, j0);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            InstanceError::PrecedenceOutOfRange { .. }
+        ));
+        let mut b = InstanceBuilder::new(1);
+        let j0 = b.push_job(0.0, 1.0, 1.0, &[0.5]);
+        b.edge(j0, JobId(9));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            InstanceError::PrecedenceOutOfRange { num_jobs: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn normalize_preserves_edges() {
+        let mut b = InstanceBuilder::new(1);
+        let j0 = b.push_job(0.0, 2.0, 1.0, &[0.5]);
+        let j1 = b.push_job(0.0, 4.0, 1.0, &[0.5]);
+        b.edge(j0, j1);
+        let inst = b.build().unwrap();
+        let (norm, scale) = inst.normalize();
+        assert_eq!(scale, 2.0);
+        assert_eq!(norm.edges(), inst.edges());
+        assert_eq!(norm.successors(j0), &[j1]);
     }
 }

@@ -28,17 +28,19 @@ mod error;
 mod fault;
 mod instance;
 mod job;
+mod machine;
 mod resource;
 mod schedule;
 mod tenant;
 
 pub use error::{
     closest_match, AdmissionError, CodecError, ConfigError, DurabilityError, InstanceError,
-    NetError, RegistryError, RestoreError, SchedulingError, TenantQuotaKind,
+    NetError, RegistryError, RestoreError, SchedulingError, TenantQuotaKind, WorkloadFeature,
 };
 pub use fault::{FaultEvent, FaultTarget, RestartSemantics};
-pub use instance::{Instance, InstanceStats};
+pub use instance::{Instance, InstanceBuilder, InstanceStats};
 pub use job::{Job, JobId};
+pub use machine::{ClusterSpec, MachineSpec};
 pub use resource::{
     amount_from_fraction, fraction, saturating_add_demands, Amount, DemandVec, CAPACITY,
 };
@@ -52,7 +54,7 @@ pub type Time = f64;
 /// Commonly used items, for glob-importing in examples and downstream crates.
 pub mod prelude {
     pub use crate::{
-        Amount, Assignment, Instance, InstanceError, Job, JobId, Schedule, SchedulingError, Time,
-        CAPACITY,
+        Amount, Assignment, ClusterSpec, Instance, InstanceBuilder, InstanceError, Job, JobId,
+        MachineSpec, Schedule, SchedulingError, Time, CAPACITY,
     };
 }

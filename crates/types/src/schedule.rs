@@ -3,7 +3,7 @@
 
 use crate::instance::Instance;
 use crate::job::JobId;
-use crate::resource::CAPACITY;
+use crate::machine::ClusterSpec;
 use crate::Time;
 
 /// One job's placement: which machine it runs on and when it starts.
@@ -62,6 +62,13 @@ pub enum ScheduleError {
         /// An instant at which the violation holds.
         at: Time,
     },
+    /// A job starts before one of its precedence predecessors completes.
+    PrecedenceViolated {
+        /// The predecessor whose completion was not awaited.
+        pred: JobId,
+        /// The prematurely started successor.
+        succ: JobId,
+    },
 }
 
 impl std::fmt::Display for ScheduleError {
@@ -90,6 +97,9 @@ impl std::fmt::Display for ScheduleError {
                 f,
                 "machine {machine} exceeds capacity of resource {resource} at time {at}"
             ),
+            ScheduleError::PrecedenceViolated { pred, succ } => {
+                write!(f, "job {succ} starts before its predecessor {pred} completes")
+            }
         }
     }
 }
@@ -184,6 +194,20 @@ impl Schedule {
         self.get(job).map(|a| a.start + instance.job(job).proc_time)
     }
 
+    /// `C_j = S_j + p_j / s_m` for an assigned job on a heterogeneous
+    /// cluster: the job's wall-clock completion given its machine's speed.
+    /// Identical to [`completion_time`](Self::completion_time) on uniform
+    /// clusters.
+    pub fn completion_time_on(
+        &self,
+        instance: &Instance,
+        spec: &ClusterSpec,
+        job: JobId,
+    ) -> Option<Time> {
+        self.get(job)
+            .map(|a| a.start + spec.effective_time(a.machine, instance.job(job).proc_time))
+    }
+
     /// Total weighted completion time `sum_j w_j C_j` over assigned jobs.
     pub fn total_weighted_completion(&self, instance: &Instance) -> f64 {
         self.assignments()
@@ -192,6 +216,27 @@ impl Schedule {
                 j.weight * (a.start + j.proc_time)
             })
             .sum()
+    }
+
+    /// Total weighted completion time with per-machine speeds applied
+    /// (`C_j = S_j + p_j / s_m`). Bit-identical to
+    /// [`total_weighted_completion`](Self::total_weighted_completion) on
+    /// uniform clusters (`p / 1.0 == p` exactly).
+    pub fn total_weighted_completion_on(&self, instance: &Instance, spec: &ClusterSpec) -> f64 {
+        self.assignments()
+            .map(|a| {
+                let j = instance.job(a.job);
+                j.weight * (a.start + spec.effective_time(a.machine, j.proc_time))
+            })
+            .sum()
+    }
+
+    /// Average weighted completion time on a heterogeneous cluster.
+    pub fn awct_on(&self, instance: &Instance, spec: &ClusterSpec) -> f64 {
+        if instance.is_empty() {
+            return 0.0;
+        }
+        self.total_weighted_completion_on(instance, spec) / instance.len() as f64
     }
 
     /// Average weighted completion time `(1/N) sum_j w_j C_j` — the paper's
@@ -278,13 +323,40 @@ impl Schedule {
     /// 1. every job is assigned exactly once to a machine in `0..M`,
     /// 2. `S_j >= r_j` with finite starts,
     /// 3. at every instant, the fixed-point demand sum of concurrently
-    ///    running jobs on each machine is at most [`CAPACITY`] per resource.
+    ///    running jobs on each machine is at most
+    ///    [`CAPACITY`](crate::CAPACITY) per resource,
+    /// 4. no job starts before any of its precedence predecessors
+    ///    completes.
     ///
     /// The capacity check sweeps each machine's start/end events with exact
     /// integer sums; a job ending at `t` frees capacity for one starting at
     /// `t` (occupancy intervals are half-open `[S_j, C_j)`).
     pub fn validate(&self, instance: &Instance) -> Result<(), ScheduleError> {
+        self.validate_impl(instance, None)
+    }
+
+    /// [`validate`](Self::validate) against a heterogeneous cluster: job
+    /// occupancy is `[S_j, S_j + p_j / s_m)` and per-machine capacities
+    /// replace the global one. Identical to `validate` for uniform specs.
+    pub fn validate_on(&self, instance: &Instance, spec: &ClusterSpec) -> Result<(), ScheduleError> {
+        assert_eq!(
+            spec.len(),
+            self.num_machines,
+            "cluster spec machine count must match the schedule"
+        );
+        self.validate_impl(instance, Some(spec))
+    }
+
+    fn validate_impl(
+        &self,
+        instance: &Instance,
+        spec: Option<&ClusterSpec>,
+    ) -> Result<(), ScheduleError> {
         let num_resources = instance.num_resources();
+        let eff = |machine: usize, p: Time| match spec {
+            Some(s) => s.effective_time(machine, p),
+            None => p,
+        };
         // Per-job checks and event collection per machine.
         let mut events: Vec<Vec<(Time, bool, JobId)>> = vec![Vec::new(); self.num_machines];
         for (i, slot) in self.slots.iter().enumerate() {
@@ -303,10 +375,20 @@ impl Schedule {
                     release,
                 });
             }
-            let end = start + instance.job(job).proc_time;
             let m = machine as usize;
+            let end = start + eff(m, instance.job(job).proc_time);
             events[m].push((start, true, job));
             events[m].push((end, false, job));
+        }
+        // Precedence: a successor may not start before its predecessor's
+        // (machine-speed-adjusted) completion.
+        for &(pred, succ) in instance.edges() {
+            let pa = self.get(pred).ok_or(ScheduleError::Unassigned(pred))?;
+            let sa = self.get(succ).ok_or(ScheduleError::Unassigned(succ))?;
+            let pred_end = pa.start + eff(pa.machine, instance.job(pred).proc_time);
+            if sa.start < pred_end {
+                return Err(ScheduleError::PrecedenceViolated { pred, succ });
+            }
         }
         // Sweep each machine; ends sort before starts at equal times.
         let mut usage = vec![0u64; num_resources];
@@ -320,7 +402,11 @@ impl Schedule {
                 if is_start {
                     for (l, (u, d)) in usage.iter_mut().zip(demands.iter()).enumerate() {
                         *u += d;
-                        if *u > CAPACITY {
+                        let cap = match spec {
+                            Some(s) => s.capacity(machine, l),
+                            None => crate::resource::CAPACITY,
+                        };
+                        if *u > cap {
                             return Err(ScheduleError::CapacityExceeded {
                                 machine,
                                 resource: l,

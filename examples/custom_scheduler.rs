@@ -55,12 +55,12 @@ impl Scheduler for HeaviestFirst {
         "HEAVIEST-FIRST".to_string()
     }
 
-    fn try_schedule(
+    fn try_schedule_on(
         &self,
         instance: &Instance,
-        num_machines: usize,
+        cluster: &ClusterSpec,
     ) -> Result<Schedule, SchedulingError> {
-        run_online(instance, num_machines, &mut HeaviestFirstPolicy::default())
+        run_online(instance, cluster, &mut HeaviestFirstPolicy::default())
     }
 }
 

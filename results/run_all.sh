@@ -24,6 +24,10 @@ $B/timeline --out results/BENCH_timeline.json > /dev/null 2> results/timeline.lo
 # machines; --gate enforces sharded >= sequential at 1000 machines.
 $B/scale --gate --out results/BENCH_scale.json > /dev/null 2> results/scale.log
 $B/chaos    --out results/BENCH_chaos.json    > /dev/null 2> results/chaos.log
+# workloads bench: job structure (independent / chain / fork-join /
+# random-DAG) x cluster shape (uniform / related speeds) for every
+# scheduler; capability-gated cells report "supported": false.
+$B/workloads --out results/BENCH_workloads.json > /dev/null 2> results/workloads.log
 # service bench includes the MRIS stage_breakdown section (obs-enabled pass),
 # the durability section (journal-on vs journal-off throughput with a
 # <15% overhead budget, plus restore latency vs journal-tail length), and the

@@ -66,6 +66,19 @@ for key in '"bench": "chaos"' '"mode": "smoke"' '"restart"' '"rates"' \
     || { echo "BENCH_chaos_smoke.json is missing $key" >&2; exit 1; }
 done
 
+echo "==> workloads bench smoke run + schema check (DAGs x heterogeneous clusters)"
+cargo run --release --offline -p mris-bench --bin workloads -- \
+  --smoke --out results/BENCH_workloads_smoke.json >/dev/null
+for key in '"bench": "workloads"' '"mode": "smoke"' '"families"' \
+  '"clusters"' '"speeds"' '"independent"' '"chain"' '"fork-join"' \
+  '"random-dag"' '"uniform"' '"related"' '"precedence_counters"' \
+  '"mris_prec_gated_total"' '"mris_prec_ready_total"' \
+  '"mris_prec_revoked_total"' '"grid"' '"edges"' '"supported"' \
+  '"awct"' '"makespan"'; do
+  grep -qF "$key" results/BENCH_workloads_smoke.json \
+    || { echo "BENCH_workloads_smoke.json is missing $key" >&2; exit 1; }
+done
+
 echo "==> service bench smoke run + schema check"
 cargo run --release --offline -p mris-bench --bin service -- \
   --smoke --out results/BENCH_service_smoke.json >/dev/null

@@ -69,8 +69,11 @@ pub use mris_types as types;
 
 /// The most commonly used items across the workspace.
 pub mod prelude {
-    pub use mris_core::registry::{algorithm_by_name, known_algorithms};
+    pub use mris_core::registry::{algorithm_by_name, algorithm_for_workload, known_algorithms};
     pub use mris_core::{KnapsackChoice, Mris, MrisConfig};
     pub use mris_schedulers::{BfExec, CaPq, Pq, Scheduler, SortHeuristic, Tetris};
-    pub use mris_types::{Instance, Job, JobId, Schedule, SchedulingError, Time};
+    pub use mris_types::{
+        ClusterSpec, Instance, InstanceBuilder, Job, JobId, MachineSpec, Schedule,
+        SchedulingError, Time,
+    };
 }

@@ -1,0 +1,103 @@
+//! Golden regression test for precedence-constrained (DAG) scheduling: a
+//! hand-built diamond whose schedule and AWCT are derived by hand below,
+//! on a uniform cluster and again on related-speed machines — plus the
+//! registry's capability gate rejecting the one algorithm that cannot run
+//! DAGs.
+
+use mris::prelude::*;
+use mris::registry::algorithm_for_workload;
+use mris::types::RegistryError;
+
+/// The diamond `0 -> {1, 2} -> 3` on 1 resource; every demand is 0.6, so
+/// no two jobs ever share a machine.
+///
+/// * `J0`: release 0, p = 2, w = 1 — the source
+/// * `J1`: release 0, p = 1, w = 2 — WSJF key p/w = 0.5
+/// * `J2`: release 0, p = 3, w = 1 — WSJF key p/w = 3
+/// * `J3`: release 0, p = 1, w = 4 — the sink
+fn diamond() -> Instance {
+    let mut b = InstanceBuilder::new(1);
+    b.push_job(0.0, 2.0, 1.0, &[0.6]);
+    b.push_job(0.0, 1.0, 2.0, &[0.6]);
+    b.push_job(0.0, 3.0, 1.0, &[0.6]);
+    b.push_job(0.0, 1.0, 4.0, &[0.6]);
+    b.edge(JobId(0), JobId(1));
+    b.edge(JobId(0), JobId(2));
+    b.edge(JobId(1), JobId(3));
+    b.edge(JobId(2), JobId(3));
+    b.build().expect("diamond is acyclic")
+}
+
+fn assignment(s: &Schedule, j: u32) -> (usize, f64) {
+    let a = s.get(JobId(j)).expect("job scheduled");
+    (a.machine, a.start)
+}
+
+/// PQ-WSJF on 2 unit-speed machines:
+///
+/// * t = 0: only `J0` is gate-ready; it starts on machine 0, runs [0, 2).
+/// * t = 2: `J0` completes, opening `J1` and `J2`. WSJF delivers `J1`
+///   (key 0.5) before `J2` (key 3): `J1` on machine 0 [2, 3), `J2` on
+///   machine 1 [2, 5) (0.6 + 0.6 > 1 keeps them apart).
+/// * t = 5: `J2` completes (the last predecessor of `J3`); `J3` starts on
+///   machine 0, runs [5, 6).
+///
+/// Completions 2, 3, 5, 6 — AWCT = (1·2 + 2·3 + 1·5 + 4·6) / 4 = **9.25**
+/// exactly (all values float-exact, so `==` is legitimate).
+#[test]
+fn golden_diamond_on_uniform_machines() {
+    let instance = diamond();
+    let cluster = ClusterSpec::uniform(2);
+    let algo = algorithm_for_workload("pq-wsjf", &instance, &cluster)
+        .expect("pq-wsjf supports precedence");
+    let schedule = algo
+        .try_schedule_on(&instance, &cluster)
+        .expect("diamond schedules");
+    schedule.validate_on(&instance, &cluster).unwrap();
+    assert_eq!(assignment(&schedule, 0), (0, 0.0));
+    assert_eq!(assignment(&schedule, 1), (0, 2.0));
+    assert_eq!(assignment(&schedule, 2), (1, 2.0));
+    assert_eq!(assignment(&schedule, 3), (0, 5.0));
+    assert_eq!(schedule.awct_on(&instance, &cluster), 9.25);
+}
+
+/// The same diamond on related machines, speeds [2, 1]: machine 0 runs
+/// every job in half its nominal time.
+///
+/// * t = 0: `J0` on machine 0, effective time 2/2 = 1, runs [0, 1).
+/// * t = 1: `J1` on machine 0 [1, 1.5); `J2` on machine 1 [1, 4).
+/// * t = 4: `J2` completes; `J3` on machine 0 [4, 4.5).
+///
+/// Completions 1, 1.5, 4, 4.5 — AWCT = (1 + 3 + 4 + 18) / 4 = **6.5**.
+#[test]
+fn golden_diamond_on_related_machines() {
+    let instance = diamond();
+    let cluster = ClusterSpec::related(2, &[2.0, 1.0]);
+    let algo = algorithm_for_workload("pq-wsjf", &instance, &cluster)
+        .expect("pq-wsjf supports heterogeneous DAGs");
+    let schedule = algo
+        .try_schedule_on(&instance, &cluster)
+        .expect("diamond schedules on related machines");
+    schedule.validate_on(&instance, &cluster).unwrap();
+    assert_eq!(assignment(&schedule, 0), (0, 0.0));
+    assert_eq!(assignment(&schedule, 1), (0, 1.0));
+    assert_eq!(assignment(&schedule, 2), (1, 1.0));
+    assert_eq!(assignment(&schedule, 3), (0, 4.0));
+    assert_eq!(schedule.awct_on(&instance, &cluster), 6.5);
+}
+
+/// CA-PQ's clairvoyant arrival oracle cannot see gate-release times, so
+/// the registry's capability check rejects it on any DAG instance with a
+/// typed error naming the feature.
+#[test]
+fn capability_gate_rejects_capq_on_dags() {
+    let instance = diamond();
+    let cluster = ClusterSpec::uniform(2);
+    match algorithm_for_workload("ca-pq", &instance, &cluster) {
+        Err(RegistryError::Unsupported { algorithm, .. }) => {
+            assert_eq!(algorithm, "ca-pq");
+        }
+        Err(other) => panic!("expected Unsupported for ca-pq on a DAG, got {other}"),
+        Ok(_) => panic!("ca-pq unexpectedly accepted a DAG workload"),
+    }
+}
